@@ -1,0 +1,78 @@
+//! Ablation B (§3.2) — what each piece of the extrapolation algorithm
+//! buys: the confidence-gated noise filter (Equ. 3) and the sub-ROI
+//! deformation handling, toggled independently at EW-8.
+
+use euphrates_bench::{announce, run_tracking_suite, tracking_workload};
+use euphrates_common::table::{percent, Table};
+use euphrates_core::prelude::*;
+use euphrates_mc::ExtrapolationConfig;
+use euphrates_nn::oracle::calib;
+
+fn config(filter: bool, deformation: bool) -> BackendConfig {
+    let mut cfg = BackendConfig::new(EwPolicy::Constant(8));
+    cfg.extrapolation = ExtrapolationConfig {
+        filter,
+        deformation,
+        ..ExtrapolationConfig::default()
+    };
+    cfg
+}
+
+fn main() {
+    let scale = announce(
+        "Ablation B: filter (Equ. 3) and sub-ROI deformation at EW-8",
+        "Zhu et al., ISCA 2018, §3.2 design elements",
+    );
+    let suite = tracking_workload(scale);
+    let motion = MotionConfig::default();
+    let schemes = vec![
+        ("full algorithm".to_string(), config(true, true)),
+        ("no filter".to_string(), config(false, true)),
+        ("no deformation".to_string(), config(true, false)),
+        ("neither".to_string(), config(false, false)),
+    ];
+    let results = run_tracking_suite(&suite, &motion, &schemes, calib::mdnet());
+
+    let mut table = Table::new(["variant", "success@0.5", "AUC", "Δ vs full"])
+        .with_title("Ablation B results (EW-8)");
+    let full = results[0].rate_at_05();
+    for r in &results {
+        table.row([
+            r.label.clone(),
+            percent(r.rate_at_05()),
+            percent(r.accuracy().auc()),
+            format!("{:+.1}pp", (r.rate_at_05() - full) * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    // Per-attribute view of the deformation toggle: it should matter most
+    // on Deformation sequences.
+    let def_idx: Vec<usize> = suite
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.has_attribute(VisualAttribute::Deformation))
+        .map(|(i, _)| i)
+        .collect();
+    let rate_on = |r: &euphrates_core::SuiteOutcome| -> f64 {
+        let mut hits = 0;
+        let mut total = 0;
+        for &i in &def_idx {
+            let o = &r.per_sequence[i];
+            hits += o.ious.iter().filter(|&&x| x >= 0.5).count();
+            total += o.ious.len();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+    if !def_idx.is_empty() {
+        println!(
+            "on Deformation sequences only: full {} vs no-deformation {}",
+            percent(rate_on(&results[0])),
+            percent(rate_on(&results[2]))
+        );
+    }
+}

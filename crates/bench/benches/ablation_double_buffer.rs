@@ -1,0 +1,64 @@
+//! Ablation A (§4.2 design choice) — double-buffering the temporal-
+//! denoise SRAM vs. reusing it as the DMA staging buffer.
+//!
+//! The paper's argument: a single-buffered design stalls the ISP pipeline
+//! on MV write-back (SRAM contention); double-buffering takes the traffic
+//! off the critical path "at a slight cost in area overhead".
+
+use euphrates_common::image::Resolution;
+use euphrates_common::table::{fnum, Table};
+use euphrates_isp::linebuffer::{TdSramConfig, TdSramModel};
+
+fn main() {
+    println!("== Ablation A: TD-SRAM double buffering (ISP MV write-back) ==\n");
+    let single = TdSramModel::new(TdSramConfig {
+        double_buffered: false,
+        ..TdSramConfig::default()
+    });
+    let double = TdSramModel::default();
+
+    let mut table = Table::new([
+        "design",
+        "resolution/mb",
+        "stall cycles",
+        "stall %",
+        "meets 60 FPS",
+        "SRAM",
+        "SRAM area",
+    ])
+    .with_title("single vs double buffer");
+    for (res, mb) in [
+        (Resolution::FULL_HD, 16u32),
+        (Resolution::FULL_HD, 8),
+        (Resolution::VGA, 16),
+    ] {
+        for (name, model) in [("single", &single), ("double", &double)] {
+            let t = model.frame_timing(res, mb);
+            table.row([
+                name.to_string(),
+                format!("{res}/{mb}"),
+                t.stall_cycles.0.to_string(),
+                fnum(t.stall_fraction() * 100.0, 2) + "%",
+                if model.meets_rate(res, mb, 60.0) {
+                    "yes".to_string()
+                } else {
+                    "NO".to_string()
+                },
+                format!("{}", model.provisioned_sram_bytes(res, mb)),
+                format!("{:.4} mm2", model.sram_area_mm2(res, mb)),
+            ]);
+        }
+    }
+    println!("{table}");
+    let t = single.frame_timing(Resolution::FULL_HD, 16);
+    println!(
+        "verdict: single buffering injects {} stall cycles/frame into an",
+        t.stall_cycles.0
+    );
+    println!("otherwise deterministic pipeline; double buffering removes them for");
+    println!(
+        "{:.4} mm2 of extra SRAM — the paper's design choice.",
+        double.sram_area_mm2(Resolution::FULL_HD, 16)
+            - single.sram_area_mm2(Resolution::FULL_HD, 16)
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig. 9a — detection average precision vs. IoU threshold for baseline
+//! YOLOv2, EW-2..EW-32, and Tiny YOLO.
+//!
+//! Paper shape: EW-2/EW-4 hug the baseline (EW-2 loses 0.58 % at IoU
+//! 0.5); accuracy decays with the window; Tiny YOLO falls below even
+//! EW-32 despite costing 6× its compute.
+
+use euphrates_bench::{announce, detection_workload, ew_schemes, run_detection_suite};
+use euphrates_common::table::{fnum, percent, Table};
+use euphrates_core::prelude::*;
+use euphrates_nn::oracle::calib;
+
+fn main() {
+    let scale = announce(
+        "Fig. 9a: detection precision vs IoU threshold",
+        "Zhu et al., ISCA 2018, Figure 9a",
+    );
+    let suite = detection_workload(scale);
+    let motion = MotionConfig::default();
+
+    let schemes = ew_schemes("YOLOv2", &[2, 4, 8, 16, 32], false);
+    let results = run_detection_suite(&suite, &motion, &schemes, calib::yolov2());
+    let tiny = run_detection_suite(
+        &suite,
+        &motion,
+        &[("TinyYOLO".to_string(), BackendConfig::baseline())],
+        calib::tiny_yolo(),
+    );
+
+    // Precision curves at selected thresholds (the figure's x-axis).
+    let thresholds = [0.3, 0.5, 0.7, 0.9];
+    let mut header: Vec<String> = vec!["scheme".into()];
+    header.extend(thresholds.iter().map(|t| format!("AP@{t}")));
+    header.push("Δ@0.5 vs YOLOv2".into());
+    let mut table = Table::new(header).with_title("Fig. 9a reproduction");
+    let base05 = results[0].accuracy().rate_at(0.5);
+    for r in results.iter().chain(tiny.iter()) {
+        let acc = r.accuracy();
+        let mut row: Vec<String> = vec![r.label.clone()];
+        row.extend(thresholds.iter().map(|&t| percent(acc.rate_at(t))));
+        row.push(format!("{:+.2}pp", (acc.rate_at(0.5) - base05) * 100.0));
+        table.row(row);
+    }
+    println!("{table}");
+
+    let ew2 = results[1].accuracy().rate_at(0.5);
+    println!(
+        "paper: EW-2 loses 0.58% at IoU 0.5 | measured: {:.2}pp",
+        (base05 - ew2) * 100.0
+    );
+    println!(
+        "paper: TinyYOLO below EW-32 | measured: TinyYOLO {} vs EW-32 {}",
+        fnum(tiny[0].accuracy().rate_at(0.5), 3),
+        fnum(results[5].accuracy().rate_at(0.5), 3),
+    );
+}

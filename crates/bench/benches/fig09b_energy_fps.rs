@@ -1,0 +1,95 @@
+//! Fig. 9b — normalized SoC energy (frontend / memory / backend / CPU)
+//! and achieved FPS for the detection schemes, including the software-
+//! extrapolation comparison (EW-8@CPU) and Tiny YOLO.
+//!
+//! Paper headlines: baseline ~17 FPS; EW-2 → 35 FPS at −45 % energy;
+//! EW-4 → 60 FPS at −66 %; EW-8@CPU ≈ EW-4's energy (software
+//! extrapolation negates the benefit); Tiny YOLO ≈ 1.5× EW-32's energy.
+
+use euphrates_bench::announce;
+use euphrates_common::table::{fnum, Table};
+use euphrates_core::prelude::*;
+use euphrates_nn::zoo;
+
+fn main() {
+    announce(
+        "Fig. 9b: normalized energy and FPS (detection)",
+        "Zhu et al., ISCA 2018, Figure 9b",
+    );
+    let system = SystemModel::table1();
+    let yolo = zoo::yolov2();
+    let tiny = zoo::tiny_yolo();
+    let base = system
+        .evaluate(&yolo, 1.0, ExtrapolationExecutor::MotionController)
+        .expect("baseline evaluates");
+    let base_total = base.energy_per_frame();
+
+    let mut table = Table::new([
+        "scheme", "frontend", "memory", "backend", "cpu", "total", "saving", "fps",
+    ])
+    .with_title("Fig. 9b reproduction (energies normalized to baseline YOLOv2)");
+
+    let mut emit = |label: &str, report: &euphrates_soc::SchemeReport| {
+        let n = report.breakdown().normalized_to(&base.breakdown());
+        table.row([
+            label.to_string(),
+            fnum(n.frontend, 3),
+            fnum(n.memory, 3),
+            fnum(n.backend, 3),
+            fnum(n.cpu, 3),
+            fnum(n.total(), 3),
+            format!("{:+.1}%", -n.saving() * 100.0),
+            fnum(report.fps, 1),
+        ]);
+    };
+
+    emit("YOLOv2", &base);
+    for w in [2.0, 4.0, 8.0, 16.0, 32.0] {
+        let r = system
+            .evaluate(&yolo, w, ExtrapolationExecutor::MotionController)
+            .expect("scheme evaluates");
+        emit(&format!("EW-{w:.0}"), &r);
+    }
+    let cpu8 = system
+        .evaluate(&yolo, 8.0, ExtrapolationExecutor::Cpu)
+        .expect("cpu scheme evaluates");
+    emit("EW-8@CPU", &cpu8);
+    let tiny_r = system
+        .evaluate(&tiny, 1.0, ExtrapolationExecutor::MotionController)
+        .expect("tiny evaluates");
+    emit("TinyYOLO", &tiny_r);
+    println!("{table}");
+
+    let ew2 = system
+        .evaluate(&yolo, 2.0, ExtrapolationExecutor::MotionController)
+        .unwrap();
+    let ew4 = system
+        .evaluate(&yolo, 4.0, ExtrapolationExecutor::MotionController)
+        .unwrap();
+    let ew32 = system
+        .evaluate(&yolo, 32.0, ExtrapolationExecutor::MotionController)
+        .unwrap();
+    println!("paper vs measured:");
+    println!(
+        "  baseline FPS:       17    | {:.1}",
+        base.fps
+    );
+    println!(
+        "  EW-2: -45% @ 35 FPS | {:+.1}% @ {:.1} FPS",
+        (ew2.energy_per_frame().0 / base_total.0 - 1.0) * 100.0,
+        ew2.fps
+    );
+    println!(
+        "  EW-4: -66% @ 60 FPS | {:+.1}% @ {:.1} FPS",
+        (ew4.energy_per_frame().0 / base_total.0 - 1.0) * 100.0,
+        ew4.fps
+    );
+    println!(
+        "  EW-8@CPU ~= EW-4    | ratio {:.2}",
+        cpu8.energy_per_frame().0 / ew4.energy_per_frame().0
+    );
+    println!(
+        "  TinyYOLO ~= 1.5x EW-32 energy | ratio {:.2}",
+        tiny_r.energy_per_frame().0 / ew32.energy_per_frame().0
+    );
+}

@@ -1,0 +1,65 @@
+//! Fig. 9c — average arithmetic operations per frame and SoC memory
+//! traffic per frame vs. the extrapolation window.
+//!
+//! Paper headlines: each YOLOv2 I-frame incurs ~646 MB of memory traffic
+//! while an E-frame needs only the motion-vector metadata (tens of MB of
+//! always-on streaming vs. hundreds for inference); ops/frame falls from
+//! ~57 GOP to ~1.8 GOP at EW-32.
+
+use euphrates_bench::announce;
+use euphrates_common::table::{fnum, Table};
+use euphrates_core::prelude::*;
+use euphrates_nn::zoo;
+
+fn main() {
+    announce(
+        "Fig. 9c: compute and memory traffic per frame (detection)",
+        "Zhu et al., ISCA 2018, Figure 9c",
+    );
+    let system = SystemModel::table1();
+    let yolo = zoo::yolov2();
+    let plan = system.plan(&yolo);
+    println!(
+        "per-inference DRAM traffic: {} (paper: ~646 MB)",
+        plan.dram_read() + plan.dram_write()
+    );
+    println!(
+        "per-E-frame traffic: streaming {} + metadata {}\n",
+        system.streaming_traffic(),
+        system.metadata_traffic()
+    );
+
+    let mut table = Table::new([
+        "scheme",
+        "GOP/frame",
+        "traffic/frame (GB)",
+        "traffic vs baseline",
+    ])
+    .with_title("Fig. 9c reproduction");
+    let base = system
+        .evaluate(&yolo, 1.0, ExtrapolationExecutor::MotionController)
+        .expect("baseline evaluates");
+    for w in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let r = system
+            .evaluate(&yolo, w, ExtrapolationExecutor::MotionController)
+            .expect("scheme evaluates");
+        let label = if w == 1.0 {
+            "YOLOv2".to_string()
+        } else {
+            format!("EW-{w:.0}")
+        };
+        table.row([
+            label,
+            fnum(r.backend_ops_per_frame / 1e9, 2),
+            fnum(r.traffic_per_frame.as_gib_f64(), 3),
+            fnum(
+                r.traffic_per_frame.0 as f64 / base.traffic_per_frame.0 as f64,
+                3,
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!("Shape check: both curves fall hyperbolically with the window and");
+    println!("flatten once the always-on streaming traffic dominates — the same");
+    println!("saturation that caps the energy savings in Fig. 9b.");
+}

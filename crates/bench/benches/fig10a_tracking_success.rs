@@ -1,0 +1,56 @@
+//! Fig. 10a — tracking success rate vs. IoU threshold on the OTB-100 +
+//! VOT-2014 workload: baseline MDNet, EW-2..EW-32, and the adaptive mode.
+//!
+//! Paper shape: EW-2 loses ~1 % at IoU 0.5; degradation grows with the
+//! window (EW-32 ≈ −27 %); EW-A tracks EW-2's accuracy at roughly EW-4's
+//! inference rate.
+
+use euphrates_bench::{announce, ew_schemes, run_tracking_suite, tracking_workload};
+use euphrates_common::table::{percent, Table};
+use euphrates_core::prelude::*;
+use euphrates_nn::oracle::calib;
+
+fn main() {
+    let scale = announce(
+        "Fig. 10a: tracking success rate vs IoU threshold",
+        "Zhu et al., ISCA 2018, Figure 10a",
+    );
+    let suite = tracking_workload(scale);
+    println!(
+        "workload: {} sequences, {} frames",
+        suite.len(),
+        euphrates_datasets::total_frames(&suite)
+    );
+    let motion = MotionConfig::default();
+    let schemes = ew_schemes("MDNet", &[2, 4, 8, 16, 32], true);
+    let results = run_tracking_suite(&suite, &motion, &schemes, calib::mdnet());
+
+    let thresholds = [0.3, 0.5, 0.7, 0.9];
+    let mut header: Vec<String> = vec!["scheme".into()];
+    header.extend(thresholds.iter().map(|t| format!("success@{t}")));
+    header.push("AUC".into());
+    header.push("inference rate".into());
+    let mut table = Table::new(header).with_title("Fig. 10a reproduction");
+    for r in &results {
+        let acc = r.accuracy();
+        let mut row = vec![r.label.clone()];
+        row.extend(thresholds.iter().map(|&t| percent(acc.rate_at(t))));
+        row.push(percent(acc.auc()));
+        row.push(percent(r.outcome.inference_rate()));
+        table.row(row);
+    }
+    println!("{table}");
+
+    let base = results[0].accuracy().rate_at(0.5);
+    let ew2 = results[1].accuracy().rate_at(0.5);
+    let ew32 = results[5].accuracy().rate_at(0.5);
+    let ewa = results.last().unwrap();
+    println!("paper vs measured at IoU 0.5:");
+    println!("  EW-2 loss ~1%    | {:.1}pp", (base - ew2) * 100.0);
+    println!("  EW-32 loss ~27%  | {:.1}pp", (base - ew32) * 100.0);
+    println!(
+        "  EW-A ~= EW-2 accuracy at ~EW-4 rate | {} at {} inference rate",
+        percent(ewa.accuracy().rate_at(0.5)),
+        percent(ewa.outcome.inference_rate())
+    );
+}

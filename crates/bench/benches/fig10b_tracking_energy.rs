@@ -1,0 +1,63 @@
+//! Fig. 10b — normalized SoC energy and inference rate for the tracking
+//! schemes (MDNet on the Table 1 platform).
+//!
+//! Paper headlines: EW-2 saves 21 %, EW-4 and EW-A ≈ 31 %, EW-32 ≈ 42 %
+//! (tracking's lighter backend makes savings smaller than detection's);
+//! everything stays at 60 FPS.
+
+use euphrates_bench::{announce, ew_schemes, run_tracking_suite, tracking_workload};
+use euphrates_common::table::{fnum, percent, Table};
+use euphrates_core::prelude::*;
+use euphrates_nn::oracle::calib;
+use euphrates_nn::zoo;
+
+fn main() {
+    let scale = announce(
+        "Fig. 10b: normalized energy and inference rate (tracking)",
+        "Zhu et al., ISCA 2018, Figure 10b",
+    );
+    // The adaptive scheme's inference rate is an empirical quantity:
+    // measure it on the tracking workload, then feed the mean window into
+    // the platform model.
+    let suite = tracking_workload(scale);
+    let motion = MotionConfig::default();
+    let schemes = ew_schemes("MDNet", &[2, 4, 8, 16, 32], true);
+    let results = run_tracking_suite(&suite, &motion, &schemes, calib::mdnet());
+
+    let system = SystemModel::table1();
+    let net = zoo::mdnet();
+    let base = system
+        .evaluate(&net, 1.0, ExtrapolationExecutor::MotionController)
+        .expect("baseline evaluates");
+
+    let mut table = Table::new([
+        "scheme",
+        "frontend",
+        "memory",
+        "backend",
+        "total",
+        "saving",
+        "inference rate",
+        "fps",
+    ])
+    .with_title("Fig. 10b reproduction (normalized to baseline MDNet)");
+    for r in &results {
+        let window = r.outcome.mean_window();
+        let report = system
+            .evaluate(&net, window, ExtrapolationExecutor::MotionController)
+            .expect("scheme evaluates");
+        let n = report.breakdown().normalized_to(&base.breakdown());
+        table.row([
+            r.label.clone(),
+            fnum(n.frontend, 3),
+            fnum(n.memory, 3),
+            fnum(n.backend, 3),
+            fnum(n.total(), 3),
+            format!("{:+.1}%", -n.saving() * 100.0),
+            percent(r.outcome.inference_rate()),
+            fnum(report.fps, 1),
+        ]);
+    }
+    println!("{table}");
+    println!("paper: EW-2 -21%, EW-4 -31%, EW-A -31%, EW-32 -42%; 60 FPS kept");
+}

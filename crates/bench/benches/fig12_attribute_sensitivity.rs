@@ -1,0 +1,74 @@
+//! Fig. 12 — accuracy sensitivity to the OTB visual attributes: baseline
+//! MDNet vs. EW-2, grouped per attribute.
+//!
+//! Paper shape: extrapolation loses the most on Fast Motion and Motion
+//! Blur (the block matcher cannot track content beyond its search window
+//! or lock onto smeared texture); other attributes lose little.
+
+use euphrates_bench::announce;
+use euphrates_common::table::{percent, Table};
+use euphrates_core::prelude::*;
+use euphrates_nn::oracle::calib;
+
+fn main() {
+    let mut scale = announce(
+        "Fig. 12: per-attribute accuracy, MDNet vs EW-2",
+        "Zhu et al., ISCA 2018, Figure 12",
+    );
+    scale.sequence_fraction = 1.0; // keep all attributes populated
+    let suite = euphrates_datasets::otb100_like(42, scale);
+    let motion = MotionConfig::default();
+    let schemes = vec![
+        ("MDNet".to_string(), BackendConfig::baseline()),
+        ("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2))),
+        ("EW-8".to_string(), BackendConfig::new(EwPolicy::Constant(8))),
+    ];
+    let results = evaluate_suite(&suite, &motion, &schemes, |prep, stream, cfg| {
+        run_tracking(prep, calib::mdnet(), cfg, stream)
+    })
+    .expect("evaluation succeeds");
+
+    let mut table = Table::new(["attribute", "MDNet", "EW-2", "Δ(EW-2)", "EW-8", "Δ(EW-8)"])
+        .with_title("Fig. 12 reproduction (success @ IoU 0.5 per attribute)");
+    let mut deltas: Vec<(VisualAttribute, f64)> = Vec::new();
+    for attr in VisualAttribute::ALL {
+        let rate = |scheme: usize| -> f64 {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for (si, seq) in suite.iter().enumerate() {
+                if !seq.has_attribute(attr) {
+                    continue;
+                }
+                let o = &results[scheme].per_sequence[si];
+                hits += o.ious.iter().filter(|&&i| i >= 0.5).count();
+                total += o.ious.len();
+            }
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
+        };
+        let (base, ew2, ew8) = (rate(0), rate(1), rate(2));
+        deltas.push((attr, base - ew2));
+        table.row([
+            attr.to_string(),
+            percent(base),
+            percent(ew2),
+            format!("{:+.1}pp", (ew2 - base) * 100.0),
+            percent(ew8),
+            format!("{:+.1}pp", (ew8 - base) * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    deltas.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!(
+        "largest EW-2 losses: {} ({:+.1}pp), {} ({:+.1}pp)",
+        deltas[0].0,
+        -deltas[0].1 * 100.0,
+        deltas[1].0,
+        -deltas[1].1 * 100.0
+    );
+    println!("paper: the biggest losses are Fast Motion and Motion Blur (§7)");
+}

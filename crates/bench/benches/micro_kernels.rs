@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the hot kernels: block matching (ES and
+//! TSS), the extrapolation datapath, the systolic-array analysis, and
+//! scene rendering. These quantify the *simulator's* throughput — useful
+//! when sizing full-scale (EUPHRATES_SCALE=1.0) runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use euphrates_camera::scene::SceneBuilder;
+use euphrates_common::geom::Rect;
+use euphrates_common::image::{LumaFrame, Resolution};
+use euphrates_common::rngx;
+use euphrates_isp::motion::{BlockMatcher, SearchStrategy};
+use euphrates_mc::algorithm::{Extrapolator, RoiState};
+use euphrates_mc::datapath::SimdDatapath;
+use euphrates_mc::ExtrapolationConfig;
+use euphrates_nn::systolic::SystolicModel;
+use euphrates_nn::zoo;
+use std::hint::black_box;
+
+fn textured(width: u32, height: u32, seed: u64, shift: i64) -> LumaFrame {
+    let mut f = LumaFrame::new(width, height).unwrap();
+    for y in 0..height {
+        for x in 0..width {
+            let v =
+                (rngx::lattice_hash(seed, (i64::from(x) - shift) / 3, i64::from(y) / 3) * 255.0)
+                    as u8;
+            f.set(x, y, v);
+        }
+    }
+    f
+}
+
+fn bench_block_matching(c: &mut Criterion) {
+    let prev = textured(640, 480, 1, 0);
+    let cur = textured(640, 480, 1, 4);
+    let tss = BlockMatcher::new(16, 7, SearchStrategy::ThreeStep).unwrap();
+    let es = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+    let mut g = c.benchmark_group("block_matching_vga");
+    g.sample_size(20);
+    g.bench_function("tss", |b| {
+        b.iter(|| black_box(tss.estimate(&cur, &prev).unwrap()))
+    });
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(es.estimate(&cur, &prev).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_extrapolation(c: &mut Criterion) {
+    let prev = textured(640, 480, 2, 0);
+    let cur = textured(640, 480, 2, 3);
+    let field = BlockMatcher::new(16, 7, SearchStrategy::ThreeStep)
+        .unwrap()
+        .estimate(&cur, &prev)
+        .unwrap();
+    let roi = Rect::new(200.0, 150.0, 100.0, 50.0);
+    let config = ExtrapolationConfig::default();
+    let mut g = c.benchmark_group("extrapolation");
+    g.bench_function("reference_f64", |b| {
+        let ex = Extrapolator::new(config);
+        let mut state = RoiState::new(&config);
+        b.iter(|| black_box(ex.extrapolate(&roi, &field, &mut state)))
+    });
+    g.bench_function("fixed_point_simd", |b| {
+        let dp = SimdDatapath::default();
+        b.iter(|| {
+            black_box(dp.evaluate(
+                &field,
+                &roi,
+                (euphrates_common::fixed::Q16::ZERO, euphrates_common::fixed::Q16::ZERO),
+                &config,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_systolic_analysis(c: &mut Criterion) {
+    let model = SystolicModel::default();
+    let net = zoo::yolov2();
+    c.bench_function("systolic_analyze_yolov2", |b| {
+        b.iter(|| black_box(model.analyze(&net)))
+    });
+}
+
+fn bench_scene_render(c: &mut Criterion) {
+    let scene = SceneBuilder::new(Resolution::VGA, 9).object_default().build();
+    let mut renderer = scene.renderer();
+    let mut frame = 0u32;
+    c.bench_function("scene_render_vga", |b| {
+        b.iter(|| {
+            frame = frame.wrapping_add(1);
+            black_box(renderer.render(frame))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_block_matching,
+    bench_extrapolation,
+    bench_systolic_analysis,
+    bench_scene_render
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Table 2 — benchmark summary: GOPS of each network under the 60 FPS
+//! requirement, and the dataset sizes.
+//!
+//! Paper values: Tiny YOLO 675 GOPS, YOLOv2 3,423 GOPS, MDNet 635 GOPS;
+//! detection 7,264 frames; OTB 100 59,040 frames; VOT 2014 10,213 frames.
+
+use euphrates_common::table::{fnum, Table};
+use euphrates_datasets::{detection_suite, otb100_like, total_frames, vot2014_like, DatasetScale};
+use euphrates_nn::zoo;
+
+fn main() {
+    let mut table = Table::new([
+        "network",
+        "GOPS@60fps (paper)",
+        "GOPS@60fps (model)",
+        "deviation",
+        "input",
+        "weights",
+    ])
+    .with_title("Table 2: networks");
+    for (net, paper) in [
+        (zoo::tiny_yolo(), 675.0),
+        (zoo::yolov2(), 3423.0),
+        (zoo::mdnet(), 635.0),
+    ] {
+        let gops = net.gops_at_fps(60.0);
+        let input = net.layers[0].input;
+        table.row([
+            net.name.clone(),
+            fnum(paper, 0),
+            fnum(gops, 0),
+            format!("{:+.1}%", (gops / paper - 1.0) * 100.0),
+            format!("{}x{}x{} (batch {})", input.h, input.w, input.c, net.batch),
+            format!("{}", net.weight_bytes()),
+        ]);
+    }
+    println!("{table}");
+
+    let full = DatasetScale::full();
+    let mut data = Table::new(["dataset", "frames (paper)", "frames (full-scale stand-in)"])
+        .with_title("Table 2: datasets");
+    data.row([
+        "in-house detection".to_string(),
+        "7,264".to_string(),
+        total_frames(&detection_suite(42, full)).to_string(),
+    ]);
+    data.row([
+        "OTB 100".to_string(),
+        "59,040".to_string(),
+        total_frames(&otb100_like(42, full)).to_string(),
+    ]);
+    data.row([
+        "VOT 2014".to_string(),
+        "10,213".to_string(),
+        total_frames(&vot2014_like(42, full)).to_string(),
+    ]);
+    println!("{data}");
+    println!("(dataset generators are seeded; counts are exact regardless of scale knobs)");
+}

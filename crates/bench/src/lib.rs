@@ -1,0 +1,111 @@
+//! # euphrates-bench
+//!
+//! The experiment harness: one bench target per table/figure of the
+//! Euphrates paper, plus the ablations called out in `DESIGN.md`.
+//!
+//! Run everything with `cargo bench`, or a single experiment with
+//! `cargo bench -p euphrates-bench --bench fig09a_detection_precision`.
+//!
+//! Every experiment prints paper-reference values next to the measured
+//! ones; `EXPERIMENTS.md` archives a full run.
+//!
+//! The dataset scale is controlled by `EUPHRATES_SCALE` (0–1). The
+//! default, [`DEFAULT_SCALE`], keeps the full `cargo bench` suite around
+//! ten minutes; `EUPHRATES_SCALE=1.0` reproduces the paper-sized datasets
+//! (~76k frames).
+
+use euphrates_core::prelude::*;
+use euphrates_core::SuiteOutcome;
+use euphrates_nn::oracle::{DetectorProfile, TrackerProfile};
+
+/// Default dataset scale for `cargo bench`.
+pub const DEFAULT_SCALE: f64 = 0.25;
+
+/// Resolves the dataset scale and announces it.
+pub fn announce(experiment: &str, paper_ref: &str) -> DatasetScale {
+    let scale = DatasetScale::from_env(DEFAULT_SCALE);
+    println!("==========================================================");
+    println!("{experiment}");
+    println!("reproduces: {paper_ref}");
+    println!(
+        "dataset scale: {:.2} (set EUPHRATES_SCALE=1.0 for paper-sized runs)",
+        scale.sequence_fraction
+    );
+    println!("==========================================================");
+    scale
+}
+
+/// The EW sweep used across the figures.
+pub fn ew_schemes(baseline_label: &str, windows: &[u32], adaptive: bool) -> Vec<(String, BackendConfig)> {
+    let mut schemes = vec![(baseline_label.to_string(), BackendConfig::baseline())];
+    for &n in windows {
+        schemes.push((format!("EW-{n}"), BackendConfig::new(EwPolicy::Constant(n))));
+    }
+    if adaptive {
+        schemes.push((
+            "EW-A".to_string(),
+            BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
+        ));
+    }
+    schemes
+}
+
+/// Runs the tracking task for a scheme list over the OTB+VOT suites.
+pub fn run_tracking_suite(
+    suite: &[Sequence],
+    motion: &MotionConfig,
+    schemes: &[(String, BackendConfig)],
+    profile: TrackerProfile,
+) -> Vec<SuiteOutcome> {
+    evaluate_suite(suite, motion, schemes, |prep, stream, cfg| {
+        euphrates_core::run_tracking(prep, profile, cfg, stream)
+    })
+    .expect("tracking evaluation succeeds")
+}
+
+/// Runs the detection task for a scheme list.
+pub fn run_detection_suite(
+    suite: &[Sequence],
+    motion: &MotionConfig,
+    schemes: &[(String, BackendConfig)],
+    profile: DetectorProfile,
+) -> Vec<SuiteOutcome> {
+    evaluate_suite(suite, motion, schemes, |prep, stream, cfg| {
+        euphrates_core::run_detection(prep, profile, cfg, stream)
+    })
+    .expect("detection evaluation succeeds")
+}
+
+/// The combined OTB-100-like + VOT-2014-like tracking workload (125
+/// sequences at full scale, §5.2).
+pub fn tracking_workload(scale: DatasetScale) -> Vec<Sequence> {
+    let mut suite = euphrates_datasets::otb100_like(42, scale);
+    suite.extend(euphrates_datasets::vot2014_like(42, scale));
+    suite
+}
+
+/// The detection workload (7,264 frames at full scale).
+pub fn detection_workload(scale: DatasetScale) -> Vec<Sequence> {
+    euphrates_datasets::detection_suite(42, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_include_baseline_and_windows() {
+        let s = ew_schemes("YOLOv2", &[2, 4], true);
+        let labels: Vec<&str> = s.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["YOLOv2", "EW-2", "EW-4", "EW-A"]);
+    }
+
+    #[test]
+    fn workloads_scale() {
+        let tiny = DatasetScale::fraction(0.05);
+        let t = tracking_workload(tiny);
+        assert!(!t.is_empty());
+        let d = detection_workload(tiny);
+        assert!(!d.is_empty());
+    }
+}

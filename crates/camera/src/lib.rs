@@ -1,0 +1,44 @@
+//! # euphrates-camera
+//!
+//! The camera frontend substrate: procedural video scenes with exact ground
+//! truth, and a Bayer image sensor model.
+//!
+//! The Euphrates paper evaluates on real video datasets (an in-house
+//! detection set, OTB-100, VOT 2014) that are not redistributable. This
+//! crate provides their synthetic stand-in: parametric scenes — textured
+//! backgrounds, articulated sprites following configurable trajectories,
+//! illumination/blur/occlusion effects — rendered to RGB frames along with
+//! per-object ground truth (bounding box, visibility, blur, speed). The ISP
+//! then runs *real* block-matching motion estimation on these frames, so the
+//! motion-extrapolation experiments exercise the genuine algorithm code
+//! path end to end.
+//!
+//! The [`sensor::ImageSensor`] models an AR1335-class mobile sensor: RGGB
+//! Bayer mosaic readout with read noise, plus the power and MIPI CSI
+//! bandwidth numbers used by the SoC energy model (§5.1 of the paper).
+//!
+//! ## Example
+//!
+//! ```
+//! use euphrates_camera::scene::SceneBuilder;
+//! use euphrates_common::image::Resolution;
+//!
+//! let scene = SceneBuilder::new(Resolution::new(160, 120), 42)
+//!     .object_default()
+//!     .build();
+//! let mut renderer = scene.renderer();
+//! let frame = renderer.render(0);
+//! assert_eq!(frame.rgb.width(), 160);
+//! assert_eq!(frame.truth.len(), 1);
+//! ```
+
+pub mod imu;
+pub mod scene;
+pub mod sensor;
+pub mod sprite;
+pub mod texture;
+pub mod trajectory;
+
+pub use imu::{ImuConfig, ImuReading, ImuSensor};
+pub use scene::{GtObject, RenderedFrame, Scene, SceneBuilder, SceneEffects};
+pub use sensor::{ImageSensor, SensorConfig};

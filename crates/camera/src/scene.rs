@@ -1,0 +1,764 @@
+//! Scene composition and rendering.
+//!
+//! A [`Scene`] is a deterministic, parametric description of a video clip:
+//! a textured background, a set of [`SceneObject`]s with trajectories and
+//! animation profiles, and global [`SceneEffects`] (illumination drift,
+//! camera shake, motion blur, sensor-independent pixel noise). Rendering
+//! frame `k` is a pure function of the scene and `k`, so sequences can be
+//! evaluated from any offset and across threads.
+//!
+//! Every rendered frame carries exact ground truth ([`GtObject`]): bounding
+//! box, visibility (occlusion/out-of-view fraction), blur amount, and
+//! speed. The functional accuracy oracles in `euphrates-nn` consume these
+//! to emulate CNN behaviour; the ISP consumes the pixels to produce real
+//! motion vectors.
+
+use crate::sprite::{Shape, Sprite};
+use crate::texture::Texture;
+use crate::trajectory::{Profile, Trajectory};
+use euphrates_common::geom::{Rect, Vec2f};
+use euphrates_common::image::{Resolution, Rgb, RgbFrame};
+use euphrates_common::rngx;
+use rand::Rng;
+
+/// Label id used for objects that occlude targets but are not themselves
+/// tracked or detected.
+pub const OCCLUDER_LABEL: u32 = u32::MAX;
+
+/// One animated object in a scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneObject {
+    /// Stable object identity (used by the tracker and ground truth).
+    pub id: u32,
+    /// Class label (dataset-defined; [`OCCLUDER_LABEL`] for occluders).
+    pub label: u32,
+    /// Visual appearance.
+    pub sprite: Sprite,
+    /// Center trajectory.
+    pub trajectory: Trajectory,
+    /// Scale over time (1.0 = sprite base size).
+    pub scale: Profile,
+    /// In-plane rotation over time, radians.
+    pub rotation: Profile,
+    /// Out-of-plane rotation modeled as a width squeeze (1.0 = frontal).
+    pub aspect: Profile,
+    /// Draw order; larger values draw on top.
+    pub z: i32,
+    /// First frame at which the object exists.
+    pub enter_frame: f64,
+    /// Frame after which the object disappears (`f64::INFINITY` = never).
+    pub exit_frame: f64,
+    /// Whether this object appears in ground truth (occluders do not).
+    pub tracked: bool,
+}
+
+impl SceneObject {
+    /// `true` if the object exists at frame `t`.
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.enter_frame && t <= self.exit_frame
+    }
+
+    /// World-space bounding box at frame `t` (before frame clipping),
+    /// accounting for trajectory, scale, aspect, rotation, and part swing.
+    pub fn world_bbox(&self, t: f64, shake: Vec2f) -> Rect {
+        let c = self.trajectory.position(t) + shake;
+        let s = self.scale.at(t).max(0.01);
+        let theta = self.rotation.at(t);
+        let aspect = self.aspect.at(t).clamp(0.05, 1.0);
+        let (sw, sh) = (self.sprite.width * s * aspect, self.sprite.height * s);
+        let (cos_t, sin_t) = (theta.cos(), theta.sin());
+
+        let mut bbox: Option<Rect> = None;
+        for part in &self.sprite.parts {
+            let off = part.offset_at(t);
+            let pc = Vec2f::new(off.x * sw, off.y * sh);
+            let half = Vec2f::new(part.size.x * sw / 2.0, part.size.y * sh / 2.0);
+            // Corners of the rotated part rectangle.
+            for (dx, dy) in [(-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)] {
+                let lx = pc.x + dx * half.x;
+                let ly = pc.y + dy * half.y;
+                let wx = c.x + lx * cos_t - ly * sin_t;
+                let wy = c.y + lx * sin_t + ly * cos_t;
+                let pt = Rect::new(wx, wy, 0.0, 0.0);
+                bbox = Some(match bbox {
+                    None => pt,
+                    Some(b) => Rect::from_corners(
+                        b.x.min(wx),
+                        b.y.min(wy),
+                        b.right().max(wx),
+                        b.bottom().max(wy),
+                    ),
+                });
+            }
+        }
+        bbox.unwrap_or_default()
+    }
+}
+
+/// Global rendering effects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneEffects {
+    /// Illumination gain over time (1.0 = nominal).
+    pub illumination: Profile,
+    /// Camera shake amplitude in pixels (0 = steady).
+    pub shake_amplitude: f64,
+    /// Camera shake period in frames.
+    pub shake_period: f64,
+    /// Exposure time in frames for motion blur (0 = instantaneous shutter).
+    pub exposure_blur: f64,
+    /// Additive Gaussian pixel-noise sigma applied after rendering.
+    pub pixel_noise_sigma: f64,
+}
+
+impl Default for SceneEffects {
+    fn default() -> Self {
+        SceneEffects {
+            illumination: Profile::one(),
+            shake_amplitude: 0.0,
+            shake_period: 48.0,
+            exposure_blur: 0.0,
+            pixel_noise_sigma: 2.0,
+        }
+    }
+}
+
+impl SceneEffects {
+    /// Camera shake offset at frame `t` (smooth, deterministic).
+    pub fn shake(&self, t: f64) -> Vec2f {
+        if self.shake_amplitude == 0.0 || self.shake_period == 0.0 {
+            return Vec2f::ZERO;
+        }
+        let w = std::f64::consts::TAU * t / self.shake_period;
+        Vec2f::new(
+            self.shake_amplitude * w.sin(),
+            self.shake_amplitude * (w * 0.77 + 1.3).cos(),
+        )
+    }
+}
+
+/// Ground truth for one tracked object in one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GtObject {
+    /// Object identity (stable across frames).
+    pub id: u32,
+    /// Class label.
+    pub label: u32,
+    /// Bounding box clipped to the frame; empty if fully out of view.
+    pub rect: Rect,
+    /// Fraction of the box that is inside the frame and not covered by a
+    /// higher-z object, in `[0, 1]`.
+    pub visibility: f64,
+    /// Motion-blur extent in pixels (exposure × speed).
+    pub blur: f64,
+    /// Speed in pixels/frame at this instant.
+    pub speed: f64,
+}
+
+/// A rendered frame: pixels plus ground truth.
+#[derive(Debug, Clone)]
+pub struct RenderedFrame {
+    /// Frame index within the sequence.
+    pub index: u32,
+    /// RGB pixel data.
+    pub rgb: RgbFrame,
+    /// Ground truth for all tracked objects active in this frame.
+    pub truth: Vec<GtObject>,
+}
+
+/// A deterministic, parametric video scene.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    resolution: Resolution,
+    seed: u64,
+    background: Texture,
+    objects: Vec<SceneObject>,
+    effects: SceneEffects,
+}
+
+impl Scene {
+    /// Frame resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// The scene's objects.
+    pub fn objects(&self) -> &[SceneObject] {
+        &self.objects
+    }
+
+    /// The scene's global effects.
+    pub fn effects(&self) -> &SceneEffects {
+        &self.effects
+    }
+
+    /// The scene seed (used to derive all per-frame noise).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Creates a renderer with a cached background canvas.
+    pub fn renderer(&self) -> Renderer<'_> {
+        Renderer::new(self)
+    }
+
+    /// Computes ground truth at frame `t` without rendering pixels
+    /// (cheap; used by oracles and dataset statistics).
+    pub fn ground_truth(&self, frame: u32) -> Vec<GtObject> {
+        let t = f64::from(frame);
+        let shake = self.effects.shake(t);
+        let frame_rect = Rect::new(
+            0.0,
+            0.0,
+            f64::from(self.resolution.width),
+            f64::from(self.resolution.height),
+        );
+
+        let active: Vec<(&SceneObject, Rect)> = self
+            .objects
+            .iter()
+            .filter(|o| o.active_at(t))
+            .map(|o| (o, o.world_bbox(t, shake)))
+            .collect();
+
+        let mut out = Vec::new();
+        for (obj, bbox) in &active {
+            if !obj.tracked {
+                continue;
+            }
+            let clipped = bbox.clamped_to(&frame_rect);
+            let full_area = bbox.area();
+            let mut visible_area = clipped.area();
+            // Subtract overlap with higher-z objects (approximate: overlaps
+            // between multiple occluders are not de-duplicated).
+            for (other, other_box) in &active {
+                if other.id != obj.id && other.z > obj.z {
+                    visible_area -= clipped.intersection(&other_box.clamped_to(&frame_rect)).area();
+                }
+            }
+            let visibility = if full_area > 0.0 {
+                (visible_area / full_area).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let speed = obj.trajectory.speed(t);
+            out.push(GtObject {
+                id: obj.id,
+                label: obj.label,
+                rect: clipped,
+                visibility,
+                blur: self.effects.exposure_blur * speed,
+                speed,
+            });
+        }
+        out
+    }
+}
+
+/// Margin (pixels) around the cached background canvas to absorb camera
+/// shake without re-rendering.
+const BG_MARGIN: u32 = 32;
+
+/// Renders frames of one scene, caching the background canvas.
+#[derive(Debug)]
+pub struct Renderer<'a> {
+    scene: &'a Scene,
+    /// Background rendered once with a margin on all sides.
+    bg: RgbFrame,
+}
+
+impl<'a> Renderer<'a> {
+    fn new(scene: &'a Scene) -> Self {
+        let res = scene.resolution;
+        let (bw, bh) = (res.width + 2 * BG_MARGIN, res.height + 2 * BG_MARGIN);
+        let mut bg = RgbFrame::new(bw, bh).expect("background dimensions are positive");
+        for y in 0..bh {
+            for x in 0..bw {
+                let wx = f64::from(x) - f64::from(BG_MARGIN);
+                let wy = f64::from(y) - f64::from(BG_MARGIN);
+                bg.set(x, y, scene.background.sample(wx, wy));
+            }
+        }
+        Renderer { scene, bg }
+    }
+
+    /// Renders frame `index`, returning pixels and ground truth.
+    pub fn render(&mut self, index: u32) -> RenderedFrame {
+        let t = f64::from(index);
+        let blur = self.scene.effects.exposure_blur;
+        let rgb = if blur > 0.0 {
+            // Average three sub-exposures across the shutter interval.
+            let taps = [t, t - blur / 2.0, t - blur];
+            let mut acc: Vec<[f64; 3]> =
+                vec![[0.0; 3]; self.scene.resolution.pixels() as usize];
+            for &tt in &taps {
+                let sub = self.render_instant(tt.max(0.0));
+                for (a, p) in acc.iter_mut().zip(sub.samples()) {
+                    a[0] += f64::from(p.r);
+                    a[1] += f64::from(p.g);
+                    a[2] += f64::from(p.b);
+                }
+            }
+            let n = taps.len() as f64;
+            let mut out = RgbFrame::new(self.scene.resolution.width, self.scene.resolution.height)
+                .expect("positive resolution");
+            for (dst, a) in out.samples_mut().iter_mut().zip(&acc) {
+                *dst = Rgb::new(
+                    (a[0] / n).round() as u8,
+                    (a[1] / n).round() as u8,
+                    (a[2] / n).round() as u8,
+                );
+            }
+            out
+        } else {
+            self.render_instant(t)
+        };
+
+        let rgb = self.apply_illumination_and_noise(rgb, index);
+        RenderedFrame {
+            index,
+            rgb,
+            truth: self.scene.ground_truth(index),
+        }
+    }
+
+    /// Renders the scene at an exact instant (no blur/noise/illumination).
+    fn render_instant(&self, t: f64) -> RgbFrame {
+        let res = self.scene.resolution;
+        let shake = self.scene.effects.shake(t);
+        let mut frame = RgbFrame::new(res.width, res.height).expect("positive resolution");
+
+        // Background blit at the shake offset (clamped to the margin).
+        let ox = (-shake.x).clamp(-f64::from(BG_MARGIN), f64::from(BG_MARGIN));
+        let oy = (-shake.y).clamp(-f64::from(BG_MARGIN), f64::from(BG_MARGIN));
+        for y in 0..res.height {
+            for x in 0..res.width {
+                let sx = (f64::from(x) + ox + f64::from(BG_MARGIN)).round() as i64;
+                let sy = (f64::from(y) + oy + f64::from(BG_MARGIN)).round() as i64;
+                frame.set(x, y, self.bg.at_clamped(sx, sy));
+            }
+        }
+
+        // Objects, painter's algorithm.
+        let mut order: Vec<&SceneObject> = self
+            .scene
+            .objects
+            .iter()
+            .filter(|o| o.active_at(t))
+            .collect();
+        order.sort_by_key(|o| o.z);
+        for obj in order {
+            self.draw_object(&mut frame, obj, t, shake);
+        }
+        frame
+    }
+
+    fn draw_object(&self, frame: &mut RgbFrame, obj: &SceneObject, t: f64, shake: Vec2f) {
+        let res = self.scene.resolution;
+        let c = obj.trajectory.position(t) + shake;
+        let s = obj.scale.at(t).max(0.01);
+        let theta = obj.rotation.at(t);
+        let aspect = obj.aspect.at(t).clamp(0.05, 1.0);
+        let (sw, sh) = (obj.sprite.width * s * aspect, obj.sprite.height * s);
+        let (cos_t, sin_t) = (theta.cos(), theta.sin());
+
+        for part in &obj.sprite.parts {
+            let off = part.offset_at(t);
+            let pc_local = Vec2f::new(off.x * sw, off.y * sh);
+            // Part center in world coordinates.
+            let pcx = c.x + pc_local.x * cos_t - pc_local.y * sin_t;
+            let pcy = c.y + pc_local.x * sin_t + pc_local.y * cos_t;
+            let half = Vec2f::new(
+                (part.size.x * sw / 2.0).max(0.5),
+                (part.size.y * sh / 2.0).max(0.5),
+            );
+            // Conservative raster bounds: rotated extent.
+            let ext = half.x.hypot(half.y);
+            let x0 = ((pcx - ext).floor().max(0.0)) as u32;
+            let y0 = ((pcy - ext).floor().max(0.0)) as u32;
+            let x1 = ((pcx + ext).ceil().min(f64::from(res.width) - 1.0)).max(0.0) as u32;
+            let y1 = ((pcy + ext).ceil().min(f64::from(res.height) - 1.0)).max(0.0) as u32;
+            if x0 > x1 || y0 > y1 {
+                continue;
+            }
+            for py in y0..=y1 {
+                for px in x0..=x1 {
+                    let dx = f64::from(px) + 0.5 - pcx;
+                    let dy = f64::from(py) + 0.5 - pcy;
+                    // Inverse rotation into part-local space.
+                    let lx = dx * cos_t + dy * sin_t;
+                    let ly = -dx * sin_t + dy * cos_t;
+                    let u = lx / half.x;
+                    let v = ly / half.y;
+                    let inside = match part.shape {
+                        Shape::Rectangle => u.abs() <= 1.0 && v.abs() <= 1.0,
+                        Shape::Ellipse => u * u + v * v <= 1.0,
+                    };
+                    if inside {
+                        // Texture is sampled in part-local pixel units so it
+                        // travels rigidly with the part.
+                        frame.set(px, py, part.texture.sample(lx, ly));
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_illumination_and_noise(&self, mut frame: RgbFrame, index: u32) -> RgbFrame {
+        let gain = self.scene.effects.illumination.at(f64::from(index)).max(0.0);
+        let sigma = self.scene.effects.pixel_noise_sigma;
+        let needs_gain = (gain - 1.0).abs() > 1e-9;
+        if !needs_gain && sigma <= 0.0 {
+            return frame;
+        }
+        let mut rng = rngx::derived_rng(self.scene.seed, 0xF00D, u64::from(index));
+        for px in frame.samples_mut() {
+            let apply = |v: u8, rng: &mut rand::rngs::StdRng| -> u8 {
+                let mut f = f64::from(v);
+                if needs_gain {
+                    f *= gain;
+                }
+                if sigma > 0.0 {
+                    f += rngx::gaussian(rng, 0.0, sigma);
+                }
+                f.round().clamp(0.0, 255.0) as u8
+            };
+            *px = Rgb::new(
+                apply(px.r, &mut rng),
+                apply(px.g, &mut rng),
+                apply(px.b, &mut rng),
+            );
+        }
+        let _ = rng.gen::<u8>(); // keep the stream length independent of layout
+        frame
+    }
+}
+
+/// Builder for [`Scene`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct SceneBuilder {
+    resolution: Resolution,
+    seed: u64,
+    background: Texture,
+    objects: Vec<SceneObject>,
+    effects: SceneEffects,
+    next_id: u32,
+}
+
+impl SceneBuilder {
+    /// Starts a scene with the given resolution and seed.
+    pub fn new(resolution: Resolution, seed: u64) -> Self {
+        SceneBuilder {
+            resolution,
+            seed,
+            background: Texture::background_noise(seed),
+            objects: Vec::new(),
+            effects: SceneEffects::default(),
+            next_id: 0,
+        }
+    }
+
+    /// Replaces the background texture.
+    pub fn background(mut self, texture: Texture) -> Self {
+        self.background = texture;
+        self
+    }
+
+    /// Replaces the global effects.
+    pub fn effects(mut self, effects: SceneEffects) -> Self {
+        self.effects = effects;
+        self
+    }
+
+    /// Adds a fully specified object (its `id` is overwritten with the next
+    /// sequential id).
+    pub fn object(mut self, mut obj: SceneObject) -> Self {
+        obj.id = self.next_id;
+        self.next_id += 1;
+        self.objects.push(obj);
+        self
+    }
+
+    /// Adds a default mid-size rigid object drifting across the frame —
+    /// handy for quickstarts and tests.
+    pub fn object_default(self) -> Self {
+        let res = self.resolution;
+        let seed = self.seed;
+        let start = Vec2f::new(f64::from(res.width) * 0.3, f64::from(res.height) * 0.5);
+        self.object(SceneObject {
+            id: 0,
+            label: 1,
+            sprite: Sprite::rigid(
+                f64::from(res.width) * 0.15,
+                f64::from(res.height) * 0.2,
+                Shape::Rectangle,
+                Texture::object_noise(seed.wrapping_add(11)),
+            ),
+            trajectory: Trajectory::Linear {
+                start,
+                velocity: Vec2f::new(1.2, 0.4),
+            },
+            scale: Profile::one(),
+            rotation: Profile::zero(),
+            aspect: Profile::one(),
+            z: 1,
+            enter_frame: 0.0,
+            exit_frame: f64::INFINITY,
+            tracked: true,
+        })
+    }
+
+    /// Finalizes the scene.
+    pub fn build(self) -> Scene {
+        Scene {
+            resolution: self.resolution,
+            seed: self.seed,
+            background: self.background,
+            objects: self.objects,
+            effects: self.effects,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scene() -> Scene {
+        SceneBuilder::new(Resolution::new(128, 96), 7)
+            .object_default()
+            .build()
+    }
+
+    #[test]
+    fn render_produces_frame_and_truth() {
+        let scene = small_scene();
+        let mut r = scene.renderer();
+        let f = r.render(0);
+        assert_eq!(f.rgb.width(), 128);
+        assert_eq!(f.rgb.height(), 96);
+        assert_eq!(f.truth.len(), 1);
+        assert!(f.truth[0].visibility > 0.9);
+        assert!(!f.truth[0].rect.is_empty());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let scene = small_scene();
+        let a = scene.renderer().render(5);
+        let b = scene.renderer().render(5);
+        assert_eq!(a.rgb, b.rgb);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn object_moves_between_frames() {
+        let scene = small_scene();
+        let t0 = scene.ground_truth(0)[0].rect;
+        let t10 = scene.ground_truth(10)[0].rect;
+        assert!((t10.x - t0.x - 12.0).abs() < 1.0, "moved {}", t10.x - t0.x);
+    }
+
+    #[test]
+    fn pixels_actually_change_with_motion() {
+        let scene = small_scene();
+        let mut r = scene.renderer();
+        let a = r.render(0);
+        let b = r.render(8);
+        let diff = a
+            .rgb
+            .samples()
+            .iter()
+            .zip(b.rgb.samples())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert!(diff > 200, "only {diff} pixels changed");
+    }
+
+    #[test]
+    fn occlusion_reduces_visibility() {
+        let base = small_scene();
+        let target = base.objects()[0].clone();
+        let occluder_box = target.world_bbox(20.0, Vec2f::ZERO);
+        let c = occluder_box.center();
+        let scene = SceneBuilder::new(Resolution::new(128, 96), 7)
+            .object(target)
+            .object(SceneObject {
+                id: 0,
+                label: OCCLUDER_LABEL,
+                sprite: Sprite::rigid(
+                    occluder_box.w,
+                    occluder_box.h,
+                    Shape::Rectangle,
+                    Texture::flat_gray(),
+                ),
+                trajectory: Trajectory::Still(c),
+                scale: Profile::one(),
+                rotation: Profile::zero(),
+                aspect: Profile::one(),
+                z: 5,
+                enter_frame: 0.0,
+                exit_frame: f64::INFINITY,
+                tracked: false,
+            })
+            .build();
+        let gt = scene.ground_truth(20);
+        assert_eq!(gt.len(), 1, "occluder must not appear in ground truth");
+        assert!(
+            gt[0].visibility < 0.2,
+            "visibility {} should be low under full occlusion",
+            gt[0].visibility
+        );
+        // Away from the occluder, visibility recovers.
+        let gt0 = scene.ground_truth(0);
+        assert!(gt0[0].visibility > gt[0].visibility);
+    }
+
+    #[test]
+    fn out_of_view_object_has_empty_truth_rect() {
+        let scene = SceneBuilder::new(Resolution::new(128, 96), 3)
+            .object(SceneObject {
+                id: 0,
+                label: 1,
+                sprite: Sprite::rigid(20.0, 20.0, Shape::Rectangle, Texture::flat_gray()),
+                trajectory: Trajectory::Linear {
+                    start: Vec2f::new(64.0, 48.0),
+                    velocity: Vec2f::new(10.0, 0.0),
+                },
+                scale: Profile::one(),
+                rotation: Profile::zero(),
+                aspect: Profile::one(),
+                z: 1,
+                enter_frame: 0.0,
+                exit_frame: f64::INFINITY,
+                tracked: true,
+            })
+            .build();
+        let gt = scene.ground_truth(50); // x = 564, far out of frame
+        assert!(gt[0].rect.is_empty());
+        assert_eq!(gt[0].visibility, 0.0);
+    }
+
+    #[test]
+    fn inactive_objects_are_not_rendered_or_reported() {
+        let scene = SceneBuilder::new(Resolution::new(64, 64), 1)
+            .object(SceneObject {
+                id: 0,
+                label: 1,
+                sprite: Sprite::rigid(10.0, 10.0, Shape::Rectangle, Texture::flat_gray()),
+                trajectory: Trajectory::Still(Vec2f::new(32.0, 32.0)),
+                scale: Profile::one(),
+                rotation: Profile::zero(),
+                aspect: Profile::one(),
+                z: 1,
+                enter_frame: 10.0,
+                exit_frame: 20.0,
+                tracked: true,
+            })
+            .build();
+        assert!(scene.ground_truth(5).is_empty());
+        assert_eq!(scene.ground_truth(15).len(), 1);
+        assert!(scene.ground_truth(25).is_empty());
+    }
+
+    #[test]
+    fn blur_ground_truth_scales_with_speed_and_exposure() {
+        let effects = SceneEffects {
+            exposure_blur: 0.5,
+            ..SceneEffects::default()
+        };
+        let scene = SceneBuilder::new(Resolution::new(128, 96), 7)
+            .effects(effects)
+            .object_default()
+            .build();
+        let gt = scene.ground_truth(5);
+        let expected = 0.5 * gt[0].speed;
+        assert!((gt[0].blur - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_grows_the_bbox() {
+        let obj = SceneObject {
+            id: 0,
+            label: 1,
+            sprite: Sprite::rigid(40.0, 10.0, Shape::Rectangle, Texture::flat_gray()),
+            trajectory: Trajectory::Still(Vec2f::new(64.0, 48.0)),
+            scale: Profile::one(),
+            rotation: Profile::Ramp {
+                base: 0.0,
+                slope: std::f64::consts::PI / 40.0,
+            },
+            aspect: Profile::one(),
+            z: 1,
+            enter_frame: 0.0,
+            exit_frame: f64::INFINITY,
+            tracked: true,
+        };
+        let b0 = obj.world_bbox(0.0, Vec2f::ZERO);
+        let b45 = obj.world_bbox(10.0, Vec2f::ZERO); // 45 degrees
+        assert!(b45.h > b0.h + 5.0, "rotated bbox should be taller");
+    }
+
+    #[test]
+    fn scale_profile_changes_bbox_area() {
+        let scene = SceneBuilder::new(Resolution::new(256, 256), 7)
+            .object(SceneObject {
+                id: 0,
+                label: 1,
+                sprite: Sprite::rigid(30.0, 30.0, Shape::Ellipse, Texture::flat_gray()),
+                trajectory: Trajectory::Still(Vec2f::new(128.0, 128.0)),
+                scale: Profile::Ramp {
+                    base: 1.0,
+                    slope: 0.02,
+                },
+                rotation: Profile::zero(),
+                aspect: Profile::one(),
+                z: 1,
+                enter_frame: 0.0,
+                exit_frame: f64::INFINITY,
+                tracked: true,
+            })
+            .build();
+        let a0 = scene.ground_truth(0)[0].rect.area();
+        let a50 = scene.ground_truth(50)[0].rect.area();
+        assert!((a50 / a0 - 4.0).abs() < 0.2, "ratio {}", a50 / a0);
+    }
+
+    #[test]
+    fn illumination_changes_brightness() {
+        let effects = SceneEffects {
+            pixel_noise_sigma: 0.0,
+            illumination: Profile::Oscillate {
+                base: 1.0,
+                amplitude: 0.5,
+                period: 20.0,
+                phase: 0.0,
+            },
+            ..SceneEffects::default()
+        };
+        let scene = SceneBuilder::new(Resolution::new(64, 64), 9)
+            .effects(effects)
+            .build();
+        let mut r = scene.renderer();
+        let dark = r.render(15); // sin(2*pi*0.75) = -1 -> gain 0.5
+        let bright = r.render(5); // sin(2*pi*0.25) = +1 -> gain 1.5
+        let mean = |f: &RgbFrame| {
+            f.samples().iter().map(|p| f64::from(p.luma())).sum::<f64>() / f.len() as f64
+        };
+        assert!(mean(&bright.rgb) > mean(&dark.rgb) * 1.5);
+    }
+
+    #[test]
+    fn shake_offsets_background() {
+        let effects = SceneEffects {
+            pixel_noise_sigma: 0.0,
+            shake_amplitude: 6.0,
+            shake_period: 30.0,
+            ..SceneEffects::default()
+        };
+        let scene = SceneBuilder::new(Resolution::new(64, 64), 11).effects(effects).build();
+        let mut r = scene.renderer();
+        let a = r.render(0);
+        let b = r.render(7);
+        assert_ne!(a.rgb, b.rgb, "shake must move the background");
+    }
+}

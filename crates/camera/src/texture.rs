@@ -1,0 +1,232 @@
+//! Procedural textures.
+//!
+//! Textures are pure functions of position — no RNG state — so the same
+//! scene always renders identically regardless of evaluation order. The
+//! block-matching motion estimator needs *texture* to lock onto; flat
+//! regions produce ambiguous matches (exactly the low-confidence situation
+//! Equ. 2 of the paper is designed to handle), so scenes mix both.
+
+use euphrates_common::image::Rgb;
+use euphrates_common::rngx::lattice_hash;
+
+/// A procedural texture: maps a 2-D position to a color.
+///
+/// Positions are in *texture space*; callers scale world coordinates by the
+/// texture's feature size before sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Texture {
+    /// A single flat color (worst case for block matching).
+    Flat(Rgb),
+    /// Two-color checkerboard with the given cell size.
+    Checker {
+        /// First cell color.
+        a: Rgb,
+        /// Second cell color.
+        b: Rgb,
+        /// Cell edge length in pixels.
+        cell: f64,
+    },
+    /// Smooth value noise (fractal, 2 octaves) between two colors.
+    Noise {
+        /// Color at noise value 0.
+        lo: Rgb,
+        /// Color at noise value 1.
+        hi: Rgb,
+        /// Feature size in pixels (larger = smoother).
+        scale: f64,
+        /// Lattice seed.
+        seed: u64,
+    },
+    /// Diagonal stripes, useful for aperture-problem cases.
+    Stripes {
+        /// First stripe color.
+        a: Rgb,
+        /// Second stripe color.
+        b: Rgb,
+        /// Stripe width in pixels.
+        width: f64,
+        /// Stripe angle in radians.
+        angle: f64,
+    },
+}
+
+impl Texture {
+    /// A mid-gray flat texture.
+    pub fn flat_gray() -> Texture {
+        Texture::Flat(Rgb::gray(128))
+    }
+
+    /// The standard cluttered-background noise texture.
+    pub fn background_noise(seed: u64) -> Texture {
+        Texture::Noise {
+            lo: Rgb::new(40, 48, 40),
+            hi: Rgb::new(180, 180, 170),
+            scale: 24.0,
+            seed,
+        }
+    }
+
+    /// A high-contrast object texture that block matching locks onto well.
+    pub fn object_noise(seed: u64) -> Texture {
+        Texture::Noise {
+            lo: Rgb::new(30, 10, 10),
+            hi: Rgb::new(240, 200, 60),
+            scale: 9.0,
+            seed,
+        }
+    }
+
+    /// Samples the texture at `(x, y)`.
+    pub fn sample(&self, x: f64, y: f64) -> Rgb {
+        match self {
+            Texture::Flat(c) => *c,
+            Texture::Checker { a, b, cell } => {
+                let cx = (x / cell).floor() as i64;
+                let cy = (y / cell).floor() as i64;
+                if (cx + cy) & 1 == 0 {
+                    *a
+                } else {
+                    *b
+                }
+            }
+            Texture::Noise { lo, hi, scale, seed } => {
+                let v = fractal_noise(*seed, x / scale, y / scale);
+                lerp_rgb(*lo, *hi, v)
+            }
+            Texture::Stripes { a, b, width, angle } => {
+                let proj = x * angle.cos() + y * angle.sin();
+                if ((proj / width).floor() as i64) & 1 == 0 {
+                    *a
+                } else {
+                    *b
+                }
+            }
+        }
+    }
+}
+
+/// Two-octave value noise in `[0, 1]`.
+fn fractal_noise(seed: u64, x: f64, y: f64) -> f64 {
+    let n0 = value_noise(seed, x, y);
+    let n1 = value_noise(seed ^ 0xABCD_EF01, x * 2.3, y * 2.3);
+    (0.7 * n0 + 0.3 * n1).clamp(0.0, 1.0)
+}
+
+/// Single-octave value noise: bilinear interpolation of lattice hashes with
+/// smoothstep easing.
+fn value_noise(seed: u64, x: f64, y: f64) -> f64 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = smoothstep(x - x0);
+    let fy = smoothstep(y - y0);
+    let (ix, iy) = (x0 as i64, y0 as i64);
+    let v00 = lattice_hash(seed, ix, iy);
+    let v10 = lattice_hash(seed, ix + 1, iy);
+    let v01 = lattice_hash(seed, ix, iy + 1);
+    let v11 = lattice_hash(seed, ix + 1, iy + 1);
+    let top = v00 + (v10 - v00) * fx;
+    let bot = v01 + (v11 - v01) * fx;
+    top + (bot - top) * fy
+}
+
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+fn lerp_rgb(a: Rgb, b: Rgb, t: f64) -> Rgb {
+    let t = t.clamp(0.0, 1.0);
+    let mix = |x: u8, y: u8| -> u8 {
+        (f64::from(x) + (f64::from(y) - f64::from(x)) * t)
+            .round()
+            .clamp(0.0, 255.0) as u8
+    };
+    Rgb::new(mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_position_independent() {
+        let t = Texture::flat_gray();
+        assert_eq!(t.sample(0.0, 0.0), t.sample(1000.0, -500.0));
+    }
+
+    #[test]
+    fn checker_alternates() {
+        let t = Texture::Checker {
+            a: Rgb::gray(0),
+            b: Rgb::gray(255),
+            cell: 10.0,
+        };
+        assert_ne!(t.sample(5.0, 5.0), t.sample(15.0, 5.0));
+        assert_eq!(t.sample(5.0, 5.0), t.sample(15.0, 15.0));
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let t = Texture::background_noise(7);
+        assert_eq!(t.sample(12.3, 45.6), t.sample(12.3, 45.6));
+    }
+
+    #[test]
+    fn noise_differs_across_seeds() {
+        let a = Texture::background_noise(1);
+        let b = Texture::background_noise(2);
+        // At least one of a few probe points must differ.
+        let probes = [(0.0, 0.0), (31.0, 7.0), (100.0, 100.0), (5.5, 77.7)];
+        assert!(probes.iter().any(|&(x, y)| a.sample(x, y) != b.sample(x, y)));
+    }
+
+    #[test]
+    fn noise_has_spatial_variation() {
+        let t = Texture::object_noise(3);
+        let c0 = t.sample(0.0, 0.0);
+        let varied = (0..50).any(|i| t.sample(f64::from(i) * 3.0, 0.0) != c0);
+        assert!(varied, "noise texture must not be constant");
+    }
+
+    #[test]
+    fn stripes_follow_angle() {
+        let t = Texture::Stripes {
+            a: Rgb::gray(0),
+            b: Rgb::gray(255),
+            width: 4.0,
+            angle: 0.0, // vertical stripes varying along x
+        };
+        // Constant along y.
+        assert_eq!(t.sample(1.0, 0.0), t.sample(1.0, 100.0));
+        // Alternating along x.
+        assert_ne!(t.sample(1.0, 0.0), t.sample(5.0, 0.0));
+    }
+
+    #[test]
+    fn value_noise_in_unit_range() {
+        for i in 0..100 {
+            let v = fractal_noise(42, f64::from(i) * 0.7, f64::from(i) * -0.3);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn value_noise_is_continuous() {
+        // Adjacent samples differ by much less than the full range.
+        let mut max_step = 0.0f64;
+        for i in 0..200 {
+            let x = f64::from(i) * 0.05;
+            let a = value_noise(9, x, 1.5);
+            let b = value_noise(9, x + 0.05, 1.5);
+            max_step = max_step.max((a - b).abs());
+        }
+        assert!(max_step < 0.3, "max step {max_step}");
+    }
+
+    #[test]
+    fn lerp_rgb_endpoints() {
+        let a = Rgb::new(10, 20, 30);
+        let b = Rgb::new(200, 100, 0);
+        assert_eq!(lerp_rgb(a, b, 0.0), a);
+        assert_eq!(lerp_rgb(a, b, 1.0), b);
+    }
+}

@@ -1,0 +1,246 @@
+//! Object trajectories and animation profiles.
+//!
+//! All profiles are functions of the frame index (converted to seconds by
+//! the scene's frame rate), so rendering frame `k` never depends on having
+//! rendered frames `0..k` — sequences can be evaluated from any offset and
+//! in parallel.
+
+use euphrates_common::geom::Vec2f;
+
+/// A positional trajectory: frame index → object center in pixels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trajectory {
+    /// Stationary at a point.
+    Still(Vec2f),
+    /// Constant velocity: `start + velocity * frame`.
+    Linear {
+        /// Position at frame 0.
+        start: Vec2f,
+        /// Displacement per frame, in pixels.
+        velocity: Vec2f,
+    },
+    /// Sinusoidal sweep around a center (orbit-like motion with
+    /// independently configurable axes).
+    Sinusoid {
+        /// Orbit center.
+        center: Vec2f,
+        /// Amplitude in pixels along each axis.
+        amplitude: Vec2f,
+        /// Period in frames along each axis.
+        period: Vec2f,
+        /// Phase offset in radians.
+        phase: f64,
+    },
+    /// Piecewise-linear waypoint path: the object moves between waypoints at
+    /// constant per-segment velocity; clamps at the last waypoint.
+    Waypoints {
+        /// `(frame, position)` control points, sorted by frame.
+        points: Vec<(f64, Vec2f)>,
+    },
+}
+
+impl Trajectory {
+    /// Position at (fractional) frame `t`.
+    pub fn position(&self, t: f64) -> Vec2f {
+        match self {
+            Trajectory::Still(p) => *p,
+            Trajectory::Linear { start, velocity } => *start + *velocity * t,
+            Trajectory::Sinusoid {
+                center,
+                amplitude,
+                period,
+                phase,
+            } => {
+                let tau = std::f64::consts::TAU;
+                let ax = if period.x != 0.0 {
+                    amplitude.x * (tau * t / period.x + phase).sin()
+                } else {
+                    0.0
+                };
+                let ay = if period.y != 0.0 {
+                    amplitude.y * (tau * t / period.y + phase).cos()
+                } else {
+                    0.0
+                };
+                Vec2f::new(center.x + ax, center.y + ay)
+            }
+            Trajectory::Waypoints { points } => {
+                if points.is_empty() {
+                    return Vec2f::ZERO;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, p0) = pair[0];
+                    let (t1, p1) = pair[1];
+                    if t < t1 {
+                        let f = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+                        return p0.lerp(p1, f);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// Instantaneous speed at frame `t` in pixels/frame (central
+    /// difference). This is what the dataset generator uses to label "fast
+    /// motion" sequences relative to the block matcher's search range.
+    pub fn speed(&self, t: f64) -> f64 {
+        let h = 0.5;
+        (self.position(t + h) - self.position(t - h)).norm() / (2.0 * h)
+    }
+}
+
+/// A scalar animation profile for scale / rotation / aspect over time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Profile {
+    /// Constant value.
+    Constant(f64),
+    /// Linear ramp: `base + slope * frame`.
+    Ramp {
+        /// Value at frame 0.
+        base: f64,
+        /// Change per frame.
+        slope: f64,
+    },
+    /// Sinusoidal oscillation around a base value.
+    Oscillate {
+        /// Center value.
+        base: f64,
+        /// Peak deviation from the base.
+        amplitude: f64,
+        /// Period in frames.
+        period: f64,
+        /// Phase offset in radians.
+        phase: f64,
+    },
+}
+
+impl Profile {
+    /// The profile value at frame `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            Profile::Constant(v) => *v,
+            Profile::Ramp { base, slope } => base + slope * t,
+            Profile::Oscillate {
+                base,
+                amplitude,
+                period,
+                phase,
+            } => {
+                if *period == 0.0 {
+                    *base
+                } else {
+                    base + amplitude * (std::f64::consts::TAU * t / period + phase).sin()
+                }
+            }
+        }
+    }
+
+    /// A constant 1.0 profile (identity scale/aspect).
+    pub fn one() -> Profile {
+        Profile::Constant(1.0)
+    }
+
+    /// A constant 0.0 profile (no rotation).
+    pub fn zero() -> Profile {
+        Profile::Constant(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn still_never_moves() {
+        let t = Trajectory::Still(Vec2f::new(10.0, 20.0));
+        assert_eq!(t.position(0.0), t.position(500.0));
+        assert_eq!(t.speed(10.0), 0.0);
+    }
+
+    #[test]
+    fn linear_velocity_is_constant() {
+        let t = Trajectory::Linear {
+            start: Vec2f::new(0.0, 0.0),
+            velocity: Vec2f::new(3.0, -4.0),
+        };
+        assert_eq!(t.position(10.0), Vec2f::new(30.0, -40.0));
+        assert!((t.speed(5.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sinusoid_stays_within_amplitude() {
+        let t = Trajectory::Sinusoid {
+            center: Vec2f::new(100.0, 100.0),
+            amplitude: Vec2f::new(50.0, 20.0),
+            period: Vec2f::new(60.0, 90.0),
+            phase: 0.3,
+        };
+        for k in 0..300 {
+            let p = t.position(f64::from(k));
+            assert!((p.x - 100.0).abs() <= 50.0 + 1e-9);
+            assert!((p.y - 100.0).abs() <= 20.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn waypoints_interpolate_and_clamp() {
+        let t = Trajectory::Waypoints {
+            points: vec![
+                (0.0, Vec2f::new(0.0, 0.0)),
+                (10.0, Vec2f::new(100.0, 0.0)),
+                (20.0, Vec2f::new(100.0, 50.0)),
+            ],
+        };
+        assert_eq!(t.position(-5.0), Vec2f::new(0.0, 0.0));
+        assert_eq!(t.position(5.0), Vec2f::new(50.0, 0.0));
+        assert_eq!(t.position(15.0), Vec2f::new(100.0, 25.0));
+        assert_eq!(t.position(99.0), Vec2f::new(100.0, 50.0));
+    }
+
+    #[test]
+    fn empty_waypoints_default_to_origin() {
+        let t = Trajectory::Waypoints { points: vec![] };
+        assert_eq!(t.position(5.0), Vec2f::ZERO);
+    }
+
+    #[test]
+    fn profile_shapes() {
+        assert_eq!(Profile::Constant(2.0).at(100.0), 2.0);
+        assert_eq!(Profile::Ramp { base: 1.0, slope: 0.1 }.at(10.0), 2.0);
+        let osc = Profile::Oscillate {
+            base: 1.0,
+            amplitude: 0.5,
+            period: 40.0,
+            phase: 0.0,
+        };
+        assert!((osc.at(0.0) - 1.0).abs() < 1e-12);
+        assert!((osc.at(10.0) - 1.5).abs() < 1e-12);
+        for k in 0..100 {
+            let v = osc.at(f64::from(k));
+            assert!((0.5..=1.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_period_oscillation_is_constant() {
+        let p = Profile::Oscillate {
+            base: 3.0,
+            amplitude: 1.0,
+            period: 0.0,
+            phase: 0.0,
+        };
+        assert_eq!(p.at(7.0), 3.0);
+    }
+
+    #[test]
+    fn speed_estimates_waypoint_segments() {
+        let t = Trajectory::Waypoints {
+            points: vec![(0.0, Vec2f::new(0.0, 0.0)), (10.0, Vec2f::new(100.0, 0.0))],
+        };
+        assert!((t.speed(5.0) - 10.0).abs() < 1e-9);
+    }
+}

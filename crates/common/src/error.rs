@@ -1,0 +1,99 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public function in the workspace returns [`Result`]. The
+//! variants are deliberately coarse: this is a simulator, so most errors are
+//! configuration mistakes detected up front rather than runtime failures.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Error type shared by all Euphrates crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A configuration value is out of its legal range or inconsistent with
+    /// another value (e.g. a macroblock size that does not divide the frame,
+    /// or an SRAM too small for the configured resolution).
+    InvalidConfig(String),
+    /// Two objects with incompatible shapes were combined (e.g. motion
+    /// fields of different dimensions, frames of different resolutions).
+    ShapeMismatch(String),
+    /// A hardware-model capacity was exceeded (SRAM overflow, too many ROI
+    /// register slots, DMA queue depth).
+    CapacityExceeded(String),
+    /// An operation was issued to an IP block in a state that cannot accept
+    /// it (e.g. starting an inference while one is in flight).
+    InvalidState(String),
+    /// A lookup failed (unknown sequence name, unknown network, missing
+    /// register address).
+    NotFound(String),
+}
+
+impl Error {
+    /// Builds an [`Error::InvalidConfig`] from anything displayable.
+    pub fn config(msg: impl fmt::Display) -> Self {
+        Error::InvalidConfig(msg.to_string())
+    }
+
+    /// Builds an [`Error::ShapeMismatch`] from anything displayable.
+    pub fn shape(msg: impl fmt::Display) -> Self {
+        Error::ShapeMismatch(msg.to_string())
+    }
+
+    /// Builds an [`Error::CapacityExceeded`] from anything displayable.
+    pub fn capacity(msg: impl fmt::Display) -> Self {
+        Error::CapacityExceeded(msg.to_string())
+    }
+
+    /// Builds an [`Error::InvalidState`] from anything displayable.
+    pub fn state(msg: impl fmt::Display) -> Self {
+        Error::InvalidState(msg.to_string())
+    }
+
+    /// Builds an [`Error::NotFound`] from anything displayable.
+    pub fn not_found(msg: impl fmt::Display) -> Self {
+        Error::NotFound(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            Error::CapacityExceeded(m) => write!(f, "capacity exceeded: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = Error::config("macroblock size 0");
+        let s = e.to_string();
+        assert!(s.starts_with("invalid configuration"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn constructors_map_to_variants() {
+        assert!(matches!(Error::shape("x"), Error::ShapeMismatch(_)));
+        assert!(matches!(Error::capacity("x"), Error::CapacityExceeded(_)));
+        assert!(matches!(Error::state("x"), Error::InvalidState(_)));
+        assert!(matches!(Error::not_found("x"), Error::NotFound(_)));
+    }
+}

@@ -1,0 +1,356 @@
+//! Image containers: generic planes and the pixel formats used across the
+//! vision pipeline.
+//!
+//! The frontend produces frames in three formats, mirroring Fig. 2 of the
+//! paper:
+//!
+//! * [`BayerFrame`] — RAW sensor output, one color sample per photosite in
+//!   an RGGB mosaic (what the camera sends over MIPI CSI).
+//! * [`RgbFrame`] — demosaiced output of the ISP's RGB-domain stages.
+//! * [`LumaFrame`] — the luminance plane the motion-estimation and
+//!   temporal-denoise stages operate on.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A rectangular plane of samples of type `T`, stored row-major without
+/// padding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane<T> {
+    width: u32,
+    height: u32,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Plane<T> {
+    /// Creates a plane filled with `T::default()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(Error::config(format!(
+                "plane dimensions must be positive, got {width}x{height}"
+            )));
+        }
+        Ok(Plane {
+            width,
+            height,
+            data: vec![T::default(); width as usize * height as usize],
+        })
+    }
+
+    /// Creates a plane from existing row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `data.len() != width * height`.
+    pub fn from_vec(width: u32, height: u32, data: Vec<T>) -> Result<Self> {
+        if data.len() != width as usize * height as usize {
+            return Err(Error::shape(format!(
+                "expected {} samples for {width}x{height}, got {}",
+                width as usize * height as usize,
+                data.len()
+            )));
+        }
+        Ok(Plane {
+            width,
+            height,
+            data,
+        })
+    }
+}
+
+impl<T: Copy> Plane<T> {
+    /// Plane width in samples.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Plane height in samples.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` only for planes that could not be constructed (never: the
+    /// constructors reject zero-sized planes), provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds. Use [`Plane::get`] for a checked
+    /// variant.
+    #[inline]
+    pub fn at(&self, x: u32, y: u32) -> T {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Checked sample access.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Option<T> {
+        if x < self.width && y < self.height {
+            Some(self.data[y as usize * self.width as usize + x as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Sample at `(x, y)` with clamp-to-edge semantics for out-of-range
+    /// coordinates (used by stencil stages at frame borders).
+    #[inline]
+    pub fn at_clamped(&self, x: i64, y: i64) -> T {
+        let cx = x.clamp(0, i64::from(self.width) - 1) as u32;
+        let cy = y.clamp(0, i64::from(self.height) - 1) as u32;
+        self.at(cx, cy)
+    }
+
+    /// Writes the sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: T) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y as usize * self.width as usize + x as usize] = v;
+    }
+
+    /// Row `y` as a slice.
+    #[inline]
+    pub fn row(&self, y: u32) -> &[T] {
+        let w = self.width as usize;
+        &self.data[y as usize * w..(y as usize + 1) * w]
+    }
+
+    /// All samples, row-major.
+    pub fn samples(&self) -> &[T] {
+        &self.data
+    }
+
+    /// All samples, mutably.
+    pub fn samples_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// `true` if `other` has identical dimensions.
+    pub fn same_shape<U: Copy>(&self, other: &Plane<U>) -> bool {
+        self.width == other.width && self.height == other.height
+    }
+}
+
+/// An 8-bit RGB pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Creates a pixel from channel values.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Creates a gray pixel.
+    pub const fn gray(v: u8) -> Self {
+        Rgb { r: v, g: v, b: v }
+    }
+
+    /// BT.601 luma, rounded.
+    pub fn luma(self) -> u8 {
+        let y = 0.299 * f64::from(self.r) + 0.587 * f64::from(self.g) + 0.114 * f64::from(self.b);
+        y.round().clamp(0.0, 255.0) as u8
+    }
+}
+
+impl fmt::Display for Rgb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+/// Color filter array position in the RGGB Bayer pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CfaColor {
+    /// Red photosite.
+    Red,
+    /// Green photosite (both rows).
+    Green,
+    /// Blue photosite.
+    Blue,
+}
+
+/// Returns the CFA color of photosite `(x, y)` under an RGGB mosaic.
+#[inline]
+pub fn rggb_color(x: u32, y: u32) -> CfaColor {
+    match (y & 1, x & 1) {
+        (0, 0) => CfaColor::Red,
+        (0, 1) | (1, 0) => CfaColor::Green,
+        _ => CfaColor::Blue,
+    }
+}
+
+/// A grayscale (luminance) frame: one `u8` per pixel.
+pub type LumaFrame = Plane<u8>;
+
+/// A demosaiced RGB frame.
+pub type RgbFrame = Plane<Rgb>;
+
+/// A RAW Bayer-mosaic frame: one 8-bit sample per photosite (the simulator
+/// models an 8-bit readout; real sensors use 10–12 bits, which changes only
+/// constants in the power/bandwidth model).
+pub type BayerFrame = Plane<u8>;
+
+/// Converts an RGB frame to its luma plane.
+pub fn rgb_to_luma(rgb: &RgbFrame) -> LumaFrame {
+    let mut out = Plane::new(rgb.width(), rgb.height()).expect("non-empty source plane");
+    for (dst, src) in out.samples_mut().iter_mut().zip(rgb.samples()) {
+        *dst = src.luma();
+    }
+    out
+}
+
+/// Frame resolution in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Resolution {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Resolution {
+    /// 640×480, the paper's Fig. 1 reference resolution.
+    pub const VGA: Resolution = Resolution {
+        width: 640,
+        height: 480,
+    };
+    /// 1920×1080, the capture setting of Table 1.
+    pub const FULL_HD: Resolution = Resolution {
+        width: 1920,
+        height: 1080,
+    };
+
+    /// Creates a resolution.
+    pub const fn new(width: u32, height: u32) -> Self {
+        Resolution { width, height }
+    }
+
+    /// Total pixel count.
+    pub const fn pixels(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Number of `mb × mb` macroblocks covering the frame (partial edge
+    /// blocks are counted, matching the ISP's padding behaviour).
+    pub const fn macroblocks(&self, mb: u32) -> (u32, u32) {
+        (self.width.div_ceil(mb), self.height.div_ceil(mb))
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_rejects_zero_dimensions() {
+        assert!(Plane::<u8>::new(0, 10).is_err());
+        assert!(Plane::<u8>::new(10, 0).is_err());
+    }
+
+    #[test]
+    fn plane_from_vec_validates_length() {
+        assert!(Plane::from_vec(2, 2, vec![0u8; 3]).is_err());
+        assert!(Plane::from_vec(2, 2, vec![0u8; 4]).is_ok());
+    }
+
+    #[test]
+    fn plane_indexing_is_row_major() {
+        let mut p = Plane::<u8>::new(3, 2).unwrap();
+        p.set(2, 1, 99);
+        assert_eq!(p.samples()[5], 99);
+        assert_eq!(p.at(2, 1), 99);
+        assert_eq!(p.get(3, 0), None);
+        assert_eq!(p.get(0, 2), None);
+    }
+
+    #[test]
+    fn clamped_access_extends_edges() {
+        let mut p = Plane::<u8>::new(2, 2).unwrap();
+        p.set(0, 0, 10);
+        p.set(1, 1, 20);
+        assert_eq!(p.at_clamped(-5, -5), 10);
+        assert_eq!(p.at_clamped(10, 10), 20);
+    }
+
+    #[test]
+    fn row_slices_have_plane_width() {
+        let p = Plane::<u8>::new(7, 3).unwrap();
+        assert_eq!(p.row(2).len(), 7);
+    }
+
+    #[test]
+    fn rggb_pattern_layout() {
+        assert_eq!(rggb_color(0, 0), CfaColor::Red);
+        assert_eq!(rggb_color(1, 0), CfaColor::Green);
+        assert_eq!(rggb_color(0, 1), CfaColor::Green);
+        assert_eq!(rggb_color(1, 1), CfaColor::Blue);
+        // Pattern repeats with period 2.
+        assert_eq!(rggb_color(2, 2), CfaColor::Red);
+    }
+
+    #[test]
+    fn luma_weights_sum_to_white() {
+        assert_eq!(Rgb::new(255, 255, 255).luma(), 255);
+        assert_eq!(Rgb::new(0, 0, 0).luma(), 0);
+        // Green dominates the luma.
+        assert!(Rgb::new(0, 255, 0).luma() > Rgb::new(255, 0, 0).luma());
+        assert!(Rgb::new(255, 0, 0).luma() > Rgb::new(0, 0, 255).luma());
+    }
+
+    #[test]
+    fn rgb_to_luma_matches_per_pixel() {
+        let mut rgb = RgbFrame::new(2, 1).unwrap();
+        rgb.set(0, 0, Rgb::new(10, 20, 30));
+        rgb.set(1, 0, Rgb::new(200, 100, 50));
+        let luma = rgb_to_luma(&rgb);
+        assert_eq!(luma.at(0, 0), Rgb::new(10, 20, 30).luma());
+        assert_eq!(luma.at(1, 0), Rgb::new(200, 100, 50).luma());
+    }
+
+    #[test]
+    fn resolution_macroblock_counts_round_up() {
+        let r = Resolution::FULL_HD;
+        // 1920/16 = 120, 1080/16 = 67.5 -> 68 (paper's 8,100 uses 120x67.5;
+        // with edge padding we count 120x68 = 8160 blocks).
+        assert_eq!(r.macroblocks(16), (120, 68));
+        assert_eq!(Resolution::VGA.macroblocks(16), (40, 30));
+    }
+
+    #[test]
+    fn resolution_display_and_pixels() {
+        assert_eq!(Resolution::VGA.to_string(), "640x480");
+        assert_eq!(Resolution::VGA.pixels(), 307_200);
+    }
+}

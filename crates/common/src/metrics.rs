@@ -1,0 +1,252 @@
+//! Accuracy metrics used in the paper's evaluation (§5.2).
+//!
+//! * **Detection** uses the paper's "average precision": every detection is
+//!   matched against ground truth; IoU ≥ threshold ⇒ true positive, else
+//!   false positive; AP = TP / (TP + FP) over all detections in all frames.
+//!   (This is detection *precision*, not PASCAL-style ranked AP — we follow
+//!   the paper's definition.)
+//! * **Tracking** uses the standard success rate: the fraction of frames
+//!   whose predicted ROI has IoU ≥ threshold with ground truth, swept over
+//!   thresholds to produce a success curve (Fig. 10a) and its AUC.
+
+use crate::geom::Rect;
+
+/// The IoU thresholds used for accuracy curves: 0.0 to 1.0 in 0.05 steps,
+/// matching the x-axes of Fig. 9a and Fig. 10a.
+pub fn standard_thresholds() -> Vec<f64> {
+    (0..=20).map(|i| f64::from(i) * 0.05).collect()
+}
+
+/// Accumulates matched (prediction, ground-truth) IoU outcomes and produces
+/// precision / success-rate curves.
+///
+/// One accumulator instance is shared across all frames of a run; pushing is
+/// O(1) and curve evaluation is O(n) per threshold.
+#[derive(Debug, Clone, Default)]
+pub struct IouAccumulator {
+    ious: Vec<f64>,
+}
+
+impl IouAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction matched to ground truth with the given IoU.
+    /// Unmatched predictions should be pushed with IoU `0.0` (they can never
+    /// become true positives).
+    pub fn push(&mut self, iou: f64) {
+        debug_assert!((0.0..=1.0).contains(&iou), "IoU out of range: {iou}");
+        self.ious.push(iou.clamp(0.0, 1.0));
+    }
+
+    /// Records the IoU between a predicted and a ground-truth rectangle.
+    pub fn push_pair(&mut self, predicted: &Rect, truth: &Rect) {
+        self.push(predicted.iou(truth));
+    }
+
+    /// Number of recorded outcomes.
+    pub fn len(&self) -> usize {
+        self.ious.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ious.is_empty()
+    }
+
+    /// Merges the outcomes of another accumulator (used when sequences are
+    /// evaluated on worker threads).
+    pub fn merge(&mut self, other: &IouAccumulator) {
+        self.ious.extend_from_slice(&other.ious);
+    }
+
+    /// Fraction of outcomes with IoU ≥ `threshold`.
+    ///
+    /// For detection this is the paper's AP; for tracking it is the success
+    /// rate. Returns `0.0` when empty.
+    pub fn rate_at(&self, threshold: f64) -> f64 {
+        if self.ious.is_empty() {
+            return 0.0;
+        }
+        let tp = self.ious.iter().filter(|&&i| i >= threshold).count();
+        tp as f64 / self.ious.len() as f64
+    }
+
+    /// The (threshold, rate) curve over [`standard_thresholds`].
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        standard_thresholds()
+            .into_iter()
+            .map(|t| (t, self.rate_at(t)))
+            .collect()
+    }
+
+    /// Area under the success curve (trapezoidal rule over the standard
+    /// thresholds) — the scalar summary used by the OTB benchmark.
+    pub fn auc(&self) -> f64 {
+        let curve = self.curve();
+        let mut area = 0.0;
+        for pair in curve.windows(2) {
+            let (t0, r0) = pair[0];
+            let (t1, r1) = pair[1];
+            area += (t1 - t0) * (r0 + r1) / 2.0;
+        }
+        area
+    }
+
+    /// Mean IoU over all outcomes; `0.0` when empty.
+    pub fn mean_iou(&self) -> f64 {
+        if self.ious.is_empty() {
+            return 0.0;
+        }
+        self.ious.iter().sum::<f64>() / self.ious.len() as f64
+    }
+}
+
+impl FromIterator<f64> for IouAccumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = IouAccumulator::new();
+        for v in iter {
+            acc.push(v);
+        }
+        acc
+    }
+}
+
+impl Extend<f64> for IouAccumulator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+/// Greedy IoU matching between predicted and ground-truth boxes within one
+/// frame.
+///
+/// Pairs are formed highest-IoU-first; each ground-truth box matches at most
+/// one prediction. Returns, for every prediction, the IoU of its match (or
+/// `0.0` if unmatched). This is how multi-object detection results are
+/// scored before being pushed into an [`IouAccumulator`].
+pub fn match_detections(predictions: &[Rect], truths: &[Rect]) -> Vec<f64> {
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for (pi, p) in predictions.iter().enumerate() {
+        for (ti, t) in truths.iter().enumerate() {
+            let iou = p.iou(t);
+            if iou > 0.0 {
+                pairs.push((pi, ti, iou));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("IoU values are finite"));
+
+    let mut pred_iou = vec![0.0; predictions.len()];
+    let mut pred_used = vec![false; predictions.len()];
+    let mut truth_used = vec![false; truths.len()];
+    for (pi, ti, iou) in pairs {
+        if !pred_used[pi] && !truth_used[ti] {
+            pred_used[pi] = true;
+            truth_used[ti] = true;
+            pred_iou[pi] = iou;
+        }
+    }
+    pred_iou
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_rates_are_zero() {
+        let acc = IouAccumulator::new();
+        assert_eq!(acc.rate_at(0.5), 0.0);
+        assert_eq!(acc.auc(), 0.0);
+        assert_eq!(acc.mean_iou(), 0.0);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn rate_counts_threshold_inclusive() {
+        let acc: IouAccumulator = [0.5, 0.49, 0.51, 1.0].into_iter().collect();
+        assert!((acc.rate_at(0.5) - 0.75).abs() < 1e-12);
+        assert!((acc.rate_at(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotonically_nonincreasing() {
+        let acc: IouAccumulator = (0..100).map(|i| f64::from(i) / 100.0).collect();
+        let curve = acc.curve();
+        for pair in curve.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn auc_of_perfect_tracker_is_near_one() {
+        let acc: IouAccumulator = std::iter::repeat_n(1.0, 50).collect();
+        assert!(acc.auc() > 0.95);
+    }
+
+    #[test]
+    fn auc_between_zero_and_one() {
+        let acc: IouAccumulator = [0.2, 0.6, 0.9].into_iter().collect();
+        let auc = acc.auc();
+        assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn merge_concatenates_outcomes() {
+        let mut a: IouAccumulator = [1.0, 1.0].into_iter().collect();
+        let b: IouAccumulator = [0.0, 0.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert!((a.rate_at(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn match_detections_prefers_best_pairs() {
+        let truths = vec![
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            Rect::new(100.0, 0.0, 10.0, 10.0),
+        ];
+        let preds = vec![
+            Rect::new(1.0, 0.0, 10.0, 10.0),   // overlaps truth 0 well
+            Rect::new(102.0, 0.0, 10.0, 10.0), // overlaps truth 1 well
+            Rect::new(50.0, 50.0, 10.0, 10.0), // matches nothing
+        ];
+        let ious = match_detections(&preds, &truths);
+        assert!(ious[0] > 0.7);
+        assert!(ious[1] > 0.6);
+        assert_eq!(ious[2], 0.0);
+    }
+
+    #[test]
+    fn match_detections_one_truth_one_match() {
+        // Two predictions on the same truth: only the better one matches.
+        let truths = vec![Rect::new(0.0, 0.0, 10.0, 10.0)];
+        let preds = vec![
+            Rect::new(0.5, 0.0, 10.0, 10.0),
+            Rect::new(4.0, 0.0, 10.0, 10.0),
+        ];
+        let ious = match_detections(&preds, &truths);
+        assert!(ious[0] > 0.0);
+        assert_eq!(ious[1], 0.0);
+    }
+
+    #[test]
+    fn match_detections_empty_inputs() {
+        assert!(match_detections(&[], &[Rect::new(0.0, 0.0, 1.0, 1.0)]).is_empty());
+        let ious = match_detections(&[Rect::new(0.0, 0.0, 1.0, 1.0)], &[]);
+        assert_eq!(ious, vec![0.0]);
+    }
+
+    #[test]
+    fn push_pair_records_geometry_iou() {
+        let mut acc = IouAccumulator::new();
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        acc.push_pair(&a, &a);
+        assert!((acc.mean_iou() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic randomness helpers shared by the scene generator and the
+//! functional accuracy oracles.
+//!
+//! Everything in the simulator is seeded: the same seed must produce the
+//! same frames, the same oracle noise, and therefore the same report —
+//! regardless of evaluation order or thread count. To that end, per-frame /
+//! per-object RNGs are *derived* from a base seed with [`derive_seed`]
+//! instead of being advanced sequentially.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mixes a base seed with up to two stream identifiers into an independent
+/// seed (SplitMix64 finalizer; good avalanche behaviour).
+pub fn derive_seed(base: u64, stream: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)))
+        .wrapping_add(0x517C_C1B7_2722_0A95u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Creates a [`StdRng`] for a (base, stream, index) triple.
+pub fn derived_rng(base: u64, stream: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(base, stream, index))
+}
+
+/// Samples a Gaussian via the Box–Muller transform.
+///
+/// `rand` 0.8 ships only uniform distributions; this keeps us off the
+/// `rand_distr` dependency.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + sigma * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Deterministic integer lattice hash to `[0, 1)`, used by procedural
+/// textures (no RNG state: the same coordinates always map to the same
+/// value).
+pub fn lattice_hash(seed: u64, x: i64, y: i64) -> f64 {
+    let h = derive_seed(seed, x as u64, y as u64);
+    // Take the top 53 bits for a uniform double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spread() {
+        assert_eq!(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+        assert_ne!(derive_seed(1, 2, 3), derive_seed(1, 2, 4));
+        assert_ne!(derive_seed(1, 2, 3), derive_seed(1, 3, 3));
+        assert_ne!(derive_seed(1, 2, 3), derive_seed(2, 2, 3));
+    }
+
+    #[test]
+    fn derived_rng_streams_are_independent() {
+        use rand::Rng;
+        let a: u64 = derived_rng(42, 0, 0).gen();
+        let b: u64 = derived_rng(42, 0, 1).gen();
+        let a2: u64 = derived_rng(42, 0, 0).gen();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = derived_rng(7, 0, 0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_zero_sigma_is_constant() {
+        let mut rng = derived_rng(7, 0, 0);
+        assert_eq!(gaussian(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn lattice_hash_is_stable_and_uniformish() {
+        assert_eq!(lattice_hash(9, -5, 12), lattice_hash(9, -5, 12));
+        let mut acc = 0.0;
+        let n = 1000;
+        for i in 0..n {
+            let v = lattice_hash(1, i, -i);
+            assert!((0.0..1.0).contains(&v));
+            acc += v;
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

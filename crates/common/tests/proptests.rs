@@ -1,0 +1,144 @@
+//! Property-based tests for the common substrate: geometry algebra,
+//! fixed-point arithmetic, and metric invariants.
+
+use euphrates_common::fixed::{Q16, Q32};
+use euphrates_common::geom::{Rect, Vec2f};
+use euphrates_common::metrics::IouAccumulator;
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        -500.0f64..500.0,
+        -500.0f64..500.0,
+        0.1f64..300.0,
+        0.1f64..300.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+fn arb_vec() -> impl Strategy<Value = Vec2f> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Vec2f::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn iou_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_is_bounded(a in arb_rect(), b in arb_rect()) {
+        let v = a.iou(&b);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn iou_with_self_is_one(a in arb_rect()) {
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_is_translation_invariant(a in arb_rect(), b in arb_rect(), v in arb_vec()) {
+        let before = a.iou(&b);
+        let after = a.translated(v).iou(&b.translated(v));
+        prop_assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        let i = a.intersection(&b);
+        if !i.is_empty() {
+            prop_assert!(i.x >= a.x - 1e-9 && i.right() <= a.right() + 1e-9);
+            prop_assert!(i.x >= b.x - 1e-9 && i.right() <= b.right() + 1e-9);
+            prop_assert!(i.y >= a.y - 1e-9 && i.bottom() <= a.bottom() + 1e-9);
+            prop_assert!(i.y >= b.y - 1e-9 && i.bottom() <= b.bottom() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn union_bbox_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union_bbox(&b);
+        prop_assert!(u.x <= a.x + 1e-9 && u.right() >= a.right() - 1e-9);
+        prop_assert!(u.x <= b.x + 1e-9 && u.right() >= b.right() - 1e-9);
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn grid_cells_tile_the_rect(r in arb_rect(), nx in 1u32..6, ny in 1u32..6) {
+        let cells = r.grid(nx, ny);
+        prop_assert_eq!(cells.len(), (nx * ny) as usize);
+        let total: f64 = cells.iter().map(Rect::area).sum();
+        prop_assert!((total - r.area()).abs() < 1e-6 * r.area().max(1.0));
+        for c in &cells {
+            prop_assert!((c.intersection(&r).area() - c.area()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn q16_roundtrip_error_is_half_lsb(v in -127.0f64..127.0) {
+        let q = Q16::from_f64(v);
+        prop_assert!((q.to_f64() - v).abs() <= 0.5 / 256.0 + 1e-12);
+    }
+
+    #[test]
+    fn q16_add_matches_float_when_in_range(a in -60.0f64..60.0, b in -60.0f64..60.0) {
+        let qa = Q16::from_f64(a);
+        let qb = Q16::from_f64(b);
+        let got = (qa + qb).to_f64();
+        prop_assert!((got - (a + b)).abs() <= 2.0 / 256.0);
+    }
+
+    #[test]
+    fn q16_mul_matches_float_when_in_range(a in -11.0f64..11.0, b in -11.0f64..11.0) {
+        let got = (Q16::from_f64(a) * Q16::from_f64(b)).to_f64();
+        prop_assert!((got - a * b).abs() <= 0.1);
+    }
+
+    #[test]
+    fn q16_never_panics_on_any_raw(raw_a in any::<i16>(), raw_b in any::<i16>()) {
+        let a = Q16::from_raw(raw_a);
+        let b = Q16::from_raw(raw_b);
+        let _ = a + b;
+        let _ = a - b;
+        let _ = a * b;
+        let _ = -a;
+        let _ = a.abs();
+        let _ = a.widen().narrow();
+    }
+
+    #[test]
+    fn q32_div_count_bounded_by_operand(v in -1000.0f64..1000.0, n in 1u32..10_000) {
+        let q = Q32::from_f64(v);
+        let d = q.div_count(n);
+        prop_assert!(d.to_f64().abs() <= v.abs() + 1e-6);
+        // Dividing then multiplying recovers the value within rounding.
+        let back = d.to_f64() * f64::from(n);
+        prop_assert!((back - v).abs() <= f64::from(n) / 65536.0 + 1e-9);
+    }
+
+    #[test]
+    fn accumulator_rate_is_monotone_in_threshold(
+        ious in proptest::collection::vec(0.0f64..=1.0, 1..200),
+        t1 in 0.0f64..=1.0,
+        t2 in 0.0f64..=1.0,
+    ) {
+        let acc: IouAccumulator = ious.into_iter().collect();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(acc.rate_at(lo) >= acc.rate_at(hi));
+    }
+
+    #[test]
+    fn accumulator_auc_bounded(ious in proptest::collection::vec(0.0f64..=1.0, 1..200)) {
+        let acc: IouAccumulator = ious.into_iter().collect();
+        let auc = acc.auc();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&auc));
+    }
+
+    #[test]
+    fn vec2f_add_sub_roundtrip(a in arb_vec(), b in arb_vec()) {
+        let s = a + b - b;
+        prop_assert!((s.x - a.x).abs() < 1e-9 && (s.y - a.y).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Suite-level evaluation: parallel per-sequence execution with
+//! deterministic aggregation.
+//!
+//! Accuracy evaluation is offline (every frame of every sequence, §5.2),
+//! so sequences are embarrassingly parallel. All oracle noise derives
+//! from `(seed, sequence index, frame)`, making results independent of
+//! thread count and execution order.
+
+use crate::backend::{BackendConfig, TaskOutcome};
+use crate::frontend::{prepare_sequence, MotionConfig, PreparedSequence};
+use euphrates_common::error::Result;
+use euphrates_common::metrics::IouAccumulator;
+use euphrates_datasets::Sequence;
+
+/// Maps `f` over `items` on up to `threads` worker threads, preserving
+/// input order in the output.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                let mut guard = slots_mutex.lock().expect("no panics while holding lock");
+                guard[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Default worker-thread count: the available parallelism, capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// The result of evaluating one scheme over a suite.
+#[derive(Debug, Clone)]
+pub struct SuiteOutcome {
+    /// Scheme label (e.g. `"EW-4"`).
+    pub label: String,
+    /// Merged task statistics.
+    pub outcome: TaskOutcome,
+    /// Per-sequence outcomes (order matches the suite), for per-sequence
+    /// figures like Fig. 10c.
+    pub per_sequence: Vec<TaskOutcome>,
+}
+
+impl SuiteOutcome {
+    /// Accuracy accumulator over all scored predictions.
+    pub fn accuracy(&self) -> IouAccumulator {
+        self.outcome.ious.iter().copied().collect()
+    }
+
+    /// Success/precision at the conventional IoU 0.5.
+    pub fn rate_at_05(&self) -> f64 {
+        self.accuracy().rate_at(0.5)
+    }
+}
+
+/// Prepares sequences and runs one or more schemes over them, rendering
+/// each sequence only once. `run` receives
+/// `(prepared sequence, sequence index, scheme index)`.
+///
+/// Returns one [`SuiteOutcome`] per scheme.
+///
+/// # Errors
+///
+/// Propagates preparation or task errors (the first one encountered).
+pub fn evaluate_suite<F>(
+    suite: &[Sequence],
+    motion: &MotionConfig,
+    schemes: &[(String, BackendConfig)],
+    run: F,
+) -> Result<Vec<SuiteOutcome>>
+where
+    F: Fn(&PreparedSequence, u64, &BackendConfig) -> Result<TaskOutcome> + Sync,
+{
+    let motion = *motion;
+    let per_sequence: Vec<Result<Vec<TaskOutcome>>> =
+        parallel_map(suite, default_threads(), |i, seq| {
+            let prep = prepare_sequence(seq, &motion)?;
+            schemes
+                .iter()
+                .map(|(_, cfg)| run(&prep, i as u64, cfg))
+                .collect()
+        });
+
+    let mut outcomes: Vec<Vec<TaskOutcome>> = Vec::with_capacity(suite.len());
+    for r in per_sequence {
+        outcomes.push(r?);
+    }
+
+    Ok(schemes
+        .iter()
+        .enumerate()
+        .map(|(si, (label, _))| {
+            let mut merged = TaskOutcome::default();
+            let mut per_seq = Vec::with_capacity(outcomes.len());
+            for seq_outcomes in &outcomes {
+                merged.merge(&seq_outcomes[si]);
+                per_seq.push(seq_outcomes[si].clone());
+            }
+            SuiteOutcome {
+                label: label.clone(),
+                outcome: merged,
+                per_sequence: per_seq,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::run_tracking;
+    use euphrates_datasets::{otb100_like, DatasetScale};
+    use euphrates_mc::policy::EwPolicy;
+    use euphrates_nn::oracle::calib;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(&items, 8, |i, v| (i as u64) * 1000 + v);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_single_thread_fallback() {
+        let items = vec![1, 2, 3];
+        let out = parallel_map(&items, 1, |_, v| v * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        let empty: Vec<i32> = vec![];
+        assert!(parallel_map(&empty, 4, |_, v| *v).is_empty());
+    }
+
+    #[test]
+    fn evaluate_suite_matches_serial_execution() {
+        let mut suite = otb100_like(31, DatasetScale::fraction(0.05));
+        suite.truncate(3);
+        for s in &mut suite {
+            s.frames = 30;
+        }
+        let schemes = vec![
+            ("base".to_string(), BackendConfig::baseline()),
+            ("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))),
+        ];
+        let motion = MotionConfig::default();
+        let results = evaluate_suite(&suite, &motion, &schemes, |prep, stream, cfg| {
+            run_tracking(prep, calib::mdnet(), cfg, stream)
+        })
+        .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].per_sequence.len(), 3);
+
+        // Serial re-run gives identical numbers (determinism across the
+        // thread pool).
+        let serial: TaskOutcome = {
+            let mut merged = TaskOutcome::default();
+            for (i, seq) in suite.iter().enumerate() {
+                let prep = prepare_sequence(seq, &motion).unwrap();
+                merged.merge(
+                    &run_tracking(&prep, calib::mdnet(), &schemes[1].1, i as u64).unwrap(),
+                );
+            }
+            merged
+        };
+        assert_eq!(results[1].outcome, serial);
+    }
+
+    #[test]
+    fn suite_outcome_accuracy_reflects_ious() {
+        let so = SuiteOutcome {
+            label: "x".into(),
+            outcome: TaskOutcome {
+                ious: vec![0.9, 0.9, 0.1],
+                frames: 3,
+                inferences: 3,
+                ..TaskOutcome::default()
+            },
+            per_sequence: vec![],
+        };
+        assert!((so.rate_at_05() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

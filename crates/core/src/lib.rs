@@ -1,0 +1,71 @@
+//! # euphrates-core
+//!
+//! The Euphrates continuous-vision pipeline: the paper's primary
+//! contribution assembled from the workspace's substrates.
+//!
+//! * [`frontend`] — sequence preparation: camera/scene rendering + ISP
+//!   block matching → per-frame ground truth and motion fields.
+//! * [`backend`] — shared backend machinery: EW scheduling, the ROI
+//!   extrapolation step (reference or fixed-point datapath), MC cycle
+//!   accounting.
+//! * [`tracker`] / [`detector`] — the two evaluated tasks (§5.2): MDNet-
+//!   class single-object tracking and YOLOv2-class multi-object
+//!   detection, with I-frame inference and E-frame extrapolation.
+//! * [`eval`] — deterministic parallel suite evaluation.
+//! * [`system`] — the Table 1 platform model mapping inference rates to
+//!   SoC energy, FPS, and DRAM traffic.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use euphrates_core::prelude::*;
+//!
+//! # fn main() -> euphrates_common::Result<()> {
+//! // A small tracking suite at 10% scale.
+//! let mut suite = euphrates_datasets::otb100_like(42, DatasetScale::fraction(0.1));
+//! suite.truncate(2);
+//! for s in &mut suite { s.frames = 40; }
+//!
+//! let schemes = vec![
+//!     ("MDNet".to_string(), BackendConfig::baseline()),
+//!     ("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))),
+//! ];
+//! let results = evaluate_suite(
+//!     &suite,
+//!     &MotionConfig::default(),
+//!     &schemes,
+//!     |prep, stream, cfg| run_tracking(prep, euphrates_nn::oracle::calib::mdnet(), cfg, stream),
+//! )?;
+//! assert_eq!(results.len(), 2);
+//! // Extrapolation quarters the inference count.
+//! assert!(results[1].outcome.inference_rate() < 0.3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod backend;
+pub mod detector;
+pub mod eval;
+pub mod frontend;
+pub mod system;
+pub mod tracker;
+
+pub use backend::{BackendConfig, TaskOutcome};
+pub use detector::run_detection;
+pub use eval::{evaluate_suite, parallel_map, SuiteOutcome};
+pub use frontend::{prepare_sequence, FrameData, MotionConfig, PreparedSequence};
+pub use system::SystemModel;
+pub use tracker::run_tracking;
+
+/// Convenience re-exports for pipeline users.
+pub mod prelude {
+    pub use crate::backend::{BackendConfig, TaskOutcome};
+    pub use crate::detector::run_detection;
+    pub use crate::eval::{evaluate_suite, SuiteOutcome};
+    pub use crate::frontend::{prepare_sequence, MotionConfig, PreparedSequence};
+    pub use crate::system::SystemModel;
+    pub use crate::tracker::run_tracking;
+    pub use euphrates_datasets::{DatasetScale, Sequence, VisualAttribute};
+    pub use euphrates_mc::policy::{AdaptiveConfig, EwPolicy};
+    pub use euphrates_soc::energy::ExtrapolationExecutor;
+}

@@ -1,0 +1,265 @@
+//! The visual-tracking task (§5.2): single-object ROI propagation with
+//! MDNet-class inference on I-frames and motion extrapolation on E-frames.
+//!
+//! Protocol (standard OTB): the tracker is initialized with the ground-
+//! truth box of frame 0; every subsequent frame produces exactly one
+//! predicted box, scored by IoU against ground truth. Frames whose ground
+//! truth is empty (target fully out of view) are excluded from scoring
+//! but still advance the pipeline.
+
+use crate::backend::{
+    charge_sequencer, controller, extrapolate_roi, oracle_targets, BackendConfig, TaskOutcome,
+    TrackState,
+};
+use crate::frontend::PreparedSequence;
+use euphrates_common::error::{Error, Result};
+use euphrates_common::geom::Rect;
+use euphrates_mc::policy::FrameKind;
+use euphrates_nn::oracle::{TrackerOracle, TrackerProfile};
+
+/// Runs the tracking task over a prepared sequence.
+///
+/// `stream` disambiguates oracle noise across sequences (pass a stable
+/// per-sequence index).
+///
+/// # Errors
+///
+/// Returns an error for an empty sequence, a sequence without a target in
+/// frame 0, or an invalid policy.
+pub fn run_tracking(
+    prep: &PreparedSequence,
+    profile: TrackerProfile,
+    config: &BackendConfig,
+    stream: u64,
+) -> Result<TaskOutcome> {
+    if prep.is_empty() {
+        return Err(Error::config("cannot track an empty sequence"));
+    }
+    let first_truth = prep.frames[0]
+        .truth
+        .first()
+        .ok_or_else(|| Error::config("sequence has no target in frame 0"))?;
+    if first_truth.rect.is_empty() {
+        return Err(Error::config("target starts out of view"));
+    }
+
+    let oracle = TrackerOracle::new(profile, config.seed);
+    let mut ctrl = controller(config)?;
+    let mut outcome = TaskOutcome::default();
+    let mut state = TrackState::new(&config.extrapolation);
+    let mut prediction = first_truth.rect;
+
+    let frame_bounds = Rect::new(
+        0.0,
+        0.0,
+        f64::from(prep.resolution.width),
+        f64::from(prep.resolution.height),
+    );
+
+    for (f, frame) in prep.frames.iter().enumerate() {
+        let kind = ctrl.next_frame();
+        outcome.frames += 1;
+
+        let target = oracle_targets(frame)
+            .into_iter()
+            .next()
+            .unwrap_or(euphrates_nn::oracle::OracleTarget {
+                id: 0,
+                label: 0,
+                rect: Rect::default(),
+                visibility: 0.0,
+                blur: 0.0,
+            });
+
+        let datapath_cycles;
+        let new_prediction = match kind {
+            FrameKind::Extrapolation => {
+                let (roi, cycles, ops) = extrapolate_roi(
+                    &prediction,
+                    &frame.motion,
+                    &mut state,
+                    &config.extrapolation,
+                    config.fixed_datapath,
+                );
+                datapath_cycles = cycles;
+                outcome.extrapolation_ops += ops;
+                // Departing ROIs park at the frame edge (the MC's register
+                // file holds frame-relative coordinates; see
+                // `retain_at_edge`), keeping at least a quarter of the box
+                // in view so a returning target can be reacquired.
+                crate::backend::retain_at_edge(&roi, &frame_bounds, 0.25)
+            }
+            FrameKind::Inference => {
+                outcome.inferences += 1;
+                // The adaptive controller needs the extrapolated prediction
+                // this inference replaces (§3.3); compute it without
+                // disturbing the filter state.
+                let extrapolated = {
+                    let mut probe = state.clone();
+                    let (roi, cycles, _) = extrapolate_roi(
+                        &prediction,
+                        &frame.motion,
+                        &mut probe,
+                        &config.extrapolation,
+                        config.fixed_datapath,
+                    );
+                    datapath_cycles = cycles;
+                    roi
+                };
+                let inferred = oracle.track(&prediction, &target, stream, f as u64);
+                ctrl.record_comparison(inferred.iou(&extrapolated));
+                inferred
+            }
+        };
+        charge_sequencer(&mut outcome, kind, &frame.motion, 1, datapath_cycles);
+        prediction = new_prediction;
+
+        // Score (skip the given frame 0 and out-of-view frames). The
+        // emitted result is the frame-clamped box.
+        if f > 0 {
+            if let Some(gt) = frame.truth.first() {
+                if !gt.rect.is_empty() {
+                    outcome
+                        .ious
+                        .push(prediction.clamped_to(&frame_bounds).iou(&gt.rect));
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::{prepare_sequence, MotionConfig};
+    use euphrates_common::metrics::IouAccumulator;
+    use euphrates_datasets::{otb100_like, DatasetScale, VisualAttribute};
+    use euphrates_mc::policy::{AdaptiveConfig, EwPolicy};
+    use euphrates_nn::oracle::calib;
+
+    fn prepared(attr: VisualAttribute, frames: u32) -> PreparedSequence {
+        let suite = otb100_like(17, DatasetScale::fraction(0.1));
+        let mut seq = suite
+            .into_iter()
+            .find(|s| s.has_attribute(attr))
+            .expect("attribute present");
+        seq.frames = frames;
+        prepare_sequence(&seq, &MotionConfig::default()).unwrap()
+    }
+
+    fn success_at_05(outcome: &TaskOutcome) -> f64 {
+        let acc: IouAccumulator = outcome.ious.iter().copied().collect();
+        acc.rate_at(0.5)
+    }
+
+    #[test]
+    fn baseline_tracking_succeeds_on_easy_content() {
+        let prep = prepared(VisualAttribute::IlluminationVariation, 60);
+        let out = run_tracking(&prep, calib::mdnet(), &BackendConfig::baseline(), 0).unwrap();
+        assert_eq!(out.frames, 60);
+        assert_eq!(out.inferences, 60);
+        assert!(
+            success_at_05(&out) > 0.85,
+            "baseline success {}",
+            success_at_05(&out)
+        );
+    }
+
+    #[test]
+    fn ew2_tracks_nearly_as_well_as_baseline() {
+        let prep = prepared(VisualAttribute::ScaleVariation, 80);
+        let base = run_tracking(&prep, calib::mdnet(), &BackendConfig::baseline(), 0).unwrap();
+        let ew2 = run_tracking(
+            &prep,
+            calib::mdnet(),
+            &BackendConfig::new(EwPolicy::Constant(2)),
+            0,
+        )
+        .unwrap();
+        assert!((ew2.inference_rate() - 0.5).abs() < 0.05);
+        assert!(
+            success_at_05(&ew2) + 0.15 > success_at_05(&base),
+            "EW-2 {} vs baseline {}",
+            success_at_05(&ew2),
+            success_at_05(&base)
+        );
+    }
+
+    #[test]
+    fn accuracy_degrades_with_window_on_hard_content() {
+        let prep = prepared(VisualAttribute::FastMotion, 80);
+        let s2 = success_at_05(
+            &run_tracking(
+                &prep,
+                calib::mdnet(),
+                &BackendConfig::new(EwPolicy::Constant(2)),
+                0,
+            )
+            .unwrap(),
+        );
+        let s16 = success_at_05(
+            &run_tracking(
+                &prep,
+                calib::mdnet(),
+                &BackendConfig::new(EwPolicy::Constant(16)),
+                0,
+            )
+            .unwrap(),
+        );
+        assert!(
+            s2 >= s16,
+            "EW-2 ({s2}) should be at least as accurate as EW-16 ({s16}) on fast motion"
+        );
+    }
+
+    #[test]
+    fn adaptive_mode_modulates_inference_rate() {
+        let easy = prepared(VisualAttribute::IlluminationVariation, 100);
+        let hard = prepared(VisualAttribute::FastMotion, 100);
+        let cfg = BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default()));
+        let easy_out = run_tracking(&easy, calib::mdnet(), &cfg, 0).unwrap();
+        let hard_out = run_tracking(&hard, calib::mdnet(), &cfg, 0).unwrap();
+        assert!(
+            easy_out.inference_rate() < hard_out.inference_rate() + 0.35,
+            "easy content should not need many more inferences: easy {} hard {}",
+            easy_out.inference_rate(),
+            hard_out.inference_rate()
+        );
+        // Adaptive must actually extrapolate sometimes.
+        assert!(easy_out.inference_rate() < 0.9);
+    }
+
+    #[test]
+    fn tracking_is_deterministic() {
+        let prep = prepared(VisualAttribute::Deformation, 40);
+        let cfg = BackendConfig::new(EwPolicy::Constant(4));
+        let a = run_tracking(&prep, calib::mdnet(), &cfg, 3).unwrap();
+        let b = run_tracking(&prep, calib::mdnet(), &cfg, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mc_cycles_accumulate() {
+        let prep = prepared(VisualAttribute::ScaleVariation, 40);
+        let out = run_tracking(
+            &prep,
+            calib::mdnet(),
+            &BackendConfig::new(EwPolicy::Constant(4)),
+            0,
+        )
+        .unwrap();
+        assert!(out.mc_cycles.0 > 0);
+        assert!(out.extrapolation_ops > 0);
+    }
+
+    #[test]
+    fn empty_sequence_is_rejected() {
+        let prep = PreparedSequence {
+            name: "empty".into(),
+            resolution: euphrates_common::image::Resolution::VGA,
+            frames: vec![],
+        };
+        assert!(run_tracking(&prep, calib::mdnet(), &BackendConfig::baseline(), 0).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! The OTB-100 visual attributes (§5.2, Fig. 12) and their mapping to
+//! scene parameters.
+//!
+//! Each attribute names a failure mode real trackers face; the synthetic
+//! dataset reproduces the *mechanism*, not just the label — e.g. "fast
+//! motion" means per-frame displacement beyond the block matcher's ±7 px
+//! search window, which is exactly why the paper's Fig. 12 shows
+//! extrapolation suffering most there.
+
+use std::fmt;
+
+/// The ten OTB visual attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VisualAttribute {
+    /// Global illumination gain varies over the sequence.
+    IlluminationVariation,
+    /// The target's scale changes substantially.
+    ScaleVariation,
+    /// The target is partially or fully occluded.
+    Occlusion,
+    /// The target deforms (articulated parts).
+    Deformation,
+    /// Motion blur from target/camera motion during exposure.
+    MotionBlur,
+    /// Per-frame motion beyond the motion-estimation search range.
+    FastMotion,
+    /// In-plane rotation.
+    InPlaneRotation,
+    /// Out-of-plane rotation (aspect foreshortening).
+    OutOfPlaneRotation,
+    /// The target leaves the frame and returns.
+    OutOfView,
+    /// Background texture statistically similar to the target.
+    BackgroundClutter,
+}
+
+impl VisualAttribute {
+    /// All attributes in the Fig. 12 display order.
+    pub const ALL: [VisualAttribute; 10] = [
+        VisualAttribute::IlluminationVariation,
+        VisualAttribute::ScaleVariation,
+        VisualAttribute::Occlusion,
+        VisualAttribute::Deformation,
+        VisualAttribute::MotionBlur,
+        VisualAttribute::FastMotion,
+        VisualAttribute::InPlaneRotation,
+        VisualAttribute::OutOfPlaneRotation,
+        VisualAttribute::OutOfView,
+        VisualAttribute::BackgroundClutter,
+    ];
+
+    /// Short identifier used in sequence names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            VisualAttribute::IlluminationVariation => "iv",
+            VisualAttribute::ScaleVariation => "sv",
+            VisualAttribute::Occlusion => "occ",
+            VisualAttribute::Deformation => "def",
+            VisualAttribute::MotionBlur => "mb",
+            VisualAttribute::FastMotion => "fm",
+            VisualAttribute::InPlaneRotation => "ipr",
+            VisualAttribute::OutOfPlaneRotation => "opr",
+            VisualAttribute::OutOfView => "ov",
+            VisualAttribute::BackgroundClutter => "bc",
+        }
+    }
+}
+
+impl fmt::Display for VisualAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VisualAttribute::IlluminationVariation => "Illumination Variation",
+            VisualAttribute::ScaleVariation => "Scale Variation",
+            VisualAttribute::Occlusion => "Occlusion",
+            VisualAttribute::Deformation => "Deformation",
+            VisualAttribute::MotionBlur => "Motion Blur",
+            VisualAttribute::FastMotion => "Fast Motion",
+            VisualAttribute::InPlaneRotation => "In-Plane Rotation",
+            VisualAttribute::OutOfPlaneRotation => "Out-of-Plane Rotation",
+            VisualAttribute::OutOfView => "Out-of-View",
+            VisualAttribute::BackgroundClutter => "Background Clutter",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_ten_attributes_with_unique_tags() {
+        assert_eq!(VisualAttribute::ALL.len(), 10);
+        let mut tags: Vec<&str> = VisualAttribute::ALL.iter().map(|a| a.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 10);
+    }
+
+    #[test]
+    fn display_matches_fig12_labels() {
+        assert_eq!(
+            VisualAttribute::FastMotion.to_string(),
+            "Fast Motion"
+        );
+        assert_eq!(
+            VisualAttribute::OutOfPlaneRotation.to_string(),
+            "Out-of-Plane Rotation"
+        );
+    }
+}

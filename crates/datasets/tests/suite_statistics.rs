@@ -1,0 +1,97 @@
+//! Statistical sanity of the generated suites: the properties the paper's
+//! datasets have, verified on the stand-ins.
+
+use euphrates_datasets::{
+    detection_suite, otb100_like, vot2014_like, DatasetScale, VisualAttribute,
+};
+
+#[test]
+fn every_attribute_is_represented_in_otb() {
+    let suite = otb100_like(5, DatasetScale::fraction(0.1));
+    for attr in VisualAttribute::ALL {
+        assert!(
+            suite.iter().any(|s| s.has_attribute(attr)),
+            "missing {attr}"
+        );
+    }
+}
+
+#[test]
+fn mean_target_speed_stays_inside_the_search_window_except_fast_motion() {
+    let suite = otb100_like(7, DatasetScale::fraction(0.1));
+    for seq in &suite {
+        let speed = seq.mean_target_speed();
+        if seq.has_attribute(VisualAttribute::FastMotion) {
+            assert!(speed > 4.0, "{}: mean speed {speed}", seq.name);
+        } else {
+            assert!(speed < 7.0, "{}: mean speed {speed}", seq.name);
+        }
+    }
+}
+
+#[test]
+fn sequence_names_are_unique_across_the_combined_workload() {
+    let mut names: Vec<String> = otb100_like(42, DatasetScale::fraction(0.2))
+        .into_iter()
+        .chain(vot2014_like(42, DatasetScale::fraction(0.2)))
+        .chain(detection_suite(42, DatasetScale::fraction(0.2)))
+        .map(|s| s.name)
+        .collect();
+    let n = names.len();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), n, "duplicate sequence names");
+}
+
+#[test]
+fn detection_suite_objects_carry_varied_labels() {
+    let suite = detection_suite(11, DatasetScale::fraction(0.2));
+    let mut labels = std::collections::BTreeSet::new();
+    for seq in &suite {
+        for gt in seq.ground_truth(0) {
+            labels.insert(gt.label);
+        }
+    }
+    assert!(labels.len() >= 3, "labels {labels:?}");
+    // Occluder sentinel never leaks into ground truth.
+    assert!(!labels.contains(&u32::MAX));
+}
+
+#[test]
+fn scaled_suites_preserve_per_sequence_determinism() {
+    // The same (seed, attribute, index) triple must generate the same
+    // scene regardless of the scale used to reach it.
+    let big = otb100_like(3, DatasetScale::full());
+    let small = otb100_like(3, DatasetScale::fraction(0.1));
+    // The first sequence of each attribute block matches.
+    for s in &small {
+        let twin = big.iter().find(|b| b.name == s.name).expect("name exists");
+        assert_eq!(s.ground_truth(10), twin.ground_truth(10), "{}", s.name);
+    }
+}
+
+#[test]
+fn ground_truth_boxes_lie_inside_the_frame() {
+    let suite = vot2014_like(9, DatasetScale::fraction(0.2));
+    for seq in &suite {
+        let bounds = euphrates_common::geom::Rect::new(
+            0.0,
+            0.0,
+            f64::from(seq.resolution().width),
+            f64::from(seq.resolution().height),
+        );
+        for f in (0..seq.frames).step_by(20) {
+            for gt in seq.ground_truth(f) {
+                if !gt.rect.is_empty() {
+                    let inter = gt.rect.intersection(&bounds);
+                    assert!(
+                        (inter.area() - gt.rect.area()).abs() < 1e-6,
+                        "{} frame {f}: {} exceeds frame",
+                        seq.name,
+                        gt.rect
+                    );
+                }
+            }
+        }
+    }
+}

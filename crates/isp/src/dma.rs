@@ -1,0 +1,118 @@
+//! Frame-buffer DMA traffic accounting.
+//!
+//! The vision frontend communicates with the backend through DRAM
+//! (§2.1/§4.2): the ISP DMA-writes each processed frame — and, in
+//! Euphrates, the motion-vector metadata — into the frame buffer, and the
+//! backend reads what it needs (pixels on I-frames, metadata on E-frames).
+//! These byte counts drive the DRAM energy model in `euphrates-soc`.
+
+use euphrates_common::image::Resolution;
+use euphrates_common::units::Bytes;
+
+/// Pixel storage format in the frame buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PixelFormat {
+    /// 8-bit RGB, 3 bytes/pixel — the paper's "6 MB frame pixel data" for
+    /// 1080p (§4.2).
+    Rgb888,
+    /// Planar YUV 4:2:0, 1.5 bytes/pixel.
+    Yuv420,
+}
+
+impl PixelFormat {
+    /// Storage bytes for one frame at `resolution`.
+    pub fn frame_bytes(self, resolution: Resolution) -> Bytes {
+        let px = resolution.pixels();
+        match self {
+            PixelFormat::Rgb888 => Bytes(px * 3),
+            PixelFormat::Yuv420 => Bytes(px * 3 / 2),
+        }
+    }
+}
+
+/// Per-frame traffic the ISP puts on the SoC interconnect/DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IspFrameTraffic {
+    /// Pixel data written to the frame buffer.
+    pub pixel_write: Bytes,
+    /// Motion-vector metadata written to the frame buffer's metadata
+    /// section (zero for a stock, non-Euphrates ISP).
+    pub metadata_write: Bytes,
+}
+
+impl IspFrameTraffic {
+    /// Total bytes written per frame.
+    pub fn total(&self) -> Bytes {
+        self.pixel_write + self.metadata_write
+    }
+
+    /// Metadata overhead relative to pixel traffic (the §4.2 argument that
+    /// piggybacking is nearly free: ~8–32 KB vs ~6 MB).
+    pub fn metadata_overhead(&self) -> f64 {
+        if self.pixel_write.0 == 0 {
+            return 0.0;
+        }
+        self.metadata_write.0 as f64 / self.pixel_write.0 as f64
+    }
+}
+
+/// Computes the ISP's per-frame write traffic.
+pub fn isp_frame_traffic(
+    resolution: Resolution,
+    format: PixelFormat,
+    mb_size: u32,
+    export_motion: bool,
+) -> IspFrameTraffic {
+    let pixel_write = format.frame_bytes(resolution);
+    let metadata_write = if export_motion {
+        let (bx, by) = resolution.macroblocks(mb_size);
+        Bytes(u64::from(bx) * u64::from(by) * crate::linebuffer::BYTES_PER_BLOCK)
+    } else {
+        Bytes::ZERO
+    };
+    IspFrameTraffic {
+        pixel_write,
+        metadata_write,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_1080p_is_about_6mb() {
+        let b = PixelFormat::Rgb888.frame_bytes(Resolution::FULL_HD);
+        assert_eq!(b.0, 1920 * 1080 * 3);
+        assert!((b.as_mib_f64() - 5.93).abs() < 0.1);
+    }
+
+    #[test]
+    fn yuv420_is_half_of_rgb() {
+        let res = Resolution::FULL_HD;
+        let rgb = PixelFormat::Rgb888.frame_bytes(res);
+        let yuv = PixelFormat::Yuv420.frame_bytes(res);
+        assert_eq!(yuv.0 * 2, rgb.0);
+    }
+
+    #[test]
+    fn metadata_overhead_is_tiny() {
+        // §4.2: MV metadata is "a very small fraction" of pixel data.
+        let t = isp_frame_traffic(Resolution::FULL_HD, PixelFormat::Rgb888, 16, true);
+        assert!(t.metadata_write.0 > 0);
+        assert!(t.metadata_overhead() < 0.01, "overhead {}", t.metadata_overhead());
+    }
+
+    #[test]
+    fn stock_isp_writes_no_metadata() {
+        let t = isp_frame_traffic(Resolution::FULL_HD, PixelFormat::Rgb888, 16, false);
+        assert_eq!(t.metadata_write, Bytes::ZERO);
+        assert_eq!(t.total(), t.pixel_write);
+    }
+
+    #[test]
+    fn overhead_of_empty_traffic_is_zero() {
+        let t = IspFrameTraffic::default();
+        assert_eq!(t.metadata_overhead(), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # euphrates-isp
+//!
+//! The Image Signal Processor substrate: the pipeline of Fig. 2/Fig. 7 of
+//! the Euphrates paper, including the temporal-denoise stage whose
+//! block-matching motion estimation produces the motion vectors that the
+//! whole system is built around.
+//!
+//! The crate has two faces:
+//!
+//! * **Functional** — [`pipeline::IspPipeline`] turns RAW Bayer frames into
+//!   RGB frames and, per frame, a [`motion::MotionField`]: one motion
+//!   vector, SAD, and confidence (Equ. 2) per macroblock, computed by a
+//!   real [`motion::BlockMatcher`] (exhaustive search or three-step
+//!   search).
+//! * **Architectural** — [`linebuffer::TdSramModel`] models the
+//!   temporal-denoise SRAM with single vs. double buffering (the §4.2
+//!   design choice that keeps MV write-back off the ISP critical path),
+//!   [`dma`] accounts the frame-buffer and metadata traffic, and
+//!   [`power`] provides the calibrated ISP power (153 mW @1080p60 plus the
+//!   2.5 % motion-estimation overhead from §5.1).
+//!
+//! ## Example
+//!
+//! ```
+//! use euphrates_isp::motion::{BlockMatcher, SearchStrategy};
+//! use euphrates_common::image::LumaFrame;
+//!
+//! # fn main() -> euphrates_common::Result<()> {
+//! let prev = LumaFrame::new(64, 64)?;
+//! let mut cur = LumaFrame::new(64, 64)?;
+//! cur.set(32, 32, 255);
+//! let matcher = BlockMatcher::new(16, 7, SearchStrategy::ThreeStep)?;
+//! let field = matcher.estimate(&cur, &prev)?;
+//! assert_eq!(field.blocks_x(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod color;
+pub mod dma;
+pub mod interpolate;
+pub mod linebuffer;
+pub mod motion;
+pub mod pipeline;
+pub mod power;
+pub mod predictive;
+pub mod raw_motion;
+pub mod stages;
+
+pub use motion::{BlockMatcher, MotionField, MotionVector, SearchStrategy};
+pub use pipeline::{IspOutput, IspPipeline};
+pub use predictive::PredictiveBlockMatcher;
+pub use raw_motion::RawBlockMatcher;

@@ -1,0 +1,81 @@
+//! ISP power model, calibrated to the paper's Jetson TX2 measurement
+//! (§5.1): 153 mW at 1080p60, plus a conservatively assessed 2.5 % overhead
+//! for running block-matching motion estimation in the ISP.
+
+use euphrates_common::image::Resolution;
+use euphrates_common::units::MilliWatts;
+
+/// Calibrated ISP power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IspPowerModel {
+    /// Measured active power at the 1080p60 reference point.
+    pub reference_power: MilliWatts,
+    /// Fractional overhead of in-ISP motion estimation (§5.1: 2.5 %).
+    pub motion_estimation_overhead: f64,
+    /// Static floor that does not scale with pixel rate.
+    pub static_power: MilliWatts,
+}
+
+impl Default for IspPowerModel {
+    fn default() -> Self {
+        IspPowerModel {
+            reference_power: MilliWatts(153.0),
+            motion_estimation_overhead: 0.025,
+            static_power: MilliWatts(12.0),
+        }
+    }
+}
+
+impl IspPowerModel {
+    /// Active power at the given operating point.
+    pub fn active_power(&self, resolution: Resolution, fps: f64, motion_estimation: bool) -> MilliWatts {
+        let ref_rate = Resolution::FULL_HD.pixels() as f64 * 60.0;
+        let rate = resolution.pixels() as f64 * fps;
+        let mut dynamic = (self.reference_power.0 - self.static_power.0) * rate / ref_rate;
+        if motion_estimation {
+            dynamic *= 1.0 + self.motion_estimation_overhead;
+        }
+        MilliWatts(self.static_power.0 + dynamic)
+    }
+
+    /// Idle (clock-gated) power.
+    pub fn idle_power(&self) -> MilliWatts {
+        self.static_power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_matches_tx2_measurement() {
+        let m = IspPowerModel::default();
+        let p = m.active_power(Resolution::FULL_HD, 60.0, false);
+        assert!((p.0 - 153.0).abs() < 0.5, "got {p}");
+    }
+
+    #[test]
+    fn me_overhead_is_2_5_percent_of_dynamic() {
+        let m = IspPowerModel::default();
+        let base = m.active_power(Resolution::FULL_HD, 60.0, false);
+        let me = m.active_power(Resolution::FULL_HD, 60.0, true);
+        let overhead = (me.0 - base.0) / (base.0 - m.static_power.0);
+        assert!((overhead - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_scales_down_at_vga() {
+        let m = IspPowerModel::default();
+        let vga = m.active_power(Resolution::VGA, 60.0, true);
+        let hd = m.active_power(Resolution::FULL_HD, 60.0, true);
+        assert!(vga.0 < hd.0 / 3.0);
+        assert!(vga.0 > m.idle_power().0);
+    }
+
+    #[test]
+    fn idle_is_static_floor() {
+        let m = IspPowerModel::default();
+        assert_eq!(m.idle_power(), m.static_power);
+    }
+}

@@ -1,0 +1,189 @@
+//! Motion estimation directly on RAW Bayer data — the §8 future-work item
+//! ("recent work has shown that motion can be directly estimated from raw
+//! image sensor data using block matching. We leave it as future work to
+//! port Euphrates to support raw data").
+//!
+//! Rationale: if the vision pipeline consumes raw data (RedEye/ASP-Vision
+//! style), the ISP's RGB stages may be bypassed entirely — but Euphrates
+//! still needs motion vectors. Block matching works on the Bayer mosaic's
+//! green channel: G sites form a quincunx covering half the pixels, which
+//! we collapse into a half-resolution luma-like plane and match with the
+//! standard engine. Motion vectors are then scaled back to full-resolution
+//! pixel units.
+
+use crate::motion::{BlockMatcher, MotionField, MotionVector, SearchStrategy};
+use euphrates_common::error::{Error, Result};
+use euphrates_common::geom::Vec2i;
+use euphrates_common::image::{rggb_color, BayerFrame, CfaColor, LumaFrame, Resolution};
+
+/// Extracts the green quincunx of an RGGB frame into a half-width,
+/// half-height plane (averaging the two G sites of each 2×2 cell).
+pub fn green_plane(raw: &BayerFrame) -> Result<LumaFrame> {
+    if raw.width() < 2 || raw.height() < 2 {
+        return Err(Error::config("frame too small for Bayer green extraction"));
+    }
+    let (w, h) = (raw.width() / 2, raw.height() / 2);
+    let mut out = LumaFrame::new(w, h)?;
+    for y in 0..h {
+        for x in 0..w {
+            let (x0, y0) = (2 * x, 2 * y);
+            // RGGB: G sits at (x0+1, y0) and (x0, y0+1).
+            debug_assert_eq!(rggb_color(x0 + 1, y0), CfaColor::Green);
+            let g0 = u16::from(raw.at(x0 + 1, y0));
+            let g1 = u16::from(raw.at(x0, y0 + 1));
+            out.set(x, y, (g0.midpoint(g1)) as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Block matcher operating on RAW Bayer frames.
+///
+/// Uses a half-size macroblock and search range on the green plane so the
+/// effective pixel-domain geometry matches the RGB-path matcher; output
+/// motion vectors are rescaled to full-resolution pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawBlockMatcher {
+    inner: BlockMatcher,
+    full_mb: u32,
+    full_range: u32,
+}
+
+impl RawBlockMatcher {
+    /// Creates a raw-domain matcher with *full-resolution* macroblock size
+    /// and search range (halved internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the halved parameters are
+    /// invalid (macroblock size must be an even number ≥ 4).
+    pub fn new(mb_size: u32, search_range: u32, strategy: SearchStrategy) -> Result<Self> {
+        if !mb_size.is_multiple_of(2) || mb_size < 4 {
+            return Err(Error::config(format!(
+                "raw-domain macroblock size must be even and >= 4, got {mb_size}"
+            )));
+        }
+        let inner = BlockMatcher::new(mb_size / 2, (search_range / 2).max(1), strategy)?;
+        Ok(RawBlockMatcher {
+            inner,
+            full_mb: mb_size,
+            full_range: search_range,
+        })
+    }
+
+    /// Estimates full-resolution motion from two RAW frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches.
+    pub fn estimate(&self, cur: &BayerFrame, prev: &BayerFrame) -> Result<MotionField> {
+        let g_cur = green_plane(cur)?;
+        let g_prev = green_plane(prev)?;
+        let half = self.inner.estimate(&g_cur, &g_prev)?;
+        // Upscale: same block grid (half-res blocks of size mb/2 cover the
+        // same image area as full-res blocks of size mb), vectors double.
+        let res = Resolution::new(cur.width(), cur.height());
+        let mut full = MotionField::zeroed(res, self.full_mb, self.full_range)?;
+        let bx = full.blocks_x().min(half.blocks_x());
+        let by = full.blocks_y().min(half.blocks_y());
+        for y in 0..by {
+            for x in 0..bx {
+                let mv = half.at_block(x, y);
+                full.set_block(
+                    x,
+                    y,
+                    MotionVector {
+                        v: Vec2i::new(mv.v.x * 2, mv.v.y * 2),
+                        // SADs compare half as many pixels at the same bit
+                        // depth: scale to keep Equ. 2 confidences
+                        // comparable with the RGB path.
+                        sad: mv.sad * 4,
+                    },
+                );
+            }
+        }
+        Ok(full)
+    }
+
+    /// The underlying half-resolution matcher.
+    pub fn inner(&self) -> &BlockMatcher {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euphrates_common::rngx;
+
+    fn bayer_textured(width: u32, height: u32, seed: u64, shift: i64) -> BayerFrame {
+        let mut f = BayerFrame::new(width, height).unwrap();
+        for y in 0..height {
+            for x in 0..width {
+                let v = (rngx::lattice_hash(seed, (i64::from(x) - shift) / 4, i64::from(y) / 4)
+                    * 255.0) as u8;
+                f.set(x, y, v);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn green_plane_halves_dimensions() {
+        let raw = bayer_textured(64, 48, 1, 0);
+        let g = green_plane(&raw).unwrap();
+        assert_eq!((g.width(), g.height()), (32, 24));
+    }
+
+    #[test]
+    fn green_plane_averages_the_two_sites() {
+        let mut raw = BayerFrame::new(4, 4).unwrap();
+        raw.set(1, 0, 100); // G site
+        raw.set(0, 1, 200); // G site
+        let g = green_plane(&raw).unwrap();
+        assert_eq!(g.at(0, 0), 150);
+    }
+
+    #[test]
+    fn raw_matcher_recovers_even_translations() {
+        let prev = bayer_textured(128, 128, 2, 0);
+        let cur = bayer_textured(128, 128, 2, 6);
+        let m = RawBlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+        let field = m.estimate(&cur, &prev).unwrap();
+        let mv = field.at_block(3, 3);
+        assert_eq!(i32::from(mv.v.x), 6, "detected {:?}", mv.v);
+        assert_eq!(i32::from(mv.v.y), 0);
+    }
+
+    #[test]
+    fn raw_field_geometry_matches_rgb_path() {
+        let prev = bayer_textured(128, 96, 3, 0);
+        let cur = bayer_textured(128, 96, 3, 2);
+        let m = RawBlockMatcher::new(16, 7, SearchStrategy::ThreeStep).unwrap();
+        let field = m.estimate(&cur, &prev).unwrap();
+        assert_eq!(field.mb_size(), 16);
+        assert_eq!((field.blocks_x(), field.blocks_y()), (8, 6));
+        assert_eq!(field.resolution(), Resolution::new(128, 96));
+    }
+
+    #[test]
+    fn odd_macroblock_sizes_are_rejected() {
+        assert!(RawBlockMatcher::new(15, 7, SearchStrategy::ThreeStep).is_err());
+        assert!(RawBlockMatcher::new(2, 7, SearchStrategy::ThreeStep).is_err());
+        assert!(RawBlockMatcher::new(16, 7, SearchStrategy::ThreeStep).is_ok());
+    }
+
+    #[test]
+    fn confidences_remain_in_range() {
+        let prev = bayer_textured(64, 64, 5, 0);
+        let cur = bayer_textured(64, 64, 99, 0); // uncorrelated
+        let m = RawBlockMatcher::new(16, 7, SearchStrategy::ThreeStep).unwrap();
+        let field = m.estimate(&cur, &prev).unwrap();
+        for by in 0..field.blocks_y() {
+            for bx in 0..field.blocks_x() {
+                let c = field.confidence(bx, by);
+                assert!((0.0..=1.0).contains(&c), "confidence {c}");
+            }
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! The classic ISP pipeline stages of Fig. 2: dead-pixel correction and
+//! demosaicing in the Bayer domain, then white balance in the RGB domain,
+//! and finally motion-compensated temporal denoising.
+//!
+//! Each stage is a small struct with a `process` method and an
+//! operations-per-pixel estimate that feeds the ISP compute model. The
+//! stages are deliberately simple, standard algorithms — the paper's
+//! contribution is not the ISP internals but *exporting* the temporal-
+//! denoise stage's motion vectors (§4.2), which [`crate::pipeline`] wires
+//! up.
+
+use crate::motion::MotionField;
+use euphrates_common::error::Result;
+use euphrates_common::image::{rggb_color, BayerFrame, CfaColor, LumaFrame, Rgb, RgbFrame};
+
+/// Dead-pixel correction: replaces samples that deviate strongly from the
+/// median of their same-color neighbors (stuck/hot photosites).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadPixelCorrection {
+    /// Deviation (0–255) beyond which a sample is considered dead.
+    pub threshold: u8,
+}
+
+impl Default for DeadPixelCorrection {
+    fn default() -> Self {
+        DeadPixelCorrection { threshold: 60 }
+    }
+}
+
+impl DeadPixelCorrection {
+    /// Corrects dead pixels in place, returning the number of corrections.
+    pub fn process(&self, raw: &mut BayerFrame) -> u32 {
+        let (w, h) = (raw.width(), raw.height());
+        let src = raw.clone();
+        let mut corrected = 0;
+        for y in 0..h {
+            for x in 0..w {
+                // Same-color neighbors in the Bayer mosaic are 2 apart.
+                let mut neighbors = [0u8; 4];
+                for (n, (dx, dy)) in [(-2i64, 0i64), (2, 0), (0, -2), (0, 2)].into_iter().enumerate() {
+                    neighbors[n] = src.at_clamped(i64::from(x) + dx, i64::from(y) + dy);
+                }
+                neighbors.sort_unstable();
+                let median = u16::from(neighbors[1]).midpoint(u16::from(neighbors[2])) as u8;
+                let v = src.at(x, y);
+                if v.abs_diff(median) > self.threshold {
+                    raw.set(x, y, median);
+                    corrected += 1;
+                }
+            }
+        }
+        corrected
+    }
+
+    /// Arithmetic operations per pixel (4 loads, sort network, compare).
+    pub fn ops_per_pixel(&self) -> u64 {
+        12
+    }
+}
+
+/// Bilinear demosaicing of the RGGB mosaic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Demosaic;
+
+impl Demosaic {
+    /// Reconstructs a full RGB frame from the Bayer mosaic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plane-construction failures (zero-sized frames cannot be
+    /// constructed, so in practice this does not fail).
+    pub fn process(&self, raw: &BayerFrame) -> Result<RgbFrame> {
+        let (w, h) = (raw.width(), raw.height());
+        let mut rgb = RgbFrame::new(w, h)?;
+        // Averages the clamped neighborhood samples whose CFA color is `c`.
+        let avg = |x: u32, y: u32, c: CfaColor, offsets: &[(i64, i64)]| -> u8 {
+            let mut sum = 0u32;
+            let mut n = 0u32;
+            for &(dx, dy) in offsets {
+                let sx = i64::from(x) + dx;
+                let sy = i64::from(y) + dy;
+                let cx = sx.clamp(0, i64::from(w) - 1) as u32;
+                let cy = sy.clamp(0, i64::from(h) - 1) as u32;
+                if rggb_color(cx, cy) == c {
+                    sum += u32::from(raw.at(cx, cy));
+                    n += 1;
+                }
+            }
+            sum.checked_div(n).unwrap_or(0) as u8
+        };
+        type Offsets = [(i64, i64)];
+        const CROSS: &Offsets = &[(-1, 0), (1, 0), (0, -1), (0, 1)];
+        const DIAG: &Offsets = &[(-1, -1), (1, -1), (-1, 1), (1, 1)];
+        const HORIZ: &Offsets = &[(-1, 0), (1, 0)];
+        const VERT: &Offsets = &[(0, -1), (0, 1)];
+        for y in 0..h {
+            for x in 0..w {
+                let v = raw.at(x, y);
+                let px = match rggb_color(x, y) {
+                    CfaColor::Red => Rgb::new(v, avg(x, y, CfaColor::Green, CROSS), {
+                        avg(x, y, CfaColor::Blue, DIAG)
+                    }),
+                    CfaColor::Blue => Rgb::new(
+                        avg(x, y, CfaColor::Red, DIAG),
+                        avg(x, y, CfaColor::Green, CROSS),
+                        v,
+                    ),
+                    CfaColor::Green => {
+                        // Red neighbors are horizontal on even rows,
+                        // vertical on odd rows (RGGB).
+                        let (r_off, b_off) = if y & 1 == 0 {
+                            (HORIZ, VERT)
+                        } else {
+                            (VERT, HORIZ)
+                        };
+                        Rgb::new(
+                            avg(x, y, CfaColor::Red, r_off),
+                            v,
+                            avg(x, y, CfaColor::Blue, b_off),
+                        )
+                    }
+                };
+                rgb.set(x, y, px);
+            }
+        }
+        Ok(rgb)
+    }
+
+    /// Arithmetic operations per pixel.
+    pub fn ops_per_pixel(&self) -> u64 {
+        10
+    }
+}
+
+/// Gray-world auto white balance: scales R and B so the channel means match
+/// the green mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhiteBalance {
+    /// Maximum per-channel gain (guards against division blow-up on
+    /// pathological frames).
+    pub max_gain: f64,
+}
+
+impl Default for WhiteBalance {
+    fn default() -> Self {
+        WhiteBalance { max_gain: 4.0 }
+    }
+}
+
+impl WhiteBalance {
+    /// Balances the frame in place and returns the applied `(r, b)` gains.
+    pub fn process(&self, rgb: &mut RgbFrame) -> (f64, f64) {
+        let mut sums = [0f64; 3];
+        for p in rgb.samples() {
+            sums[0] += f64::from(p.r);
+            sums[1] += f64::from(p.g);
+            sums[2] += f64::from(p.b);
+        }
+        let gain = |target: f64, actual: f64| -> f64 {
+            if actual <= 0.0 {
+                1.0
+            } else {
+                (target / actual).clamp(1.0 / self.max_gain, self.max_gain)
+            }
+        };
+        let rg = gain(sums[1], sums[0]);
+        let bg = gain(sums[1], sums[2]);
+        if (rg - 1.0).abs() > 1e-3 || (bg - 1.0).abs() > 1e-3 {
+            for p in rgb.samples_mut() {
+                p.r = (f64::from(p.r) * rg).round().clamp(0.0, 255.0) as u8;
+                p.b = (f64::from(p.b) * bg).round().clamp(0.0, 255.0) as u8;
+            }
+        }
+        (rg, bg)
+    }
+
+    /// Arithmetic operations per pixel.
+    pub fn ops_per_pixel(&self) -> u64 {
+        5
+    }
+}
+
+/// Motion-compensated temporal denoising — the stage that *generates* the
+/// motion vectors Euphrates exposes (Fig. 7).
+///
+/// Each pixel is blended with its motion-compensated counterpart from the
+/// previous frame; the blend weight scales with the block confidence so
+/// badly matched blocks fall back to the noisy current pixel rather than
+/// ghosting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalDenoise {
+    /// Maximum blend weight toward the previous frame (0.5 = equal blend).
+    pub strength: f64,
+}
+
+impl Default for TemporalDenoise {
+    fn default() -> Self {
+        TemporalDenoise { strength: 0.5 }
+    }
+}
+
+impl TemporalDenoise {
+    /// Denoises `cur` against the previous denoised luma using the motion
+    /// field, returning the denoised luma plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the field's resolution differs from the
+    /// frames'.
+    pub fn process(
+        &self,
+        cur: &LumaFrame,
+        prev_denoised: &LumaFrame,
+        field: &MotionField,
+    ) -> Result<LumaFrame> {
+        if !cur.same_shape(prev_denoised) {
+            return Err(euphrates_common::Error::shape(
+                "current and previous frames differ in size",
+            ));
+        }
+        if field.resolution().width != cur.width() || field.resolution().height != cur.height() {
+            return Err(euphrates_common::Error::shape(
+                "motion field resolution differs from frame",
+            ));
+        }
+        let mut out = LumaFrame::new(cur.width(), cur.height())?;
+        for by in 0..field.blocks_y() {
+            for bx in 0..field.blocks_x() {
+                let mv = field.at_block(bx, by);
+                let conf = field.confidence(bx, by);
+                let w = self.strength * conf;
+                let rect = field.block_rect(bx, by);
+                let (x0, y0) = (rect.x as u32, rect.y as u32);
+                let (bw, bh) = (rect.w as u32, rect.h as u32);
+                for dy in 0..bh {
+                    for dx in 0..bw {
+                        let (x, y) = (x0 + dx, y0 + dy);
+                        let c = f64::from(cur.at(x, y));
+                        let p = f64::from(prev_denoised.at_clamped(
+                            i64::from(x) - i64::from(mv.v.x),
+                            i64::from(y) - i64::from(mv.v.y),
+                        ));
+                        out.set(x, y, (c * (1.0 - w) + p * w).round() as u8);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Arithmetic operations per pixel (blend only; motion estimation is
+    /// accounted separately by the block matcher's cost model).
+    pub fn ops_per_pixel(&self) -> u64 {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motion::{BlockMatcher, SearchStrategy};
+    use euphrates_common::image::Resolution;
+    use euphrates_common::rngx;
+
+    fn noisy_gray(width: u32, height: u32, base: u8, sigma: f64, seed: u64) -> LumaFrame {
+        let mut rng = rngx::derived_rng(seed, 1, 1);
+        let mut f = LumaFrame::new(width, height).unwrap();
+        for px in f.samples_mut() {
+            *px = (f64::from(base) + rngx::gaussian(&mut rng, 0.0, sigma))
+                .round()
+                .clamp(0.0, 255.0) as u8;
+        }
+        f
+    }
+
+    #[test]
+    fn dead_pixel_correction_fixes_hot_pixels() {
+        let mut raw = BayerFrame::new(16, 16).unwrap();
+        for px in raw.samples_mut() {
+            *px = 100;
+        }
+        raw.set(8, 8, 255); // hot
+        raw.set(4, 4, 0); // dead
+        let dpc = DeadPixelCorrection::default();
+        let fixed = dpc.process(&mut raw);
+        assert_eq!(fixed, 2);
+        assert_eq!(raw.at(8, 8), 100);
+        assert_eq!(raw.at(4, 4), 100);
+    }
+
+    #[test]
+    fn dead_pixel_correction_leaves_clean_frames_alone() {
+        let mut raw = BayerFrame::new(16, 16).unwrap();
+        for (i, px) in raw.samples_mut().iter_mut().enumerate() {
+            *px = 90 + (i % 16) as u8; // gentle gradient
+        }
+        let before = raw.clone();
+        let fixed = DeadPixelCorrection::default().process(&mut raw);
+        assert_eq!(fixed, 0);
+        assert_eq!(raw, before);
+    }
+
+    #[test]
+    fn demosaic_recovers_solid_color() {
+        // A solid color mosaiced then demosaiced should come back exactly.
+        let color = Rgb::new(180, 120, 60);
+        let mut raw = BayerFrame::new(16, 16).unwrap();
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = match rggb_color(x, y) {
+                    CfaColor::Red => color.r,
+                    CfaColor::Green => color.g,
+                    CfaColor::Blue => color.b,
+                };
+                raw.set(x, y, v);
+            }
+        }
+        let rgb = Demosaic.process(&raw).unwrap();
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(rgb.at(x, y), color, "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn demosaic_preserves_native_samples() {
+        let mut raw = BayerFrame::new(8, 8).unwrap();
+        for (i, px) in raw.samples_mut().iter_mut().enumerate() {
+            *px = (i * 3 % 251) as u8;
+        }
+        let rgb = Demosaic.process(&raw).unwrap();
+        // Each photosite's own channel passes through unchanged.
+        assert_eq!(rgb.at(0, 0).r, raw.at(0, 0));
+        assert_eq!(rgb.at(1, 0).g, raw.at(1, 0));
+        assert_eq!(rgb.at(1, 1).b, raw.at(1, 1));
+    }
+
+    #[test]
+    fn white_balance_equalizes_channel_means() {
+        let mut rgb = RgbFrame::new(32, 32).unwrap();
+        for p in rgb.samples_mut() {
+            *p = Rgb::new(50, 100, 200); // strong blue cast
+        }
+        let (rg, bg) = WhiteBalance::default().process(&mut rgb);
+        assert!(rg > 1.5, "red gain {rg}");
+        assert!(bg < 0.75, "blue gain {bg}");
+        let p = rgb.at(0, 0);
+        assert!(p.r.abs_diff(p.g) <= 2);
+        assert!(p.b.abs_diff(p.g) <= 2);
+    }
+
+    #[test]
+    fn white_balance_is_noop_on_neutral_frames() {
+        let mut rgb = RgbFrame::new(8, 8).unwrap();
+        for p in rgb.samples_mut() {
+            *p = Rgb::gray(128);
+        }
+        let before = rgb.clone();
+        let (rg, bg) = WhiteBalance::default().process(&mut rgb);
+        assert!((rg - 1.0).abs() < 1e-9 && (bg - 1.0).abs() < 1e-9);
+        assert_eq!(rgb, before);
+    }
+
+    #[test]
+    fn white_balance_clamps_extreme_gains() {
+        let mut rgb = RgbFrame::new(8, 8).unwrap();
+        for p in rgb.samples_mut() {
+            *p = Rgb::new(1, 200, 200);
+        }
+        let (rg, _) = WhiteBalance::default().process(&mut rgb);
+        assert!(rg <= 4.0);
+    }
+
+    #[test]
+    fn temporal_denoise_reduces_noise_variance() {
+        let res = Resolution::new(64, 64);
+        let clean = 128u8;
+        let a = noisy_gray(64, 64, clean, 8.0, 1);
+        let b = noisy_gray(64, 64, clean, 8.0, 2);
+        let matcher = BlockMatcher::new(16, 7, SearchStrategy::ThreeStep).unwrap();
+        let field = matcher.estimate(&b, &a).unwrap();
+        let _ = res;
+        let out = TemporalDenoise::default().process(&b, &a, &field).unwrap();
+        let var = |f: &LumaFrame| {
+            let mean =
+                f.samples().iter().map(|&v| f64::from(v)).sum::<f64>() / f.len() as f64;
+            f.samples()
+                .iter()
+                .map(|&v| (f64::from(v) - mean).powi(2))
+                .sum::<f64>()
+                / f.len() as f64
+        };
+        assert!(
+            var(&out) < var(&b) * 0.8,
+            "denoised variance {} vs input {}",
+            var(&out),
+            var(&b)
+        );
+    }
+
+    #[test]
+    fn temporal_denoise_rejects_mismatched_shapes() {
+        let a = LumaFrame::new(64, 64).unwrap();
+        let b = LumaFrame::new(32, 32).unwrap();
+        let field = MotionField::zeroed(Resolution::new(64, 64), 16, 7).unwrap();
+        assert!(TemporalDenoise::default().process(&a, &b, &field).is_err());
+        let field32 = MotionField::zeroed(Resolution::new(32, 32), 16, 7).unwrap();
+        assert!(TemporalDenoise::default().process(&a, &a, &field32).is_err());
+    }
+
+    #[test]
+    fn ops_estimates_are_positive() {
+        assert!(DeadPixelCorrection::default().ops_per_pixel() > 0);
+        assert!(Demosaic.ops_per_pixel() > 0);
+        assert!(WhiteBalance::default().ops_per_pixel() > 0);
+        assert!(TemporalDenoise::default().ops_per_pixel() > 0);
+    }
+}

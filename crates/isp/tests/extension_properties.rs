@@ -1,0 +1,133 @@
+//! Property tests for the motion-source extensions: predictive search,
+//! raw-domain matching, and frame interpolation.
+
+use euphrates_common::geom::Vec2i;
+use euphrates_common::image::{BayerFrame, LumaFrame};
+use euphrates_common::rngx;
+use euphrates_isp::interpolate::{mc_interpolate, mean_abs_error};
+use euphrates_isp::motion::{BlockMatcher, SearchStrategy};
+use euphrates_isp::predictive::PredictiveBlockMatcher;
+use euphrates_isp::raw_motion::RawBlockMatcher;
+use proptest::prelude::*;
+
+fn textured(shift: (i64, i64), seed: u64) -> LumaFrame {
+    let mut f = LumaFrame::new(96, 96).unwrap();
+    for y in 0..96 {
+        for x in 0..96 {
+            let v = (rngx::lattice_hash(
+                seed,
+                (i64::from(x) - shift.0) / 4,
+                (i64::from(y) - shift.1) / 4,
+            ) * 255.0) as u8;
+            f.set(x, y, v);
+        }
+    }
+    f
+}
+
+fn bayer_textured(shift: (i64, i64), seed: u64) -> BayerFrame {
+    let mut f = BayerFrame::new(96, 96).unwrap();
+    for y in 0..96 {
+        for x in 0..96 {
+            let v = (rngx::lattice_hash(
+                seed,
+                (i64::from(x) - shift.0) / 4,
+                (i64::from(y) - shift.1) / 4,
+            ) * 255.0) as u8;
+            f.set(x, y, v);
+        }
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn predictive_matches_plain_on_in_window_motion(
+        dx in -6i64..=6,
+        dy in -6i64..=6,
+        seed in 0u64..20,
+    ) {
+        let prev = textured((0, 0), seed);
+        let cur = textured((dx, dy), seed);
+        let plain = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+        let mut pred = PredictiveBlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+        let fp = plain.estimate(&cur, &prev).unwrap();
+        let fq = pred.estimate(&cur, &prev).unwrap();
+        // With a zero predictor (first frame), the two are equivalent on
+        // interior blocks.
+        for by in 1..fp.blocks_y() - 1 {
+            for bx in 1..fp.blocks_x() - 1 {
+                prop_assert_eq!(fp.at_block(bx, by).v, fq.at_block(bx, by).v);
+            }
+        }
+    }
+
+    #[test]
+    fn global_predictor_is_equivalent_to_shifted_search(
+        dx in -20i64..=20,
+        seed in 0u64..10,
+    ) {
+        let prev = textured((0, 0), seed);
+        let cur = textured((dx, 0), seed);
+        let pm = PredictiveBlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+        let field = pm
+            .estimate_with_global_predictor(&cur, &prev, Vec2i::new(dx as i16, 0))
+            .unwrap();
+        // With the true motion as predictor, interior blocks recover it
+        // exactly regardless of magnitude.
+        let mv = field.at_block(2, 2);
+        prop_assert_eq!(i64::from(mv.v.x), dx);
+        prop_assert_eq!(mv.v.y, 0);
+    }
+
+    #[test]
+    fn raw_and_rgb_paths_agree_on_even_motion(
+        dx in -3i64..=3,
+        dy in -3i64..=3,
+        seed in 0u64..10,
+    ) {
+        let (dx, dy) = (dx * 2, dy * 2); // raw path resolves even offsets
+        let rgb = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+        let raw = RawBlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+        let f_rgb = rgb
+            .estimate(&textured((dx, dy), seed), &textured((0, 0), seed))
+            .unwrap();
+        let f_raw = raw
+            .estimate(&bayer_textured((dx, dy), seed), &bayer_textured((0, 0), seed))
+            .unwrap();
+        let a = f_rgb.at_block(2, 2).v;
+        let b = f_raw.at_block(2, 2).v;
+        prop_assert!((i32::from(a.x) - i32::from(b.x)).abs() <= 2, "{a:?} vs {b:?}");
+        prop_assert!((i32::from(a.y) - i32::from(b.y)).abs() <= 2, "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn interpolation_error_is_bounded_by_endpoint_distance(
+        dx in -6i64..=6,
+        t in 0.0f64..=1.0,
+        seed in 0u64..10,
+    ) {
+        let prev = textured((0, 0), seed);
+        let cur = textured((dx, 0), seed);
+        let field = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive)
+            .unwrap()
+            .estimate(&cur, &prev)
+            .unwrap();
+        let mid = mc_interpolate(&prev, &cur, &field, t, 0.5).unwrap();
+        // The interpolant is at least as close to its nearer endpoint as
+        // the endpoints are to each other (plus block-rounding slack).
+        // (The distance to the *farther* endpoint may legitimately exceed
+        // d_endpoints near t = 0 or t = 1 by a rounding margin.)
+        let d_endpoints = mean_abs_error(&prev, &cur);
+        let d_prev = mean_abs_error(&mid, &prev);
+        let d_cur = mean_abs_error(&mid, &cur);
+        prop_assert!(
+            d_prev.min(d_cur) <= d_endpoints + 1.0,
+            "nearer-endpoint distance {} vs endpoint gap {}",
+            d_prev.min(d_cur),
+            d_endpoints
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration: the ISP's block matcher run on *rendered* scene frames must
+//! recover object motion — the end-to-end premise of the Euphrates paper's
+//! frontend (camera → ISP → motion vectors).
+
+use euphrates_camera::scene::{SceneBuilder, SceneObject};
+use euphrates_camera::sprite::{Shape, Sprite};
+use euphrates_camera::texture::Texture;
+use euphrates_camera::trajectory::{Profile, Trajectory};
+use euphrates_common::geom::Vec2f;
+use euphrates_common::image::{rgb_to_luma, Resolution};
+use euphrates_isp::motion::{BlockMatcher, SearchStrategy};
+use proptest::prelude::*;
+
+fn moving_object_scene(velocity: Vec2f, seed: u64) -> euphrates_camera::scene::Scene {
+    let res = Resolution::new(160, 120);
+    SceneBuilder::new(res, seed)
+        .object(SceneObject {
+            id: 0,
+            label: 1,
+            sprite: Sprite::rigid(48.0, 40.0, Shape::Rectangle, Texture::object_noise(seed + 7)),
+            trajectory: Trajectory::Linear {
+                start: Vec2f::new(50.0, 60.0),
+                velocity,
+            },
+            scale: Profile::one(),
+            rotation: Profile::zero(),
+            aspect: Profile::one(),
+            z: 1,
+            enter_frame: 0.0,
+            exit_frame: f64::INFINITY,
+            tracked: true,
+        })
+        .build()
+}
+
+/// Average motion vector over the blocks covered by the object's box.
+fn object_motion(
+    scene: &euphrates_camera::scene::Scene,
+    frame: u32,
+    strategy: SearchStrategy,
+) -> (f64, f64) {
+    let mut renderer = scene.renderer();
+    let prev = renderer.render(frame - 1);
+    let cur = renderer.render(frame);
+    let matcher = BlockMatcher::new(16, 7, strategy).unwrap();
+    let field = matcher
+        .estimate(&rgb_to_luma(&cur.rgb), &rgb_to_luma(&prev.rgb))
+        .unwrap();
+    // Shrink the ROI slightly so edge blocks (half background) don't dilute
+    // the average.
+    let roi = cur.truth[0].rect.scaled_about_center(0.7);
+    let mut sum = (0.0, 0.0);
+    let mut n = 0;
+    for (_, _, mv) in field.blocks_in_roi(&roi) {
+        sum.0 += f64::from(mv.v.x);
+        sum.1 += f64::from(mv.v.y);
+        n += 1;
+    }
+    assert!(n > 0, "ROI must cover at least one block");
+    (sum.0 / f64::from(n), sum.1 / f64::from(n))
+}
+
+#[test]
+fn block_matching_recovers_object_velocity_from_rendered_frames() {
+    for (vx, vy) in [(2.0, 0.0), (0.0, 3.0), (-3.0, 2.0)] {
+        let scene = moving_object_scene(Vec2f::new(vx, vy), 11);
+        let (mx, my) = object_motion(&scene, 10, SearchStrategy::Exhaustive);
+        assert!(
+            (mx - vx).abs() < 1.0 && (my - vy).abs() < 1.0,
+            "velocity ({vx},{vy}) estimated as ({mx:.2},{my:.2})"
+        );
+    }
+}
+
+#[test]
+fn tss_and_es_agree_on_rendered_scenes() {
+    let scene = moving_object_scene(Vec2f::new(3.0, -2.0), 13);
+    let es = object_motion(&scene, 8, SearchStrategy::Exhaustive);
+    let tss = object_motion(&scene, 8, SearchStrategy::ThreeStep);
+    assert!(
+        (es.0 - tss.0).abs() < 1.0 && (es.1 - tss.1).abs() < 1.0,
+        "ES {es:?} vs TSS {tss:?}"
+    );
+}
+
+#[test]
+fn background_blocks_report_near_zero_motion() {
+    let scene = moving_object_scene(Vec2f::new(3.0, 0.0), 17);
+    let mut renderer = scene.renderer();
+    let prev = renderer.render(4);
+    let cur = renderer.render(5);
+    let matcher = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+    let field = matcher
+        .estimate(&rgb_to_luma(&cur.rgb), &rgb_to_luma(&prev.rgb))
+        .unwrap();
+    // Far corner away from the object: static background.
+    let mv = field.at_block(field.blocks_x() - 1, field.blocks_y() - 1);
+    assert_eq!(mv.v.norm_sq(), 0, "background moved: {:?}", mv.v);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn recovered_motion_tracks_velocity_within_search_range(
+        vx in -5.0f64..5.0,
+        vy in -5.0f64..5.0,
+        seed in 0u64..50,
+    ) {
+        let scene = moving_object_scene(Vec2f::new(vx, vy), seed);
+        let (mx, my) = object_motion(&scene, 6, SearchStrategy::Exhaustive);
+        // Block-granular estimates of sub-pixel motion can be off by <1 px.
+        prop_assert!((mx - vx).abs() <= 1.5, "vx {vx} got {mx}");
+        prop_assert!((my - vy).abs() <= 1.5, "vy {vy} got {my}");
+    }
+}

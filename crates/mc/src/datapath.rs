@@ -1,0 +1,273 @@
+//! The Motion Controller's 4-wide SIMD fixed-point datapath (Fig. 8).
+//!
+//! The hardware evaluates Equations 1–3 in Q-format arithmetic: motion
+//! vectors arrive as packed 4+4-bit bytes from the MV SRAM, are widened
+//! into Q16.16 accumulators four blocks at a time, divided by the coverage
+//! count, and filtered in Q8.8. This module mirrors that datapath
+//! operation-for-operation, with a cycle count per call, and is verified
+//! against the `f64` reference in [`crate::algorithm`].
+
+use crate::algorithm::ExtrapolationConfig;
+use euphrates_common::fixed::{Q16, Q32};
+use euphrates_common::geom::{Rect, Vec2f};
+use euphrates_common::units::Cycles;
+use euphrates_isp::motion::MotionField;
+
+/// Packs a motion vector into the 4+4-bit SRAM byte (search range d ≤ 7).
+/// Components saturate at ±7.
+pub fn pack_mv(vx: i16, vy: i16) -> u8 {
+    let cx = vx.clamp(-7, 7) as i8;
+    let cy = vy.clamp(-7, 7) as i8;
+    (((cx as u8) & 0x0F) << 4) | ((cy as u8) & 0x0F)
+}
+
+/// Unpacks a 4+4-bit motion-vector byte.
+pub fn unpack_mv(b: u8) -> (i16, i16) {
+    // Sign-extend each nibble.
+    let sx = ((b >> 4) as i8) << 4 >> 4;
+    let sy = ((b & 0x0F) as i8) << 4 >> 4;
+    (i16::from(sx), i16::from(sy))
+}
+
+/// Result of one sub-ROI datapath evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatapathResult {
+    /// Filtered motion vector (Q8.8).
+    pub mv_x: Q16,
+    /// Filtered motion vector (Q8.8).
+    pub mv_y: Q16,
+    /// ROI confidence (Q8.8, in `[0, 1]`).
+    pub confidence: Q16,
+    /// Datapath cycles consumed.
+    pub cycles: Cycles,
+}
+
+/// The SIMD datapath model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimdDatapath {
+    /// SIMD lane count (Table 1: 4).
+    pub lanes: u32,
+    /// Fixed per-sub-ROI overhead cycles (setup, divide, filter, merge).
+    pub overhead_cycles: u32,
+}
+
+impl Default for SimdDatapath {
+    fn default() -> Self {
+        SimdDatapath {
+            lanes: 4,
+            overhead_cycles: 24,
+        }
+    }
+}
+
+impl SimdDatapath {
+    /// Evaluates Equ. 1–3 for one sub-ROI in fixed point.
+    ///
+    /// Block MVs pass through the 4-bit packing (exactly representable for
+    /// d ≤ 7); weights are integer pixel-overlap counts; the average runs
+    /// in Q16.16; the filter in Q8.8 — matching a realistic RTL datapath.
+    pub fn evaluate(
+        &self,
+        field: &MotionField,
+        sub_roi: &Rect,
+        prev_mv: (Q16, Q16),
+        config: &ExtrapolationConfig,
+    ) -> DatapathResult {
+        let mut sum_x = Q32::ZERO;
+        let mut sum_y = Q32::ZERO;
+        let mut sum_conf = Q32::ZERO;
+        let mut weight: u32 = 0;
+        let mut blocks: u32 = 0;
+        for (bx, by, mv) in field.blocks_in_roi(sub_roi) {
+            // Integer pixel-overlap weight (hardware counts covered pixels).
+            let overlap = field.block_rect(bx, by).intersection(sub_roi).area().round() as u32;
+            if overlap == 0 {
+                continue;
+            }
+            // Pack/unpack models the 4-bit SRAM storage. For search ranges
+            // beyond ±7 the datapath stores full bytes instead; we saturate
+            // identically to hardware.
+            let (vx, vy) = if field.search_range() <= 7 {
+                unpack_mv(pack_mv(mv.v.x, mv.v.y))
+            } else {
+                (mv.v.x, mv.v.y)
+            };
+            let w = Q32::from_f64(f64::from(overlap));
+            sum_x = sum_x + Q16::from_int(i32::from(vx)).widen() * w;
+            sum_y = sum_y + Q16::from_int(i32::from(vy)).widen() * w;
+            let conf = Q16::from_f64(field.confidence(bx, by));
+            sum_conf = sum_conf + conf.widen() * w;
+            weight += overlap;
+            blocks += 1;
+        }
+
+        let (mu_x, mu_y, alpha) = if weight == 0 {
+            (Q16::ZERO, Q16::ZERO, Q16::ZERO)
+        } else {
+            (
+                sum_x.div_count(weight).narrow(),
+                sum_y.div_count(weight).narrow(),
+                sum_conf.div_count(weight).narrow(),
+            )
+        };
+
+        // Equ. 3 in Q8.8.
+        let threshold = Q16::from_f64(config.confidence_threshold);
+        let beta = if alpha > threshold { alpha } else { Q16::HALF };
+        let one_minus_beta = Q16::ONE - beta;
+        let (mv_x, mv_y) = if config.filter {
+            (
+                mu_x * beta + prev_mv.0 * one_minus_beta,
+                mu_y * beta + prev_mv.1 * one_minus_beta,
+            )
+        } else {
+            (mu_x, mu_y)
+        };
+
+        // Cycle model: blocks processed `lanes` at a time, two MAC chains
+        // (x, y) plus the confidence chain share the SIMD unit over three
+        // passes; plus fixed overhead.
+        let groups = u64::from(blocks).div_ceil(u64::from(self.lanes));
+        let cycles = Cycles(3 * groups + u64::from(self.overhead_cycles));
+
+        DatapathResult {
+            mv_x,
+            mv_y,
+            confidence: alpha,
+            cycles,
+        }
+    }
+
+    /// Converts a datapath MV to the `f64` vector used by the pipeline.
+    pub fn to_vec2f(result: &DatapathResult) -> Vec2f {
+        Vec2f::new(result.mv_x.to_f64(), result.mv_y.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{filter_mv, roi_average_motion};
+    use euphrates_common::image::LumaFrame;
+    use euphrates_common::rngx;
+    use euphrates_isp::motion::{BlockMatcher, SearchStrategy};
+
+    #[test]
+    fn pack_unpack_roundtrips_search_range_7() {
+        for vx in -7..=7i16 {
+            for vy in -7..=7i16 {
+                assert_eq!(unpack_mv(pack_mv(vx, vy)), (vx, vy), "({vx},{vy})");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_saturates_beyond_range() {
+        assert_eq!(unpack_mv(pack_mv(100, -100)), (7, -7));
+    }
+
+    fn real_field(shift: (i64, i64)) -> MotionField {
+        let mk = |s: (i64, i64)| {
+            let mut f = LumaFrame::new(128, 128).unwrap();
+            for y in 0..128 {
+                for x in 0..128 {
+                    let v = (rngx::lattice_hash(
+                        21,
+                        (i64::from(x) - s.0) / 3,
+                        (i64::from(y) - s.1) / 3,
+                    ) * 255.0) as u8;
+                    f.set(x, y, v);
+                }
+            }
+            f
+        };
+        BlockMatcher::new(16, 7, SearchStrategy::Exhaustive)
+            .unwrap()
+            .estimate(&mk(shift), &mk((0, 0)))
+            .unwrap()
+    }
+
+    #[test]
+    fn datapath_matches_reference_within_fixed_point_tolerance() {
+        let field = real_field((4, -2));
+        let config = ExtrapolationConfig::default();
+        let dp = SimdDatapath::default();
+        for roi in [
+            Rect::new(32.0, 32.0, 48.0, 48.0),
+            Rect::new(10.0, 60.0, 70.0, 30.0),
+            Rect::new(0.0, 0.0, 128.0, 128.0),
+            Rect::new(100.0, 100.0, 28.0, 28.0),
+        ] {
+            let (mu, alpha) = roi_average_motion(&field, &roi);
+            let ref_mv = filter_mv(mu, alpha, Vec2f::ZERO, config.confidence_threshold);
+            let got = dp.evaluate(&field, &roi, (Q16::ZERO, Q16::ZERO), &config);
+            let gv = SimdDatapath::to_vec2f(&got);
+            // Integer-rounded overlap weights + Q8.8 keep us within ~0.2 px.
+            assert!(
+                (gv.x - ref_mv.x).abs() < 0.25,
+                "roi {roi}: x {} vs {}",
+                gv.x,
+                ref_mv.x
+            );
+            assert!(
+                (gv.y - ref_mv.y).abs() < 0.25,
+                "roi {roi}: y {} vs {}",
+                gv.y,
+                ref_mv.y
+            );
+            assert!((got.confidence.to_f64() - alpha).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn datapath_with_filter_uses_previous_mv() {
+        let field = real_field((0, 0)); // zero motion, full confidence
+        let config = ExtrapolationConfig::default();
+        let dp = SimdDatapath::default();
+        let prev = (Q16::from_f64(4.0), Q16::from_f64(-4.0));
+        let got = dp.evaluate(&field, &Rect::new(32.0, 32.0, 48.0, 48.0), prev, &config);
+        // alpha = 1 > threshold, so beta = 1: output = µ = 0 despite prev.
+        assert!(SimdDatapath::to_vec2f(&got).norm() < 0.1);
+        // With a low-confidence field (empty ROI -> alpha 0 -> beta 0.5),
+        // prev contributes half.
+        let got2 = dp.evaluate(&field, &Rect::new(500.0, 500.0, 10.0, 10.0), prev, &config);
+        let v2 = SimdDatapath::to_vec2f(&got2);
+        assert!((v2.x - 2.0).abs() < 0.05 && (v2.y + 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn cycle_count_scales_with_coverage() {
+        let field = real_field((1, 0));
+        let dp = SimdDatapath::default();
+        let config = ExtrapolationConfig::default();
+        let small = dp.evaluate(
+            &field,
+            &Rect::new(32.0, 32.0, 16.0, 16.0),
+            (Q16::ZERO, Q16::ZERO),
+            &config,
+        );
+        let large = dp.evaluate(
+            &field,
+            &Rect::new(0.0, 0.0, 128.0, 128.0),
+            (Q16::ZERO, Q16::ZERO),
+            &config,
+        );
+        assert!(large.cycles > small.cycles);
+        // 64 blocks at 4 lanes, 3 passes = 48 + 24 overhead.
+        assert_eq!(large.cycles, Cycles(3 * 16 + 24));
+    }
+
+    #[test]
+    fn filter_disabled_outputs_raw_average() {
+        let field = real_field((3, 3));
+        let config = ExtrapolationConfig {
+            filter: false,
+            ..ExtrapolationConfig::default()
+        };
+        let dp = SimdDatapath::default();
+        let prev = (Q16::from_f64(100.0), Q16::from_f64(100.0));
+        let got = dp.evaluate(&field, &Rect::new(32.0, 32.0, 48.0, 48.0), prev, &config);
+        let v = SimdDatapath::to_vec2f(&got);
+        assert!((v.x - 3.0).abs() < 0.3 && (v.y - 3.0).abs() < 0.3, "{v}");
+    }
+}

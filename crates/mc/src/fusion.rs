@@ -1,0 +1,154 @@
+//! Vision/inertial motion fusion — the §7 future-work extension.
+//!
+//! Camera shake moves *every* macroblock, so the block-matched field
+//! conflates global (ego) motion with object motion; worse, shake can push
+//! the combined per-frame displacement beyond the search window. With an
+//! IMU estimate of the global motion available (essentially free: the
+//! sensor hub already computes it for stabilization), the Motion
+//! Controller can work in the stabilized domain:
+//!
+//! 1. subtract the IMU's global motion from every block vector
+//!    ([`compensate_global`]), and
+//! 2. extrapolate ROIs with the object-relative field, re-adding the
+//!    global motion at the end ([`FusedExtrapolator`]).
+//!
+//! Blocks whose *compensated* motion is near zero are background; their
+//! confidences are untouched, so Equ. 3 behaves as before.
+
+use crate::algorithm::{Extrapolator, RoiState};
+use euphrates_common::geom::{Rect, Vec2f, Vec2i};
+use euphrates_isp::motion::{MotionField, MotionVector};
+
+/// Subtracts a global (camera) motion estimate from every block of a
+/// field, returning the object-relative field. The global motion is
+/// rounded to integer pixels (block vectors are integers); the remainder
+/// is returned for the caller to re-apply.
+pub fn compensate_global(field: &MotionField, global: Vec2f) -> (MotionField, Vec2f) {
+    let gx = global.x.round();
+    let gy = global.y.round();
+    let mut out = field.clone();
+    for by in 0..field.blocks_y() {
+        for bx in 0..field.blocks_x() {
+            let mv = field.at_block(bx, by);
+            out.set_block(
+                bx,
+                by,
+                MotionVector {
+                    v: Vec2i::new(
+                        mv.v.x.saturating_sub(gx as i16),
+                        mv.v.y.saturating_sub(gy as i16),
+                    ),
+                    sad: mv.sad,
+                },
+            );
+        }
+    }
+    (out, Vec2f::new(global.x - gx, global.y - gy))
+}
+
+/// An extrapolator that splits motion into IMU-measured global motion and
+/// vision-measured residual object motion.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FusedExtrapolator {
+    inner: Extrapolator,
+}
+
+impl FusedExtrapolator {
+    /// Wraps a configured extrapolator.
+    pub fn new(inner: Extrapolator) -> Self {
+        FusedExtrapolator { inner }
+    }
+
+    /// Extrapolates `roi` using the field with the IMU's global-motion
+    /// estimate factored out and re-applied: the Equ. 3 filter then sees
+    /// only object motion, which keeps its state meaningful across shake.
+    pub fn extrapolate(
+        &self,
+        roi: &Rect,
+        field: &MotionField,
+        global: Vec2f,
+        state: &mut RoiState,
+    ) -> Rect {
+        let (relative, remainder) = compensate_global(field, global);
+        let moved = self.inner.extrapolate(roi, &relative, state);
+        // Re-apply the integer global motion that was factored out of the
+        // field; the sub-pixel remainder was never removed (block vectors
+        // are integral) so it must not be double-counted.
+        moved.translated(global - remainder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::ExtrapolationConfig;
+    use euphrates_common::image::{LumaFrame, Resolution};
+    use euphrates_common::rngx;
+    use euphrates_isp::motion::{BlockMatcher, SearchStrategy};
+
+    fn textured(shift: (i64, i64), seed: u64) -> LumaFrame {
+        let mut f = LumaFrame::new(96, 96).unwrap();
+        for y in 0..96 {
+            for x in 0..96 {
+                let v = (rngx::lattice_hash(
+                    seed,
+                    (i64::from(x) - shift.0) / 4,
+                    (i64::from(y) - shift.1) / 4,
+                ) * 255.0) as u8;
+                f.set(x, y, v);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn compensation_zeroes_pure_camera_motion() {
+        let prev = textured((0, 0), 1);
+        let cur = textured((5, -3), 1); // whole frame moved: camera shake
+        let field = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive)
+            .unwrap()
+            .estimate(&cur, &prev)
+            .unwrap();
+        let (relative, remainder) = compensate_global(&field, Vec2f::new(5.0, -3.0));
+        assert_eq!(relative.mean_magnitude(), 0.0);
+        assert_eq!(remainder, Vec2f::ZERO);
+    }
+
+    #[test]
+    fn fractional_global_motion_leaves_a_remainder() {
+        let field = MotionField::zeroed(Resolution::new(96, 96), 16, 7).unwrap();
+        let (_, remainder) = compensate_global(&field, Vec2f::new(2.4, -1.6));
+        assert!((remainder.x - 0.4).abs() < 1e-9);
+        assert!((remainder.y - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_extrapolation_recovers_total_motion() {
+        // Scene: everything shifted by (5, 0) = camera; the extrapolated
+        // ROI must move by the full 5 px even though the *relative* field
+        // is zero (the paper's stabilized-domain argument).
+        let prev = textured((0, 0), 2);
+        let cur = textured((5, 0), 2);
+        let field = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive)
+            .unwrap()
+            .estimate(&cur, &prev)
+            .unwrap();
+        let fused = FusedExtrapolator::new(Extrapolator::new(ExtrapolationConfig::default()));
+        let mut state = RoiState::new(&ExtrapolationConfig::default());
+        let roi = Rect::new(30.0, 30.0, 32.0, 32.0);
+        let out = fused.extrapolate(&roi, &field, Vec2f::new(5.0, 0.0), &mut state);
+        let dx = out.center().x - roi.center().x;
+        assert!((dx - 5.0).abs() < 0.5, "moved {dx}");
+        // And the filter state holds ~zero object motion (not 5 px).
+        assert!(state.prev_mv(0).norm() < 0.5, "state {}", state.prev_mv(0));
+    }
+
+    #[test]
+    fn saturation_is_safe_for_extreme_global_estimates() {
+        let field = MotionField::zeroed(Resolution::new(96, 96), 16, 7).unwrap();
+        let (relative, _) = compensate_global(&field, Vec2f::new(1e9, -1e9));
+        // i16 saturation, no panic; vectors are finite.
+        let mv = relative.at_block(0, 0);
+        assert!(mv.v.x <= 0 && mv.v.y >= 0);
+    }
+}

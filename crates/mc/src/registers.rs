@@ -1,0 +1,279 @@
+//! The Motion Controller's memory-mapped register file (Fig. 8 ⑥).
+//!
+//! The CPU programs these registers once at task setup (base addresses,
+//! window size, mode); thereafter the CNN engine's results are written
+//! back here by the MC's own sequencer acting as the bus master — the CPU
+//! never needs to wake up (§4.1 task autonomy).
+//!
+//! Layout (word addresses):
+//!
+//! | offset | register |
+//! |---|---|
+//! | `0x00` | `CTRL` (bit 0: enable, bit 1: start-of-frame strobe) |
+//! | `0x04` | `STATUS` (bit 0: busy, bit 1: results-valid) |
+//! | `0x08` | `EW_CONFIG` (constant window, or initial window in adaptive) |
+//! | `0x0C` | `MODE` (0 = constant, 1 = adaptive) |
+//! | `0x10` | `MV_BASE_ADDR` (frame-buffer metadata section) |
+//! | `0x14` | `RESULT_BASE_ADDR` |
+//! | `0x18` | `NUM_ROIS` |
+//! | `0x20 + 16k` | ROI slot `k` (k < 10): `X`, `Y`, `W`, `H` packed as `u32` fixed-point (Q16.16 pixels ÷ 256 → Q8.8 stored in 32 bits) |
+
+use euphrates_common::error::{Error, Result};
+use euphrates_common::geom::Rect;
+
+/// Number of ROI slots (Table 1: 10 ROIs per frame at 60 FPS).
+pub const ROI_SLOTS: usize = 10;
+
+/// Word offsets of the scalar registers.
+pub mod addr {
+    /// Control register.
+    pub const CTRL: u32 = 0x00;
+    /// Status register.
+    pub const STATUS: u32 = 0x04;
+    /// Extrapolation-window configuration.
+    pub const EW_CONFIG: u32 = 0x08;
+    /// Mode: 0 constant, 1 adaptive.
+    pub const MODE: u32 = 0x0C;
+    /// Motion-vector metadata base address.
+    pub const MV_BASE_ADDR: u32 = 0x10;
+    /// Result write-back base address.
+    pub const RESULT_BASE_ADDR: u32 = 0x14;
+    /// Number of active ROI slots.
+    pub const NUM_ROIS: u32 = 0x18;
+    /// First ROI slot.
+    pub const ROI_BASE: u32 = 0x20;
+    /// Stride between ROI slots (4 words).
+    pub const ROI_STRIDE: u32 = 0x10;
+}
+
+/// Fixed-point scale for ROI coordinates in registers (Q8.8-in-u32: good
+/// to 1/256 px over ±8M px).
+const COORD_SCALE: f64 = 256.0;
+
+/// The register file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterFile {
+    ctrl: u32,
+    status: u32,
+    ew_config: u32,
+    mode: u32,
+    mv_base: u32,
+    result_base: u32,
+    num_rois: u32,
+    rois: [[u32; 4]; ROI_SLOTS],
+}
+
+impl RegisterFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> Self {
+        RegisterFile {
+            ctrl: 0,
+            status: 0,
+            ew_config: 1,
+            mode: 0,
+            mv_base: 0,
+            result_base: 0,
+            num_rois: 0,
+            rois: [[0; 4]; ROI_SLOTS],
+        }
+    }
+
+    /// Bus write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for an unmapped address and
+    /// [`Error::InvalidConfig`] for illegal values (e.g. `NUM_ROIS` beyond
+    /// the slot count).
+    pub fn write(&mut self, address: u32, value: u32) -> Result<()> {
+        match address {
+            addr::CTRL => self.ctrl = value,
+            addr::STATUS => return Err(Error::config("STATUS is read-only")),
+            addr::EW_CONFIG => {
+                if value == 0 {
+                    return Err(Error::config("EW_CONFIG must be >= 1"));
+                }
+                self.ew_config = value;
+            }
+            addr::MODE => {
+                if value > 1 {
+                    return Err(Error::config("MODE must be 0 or 1"));
+                }
+                self.mode = value;
+            }
+            addr::MV_BASE_ADDR => self.mv_base = value,
+            addr::RESULT_BASE_ADDR => self.result_base = value,
+            addr::NUM_ROIS => {
+                if value as usize > ROI_SLOTS {
+                    return Err(Error::capacity(format!(
+                        "NUM_ROIS {value} exceeds {ROI_SLOTS} slots"
+                    )));
+                }
+                self.num_rois = value;
+            }
+            a if a >= addr::ROI_BASE => {
+                let rel = a - addr::ROI_BASE;
+                let slot = (rel / addr::ROI_STRIDE) as usize;
+                let word = ((rel % addr::ROI_STRIDE) / 4) as usize;
+                if slot >= ROI_SLOTS || !rel.is_multiple_of(4) {
+                    return Err(Error::not_found(format!("register 0x{address:x}")));
+                }
+                self.rois[slot][word] = value;
+            }
+            _ => return Err(Error::not_found(format!("register 0x{address:x}"))),
+        }
+        Ok(())
+    }
+
+    /// Bus read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for an unmapped address.
+    pub fn read(&self, address: u32) -> Result<u32> {
+        Ok(match address {
+            addr::CTRL => self.ctrl,
+            addr::STATUS => self.status,
+            addr::EW_CONFIG => self.ew_config,
+            addr::MODE => self.mode,
+            addr::MV_BASE_ADDR => self.mv_base,
+            addr::RESULT_BASE_ADDR => self.result_base,
+            addr::NUM_ROIS => self.num_rois,
+            a if a >= addr::ROI_BASE => {
+                let rel = a - addr::ROI_BASE;
+                let slot = (rel / addr::ROI_STRIDE) as usize;
+                let word = ((rel % addr::ROI_STRIDE) / 4) as usize;
+                if slot >= ROI_SLOTS || !rel.is_multiple_of(4) {
+                    return Err(Error::not_found(format!("register 0x{address:x}")));
+                }
+                self.rois[slot][word]
+            }
+            _ => return Err(Error::not_found(format!("register 0x{address:x}"))),
+        })
+    }
+
+    /// Convenience: stores an ROI rectangle into slot `k` (what the NNX
+    /// result path, Fig. 8 ③, does after inference).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] if `k ≥ 10`.
+    pub fn store_roi(&mut self, k: usize, rect: &Rect) -> Result<()> {
+        if k >= ROI_SLOTS {
+            return Err(Error::capacity(format!("ROI slot {k}")));
+        }
+        let enc = |v: f64| -> u32 { ((v * COORD_SCALE).round() as i64 & 0xFFFF_FFFF) as u32 };
+        self.rois[k] = [enc(rect.x), enc(rect.y), enc(rect.w), enc(rect.h)];
+        Ok(())
+    }
+
+    /// Convenience: loads the ROI rectangle from slot `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] if `k ≥ 10`.
+    pub fn load_roi(&self, k: usize) -> Result<Rect> {
+        if k >= ROI_SLOTS {
+            return Err(Error::capacity(format!("ROI slot {k}")));
+        }
+        let dec = |v: u32| -> f64 { f64::from(v as i32) / COORD_SCALE };
+        let r = self.rois[k];
+        Ok(Rect::new(dec(r[0]), dec(r[1]), dec(r[2]), dec(r[3])))
+    }
+
+    /// Sets/clears the busy bit (sequencer-side).
+    pub fn set_busy(&mut self, busy: bool) {
+        if busy {
+            self.status |= 1;
+        } else {
+            self.status &= !1;
+        }
+    }
+
+    /// Sets/clears the results-valid bit (sequencer-side).
+    pub fn set_results_valid(&mut self, valid: bool) {
+        if valid {
+            self.status |= 2;
+        } else {
+            self.status &= !2;
+        }
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        RegisterFile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_registers_read_back() {
+        let mut rf = RegisterFile::new();
+        rf.write(addr::EW_CONFIG, 8).unwrap();
+        rf.write(addr::MODE, 1).unwrap();
+        rf.write(addr::MV_BASE_ADDR, 0x8000_0000).unwrap();
+        rf.write(addr::NUM_ROIS, 6).unwrap();
+        assert_eq!(rf.read(addr::EW_CONFIG).unwrap(), 8);
+        assert_eq!(rf.read(addr::MODE).unwrap(), 1);
+        assert_eq!(rf.read(addr::MV_BASE_ADDR).unwrap(), 0x8000_0000);
+        assert_eq!(rf.read(addr::NUM_ROIS).unwrap(), 6);
+    }
+
+    #[test]
+    fn status_is_read_only_from_the_bus() {
+        let mut rf = RegisterFile::new();
+        assert!(rf.write(addr::STATUS, 1).is_err());
+        rf.set_busy(true);
+        assert_eq!(rf.read(addr::STATUS).unwrap() & 1, 1);
+        rf.set_results_valid(true);
+        assert_eq!(rf.read(addr::STATUS).unwrap(), 3);
+        rf.set_busy(false);
+        assert_eq!(rf.read(addr::STATUS).unwrap(), 2);
+    }
+
+    #[test]
+    fn illegal_values_are_rejected() {
+        let mut rf = RegisterFile::new();
+        assert!(rf.write(addr::EW_CONFIG, 0).is_err());
+        assert!(rf.write(addr::MODE, 2).is_err());
+        assert!(rf.write(addr::NUM_ROIS, 11).is_err());
+        assert!(rf.write(0xFFFF, 0).is_err());
+        assert!(rf.read(0xFFFF).is_err());
+        assert!(rf.read(addr::ROI_BASE + 1).is_err(), "unaligned");
+    }
+
+    #[test]
+    fn roi_slots_roundtrip_with_quarter_pixel_precision() {
+        let mut rf = RegisterFile::new();
+        let r = Rect::new(123.456, -7.25, 100.5, 50.125);
+        rf.store_roi(3, &r).unwrap();
+        let back = rf.load_roi(3).unwrap();
+        assert!((back.x - r.x).abs() < 1.0 / 256.0 + 1e-9);
+        assert!((back.y - r.y).abs() < 1.0 / 256.0 + 1e-9);
+        assert!((back.w - r.w).abs() < 1.0 / 256.0 + 1e-9);
+        assert!((back.h - r.h).abs() < 1.0 / 256.0 + 1e-9);
+    }
+
+    #[test]
+    fn roi_slots_accessible_over_the_bus() {
+        let mut rf = RegisterFile::new();
+        rf.store_roi(2, &Rect::new(16.0, 32.0, 64.0, 128.0)).unwrap();
+        let base = addr::ROI_BASE + 2 * addr::ROI_STRIDE;
+        assert_eq!(rf.read(base).unwrap(), 16 * 256);
+        assert_eq!(rf.read(base + 4).unwrap(), 32 * 256);
+        assert_eq!(rf.read(base + 8).unwrap(), 64 * 256);
+        assert_eq!(rf.read(base + 12).unwrap(), 128 * 256);
+    }
+
+    #[test]
+    fn slot_bounds_are_enforced() {
+        let mut rf = RegisterFile::new();
+        assert!(rf.store_roi(10, &Rect::default()).is_err());
+        assert!(rf.load_roi(10).is_err());
+        assert!(rf.store_roi(9, &Rect::default()).is_ok());
+    }
+}

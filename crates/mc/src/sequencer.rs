@@ -1,0 +1,234 @@
+//! The Motion Controller's programmable sequencer (Fig. 8).
+//!
+//! The sequencer replaces a conventional micro-controller's fetch/decode
+//! machinery with a small FSM that walks the per-frame program:
+//!
+//! ```text
+//! Idle → FetchMvs → Extrapolate ─┬─(E-frame)──────────→ WriteResults → Idle
+//!                                └─(I-frame)→ ProgramNnx → WaitNnx →
+//!                                             Compare → WriteResults → Idle
+//! ```
+//!
+//! On I-frames the MC acts as the bus *master*: it programs the CNN
+//! engine's job registers (①②), waits for completion, receives the results
+//! into its own register file (③), compares them with the extrapolated
+//! prediction to drive the adaptive window (④/⑤), and writes the final
+//! results out — all without CPU involvement.
+
+use crate::policy::FrameKind;
+use euphrates_common::units::Cycles;
+
+/// Sequencer FSM states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeqState {
+    /// Waiting for the next frame strobe.
+    Idle,
+    /// DMA-ing the frame's MV metadata into the local SRAM.
+    FetchMvs,
+    /// Running the SIMD extrapolation datapath.
+    Extrapolate,
+    /// Programming the CNN engine's memory-mapped job registers.
+    ProgramNnx,
+    /// Waiting for the CNN engine's completion.
+    WaitNnx,
+    /// Comparing inference vs. extrapolation (adaptive EW input).
+    Compare,
+    /// Writing final ROIs/labels to the result buffer.
+    WriteResults,
+}
+
+/// One step of the per-frame program with its cycle cost (MC clock
+/// domain; the `WaitNnx` entry's cycle count is the *MC-side* polling
+/// overhead — the NNX latency itself is tracked by the SoC timing model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqStep {
+    /// FSM state.
+    pub state: SeqState,
+    /// Cycles spent in it.
+    pub cycles: Cycles,
+}
+
+/// Per-frame trace of the sequencer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameProgram {
+    /// The executed steps, in order.
+    pub steps: Vec<SeqStep>,
+}
+
+impl FrameProgram {
+    /// Total MC-side cycles for the frame.
+    pub fn total_cycles(&self) -> Cycles {
+        self.steps.iter().map(|s| s.cycles).sum()
+    }
+
+    /// `true` if the program included an NNX job.
+    pub fn ran_inference(&self) -> bool {
+        self.steps.iter().any(|s| s.state == SeqState::ProgramNnx)
+    }
+}
+
+/// Cost parameters of the sequencer's fixed steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequencerCosts {
+    /// DMA setup + transfer cycles per KiB of MV metadata.
+    pub fetch_cycles_per_kib: u32,
+    /// Fixed DMA setup overhead.
+    pub fetch_setup: u32,
+    /// Cycles to program the NNX job registers.
+    pub program_nnx: u32,
+    /// Polling/handshake overhead while the NNX runs.
+    pub wait_poll: u32,
+    /// Per-ROI comparison cost (IoU in the scalar unit).
+    pub compare_per_roi: u32,
+    /// Per-ROI result write-back cost.
+    pub write_per_roi: u32,
+}
+
+impl Default for SequencerCosts {
+    fn default() -> Self {
+        SequencerCosts {
+            fetch_cycles_per_kib: 64, // 16 B/cycle on the 128-bit AXI DMA
+            fetch_setup: 40,
+            program_nnx: 24,
+            wait_poll: 16,
+            compare_per_roi: 12,
+            write_per_roi: 8,
+        }
+    }
+}
+
+/// The sequencer model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McSequencer {
+    costs: SequencerCosts,
+}
+
+impl McSequencer {
+    /// Creates a sequencer with the given step costs.
+    pub fn new(costs: SequencerCosts) -> Self {
+        McSequencer { costs }
+    }
+
+    /// Builds the frame program for a frame of the given kind.
+    ///
+    /// * `mv_bytes` — MV metadata fetched from the frame buffer.
+    /// * `rois` — active ROI count.
+    /// * `extrapolation_cycles` — datapath cycles (from
+    ///   [`crate::datapath::SimdDatapath`]), summed over ROIs/sub-ROIs.
+    ///   On I-frames under the adaptive policy the datapath still runs so
+    ///   the comparison has an extrapolated prediction to score.
+    pub fn frame_program(
+        &self,
+        kind: FrameKind,
+        mv_bytes: u64,
+        rois: u32,
+        extrapolation_cycles: Cycles,
+    ) -> FrameProgram {
+        let c = &self.costs;
+        let fetch = Cycles(
+            u64::from(c.fetch_setup)
+                + mv_bytes.div_ceil(1024) * u64::from(c.fetch_cycles_per_kib),
+        );
+        let mut steps = vec![
+            SeqStep {
+                state: SeqState::FetchMvs,
+                cycles: fetch,
+            },
+            SeqStep {
+                state: SeqState::Extrapolate,
+                cycles: extrapolation_cycles,
+            },
+        ];
+        if kind == FrameKind::Inference {
+            steps.push(SeqStep {
+                state: SeqState::ProgramNnx,
+                cycles: Cycles(u64::from(c.program_nnx)),
+            });
+            steps.push(SeqStep {
+                state: SeqState::WaitNnx,
+                cycles: Cycles(u64::from(c.wait_poll)),
+            });
+            steps.push(SeqStep {
+                state: SeqState::Compare,
+                cycles: Cycles(u64::from(c.compare_per_roi) * u64::from(rois)),
+            });
+        }
+        steps.push(SeqStep {
+            state: SeqState::WriteResults,
+            cycles: Cycles(u64::from(c.write_per_roi) * u64::from(rois)),
+        });
+        FrameProgram { steps }
+    }
+}
+
+impl Default for McSequencer {
+    fn default() -> Self {
+        McSequencer::new(SequencerCosts::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e_frame_program_skips_nnx_states() {
+        let seq = McSequencer::default();
+        let p = seq.frame_program(FrameKind::Extrapolation, 8192, 4, Cycles(200));
+        assert!(!p.ran_inference());
+        let states: Vec<SeqState> = p.steps.iter().map(|s| s.state).collect();
+        assert_eq!(
+            states,
+            vec![SeqState::FetchMvs, SeqState::Extrapolate, SeqState::WriteResults]
+        );
+    }
+
+    #[test]
+    fn i_frame_program_runs_full_sequence() {
+        let seq = McSequencer::default();
+        let p = seq.frame_program(FrameKind::Inference, 8192, 4, Cycles(200));
+        assert!(p.ran_inference());
+        let states: Vec<SeqState> = p.steps.iter().map(|s| s.state).collect();
+        assert_eq!(
+            states,
+            vec![
+                SeqState::FetchMvs,
+                SeqState::Extrapolate,
+                SeqState::ProgramNnx,
+                SeqState::WaitNnx,
+                SeqState::Compare,
+                SeqState::WriteResults,
+            ]
+        );
+    }
+
+    #[test]
+    fn frame_fits_comfortably_in_the_60fps_budget() {
+        // Table 1: 100 MHz clock, 10 ROIs at 60 FPS. One frame must take
+        // well under 1.67M cycles.
+        let seq = McSequencer::default();
+        // 8 KiB of MVs, 10 ROIs, generous datapath estimate.
+        let p = seq.frame_program(FrameKind::Inference, 8192, 10, Cycles(5_000));
+        assert!(
+            p.total_cycles().0 < 20_000,
+            "cycles {}",
+            p.total_cycles().0
+        );
+    }
+
+    #[test]
+    fn fetch_cost_scales_with_metadata_size() {
+        let seq = McSequencer::default();
+        let small = seq.frame_program(FrameKind::Extrapolation, 1024, 1, Cycles::ZERO);
+        let large = seq.frame_program(FrameKind::Extrapolation, 32 * 1024, 1, Cycles::ZERO);
+        assert!(large.total_cycles() > small.total_cycles());
+    }
+
+    #[test]
+    fn roi_count_scales_write_and_compare() {
+        let seq = McSequencer::default();
+        let one = seq.frame_program(FrameKind::Inference, 8192, 1, Cycles::ZERO);
+        let ten = seq.frame_program(FrameKind::Inference, 8192, 10, Cycles::ZERO);
+        assert!(ten.total_cycles().0 > one.total_cycles().0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Cost models for the hand-crafted-feature detectors of Fig. 1 (Haar
+//! cascades and HOG+SVM).
+//!
+//! These are the low-compute/low-accuracy corner of the accuracy-vs-TOPS
+//! trade-off the paper motivates with. Their accuracy comes from the same
+//! oracle machinery as the CNNs ([`crate::oracle::calib::haar`] /
+//! [`crate::oracle::calib::hog`]); this module supplies the compute side:
+//! an operations-per-pixel sliding-window cost model over an image pyramid.
+
+use crate::oracle::DetectorProfile;
+use euphrates_common::image::Resolution;
+
+/// A classic sliding-window detector's compute model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassicDetector {
+    /// Oracle profile providing the accuracy side.
+    pub profile: DetectorProfile,
+    /// Feature + classifier operations per pyramid pixel.
+    pub ops_per_pixel: f64,
+    /// Pyramid scale factor per octave step.
+    pub pyramid_scale: f64,
+    /// Number of pyramid levels evaluated.
+    pub pyramid_levels: u32,
+}
+
+impl ClassicDetector {
+    /// Viola-Jones-style Haar cascade (integral image + early-reject
+    /// cascade; cheap per pixel).
+    pub fn haar() -> Self {
+        ClassicDetector {
+            profile: crate::oracle::calib::haar(),
+            ops_per_pixel: 140.0,
+            pyramid_scale: 0.8,
+            pyramid_levels: 8,
+        }
+    }
+
+    /// HOG + linear SVM (gradient histograms + dense window scoring).
+    pub fn hog() -> Self {
+        ClassicDetector {
+            profile: crate::oracle::calib::hog(),
+            ops_per_pixel: 450.0,
+            pyramid_scale: 0.8,
+            pyramid_levels: 8,
+        }
+    }
+
+    /// Total pyramid pixels for a frame at `resolution`.
+    pub fn pyramid_pixels(&self, resolution: Resolution) -> f64 {
+        let base = resolution.pixels() as f64;
+        let s2 = self.pyramid_scale * self.pyramid_scale;
+        (0..self.pyramid_levels)
+            .map(|l| base * s2.powi(l as i32))
+            .sum()
+    }
+
+    /// Operations per frame.
+    pub fn ops_per_frame(&self, resolution: Resolution) -> f64 {
+        self.ops_per_pixel * self.pyramid_pixels(resolution)
+    }
+
+    /// Compute demand in TOPS to sustain `fps` at `resolution` — the Fig. 1
+    /// x-axis quantity.
+    pub fn tops_at(&self, resolution: Resolution, fps: f64) -> f64 {
+        self.ops_per_frame(resolution) * fps / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haar_is_milli_tops_scale_at_480p60() {
+        // Fig. 1 places Haar around 10^-2.5..10^-2 TOPS.
+        let t = ClassicDetector::haar().tops_at(Resolution::VGA, 60.0);
+        assert!((0.002..0.02).contains(&t), "Haar TOPS {t}");
+    }
+
+    #[test]
+    fn hog_costs_more_than_haar() {
+        let haar = ClassicDetector::haar().tops_at(Resolution::VGA, 60.0);
+        let hog = ClassicDetector::hog().tops_at(Resolution::VGA, 60.0);
+        assert!(hog > 2.0 * haar, "hog {hog} vs haar {haar}");
+        assert!(hog < 0.1, "hog stays well under CNN scale");
+    }
+
+    #[test]
+    fn pyramid_sums_geometric_series() {
+        let d = ClassicDetector::haar();
+        let px = d.pyramid_pixels(Resolution::VGA);
+        let base = Resolution::VGA.pixels() as f64;
+        assert!(px > base && px < base / (1.0 - 0.64));
+    }
+}

@@ -1,0 +1,150 @@
+//! Bottom-up accelerator energy model: per-operation and per-access
+//! energies composed into a per-inference figure, cross-checked against
+//! the paper's top-down measurement (651 mW over the inference latency).
+//!
+//! The constants are standard 16 nm estimates (Horowitz-style): an int8
+//! MAC costs a fraction of a picojoule, SRAM accesses cost a few times a
+//! MAC, and DRAM accesses dominate at tens of pJ/byte. The value of the
+//! bottom-up view is attribution — it shows *where* an inference's energy
+//! goes (arithmetic vs. SRAM vs. DRAM), which the top-down number cannot.
+
+use crate::systolic::NetworkStats;
+use euphrates_common::units::MilliJoules;
+
+/// Energy constants (16 nm class, int8 datapath).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyConstants {
+    /// Energy per MAC operation, picojoules.
+    pub pj_per_mac: f64,
+    /// Energy per byte moved to/from the local SRAM, picojoules.
+    pub pj_per_sram_byte: f64,
+    /// Energy per byte moved to/from DRAM (accelerator-side I/O charge;
+    /// the DRAM device itself is billed by `euphrates-soc`), picojoules.
+    pub pj_per_dram_byte: f64,
+    /// Static/control overhead as a fraction of the dynamic total
+    /// (clock tree, sequencer, scalar unit).
+    pub overhead_fraction: f64,
+}
+
+impl Default for EnergyConstants {
+    fn default() -> Self {
+        EnergyConstants {
+            pj_per_mac: 0.25,
+            pj_per_sram_byte: 0.6,
+            pj_per_dram_byte: 4.0,
+            overhead_fraction: 0.35,
+        }
+    }
+}
+
+/// Per-inference energy attribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// MAC-array arithmetic.
+    pub compute: MilliJoules,
+    /// Local SRAM traffic (operand staging, double buffering).
+    pub sram: MilliJoules,
+    /// Accelerator-side DRAM interface traffic.
+    pub dram_io: MilliJoules,
+    /// Static/control overhead.
+    pub overhead: MilliJoules,
+}
+
+impl EnergyBreakdown {
+    /// Total per-inference energy.
+    pub fn total(&self) -> MilliJoules {
+        self.compute + self.sram + self.dram_io + self.overhead
+    }
+}
+
+/// Computes the bottom-up energy of one inference from the systolic
+/// model's per-layer statistics.
+///
+/// SRAM traffic is approximated as every operand entering the array once
+/// from SRAM (MACs × 2 input bytes + output writeback), which is how a
+/// double-buffered design behaves: DRAM fills the SRAM, the SRAM feeds
+/// the array.
+pub fn inference_energy(stats: &NetworkStats, constants: &EnergyConstants) -> EnergyBreakdown {
+    let macs = stats.total_macs() as f64;
+    let dram_bytes = stats.dram_total().0 as f64;
+    // Each MAC consumes one weight byte and one activation byte from the
+    // array's edge buffers; outputs write back once per output element
+    // (approximated via DRAM write volume, which equals ofmap bytes).
+    let sram_bytes = macs * 2.0 + stats.dram_write().0 as f64;
+    let compute = MilliJoules(macs * constants.pj_per_mac * 1e-9);
+    let sram = MilliJoules(sram_bytes * constants.pj_per_sram_byte * 1e-9);
+    let dram_io = MilliJoules(dram_bytes * constants.pj_per_dram_byte * 1e-9);
+    let dynamic = compute + sram + dram_io;
+    EnergyBreakdown {
+        compute,
+        sram,
+        dram_io,
+        overhead: dynamic * constants.overhead_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NnxEngine;
+    use crate::systolic::SystolicModel;
+    use crate::zoo;
+
+    #[test]
+    fn bottom_up_matches_top_down_within_2x() {
+        // The top-down figure (651 mW × latency) and the bottom-up sum
+        // must agree to within a factor of two for every network — a
+        // standard sanity band for independent energy models.
+        let model = SystolicModel::default();
+        let engine = NnxEngine::default();
+        for net in [zoo::yolov2(), zoo::tiny_yolo(), zoo::mdnet()] {
+            let stats = model.analyze(&net);
+            let bottom_up = inference_energy(&stats, &EnergyConstants::default()).total();
+            let top_down = engine.plan(&net).energy();
+            let ratio = top_down.0 / bottom_up.0;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}: top-down {} vs bottom-up {} (ratio {ratio:.2})",
+                net.name,
+                top_down,
+                bottom_up
+            );
+        }
+    }
+
+    #[test]
+    fn sram_staging_dominates_and_dram_io_is_visible() {
+        // Bottom-up attribution: operand staging through the SRAM is the
+        // largest dynamic term (every MAC pulls two bytes), with the
+        // 643 MB of DRAM refetch clearly visible. (The DRAM *device*
+        // energy — the system-level reason E-frames win — is billed by
+        // euphrates-soc, not here.)
+        let stats = SystolicModel::default().analyze(&zoo::yolov2());
+        let e = inference_energy(&stats, &EnergyConstants::default());
+        assert!(e.sram.0 > e.compute.0, "sram {} vs compute {}", e.sram, e.compute);
+        assert!(
+            e.dram_io.0 > 0.02 * e.total().0,
+            "dram {} of total {}",
+            e.dram_io,
+            e.total()
+        );
+    }
+
+    #[test]
+    fn breakdown_components_are_positive_and_sum() {
+        let stats = SystolicModel::default().analyze(&zoo::mdnet());
+        let e = inference_energy(&stats, &EnergyConstants::default());
+        assert!(e.compute.0 > 0.0 && e.sram.0 > 0.0 && e.dram_io.0 > 0.0);
+        let sum = e.compute + e.sram + e.dram_io + e.overhead;
+        assert!((sum.0 - e.total().0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheaper_networks_cost_less_energy() {
+        let model = SystolicModel::default();
+        let c = EnergyConstants::default();
+        let yolo = inference_energy(&model.analyze(&zoo::yolov2()), &c).total();
+        let tiny = inference_energy(&model.analyze(&zoo::tiny_yolo()), &c).total();
+        assert!(tiny.0 < yolo.0 / 2.0);
+    }
+}

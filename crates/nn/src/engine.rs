@@ -1,0 +1,214 @@
+//! The NNX accelerator IP model: job-level interface, state machine, and
+//! power, wrapping the systolic performance model.
+//!
+//! Per the paper's design principle (§4.1), the CNN engine is *unmodified*
+//! by Euphrates: it exposes the same slave interface to the interconnect
+//! and simply runs whatever job descriptors it is given. In the baseline
+//! system the host CPU programs it; in Euphrates the Motion Controller
+//! does (master role), with results flowing back over memory-mapped
+//! registers.
+
+use crate::layer::NetworkDescriptor;
+use crate::systolic::{NetworkStats, SystolicConfig, SystolicModel};
+use euphrates_common::error::{Error, Result};
+use euphrates_common::units::{Bytes, MilliJoules, MilliWatts, Picos};
+
+/// Static NNX configuration: the systolic array plus calibrated power
+/// (§5.1: post-layout 651 mW at 1 GHz in 16 nm, 1.77 TOPS/W).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnxConfig {
+    /// Underlying array/SRAM/dataflow configuration.
+    pub systolic: SystolicConfig,
+    /// Power while running a job.
+    pub active_power: MilliWatts,
+    /// Idle (clock-gated) power.
+    pub idle_power: MilliWatts,
+}
+
+impl Default for NnxConfig {
+    fn default() -> Self {
+        NnxConfig {
+            systolic: SystolicConfig::table1(),
+            active_power: MilliWatts(651.0),
+            idle_power: MilliWatts(33.0),
+        }
+    }
+}
+
+impl NnxConfig {
+    /// Power efficiency at peak throughput, TOPS/W.
+    pub fn tops_per_watt(&self) -> f64 {
+        self.systolic.peak_ops_per_sec() / 1e12 / (self.active_power.0 / 1000.0)
+    }
+}
+
+/// A planned inference: the per-network analysis reused across frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferencePlan {
+    stats: NetworkStats,
+    active_power: MilliWatts,
+}
+
+impl InferencePlan {
+    /// Per-inference latency.
+    pub fn latency(&self) -> Picos {
+        self.stats.latency()
+    }
+
+    /// Per-inference accelerator energy (active power over the latency —
+    /// the §5.1 measurement convention).
+    pub fn energy(&self) -> MilliJoules {
+        self.active_power.over(self.latency())
+    }
+
+    /// DRAM bytes read per inference.
+    pub fn dram_read(&self) -> Bytes {
+        self.stats.dram_read()
+    }
+
+    /// DRAM bytes written per inference.
+    pub fn dram_write(&self) -> Bytes {
+        self.stats.dram_write()
+    }
+
+    /// The underlying per-layer statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Sustained FPS for back-to-back jobs.
+    pub fn fps(&self) -> f64 {
+        self.stats.fps()
+    }
+}
+
+/// Runtime state of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NnxState {
+    Idle,
+    Busy { until: Picos },
+}
+
+/// The CNN accelerator IP.
+#[derive(Debug, Clone)]
+pub struct NnxEngine {
+    config: NnxConfig,
+    model: SystolicModel,
+    state: NnxState,
+    jobs_completed: u64,
+}
+
+impl NnxEngine {
+    /// Creates an engine.
+    pub fn new(config: NnxConfig) -> Self {
+        let model = SystolicModel::new(config.systolic.clone());
+        NnxEngine {
+            config,
+            model,
+            state: NnxState::Idle,
+            jobs_completed: 0,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &NnxConfig {
+        &self.config
+    }
+
+    /// Plans inference for a network (run once, reuse per frame).
+    pub fn plan(&self, net: &NetworkDescriptor) -> InferencePlan {
+        InferencePlan {
+            stats: self.model.analyze(net),
+            active_power: self.config.active_power,
+        }
+    }
+
+    /// `true` if a job is in flight at time `now`.
+    pub fn is_busy(&self, now: Picos) -> bool {
+        match self.state {
+            NnxState::Idle => false,
+            NnxState::Busy { until } => now < until,
+        }
+    }
+
+    /// Starts a job at `now`; returns its completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidState`] if a job is already in flight.
+    pub fn start(&mut self, plan: &InferencePlan, now: Picos) -> Result<Picos> {
+        if self.is_busy(now) {
+            return Err(Error::state("NNX already running a job"));
+        }
+        let done = now + plan.latency();
+        self.state = NnxState::Busy { until: done };
+        self.jobs_completed += 1;
+        Ok(done)
+    }
+
+    /// Number of jobs started since construction.
+    pub fn jobs_started(&self) -> u64 {
+        self.jobs_completed
+    }
+}
+
+impl Default for NnxEngine {
+    fn default() -> Self {
+        NnxEngine::new(NnxConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn efficiency_matches_paper_silicon() {
+        // §5.1: 1.77 TOPS/W.
+        let eff = NnxConfig::default().tops_per_watt();
+        assert!((eff - 1.77).abs() < 0.02, "TOPS/W = {eff}");
+    }
+
+    #[test]
+    fn plan_energy_is_power_times_latency() {
+        let engine = NnxEngine::default();
+        let plan = engine.plan(&zoo::tiny_yolo());
+        let expected = 651.0 * plan.latency().as_secs_f64();
+        assert!((plan.energy().0 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn yolov2_inference_energy_is_tens_of_mj() {
+        let engine = NnxEngine::default();
+        let plan = engine.plan(&zoo::yolov2());
+        // ~651 mW × ~55-70 ms ≈ 36-46 mJ.
+        assert!(
+            (20.0..70.0).contains(&plan.energy().0),
+            "energy {} mJ",
+            plan.energy().0
+        );
+    }
+
+    #[test]
+    fn engine_rejects_overlapping_jobs() {
+        let mut engine = NnxEngine::default();
+        let plan = engine.plan(&zoo::mdnet());
+        let done = engine.start(&plan, Picos::ZERO).unwrap();
+        assert!(engine.is_busy(Picos(done.0 / 2)));
+        assert!(engine.start(&plan, Picos(done.0 / 2)).is_err());
+        // After completion it accepts again.
+        assert!(!engine.is_busy(done));
+        assert!(engine.start(&plan, done).is_ok());
+        assert_eq!(engine.jobs_started(), 2);
+    }
+
+    #[test]
+    fn plan_is_reusable_and_consistent() {
+        let engine = NnxEngine::default();
+        let a = engine.plan(&zoo::yolov2());
+        let b = engine.plan(&zoo::yolov2());
+        assert_eq!(a, b);
+        assert_eq!(a.dram_read().0 + a.dram_write().0, a.stats().dram_total().0);
+    }
+}

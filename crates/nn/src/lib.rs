@@ -1,0 +1,43 @@
+//! # euphrates-nn
+//!
+//! The neural-network substrate of the Euphrates reproduction:
+//!
+//! * [`layer`] / [`zoo`] — layer-accurate descriptors of the evaluated
+//!   networks (YOLOv2, Tiny YOLO, MDNet, plus the Fig. 1 comparison
+//!   points), with MAC/parameter/GOPS accounting that reproduces Table 2.
+//! * [`systolic`] — a SCALE-Sim-style analytical model of the 24×24
+//!   systolic-array accelerator of Table 1 (cycles, utilization, SRAM
+//!   refetch, DRAM traffic — including the ~646 MB-per-YOLOv2-inference
+//!   headline number).
+//! * [`engine`] — the NNX IP wrapper: job interface, busy/idle state, and
+//!   the calibrated 651 mW / 1.77 TOPS/W power model.
+//! * [`oracle`] — functional accuracy models substituting for trained
+//!   weights (see `DESIGN.md` §2 for why this preserves the paper's
+//!   experiments); calibrated per network in [`oracle::calib`].
+//! * [`classic`] — Haar/HOG sliding-window cost models for Fig. 1.
+//!
+//! ## Example
+//!
+//! ```
+//! use euphrates_nn::{engine::NnxEngine, zoo};
+//!
+//! let engine = NnxEngine::default();
+//! let plan = engine.plan(&zoo::yolov2());
+//! // Baseline YOLOv2 cannot reach 60 FPS on a mobile accelerator (Fig. 1).
+//! assert!(plan.fps() < 25.0);
+//! ```
+
+pub mod classic;
+pub mod energy;
+pub mod engine;
+pub mod layer;
+pub mod oracle;
+pub mod systolic;
+pub mod zoo;
+
+pub use engine::{InferencePlan, NnxConfig, NnxEngine};
+pub use layer::{Layer, LayerKind, NetworkDescriptor, TensorShape};
+pub use oracle::{
+    Detection, DetectorOracle, DetectorProfile, OracleTarget, TrackerOracle, TrackerProfile,
+};
+pub use systolic::{Dataflow, NetworkStats, SystolicConfig, SystolicModel};

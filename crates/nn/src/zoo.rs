@@ -1,0 +1,240 @@
+//! The network zoo: layer-accurate descriptors of the CNNs the paper
+//! evaluates (Table 2) plus the comparison points of Fig. 1.
+//!
+//! Input resolutions are chosen so that each network's per-frame cost
+//! matches the paper's Table 2 GOPS-at-60-FPS figures (within a few
+//! percent); the deviations are recorded in `EXPERIMENTS.md`.
+//!
+//! * [`yolov2`] — Darknet-19 backbone + passthrough + detection head at
+//!   576×576 (≈ 3.39 TOPS at 60 FPS vs. the paper's 3.423).
+//! * [`tiny_yolo`] — the 9-conv truncation at 640×640 (≈ 0.71 TOPS vs.
+//!   0.675).
+//! * [`mdnet`] — VGG-M-style three-conv + three-fc tracker evaluating a
+//!   batch of candidate windows per frame (≈ 0.63 TOPS vs. 0.635).
+//! * [`ssd`], [`faster_rcnn`] — VGG-16-based detectors for Fig. 1.
+
+use crate::layer::{NetBuilder, NetworkDescriptor, TensorShape};
+
+/// YOLOv2 at 576×576 (Darknet-19 + passthrough).
+///
+/// The reference implementation is most commonly quoted at 416×416
+/// (≈29.5 GOP/frame); Table 2's 3,423 GOPS at 60 FPS corresponds to a
+/// 57 GOP/frame operating point, i.e. an input near 576×576 — plausibly
+/// the paper's 480p-capture-derived setting. We use 576 so the Table 2
+/// compute demand is matched within ~1 %.
+pub fn yolov2() -> NetworkDescriptor {
+    NetBuilder::new("YOLOv2", TensorShape::new(576, 576, 3), 1)
+        .conv3(32)
+        .maxpool(2, 2)
+        .conv3(64)
+        .maxpool(2, 2)
+        .conv3(128)
+        .conv1(64)
+        .conv3(128)
+        .maxpool(2, 2)
+        .conv3(256)
+        .conv1(128)
+        .conv3(256)
+        .maxpool(2, 2)
+        .conv3(512)
+        .conv1(256)
+        .conv3(512)
+        .conv1(256)
+        .conv3(512) // conv13: the passthrough source (26x26x512)
+        .maxpool(2, 2)
+        .conv3(1024)
+        .conv1(512)
+        .conv3(1024)
+        .conv1(512)
+        .conv3(1024)
+        .conv3(1024)
+        .conv3(1024)
+        // Passthrough: conv13's 26x26x512 reorg'd to 13x13x2048, projected
+        // to 64 channels in the reference implementation; modeled as a
+        // 256-channel concat (the common 4*64 layout).
+        .concat_channels(256)
+        .conv3(1024)
+        .conv1(425)
+        .build()
+        .expect("yolov2 descriptor is well-formed")
+}
+
+/// Tiny YOLO (9 conv layers) at 640×640 (input chosen to match Table 2's
+/// 675 GOPS within ~6 %, see [`yolov2`]).
+pub fn tiny_yolo() -> NetworkDescriptor {
+    NetBuilder::new("TinyYOLO", TensorShape::new(640, 640, 3), 1)
+        .conv3(16)
+        .maxpool(2, 2)
+        .conv3(32)
+        .maxpool(2, 2)
+        .conv3(64)
+        .maxpool(2, 2)
+        .conv3(128)
+        .maxpool(2, 2)
+        .conv3(256)
+        .maxpool(2, 2)
+        .conv3(512)
+        .maxpool(2, 1)
+        .conv3(1024)
+        .conv3(512)
+        .conv1(425)
+        .build()
+        .expect("tiny yolo descriptor is well-formed")
+}
+
+/// Candidate windows MDNet evaluates per tracked frame. Chosen so the
+/// per-frame cost matches Table 2's 635 GOPS at 60 FPS.
+pub const MDNET_CANDIDATES: u32 = 43;
+
+/// MDNet-style tracker: VGG-M conv1–3 + fc4–6 over a batch of candidate
+/// crops (107×107 each).
+pub fn mdnet() -> NetworkDescriptor {
+    NetBuilder::new("MDNet", TensorShape::new(107, 107, 3), MDNET_CANDIDATES)
+        .conv(96, 7, 2, 0)
+        .maxpool(2, 2)
+        .conv(256, 5, 2, 0)
+        .maxpool(2, 2)
+        .conv(512, 3, 1, 0)
+        .fc(512)
+        .fc(512)
+        .fc(2)
+        .build()
+        .expect("mdnet descriptor is well-formed")
+}
+
+/// SSD300-class detector (VGG-16 backbone truncated at conv5 + extra
+/// feature layers), for Fig. 1.
+pub fn ssd() -> NetworkDescriptor {
+    NetBuilder::new("SSD", TensorShape::new(300, 300, 3), 1)
+        .conv3(64)
+        .conv3(64)
+        .maxpool(2, 2)
+        .conv3(128)
+        .conv3(128)
+        .maxpool(2, 2)
+        .conv3(256)
+        .conv3(256)
+        .conv3(256)
+        .maxpool(2, 2)
+        .conv3(512)
+        .conv3(512)
+        .conv3(512)
+        .maxpool(2, 2)
+        .conv3(512)
+        .conv3(512)
+        .conv3(512)
+        // fc6/fc7 as convs + multibox heads (coarse).
+        .conv(1024, 3, 1, 1)
+        .conv1(1024)
+        .conv1(256)
+        .conv(512, 3, 2, 1)
+        .conv1(128)
+        .conv(256, 3, 2, 1)
+        .build()
+        .expect("ssd descriptor is well-formed")
+}
+
+/// Faster R-CNN with a VGG-16 backbone at 600×800 (the paper-era standard
+/// input), for Fig. 1. The per-region head is folded in as a batched FC
+/// stack over 300 proposals.
+pub fn faster_rcnn() -> NetworkDescriptor {
+    NetBuilder::new("FasterR-CNN", TensorShape::new(600, 800, 3), 1)
+        .conv3(64)
+        .conv3(64)
+        .maxpool(2, 2)
+        .conv3(128)
+        .conv3(128)
+        .maxpool(2, 2)
+        .conv3(256)
+        .conv3(256)
+        .conv3(256)
+        .maxpool(2, 2)
+        .conv3(512)
+        .conv3(512)
+        .conv3(512)
+        .maxpool(2, 2)
+        .conv3(512)
+        .conv3(512)
+        .conv3(512)
+        // RPN.
+        .conv3(512)
+        .conv1(24)
+        .build()
+        .expect("faster r-cnn descriptor is well-formed")
+}
+
+/// All Table 2 networks.
+pub fn table2_networks() -> Vec<NetworkDescriptor> {
+    vec![tiny_yolo(), yolov2(), mdnet()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yolov2_matches_table2_gops() {
+        let net = yolov2();
+        let gops = net.gops_at_fps(60.0);
+        // Paper: 3423 GOPS. Accept ±10%.
+        assert!(
+            (3080.0..3780.0).contains(&gops),
+            "YOLOv2 gops at 60fps = {gops}"
+        );
+    }
+
+    #[test]
+    fn tiny_yolo_matches_table2_gops() {
+        let gops = tiny_yolo().gops_at_fps(60.0);
+        // Paper: 675 GOPS. Accept ±10%.
+        assert!((610.0..745.0).contains(&gops), "TinyYOLO gops = {gops}");
+    }
+
+    #[test]
+    fn mdnet_matches_table2_gops() {
+        let gops = mdnet().gops_at_fps(60.0);
+        // Paper: 635 GOPS. Accept ±10%.
+        assert!((570.0..700.0).contains(&gops), "MDNet gops = {gops}");
+    }
+
+    #[test]
+    fn tiny_yolo_is_about_20_percent_of_yolov2() {
+        // §6.1: Tiny YOLO has ~80% fewer MACs than YOLOv2.
+        let ratio = tiny_yolo().total_macs() as f64 / yolov2().total_macs() as f64;
+        assert!((0.12..0.30).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn all_networks_validate() {
+        for net in [yolov2(), tiny_yolo(), mdnet(), ssd(), faster_rcnn()] {
+            net.validate().unwrap_or_else(|e| panic!("{}: {e}", net.name));
+            assert!(net.total_macs() > 0);
+            assert!(net.weight_bytes().0 > 0);
+        }
+    }
+
+    #[test]
+    fn fig1_ordering_of_compute_demand() {
+        // Fig. 1: Faster R-CNN > YOLOv2 ≥ SSD > Tiny YOLO.
+        let fr = faster_rcnn().gops_at_fps(60.0);
+        let yv2 = yolov2().gops_at_fps(60.0);
+        let ssd_g = ssd().gops_at_fps(60.0);
+        let ty = tiny_yolo().gops_at_fps(60.0);
+        assert!(fr > yv2, "faster r-cnn {fr} vs yolov2 {yv2}");
+        assert!(yv2 > ty && ssd_g > ty);
+    }
+
+    #[test]
+    fn yolov2_weights_are_tens_of_mb() {
+        // Darknet-19 YOLOv2 has ~50M parameters (int8 -> ~48 MiB).
+        let mb = yolov2().weight_bytes().as_mib_f64();
+        assert!((35.0..70.0).contains(&mb), "weights {mb} MiB");
+    }
+
+    #[test]
+    fn mdnet_conv1_shape_is_vggm() {
+        let net = mdnet();
+        assert_eq!(net.layers[0].output(), TensorShape::new(51, 51, 96));
+        assert_eq!(net.batch, MDNET_CANDIDATES);
+    }
+}

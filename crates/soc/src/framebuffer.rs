@@ -1,0 +1,156 @@
+//! Frame-buffer manager: the DRAM region through which the frontend and
+//! backend communicate (§2.1, §4.2).
+//!
+//! The manager allocates a ring of frame slots, each with a pixel section
+//! and a metadata section (where the augmented ISP deposits motion
+//! vectors and the MC deposits results). It is bookkeeping — addresses and
+//! sizes for DMA descriptors and traffic attribution — not storage.
+
+use euphrates_common::error::{Error, Result};
+use euphrates_common::units::Bytes;
+
+/// One frame slot's layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSlot {
+    /// Slot index within the ring.
+    pub index: u32,
+    /// Base address of the pixel section.
+    pub pixel_base: u64,
+    /// Pixel section size.
+    pub pixel_size: Bytes,
+    /// Base address of the metadata section (MVs + results).
+    pub metadata_base: u64,
+    /// Metadata section size.
+    pub metadata_size: Bytes,
+}
+
+impl FrameSlot {
+    /// Total slot footprint.
+    pub fn size(&self) -> Bytes {
+        self.pixel_size + self.metadata_size
+    }
+}
+
+/// A ring of frame slots in DRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameBuffer {
+    base: u64,
+    slots: Vec<FrameSlot>,
+    next: u64,
+}
+
+impl FrameBuffer {
+    /// Allocates a ring of `depth` slots at `base`, each with the given
+    /// pixel and metadata sizes (4 KiB-aligned sections).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero depth or zero pixel size.
+    pub fn new(base: u64, depth: u32, pixel_size: Bytes, metadata_size: Bytes) -> Result<Self> {
+        if depth == 0 {
+            return Err(Error::config("frame buffer depth must be >= 1"));
+        }
+        if pixel_size.0 == 0 {
+            return Err(Error::config("pixel section must be non-empty"));
+        }
+        let align = |v: u64| v.div_ceil(4096) * 4096;
+        let mut slots = Vec::with_capacity(depth as usize);
+        let mut cursor = base;
+        for index in 0..depth {
+            let pixel_base = cursor;
+            let metadata_base = align(pixel_base + pixel_size.0);
+            cursor = align(metadata_base + metadata_size.0);
+            slots.push(FrameSlot {
+                index,
+                pixel_base,
+                pixel_size,
+                metadata_base,
+                metadata_size,
+            });
+        }
+        Ok(FrameBuffer {
+            base,
+            slots,
+            next: 0,
+        })
+    }
+
+    /// Ring depth.
+    pub fn depth(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Total DRAM footprint.
+    pub fn footprint(&self) -> Bytes {
+        let last = self.slots.last().expect("non-empty ring");
+        Bytes(last.metadata_base + last.metadata_size.0 + 4096 - self.base)
+    }
+
+    /// The slot frame `n` lands in (round-robin).
+    pub fn slot_for(&self, frame: u64) -> &FrameSlot {
+        &self.slots[(frame % self.slots.len() as u64) as usize]
+    }
+
+    /// Acquires the slot for the next produced frame, advancing the ring.
+    pub fn produce(&mut self) -> FrameSlot {
+        let slot = *self.slot_for(self.next);
+        self.next += 1;
+        slot
+    }
+
+    /// Frames produced so far.
+    pub fn frames_produced(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_do_not_overlap_and_are_aligned() {
+        let fb = FrameBuffer::new(
+            0x8000_0000,
+            3,
+            Bytes(1920 * 1080 * 3),
+            Bytes(32 * 1024),
+        )
+        .unwrap();
+        for i in 0..3u64 {
+            let s = fb.slot_for(i);
+            assert_eq!(s.pixel_base % 4096, 0);
+            assert_eq!(s.metadata_base % 4096, 0);
+            assert!(s.metadata_base >= s.pixel_base + s.pixel_size.0);
+        }
+        let a = fb.slot_for(0);
+        let b = fb.slot_for(1);
+        assert!(b.pixel_base >= a.metadata_base + a.metadata_size.0);
+    }
+
+    #[test]
+    fn ring_wraps_round_robin() {
+        let mut fb = FrameBuffer::new(0, 2, Bytes(4096), Bytes(4096)).unwrap();
+        let s0 = fb.produce();
+        let s1 = fb.produce();
+        let s2 = fb.produce();
+        assert_eq!(s0.index, 0);
+        assert_eq!(s1.index, 1);
+        assert_eq!(s2.index, 0, "wraps after depth");
+        assert_eq!(fb.frames_produced(), 3);
+    }
+
+    #[test]
+    fn footprint_covers_all_slots() {
+        let fb = FrameBuffer::new(0, 4, Bytes::from_mib(6), Bytes::from_kib(32)).unwrap();
+        // 4 slots x ~6 MiB plus alignment.
+        assert!(fb.footprint().as_mib_f64() > 24.0);
+        assert!(fb.footprint().as_mib_f64() < 26.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(FrameBuffer::new(0, 0, Bytes(4096), Bytes(0)).is_err());
+        assert!(FrameBuffer::new(0, 2, Bytes(0), Bytes(0)).is_err());
+    }
+}

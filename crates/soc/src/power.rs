@@ -1,0 +1,248 @@
+//! Energy accounting: per-IP ledger and the frontend/memory/backend/CPU
+//! breakdown used by Fig. 9b and Fig. 10b.
+
+use euphrates_common::units::{MilliJoules, Picos};
+use std::fmt;
+
+/// The SoC blocks the ledger distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpBlock {
+    /// Camera sensor (frontend).
+    Sensor,
+    /// Image signal processor (frontend).
+    Isp,
+    /// CNN accelerator (backend).
+    Nnx,
+    /// Motion controller (backend).
+    Mc,
+    /// Main memory.
+    Dram,
+    /// Host CPU (only charged when the scheme involves it).
+    Cpu,
+}
+
+impl IpBlock {
+    /// All blocks, in display order.
+    pub const ALL: [IpBlock; 6] = [
+        IpBlock::Sensor,
+        IpBlock::Isp,
+        IpBlock::Nnx,
+        IpBlock::Mc,
+        IpBlock::Dram,
+        IpBlock::Cpu,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            IpBlock::Sensor => 0,
+            IpBlock::Isp => 1,
+            IpBlock::Nnx => 2,
+            IpBlock::Mc => 3,
+            IpBlock::Dram => 4,
+            IpBlock::Cpu => 5,
+        }
+    }
+}
+
+impl fmt::Display for IpBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IpBlock::Sensor => "sensor",
+            IpBlock::Isp => "isp",
+            IpBlock::Nnx => "nnx",
+            IpBlock::Mc => "mc",
+            IpBlock::Dram => "dram",
+            IpBlock::Cpu => "cpu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated energy per IP block.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyLedger {
+    energies: [MilliJoules; 6],
+}
+
+impl EnergyLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds energy to a block.
+    pub fn add(&mut self, block: IpBlock, energy: MilliJoules) {
+        self.energies[block.index()] += energy;
+    }
+
+    /// Energy of one block.
+    pub fn of(&self, block: IpBlock) -> MilliJoules {
+        self.energies[block.index()]
+    }
+
+    /// Total energy.
+    pub fn total(&self) -> MilliJoules {
+        self.energies.iter().copied().sum()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for b in IpBlock::ALL {
+            self.add(b, other.of(b));
+        }
+    }
+
+    /// Scales all entries (e.g. to per-frame values).
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> EnergyLedger {
+        let mut out = *self;
+        for e in &mut out.energies {
+            *e = *e * k;
+        }
+        out
+    }
+
+    /// The figure-style grouping: frontend (sensor + ISP), memory (DRAM),
+    /// backend (NNX + MC), CPU.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        EnergyBreakdown {
+            frontend: self.of(IpBlock::Sensor) + self.of(IpBlock::Isp),
+            memory: self.of(IpBlock::Dram),
+            backend: self.of(IpBlock::Nnx) + self.of(IpBlock::Mc),
+            cpu: self.of(IpBlock::Cpu),
+        }
+    }
+}
+
+/// The Fig. 9b / Fig. 10b energy grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Sensor + ISP.
+    pub frontend: MilliJoules,
+    /// DRAM.
+    pub memory: MilliJoules,
+    /// NNX + motion controller.
+    pub backend: MilliJoules,
+    /// Host CPU (zero for autonomous schemes).
+    pub cpu: MilliJoules,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> MilliJoules {
+        self.frontend + self.memory + self.backend + self.cpu
+    }
+
+    /// This breakdown normalized to another's total (the figures' y-axis).
+    pub fn normalized_to(&self, baseline: &EnergyBreakdown) -> NormalizedBreakdown {
+        let t = baseline.total().0;
+        let n = |v: MilliJoules| if t <= 0.0 { 0.0 } else { v.0 / t };
+        NormalizedBreakdown {
+            frontend: n(self.frontend),
+            memory: n(self.memory),
+            backend: n(self.backend),
+            cpu: n(self.cpu),
+        }
+    }
+
+    /// Average power over `span`.
+    pub fn average_power(&self, span: Picos) -> euphrates_common::units::MilliWatts {
+        self.total().average_power(span)
+    }
+}
+
+/// A breakdown expressed as fractions of a baseline total.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NormalizedBreakdown {
+    /// Frontend fraction.
+    pub frontend: f64,
+    /// Memory fraction.
+    pub memory: f64,
+    /// Backend fraction.
+    pub backend: f64,
+    /// CPU fraction.
+    pub cpu: f64,
+}
+
+impl NormalizedBreakdown {
+    /// Sum of all fractions (1.0 when normalizing a baseline to itself).
+    pub fn total(&self) -> f64 {
+        self.frontend + self.memory + self.backend + self.cpu
+    }
+
+    /// Energy saving vs. the baseline (`1 − total`).
+    pub fn saving(&self) -> f64 {
+        1.0 - self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_and_totals() {
+        let mut l = EnergyLedger::new();
+        l.add(IpBlock::Nnx, MilliJoules(40.0));
+        l.add(IpBlock::Nnx, MilliJoules(2.0));
+        l.add(IpBlock::Dram, MilliJoules(25.0));
+        l.add(IpBlock::Sensor, MilliJoules(3.0));
+        l.add(IpBlock::Isp, MilliJoules(3.0));
+        assert!((l.of(IpBlock::Nnx).0 - 42.0).abs() < 1e-12);
+        assert!((l.total().0 - 73.0).abs() < 1e-12);
+        let b = l.breakdown();
+        assert!((b.frontend.0 - 6.0).abs() < 1e-12);
+        assert!((b.backend.0 - 42.0).abs() < 1e-12);
+        assert!((b.memory.0 - 25.0).abs() < 1e-12);
+        assert_eq!(b.cpu.0, 0.0);
+    }
+
+    #[test]
+    fn breakdown_totals_equal_ledger_total() {
+        let mut l = EnergyLedger::new();
+        for (i, b) in IpBlock::ALL.iter().enumerate() {
+            l.add(*b, MilliJoules(i as f64 + 1.0));
+        }
+        assert!((l.breakdown().total().0 - l.total().0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let baseline = EnergyBreakdown {
+            frontend: MilliJoules(10.0),
+            memory: MilliJoules(30.0),
+            backend: MilliJoules(60.0),
+            cpu: MilliJoules(0.0),
+        };
+        let scheme = EnergyBreakdown {
+            frontend: MilliJoules(10.0),
+            memory: MilliJoules(15.0),
+            backend: MilliJoules(20.0),
+            cpu: MilliJoules(0.0),
+        };
+        let n = scheme.normalized_to(&baseline);
+        assert!((n.total() - 0.45).abs() < 1e-12);
+        assert!((n.saving() - 0.55).abs() < 1e-12);
+        let self_n = baseline.normalized_to(&baseline);
+        assert!((self_n.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = EnergyLedger::new();
+        a.add(IpBlock::Cpu, MilliJoules(8.0));
+        let mut b = EnergyLedger::new();
+        b.add(IpBlock::Cpu, MilliJoules(2.0));
+        a.merge(&b);
+        assert!((a.of(IpBlock::Cpu).0 - 10.0).abs() < 1e-12);
+        let half = a.scaled(0.5);
+        assert!((half.of(IpBlock::Cpu).0 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalizing_to_zero_baseline_is_zero() {
+        let z = EnergyBreakdown::default();
+        let n = z.normalized_to(&z);
+        assert_eq!(n.total(), 0.0);
+    }
+}

@@ -1,0 +1,559 @@
+//! Discrete-event simulation of the vision pipeline's cross-IP timing —
+//! the performance-model half of the paper's GemDroid-style in-house
+//! simulator (§5.1).
+//!
+//! The generic engine ([`Simulator`], [`Component`]) delivers time-ordered
+//! events to components, which react by posting more events. On top of it,
+//! [`run_vision_pipeline`] wires the IPs of Fig. 5 — sensor → ISP →
+//! motion controller → NNX — with parametric latencies
+//! ([`PipelineTimings`]), and reports per-frame completion times, achieved
+//! FPS, and drop statistics under real-time capture.
+
+use euphrates_common::units::Picos;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// Index of a component within a simulator.
+pub type ComponentId = usize;
+
+/// Event payloads exchanged between vision-pipeline components. The
+/// `Custom` variant lets external components define their own protocols on
+/// the same engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// The sensor finished exposing a frame.
+    FrameCaptured {
+        /// Frame index.
+        frame: u64,
+    },
+    /// The ISP finished processing; pixels + MV metadata are in DRAM.
+    IspFrameDone {
+        /// Frame index.
+        frame: u64,
+    },
+    /// The MC finished an E-frame (or the pre-inference extrapolation).
+    McFrameDone {
+        /// Frame index.
+        frame: u64,
+        /// Whether this frame also triggered an inference.
+        inference: bool,
+    },
+    /// The NNX finished an inference job.
+    NnxJobDone {
+        /// Frame index of the I-frame.
+        frame: u64,
+    },
+    /// User-defined event.
+    Custom(u32),
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Delivery time.
+    pub time: Picos,
+    /// Tie-break sequence number (FIFO among same-time events).
+    pub seq: u64,
+    /// Receiving component.
+    pub target: ComponentId,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One line of the simulation trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulation time.
+    pub time: Picos,
+    /// Component that logged the line.
+    pub component: String,
+    /// Message.
+    pub message: String,
+}
+
+/// The interface a component uses to interact with the engine during
+/// event delivery.
+#[derive(Debug)]
+pub struct SimContext<'a> {
+    now: Picos,
+    outbox: &'a mut Vec<(Picos, ComponentId, EventKind)>,
+    trace: &'a mut Vec<TraceEntry>,
+    component_name: &'a str,
+    tracing: bool,
+}
+
+impl SimContext<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Posts an event `delay` after now.
+    pub fn post(&mut self, delay: Picos, target: ComponentId, kind: EventKind) {
+        self.outbox.push((self.now + delay, target, kind));
+    }
+
+    /// Appends a trace line (no-op when tracing is disabled).
+    pub fn trace(&mut self, message: impl Into<String>) {
+        if self.tracing {
+            self.trace.push(TraceEntry {
+                time: self.now,
+                component: self.component_name.to_string(),
+                message: message.into(),
+            });
+        }
+    }
+}
+
+/// A simulated component.
+pub trait Component {
+    /// Display name for traces.
+    fn name(&self) -> &str;
+    /// Reacts to an event.
+    fn handle(&mut self, event: &Event, ctx: &mut SimContext<'_>);
+}
+
+/// The discrete-event engine.
+pub struct Simulator {
+    components: Vec<Box<dyn Component>>,
+    heap: BinaryHeap<Reverse<Event>>,
+    now: Picos,
+    seq: u64,
+    trace: Vec<TraceEntry>,
+    tracing: bool,
+    events_processed: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("components", &self.components.len())
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator.
+    pub fn new() -> Self {
+        Simulator {
+            components: Vec::new(),
+            heap: BinaryHeap::new(),
+            now: Picos::ZERO,
+            seq: 0,
+            trace: Vec::new(),
+            tracing: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Enables trace collection (off by default; traces grow linearly with
+    /// events).
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    /// Registers a component, returning its id.
+    pub fn add_component(&mut self, c: Box<dyn Component>) -> ComponentId {
+        self.components.push(c);
+        self.components.len() - 1
+    }
+
+    /// Schedules an event at absolute `time`.
+    pub fn post_at(&mut self, time: Picos, target: ComponentId, kind: EventKind) {
+        let ev = Event {
+            time,
+            seq: self.seq,
+            target,
+            kind,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(ev));
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The collected trace.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Runs until the event queue empties or `deadline` passes. Returns
+    /// the number of events delivered.
+    pub fn run_until(&mut self, deadline: Picos) -> u64 {
+        let mut delivered = 0;
+        let mut outbox: Vec<(Picos, ComponentId, EventKind)> = Vec::new();
+        while let Some(Reverse(ev)) = self.heap.peek().copied() {
+            if ev.time > deadline {
+                break;
+            }
+            self.heap.pop();
+            self.now = ev.time;
+            if ev.target >= self.components.len() {
+                continue; // dangling target: drop
+            }
+            let component = &mut self.components[ev.target];
+            let name_owned = component.name().to_string();
+            {
+                let mut ctx = SimContext {
+                    now: self.now,
+                    outbox: &mut outbox,
+                    trace: &mut self.trace,
+                    component_name: &name_owned,
+                    tracing: self.tracing,
+                };
+                component.handle(&ev, &mut ctx);
+            }
+            for (time, target, kind) in outbox.drain(..) {
+                let e = Event {
+                    time,
+                    seq: self.seq,
+                    target,
+                    kind,
+                };
+                self.seq += 1;
+                self.heap.push(Reverse(e));
+            }
+            delivered += 1;
+            self.events_processed += 1;
+        }
+        self.now = self.now.max(deadline.min(self.now));
+        delivered
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The concrete vision pipeline (Fig. 5) on top of the engine.
+// ---------------------------------------------------------------------------
+
+/// Parametric latencies of the vision pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineTimings {
+    /// Capture period (16.67 ms at 60 FPS).
+    pub frame_period: Picos,
+    /// Sensor exposure/readout latency.
+    pub sensor_latency: Picos,
+    /// ISP processing latency per frame.
+    pub isp_latency: Picos,
+    /// MC latency for an E-frame (fetch + extrapolate + write).
+    pub mc_e_frame: Picos,
+    /// MC-side latency around an I-frame (program + compare + write).
+    pub mc_i_frame: Picos,
+    /// NNX inference latency.
+    pub nnx_latency: Picos,
+    /// Extrapolation window (1 = inference every frame).
+    pub window: u32,
+}
+
+/// Outcome counters of a pipeline run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineRun {
+    /// Completion time of each produced result (frame index, time).
+    pub results: Vec<(u64, Picos)>,
+    /// Frames dropped because the NNX was still busy at their I-slot.
+    pub dropped: u64,
+    /// Inferences executed.
+    pub inferences: u64,
+}
+
+impl PipelineRun {
+    /// Achieved results/second over the span of the run.
+    pub fn achieved_fps(&self) -> f64 {
+        match (self.results.first(), self.results.last()) {
+            (Some((_, t0)), Some((_, t1))) if t1 > t0 && self.results.len() > 1 => {
+                (self.results.len() - 1) as f64 / (*t1 - *t0).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+struct SensorComp {
+    isp: ComponentId,
+    period: Picos,
+    latency: Picos,
+    frames_left: u64,
+    next_frame: u64,
+}
+
+impl Component for SensorComp {
+    fn name(&self) -> &str {
+        "sensor"
+    }
+    fn handle(&mut self, event: &Event, ctx: &mut SimContext<'_>) {
+        if let EventKind::FrameCaptured { frame } = event.kind {
+            ctx.trace(format!("frame {frame} captured"));
+            ctx.post(self.latency, self.isp, EventKind::IspFrameDone { frame });
+            if self.frames_left > 0 {
+                self.frames_left -= 1;
+                self.next_frame += 1;
+                let f = self.next_frame;
+                // Sensors self-schedule: the next capture strobe.
+                // The event's target is this component: self-schedule.
+                ctx.post(self.period, event.target, EventKind::FrameCaptured { frame: f });
+            }
+        }
+    }
+}
+
+struct IspComp {
+    mc: ComponentId,
+    latency: Picos,
+}
+
+impl Component for IspComp {
+    fn name(&self) -> &str {
+        "isp"
+    }
+    fn handle(&mut self, event: &Event, ctx: &mut SimContext<'_>) {
+        if let EventKind::IspFrameDone { frame } = event.kind {
+            ctx.trace(format!("frame {frame} processed; MVs exported"));
+            ctx.post(self.latency, self.mc, EventKind::FrameCaptured { frame });
+        }
+    }
+}
+
+struct McComp {
+    self_id: ComponentId,
+    timings: PipelineTimings,
+    nnx_busy_until: Picos,
+    frames_since_inference: u32,
+    run: Rc<RefCell<PipelineRun>>,
+}
+
+impl Component for McComp {
+    fn name(&self) -> &str {
+        "mc"
+    }
+    fn handle(&mut self, event: &Event, ctx: &mut SimContext<'_>) {
+        match event.kind {
+            // A frame (with MV metadata) is ready for the backend.
+            EventKind::FrameCaptured { frame } => {
+                let due_inference = self.frames_since_inference == 0
+                    || self.frames_since_inference >= self.timings.window;
+                if due_inference {
+                    if ctx.now() < self.nnx_busy_until {
+                        // NNX still busy: real-time frame drop (§6.1 —
+                        // this is what limits the baseline to ~17 FPS).
+                        self.run.borrow_mut().dropped += 1;
+                        ctx.trace(format!("frame {frame} dropped (NNX busy)"));
+                        return;
+                    }
+                    self.frames_since_inference = 1;
+                    self.run.borrow_mut().inferences += 1;
+                    let done = ctx.now() + self.timings.mc_i_frame + self.timings.nnx_latency;
+                    self.nnx_busy_until = done;
+                    ctx.trace(format!("frame {frame}: I-frame, NNX job started"));
+                    ctx.post(
+                        self.timings.mc_i_frame + self.timings.nnx_latency,
+                        self.self_id,
+                        EventKind::NnxJobDone { frame },
+                    );
+                } else {
+                    self.frames_since_inference += 1;
+                    ctx.trace(format!("frame {frame}: E-frame extrapolated"));
+                    ctx.post(
+                        self.timings.mc_e_frame,
+                        self.self_id,
+                        EventKind::McFrameDone {
+                            frame,
+                            inference: false,
+                        },
+                    );
+                }
+            }
+            EventKind::NnxJobDone { frame } => {
+                ctx.trace(format!("frame {frame}: inference complete"));
+                self.run.borrow_mut().results.push((frame, ctx.now()));
+            }
+            EventKind::McFrameDone { frame, .. } => {
+                self.run.borrow_mut().results.push((frame, ctx.now()));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Builds and runs the Fig. 5 pipeline for `frames` captured frames;
+/// returns the run statistics and, when `tracing`, the event trace.
+pub fn run_vision_pipeline(
+    timings: PipelineTimings,
+    frames: u64,
+    tracing: bool,
+) -> (PipelineRun, Vec<TraceEntry>) {
+    let mut sim = Simulator::new();
+    if tracing {
+        sim.enable_tracing();
+    }
+    // Wire backwards: MC id is known last, so pre-compute ids.
+    let sensor_id = 0;
+    let isp_id = 1;
+    let mc_id = 2;
+    sim.add_component(Box::new(SensorComp {
+        isp: isp_id,
+        period: timings.frame_period,
+        latency: timings.sensor_latency,
+        frames_left: frames.saturating_sub(1),
+        next_frame: 0,
+    }));
+    sim.add_component(Box::new(IspComp {
+        mc: mc_id,
+        latency: timings.isp_latency,
+    }));
+    let run = Rc::new(RefCell::new(PipelineRun::default()));
+    sim.add_component(Box::new(McComp {
+        self_id: mc_id,
+        timings,
+        nnx_busy_until: Picos::ZERO,
+        frames_since_inference: 0,
+        run: Rc::clone(&run),
+    }));
+    sim.post_at(Picos::ZERO, sensor_id, EventKind::FrameCaptured { frame: 0 });
+    sim.run_until(Picos::from_secs_f64(3600.0));
+
+    let result = run.borrow().clone();
+    (result, sim.trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timings(window: u32, nnx_ms: u64) -> PipelineTimings {
+        PipelineTimings {
+            frame_period: Picos::from_micros(16_667),
+            sensor_latency: Picos::from_millis(4),
+            isp_latency: Picos::from_millis(3),
+            mc_e_frame: Picos::from_micros(60),
+            mc_i_frame: Picos::from_micros(30),
+            nnx_latency: Picos::from_millis(nnx_ms),
+            window,
+        }
+    }
+
+    #[test]
+    fn events_are_delivered_in_time_order() {
+        struct Recorder {
+            seen: Rc<RefCell<Vec<u32>>>,
+        }
+        impl Component for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn handle(&mut self, event: &Event, _ctx: &mut SimContext<'_>) {
+                if let EventKind::Custom(v) = event.kind {
+                    self.seen.borrow_mut().push(v);
+                }
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Box::new(Recorder { seen: Rc::clone(&seen) }));
+        sim.post_at(Picos(300), id, EventKind::Custom(3));
+        sim.post_at(Picos(100), id, EventKind::Custom(1));
+        sim.post_at(Picos(200), id, EventKind::Custom(2));
+        // Same-time events keep FIFO order.
+        sim.post_at(Picos(300), id, EventKind::Custom(4));
+        let n = sim.run_until(Picos::from_millis(1));
+        assert_eq!(n, 4);
+        assert_eq!(*seen.borrow(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deadline_stops_the_run() {
+        struct Echo {
+            id: ComponentId,
+        }
+        impl Component for Echo {
+            fn name(&self) -> &str {
+                "echo"
+            }
+            fn handle(&mut self, _event: &Event, ctx: &mut SimContext<'_>) {
+                ctx.post(Picos::from_millis(1), self.id, EventKind::Custom(0));
+            }
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Box::new(Echo { id: 0 }));
+        sim.post_at(Picos::ZERO, id, EventKind::Custom(0));
+        let delivered = sim.run_until(Picos::from_millis(10));
+        assert!(delivered <= 11, "delivered {delivered}");
+    }
+
+    #[test]
+    fn baseline_pipeline_drops_to_inference_rate() {
+        // 63.5 ms inference at 60 FPS capture: ~15.7 results/s, rest drop.
+        let (run, _) = run_vision_pipeline(timings(1, 63), 300, false);
+        let fps = run.achieved_fps();
+        assert!((13.0..18.5).contains(&fps), "baseline fps {fps}");
+        assert!(run.dropped > 200, "dropped {}", run.dropped);
+    }
+
+    #[test]
+    fn ew4_reaches_capture_rate() {
+        let (run, _) = run_vision_pipeline(timings(4, 63), 300, false);
+        let fps = run.achieved_fps();
+        assert!(fps > 55.0, "EW-4 fps {fps}");
+        assert!(run.dropped < 20, "dropped {}", run.dropped);
+        // Inference rate ~25%.
+        let rate = run.inferences as f64 / run.results.len() as f64;
+        assert!((0.2..0.3).contains(&rate), "inference rate {rate}");
+    }
+
+    #[test]
+    fn ew2_lands_between() {
+        let (run, _) = run_vision_pipeline(timings(2, 63), 300, false);
+        let fps = run.achieved_fps();
+        assert!((25.0..40.0).contains(&fps), "EW-2 fps {fps}");
+    }
+
+    #[test]
+    fn fast_network_sustains_60fps_even_as_baseline() {
+        // MDNet-class 12 ms inference keeps up with 60 FPS at EW-1.
+        let (run, _) = run_vision_pipeline(timings(1, 12), 300, false);
+        assert!(run.achieved_fps() > 55.0, "fps {}", run.achieved_fps());
+        assert_eq!(run.dropped, 0);
+    }
+
+    #[test]
+    fn tracing_captures_pipeline_activity() {
+        let (_, trace) = run_vision_pipeline(timings(2, 30), 10, true);
+        assert!(!trace.is_empty());
+        assert!(trace.iter().any(|t| t.component == "sensor"));
+        assert!(trace.iter().any(|t| t.component == "isp"));
+        assert!(trace.iter().any(|t| t.message.contains("E-frame")));
+        // Trace is time-sorted.
+        for pair in trace.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+    }
+}

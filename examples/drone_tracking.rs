@@ -1,0 +1,84 @@
+//! Drone / surveillance visual tracking — the paper's §5.2 motivation:
+//! platforms without active cooling that must minimize tracking power.
+//!
+//! Runs MDNet-class tracking per visual attribute and compares the
+//! constant and adaptive extrapolation policies, showing where
+//! extrapolation struggles (fast motion, motion blur — Fig. 12) and how
+//! the adaptive window recovers accuracy on hard scenes while keeping the
+//! energy of EW-4 on easy ones.
+//!
+//! ```text
+//! cargo run --release --example drone_tracking
+//! ```
+
+use euphrates::common::table::{percent, Table};
+use euphrates::core::prelude::*;
+use euphrates::nn::oracle::calib;
+use std::collections::BTreeMap;
+
+fn main() -> euphrates::common::Result<()> {
+    let scale = DatasetScale::from_env(0.2);
+    let suite = euphrates::datasets::otb100_like(99, scale);
+    println!(
+        "tracking workload: {} sequences, {} frames\n",
+        suite.len(),
+        euphrates::datasets::total_frames(&suite)
+    );
+
+    let schemes = vec![
+        ("MDNet".to_string(), BackendConfig::baseline()),
+        ("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2))),
+        ("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))),
+        (
+            "EW-A".to_string(),
+            BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
+        ),
+    ];
+    let results = evaluate_suite(
+        &suite,
+        &MotionConfig::default(),
+        &schemes,
+        |prep, stream, cfg| run_tracking(prep, calib::mdnet(), cfg, stream),
+    )?;
+
+    // Per-attribute success (Fig. 12-style view).
+    let mut table = Table::new(["attribute", "MDNet", "EW-2", "EW-4", "EW-A"])
+        .with_title("Success rate @ IoU 0.5, per visual attribute");
+    let mut per_attr: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (si, seq) in suite.iter().enumerate() {
+        let attr = seq.attributes[0].to_string();
+        let entry = per_attr.entry(attr).or_insert_with(|| vec![0.0; 8]);
+        for (ri, r) in results.iter().enumerate() {
+            let o = &r.per_sequence[si];
+            let hits = o.ious.iter().filter(|&&i| i >= 0.5).count();
+            entry[ri * 2] += hits as f64;
+            entry[ri * 2 + 1] += o.ious.len() as f64;
+        }
+    }
+    for (attr, sums) in &per_attr {
+        let rate = |i: usize| -> String {
+            if sums[i * 2 + 1] == 0.0 {
+                "-".into()
+            } else {
+                percent(sums[i * 2] / sums[i * 2 + 1])
+            }
+        };
+        table.row([attr.clone(), rate(0), rate(1), rate(2), rate(3)]);
+    }
+    println!("{table}");
+
+    let mut summary = Table::new(["scheme", "success@0.5", "AUC", "inference rate"])
+        .with_title("Overall");
+    for r in &results {
+        summary.row([
+            r.label.clone(),
+            percent(r.rate_at_05()),
+            percent(r.accuracy().auc()),
+            percent(r.outcome.inference_rate()),
+        ]);
+    }
+    println!("{summary}");
+    println!("Fast Motion and Motion Blur lose the most under extrapolation —");
+    println!("the block matcher cannot see beyond its ±7 px search window (§7).");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: run baseline vs. Euphrates EW-4 on a small tracking suite
+//! and print accuracy, energy, and throughput side by side.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use euphrates::common::table::{fnum, percent, Table};
+use euphrates::core::prelude::*;
+use euphrates::nn::oracle::calib;
+use euphrates::nn::zoo;
+
+fn main() -> euphrates::common::Result<()> {
+    // 1. A small tracking workload (10% of the OTB-100-like suite).
+    let suite = euphrates::datasets::otb100_like(42, DatasetScale::fraction(0.1));
+    println!(
+        "workload: {} sequences, {} frames total\n",
+        suite.len(),
+        euphrates::datasets::total_frames(&suite)
+    );
+
+    // 2. Functional accuracy: baseline (inference every frame) vs. EW-4.
+    let schemes = vec![
+        ("MDNet".to_string(), BackendConfig::baseline()),
+        ("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))),
+        (
+            "EW-A".to_string(),
+            BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
+        ),
+    ];
+    let results = evaluate_suite(
+        &suite,
+        &MotionConfig::default(),
+        &schemes,
+        |prep, stream, cfg| run_tracking(prep, calib::mdnet(), cfg, stream),
+    )?;
+
+    // 3. SoC energy/FPS at the Table 1 operating point (1080p60).
+    let system = SystemModel::table1();
+    let net = zoo::mdnet();
+    let mut table = Table::new([
+        "scheme",
+        "success@0.5",
+        "inference rate",
+        "energy/frame",
+        "norm energy",
+        "fps",
+    ])
+    .with_title("Euphrates quickstart — MDNet tracking");
+    let baseline_energy = system
+        .evaluate(&net, 1.0, ExtrapolationExecutor::MotionController)?
+        .energy_per_frame();
+    for r in &results {
+        let window = r.outcome.mean_window();
+        let soc = system.evaluate(&net, window, ExtrapolationExecutor::MotionController)?;
+        table.row([
+            r.label.clone(),
+            percent(r.rate_at_05()),
+            percent(r.outcome.inference_rate()),
+            format!("{}", soc.energy_per_frame()),
+            fnum(soc.energy_per_frame().0 / baseline_energy.0, 2),
+            fnum(soc.fps, 1),
+        ]);
+    }
+    println!("{table}");
+    println!("Baseline runs a full CNN inference on every frame; EW-4 replaces");
+    println!("3 of every 4 inferences with motion extrapolation on the Motion");
+    println!("Controller IP; EW-A adapts the window to extrapolation quality.");
+    Ok(())
+}

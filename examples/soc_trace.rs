@@ -1,0 +1,74 @@
+//! The SoC substrate in isolation: print the Table 1 configuration, run
+//! the discrete-event pipeline simulation (sensor → ISP → MC → NNX) for a
+//! YOLOv2-class workload at EW-1 and EW-4, show the event timeline for the
+//! first frames, and summarize the per-frame energy ledger.
+//!
+//! ```text
+//! cargo run --release --example soc_trace
+//! ```
+
+use euphrates::common::units::Picos;
+use euphrates::core::prelude::*;
+use euphrates::nn::zoo;
+use euphrates::soc::sim::{run_vision_pipeline, PipelineTimings};
+use euphrates::soc::SocConfig;
+
+fn main() -> euphrates::common::Result<()> {
+    println!("{}", SocConfig::table1());
+
+    let system = SystemModel::table1();
+    let plan = system.plan(&zoo::yolov2());
+    println!(
+        "YOLOv2 inference on the Table 1 NNX: latency {}, energy {}, DRAM {}\n",
+        plan.latency(),
+        plan.energy(),
+        plan.dram_read() + plan.dram_write()
+    );
+
+    let timings = |window: u32| PipelineTimings {
+        frame_period: Picos::from_micros(16_667),
+        sensor_latency: Picos::from_millis(4),
+        isp_latency: Picos::from_millis(3),
+        mc_e_frame: system.mc_time_per_frame(),
+        mc_i_frame: Picos::from_micros(20),
+        nnx_latency: plan.latency(),
+        window,
+    };
+
+    // Event timeline for the first frames of EW-4.
+    let (_, trace) = run_vision_pipeline(timings(4), 8, true);
+    println!("event timeline (EW-4, first 8 captured frames):");
+    for entry in trace.iter().take(28) {
+        println!("  [{:>12}] {:<7} {}", entry.time.to_string(), entry.component, entry.message);
+    }
+    println!();
+
+    // Throughput comparison from the DES.
+    for (label, window) in [("baseline EW-1", 1u32), ("EW-2", 2), ("EW-4", 4)] {
+        let (run, _) = run_vision_pipeline(timings(window), 240, false);
+        println!(
+            "{label:14} achieved {:5.1} FPS  ({} results, {} dropped, {} inferences)",
+            run.achieved_fps(),
+            run.results.len(),
+            run.dropped,
+            run.inferences
+        );
+    }
+    println!();
+
+    // Energy ledger per frame at each window.
+    println!("per-frame energy ledger (analytical model):");
+    for window in [1.0, 2.0, 4.0, 8.0] {
+        let report = system.evaluate(&zoo::yolov2(), window, ExtrapolationExecutor::MotionController)?;
+        let b = report.breakdown();
+        println!(
+            "  EW-{window:<3} frontend {:>9}  memory {:>9}  backend {:>9}  total {:>9}  @ {:4.1} FPS",
+            b.frontend.to_string(),
+            b.memory.to_string(),
+            b.backend.to_string(),
+            b.total().to_string(),
+            report.fps
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # euphrates
+//!
+//! A from-scratch Rust reproduction of **Euphrates: Algorithm-SoC
+//! Co-Design for Low-Power Mobile Continuous Vision** (Zhu, Samajdar,
+//! Mattina, Whatmough — ISCA 2018).
+//!
+//! Euphrates cuts the energy of continuous-vision tasks by replacing most
+//! CNN inferences with *motion extrapolation*: the ISP already computes
+//! block-matching motion vectors for temporal denoising, so exposing them
+//! to a tiny new **Motion Controller** IP lets the SoC shift detections
+//! and tracks across frames for ~10 K fixed-point operations instead of
+//! tens of GOPs of convolution.
+//!
+//! This meta-crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`common`] | geometry, fixed point, images, metrics, units |
+//! | [`camera`] | synthetic scenes + Bayer sensor model |
+//! | [`isp`] | ISP pipeline, block matching, MV metadata export |
+//! | [`nn`] | systolic accelerator model, network zoo, oracles |
+//! | [`mc`] | the Motion Controller IP + extrapolation algorithm |
+//! | [`soc`] | SoC energy/timing models, DES, DRAM, CPU |
+//! | [`datasets`] | OTB/VOT/detection-style benchmark suites |
+//! | [`core`] | the assembled continuous-vision pipeline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use euphrates::core::prelude::*;
+//! use euphrates::nn::zoo;
+//!
+//! # fn main() -> euphrates::common::Result<()> {
+//! // Energy/FPS at the Table 1 operating point:
+//! let system = SystemModel::table1();
+//! let baseline = system.evaluate(&zoo::yolov2(), 1.0, ExtrapolationExecutor::MotionController)?;
+//! let ew4 = system.evaluate(&zoo::yolov2(), 4.0, ExtrapolationExecutor::MotionController)?;
+//! assert!(ew4.fps > 3.0 * baseline.fps);       // ~17 -> 60 FPS
+//! assert!(ew4.energy_per_frame() < baseline.energy_per_frame() * 0.45);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/benches/` for the per-figure reproduction harness.
+
+pub use euphrates_camera as camera;
+pub use euphrates_common as common;
+pub use euphrates_core as core;
+pub use euphrates_datasets as datasets;
+pub use euphrates_isp as isp;
+pub use euphrates_mc as mc;
+pub use euphrates_nn as nn;
+pub use euphrates_soc as soc;

@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full camera → ISP → motion
+//! controller → oracle pipeline, exercised end to end at small scale.
+
+use euphrates::core::prelude::*;
+use euphrates::nn::oracle::calib;
+
+fn tracking_suite(seed: u64, n: usize, frames: u32) -> Vec<Sequence> {
+    let mut suite = euphrates::datasets::otb100_like(seed, DatasetScale::fraction(0.1));
+    suite.truncate(n);
+    for s in &mut suite {
+        s.frames = frames;
+    }
+    suite
+}
+
+fn run_schemes(
+    suite: &[Sequence],
+    schemes: &[(String, BackendConfig)],
+) -> Vec<euphrates::core::SuiteOutcome> {
+    evaluate_suite(suite, &MotionConfig::default(), schemes, |prep, stream, cfg| {
+        run_tracking(prep, calib::mdnet(), cfg, stream)
+    })
+    .expect("evaluation succeeds")
+}
+
+#[test]
+fn accuracy_declines_monotonically_with_window() {
+    let suite = tracking_suite(11, 6, 72);
+    let schemes: Vec<(String, BackendConfig)> = [1u32, 2, 8, 32]
+        .iter()
+        .map(|&n| (format!("EW-{n}"), BackendConfig::new(EwPolicy::Constant(n))))
+        .collect();
+    let results = run_schemes(&suite, &schemes);
+    let rates: Vec<f64> = results.iter().map(|r| r.rate_at_05()).collect();
+    // Allow small non-monotonic jitter between adjacent points but demand
+    // the overall trend (baseline clearly above EW-32).
+    assert!(
+        rates[0] >= rates[2] - 0.02 && rates[1] >= rates[3] - 0.02,
+        "rates {rates:?}"
+    );
+    assert!(
+        rates[0] > rates[3] + 0.1,
+        "baseline {} must clearly beat EW-32 {}",
+        rates[0],
+        rates[3]
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let suite = tracking_suite(13, 3, 48);
+    let schemes = vec![("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4)))];
+    let a = run_schemes(&suite, &schemes);
+    let b = run_schemes(&suite, &schemes);
+    assert_eq!(a[0].outcome, b[0].outcome);
+    assert_eq!(a[0].per_sequence.len(), b[0].per_sequence.len());
+}
+
+#[test]
+fn fixed_datapath_tracks_reference_closely() {
+    let suite = tracking_suite(17, 4, 60);
+    let mut fixed = BackendConfig::new(EwPolicy::Constant(8));
+    fixed.fixed_datapath = true;
+    let mut reference = fixed;
+    reference.fixed_datapath = false;
+    let results = run_schemes(
+        &suite,
+        &[
+            ("fixed".to_string(), fixed),
+            ("reference".to_string(), reference),
+        ],
+    );
+    let (f, r) = (results[0].rate_at_05(), results[1].rate_at_05());
+    assert!(
+        (f - r).abs() < 0.05,
+        "fixed-point datapath {f} vs f64 reference {r}"
+    );
+}
+
+#[test]
+fn adaptive_stays_within_window_bounds_and_beats_constant() {
+    let suite = tracking_suite(19, 6, 72);
+    let adaptive = BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig {
+        min_window: 1,
+        max_window: 8,
+        ..AdaptiveConfig::default()
+    }));
+    let schemes = vec![
+        ("EW-A".to_string(), adaptive),
+        ("EW-8".to_string(), BackendConfig::new(EwPolicy::Constant(8))),
+    ];
+    let results = run_schemes(&suite, &schemes);
+    let a = &results[0];
+    // Window bound 8 implies inference rate >= 1/8.
+    assert!(
+        a.outcome.inference_rate() >= 1.0 / 8.0 - 1e-9,
+        "rate {}",
+        a.outcome.inference_rate()
+    );
+    // Adaptive at most the EW-8 inference budget or accuracy above it.
+    assert!(
+        a.rate_at_05() >= results[1].rate_at_05() - 0.02,
+        "adaptive {} vs EW-8 {}",
+        a.rate_at_05(),
+        results[1].rate_at_05()
+    );
+}
+
+#[test]
+fn detection_and_tracking_share_the_frontend() {
+    // The same prepared sequence must serve both tasks.
+    let mut det_suite = euphrates::datasets::detection_suite(21, DatasetScale::fraction(0.1));
+    det_suite.truncate(1);
+    det_suite[0].frames = 40;
+    let prep = prepare_sequence(&det_suite[0], &MotionConfig::default()).unwrap();
+    let det = run_detection(&prep, calib::yolov2(), &BackendConfig::baseline(), 0).unwrap();
+    assert!(det.frames == 40 && !det.ious.is_empty());
+    // Tracking needs a frame-0 target, which the detection scene provides.
+    let track = run_tracking(&prep, calib::mdnet(), &BackendConfig::baseline(), 0).unwrap();
+    assert_eq!(track.frames, 40);
+}
+
+#[test]
+fn full_isp_path_reaches_similar_accuracy() {
+    let suite = tracking_suite(23, 2, 36);
+    let schemes = vec![("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2)))];
+    let fast = evaluate_suite(
+        &suite,
+        &MotionConfig::default(),
+        &schemes,
+        |prep, stream, cfg| run_tracking(prep, calib::mdnet(), cfg, stream),
+    )
+    .unwrap();
+    let full = evaluate_suite(
+        &suite,
+        &MotionConfig {
+            full_isp: true,
+            ..MotionConfig::default()
+        },
+        &schemes,
+        |prep, stream, cfg| run_tracking(prep, calib::mdnet(), cfg, stream),
+    )
+    .unwrap();
+    let (a, b) = (fast[0].rate_at_05(), full[0].rate_at_05());
+    assert!((a - b).abs() < 0.1, "fast path {a} vs full ISP {b}");
+}
+
+#[test]
+fn mc_sram_capacity_matches_paper_design_point() {
+    use euphrates::common::image::Resolution;
+    use euphrates::mc::McConfig;
+    // 1080p/16 fits the 8 KB SRAM exactly; 1080p/8 must not.
+    McConfig::default()
+        .check_capacity(Resolution::FULL_HD, 16)
+        .expect("paper design point fits");
+    assert!(McConfig::default()
+        .check_capacity(Resolution::FULL_HD, 8)
+        .is_err());
+}

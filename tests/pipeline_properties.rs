@@ -1,0 +1,145 @@
+//! Property-based tests over the assembled pipeline: invariants that must
+//! hold for arbitrary motion fields, ROIs, and schedules.
+
+use euphrates::common::geom::{Rect, Vec2f};
+use euphrates::common::image::{LumaFrame, Resolution};
+use euphrates::isp::motion::{BlockMatcher, MotionField, SearchStrategy};
+use euphrates::mc::algorithm::{filter_mv, roi_average_motion, ExtrapolationConfig, Extrapolator, RoiState};
+use euphrates::mc::policy::{EwController, EwPolicy, FrameKind};
+use proptest::prelude::*;
+
+/// A synthetic frame pair with uniform translation (dx, dy).
+fn translated_pair(dx: i32, dy: i32, seed: u64) -> (LumaFrame, LumaFrame) {
+    let mut prev = LumaFrame::new(96, 96).unwrap();
+    for y in 0..96i64 {
+        for x in 0..96i64 {
+            let v = (euphrates::common::rngx::lattice_hash(seed, x / 3, y / 3) * 255.0) as u8;
+            prev.set(x as u32, y as u32, v);
+        }
+    }
+    let mut cur = LumaFrame::new(96, 96).unwrap();
+    for y in 0..96i64 {
+        for x in 0..96i64 {
+            cur.set(
+                x as u32,
+                y as u32,
+                prev.at_clamped(x - i64::from(dx), y - i64::from(dy)),
+            );
+        }
+    }
+    (cur, prev)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn extrapolation_is_translation_equivariant(
+        dx in -6i32..=6,
+        dy in -6i32..=6,
+        seed in 0u64..30,
+    ) {
+        let (cur, prev) = translated_pair(dx, dy, seed);
+        let field = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive)
+            .unwrap()
+            .estimate(&cur, &prev)
+            .unwrap();
+        let ex = Extrapolator::default();
+        let mut state = RoiState::new(ex.config());
+        let roi = Rect::new(30.0, 30.0, 36.0, 36.0);
+        let out = ex.extrapolate(&roi, &field, &mut state);
+        let d = out.center() - roi.center();
+        // Filter warm-up scales the first step by beta (>= 0.5), so the
+        // move is between half and full displacement, same direction.
+        let fx = f64::from(dx);
+        let fy = f64::from(dy);
+        prop_assert!((d.x - fx).abs() <= fx.abs() * 0.55 + 1.0, "dx {} got {}", fx, d.x);
+        prop_assert!((d.y - fy).abs() <= fy.abs() * 0.55 + 1.0, "dy {} got {}", fy, d.y);
+    }
+
+    #[test]
+    fn roi_average_is_bounded_by_search_range(
+        x in 0.0f64..80.0,
+        y in 0.0f64..80.0,
+        w in 4.0f64..60.0,
+        h in 4.0f64..60.0,
+        dx in -7i32..=7,
+        dy in -7i32..=7,
+        seed in 0u64..20,
+    ) {
+        let (cur, prev) = translated_pair(dx, dy, seed);
+        let field = BlockMatcher::new(16, 7, SearchStrategy::ThreeStep)
+            .unwrap()
+            .estimate(&cur, &prev)
+            .unwrap();
+        let (mu, alpha) = roi_average_motion(&field, &Rect::new(x, y, w, h));
+        prop_assert!(mu.x.abs() <= 7.0 + 1e-9 && mu.y.abs() <= 7.0 + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&alpha));
+    }
+
+    #[test]
+    fn filter_output_is_convex(
+        mux in -7.0f64..7.0,
+        muy in -7.0f64..7.0,
+        px in -7.0f64..7.0,
+        py in -7.0f64..7.0,
+        alpha in 0.0f64..=1.0,
+        threshold in 0.0f64..=1.0,
+    ) {
+        let out = filter_mv(Vec2f::new(mux, muy), alpha, Vec2f::new(px, py), threshold);
+        prop_assert!(out.x >= mux.min(px) - 1e-9 && out.x <= mux.max(px) + 1e-9);
+        prop_assert!(out.y >= muy.min(py) - 1e-9 && out.y <= muy.max(py) + 1e-9);
+    }
+
+    #[test]
+    fn ew_schedule_has_exact_inference_rate(n in 1u32..32, frames in 33u64..200) {
+        let mut ctrl = EwController::new(EwPolicy::Constant(n)).unwrap();
+        let mut inferences = 0u64;
+        for _ in 0..frames {
+            if ctrl.next_frame() == FrameKind::Inference {
+                inferences += 1;
+            }
+        }
+        // Exactly ceil(frames / n) inferences.
+        prop_assert_eq!(inferences, frames.div_ceil(u64::from(n)));
+    }
+
+    #[test]
+    fn zeroed_field_never_moves_rois(
+        x in -50.0f64..600.0,
+        y in -50.0f64..400.0,
+        w in 1.0f64..200.0,
+        h in 1.0f64..200.0,
+        gx in 1u32..4,
+        gy in 1u32..4,
+    ) {
+        let field = MotionField::zeroed(Resolution::VGA, 16, 7).unwrap();
+        let cfg = ExtrapolationConfig {
+            sub_roi_grid: (gx, gy),
+            ..ExtrapolationConfig::default()
+        };
+        let ex = Extrapolator::new(cfg);
+        let mut state = RoiState::new(&cfg);
+        let roi = Rect::new(x, y, w, h);
+        let out = ex.extrapolate(&roi, &field, &mut state);
+        prop_assert!((out.x - roi.x).abs() < 1e-9);
+        prop_assert!((out.y - roi.y).abs() < 1e-9);
+        prop_assert!((out.w - roi.w).abs() < 1e-6);
+        prop_assert!((out.h - roi.h).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_model_is_monotone_in_window(
+        w1 in 1.0f64..32.0,
+        delta in 0.1f64..16.0,
+    ) {
+        use euphrates::core::prelude::*;
+        use euphrates::nn::zoo;
+        let system = SystemModel::table1();
+        let net = zoo::yolov2();
+        let a = system.evaluate(&net, w1, ExtrapolationExecutor::MotionController).unwrap();
+        let b = system.evaluate(&net, w1 + delta, ExtrapolationExecutor::MotionController).unwrap();
+        prop_assert!(b.energy_per_frame().0 <= a.energy_per_frame().0 + 1e-9);
+        prop_assert!(b.fps >= a.fps - 1e-9);
+    }
+}
