@@ -19,25 +19,32 @@ fn main() {
     let mut schemes = Vec::new();
     for threshold in [0.3, 0.5, 0.7] {
         for streak in [1u32, 2, 4] {
-            schemes.push((
-                format!("thr={threshold} streak={streak}"),
-                BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig {
-                    iou_threshold: threshold,
-                    grow_streak: streak,
-                    ..AdaptiveConfig::default()
-                })),
-            ));
+            schemes.push(
+                SchemeSpec::new(
+                    format!("thr={threshold} streak={streak}"),
+                    BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig {
+                        iou_threshold: threshold,
+                        grow_streak: streak,
+                        ..AdaptiveConfig::default()
+                    })),
+                )
+                .expect("id is valid"),
+            );
         }
     }
-    schemes.push(("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2))));
-    schemes.push(("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))));
+    schemes.push(
+        SchemeSpec::new("EW-2", BackendConfig::new(EwPolicy::Constant(2))).expect("id is valid"),
+    );
+    schemes.push(
+        SchemeSpec::new("EW-4", BackendConfig::new(EwPolicy::Constant(4))).expect("id is valid"),
+    );
 
     let results = run_tracking_suite(&suite, &motion, &schemes, calib::mdnet());
     let mut table = Table::new(["policy", "success@0.5", "AUC", "inference rate"])
         .with_title("adaptive policy sweep");
     for r in &results {
         table.row([
-            r.label.clone(),
+            r.label().to_string(),
             percent(r.rate_at_05()),
             percent(r.accuracy().auc()),
             percent(r.outcome.inference_rate()),

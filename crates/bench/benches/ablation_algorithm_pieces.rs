@@ -25,12 +25,15 @@ fn main() {
     );
     let suite = tracking_workload(scale);
     let motion = MotionConfig::default();
-    let schemes = vec![
-        ("full algorithm".to_string(), config(true, true)),
-        ("no filter".to_string(), config(false, true)),
-        ("no deformation".to_string(), config(true, false)),
-        ("neither".to_string(), config(false, false)),
-    ];
+    let schemes: Vec<SchemeSpec> = [
+        ("full algorithm", config(true, true)),
+        ("no filter", config(false, true)),
+        ("no deformation", config(true, false)),
+        ("neither", config(false, false)),
+    ]
+    .into_iter()
+    .map(|(id, cfg)| SchemeSpec::new(id, cfg).expect("id is valid"))
+    .collect();
     let results = run_tracking_suite(&suite, &motion, &schemes, calib::mdnet());
 
     let mut table = Table::new(["variant", "success@0.5", "AUC", "Δ vs full"])
@@ -38,7 +41,7 @@ fn main() {
     let full = results[0].rate_at_05();
     for r in &results {
         table.row([
-            r.label.clone(),
+            r.label().to_string(),
             percent(r.rate_at_05()),
             percent(r.accuracy().auc()),
             format!("{:+.1}pp", (r.rate_at_05() - full) * 100.0),
@@ -54,7 +57,7 @@ fn main() {
         .filter(|(_, s)| s.has_attribute(VisualAttribute::Deformation))
         .map(|(i, _)| i)
         .collect();
-    let rate_on = |r: &euphrates_core::SuiteOutcome| -> f64 {
+    let rate_on = |r: &euphrates_core::SchemeResult| -> f64 {
         let mut hits = 0;
         let mut total = 0;
         for &i in &def_idx {

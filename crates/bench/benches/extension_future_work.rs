@@ -44,7 +44,12 @@ fn fast_scene(speed: f64, shake: f64, seed: u64) -> euphrates_camera::scene::Sce
         .object(euphrates_camera::scene::SceneObject {
             id: 0,
             label: 1,
-            sprite: Sprite::rigid(56.0, 48.0, Shape::Rectangle, Texture::object_noise(seed + 3)),
+            sprite: Sprite::rigid(
+                56.0,
+                48.0,
+                Shape::Rectangle,
+                Texture::object_noise(seed + 3),
+            ),
             trajectory: Trajectory::Linear {
                 start: Vec2f::new(40.0, 110.0),
                 velocity: Vec2f::new(speed, 0.3),
@@ -64,7 +69,10 @@ fn fast_scene(speed: f64, shake: f64, seed: u64) -> euphrates_camera::scene::Sce
 /// frames, given a motion-field provider.
 fn extrapolation_iou<F>(scene: &euphrates_camera::scene::Scene, frames: u32, mut field_of: F) -> f64
 where
-    F: FnMut(&euphrates_common::image::LumaFrame, &euphrates_common::image::LumaFrame) -> euphrates_isp::motion::MotionField,
+    F: FnMut(
+        &euphrates_common::image::LumaFrame,
+        &euphrates_common::image::LumaFrame,
+    ) -> euphrates_isp::motion::MotionField,
 {
     let mut renderer = scene.renderer();
     let ex = Extrapolator::new(ExtrapolationConfig::default());
@@ -93,11 +101,7 @@ fn part1_predictive_search() {
         let tss = extrapolation_iou(&scene, 18, |c, p| plain.estimate(c, p).unwrap());
         let mut pm = PredictiveBlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
         let pred = extrapolation_iou(&scene, 18, |c, p| pm.estimate(c, p).unwrap());
-        table.row([
-            format!("{speed:.0} px/frame"),
-            fnum(tss, 3),
-            fnum(pred, 3),
-        ]);
+        table.row([format!("{speed:.0} px/frame"), fnum(tss, 3), fnum(pred, 3)]);
     }
     println!("{table}");
     println!("beyond ~7 px/frame the memoryless window loses the object while");

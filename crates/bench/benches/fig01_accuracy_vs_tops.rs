@@ -20,7 +20,7 @@ fn main() {
     );
     let suite = detection_workload(scale);
     let motion = MotionConfig::default();
-    let baseline = [("base".to_string(), BackendConfig::baseline())];
+    let baseline = [SchemeSpec::new("base", BackendConfig::baseline()).expect("id is valid")];
 
     // Accuracy: run each detector-class oracle over the suite.
     let detectors = [
@@ -66,7 +66,11 @@ fn main() {
             percent(*ap),
             percent(*paper_acc),
             fnum(t, 4),
-            if t > 1.0 { "yes".into() } else { "no".to_string() },
+            if t > 1.0 {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     println!("{table}");

@@ -23,7 +23,7 @@ fn main() {
     let tiny = run_detection_suite(
         &suite,
         &motion,
-        &[("TinyYOLO".to_string(), BackendConfig::baseline())],
+        &[SchemeSpec::new("TinyYOLO", BackendConfig::baseline()).expect("id is valid")],
         calib::tiny_yolo(),
     );
 
@@ -36,7 +36,7 @@ fn main() {
     let base05 = results[0].accuracy().rate_at(0.5);
     for r in results.iter().chain(tiny.iter()) {
         let acc = r.accuracy();
-        let mut row: Vec<String> = vec![r.label.clone()];
+        let mut row: Vec<String> = vec![r.label().to_string()];
         row.extend(thresholds.iter().map(|&t| percent(acc.rate_at(t))));
         row.push(format!("{:+.2}pp", (acc.rate_at(0.5) - base05) * 100.0));
         table.row(row);

@@ -70,10 +70,7 @@ fn main() {
         .evaluate(&yolo, 32.0, ExtrapolationExecutor::MotionController)
         .unwrap();
     println!("paper vs measured:");
-    println!(
-        "  baseline FPS:       17    | {:.1}",
-        base.fps
-    );
+    println!("  baseline FPS:       17    | {:.1}", base.fps);
     println!(
         "  EW-2: -45% @ 35 FPS | {:+.1}% @ {:.1} FPS",
         (ew2.energy_per_frame().0 / base_total.0 - 1.0) * 100.0,

@@ -33,7 +33,7 @@ fn main() {
     let mut table = Table::new(header).with_title("Fig. 10a reproduction");
     for r in &results {
         let acc = r.accuracy();
-        let mut row = vec![r.label.clone()];
+        let mut row = vec![r.label().to_string()];
         row.extend(thresholds.iter().map(|&t| percent(acc.rate_at(t))));
         row.push(percent(acc.auc()));
         row.push(percent(r.outcome.inference_rate()));

@@ -48,7 +48,7 @@ fn main() {
             .expect("scheme evaluates");
         let n = report.breakdown().normalized_to(&base.breakdown());
         table.row([
-            r.label.clone(),
+            r.label().to_string(),
             fnum(n.frontend, 3),
             fnum(n.memory, 3),
             fnum(n.backend, 3),

@@ -20,17 +20,18 @@ fn main() {
     let suite = tracking_workload(scale);
     let motion = MotionConfig::default();
     let schemes = vec![
-        ("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2))),
-        ("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))),
-        (
-            "EW-A".to_string(),
+        SchemeSpec::new("EW-2", BackendConfig::new(EwPolicy::Constant(2))).expect("id is valid"),
+        SchemeSpec::new("EW-4", BackendConfig::new(EwPolicy::Constant(4))).expect("id is valid"),
+        SchemeSpec::new(
+            "EW-A",
             BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
-        ),
+        )
+        .expect("id is valid"),
     ];
     let results = run_tracking_suite(&suite, &motion, &schemes, calib::mdnet());
 
     // Sorted per-sequence success curves, printed at deciles.
-    let per_seq = |r: &euphrates_core::SuiteOutcome| -> Vec<f64> {
+    let per_seq = |r: &euphrates_core::SchemeResult| -> Vec<f64> {
         let mut v: Vec<f64> = r
             .per_sequence
             .iter()
@@ -47,7 +48,7 @@ fn main() {
     };
     let curves: Vec<(String, Vec<f64>)> = results
         .iter()
-        .map(|r| (r.label.clone(), per_seq(r)))
+        .map(|r| (r.label().to_string(), per_seq(r)))
         .collect();
 
     let n = curves[0].1.len();

@@ -17,12 +17,9 @@ fn main() {
     );
     let suite = tracking_workload(scale);
     let schemes = vec![
-        ("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2))),
-        ("EW-8".to_string(), BackendConfig::new(EwPolicy::Constant(8))),
-        (
-            "EW-32".to_string(),
-            BackendConfig::new(EwPolicy::Constant(32)),
-        ),
+        SchemeSpec::new("EW-2", BackendConfig::new(EwPolicy::Constant(2))).expect("id is valid"),
+        SchemeSpec::new("EW-8", BackendConfig::new(EwPolicy::Constant(8))).expect("id is valid"),
+        SchemeSpec::new("EW-32", BackendConfig::new(EwPolicy::Constant(32))).expect("id is valid"),
     ];
 
     let mb_sizes = [4u32, 8, 16, 32, 64, 128];

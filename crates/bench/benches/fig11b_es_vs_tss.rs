@@ -15,12 +15,9 @@ fn main() {
     );
     let suite = tracking_workload(scale);
     let schemes = vec![
-        ("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2))),
-        ("EW-8".to_string(), BackendConfig::new(EwPolicy::Constant(8))),
-        (
-            "EW-32".to_string(),
-            BackendConfig::new(EwPolicy::Constant(32)),
-        ),
+        SchemeSpec::new("EW-2", BackendConfig::new(EwPolicy::Constant(2))).expect("id is valid"),
+        SchemeSpec::new("EW-8", BackendConfig::new(EwPolicy::Constant(8))).expect("id is valid"),
+        SchemeSpec::new("EW-32", BackendConfig::new(EwPolicy::Constant(32))).expect("id is valid"),
     ];
 
     let run = |strategy: SearchStrategy| {
@@ -43,7 +40,7 @@ fn main() {
             let b = tss[i].accuracy().rate_at(t);
             max_delta = max_delta.max((a - b).abs());
             table.row([
-                scheme.0.clone(),
+                scheme.id.to_string(),
                 fnum(t, 1),
                 fnum(a, 3),
                 fnum(b, 3),

@@ -18,15 +18,17 @@ fn main() {
     scale.sequence_fraction = 1.0; // keep all attributes populated
     let suite = euphrates_datasets::otb100_like(42, scale);
     let motion = MotionConfig::default();
-    let schemes = vec![
-        ("MDNet".to_string(), BackendConfig::baseline()),
-        ("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2))),
-        ("EW-8".to_string(), BackendConfig::new(EwPolicy::Constant(8))),
-    ];
-    let results = evaluate_suite(&suite, &motion, &schemes, |prep, stream, cfg| {
-        run_tracking(prep, calib::mdnet(), cfg, stream)
-    })
-    .expect("evaluation succeeds");
+    let results = Scenario::builder(TrackerTask::new(calib::mdnet()))
+        .suite(suite.clone())
+        .motion(motion)
+        .scheme("MDNet", BackendConfig::baseline())
+        .scheme("EW-2", BackendConfig::new(EwPolicy::Constant(2)))
+        .scheme("EW-8", BackendConfig::new(EwPolicy::Constant(8)))
+        .build()
+        .expect("scheme registry is valid")
+        .evaluate()
+        .expect("evaluation succeeds")
+        .schemes;
 
     let mut table = Table::new(["attribute", "MDNet", "EW-2", "Δ(EW-2)", "EW-8", "Δ(EW-8)"])
         .with_title("Fig. 12 reproduction (success @ IoU 0.5 per attribute)");

@@ -20,9 +20,8 @@ fn textured(width: u32, height: u32, seed: u64, shift: i64) -> LumaFrame {
     let mut f = LumaFrame::new(width, height).unwrap();
     for y in 0..height {
         for x in 0..width {
-            let v =
-                (rngx::lattice_hash(seed, (i64::from(x) - shift) / 3, i64::from(y) / 3) * 255.0)
-                    as u8;
+            let v = (rngx::lattice_hash(seed, (i64::from(x) - shift) / 3, i64::from(y) / 3) * 255.0)
+                as u8;
             f.set(x, y, v);
         }
     }
@@ -66,7 +65,10 @@ fn bench_extrapolation(c: &mut Criterion) {
             black_box(dp.evaluate(
                 &field,
                 &roi,
-                (euphrates_common::fixed::Q16::ZERO, euphrates_common::fixed::Q16::ZERO),
+                (
+                    euphrates_common::fixed::Q16::ZERO,
+                    euphrates_common::fixed::Q16::ZERO,
+                ),
                 &config,
             ))
         })
@@ -83,7 +85,9 @@ fn bench_systolic_analysis(c: &mut Criterion) {
 }
 
 fn bench_scene_render(c: &mut Criterion) {
-    let scene = SceneBuilder::new(Resolution::VGA, 9).object_default().build();
+    let scene = SceneBuilder::new(Resolution::VGA, 9)
+        .object_default()
+        .build();
     let mut renderer = scene.renderer();
     let mut frame = 0u32;
     c.bench_function("scene_render_vga", |b| {

@@ -11,8 +11,8 @@ use euphrates_soc::{DramConfig, SocConfig};
 fn main() {
     println!("== Table 1: modeled vision SoC ==\n{}", SocConfig::table1());
 
-    let mut table = Table::new(["quantity", "paper", "model"])
-        .with_title("Calibration checkpoints (§5.1)");
+    let mut table =
+        Table::new(["quantity", "paper", "model"]).with_title("Calibration checkpoints (§5.1)");
     let nnx = NnxConfig::default();
     table.row([
         "NNX peak throughput".to_string(),

@@ -12,10 +12,10 @@
 //! The dataset scale is controlled by `EUPHRATES_SCALE` (0–1). The
 //! default, [`DEFAULT_SCALE`], keeps the full `cargo bench` suite around
 //! ten minutes; `EUPHRATES_SCALE=1.0` reproduces the paper-sized datasets
-//! (~76k frames).
+//! (~76k frames). Worker-thread count follows `EUPHRATES_THREADS` (see
+//! `euphrates_core::eval::default_threads`).
 
 use euphrates_core::prelude::*;
-use euphrates_core::SuiteOutcome;
 use euphrates_nn::oracle::{DetectorProfile, TrackerProfile};
 
 /// Default dataset scale for `cargo bench`.
@@ -35,17 +35,25 @@ pub fn announce(experiment: &str, paper_ref: &str) -> DatasetScale {
     scale
 }
 
-/// The EW sweep used across the figures.
-pub fn ew_schemes(baseline_label: &str, windows: &[u32], adaptive: bool) -> Vec<(String, BackendConfig)> {
-    let mut schemes = vec![(baseline_label.to_string(), BackendConfig::baseline())];
+/// The EW scheme sweep used across the figures.
+pub fn ew_schemes(baseline_label: &str, windows: &[u32], adaptive: bool) -> Vec<SchemeSpec> {
+    let mut schemes = vec![
+        SchemeSpec::new(baseline_label, BackendConfig::baseline()).expect("static id is valid")
+    ];
     for &n in windows {
-        schemes.push((format!("EW-{n}"), BackendConfig::new(EwPolicy::Constant(n))));
+        schemes.push(
+            SchemeSpec::new(format!("EW-{n}"), BackendConfig::new(EwPolicy::Constant(n)))
+                .expect("static id is valid"),
+        );
     }
     if adaptive {
-        schemes.push((
-            "EW-A".to_string(),
-            BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
-        ));
+        schemes.push(
+            SchemeSpec::new(
+                "EW-A",
+                BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
+            )
+            .expect("static id is valid"),
+        );
     }
     schemes
 }
@@ -54,26 +62,36 @@ pub fn ew_schemes(baseline_label: &str, windows: &[u32], adaptive: bool) -> Vec<
 pub fn run_tracking_suite(
     suite: &[Sequence],
     motion: &MotionConfig,
-    schemes: &[(String, BackendConfig)],
+    schemes: &[SchemeSpec],
     profile: TrackerProfile,
-) -> Vec<SuiteOutcome> {
-    evaluate_suite(suite, motion, schemes, |prep, stream, cfg| {
-        euphrates_core::run_tracking(prep, profile, cfg, stream)
-    })
-    .expect("tracking evaluation succeeds")
+) -> Vec<SchemeResult> {
+    Scenario::builder(TrackerTask::new(profile))
+        .suite(suite.to_vec())
+        .motion(*motion)
+        .schemes(schemes.iter().cloned())
+        .build()
+        .expect("scheme registry is valid")
+        .evaluate()
+        .expect("tracking evaluation succeeds")
+        .schemes
 }
 
 /// Runs the detection task for a scheme list.
 pub fn run_detection_suite(
     suite: &[Sequence],
     motion: &MotionConfig,
-    schemes: &[(String, BackendConfig)],
+    schemes: &[SchemeSpec],
     profile: DetectorProfile,
-) -> Vec<SuiteOutcome> {
-    evaluate_suite(suite, motion, schemes, |prep, stream, cfg| {
-        euphrates_core::run_detection(prep, profile, cfg, stream)
-    })
-    .expect("detection evaluation succeeds")
+) -> Vec<SchemeResult> {
+    Scenario::builder(DetectorTask::new(profile))
+        .suite(suite.to_vec())
+        .motion(*motion)
+        .schemes(schemes.iter().cloned())
+        .build()
+        .expect("scheme registry is valid")
+        .evaluate()
+        .expect("detection evaluation succeeds")
+        .schemes
 }
 
 /// The combined OTB-100-like + VOT-2014-like tracking workload (125
@@ -96,7 +114,7 @@ mod tests {
     #[test]
     fn schemes_include_baseline_and_windows() {
         let s = ew_schemes("YOLOv2", &[2, 4], true);
-        let labels: Vec<&str> = s.iter().map(|(l, _)| l.as_str()).collect();
+        let labels: Vec<&str> = s.iter().map(|spec| spec.id.as_str()).collect();
         assert_eq!(labels, vec!["YOLOv2", "EW-2", "EW-4", "EW-A"]);
     }
 

@@ -232,7 +232,9 @@ impl Scene {
             // between multiple occluders are not de-duplicated).
             for (other, other_box) in &active {
                 if other.id != obj.id && other.z > obj.z {
-                    visible_area -= clipped.intersection(&other_box.clamped_to(&frame_rect)).area();
+                    visible_area -= clipped
+                        .intersection(&other_box.clamped_to(&frame_rect))
+                        .area();
                 }
             }
             let visibility = if full_area > 0.0 {
@@ -288,8 +290,7 @@ impl<'a> Renderer<'a> {
         let rgb = if blur > 0.0 {
             // Average three sub-exposures across the shutter interval.
             let taps = [t, t - blur / 2.0, t - blur];
-            let mut acc: Vec<[f64; 3]> =
-                vec![[0.0; 3]; self.scene.resolution.pixels() as usize];
+            let mut acc: Vec<[f64; 3]> = vec![[0.0; 3]; self.scene.resolution.pixels() as usize];
             for &tt in &taps {
                 let sub = self.render_instant(tt.max(0.0));
                 for (a, p) in acc.iter_mut().zip(sub.samples()) {
@@ -404,7 +405,12 @@ impl<'a> Renderer<'a> {
     }
 
     fn apply_illumination_and_noise(&self, mut frame: RgbFrame, index: u32) -> RgbFrame {
-        let gain = self.scene.effects.illumination.at(f64::from(index)).max(0.0);
+        let gain = self
+            .scene
+            .effects
+            .illumination
+            .at(f64::from(index))
+            .max(0.0);
         let sigma = self.scene.effects.pixel_noise_sigma;
         let needs_gain = (gain - 1.0).abs() > 1e-9;
         if !needs_gain && sigma <= 0.0 {
@@ -755,7 +761,9 @@ mod tests {
             shake_period: 30.0,
             ..SceneEffects::default()
         };
-        let scene = SceneBuilder::new(Resolution::new(64, 64), 11).effects(effects).build();
+        let scene = SceneBuilder::new(Resolution::new(64, 64), 11)
+            .effects(effects)
+            .build();
         let mut r = scene.renderer();
         let a = r.render(0);
         let b = r.render(7);

@@ -199,7 +199,7 @@ mod tests {
         let hd = ImageSensor::default();
         let vga = vga_sensor(0.0);
         assert!((hd.power().0 - 205.0).abs() < 1.0); // 25 static + 180 dynamic
-        // VGA at 60 FPS is ~14.8% of the 1080p pixel rate.
+                                                     // VGA at 60 FPS is ~14.8% of the 1080p pixel rate.
         assert!(vga.power().0 < 60.0);
         assert!(vga.power().0 > 25.0);
     }

@@ -89,7 +89,12 @@ impl Texture {
                     *b
                 }
             }
-            Texture::Noise { lo, hi, scale, seed } => {
+            Texture::Noise {
+                lo,
+                hi,
+                scale,
+                seed,
+            } => {
                 let v = fractal_noise(*seed, x / scale, y / scale);
                 lerp_rgb(*lo, *hi, v)
             }
@@ -176,7 +181,9 @@ mod tests {
         let b = Texture::background_noise(2);
         // At least one of a few probe points must differ.
         let probes = [(0.0, 0.0), (31.0, 7.0), (100.0, 100.0), (5.5, 77.7)];
-        assert!(probes.iter().any(|&(x, y)| a.sample(x, y) != b.sample(x, y)));
+        assert!(probes
+            .iter()
+            .any(|&(x, y)| a.sample(x, y) != b.sample(x, y)));
     }
 
     #[test]

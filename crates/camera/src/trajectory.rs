@@ -210,7 +210,14 @@ mod tests {
     #[test]
     fn profile_shapes() {
         assert_eq!(Profile::Constant(2.0).at(100.0), 2.0);
-        assert_eq!(Profile::Ramp { base: 1.0, slope: 0.1 }.at(10.0), 2.0);
+        assert_eq!(
+            Profile::Ramp {
+                base: 1.0,
+                slope: 0.1
+            }
+            .at(10.0),
+            2.0
+        );
         let osc = Profile::Oscillate {
             base: 1.0,
             amplitude: 0.5,

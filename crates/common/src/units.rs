@@ -398,7 +398,10 @@ mod tests {
 
     #[test]
     fn average_power_of_zero_span_is_zero() {
-        assert_eq!(MilliJoules(5.0).average_power(Picos::ZERO), MilliWatts::ZERO);
+        assert_eq!(
+            MilliJoules(5.0).average_power(Picos::ZERO),
+            MilliWatts::ZERO
+        );
     }
 
     #[test]

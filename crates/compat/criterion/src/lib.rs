@@ -1,0 +1,168 @@
+//! A self-contained, offline drop-in for the subset of the `criterion`
+//! 0.5 API the micro-benchmarks use: `Criterion::bench_function`,
+//! `benchmark_group` (+ `sample_size` / `finish`), `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing is plain wall clock: each benchmark is warmed up, then run for
+//! `sample_size` samples whose per-iteration means are reported as
+//! `min/mean/max`. No statistics beyond that — the point is a usable
+//! `cargo bench` without registry access, not rigorous inference.
+
+use std::time::{Duration, Instant};
+
+/// Runs the closure under test repeatedly and records per-iteration time.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling the iteration count so one sample takes
+    /// roughly 10 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + iteration-count calibration.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let el = t0.elapsed();
+            if el >= Duration::from_millis(5) || iters >= 1 << 20 {
+                let target = Duration::from_millis(10).as_nanos() as u64;
+                let per = (el.as_nanos() as u64 / iters).max(1);
+                iters = (target / per).clamp(1, 1 << 24);
+                break;
+            }
+            iters *= 4;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let ns: Vec<f64> = self.samples.iter().map(|d| d.as_nanos() as f64).collect();
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let min = ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ns.iter().copied().fold(0.0f64, f64::max);
+        let fmt = |v: f64| -> String {
+            if v >= 1e9 {
+                format!("{:.3} s", v / 1e9)
+            } else if v >= 1e6 {
+                format!("{:.3} ms", v / 1e6)
+            } else if v >= 1e3 {
+                format!("{:.3} µs", v / 1e3)
+            } else {
+                format!("{v:.1} ns")
+            }
+        };
+        println!("{name:<40} [{} {} {}]", fmt(min), fmt(mean), fmt(max));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (a no-op; output is printed as it is produced).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_honor_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).bench_function("id", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

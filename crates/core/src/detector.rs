@@ -1,6 +1,6 @@
 //! The object-detection task (§5.2): multi-object detection with
 //! YOLOv2-class inference on I-frames and per-track motion extrapolation
-//! on E-frames.
+//! on E-frames, expressed as a [`VisionTask`] implementation.
 //!
 //! On an I-frame the detector's outputs *replace* the track set (carrying
 //! over filter state for tracks they overlap); on E-frames every live
@@ -9,16 +9,14 @@
 //! precision-style AP (greedy IoU matching; unmatched boxes are false
 //! positives).
 
-use crate::backend::{
-    charge_sequencer, controller, extrapolate_roi, oracle_targets, BackendConfig, TaskOutcome,
-    TrackState,
-};
-use crate::frontend::PreparedSequence;
+use crate::api::{run_task, FrameContext, StepStats, VisionTask};
+use crate::backend::{extrapolate_roi, oracle_targets, BackendConfig, TaskOutcome, TrackState};
+use crate::frontend::{FrameData, PreparedSequence};
 use euphrates_common::error::{Error, Result};
 use euphrates_common::geom::Rect;
+use euphrates_common::image::Resolution;
 use euphrates_common::metrics::match_detections;
 use euphrates_common::units::Cycles;
-use euphrates_mc::policy::FrameKind;
 use euphrates_nn::oracle::{DetectorOracle, DetectorProfile};
 
 /// A live track in the detection pipeline.
@@ -37,11 +35,176 @@ struct Track {
 /// state.
 const TRACK_CARRYOVER_IOU: f64 = 0.3;
 
+/// Multi-object detection under the I/E-frame schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorTask {
+    /// The oracle's accuracy calibration (e.g.
+    /// [`calib::yolov2`][euphrates_nn::oracle::calib::yolov2]).
+    pub profile: DetectorProfile,
+}
+
+impl DetectorTask {
+    /// A detection task with the given oracle profile.
+    pub fn new(profile: DetectorProfile) -> Self {
+        DetectorTask { profile }
+    }
+}
+
+/// Per-sequence detector state.
+#[derive(Debug, Clone)]
+pub struct DetectorState {
+    oracle: DetectorOracle,
+    tracks: Vec<Track>,
+}
+
+impl DetectorState {
+    /// The current live track boxes.
+    pub fn track_rects(&self) -> Vec<Rect> {
+        self.tracks.iter().map(|t| t.rect).collect()
+    }
+}
+
+impl VisionTask for DetectorTask {
+    type State = DetectorState;
+
+    fn name(&self) -> &'static str {
+        "detection"
+    }
+
+    fn init(
+        &self,
+        _resolution: Resolution,
+        _first: &FrameData,
+        config: &BackendConfig,
+        _stream: u64,
+    ) -> Result<Self::State> {
+        Ok(DetectorState {
+            oracle: DetectorOracle::new(self.profile, config.seed),
+            tracks: Vec::new(),
+        })
+    }
+
+    fn infer(
+        &self,
+        ctx: &FrameContext,
+        state: &mut Self::State,
+        outcome: &mut TaskOutcome,
+    ) -> StepStats {
+        let mut datapath_cycles = Cycles::ZERO;
+        // Extrapolate the current tracks first: the adaptive controller
+        // compares them against the fresh detections.
+        let extrapolated: Vec<Rect> = state
+            .tracks
+            .iter_mut()
+            .map(|t| {
+                let (roi, cycles, ops) = extrapolate_roi(
+                    &t.rect,
+                    &ctx.frame.motion,
+                    &mut t.state,
+                    &ctx.config.extrapolation,
+                    ctx.config.fixed_datapath,
+                );
+                datapath_cycles += cycles;
+                outcome.extrapolation_ops += ops;
+                roi.clamped_to(&ctx.bounds)
+            })
+            .collect();
+
+        let targets = oracle_targets(ctx.frame);
+        let detections = state
+            .oracle
+            .detect(&targets, &ctx.bounds, ctx.stream, ctx.index);
+
+        // Adaptive feedback: how well did extrapolation predict the
+        // detector's output?
+        let policy_feedback = if !extrapolated.is_empty() && !detections.is_empty() {
+            let det_rects: Vec<Rect> = detections.iter().map(|d| d.rect).collect();
+            let ious = match_detections(&extrapolated, &det_rects);
+            Some(ious.iter().sum::<f64>() / ious.len() as f64)
+        } else {
+            None
+        };
+
+        // The detections become the new track set, inheriting filter
+        // state from overlapping predecessors.
+        let mut new_tracks = Vec::with_capacity(detections.len());
+        for det in &detections {
+            let mut filter = TrackState::new(&ctx.config.extrapolation);
+            let mut best = (TRACK_CARRYOVER_IOU, None::<usize>);
+            for (ti, t) in state.tracks.iter().enumerate() {
+                let iou = t.rect.iou(&det.rect);
+                if iou > best.0 {
+                    best = (iou, Some(ti));
+                }
+            }
+            if let Some(ti) = best.1 {
+                filter = state.tracks[ti].state.clone();
+            }
+            new_tracks.push(Track {
+                rect: det.rect.clamped_to(&ctx.bounds),
+                label: det.label,
+                state: filter,
+            });
+        }
+        state.tracks = new_tracks;
+        StepStats {
+            datapath_cycles,
+            rois: state.tracks.len() as u32,
+            policy_feedback,
+        }
+    }
+
+    fn extrapolate(
+        &self,
+        ctx: &FrameContext,
+        state: &mut Self::State,
+        outcome: &mut TaskOutcome,
+    ) -> StepStats {
+        let mut datapath_cycles = Cycles::ZERO;
+        for t in &mut state.tracks {
+            let (roi, cycles, ops) = extrapolate_roi(
+                &t.rect,
+                &ctx.frame.motion,
+                &mut t.state,
+                &ctx.config.extrapolation,
+                ctx.config.fixed_datapath,
+            );
+            datapath_cycles += cycles;
+            outcome.extrapolation_ops += ops;
+            t.rect = roi.clamped_to(&ctx.bounds);
+        }
+        // Tracks that left the frame stop producing detections.
+        state.tracks.retain(|t| !t.rect.is_empty());
+        StepStats {
+            datapath_cycles,
+            rois: state.tracks.len() as u32,
+            policy_feedback: None,
+        }
+    }
+
+    fn score(&self, ctx: &FrameContext, state: &Self::State, outcome: &mut TaskOutcome) {
+        // Score every emitted box against ground truth (paper AP).
+        let truths: Vec<Rect> = ctx
+            .frame
+            .truth
+            .iter()
+            .filter(|g| !g.rect.is_empty())
+            .map(|g| g.rect)
+            .collect();
+        let preds: Vec<Rect> = state.tracks.iter().map(|t| t.rect).collect();
+        outcome.ious.extend(match_detections(&preds, &truths));
+    }
+}
+
 /// Runs the detection task over a prepared sequence.
 ///
 /// # Errors
 ///
 /// Returns an error for an empty sequence or an invalid policy.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_task(DetectorTask::new(profile), ...)`, or the `Scenario`/`Session` API"
+)]
 pub fn run_detection(
     prep: &PreparedSequence,
     profile: DetectorProfile,
@@ -51,115 +214,7 @@ pub fn run_detection(
     if prep.is_empty() {
         return Err(Error::config("cannot run detection on an empty sequence"));
     }
-    let oracle = DetectorOracle::new(profile, config.seed);
-    let mut ctrl = controller(config)?;
-    let mut outcome = TaskOutcome::default();
-    let mut tracks: Vec<Track> = Vec::new();
-
-    let frame_bounds = Rect::new(
-        0.0,
-        0.0,
-        f64::from(prep.resolution.width),
-        f64::from(prep.resolution.height),
-    );
-
-    for (f, frame) in prep.frames.iter().enumerate() {
-        let kind = ctrl.next_frame();
-        outcome.frames += 1;
-        let mut datapath_cycles = Cycles::ZERO;
-
-        match kind {
-            FrameKind::Inference => {
-                outcome.inferences += 1;
-                // Extrapolate the current tracks first: the adaptive
-                // controller compares them against the fresh detections.
-                let extrapolated: Vec<Rect> = tracks
-                    .iter_mut()
-                    .map(|t| {
-                        let (roi, cycles, ops) = extrapolate_roi(
-                            &t.rect,
-                            &frame.motion,
-                            &mut t.state,
-                            &config.extrapolation,
-                            config.fixed_datapath,
-                        );
-                        datapath_cycles += cycles;
-                        outcome.extrapolation_ops += ops;
-                        roi.clamped_to(&frame_bounds)
-                    })
-                    .collect();
-
-                let targets = oracle_targets(frame);
-                let detections = oracle.detect(&targets, &frame_bounds, stream, f as u64);
-
-                // Adaptive feedback: how well did extrapolation predict the
-                // detector's output?
-                if !extrapolated.is_empty() && !detections.is_empty() {
-                    let det_rects: Vec<Rect> = detections.iter().map(|d| d.rect).collect();
-                    let ious = match_detections(&extrapolated, &det_rects);
-                    let mean = ious.iter().sum::<f64>() / ious.len() as f64;
-                    ctrl.record_comparison(mean);
-                }
-
-                // The detections become the new track set, inheriting
-                // filter state from overlapping predecessors.
-                let mut new_tracks = Vec::with_capacity(detections.len());
-                for det in &detections {
-                    let mut state = TrackState::new(&config.extrapolation);
-                    let mut best = (TRACK_CARRYOVER_IOU, None::<usize>);
-                    for (ti, t) in tracks.iter().enumerate() {
-                        let iou = t.rect.iou(&det.rect);
-                        if iou > best.0 {
-                            best = (iou, Some(ti));
-                        }
-                    }
-                    if let Some(ti) = best.1 {
-                        state = tracks[ti].state.clone();
-                    }
-                    new_tracks.push(Track {
-                        rect: det.rect.clamped_to(&frame_bounds),
-                        label: det.label,
-                        state,
-                    });
-                }
-                tracks = new_tracks;
-            }
-            FrameKind::Extrapolation => {
-                for t in &mut tracks {
-                    let (roi, cycles, ops) = extrapolate_roi(
-                        &t.rect,
-                        &frame.motion,
-                        &mut t.state,
-                        &config.extrapolation,
-                        config.fixed_datapath,
-                    );
-                    datapath_cycles += cycles;
-                    outcome.extrapolation_ops += ops;
-                    t.rect = roi.clamped_to(&frame_bounds);
-                }
-                // Tracks that left the frame stop producing detections.
-                tracks.retain(|t| !t.rect.is_empty());
-            }
-        }
-        charge_sequencer(
-            &mut outcome,
-            kind,
-            &frame.motion,
-            tracks.len() as u32,
-            datapath_cycles,
-        );
-
-        // Score every emitted box against ground truth (paper AP).
-        let truths: Vec<Rect> = frame
-            .truth
-            .iter()
-            .filter(|g| !g.rect.is_empty())
-            .map(|g| g.rect)
-            .collect();
-        let preds: Vec<Rect> = tracks.iter().map(|t| t.rect).collect();
-        outcome.ious.extend(match_detections(&preds, &truths));
-    }
-    Ok(outcome)
+    run_task(DetectorTask::new(profile), prep, config, stream)
 }
 
 #[cfg(test)]
@@ -178,6 +233,15 @@ mod tests {
         prepare_sequence(&seq, &MotionConfig::default()).unwrap()
     }
 
+    fn detect(
+        prep: &PreparedSequence,
+        profile: DetectorProfile,
+        config: &BackendConfig,
+        stream: u64,
+    ) -> Result<TaskOutcome> {
+        run_task(DetectorTask::new(profile), prep, config, stream)
+    }
+
     fn ap_at_05(outcome: &TaskOutcome) -> f64 {
         let acc: IouAccumulator = outcome.ious.iter().copied().collect();
         acc.rate_at(0.5)
@@ -186,7 +250,7 @@ mod tests {
     #[test]
     fn baseline_detection_reaches_calibrated_precision() {
         let prep = prepared(80);
-        let out = run_detection(&prep, calib::yolov2(), &BackendConfig::baseline(), 0).unwrap();
+        let out = detect(&prep, calib::yolov2(), &BackendConfig::baseline(), 0).unwrap();
         let ap = ap_at_05(&out);
         assert!((0.6..0.95).contains(&ap), "baseline AP@0.5 = {ap}");
         assert_eq!(out.inferences, out.frames);
@@ -196,8 +260,8 @@ mod tests {
     #[test]
     fn ew2_stays_close_to_baseline() {
         let prep = prepared(80);
-        let base = run_detection(&prep, calib::yolov2(), &BackendConfig::baseline(), 0).unwrap();
-        let ew2 = run_detection(
+        let base = detect(&prep, calib::yolov2(), &BackendConfig::baseline(), 0).unwrap();
+        let ew2 = detect(
             &prep,
             calib::yolov2(),
             &BackendConfig::new(EwPolicy::Constant(2)),
@@ -213,7 +277,7 @@ mod tests {
     fn long_windows_cost_accuracy() {
         let prep = prepared(96);
         let ew2 = ap_at_05(
-            &run_detection(
+            &detect(
                 &prep,
                 calib::yolov2(),
                 &BackendConfig::new(EwPolicy::Constant(2)),
@@ -222,7 +286,7 @@ mod tests {
             .unwrap(),
         );
         let ew32 = ap_at_05(
-            &run_detection(
+            &detect(
                 &prep,
                 calib::yolov2(),
                 &BackendConfig::new(EwPolicy::Constant(32)),
@@ -236,12 +300,9 @@ mod tests {
     #[test]
     fn tiny_yolo_is_less_precise_than_yolov2() {
         let prep = prepared(80);
-        let yv2 = ap_at_05(
-            &run_detection(&prep, calib::yolov2(), &BackendConfig::baseline(), 0).unwrap(),
-        );
-        let ty = ap_at_05(
-            &run_detection(&prep, calib::tiny_yolo(), &BackendConfig::baseline(), 0).unwrap(),
-        );
+        let yv2 = ap_at_05(&detect(&prep, calib::yolov2(), &BackendConfig::baseline(), 0).unwrap());
+        let ty =
+            ap_at_05(&detect(&prep, calib::tiny_yolo(), &BackendConfig::baseline(), 0).unwrap());
         assert!(yv2 > ty + 0.08, "YOLOv2 {yv2} vs TinyYOLO {ty}");
     }
 
@@ -249,15 +310,15 @@ mod tests {
     fn detection_is_deterministic() {
         let prep = prepared(40);
         let cfg = BackendConfig::new(EwPolicy::Constant(4));
-        let a = run_detection(&prep, calib::yolov2(), &cfg, 5).unwrap();
-        let b = run_detection(&prep, calib::yolov2(), &cfg, 5).unwrap();
+        let a = detect(&prep, calib::yolov2(), &cfg, 5).unwrap();
+        let b = detect(&prep, calib::yolov2(), &cfg, 5).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn e_frames_produce_predictions_without_inference() {
         let prep = prepared(40);
-        let out = run_detection(
+        let out = detect(
             &prep,
             calib::yolov2(),
             &BackendConfig::new(EwPolicy::Constant(8)),
@@ -268,5 +329,15 @@ mod tests {
         // Predictions exist on E-frames: scored boxes far outnumber
         // inferences x objects.
         assert!(out.ious.len() as u64 > out.inferences * 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn run_detection_shim_matches_task_path() {
+        let prep = prepared(40);
+        let cfg = BackendConfig::new(EwPolicy::Constant(4));
+        let via_shim = run_detection(&prep, calib::yolov2(), &cfg, 1).unwrap();
+        let via_task = detect(&prep, calib::yolov2(), &cfg, 1).unwrap();
+        assert_eq!(via_shim, via_task);
     }
 }

@@ -1,5 +1,7 @@
-//! Suite-level evaluation: parallel per-sequence execution with
-//! deterministic aggregation.
+//! Suite-level evaluation plumbing: the deterministic parallel map used
+//! by [`Scenario::evaluate`][crate::api::Scenario::evaluate], plus the
+//! legacy closure-driven `evaluate_suite` entry point (deprecated in
+//! favor of the [`Scenario`][crate::api::Scenario] builder).
 //!
 //! Accuracy evaluation is offline (every frame of every sequence, §5.2),
 //! so sequences are embarrassingly parallel. All oracle noise derives
@@ -11,9 +13,20 @@ use crate::frontend::{prepare_sequence, MotionConfig, PreparedSequence};
 use euphrates_common::error::Result;
 use euphrates_common::metrics::IouAccumulator;
 use euphrates_datasets::Sequence;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Maps `f` over `items` on up to `threads` worker threads, preserving
 /// input order in the output.
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic is caught on the worker,
+/// remaining work is abandoned, and the panic is re-raised on the calling
+/// thread with the offending item's index prepended — one bad sequence
+/// reports *which* sequence instead of poisoning the result mutex and
+/// aborting opaquely.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -24,38 +37,89 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let bailed = AtomicBool::new(false);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    // One coarse mutex over the slot vector: workers compute `f` outside
+    // the lock and only store under it, and `catch_unwind` guarantees no
+    // worker can panic while holding it.
+    let slots_mutex = Mutex::new(&mut slots);
+    let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if bailed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let r = f(i, &items[i]);
-                let mut guard = slots_mutex.lock().expect("no panics while holding lock");
-                guard[i] = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                    Ok(r) => {
+                        let mut guard = slots_mutex.lock().expect("slot store never poisons");
+                        guard[i] = Some(r);
+                    }
+                    Err(payload) => {
+                        bailed.store(true, Ordering::Relaxed);
+                        let mut guard = first_panic.lock().expect("panic store never poisons");
+                        // Keep the lowest item index for a deterministic
+                        // message when several workers fail at once.
+                        match *guard {
+                            Some((j, _)) if j <= i => {}
+                            _ => *guard = Some((i, payload)),
+                        }
+                    }
+                }
             });
         }
     });
+    if let Some((index, payload)) = first_panic.into_inner().expect("panic store never poisons") {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        panic!("parallel_map worker panicked on item {index}: {msg}");
+    }
     slots
         .into_iter()
         .map(|s| s.expect("every slot filled"))
         .collect()
 }
 
-/// Default worker-thread count: the available parallelism, capped at 16.
+/// Hard ceiling on the worker-thread count (shared-runner etiquette).
+const MAX_THREADS: usize = 16;
+
+/// Default worker-thread count.
+///
+/// Honors the `EUPHRATES_THREADS` environment variable when it parses as
+/// a positive integer; otherwise the available parallelism. Both are
+/// capped at 16. This is the single thread-sizing policy for the whole
+/// workspace — call it instead of re-deriving a cap.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
+    threads_from(
+        std::env::var("EUPHRATES_THREADS").ok().as_deref(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    )
 }
 
-/// The result of evaluating one scheme over a suite.
+/// The pure sizing rule behind [`default_threads`]: a parsed positive
+/// override wins, anything else falls back; both sides are capped.
+fn threads_from(var: Option<&str>, fallback: usize) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(fallback)
+        .min(MAX_THREADS)
+}
+
+/// The result of evaluating one scheme over a suite (the legacy report
+/// shape returned by [`evaluate_suite`]; new code receives
+/// [`SchemeResult`][crate::api::SchemeResult] from
+/// [`Scenario::evaluate`][crate::api::Scenario::evaluate]).
 #[derive(Debug, Clone)]
 pub struct SuiteOutcome {
     /// Scheme label (e.g. `"EW-4"`).
@@ -88,6 +152,10 @@ impl SuiteOutcome {
 /// # Errors
 ///
 /// Propagates preparation or task errors (the first one encountered).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Scenario` (with `Scenario::builder`) and call `.evaluate()` instead"
+)]
 pub fn evaluate_suite<F>(
     suite: &[Sequence],
     motion: &MotionConfig,
@@ -134,7 +202,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tracker::run_tracking;
+    use crate::api::{run_task, Scenario};
+    use crate::tracker::TrackerTask;
     use euphrates_datasets::{otb100_like, DatasetScale};
     use euphrates_mc::policy::EwPolicy;
     use euphrates_nn::oracle::calib;
@@ -158,6 +227,48 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_reports_panicking_item() {
+        let items: Vec<u32> = (0..32).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |_, v| {
+                if *v == 7 {
+                    panic!("sequence exploded");
+                }
+                *v
+            })
+        }))
+        .expect_err("worker panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted panic message");
+        assert!(msg.contains("item 7"), "missing index context: {msg}");
+        assert!(msg.contains("sequence exploded"), "missing payload: {msg}");
+    }
+
+    #[test]
+    fn thread_sizing_honors_override_and_caps() {
+        // The pure rule (no process-global env mutation: tests in this
+        // binary read the variable concurrently, and the harness may run
+        // with EUPHRATES_THREADS already set).
+        assert_eq!(threads_from(Some("2"), 8), 2);
+        assert_eq!(threads_from(Some(" 3 "), 8), 3, "whitespace is trimmed");
+        assert_eq!(threads_from(Some("99"), 8), 16, "override is capped");
+        assert_eq!(
+            threads_from(Some("not-a-number"), 8),
+            8,
+            "garbage falls back"
+        );
+        assert_eq!(threads_from(Some("0"), 8), 8, "zero falls back");
+        assert_eq!(threads_from(None, 8), 8);
+        assert_eq!(threads_from(None, 64), 16, "fallback is capped");
+        // The env-reading wrapper stays within the cap whatever the
+        // ambient environment says.
+        assert!((1..=16).contains(&default_threads()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn evaluate_suite_matches_serial_execution() {
         let mut suite = otb100_like(31, DatasetScale::fraction(0.05));
         suite.truncate(3);
@@ -166,11 +277,14 @@ mod tests {
         }
         let schemes = vec![
             ("base".to_string(), BackendConfig::baseline()),
-            ("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))),
+            (
+                "EW-4".to_string(),
+                BackendConfig::new(EwPolicy::Constant(4)),
+            ),
         ];
         let motion = MotionConfig::default();
         let results = evaluate_suite(&suite, &motion, &schemes, |prep, stream, cfg| {
-            run_tracking(prep, calib::mdnet(), cfg, stream)
+            run_task(TrackerTask::new(calib::mdnet()), prep, cfg, stream)
         })
         .unwrap();
         assert_eq!(results.len(), 2);
@@ -183,12 +297,55 @@ mod tests {
             for (i, seq) in suite.iter().enumerate() {
                 let prep = prepare_sequence(seq, &motion).unwrap();
                 merged.merge(
-                    &run_tracking(&prep, calib::mdnet(), &schemes[1].1, i as u64).unwrap(),
+                    &run_task(
+                        TrackerTask::new(calib::mdnet()),
+                        &prep,
+                        &schemes[1].1,
+                        i as u64,
+                    )
+                    .unwrap(),
                 );
             }
             merged
         };
         assert_eq!(results[1].outcome, serial);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn evaluate_suite_shim_matches_scenario() {
+        let mut suite = otb100_like(31, DatasetScale::fraction(0.05));
+        suite.truncate(2);
+        for s in &mut suite {
+            s.frames = 24;
+        }
+        let schemes = vec![
+            ("base".to_string(), BackendConfig::baseline()),
+            (
+                "EW-4".to_string(),
+                BackendConfig::new(EwPolicy::Constant(4)),
+            ),
+        ];
+        let legacy = evaluate_suite(
+            &suite,
+            &MotionConfig::default(),
+            &schemes,
+            |prep, stream, cfg| run_task(TrackerTask::new(calib::mdnet()), prep, cfg, stream),
+        )
+        .unwrap();
+        let report = Scenario::builder(TrackerTask::new(calib::mdnet()))
+            .suite(suite)
+            .scheme("base", BackendConfig::baseline())
+            .scheme("EW-4", BackendConfig::new(EwPolicy::Constant(4)))
+            .build()
+            .unwrap()
+            .evaluate()
+            .unwrap();
+        for (old, new) in legacy.iter().zip(report.iter()) {
+            assert_eq!(old.label, new.label());
+            assert_eq!(old.outcome, new.outcome);
+            assert_eq!(old.per_sequence, new.per_sequence);
+        }
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! The Euphrates continuous-vision pipeline: the paper's primary
 //! contribution assembled from the workspace's substrates.
 //!
+//! * [`api`] — the unified public API: the [`VisionTask`][api::VisionTask]
+//!   trait, the [`Scenario`][api::Scenario] builder, and the streaming
+//!   [`Session`][api::Session].
 //! * [`frontend`] — sequence preparation: camera/scene rendering + ISP
 //!   block matching → per-frame ground truth and motion fields.
 //! * [`backend`] — shared backend machinery: EW scheduling, the ROI
@@ -10,12 +13,17 @@
 //!   accounting.
 //! * [`tracker`] / [`detector`] — the two evaluated tasks (§5.2): MDNet-
 //!   class single-object tracking and YOLOv2-class multi-object
-//!   detection, with I-frame inference and E-frame extrapolation.
-//! * [`eval`] — deterministic parallel suite evaluation.
+//!   detection, as [`VisionTask`][api::VisionTask] implementations.
+//! * [`eval`] — deterministic parallel suite evaluation plumbing.
 //! * [`system`] — the Table 1 platform model mapping inference rates to
 //!   SoC energy, FPS, and DRAM traffic.
 //!
 //! ## Quickstart
+//!
+//! Describe an experiment with the [`Scenario`][api::Scenario] builder —
+//! *dataset × motion config × scheme registry × platform* — and evaluate
+//! it to a structured report that carries accuracy, energy, FPS, and
+//! DRAM traffic together:
 //!
 //! ```
 //! use euphrates_core::prelude::*;
@@ -26,23 +34,61 @@
 //! suite.truncate(2);
 //! for s in &mut suite { s.frames = 40; }
 //!
-//! let schemes = vec![
-//!     ("MDNet".to_string(), BackendConfig::baseline()),
-//!     ("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))),
-//! ];
-//! let results = evaluate_suite(
-//!     &suite,
-//!     &MotionConfig::default(),
-//!     &schemes,
-//!     |prep, stream, cfg| run_tracking(prep, euphrates_nn::oracle::calib::mdnet(), cfg, stream),
-//! )?;
-//! assert_eq!(results.len(), 2);
-//! // Extrapolation quarters the inference count.
-//! assert!(results[1].outcome.inference_rate() < 0.3);
+//! let scenario = Scenario::builder(TrackerTask::new(euphrates_nn::oracle::calib::mdnet()))
+//!     .suite(suite)
+//!     .network(euphrates_nn::zoo::mdnet())
+//!     .scheme("MDNet", BackendConfig::baseline())
+//!     .scheme("EW-4", BackendConfig::new(EwPolicy::Constant(4)))
+//!     .build()?;
+//! let report = scenario.evaluate()?;
+//! assert_eq!(report.len(), 2);
+//! // Extrapolation quarters the inference count ...
+//! let ew4 = report.get("EW-4").unwrap();
+//! assert!(ew4.outcome.inference_rate() < 0.3);
+//! // ... and the same report already carries the platform numbers.
+//! assert!(ew4.system.as_ref().unwrap().fps > report.schemes[0].system.as_ref().unwrap().fps);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ### Streaming
+//!
+//! The same schedule runs incrementally: open a [`Session`][api::Session]
+//! and push frames as they arrive. Per-frame results bit-match the
+//! offline path above.
+//!
+//! ```
+//! use euphrates_core::prelude::*;
+//!
+//! # fn main() -> euphrates_common::Result<()> {
+//! let mut suite = euphrates_datasets::otb100_like(42, DatasetScale::fraction(0.1));
+//! suite.truncate(1);
+//! suite[0].frames = 12;
+//! let prep = prepare_sequence(&suite[0], &MotionConfig::default())?;
+//!
+//! let task = TrackerTask::new(euphrates_nn::oracle::calib::mdnet());
+//! let mut session = Session::new(task, BackendConfig::new(EwPolicy::Constant(4)),
+//!                                prep.resolution, 0)?;
+//! for frame in &prep.frames {
+//!     let decision: FrameDecision = session.push_frame(frame)?;
+//!     if decision.is_inference() {
+//!         // e.g. ship the fresh CNN result downstream
+//!     }
+//! }
+//! assert_eq!(session.outcome().frames, 12);
+//! assert_eq!(session.outcome().inferences, 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Environment
+//!
+//! * `EUPHRATES_THREADS` — overrides the evaluation worker-thread count
+//!   (positive integer, capped at 16; see [`eval::default_threads`]).
+//!   Results are thread-count independent; the knob only controls
+//!   parallelism.
 
+pub mod api;
 pub mod backend;
 pub mod detector;
 pub mod eval;
@@ -50,22 +96,42 @@ pub mod frontend;
 pub mod system;
 pub mod tracker;
 
+pub use api::{
+    run_task, EvalReport, FrameContext, FrameDecision, Scenario, ScenarioBuilder, SchemeId,
+    SchemeResult, SchemeSpec, Session, StepStats, VisionTask,
+};
 pub use backend::{BackendConfig, TaskOutcome};
+#[allow(deprecated)]
 pub use detector::run_detection;
-pub use eval::{evaluate_suite, parallel_map, SuiteOutcome};
+pub use detector::DetectorTask;
+#[allow(deprecated)]
+pub use eval::evaluate_suite;
+pub use eval::{parallel_map, SuiteOutcome};
 pub use frontend::{prepare_sequence, FrameData, MotionConfig, PreparedSequence};
 pub use system::SystemModel;
+#[allow(deprecated)]
 pub use tracker::run_tracking;
+pub use tracker::TrackerTask;
 
 /// Convenience re-exports for pipeline users.
 pub mod prelude {
+    pub use crate::api::{
+        run_task, EvalReport, FrameContext, FrameDecision, Scenario, ScenarioBuilder, SchemeId,
+        SchemeResult, SchemeSpec, Session, StepStats, VisionTask,
+    };
     pub use crate::backend::{BackendConfig, TaskOutcome};
+    #[allow(deprecated)]
     pub use crate::detector::run_detection;
-    pub use crate::eval::{evaluate_suite, SuiteOutcome};
-    pub use crate::frontend::{prepare_sequence, MotionConfig, PreparedSequence};
+    pub use crate::detector::DetectorTask;
+    #[allow(deprecated)]
+    pub use crate::eval::evaluate_suite;
+    pub use crate::eval::SuiteOutcome;
+    pub use crate::frontend::{prepare_sequence, FrameData, MotionConfig, PreparedSequence};
     pub use crate::system::SystemModel;
+    #[allow(deprecated)]
     pub use crate::tracker::run_tracking;
+    pub use crate::tracker::TrackerTask;
     pub use euphrates_datasets::{DatasetScale, Sequence, VisualAttribute};
-    pub use euphrates_mc::policy::{AdaptiveConfig, EwPolicy};
+    pub use euphrates_mc::policy::{AdaptiveConfig, EwPolicy, FrameKind};
     pub use euphrates_soc::energy::ExtrapolationExecutor;
 }

@@ -16,9 +16,7 @@ use euphrates_mc::policy::FrameKind;
 use euphrates_mc::sequencer::McSequencer;
 use euphrates_nn::engine::{InferencePlan, NnxEngine};
 use euphrates_nn::layer::NetworkDescriptor;
-use euphrates_soc::energy::{
-    EnergyModel, ExtrapolationExecutor, SchemeParams, SchemeReport,
-};
+use euphrates_soc::energy::{EnergyModel, ExtrapolationExecutor, SchemeParams, SchemeReport};
 
 /// The assembled Table 1 platform.
 #[derive(Debug, Clone)]

@@ -1,5 +1,6 @@
 //! The visual-tracking task (§5.2): single-object ROI propagation with
-//! MDNet-class inference on I-frames and motion extrapolation on E-frames.
+//! MDNet-class inference on I-frames and motion extrapolation on E-frames,
+//! expressed as a [`VisionTask`] implementation.
 //!
 //! Protocol (standard OTB): the tracker is initialized with the ground-
 //! truth box of frame 0; every subsequent frame produces exactly one
@@ -7,15 +8,159 @@
 //! truth is empty (target fully out of view) are excluded from scoring
 //! but still advance the pipeline.
 
-use crate::backend::{
-    charge_sequencer, controller, extrapolate_roi, oracle_targets, BackendConfig, TaskOutcome,
-    TrackState,
-};
-use crate::frontend::PreparedSequence;
+use crate::api::{run_task, FrameContext, StepStats, VisionTask};
+use crate::backend::{extrapolate_roi, BackendConfig, TaskOutcome, TrackState};
+use crate::frontend::{FrameData, PreparedSequence};
 use euphrates_common::error::{Error, Result};
 use euphrates_common::geom::Rect;
-use euphrates_mc::policy::FrameKind;
-use euphrates_nn::oracle::{TrackerOracle, TrackerProfile};
+use euphrates_common::image::Resolution;
+use euphrates_nn::oracle::{OracleTarget, TrackerOracle, TrackerProfile};
+
+/// Single-object tracking under the I/E-frame schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerTask {
+    /// The oracle's accuracy calibration (e.g.
+    /// [`calib::mdnet`][euphrates_nn::oracle::calib::mdnet]).
+    pub profile: TrackerProfile,
+}
+
+impl TrackerTask {
+    /// A tracking task with the given oracle profile.
+    pub fn new(profile: TrackerProfile) -> Self {
+        TrackerTask { profile }
+    }
+}
+
+/// Per-sequence tracker state.
+#[derive(Debug, Clone)]
+pub struct TrackerState {
+    oracle: TrackerOracle,
+    filter: TrackState,
+    prediction: Rect,
+}
+
+impl TrackerState {
+    /// The current predicted box (unclamped; departing ROIs park at the
+    /// frame edge).
+    pub fn prediction(&self) -> &Rect {
+        &self.prediction
+    }
+}
+
+/// The frame's first oracle-visible target (a zeroed placeholder when the
+/// frame has none — inference against it simply re-detects nothing).
+fn first_target(frame: &FrameData) -> OracleTarget {
+    crate::backend::oracle_targets(frame)
+        .into_iter()
+        .next()
+        .unwrap_or(OracleTarget {
+            id: 0,
+            label: 0,
+            rect: Rect::default(),
+            visibility: 0.0,
+            blur: 0.0,
+        })
+}
+
+impl VisionTask for TrackerTask {
+    type State = TrackerState;
+
+    fn name(&self) -> &'static str {
+        "tracking"
+    }
+
+    fn init(
+        &self,
+        _resolution: Resolution,
+        first: &FrameData,
+        config: &BackendConfig,
+        _stream: u64,
+    ) -> Result<Self::State> {
+        let first_truth = first
+            .truth
+            .first()
+            .ok_or_else(|| Error::config("sequence has no target in frame 0"))?;
+        if first_truth.rect.is_empty() {
+            return Err(Error::config("target starts out of view"));
+        }
+        Ok(TrackerState {
+            oracle: TrackerOracle::new(self.profile, config.seed),
+            filter: TrackState::new(&config.extrapolation),
+            prediction: first_truth.rect,
+        })
+    }
+
+    fn infer(
+        &self,
+        ctx: &FrameContext,
+        state: &mut Self::State,
+        _outcome: &mut TaskOutcome,
+    ) -> StepStats {
+        // The adaptive controller needs the extrapolated prediction this
+        // inference replaces (§3.3); compute it without disturbing the
+        // filter state.
+        let mut probe = state.filter.clone();
+        let (extrapolated, datapath_cycles, _) = extrapolate_roi(
+            &state.prediction,
+            &ctx.frame.motion,
+            &mut probe,
+            &ctx.config.extrapolation,
+            ctx.config.fixed_datapath,
+        );
+        let target = first_target(ctx.frame);
+        let inferred = state
+            .oracle
+            .track(&state.prediction, &target, ctx.stream, ctx.index);
+        let policy_feedback = Some(inferred.iou(&extrapolated));
+        state.prediction = inferred;
+        StepStats {
+            datapath_cycles,
+            rois: 1,
+            policy_feedback,
+        }
+    }
+
+    fn extrapolate(
+        &self,
+        ctx: &FrameContext,
+        state: &mut Self::State,
+        outcome: &mut TaskOutcome,
+    ) -> StepStats {
+        let (roi, datapath_cycles, ops) = extrapolate_roi(
+            &state.prediction,
+            &ctx.frame.motion,
+            &mut state.filter,
+            &ctx.config.extrapolation,
+            ctx.config.fixed_datapath,
+        );
+        outcome.extrapolation_ops += ops;
+        // Departing ROIs park at the frame edge (the MC's register file
+        // holds frame-relative coordinates; see `retain_at_edge`), keeping
+        // at least a quarter of the box in view so a returning target can
+        // be reacquired.
+        state.prediction = crate::backend::retain_at_edge(&roi, &ctx.bounds, 0.25);
+        StepStats {
+            datapath_cycles,
+            rois: 1,
+            policy_feedback: None,
+        }
+    }
+
+    fn score(&self, ctx: &FrameContext, state: &Self::State, outcome: &mut TaskOutcome) {
+        // Skip the given frame 0 and out-of-view frames. The emitted
+        // result is the frame-clamped box.
+        if ctx.index == 0 {
+            return;
+        }
+        if let Some(gt) = ctx.frame.truth.first() {
+            if !gt.rect.is_empty() {
+                outcome
+                    .ious
+                    .push(state.prediction.clamped_to(&ctx.bounds).iou(&gt.rect));
+            }
+        }
+    }
+}
 
 /// Runs the tracking task over a prepared sequence.
 ///
@@ -26,6 +171,10 @@ use euphrates_nn::oracle::{TrackerOracle, TrackerProfile};
 ///
 /// Returns an error for an empty sequence, a sequence without a target in
 /// frame 0, or an invalid policy.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_task(TrackerTask::new(profile), ...)`, or the `Scenario`/`Session` API"
+)]
 pub fn run_tracking(
     prep: &PreparedSequence,
     profile: TrackerProfile,
@@ -35,98 +184,7 @@ pub fn run_tracking(
     if prep.is_empty() {
         return Err(Error::config("cannot track an empty sequence"));
     }
-    let first_truth = prep.frames[0]
-        .truth
-        .first()
-        .ok_or_else(|| Error::config("sequence has no target in frame 0"))?;
-    if first_truth.rect.is_empty() {
-        return Err(Error::config("target starts out of view"));
-    }
-
-    let oracle = TrackerOracle::new(profile, config.seed);
-    let mut ctrl = controller(config)?;
-    let mut outcome = TaskOutcome::default();
-    let mut state = TrackState::new(&config.extrapolation);
-    let mut prediction = first_truth.rect;
-
-    let frame_bounds = Rect::new(
-        0.0,
-        0.0,
-        f64::from(prep.resolution.width),
-        f64::from(prep.resolution.height),
-    );
-
-    for (f, frame) in prep.frames.iter().enumerate() {
-        let kind = ctrl.next_frame();
-        outcome.frames += 1;
-
-        let target = oracle_targets(frame)
-            .into_iter()
-            .next()
-            .unwrap_or(euphrates_nn::oracle::OracleTarget {
-                id: 0,
-                label: 0,
-                rect: Rect::default(),
-                visibility: 0.0,
-                blur: 0.0,
-            });
-
-        let datapath_cycles;
-        let new_prediction = match kind {
-            FrameKind::Extrapolation => {
-                let (roi, cycles, ops) = extrapolate_roi(
-                    &prediction,
-                    &frame.motion,
-                    &mut state,
-                    &config.extrapolation,
-                    config.fixed_datapath,
-                );
-                datapath_cycles = cycles;
-                outcome.extrapolation_ops += ops;
-                // Departing ROIs park at the frame edge (the MC's register
-                // file holds frame-relative coordinates; see
-                // `retain_at_edge`), keeping at least a quarter of the box
-                // in view so a returning target can be reacquired.
-                crate::backend::retain_at_edge(&roi, &frame_bounds, 0.25)
-            }
-            FrameKind::Inference => {
-                outcome.inferences += 1;
-                // The adaptive controller needs the extrapolated prediction
-                // this inference replaces (§3.3); compute it without
-                // disturbing the filter state.
-                let extrapolated = {
-                    let mut probe = state.clone();
-                    let (roi, cycles, _) = extrapolate_roi(
-                        &prediction,
-                        &frame.motion,
-                        &mut probe,
-                        &config.extrapolation,
-                        config.fixed_datapath,
-                    );
-                    datapath_cycles = cycles;
-                    roi
-                };
-                let inferred = oracle.track(&prediction, &target, stream, f as u64);
-                ctrl.record_comparison(inferred.iou(&extrapolated));
-                inferred
-            }
-        };
-        charge_sequencer(&mut outcome, kind, &frame.motion, 1, datapath_cycles);
-        prediction = new_prediction;
-
-        // Score (skip the given frame 0 and out-of-view frames). The
-        // emitted result is the frame-clamped box.
-        if f > 0 {
-            if let Some(gt) = frame.truth.first() {
-                if !gt.rect.is_empty() {
-                    outcome
-                        .ious
-                        .push(prediction.clamped_to(&frame_bounds).iou(&gt.rect));
-                }
-            }
-        }
-    }
-    Ok(outcome)
+    run_task(TrackerTask::new(profile), prep, config, stream)
 }
 
 #[cfg(test)]
@@ -148,6 +206,10 @@ mod tests {
         prepare_sequence(&seq, &MotionConfig::default()).unwrap()
     }
 
+    fn track(prep: &PreparedSequence, config: &BackendConfig, stream: u64) -> Result<TaskOutcome> {
+        run_task(TrackerTask::new(calib::mdnet()), prep, config, stream)
+    }
+
     fn success_at_05(outcome: &TaskOutcome) -> f64 {
         let acc: IouAccumulator = outcome.ious.iter().copied().collect();
         acc.rate_at(0.5)
@@ -156,7 +218,7 @@ mod tests {
     #[test]
     fn baseline_tracking_succeeds_on_easy_content() {
         let prep = prepared(VisualAttribute::IlluminationVariation, 60);
-        let out = run_tracking(&prep, calib::mdnet(), &BackendConfig::baseline(), 0).unwrap();
+        let out = track(&prep, &BackendConfig::baseline(), 0).unwrap();
         assert_eq!(out.frames, 60);
         assert_eq!(out.inferences, 60);
         assert!(
@@ -169,14 +231,8 @@ mod tests {
     #[test]
     fn ew2_tracks_nearly_as_well_as_baseline() {
         let prep = prepared(VisualAttribute::ScaleVariation, 80);
-        let base = run_tracking(&prep, calib::mdnet(), &BackendConfig::baseline(), 0).unwrap();
-        let ew2 = run_tracking(
-            &prep,
-            calib::mdnet(),
-            &BackendConfig::new(EwPolicy::Constant(2)),
-            0,
-        )
-        .unwrap();
+        let base = track(&prep, &BackendConfig::baseline(), 0).unwrap();
+        let ew2 = track(&prep, &BackendConfig::new(EwPolicy::Constant(2)), 0).unwrap();
         assert!((ew2.inference_rate() - 0.5).abs() < 0.05);
         assert!(
             success_at_05(&ew2) + 0.15 > success_at_05(&base),
@@ -189,24 +245,10 @@ mod tests {
     #[test]
     fn accuracy_degrades_with_window_on_hard_content() {
         let prep = prepared(VisualAttribute::FastMotion, 80);
-        let s2 = success_at_05(
-            &run_tracking(
-                &prep,
-                calib::mdnet(),
-                &BackendConfig::new(EwPolicy::Constant(2)),
-                0,
-            )
-            .unwrap(),
-        );
-        let s16 = success_at_05(
-            &run_tracking(
-                &prep,
-                calib::mdnet(),
-                &BackendConfig::new(EwPolicy::Constant(16)),
-                0,
-            )
-            .unwrap(),
-        );
+        let s2 =
+            success_at_05(&track(&prep, &BackendConfig::new(EwPolicy::Constant(2)), 0).unwrap());
+        let s16 =
+            success_at_05(&track(&prep, &BackendConfig::new(EwPolicy::Constant(16)), 0).unwrap());
         assert!(
             s2 >= s16,
             "EW-2 ({s2}) should be at least as accurate as EW-16 ({s16}) on fast motion"
@@ -218,8 +260,8 @@ mod tests {
         let easy = prepared(VisualAttribute::IlluminationVariation, 100);
         let hard = prepared(VisualAttribute::FastMotion, 100);
         let cfg = BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default()));
-        let easy_out = run_tracking(&easy, calib::mdnet(), &cfg, 0).unwrap();
-        let hard_out = run_tracking(&hard, calib::mdnet(), &cfg, 0).unwrap();
+        let easy_out = track(&easy, &cfg, 0).unwrap();
+        let hard_out = track(&hard, &cfg, 0).unwrap();
         assert!(
             easy_out.inference_rate() < hard_out.inference_rate() + 0.35,
             "easy content should not need many more inferences: easy {} hard {}",
@@ -234,21 +276,15 @@ mod tests {
     fn tracking_is_deterministic() {
         let prep = prepared(VisualAttribute::Deformation, 40);
         let cfg = BackendConfig::new(EwPolicy::Constant(4));
-        let a = run_tracking(&prep, calib::mdnet(), &cfg, 3).unwrap();
-        let b = run_tracking(&prep, calib::mdnet(), &cfg, 3).unwrap();
+        let a = track(&prep, &cfg, 3).unwrap();
+        let b = track(&prep, &cfg, 3).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn mc_cycles_accumulate() {
         let prep = prepared(VisualAttribute::ScaleVariation, 40);
-        let out = run_tracking(
-            &prep,
-            calib::mdnet(),
-            &BackendConfig::new(EwPolicy::Constant(4)),
-            0,
-        )
-        .unwrap();
+        let out = track(&prep, &BackendConfig::new(EwPolicy::Constant(4)), 0).unwrap();
         assert!(out.mc_cycles.0 > 0);
         assert!(out.extrapolation_ops > 0);
     }
@@ -260,6 +296,16 @@ mod tests {
             resolution: euphrates_common::image::Resolution::VGA,
             frames: vec![],
         };
-        assert!(run_tracking(&prep, calib::mdnet(), &BackendConfig::baseline(), 0).is_err());
+        assert!(track(&prep, &BackendConfig::baseline(), 0).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn run_tracking_shim_matches_task_path() {
+        let prep = prepared(VisualAttribute::ScaleVariation, 40);
+        let cfg = BackendConfig::new(EwPolicy::Constant(4));
+        let via_shim = run_tracking(&prep, calib::mdnet(), &cfg, 2).unwrap();
+        let via_task = track(&prep, &cfg, 2).unwrap();
+        assert_eq!(via_shim, via_task);
     }
 }

@@ -99,10 +99,7 @@ mod tests {
 
     #[test]
     fn display_matches_fig12_labels() {
-        assert_eq!(
-            VisualAttribute::FastMotion.to_string(),
-            "Fast Motion"
-        );
+        assert_eq!(VisualAttribute::FastMotion.to_string(), "Fast Motion");
         assert_eq!(
             VisualAttribute::OutOfPlaneRotation.to_string(),
             "Out-of-Plane Rotation"

@@ -70,12 +70,7 @@ fn base_target(res: Resolution, seed: u64, rng: &mut impl Rng) -> SceneObject {
 }
 
 /// Builds one OTB-like sequence for the given primary attribute.
-fn otb_sequence(
-    attr: VisualAttribute,
-    index: u32,
-    frames: u32,
-    seed: u64,
-) -> Sequence {
+fn otb_sequence(attr: VisualAttribute, index: u32, frames: u32, seed: u64) -> Sequence {
     let res = EVAL_RESOLUTION;
     let seq_seed = rngx::derive_seed(seed, attr as u64, u64::from(index));
     let mut rng = rngx::derived_rng(seq_seed, 0, 0);
@@ -395,10 +390,13 @@ mod tests {
 
     #[test]
     fn occlusion_sequences_actually_occlude() {
-        let otb = otb100_like(9, DatasetScale {
-            sequence_fraction: 0.1,
-            frame_fraction: 0.3,
-        });
+        let otb = otb100_like(
+            9,
+            DatasetScale {
+                sequence_fraction: 0.1,
+                frame_fraction: 0.3,
+            },
+        );
         let occ = otb
             .iter()
             .find(|s| s.has_attribute(VisualAttribute::Occlusion))
@@ -412,10 +410,13 @@ mod tests {
 
     #[test]
     fn out_of_view_sequences_leave_the_frame() {
-        let otb = otb100_like(11, DatasetScale {
-            sequence_fraction: 0.1,
-            frame_fraction: 0.3,
-        });
+        let otb = otb100_like(
+            11,
+            DatasetScale {
+                sequence_fraction: 0.1,
+                frame_fraction: 0.3,
+            },
+        );
         let ov = otb
             .iter()
             .find(|s| s.has_attribute(VisualAttribute::OutOfView))

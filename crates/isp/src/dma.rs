@@ -100,7 +100,11 @@ mod tests {
         // §4.2: MV metadata is "a very small fraction" of pixel data.
         let t = isp_frame_traffic(Resolution::FULL_HD, PixelFormat::Rgb888, 16, true);
         assert!(t.metadata_write.0 > 0);
-        assert!(t.metadata_overhead() < 0.01, "overhead {}", t.metadata_overhead());
+        assert!(
+            t.metadata_overhead() < 0.01,
+            "overhead {}",
+            t.metadata_overhead()
+        );
     }
 
     #[test]

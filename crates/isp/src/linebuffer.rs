@@ -130,9 +130,8 @@ impl TdSramModel {
         }
         let (bx, by) = resolution.macroblocks(mb_size);
         let row_bytes = u64::from(bx) * BYTES_PER_BLOCK;
-        let effective_bpc = (f64::from(self.config.dma_bytes_per_cycle)
-            * self.config.dma_share)
-            .max(0.125);
+        let effective_bpc =
+            (f64::from(self.config.dma_bytes_per_cycle) * self.config.dma_share).max(0.125);
         let drain_per_row =
             f64::from(self.config.dma_setup_cycles) + row_bytes as f64 / effective_bpc;
         // Cycles the pipeline spends producing one block row of pixels.

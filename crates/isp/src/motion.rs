@@ -126,7 +126,10 @@ impl MotionField {
     ///
     /// Panics if the block index is out of range.
     pub fn at_block(&self, bx: u32, by: u32) -> MotionVector {
-        assert!(bx < self.blocks_x && by < self.blocks_y, "block out of range");
+        assert!(
+            bx < self.blocks_x && by < self.blocks_y,
+            "block out of range"
+        );
         self.vectors[(by * self.blocks_x + bx) as usize]
     }
 
@@ -138,7 +141,10 @@ impl MotionField {
     ///
     /// Panics if the block index is out of range.
     pub fn set_block(&mut self, bx: u32, by: u32, mv: MotionVector) {
-        assert!(bx < self.blocks_x && by < self.blocks_y, "block out of range");
+        assert!(
+            bx < self.blocks_x && by < self.blocks_y,
+            "block out of range"
+        );
         self.vectors[(by * self.blocks_x + bx) as usize] = mv;
     }
 
@@ -188,10 +194,8 @@ impl MotionField {
         let mb = f64::from(self.mb_size);
         let bx0 = (roi.x / mb).floor().max(0.0) as u32;
         let by0 = (roi.y / mb).floor().max(0.0) as u32;
-        let bx1 = ((roi.right() / mb).ceil() as i64)
-            .clamp(0, i64::from(self.blocks_x)) as u32;
-        let by1 = ((roi.bottom() / mb).ceil() as i64)
-            .clamp(0, i64::from(self.blocks_y)) as u32;
+        let bx1 = ((roi.right() / mb).ceil() as i64).clamp(0, i64::from(self.blocks_x)) as u32;
+        let by1 = ((roi.bottom() / mb).ceil() as i64).clamp(0, i64::from(self.blocks_y)) as u32;
         let roi = *roi;
         (by0..by1).flat_map(move |by| {
             (bx0..bx1).filter_map(move |bx| {
@@ -310,9 +314,7 @@ impl BlockMatcher {
                 let bw = (cur.width() - x0).min(self.mb_size);
                 let bh = (cur.height() - y0).min(self.mb_size);
                 let mv = match self.strategy {
-                    SearchStrategy::Exhaustive => {
-                        self.search_exhaustive(cur, prev, x0, y0, bw, bh)
-                    }
+                    SearchStrategy::Exhaustive => self.search_exhaustive(cur, prev, x0, y0, bw, bh),
                     SearchStrategy::ThreeStep => self.search_tss(cur, prev, x0, y0, bw, bh),
                 };
                 field.vectors[(by * blocks_x + bx) as usize] = mv;
@@ -466,8 +468,8 @@ mod tests {
         let mut f = LumaFrame::new(width, height).unwrap();
         for y in 0..height {
             for x in 0..width {
-                let v = (rngx::lattice_hash(seed, i64::from(x / 4), i64::from(y / 4)) * 255.0)
-                    as u8;
+                let v =
+                    (rngx::lattice_hash(seed, i64::from(x / 4), i64::from(y / 4)) * 255.0) as u8;
                 f.set(x, y, v);
             }
         }
@@ -624,10 +626,7 @@ mod tests {
     #[test]
     fn ops_model_matches_paper_formulas() {
         // ES at L=16, d=7: 16^2 * 15^2 = 57,600 ops/block.
-        assert_eq!(
-            SearchStrategy::Exhaustive.ops_per_block(16, 7),
-            256 * 225
-        );
+        assert_eq!(SearchStrategy::Exhaustive.ops_per_block(16, 7), 256 * 225);
         // TSS at L=16, d=7: 16^2 * (1 + 8*log2(8)) = 256 * 25 = 6,400.
         assert_eq!(SearchStrategy::ThreeStep.ops_per_block(16, 7), 256 * 25);
         // The paper's 8/9 reduction claim: 6400 / 57600 = 1/9.
@@ -696,7 +695,11 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree >= interior.len() - 2, "agree {agree}/{}", interior.len());
+        assert!(
+            agree >= interior.len() - 2,
+            "agree {agree}/{}",
+            interior.len()
+        );
     }
 
     #[test]

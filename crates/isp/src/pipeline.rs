@@ -230,11 +230,8 @@ mod tests {
         let mut f = BayerFrame::new(res.width, res.height).unwrap();
         for y in 0..res.height {
             for x in 0..res.width {
-                let v = (rngx::lattice_hash(
-                    seed,
-                    (i64::from(x) - shift) / 4,
-                    i64::from(y) / 4,
-                ) * 255.0) as u8;
+                let v = (rngx::lattice_hash(seed, (i64::from(x) - shift) / 4, i64::from(y) / 4)
+                    * 255.0) as u8;
                 f.set(x, y, v);
             }
         }

@@ -28,7 +28,12 @@ impl Default for IspPowerModel {
 
 impl IspPowerModel {
     /// Active power at the given operating point.
-    pub fn active_power(&self, resolution: Resolution, fps: f64, motion_estimation: bool) -> MilliWatts {
+    pub fn active_power(
+        &self,
+        resolution: Resolution,
+        fps: f64,
+        motion_estimation: bool,
+    ) -> MilliWatts {
         let ref_rate = Resolution::FULL_HD.pixels() as f64 * 60.0;
         let rate = resolution.pixels() as f64 * fps;
         let mut dynamic = (self.reference_power.0 - self.static_power.0) * rate / ref_rate;

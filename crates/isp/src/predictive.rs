@@ -107,7 +107,12 @@ impl PredictiveBlockMatcher {
         for by in 0..field.blocks_y() {
             for bx in 0..field.blocks_x() {
                 let predictor = if predictor_ok {
-                    let p = self.prev_field.as_ref().expect("checked above").at_block(bx, by).v;
+                    let p = self
+                        .prev_field
+                        .as_ref()
+                        .expect("checked above")
+                        .at_block(bx, by)
+                        .v;
                     Vec2i::new(
                         p.x.clamp(-self.max_predictor, self.max_predictor),
                         p.y.clamp(-self.max_predictor, self.max_predictor),

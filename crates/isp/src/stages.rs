@@ -37,7 +37,10 @@ impl DeadPixelCorrection {
             for x in 0..w {
                 // Same-color neighbors in the Bayer mosaic are 2 apart.
                 let mut neighbors = [0u8; 4];
-                for (n, (dx, dy)) in [(-2i64, 0i64), (2, 0), (0, -2), (0, 2)].into_iter().enumerate() {
+                for (n, (dx, dy)) in [(-2i64, 0i64), (2, 0), (0, -2), (0, 2)]
+                    .into_iter()
+                    .enumerate()
+                {
                     neighbors[n] = src.at_clamped(i64::from(x) + dx, i64::from(y) + dy);
                 }
                 neighbors.sort_unstable();
@@ -383,8 +386,7 @@ mod tests {
         let _ = res;
         let out = TemporalDenoise::default().process(&b, &a, &field).unwrap();
         let var = |f: &LumaFrame| {
-            let mean =
-                f.samples().iter().map(|&v| f64::from(v)).sum::<f64>() / f.len() as f64;
+            let mean = f.samples().iter().map(|&v| f64::from(v)).sum::<f64>() / f.len() as f64;
             f.samples()
                 .iter()
                 .map(|&v| (f64::from(v) - mean).powi(2))
@@ -406,7 +408,9 @@ mod tests {
         let field = MotionField::zeroed(Resolution::new(64, 64), 16, 7).unwrap();
         assert!(TemporalDenoise::default().process(&a, &b, &field).is_err());
         let field32 = MotionField::zeroed(Resolution::new(32, 32), 16, 7).unwrap();
-        assert!(TemporalDenoise::default().process(&a, &a, &field32).is_err());
+        assert!(TemporalDenoise::default()
+            .process(&a, &a, &field32)
+            .is_err());
     }
 
     #[test]

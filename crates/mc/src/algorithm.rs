@@ -155,7 +155,12 @@ impl Extrapolator {
         for (i, sub) in subs.iter().enumerate() {
             let (mu, alpha) = roi_average_motion(field, sub);
             let mv = if self.config.filter {
-                filter_mv(mu, alpha, state.prev_mv[i], self.config.confidence_threshold)
+                filter_mv(
+                    mu,
+                    alpha,
+                    state.prev_mv[i],
+                    self.config.confidence_threshold,
+                )
             } else {
                 mu
             };
@@ -319,8 +324,8 @@ mod tests {
             let mut f = LumaFrame::new(128, 64).unwrap();
             for y in 0..64 {
                 for x in 0..128 {
-                    let v = (rngx::lattice_hash(9, i64::from(x) / 3, i64::from(y) / 3) * 255.0)
-                        as u8;
+                    let v =
+                        (rngx::lattice_hash(9, i64::from(x) / 3, i64::from(y) / 3) * 255.0) as u8;
                     f.set(x, y, v);
                 }
             }
@@ -345,7 +350,12 @@ mod tests {
         let mut state = RoiState::new(ex.config());
         let roi = Rect::new(32.0, 16.0, 64.0, 32.0);
         let out = ex.extrapolate(&roi, &field, &mut state);
-        assert!(out.w > roi.w + 3.0, "bbox should widen: {} -> {}", roi.w, out.w);
+        assert!(
+            out.w > roi.w + 3.0,
+            "bbox should widen: {} -> {}",
+            roi.w,
+            out.w
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl SimdDatapath {
         let mut blocks: u32 = 0;
         for (bx, by, mv) in field.blocks_in_roi(sub_roi) {
             // Integer pixel-overlap weight (hardware counts covered pixels).
-            let overlap = field.block_rect(bx, by).intersection(sub_roi).area().round() as u32;
+            let overlap = field
+                .block_rect(bx, by)
+                .intersection(sub_roi)
+                .area()
+                .round() as u32;
             if overlap == 0 {
                 continue;
             }
@@ -171,11 +175,9 @@ mod tests {
             let mut f = LumaFrame::new(128, 128).unwrap();
             for y in 0..128 {
                 for x in 0..128 {
-                    let v = (rngx::lattice_hash(
-                        21,
-                        (i64::from(x) - s.0) / 3,
-                        (i64::from(y) - s.1) / 3,
-                    ) * 255.0) as u8;
+                    let v =
+                        (rngx::lattice_hash(21, (i64::from(x) - s.0) / 3, (i64::from(y) - s.1) / 3)
+                            * 255.0) as u8;
                     f.set(x, y, v);
                 }
             }

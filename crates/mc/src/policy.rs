@@ -273,7 +273,7 @@ mod tests {
         .unwrap();
         assert_eq!(c.next_frame(), FrameKind::Inference);
         c.record_comparison(0.9); // grow to 2
-        // With window 2, one E-frame now separates inferences.
+                                  // With window 2, one E-frame now separates inferences.
         assert_eq!(c.next_frame(), FrameKind::Extrapolation);
         assert_eq!(c.next_frame(), FrameKind::Inference);
         assert_eq!(c.next_frame(), FrameKind::Extrapolation);

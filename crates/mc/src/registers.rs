@@ -261,7 +261,8 @@ mod tests {
     #[test]
     fn roi_slots_accessible_over_the_bus() {
         let mut rf = RegisterFile::new();
-        rf.store_roi(2, &Rect::new(16.0, 32.0, 64.0, 128.0)).unwrap();
+        rf.store_roi(2, &Rect::new(16.0, 32.0, 64.0, 128.0))
+            .unwrap();
         let base = addr::ROI_BASE + 2 * addr::ROI_STRIDE;
         assert_eq!(rf.read(base).unwrap(), 16 * 256);
         assert_eq!(rf.read(base + 4).unwrap(), 32 * 256);

@@ -126,8 +126,7 @@ impl McSequencer {
     ) -> FrameProgram {
         let c = &self.costs;
         let fetch = Cycles(
-            u64::from(c.fetch_setup)
-                + mv_bytes.div_ceil(1024) * u64::from(c.fetch_cycles_per_kib),
+            u64::from(c.fetch_setup) + mv_bytes.div_ceil(1024) * u64::from(c.fetch_cycles_per_kib),
         );
         let mut steps = vec![
             SeqStep {
@@ -179,7 +178,11 @@ mod tests {
         let states: Vec<SeqState> = p.steps.iter().map(|s| s.state).collect();
         assert_eq!(
             states,
-            vec![SeqState::FetchMvs, SeqState::Extrapolate, SeqState::WriteResults]
+            vec![
+                SeqState::FetchMvs,
+                SeqState::Extrapolate,
+                SeqState::WriteResults
+            ]
         );
     }
 
@@ -209,11 +212,7 @@ mod tests {
         let seq = McSequencer::default();
         // 8 KiB of MVs, 10 ROIs, generous datapath estimate.
         let p = seq.frame_program(FrameKind::Inference, 8192, 10, Cycles(5_000));
-        assert!(
-            p.total_cycles().0 < 20_000,
-            "cycles {}",
-            p.total_cycles().0
-        );
+        assert!(p.total_cycles().0 < 20_000, "cycles {}", p.total_cycles().0);
     }
 
     #[test]

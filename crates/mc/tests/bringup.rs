@@ -49,7 +49,9 @@ impl VirtualSoc {
             }))
             .unwrap(),
             extrapolator: Extrapolator::new(cfg),
-            states: (0..num_rois as usize).map(|_| RoiState::new(&cfg)).collect(),
+            states: (0..num_rois as usize)
+                .map(|_| RoiState::new(&cfg))
+                .collect(),
             field: MotionField::zeroed(Resolution::VGA, 16, 7).unwrap(),
             nnx_busy_until: Picos::ZERO,
             now: Picos::ZERO,
@@ -86,8 +88,11 @@ impl VirtualSoc {
                 for (k, rect) in truth.iter().enumerate().take(num_rois) {
                     let extrapolated = {
                         let mut probe = self.states[k].clone();
-                        self.extrapolator
-                            .extrapolate(&self.regs.load_roi(k).unwrap(), &self.field, &mut probe)
+                        self.extrapolator.extrapolate(
+                            &self.regs.load_roi(k).unwrap(),
+                            &self.field,
+                            &mut probe,
+                        )
                     };
                     agreement = agreement.min(extrapolated.iou(rect));
                 }
@@ -97,7 +102,9 @@ impl VirtualSoc {
                 // (5) select extrapolated results: update each slot in place.
                 for k in 0..num_rois {
                     let roi = self.regs.load_roi(k).unwrap();
-                    let out = self.extrapolator.extrapolate(&roi, &self.field, &mut self.states[k]);
+                    let out = self
+                        .extrapolator
+                        .extrapolate(&roi, &self.field, &mut self.states[k]);
                     self.regs.store_roi(k, &out).unwrap();
                 }
             }

@@ -121,7 +121,12 @@ mod tests {
         // euphrates-soc, not here.)
         let stats = SystolicModel::default().analyze(&zoo::yolov2());
         let e = inference_energy(&stats, &EnergyConstants::default());
-        assert!(e.sram.0 > e.compute.0, "sram {} vs compute {}", e.sram, e.compute);
+        assert!(
+            e.sram.0 > e.compute.0,
+            "sram {} vs compute {}",
+            e.sram,
+            e.compute
+        );
         assert!(
             e.dram_io.0 > 0.02 * e.total().0,
             "dram {} of total {}",

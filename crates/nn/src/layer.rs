@@ -95,7 +95,9 @@ impl Layer {
                 TensorShape::new(oh, ow, self.input.c)
             }
             LayerKind::FullyConnected { out_features } => TensorShape::new(1, 1, out_features),
-            LayerKind::Reorg => TensorShape::new(self.input.h / 2, self.input.w / 2, self.input.c * 4),
+            LayerKind::Reorg => {
+                TensorShape::new(self.input.h / 2, self.input.w / 2, self.input.c * 4)
+            }
         }
     }
 
@@ -132,7 +134,9 @@ impl Layer {
                 kernel,
                 ..
             } => Bytes(
-                u64::from(kernel) * u64::from(kernel) * u64::from(self.input.c)
+                u64::from(kernel)
+                    * u64::from(kernel)
+                    * u64::from(self.input.c)
                     * u64::from(out_channels),
             ),
             LayerKind::FullyConnected { out_features } => {
@@ -322,7 +326,8 @@ impl NetBuilder {
     /// Widens the current activation's channel count (models a concat with
     /// a passthrough branch whose compute was already counted upstream).
     pub fn concat_channels(mut self, extra_channels: u32) -> Self {
-        self.cursor = TensorShape::new(self.cursor.h, self.cursor.w, self.cursor.c + extra_channels);
+        self.cursor =
+            TensorShape::new(self.cursor.h, self.cursor.w, self.cursor.c + extra_channels);
         self
     }
 
@@ -424,7 +429,10 @@ mod tests {
         assert_eq!(net.layers[2].input, TensorShape::new(16, 16, 16));
         assert_eq!(net.layers[3].input, TensorShape::new(16, 16, 32));
         assert!(net.total_macs() > 0);
-        assert_eq!(net.total_ops(), 2 * net.total_macs() + net.layers[1].scalar_ops());
+        assert_eq!(
+            net.total_ops(),
+            2 * net.total_macs() + net.layers[1].scalar_ops()
+        );
     }
 
     #[test]

@@ -248,9 +248,8 @@ impl SystolicModel {
                 let dram_write = Bytes(ofmap_bytes);
 
                 let compute_time = cfg.clock.to_time(Cycles(compute_cycles));
-                let dma_time = Picos::from_secs_f64(
-                    (dram_read.0 + dram_write.0) as f64 / cfg.dram_bandwidth,
-                );
+                let dma_time =
+                    Picos::from_secs_f64((dram_read.0 + dram_write.0) as f64 / cfg.dram_bandwidth);
                 LayerStats {
                     name: layer.name.clone(),
                     macs,

@@ -207,7 +207,8 @@ mod tests {
     #[test]
     fn all_networks_validate() {
         for net in [yolov2(), tiny_yolo(), mdnet(), ssd(), faster_rcnn()] {
-            net.validate().unwrap_or_else(|e| panic!("{}: {e}", net.name));
+            net.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name));
             assert!(net.total_macs() > 0);
             assert!(net.weight_bytes().0 > 0);
         }

@@ -62,9 +62,7 @@ mod tests {
     fn episode_energy_is_dominated_by_wake_not_work() {
         let cpu = CpuConfig::default();
         // The §3.2 workload: ~10 K fixed-point ops.
-        let e_work_only = MilliJoules(
-            cpu.active_power.0 * (10_000.0 / cpu.ops_per_second),
-        );
+        let e_work_only = MilliJoules(cpu.active_power.0 * (10_000.0 / cpu.ops_per_second));
         let e_episode = cpu.episode_energy(10_000);
         assert!(
             e_episode.0 > 100.0 * e_work_only.0,
@@ -88,6 +86,9 @@ mod tests {
         let small = cpu.episode_time(1_000);
         let large = cpu.episode_time(2_000_000_000);
         assert!(large > small);
-        assert!(large.as_secs_f64() > 1.0, "2G ops at 2 GOPS ≈ 1 s + overhead");
+        assert!(
+            large.as_secs_f64() > 1.0,
+            "2G ops at 2 GOPS ≈ 1 s + overhead"
+        );
     }
 }

@@ -219,8 +219,8 @@ impl EnergyModel {
                 + params.streaming_traffic.0
                 + params.metadata_traffic.0,
         );
-        let dram = cfg.dram.access_energy(traffic_per_frame)
-            + cfg.dram.background_energy(time_per_frame);
+        let dram =
+            cfg.dram.access_energy(traffic_per_frame) + cfg.dram.background_energy(time_per_frame);
         ledger.add(IpBlock::Dram, dram);
 
         Ok(SchemeReport {
@@ -245,7 +245,11 @@ mod tests {
             inference_latency: Picos::from_micros(63_500),
             inference_traffic: Bytes(643_000_000),
             streaming_traffic: Bytes(11_500_000),
-            metadata_traffic: if window > 1.0 { Bytes(40_000) } else { Bytes::ZERO },
+            metadata_traffic: if window > 1.0 {
+                Bytes(40_000)
+            } else {
+                Bytes::ZERO
+            },
             mc_time_per_frame: Picos::from_micros(50),
             extrapolation_ops: 10_000,
             executor: ExtrapolationExecutor::MotionController,

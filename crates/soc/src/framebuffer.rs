@@ -110,13 +110,8 @@ mod tests {
 
     #[test]
     fn slots_do_not_overlap_and_are_aligned() {
-        let fb = FrameBuffer::new(
-            0x8000_0000,
-            3,
-            Bytes(1920 * 1080 * 3),
-            Bytes(32 * 1024),
-        )
-        .unwrap();
+        let fb =
+            FrameBuffer::new(0x8000_0000, 3, Bytes(1920 * 1080 * 3), Bytes(32 * 1024)).unwrap();
         for i in 0..3u64 {
             let s = fb.slot_for(i);
             assert_eq!(s.pixel_base % 4096, 0);

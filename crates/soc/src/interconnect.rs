@@ -116,12 +116,18 @@ impl Interconnect {
 
     /// Total bytes a master has moved.
     pub fn bytes_of(&self, master: MasterId) -> Bytes {
-        self.masters.get(master).map(|m| m.bytes).unwrap_or(Bytes::ZERO)
+        self.masters
+            .get(master)
+            .map(|m| m.bytes)
+            .unwrap_or(Bytes::ZERO)
     }
 
     /// Total transactions a master has issued.
     pub fn transactions_of(&self, master: MasterId) -> u64 {
-        self.masters.get(master).map(|m| m.transactions).unwrap_or(0)
+        self.masters
+            .get(master)
+            .map(|m| m.transactions)
+            .unwrap_or(0)
     }
 
     /// Bus utilization over `[0, horizon]`: fraction of time the bus was
@@ -162,7 +168,9 @@ mod tests {
     fn idle_bus_adds_only_transaction_latency() {
         let mut ic = Interconnect::default();
         let m = ic.add_master("mc");
-        let done = ic.transfer(m, Picos::from_millis(5), Bytes(32 * 1024)).unwrap();
+        let done = ic
+            .transfer(m, Picos::from_millis(5), Bytes(32 * 1024))
+            .unwrap();
         let expected = 32.0 * 1024.0 / 32.0e9 + 80e-9;
         assert!((done.as_secs_f64() - (5e-3 + expected)).abs() < 1e-9);
     }

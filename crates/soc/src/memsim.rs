@@ -136,7 +136,9 @@ pub fn run_memory_aware(
             let mut issue = frame_ready;
             let mut memory_done = frame_ready;
             for _ in 0..INFERENCE_BURSTS {
-                let granted = noc.transfer(nnx_port, issue, burst).expect("nnx port exists");
+                let granted = noc
+                    .transfer(nnx_port, issue, burst)
+                    .expect("nnx port exists");
                 issue = granted;
                 memory_done = memory_done.max(dram_svc.request(granted, burst));
             }
@@ -158,7 +160,9 @@ pub fn run_memory_aware(
     let mean_inference_latency = if inference_latencies.is_empty() {
         Picos::ZERO
     } else {
-        Picos(inference_latencies.iter().map(|p| p.0).sum::<u64>() / inference_latencies.len() as u64)
+        Picos(
+            inference_latencies.iter().map(|p| p.0).sum::<u64>() / inference_latencies.len() as u64,
+        )
     };
     MemSimReport {
         completions,

@@ -320,7 +320,11 @@ impl Component for SensorComp {
                 let f = self.next_frame;
                 // Sensors self-schedule: the next capture strobe.
                 // The event's target is this component: self-schedule.
-                ctx.post(self.period, event.target, EventKind::FrameCaptured { frame: f });
+                ctx.post(
+                    self.period,
+                    event.target,
+                    EventKind::FrameCaptured { frame: f },
+                );
             }
         }
     }
@@ -438,7 +442,11 @@ pub fn run_vision_pipeline(
         frames_since_inference: 0,
         run: Rc::clone(&run),
     }));
-    sim.post_at(Picos::ZERO, sensor_id, EventKind::FrameCaptured { frame: 0 });
+    sim.post_at(
+        Picos::ZERO,
+        sensor_id,
+        EventKind::FrameCaptured { frame: 0 },
+    );
     sim.run_until(Picos::from_secs_f64(3600.0));
 
     let result = run.borrow().clone();
@@ -478,7 +486,9 @@ mod tests {
         }
         let seen = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulator::new();
-        let id = sim.add_component(Box::new(Recorder { seen: Rc::clone(&seen) }));
+        let id = sim.add_component(Box::new(Recorder {
+            seen: Rc::clone(&seen),
+        }));
         sim.post_at(Picos(300), id, EventKind::Custom(3));
         sim.post_at(Picos(100), id, EventKind::Custom(1));
         sim.post_at(Picos(200), id, EventKind::Custom(2));

@@ -25,55 +25,43 @@ fn main() -> euphrates::common::Result<()> {
         euphrates::datasets::total_frames(&suite)
     );
 
-    // YOLOv2 with EW sweep.
-    let mut schemes = vec![("YOLOv2".to_string(), BackendConfig::baseline())];
+    // YOLOv2 with EW sweep, platform numbers evaluated per scheme.
+    let mut builder = Scenario::builder(DetectorTask::new(calib::yolov2()))
+        .suite(suite.clone())
+        .network(zoo::yolov2())
+        .scheme("YOLOv2", BackendConfig::baseline());
     for n in [2u32, 4, 8, 16, 32] {
-        schemes.push((format!("EW-{n}"), BackendConfig::new(EwPolicy::Constant(n))));
+        builder = builder.scheme(format!("EW-{n}"), BackendConfig::new(EwPolicy::Constant(n)));
     }
-    let results = evaluate_suite(
-        &suite,
-        &MotionConfig::default(),
-        &schemes,
-        |prep, stream, cfg| run_detection(prep, calib::yolov2(), cfg, stream),
-    )?;
+    let report = builder.build()?.evaluate()?;
 
-    // Tiny YOLO baseline (the "shrink the network" alternative).
-    let tiny = evaluate_suite(
-        &suite,
-        &MotionConfig::default(),
-        &[("TinyYOLO".to_string(), BackendConfig::baseline())],
-        |prep, stream, cfg| run_detection(prep, calib::tiny_yolo(), cfg, stream),
-    )?;
+    // Tiny YOLO baseline (the "shrink the network" alternative): its own
+    // scenario, because both the oracle profile and the network differ.
+    let tiny_report = Scenario::builder(DetectorTask::new(calib::tiny_yolo()))
+        .suite(suite)
+        .network(zoo::tiny_yolo())
+        .scheme("TinyYOLO", BackendConfig::baseline())
+        .build()?
+        .evaluate()?;
 
-    let system = SystemModel::table1();
-    let yolo = zoo::yolov2();
-    let tiny_net = zoo::tiny_yolo();
-    let base = system.evaluate(&yolo, 1.0, ExtrapolationExecutor::MotionController)?;
+    let base_energy = report.schemes[0]
+        .system
+        .as_ref()
+        .expect("scenario has a network")
+        .energy_per_frame();
 
     let mut table = Table::new(["scheme", "AP@0.5", "norm energy", "fps", "GB/frame"])
         .with_title("ADAS detection: accuracy-energy frontier");
-    for r in &results {
-        let soc = system.evaluate(
-            &yolo,
-            r.outcome.mean_window(),
-            ExtrapolationExecutor::MotionController,
-        )?;
+    for r in report.iter().chain(tiny_report.iter()) {
+        let soc = r.system.as_ref().expect("scenario has a network");
         table.row([
-            r.label.clone(),
+            r.label().to_string(),
             percent(r.rate_at_05()),
-            fnum(soc.energy_per_frame().0 / base.energy_per_frame().0, 2),
-            fnum(soc.fps, 1),
+            fnum(soc.energy_per_frame().0 / base_energy.0, 2),
+            fnum(soc.fps.min(60.0), 1),
             fnum(soc.traffic_per_frame.as_gib_f64(), 3),
         ]);
     }
-    let tiny_soc = system.evaluate(&tiny_net, 1.0, ExtrapolationExecutor::MotionController)?;
-    table.row([
-        "TinyYOLO".to_string(),
-        percent(tiny[0].rate_at_05()),
-        fnum(tiny_soc.energy_per_frame().0 / base.energy_per_frame().0, 2),
-        fnum(tiny_soc.fps.min(60.0), 1),
-        fnum(tiny_soc.traffic_per_frame.as_gib_f64(), 3),
-    ]);
     println!("{table}");
     println!("Note how EW-4 reaches real time at a third of the baseline energy");
     println!("while Tiny YOLO pays more energy than EW-32 for less accuracy —");

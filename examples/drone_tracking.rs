@@ -25,21 +25,17 @@ fn main() -> euphrates::common::Result<()> {
         euphrates::datasets::total_frames(&suite)
     );
 
-    let schemes = vec![
-        ("MDNet".to_string(), BackendConfig::baseline()),
-        ("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2))),
-        ("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))),
-        (
-            "EW-A".to_string(),
+    let report = Scenario::builder(TrackerTask::new(calib::mdnet()))
+        .suite(suite.clone())
+        .scheme("MDNet", BackendConfig::baseline())
+        .scheme("EW-2", BackendConfig::new(EwPolicy::Constant(2)))
+        .scheme("EW-4", BackendConfig::new(EwPolicy::Constant(4)))
+        .scheme(
+            "EW-A",
             BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
-        ),
-    ];
-    let results = evaluate_suite(
-        &suite,
-        &MotionConfig::default(),
-        &schemes,
-        |prep, stream, cfg| run_tracking(prep, calib::mdnet(), cfg, stream),
-    )?;
+        )
+        .build()?
+        .evaluate()?;
 
     // Per-attribute success (Fig. 12-style view).
     let mut table = Table::new(["attribute", "MDNet", "EW-2", "EW-4", "EW-A"])
@@ -48,7 +44,7 @@ fn main() -> euphrates::common::Result<()> {
     for (si, seq) in suite.iter().enumerate() {
         let attr = seq.attributes[0].to_string();
         let entry = per_attr.entry(attr).or_insert_with(|| vec![0.0; 8]);
-        for (ri, r) in results.iter().enumerate() {
+        for (ri, r) in report.iter().enumerate() {
             let o = &r.per_sequence[si];
             let hits = o.ious.iter().filter(|&&i| i >= 0.5).count();
             entry[ri * 2] += hits as f64;
@@ -67,11 +63,11 @@ fn main() -> euphrates::common::Result<()> {
     }
     println!("{table}");
 
-    let mut summary = Table::new(["scheme", "success@0.5", "AUC", "inference rate"])
-        .with_title("Overall");
-    for r in &results {
+    let mut summary =
+        Table::new(["scheme", "success@0.5", "AUC", "inference rate"]).with_title("Overall");
+    for r in &report {
         summary.row([
-            r.label.clone(),
+            r.label().to_string(),
             percent(r.rate_at_05()),
             percent(r.accuracy().auc()),
             percent(r.outcome.inference_rate()),

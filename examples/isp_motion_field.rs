@@ -73,8 +73,12 @@ fn main() -> euphrates::common::Result<()> {
     );
     println!(
         "ISP motion-estimation cost at this resolution: {} ops/frame (TSS)",
-        euphrates::isp::motion::BlockMatcher::new(16, 7, euphrates::isp::SearchStrategy::ThreeStep)?
-            .ops_per_frame(res)
+        euphrates::isp::motion::BlockMatcher::new(
+            16,
+            7,
+            euphrates::isp::SearchStrategy::ThreeStep
+        )?
+        .ops_per_frame(res)
     );
     Ok(())
 }

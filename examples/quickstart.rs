@@ -19,25 +19,22 @@ fn main() -> euphrates::common::Result<()> {
         euphrates::datasets::total_frames(&suite)
     );
 
-    // 2. Functional accuracy: baseline (inference every frame) vs. EW-4.
-    let schemes = vec![
-        ("MDNet".to_string(), BackendConfig::baseline()),
-        ("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4))),
-        (
-            "EW-A".to_string(),
+    // 2. One scenario: the MDNet-class tracker over baseline (inference
+    //    every frame), EW-4, and the adaptive policy, with the Table 1
+    //    platform evaluating MDNet's energy/FPS at each measured window.
+    let report = Scenario::builder(TrackerTask::new(calib::mdnet()))
+        .suite(suite)
+        .network(zoo::mdnet())
+        .scheme("MDNet", BackendConfig::baseline())
+        .scheme("EW-4", BackendConfig::new(EwPolicy::Constant(4)))
+        .scheme(
+            "EW-A",
             BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
-        ),
-    ];
-    let results = evaluate_suite(
-        &suite,
-        &MotionConfig::default(),
-        &schemes,
-        |prep, stream, cfg| run_tracking(prep, calib::mdnet(), cfg, stream),
-    )?;
+        )
+        .build()?
+        .evaluate()?;
 
-    // 3. SoC energy/FPS at the Table 1 operating point (1080p60).
-    let system = SystemModel::table1();
-    let net = zoo::mdnet();
+    // 3. Accuracy, schedule, energy, and throughput from one report.
     let mut table = Table::new([
         "scheme",
         "success@0.5",
@@ -47,14 +44,15 @@ fn main() -> euphrates::common::Result<()> {
         "fps",
     ])
     .with_title("Euphrates quickstart — MDNet tracking");
-    let baseline_energy = system
-        .evaluate(&net, 1.0, ExtrapolationExecutor::MotionController)?
+    let baseline_energy = report.schemes[0]
+        .system
+        .as_ref()
+        .expect("scenario has a network")
         .energy_per_frame();
-    for r in &results {
-        let window = r.outcome.mean_window();
-        let soc = system.evaluate(&net, window, ExtrapolationExecutor::MotionController)?;
+    for r in &report {
+        let soc = r.system.as_ref().expect("scenario has a network");
         table.row([
-            r.label.clone(),
+            r.label().to_string(),
             percent(r.rate_at_05()),
             percent(r.outcome.inference_rate()),
             format!("{}", soc.energy_per_frame()),

@@ -39,7 +39,12 @@ fn main() -> euphrates::common::Result<()> {
     let (_, trace) = run_vision_pipeline(timings(4), 8, true);
     println!("event timeline (EW-4, first 8 captured frames):");
     for entry in trace.iter().take(28) {
-        println!("  [{:>12}] {:<7} {}", entry.time.to_string(), entry.component, entry.message);
+        println!(
+            "  [{:>12}] {:<7} {}",
+            entry.time.to_string(),
+            entry.component,
+            entry.message
+        );
     }
     println!();
 
@@ -59,7 +64,11 @@ fn main() -> euphrates::common::Result<()> {
     // Energy ledger per frame at each window.
     println!("per-frame energy ledger (analytical model):");
     for window in [1.0, 2.0, 4.0, 8.0] {
-        let report = system.evaluate(&zoo::yolov2(), window, ExtrapolationExecutor::MotionController)?;
+        let report = system.evaluate(
+            &zoo::yolov2(),
+            window,
+            ExtrapolationExecutor::MotionController,
+        )?;
         let b = report.breakdown();
         println!(
             "  EW-{window:<3} frontend {:>9}  memory {:>9}  backend {:>9}  total {:>9}  @ {:4.1} FPS",

@@ -40,7 +40,12 @@ fn shaky_scene(shake: f64, seed: u64) -> euphrates::camera::scene::Scene {
         .object(SceneObject {
             id: 0,
             label: 1,
-            sprite: Sprite::rigid(56.0, 48.0, Shape::Rectangle, Texture::object_noise(seed + 9)),
+            sprite: Sprite::rigid(
+                56.0,
+                48.0,
+                Shape::Rectangle,
+                Texture::object_noise(seed + 9),
+            ),
             trajectory: Trajectory::Sinusoid {
                 center: Vec2f::new(160.0, 120.0),
                 amplitude: Vec2f::new(70.0, 40.0),

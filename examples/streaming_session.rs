@@ -1,0 +1,60 @@
+//! Streaming serving path: frames arrive one at a time and the
+//! `Session` applies the I/E-frame policy incrementally, emitting a
+//! `FrameDecision` per frame — the shape an online serving system
+//! consumes (no pre-rendered suite, no offline batch).
+//!
+//! Also demonstrates the equivalence guarantee: the streamed outcome
+//! bit-matches the offline `run_task` over the same frames.
+//!
+//! ```text
+//! cargo run --release --example streaming_session
+//! ```
+
+use euphrates::core::prelude::*;
+use euphrates::nn::oracle::calib;
+
+fn main() -> euphrates::common::Result<()> {
+    // A single sequence, prepared up front here only to simulate a frame
+    // source; a real deployment would feed ISP output directly.
+    let mut suite = euphrates::datasets::otb100_like(7, DatasetScale::fraction(0.1));
+    suite.truncate(1);
+    suite[0].frames = 24;
+    let prep = prepare_sequence(&suite[0], &MotionConfig::default())?;
+
+    let task = TrackerTask::new(calib::mdnet());
+    let config = BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default()));
+    let mut session = Session::new(task, config, prep.resolution, 0)?;
+
+    println!(
+        "streaming {} frames through an adaptive-EW session:\n",
+        prep.len()
+    );
+    println!("frame  kind           ROIs  datapath cyc  policy feedback");
+    for frame in &prep.frames {
+        let d = session.push_frame(frame)?;
+        println!(
+            "{:>5}  {:<13} {:>4}  {:>12}  {}",
+            d.frame,
+            format!("{:?}", d.kind),
+            d.rois,
+            d.datapath_cycles.0,
+            d.policy_feedback
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    let streamed = session.finish();
+    println!(
+        "\nstreamed: {} frames, {} inferences ({:.1}% rate)",
+        streamed.frames,
+        streamed.inferences,
+        streamed.inference_rate() * 100.0
+    );
+
+    // The offline path is built on the same per-frame scheduler, so the
+    // outcomes are bit-identical.
+    let offline = run_task(TrackerTask::new(calib::mdnet()), &prep, &config, 0)?;
+    assert_eq!(streamed, offline);
+    println!("offline re-run is bit-identical: OK");
+    Ok(())
+}

@@ -26,23 +26,63 @@
 //!
 //! ## Quickstart
 //!
+//! Describe an experiment with the [`Scenario`][core::api::Scenario]
+//! builder and evaluate it to a report carrying accuracy, energy, FPS,
+//! and DRAM traffic together:
+//!
 //! ```
 //! use euphrates::core::prelude::*;
-//! use euphrates::nn::zoo;
+//! use euphrates::nn::{oracle::calib, zoo};
 //!
 //! # fn main() -> euphrates::common::Result<()> {
-//! // Energy/FPS at the Table 1 operating point:
-//! let system = SystemModel::table1();
-//! let baseline = system.evaluate(&zoo::yolov2(), 1.0, ExtrapolationExecutor::MotionController)?;
-//! let ew4 = system.evaluate(&zoo::yolov2(), 4.0, ExtrapolationExecutor::MotionController)?;
-//! assert!(ew4.fps > 3.0 * baseline.fps);       // ~17 -> 60 FPS
-//! assert!(ew4.energy_per_frame() < baseline.energy_per_frame() * 0.45);
+//! let mut suite = euphrates::datasets::otb100_like(42, DatasetScale::fraction(0.1));
+//! suite.truncate(2);
+//! for s in &mut suite { s.frames = 40; }
+//!
+//! let report = Scenario::builder(TrackerTask::new(calib::mdnet()))
+//!     .suite(suite)
+//!     .network(zoo::mdnet())
+//!     .scheme("MDNet", BackendConfig::baseline())
+//!     .scheme("EW-4", BackendConfig::new(EwPolicy::Constant(4)))
+//!     .build()?
+//!     .evaluate()?;
+//! let (base, ew4) = (report.get("MDNet").unwrap(), report.get("EW-4").unwrap());
+//! assert!(ew4.outcome.inference_rate() < 0.3); // 3 of 4 inferences replaced
+//! let (base_sys, ew4_sys) = (base.system.as_ref().unwrap(), ew4.system.as_ref().unwrap());
+//! assert!(ew4_sys.energy_per_frame() < base_sys.energy_per_frame());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For online serving, the same schedule runs frame by frame through a
+//! [`Session`][core::api::Session]:
+//!
+//! ```no_run
+//! use euphrates::core::prelude::*;
+//! use euphrates::nn::oracle::calib;
+//! # fn frames() -> Vec<FrameData> { vec![] }
+//!
+//! # fn main() -> euphrates::common::Result<()> {
+//! let task = TrackerTask::new(calib::mdnet());
+//! let config = BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default()));
+//! let mut session = Session::new(task, config, euphrates::common::image::Resolution::VGA, 0)?;
+//! for frame in &frames() {
+//!     let decision = session.push_frame(frame)?;
+//!     println!("frame {}: {:?}, {} ROIs", decision.frame, decision.kind, decision.rois);
+//! }
 //! # Ok(())
 //! # }
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/benches/` for the per-figure reproduction harness.
+//!
+//! ## Environment
+//!
+//! * `EUPHRATES_SCALE` — dataset scale (0–1) for examples and benches.
+//! * `EUPHRATES_THREADS` — evaluation worker-thread count override
+//!   (positive integer, capped at 16; results are thread-count
+//!   independent).
 
 pub use euphrates_camera as camera;
 pub use euphrates_common as common;

@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: the full camera → ISP → motion
-//! controller → oracle pipeline, exercised end to end at small scale.
+//! controller → oracle pipeline, exercised end to end at small scale
+//! through the `Scenario` API.
 
 use euphrates::core::prelude::*;
 use euphrates::nn::oracle::calib;
@@ -13,24 +14,34 @@ fn tracking_suite(seed: u64, n: usize, frames: u32) -> Vec<Sequence> {
     suite
 }
 
-fn run_schemes(
-    suite: &[Sequence],
-    schemes: &[(String, BackendConfig)],
-) -> Vec<euphrates::core::SuiteOutcome> {
-    evaluate_suite(suite, &MotionConfig::default(), schemes, |prep, stream, cfg| {
-        run_tracking(prep, calib::mdnet(), cfg, stream)
-    })
-    .expect("evaluation succeeds")
+fn run_schemes(suite: &[Sequence], schemes: Vec<SchemeSpec>) -> Vec<SchemeResult> {
+    Scenario::builder(TrackerTask::new(calib::mdnet()))
+        .suite(suite.to_vec())
+        .schemes(schemes)
+        .build()
+        .expect("scheme registry is valid")
+        .evaluate()
+        .expect("evaluation succeeds")
+        .schemes
+}
+
+fn spec(id: &str, backend: BackendConfig) -> SchemeSpec {
+    SchemeSpec::new(id, backend).expect("id is valid")
 }
 
 #[test]
 fn accuracy_declines_monotonically_with_window() {
     let suite = tracking_suite(11, 6, 72);
-    let schemes: Vec<(String, BackendConfig)> = [1u32, 2, 8, 32]
+    let schemes: Vec<SchemeSpec> = [1u32, 2, 8, 32]
         .iter()
-        .map(|&n| (format!("EW-{n}"), BackendConfig::new(EwPolicy::Constant(n))))
+        .map(|&n| {
+            spec(
+                &format!("EW-{n}"),
+                BackendConfig::new(EwPolicy::Constant(n)),
+            )
+        })
         .collect();
-    let results = run_schemes(&suite, &schemes);
+    let results = run_schemes(&suite, schemes);
     let rates: Vec<f64> = results.iter().map(|r| r.rate_at_05()).collect();
     // Allow small non-monotonic jitter between adjacent points but demand
     // the overall trend (baseline clearly above EW-32).
@@ -49,9 +60,9 @@ fn accuracy_declines_monotonically_with_window() {
 #[test]
 fn whole_pipeline_is_deterministic() {
     let suite = tracking_suite(13, 3, 48);
-    let schemes = vec![("EW-4".to_string(), BackendConfig::new(EwPolicy::Constant(4)))];
-    let a = run_schemes(&suite, &schemes);
-    let b = run_schemes(&suite, &schemes);
+    let schemes = vec![spec("EW-4", BackendConfig::new(EwPolicy::Constant(4)))];
+    let a = run_schemes(&suite, schemes.clone());
+    let b = run_schemes(&suite, schemes);
     assert_eq!(a[0].outcome, b[0].outcome);
     assert_eq!(a[0].per_sequence.len(), b[0].per_sequence.len());
 }
@@ -65,10 +76,7 @@ fn fixed_datapath_tracks_reference_closely() {
     reference.fixed_datapath = false;
     let results = run_schemes(
         &suite,
-        &[
-            ("fixed".to_string(), fixed),
-            ("reference".to_string(), reference),
-        ],
+        vec![spec("fixed", fixed), spec("reference", reference)],
     );
     let (f, r) = (results[0].rate_at_05(), results[1].rate_at_05());
     assert!(
@@ -85,11 +93,13 @@ fn adaptive_stays_within_window_bounds_and_beats_constant() {
         max_window: 8,
         ..AdaptiveConfig::default()
     }));
-    let schemes = vec![
-        ("EW-A".to_string(), adaptive),
-        ("EW-8".to_string(), BackendConfig::new(EwPolicy::Constant(8))),
-    ];
-    let results = run_schemes(&suite, &schemes);
+    let results = run_schemes(
+        &suite,
+        vec![
+            spec("EW-A", adaptive),
+            spec("EW-8", BackendConfig::new(EwPolicy::Constant(8))),
+        ],
+    );
     let a = &results[0];
     // Window bound 8 implies inference rate >= 1/8.
     assert!(
@@ -113,34 +123,44 @@ fn detection_and_tracking_share_the_frontend() {
     det_suite.truncate(1);
     det_suite[0].frames = 40;
     let prep = prepare_sequence(&det_suite[0], &MotionConfig::default()).unwrap();
-    let det = run_detection(&prep, calib::yolov2(), &BackendConfig::baseline(), 0).unwrap();
+    let det = run_task(
+        DetectorTask::new(calib::yolov2()),
+        &prep,
+        &BackendConfig::baseline(),
+        0,
+    )
+    .unwrap();
     assert!(det.frames == 40 && !det.ious.is_empty());
     // Tracking needs a frame-0 target, which the detection scene provides.
-    let track = run_tracking(&prep, calib::mdnet(), &BackendConfig::baseline(), 0).unwrap();
+    let track = run_task(
+        TrackerTask::new(calib::mdnet()),
+        &prep,
+        &BackendConfig::baseline(),
+        0,
+    )
+    .unwrap();
     assert_eq!(track.frames, 40);
 }
 
 #[test]
 fn full_isp_path_reaches_similar_accuracy() {
     let suite = tracking_suite(23, 2, 36);
-    let schemes = vec![("EW-2".to_string(), BackendConfig::new(EwPolicy::Constant(2)))];
-    let fast = evaluate_suite(
-        &suite,
-        &MotionConfig::default(),
-        &schemes,
-        |prep, stream, cfg| run_tracking(prep, calib::mdnet(), cfg, stream),
-    )
-    .unwrap();
-    let full = evaluate_suite(
-        &suite,
-        &MotionConfig {
-            full_isp: true,
-            ..MotionConfig::default()
-        },
-        &schemes,
-        |prep, stream, cfg| run_tracking(prep, calib::mdnet(), cfg, stream),
-    )
-    .unwrap();
+    let run_with = |motion: MotionConfig| -> Vec<SchemeResult> {
+        Scenario::builder(TrackerTask::new(calib::mdnet()))
+            .suite(suite.clone())
+            .motion(motion)
+            .scheme("EW-2", BackendConfig::new(EwPolicy::Constant(2)))
+            .build()
+            .expect("scheme registry is valid")
+            .evaluate()
+            .expect("evaluation succeeds")
+            .schemes
+    };
+    let fast = run_with(MotionConfig::default());
+    let full = run_with(MotionConfig {
+        full_isp: true,
+        ..MotionConfig::default()
+    });
     let (a, b) = (fast[0].rate_at_05(), full[0].rate_at_05());
     assert!((a - b).abs() < 0.1, "fast path {a} vs full ISP {b}");
 }

@@ -4,7 +4,9 @@
 use euphrates::common::geom::{Rect, Vec2f};
 use euphrates::common::image::{LumaFrame, Resolution};
 use euphrates::isp::motion::{BlockMatcher, MotionField, SearchStrategy};
-use euphrates::mc::algorithm::{filter_mv, roi_average_motion, ExtrapolationConfig, Extrapolator, RoiState};
+use euphrates::mc::algorithm::{
+    filter_mv, roi_average_motion, ExtrapolationConfig, Extrapolator, RoiState,
+};
 use euphrates::mc::policy::{EwController, EwPolicy, FrameKind};
 use proptest::prelude::*;
 

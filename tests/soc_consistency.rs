@@ -47,7 +47,11 @@ fn energy_breakdown_sums_to_total() {
     let system = SystemModel::table1();
     for window in [1.0, 3.0, 16.0] {
         let r = system
-            .evaluate(&zoo::yolov2(), window, ExtrapolationExecutor::MotionController)
+            .evaluate(
+                &zoo::yolov2(),
+                window,
+                ExtrapolationExecutor::MotionController,
+            )
             .unwrap();
         let b = r.breakdown();
         assert!(
@@ -64,7 +68,11 @@ fn energy_decreases_monotonically_with_window() {
     let mut last = f64::INFINITY;
     for window in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
         let e = system
-            .evaluate(&zoo::yolov2(), window, ExtrapolationExecutor::MotionController)
+            .evaluate(
+                &zoo::yolov2(),
+                window,
+                ExtrapolationExecutor::MotionController,
+            )
             .unwrap()
             .energy_per_frame()
             .0;
@@ -111,7 +119,10 @@ fn tracking_headline_results_hold() {
         .unwrap();
     assert!(base.fps > 59.0 && ew2.fps > 59.0);
     let saving = 1.0 - ew2.energy_per_frame().0 / base.energy_per_frame().0;
-    assert!((0.12..0.32).contains(&saving), "EW-2 tracking saving {saving}");
+    assert!(
+        (0.12..0.32).contains(&saving),
+        "EW-2 tracking saving {saving}"
+    );
 }
 
 #[test]
