@@ -4,10 +4,10 @@
 //! when sizing full-scale (EUPHRATES_SCALE=1.0) runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use euphrates_bench::textured_luma;
 use euphrates_camera::scene::SceneBuilder;
 use euphrates_common::geom::Rect;
-use euphrates_common::image::{LumaFrame, Resolution};
-use euphrates_common::rngx;
+use euphrates_common::image::Resolution;
 use euphrates_isp::motion::{BlockMatcher, SearchStrategy};
 use euphrates_mc::algorithm::{Extrapolator, RoiState};
 use euphrates_mc::datapath::SimdDatapath;
@@ -16,37 +16,28 @@ use euphrates_nn::systolic::SystolicModel;
 use euphrates_nn::zoo;
 use std::hint::black_box;
 
-fn textured(width: u32, height: u32, seed: u64, shift: i64) -> LumaFrame {
-    let mut f = LumaFrame::new(width, height).unwrap();
-    for y in 0..height {
-        for x in 0..width {
-            let v = (rngx::lattice_hash(seed, (i64::from(x) - shift) / 3, i64::from(y) / 3) * 255.0)
-                as u8;
-            f.set(x, y, v);
-        }
-    }
-    f
-}
-
 fn bench_block_matching(c: &mut Criterion) {
-    let prev = textured(640, 480, 1, 0);
-    let cur = textured(640, 480, 1, 4);
-    let tss = BlockMatcher::new(16, 7, SearchStrategy::ThreeStep).unwrap();
-    let es = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+    let prev = textured_luma(640, 480, 1, 0);
+    let cur = textured_luma(640, 480, 1, 4);
     let mut g = c.benchmark_group("block_matching_vga");
     g.sample_size(20);
-    g.bench_function("tss", |b| {
-        b.iter(|| black_box(tss.estimate(&cur, &prev).unwrap()))
-    });
-    g.bench_function("exhaustive", |b| {
-        b.iter(|| black_box(es.estimate(&cur, &prev).unwrap()))
+    for strategy in SearchStrategy::BUILTIN {
+        let m = BlockMatcher::new(16, 7, strategy).unwrap();
+        g.bench_function(strategy.name(), |b| {
+            b.iter(|| black_box(m.estimate(&cur, &prev).unwrap()))
+        });
+    }
+    let tss = BlockMatcher::new(16, 7, SearchStrategy::ThreeStep).unwrap();
+    let threads = euphrates_core::eval::default_threads();
+    g.bench_function("three-step-parallel", |b| {
+        b.iter(|| black_box(tss.estimate_parallel(&cur, &prev, threads).unwrap()))
     });
     g.finish();
 }
 
 fn bench_extrapolation(c: &mut Criterion) {
-    let prev = textured(640, 480, 2, 0);
-    let cur = textured(640, 480, 2, 3);
+    let prev = textured_luma(640, 480, 2, 0);
+    let cur = textured_luma(640, 480, 2, 3);
     let field = BlockMatcher::new(16, 7, SearchStrategy::ThreeStep)
         .unwrap()
         .estimate(&cur, &prev)

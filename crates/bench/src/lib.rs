@@ -15,6 +15,8 @@
 //! (~76k frames). Worker-thread count follows `EUPHRATES_THREADS` (see
 //! `euphrates_core::eval::default_threads`).
 
+use euphrates_common::image::LumaFrame;
+use euphrates_common::rngx;
 use euphrates_core::prelude::*;
 use euphrates_nn::oracle::{DetectorProfile, TrackerProfile};
 
@@ -33,6 +35,22 @@ pub fn announce(experiment: &str, paper_ref: &str) -> DatasetScale {
     );
     println!("==========================================================");
     scale
+}
+
+/// A deterministic lattice-textured luma frame (content block matching
+/// can lock onto), with its texture shifted right by `shift` pixels —
+/// the one workload generator shared by the kernel micro-benches, so
+/// cross-bench numbers compare like for like.
+pub fn textured_luma(width: u32, height: u32, seed: u64, shift: i64) -> LumaFrame {
+    let mut f = LumaFrame::new(width, height).expect("positive bench dimensions");
+    for y in 0..height {
+        for x in 0..width {
+            let v = (rngx::lattice_hash(seed, (i64::from(x) - shift) / 4, i64::from(y) / 4) * 255.0)
+                as u8;
+            f.set(x, y, v);
+        }
+    }
+    f
 }
 
 /// The EW scheme sweep used across the figures.

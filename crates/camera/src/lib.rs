@@ -40,5 +40,5 @@ pub mod texture;
 pub mod trajectory;
 
 pub use imu::{ImuConfig, ImuReading, ImuSensor};
-pub use scene::{GtObject, RenderedFrame, Scene, SceneBuilder, SceneEffects};
+pub use scene::{FrameIter, GtObject, RenderedFrame, Scene, SceneBuilder, SceneEffects};
 pub use sensor::{ImageSensor, SensorConfig};

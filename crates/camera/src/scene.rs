@@ -201,6 +201,18 @@ impl Scene {
         Renderer::new(self)
     }
 
+    /// Lazily renders frames `range`, one per `next()` call, borrowing
+    /// the scene (no clone) and sharing one cached background canvas —
+    /// the streaming front-end's way to consume a scene in O(1 frame) of
+    /// memory.
+    pub fn frames(&self, range: std::ops::Range<u32>) -> FrameIter<'_> {
+        FrameIter {
+            renderer: self.renderer(),
+            next: range.start,
+            end: range.end,
+        }
+    }
+
     /// Computes ground truth at frame `t` without rendering pixels
     /// (cheap; used by oracles and dataset statistics).
     pub fn ground_truth(&self, frame: u32) -> Vec<GtObject> {
@@ -439,6 +451,35 @@ impl<'a> Renderer<'a> {
     }
 }
 
+/// A lazy frame stream over one scene: each `next()` renders one frame
+/// (pixels + ground truth). Created by [`Scene::frames`].
+#[derive(Debug)]
+pub struct FrameIter<'a> {
+    renderer: Renderer<'a>,
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for FrameIter<'_> {
+    type Item = RenderedFrame;
+
+    fn next(&mut self) -> Option<RenderedFrame> {
+        if self.next >= self.end {
+            return None;
+        }
+        let frame = self.renderer.render(self.next);
+        self.next += 1;
+        Some(frame)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end.saturating_sub(self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for FrameIter<'_> {}
+
 /// Builder for [`Scene`] (C-BUILDER).
 #[derive(Debug, Clone)]
 pub struct SceneBuilder {
@@ -554,6 +595,23 @@ mod tests {
         let b = scene.renderer().render(5);
         assert_eq!(a.rgb, b.rgb);
         assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn frame_iter_matches_direct_rendering() {
+        let scene = small_scene();
+        let mut direct = scene.renderer();
+        let iter = scene.frames(2..6);
+        assert_eq!(iter.len(), 4);
+        let mut count = 0;
+        for frame in iter {
+            let expected = direct.render(frame.index);
+            assert_eq!(frame.rgb, expected.rgb, "frame {}", frame.index);
+            assert_eq!(frame.truth, expected.truth, "frame {}", frame.index);
+            count += 1;
+        }
+        assert_eq!(count, 4);
+        assert_eq!(scene.frames(3..3).count(), 0, "empty range yields nothing");
     }
 
     #[test]

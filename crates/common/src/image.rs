@@ -225,6 +225,27 @@ pub fn rgb_to_luma(rgb: &RgbFrame) -> LumaFrame {
     out
 }
 
+/// Downsamples a luma plane by 2× in each dimension with a 2×2 box
+/// filter (odd trailing rows/columns are dropped). This is the pyramid
+/// level used by hierarchical motion search; frames smaller than 2×2 are
+/// returned as a 1×1 plane holding the corner sample.
+pub fn downsample2(src: &LumaFrame) -> LumaFrame {
+    let w = (src.width() / 2).max(1);
+    let h = (src.height() / 2).max(1);
+    let mut out = LumaFrame::new(w, h).expect("halved dimensions stay positive");
+    for y in 0..h {
+        for x in 0..w {
+            let (x0, y0) = (2 * x, 2 * y);
+            let sum = u16::from(src.at_clamped(i64::from(x0), i64::from(y0)))
+                + u16::from(src.at_clamped(i64::from(x0) + 1, i64::from(y0)))
+                + u16::from(src.at_clamped(i64::from(x0), i64::from(y0) + 1))
+                + u16::from(src.at_clamped(i64::from(x0) + 1, i64::from(y0) + 1));
+            out.set(x, y, ((sum + 2) / 4) as u8);
+        }
+    }
+    out
+}
+
 /// Frame resolution in pixels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Resolution {
@@ -337,6 +358,27 @@ mod tests {
         let luma = rgb_to_luma(&rgb);
         assert_eq!(luma.at(0, 0), Rgb::new(10, 20, 30).luma());
         assert_eq!(luma.at(1, 0), Rgb::new(200, 100, 50).luma());
+    }
+
+    #[test]
+    fn downsample2_box_filters_and_halves() {
+        let mut p = LumaFrame::new(4, 4).unwrap();
+        for y in 0..4 {
+            for x in 0..4 {
+                p.set(x, y, (y * 4 + x) as u8 * 10);
+            }
+        }
+        let d = downsample2(&p);
+        assert_eq!((d.width(), d.height()), (2, 2));
+        // Top-left 2x2 cell: (0 + 10 + 40 + 50 + 2) / 4 = 25.
+        assert_eq!(d.at(0, 0), 25);
+        // Odd dimensions drop the trailing row/column.
+        let odd = LumaFrame::new(5, 3).unwrap();
+        let d = downsample2(&odd);
+        assert_eq!((d.width(), d.height()), (2, 1));
+        // Degenerate 1x1 input stays 1x1.
+        let one = LumaFrame::new(1, 1).unwrap();
+        assert_eq!(downsample2(&one).len(), 1);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! ([`fixed::Q16`], [`fixed::Q32`]), image planes ([`image::LumaFrame`],
 //! [`image::RgbFrame`], [`image::BayerFrame`]), accuracy metrics
 //! ([`metrics`]), descriptive statistics ([`stats`]), physical-unit newtypes
-//! ([`units`]), and plain-text table rendering ([`table`]) used by the
-//! experiment harness.
+//! ([`units`]), deterministic parallel-execution plumbing ([`par`]), and
+//! plain-text table rendering ([`table`]) used by the experiment harness.
 //!
 //! Every other crate in the workspace depends on this one; it has no
 //! dependencies of its own outside the standard library.
@@ -26,6 +26,7 @@ pub mod fixed;
 pub mod geom;
 pub mod image;
 pub mod metrics;
+pub mod par;
 pub mod rngx;
 pub mod stats;
 pub mod table;

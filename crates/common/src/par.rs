@@ -1,0 +1,177 @@
+//! Deterministic parallel execution primitives shared across the
+//! workspace: a panic-safe ordered [`parallel_map`] and the single
+//! thread-sizing policy ([`default_threads`]).
+//!
+//! This lives in `euphrates-common` so both ends of the pipeline can use
+//! it — `euphrates-core` parallelizes the (sequence × scheme) evaluation
+//! grid, while `euphrates-isp` parallelizes macroblock rows inside one
+//! frame. Results are always independent of thread count and execution
+//! order: workers only decide *who* computes an item, never *what* the
+//! item's result is.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `threads` worker threads, preserving
+/// input order in the output.
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic is caught on the worker,
+/// remaining work is abandoned, and the panic is re-raised on the calling
+/// thread with the offending item's index prepended — one bad sequence
+/// reports *which* sequence instead of poisoning the result mutex and
+/// aborting opaquely.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let bailed = AtomicBool::new(false);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    // One coarse mutex over the slot vector: workers compute `f` outside
+    // the lock and only store under it, and `catch_unwind` guarantees no
+    // worker can panic while holding it.
+    let slots_mutex = Mutex::new(&mut slots);
+    let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if bailed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                    Ok(r) => {
+                        let mut guard = slots_mutex.lock().expect("slot store never poisons");
+                        guard[i] = Some(r);
+                    }
+                    Err(payload) => {
+                        bailed.store(true, Ordering::Relaxed);
+                        let mut guard = first_panic.lock().expect("panic store never poisons");
+                        // Keep the lowest item index for a deterministic
+                        // message when several workers fail at once.
+                        match *guard {
+                            Some((j, _)) if j <= i => {}
+                            _ => *guard = Some((i, payload)),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some((index, payload)) = first_panic.into_inner().expect("panic store never poisons") {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        panic!("parallel_map worker panicked on item {index}: {msg}");
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Hard ceiling on the worker-thread count (shared-runner etiquette).
+const MAX_THREADS: usize = 16;
+
+/// Default worker-thread count.
+///
+/// Honors the `EUPHRATES_THREADS` environment variable when it parses as
+/// a positive integer; otherwise the available parallelism. Both are
+/// capped at 16. This is the single thread-sizing policy for the whole
+/// workspace — call it instead of re-deriving a cap.
+pub fn default_threads() -> usize {
+    threads_from(
+        std::env::var("EUPHRATES_THREADS").ok().as_deref(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    )
+}
+
+/// The pure sizing rule behind [`default_threads`]: a parsed positive
+/// override wins, anything else falls back; both sides are capped.
+pub fn threads_from(var: Option<&str>, fallback: usize) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(fallback)
+        .min(MAX_THREADS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(&items, 8, |i, v| (i as u64) * 1000 + v);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_single_thread_fallback() {
+        let items = vec![1, 2, 3];
+        let out = parallel_map(&items, 1, |_, v| v * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        let empty: Vec<i32> = vec![];
+        assert!(parallel_map(&empty, 4, |_, v| *v).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_reports_panicking_item() {
+        let items: Vec<u32> = (0..32).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |_, v| {
+                if *v == 7 {
+                    panic!("sequence exploded");
+                }
+                *v
+            })
+        }))
+        .expect_err("worker panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted panic message");
+        assert!(msg.contains("item 7"), "missing index context: {msg}");
+        assert!(msg.contains("sequence exploded"), "missing payload: {msg}");
+    }
+
+    #[test]
+    fn thread_sizing_honors_override_and_caps() {
+        // The pure rule (no process-global env mutation: tests in this
+        // binary read the variable concurrently, and the harness may run
+        // with EUPHRATES_THREADS already set).
+        assert_eq!(threads_from(Some("2"), 8), 2);
+        assert_eq!(threads_from(Some(" 3 "), 8), 3, "whitespace is trimmed");
+        assert_eq!(threads_from(Some("99"), 8), 16, "override is capped");
+        assert_eq!(
+            threads_from(Some("not-a-number"), 8),
+            8,
+            "garbage falls back"
+        );
+        assert_eq!(threads_from(Some("0"), 8), 8, "zero falls back");
+        assert_eq!(threads_from(None, 8), 8);
+        assert_eq!(threads_from(None, 64), 16, "fallback is capped");
+        // The env-reading wrapper stays within the cap whatever the
+        // ambient environment says.
+        assert!((1..=16).contains(&default_threads()));
+    }
+}

@@ -27,7 +27,7 @@
 
 use crate::backend::{charge_sequencer, controller, BackendConfig, TaskOutcome};
 use crate::eval::{default_threads, parallel_map};
-use crate::frontend::{prepare_sequence, FrameData, MotionConfig, PreparedSequence};
+use crate::frontend::{FrameData, MotionConfig, PreparedCache, PreparedSequence};
 use crate::system::SystemModel;
 use euphrates_common::error::{Error, Result};
 use euphrates_common::geom::Rect;
@@ -306,6 +306,40 @@ pub fn run_task<T: VisionTask>(
     Ok(session.finish())
 }
 
+/// Runs `task` over a streaming frame source (e.g.
+/// [`frame_source`][crate::frontend::frame_source]) without materializing
+/// the sequence: every frame is pushed through a [`Session`] as it is
+/// produced, so memory stays O(1 frame). The outcome bit-matches
+/// [`run_task`] over the eagerly prepared equivalent.
+///
+/// # Errors
+///
+/// Rejects empty streams and invalid policies, and propagates frame
+/// production and task initialization errors.
+pub fn run_stream<T, I>(
+    task: T,
+    resolution: Resolution,
+    frames: I,
+    config: &BackendConfig,
+    stream: u64,
+) -> Result<TaskOutcome>
+where
+    T: VisionTask,
+    I: IntoIterator<Item = Result<FrameData>>,
+{
+    let name = task.name();
+    let mut session = Session::new(task, *config, resolution, stream)?;
+    for frame in frames {
+        session.push_frame(&frame?)?;
+    }
+    if session.frames() == 0 {
+        return Err(Error::config(format!(
+            "cannot run {name} on an empty frame stream"
+        )));
+    }
+    Ok(session.finish())
+}
+
 // ---------------------------------------------------------------------------
 // Scheme registry
 // ---------------------------------------------------------------------------
@@ -433,7 +467,7 @@ impl<T: VisionTask> ScenarioBuilder<T> {
     }
 
     /// Overrides the worker-thread count (default:
-    /// [`default_threads`][crate::eval::default_threads], which honors
+    /// [`default_threads`], which honors
     /// `EUPHRATES_THREADS`).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
@@ -562,15 +596,21 @@ impl<T: VisionTask> Scenario<T> {
         Session::new(self.task.clone(), spec.backend, resolution, stream)
     }
 
-    /// Evaluates every scheme over the whole suite, rendering each
-    /// sequence once and running schemes against the shared prepared
-    /// frames, in parallel across sequences.
+    /// Evaluates every scheme over the whole suite, parallelizing the
+    /// full *(sequence × scheme)* grid: with `S` sequences and `K`
+    /// schemes there are `S·K` independent work units, so threads stay
+    /// busy even when the suite is shorter than the pool (each sequence
+    /// used to run its schemes serially). Each sequence is rendered and
+    /// motion-estimated once — the first worker to need it prepares it
+    /// through a [`PreparedCache`] keyed on the scenario's
+    /// [`MotionConfig`], and the last scheme to finish a sequence drops
+    /// its frames, bounding peak memory by the sequences in flight.
     ///
     /// # Errors
     ///
     /// Rejects an empty suite (a scenario without sequences can only
     /// serve streaming [`Session`]s) and propagates preparation and task
-    /// errors (the first encountered).
+    /// errors (the first encountered, in grid order).
     pub fn evaluate(&self) -> Result<EvalReport>
     where
         T: Clone + Sync,
@@ -581,13 +621,24 @@ impl<T: VisionTask> Scenario<T> {
             ));
         }
         let threads = self.threads.unwrap_or_else(default_threads);
-        let per_sequence: Vec<Result<Vec<TaskOutcome>>> =
-            parallel_map(&self.suite, threads, |i, seq| {
-                let prep = prepare_sequence(seq, &self.motion)?;
-                self.schemes
-                    .iter()
-                    .map(|spec| run_task(self.task.clone(), &prep, &spec.backend, i as u64))
-                    .collect()
+        let cache = PreparedCache::new(&self.suite, self.motion, self.schemes.len());
+        // Sequence-major grid order keeps all of one sequence's schemes
+        // adjacent, so the cache drains sequences promptly.
+        let grid: Vec<(usize, usize)> = (0..self.suite.len())
+            .flat_map(|si| (0..self.schemes.len()).map(move |ki| (si, ki)))
+            .collect();
+        let cell_results: Vec<Result<TaskOutcome>> =
+            parallel_map(&grid, threads, |_, &(si, ki)| {
+                let result = cache.get(si).and_then(|prep| {
+                    run_task(
+                        self.task.clone(),
+                        &prep,
+                        &self.schemes[ki].backend,
+                        si as u64,
+                    )
+                });
+                cache.finish(si);
+                result
             });
         // Transpose the owned sequence-major outcomes into scheme-major
         // vectors without cloning the per-frame IoU data.
@@ -596,10 +647,8 @@ impl<T: VisionTask> Scenario<T> {
             .iter()
             .map(|_| Vec::with_capacity(self.suite.len()))
             .collect();
-        for r in per_sequence {
-            for (si, outcome) in r?.into_iter().enumerate() {
-                per_scheme[si].push(outcome);
-            }
+        for (cell, result) in grid.into_iter().zip(cell_results) {
+            per_scheme[cell.1].push(result?);
         }
 
         let mut results = Vec::with_capacity(self.schemes.len());

@@ -1,7 +1,15 @@
 //! Frontend execution: turning a dataset sequence into per-frame ground
 //! truth + motion metadata, the inputs the Euphrates backend consumes.
 //!
-//! Two paths produce identical *kinds* of data:
+//! The frontend is *streaming*: [`frame_source`] returns an iterator that
+//! renders, (optionally) sensor-models, and block-matches one frame at a
+//! time, holding O(1 frame) of state — exactly the shape a serving
+//! [`Session`][crate::api::Session] needs. The eager [`prepare_sequence`]
+//! is a thin `collect()` over the same iterator, so the two paths are
+//! bit-identical by construction; batch evaluation keeps using it through
+//! the sharing [`PreparedCache`].
+//!
+//! Two configurations produce identical *kinds* of data:
 //!
 //! * [`MotionConfig::full_isp`] = `false` (default for large evaluations):
 //!   the rendered RGB frames are converted to luma and block-matched
@@ -16,20 +24,28 @@
 
 use euphrates_camera::scene::GtObject;
 use euphrates_camera::sensor::{ImageSensor, SensorConfig};
-use euphrates_common::error::Result;
-use euphrates_common::image::{rgb_to_luma, Resolution};
-use euphrates_datasets::Sequence;
+use euphrates_common::error::{Error, Result};
+use euphrates_common::image::{rgb_to_luma, LumaFrame, Resolution};
+use euphrates_datasets::{FrameIter, Sequence};
 use euphrates_isp::motion::{BlockMatcher, MotionField, SearchStrategy};
 use euphrates_isp::pipeline::{IspConfig, IspPipeline};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Motion-estimation configuration for an evaluation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq + Hash` so prepared-frame caches can key on it (see
+/// [`PreparedCache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MotionConfig {
     /// Macroblock size (paper default 16).
     pub mb_size: u32,
     /// Search range `d` (paper default 7).
     pub search_range: u32,
-    /// Block-matching strategy (paper default TSS).
+    /// Block-matching strategy (paper default TSS). Any
+    /// [`MotionSearch`][euphrates_isp::motion::MotionSearch] engine
+    /// registered via
+    /// [`register_search`][euphrates_isp::motion::register_search] can be
+    /// named here with [`SearchStrategy::Custom`].
     pub strategy: SearchStrategy,
     /// Run the full sensor + ISP pipeline instead of the fast luma path.
     pub full_isp: bool,
@@ -78,18 +94,96 @@ impl PreparedSequence {
     }
 }
 
-/// Renders a sequence and runs motion estimation on it.
+/// The streaming frontend: renders and motion-estimates one frame per
+/// `next()` call, holding only the previous luma plane (fast path) or the
+/// ISP's temporal state (full path) between frames.
+///
+/// Created by [`frame_source`]; consumed by
+/// [`run_stream`][crate::api::run_stream], a
+/// [`Session`][crate::api::Session] feeding loop, or `collect()`ed by
+/// [`prepare_sequence`].
+pub struct FrameSource<'a> {
+    frames: FrameIter<'a>,
+    resolution: Resolution,
+    state: SourceState,
+}
+
+enum SourceState {
+    /// Fast path: luma-domain block matching against the previous frame.
+    Luma {
+        matcher: BlockMatcher,
+        config: MotionConfig,
+        prev_luma: Option<LumaFrame>,
+    },
+    /// Full path: sensor capture + complete ISP per frame.
+    FullIsp {
+        sensor: ImageSensor,
+        isp: Box<IspPipeline>,
+    },
+}
+
+impl FrameSource<'_> {
+    /// Frame resolution of the stream.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+}
+
+impl Iterator for FrameSource<'_> {
+    type Item = Result<FrameData>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let rendered = self.frames.next()?;
+        let produce = |state: &mut SourceState| -> Result<FrameData> {
+            match state {
+                SourceState::Luma {
+                    matcher,
+                    config,
+                    prev_luma,
+                } => {
+                    let luma = rgb_to_luma(&rendered.rgb);
+                    let motion = match prev_luma {
+                        Some(prev) => matcher.estimate(&luma, prev)?,
+                        None => MotionField::zeroed(
+                            Resolution::new(luma.width(), luma.height()),
+                            config.mb_size,
+                            config.search_range,
+                        )?,
+                    };
+                    *prev_luma = Some(luma);
+                    Ok(FrameData {
+                        truth: rendered.truth,
+                        motion,
+                    })
+                }
+                SourceState::FullIsp { sensor, isp } => {
+                    let raw = sensor.capture(&rendered.rgb, rendered.index)?;
+                    let out = isp.process(&raw)?;
+                    Ok(FrameData {
+                        truth: rendered.truth,
+                        motion: out.motion,
+                    })
+                }
+            }
+        };
+        Some(produce(&mut self.state))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.frames.size_hint()
+    }
+}
+
+/// Opens a streaming frame source over `seq`: frames are rendered and
+/// motion-estimated lazily, one per `next()`, without materializing the
+/// sequence. The scene is borrowed, not cloned.
 ///
 /// # Errors
 ///
 /// Propagates invalid motion-estimation configurations and ISP errors.
-pub fn prepare_sequence(seq: &Sequence, config: &MotionConfig) -> Result<PreparedSequence> {
-    let matcher = BlockMatcher::new(config.mb_size, config.search_range, config.strategy)?;
+pub fn frame_source<'a>(seq: &'a Sequence, config: &MotionConfig) -> Result<FrameSource<'a>> {
     let res = seq.resolution();
-    let mut frames = Vec::with_capacity(seq.frames as usize);
-    let mut renderer = seq.scene.renderer();
-
-    if config.full_isp {
+    let state = if config.full_isp {
         let sensor = ImageSensor::new(
             SensorConfig {
                 resolution: res,
@@ -101,43 +195,186 @@ pub fn prepare_sequence(seq: &Sequence, config: &MotionConfig) -> Result<Prepare
         isp_cfg.mb_size = config.mb_size;
         isp_cfg.search_range = config.search_range;
         isp_cfg.strategy = config.strategy;
-        let mut isp = IspPipeline::new(isp_cfg)?;
-        for i in 0..seq.frames {
-            let rendered = renderer.render(i);
-            let raw = sensor.capture(&rendered.rgb, i)?;
-            let out = isp.process(&raw)?;
-            frames.push(FrameData {
-                truth: rendered.truth,
-                motion: out.motion,
-            });
+        SourceState::FullIsp {
+            sensor,
+            isp: Box::new(IspPipeline::new(isp_cfg)?),
         }
     } else {
-        let mut prev_luma = None;
-        for i in 0..seq.frames {
-            let rendered = renderer.render(i);
-            let luma = rgb_to_luma(&rendered.rgb);
-            let motion = match &prev_luma {
-                Some(prev) => matcher.estimate(&luma, prev)?,
-                None => MotionField::zeroed(res, config.mb_size, config.search_range)?,
-            };
-            prev_luma = Some(luma);
-            frames.push(FrameData {
-                truth: rendered.truth,
-                motion,
-            });
+        SourceState::Luma {
+            matcher: BlockMatcher::new(config.mb_size, config.search_range, config.strategy)?,
+            config: *config,
+            prev_luma: None,
+        }
+    };
+    Ok(FrameSource {
+        frames: seq.render_iter(),
+        resolution: res,
+        state,
+    })
+}
+
+/// Renders a sequence and runs motion estimation on it, eagerly — a
+/// `collect()` over [`frame_source`], so the result is bit-identical to
+/// the streaming path.
+///
+/// # Errors
+///
+/// Propagates invalid motion-estimation configurations and ISP errors.
+pub fn prepare_sequence(seq: &Sequence, config: &MotionConfig) -> Result<PreparedSequence> {
+    let source = frame_source(seq, config)?;
+    let resolution = source.resolution();
+    let frames = source.collect::<Result<Vec<FrameData>>>()?;
+    Ok(PreparedSequence {
+        name: seq.name.clone(),
+        resolution,
+        frames,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// PreparedCache
+// ---------------------------------------------------------------------------
+
+/// A blocking, self-evicting cache of prepared sequences shared by the
+/// (sequence × scheme) evaluation grid, keyed on the [`MotionConfig`]
+/// that prepared them.
+///
+/// The first worker to [`get`][PreparedCache::get] a sequence prepares
+/// it; concurrent getters block until it is ready and then share the
+/// `Arc`. Each of the `uses_per_sequence` users calls
+/// [`finish`][PreparedCache::finish] when done; the last one drops the
+/// frames, so peak memory is bounded by the sequences currently in
+/// flight, not the whole suite.
+pub struct PreparedCache<'a> {
+    suite: &'a [Sequence],
+    motion: MotionConfig,
+    uses_per_sequence: usize,
+    slots: Vec<Slot>,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+enum SlotState {
+    /// Not yet requested.
+    Empty,
+    /// A worker is preparing the sequence; others wait on the condvar.
+    Building,
+    /// Prepared; the count tracks outstanding `finish` calls.
+    Ready(Arc<PreparedSequence>, usize),
+    /// Preparation failed; every user observes the same error.
+    Failed(Error),
+    /// All users finished; frames are dropped.
+    Drained,
+}
+
+impl<'a> PreparedCache<'a> {
+    /// Creates a cache over `suite` where each sequence will be fetched
+    /// (and finished) exactly `uses_per_sequence` times — one per scheme
+    /// in the evaluation grid.
+    pub fn new(suite: &'a [Sequence], motion: MotionConfig, uses_per_sequence: usize) -> Self {
+        PreparedCache {
+            suite,
+            motion,
+            uses_per_sequence: uses_per_sequence.max(1),
+            slots: (0..suite.len())
+                .map(|_| Slot {
+                    state: Mutex::new(SlotState::Empty),
+                    ready: Condvar::new(),
+                })
+                .collect(),
         }
     }
 
-    Ok(PreparedSequence {
-        name: seq.name.clone(),
-        resolution: res,
-        frames,
-    })
+    /// The motion configuration this cache's entries are keyed on.
+    pub fn motion(&self) -> &MotionConfig {
+        &self.motion
+    }
+
+    /// Fetches sequence `index`, preparing it on first use and blocking
+    /// while another worker prepares it. Pair every successful or failed
+    /// `get` with one [`finish`][PreparedCache::finish].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the preparation error (every user of the sequence
+    /// observes the same one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the sequence was already
+    /// drained by `uses_per_sequence` finishes.
+    pub fn get(&self, index: usize) -> Result<Arc<PreparedSequence>> {
+        let slot = &self.slots[index];
+        let mut state = slot.state.lock().expect("cache slot never poisons");
+        loop {
+            match &mut *state {
+                SlotState::Empty => {
+                    *state = SlotState::Building;
+                    drop(state);
+                    // A panicking preparation must not strand peers in
+                    // `wait` forever (the caller's catch_unwind would
+                    // swallow the builder thread): mark the slot failed
+                    // and wake everyone before re-raising.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        prepare_sequence(&self.suite[index], &self.motion)
+                    }));
+                    let mut state = slot.state.lock().expect("cache slot never poisons");
+                    let out = match result {
+                        Ok(Ok(prep)) => {
+                            let prep = Arc::new(prep);
+                            *state = SlotState::Ready(prep.clone(), self.uses_per_sequence);
+                            Ok(prep)
+                        }
+                        Ok(Err(e)) => {
+                            *state = SlotState::Failed(e.clone());
+                            Err(e)
+                        }
+                        Err(payload) => {
+                            *state = SlotState::Failed(Error::state(format!(
+                                "preparation of sequence {index} panicked"
+                            )));
+                            slot.ready.notify_all();
+                            drop(state);
+                            std::panic::resume_unwind(payload);
+                        }
+                    };
+                    slot.ready.notify_all();
+                    return out;
+                }
+                SlotState::Building => {
+                    state = slot.ready.wait(state).expect("cache slot never poisons");
+                }
+                SlotState::Ready(prep, _) => return Ok(prep.clone()),
+                SlotState::Failed(e) => return Err(e.clone()),
+                SlotState::Drained => {
+                    panic!("sequence {index} already drained (more gets than declared uses)")
+                }
+            }
+        }
+    }
+
+    /// Releases one use of sequence `index`; the last release drops the
+    /// prepared frames. Call exactly once per [`get`][PreparedCache::get],
+    /// whether it succeeded or failed.
+    pub fn finish(&self, index: usize) {
+        let slot = &self.slots[index];
+        let mut state = slot.state.lock().expect("cache slot never poisons");
+        if let SlotState::Ready(_, remaining) = &mut *state {
+            *remaining -= 1;
+            if *remaining == 0 {
+                *state = SlotState::Drained;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use euphrates_common::par::parallel_map;
     use euphrates_datasets::{otb100_like, DatasetScale};
 
     fn tiny_seq() -> Sequence {
@@ -167,6 +404,28 @@ mod tests {
             .iter()
             .any(|f| f.motion.mean_magnitude() > 0.01);
         assert!(moving, "no motion detected across the sequence");
+    }
+
+    #[test]
+    fn streaming_source_bit_matches_eager_preparation() {
+        let seq = tiny_seq();
+        for config in [
+            MotionConfig::default(),
+            MotionConfig {
+                full_isp: true,
+                ..MotionConfig::default()
+            },
+        ] {
+            let eager = prepare_sequence(&seq, &config).unwrap();
+            let mut streamed = 0usize;
+            for (i, frame) in frame_source(&seq, &config).unwrap().enumerate() {
+                let frame = frame.unwrap();
+                assert_eq!(frame.motion, eager.frames[i].motion, "frame {i}");
+                assert_eq!(frame.truth, eager.frames[i].truth, "frame {i}");
+                streamed += 1;
+            }
+            assert_eq!(streamed, eager.len());
+        }
     }
 
     #[test]
@@ -205,5 +464,43 @@ mod tests {
             ..MotionConfig::default()
         };
         assert!(prepare_sequence(&seq, &bad).is_err());
+        assert!(frame_source(&seq, &bad).is_err());
+    }
+
+    #[test]
+    fn cache_prepares_once_and_drains_after_last_use() {
+        let seq = tiny_seq();
+        let suite = vec![seq];
+        let uses = 3;
+        let cache = PreparedCache::new(&suite, MotionConfig::default(), uses);
+        // Concurrent users all see the same prepared Arc.
+        let jobs: Vec<usize> = (0..uses).collect();
+        let preps: Vec<Arc<PreparedSequence>> = parallel_map(&jobs, uses, |_, _| {
+            let p = cache.get(0).unwrap();
+            cache.finish(0);
+            p
+        });
+        for p in &preps[1..] {
+            assert!(Arc::ptr_eq(&preps[0], p), "cache must share one copy");
+        }
+        assert_eq!(preps[0].len(), 12);
+        // After the declared uses, the slot is drained.
+        let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.get(0)));
+        assert!(drained.is_err(), "drained slot must not be re-fetched");
+    }
+
+    #[test]
+    fn cache_propagates_preparation_errors_to_every_user() {
+        let seq = tiny_seq();
+        let suite = vec![seq];
+        let bad = MotionConfig {
+            search_range: 0,
+            ..MotionConfig::default()
+        };
+        let cache = PreparedCache::new(&suite, bad, 2);
+        assert!(cache.get(0).is_err());
+        cache.finish(0);
+        assert!(cache.get(0).is_err(), "second user sees the same error");
+        cache.finish(0);
     }
 }

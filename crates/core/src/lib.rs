@@ -3,27 +3,37 @@
 //! The Euphrates continuous-vision pipeline: the paper's primary
 //! contribution assembled from the workspace's substrates.
 //!
-//! * [`api`] — the unified public API: the [`VisionTask`][api::VisionTask]
-//!   trait, the [`Scenario`][api::Scenario] builder, and the streaming
-//!   [`Session`][api::Session].
-//! * [`frontend`] — sequence preparation: camera/scene rendering + ISP
-//!   block matching → per-frame ground truth and motion fields.
+//! * [`api`] — the unified public API: the [`VisionTask`] trait, the
+//!   [`Scenario`] builder, and the streaming [`Session`].
+//! * [`frontend`] — the streaming frame front-end: camera/scene
+//!   rendering plus ISP block matching → per-frame ground truth and
+//!   motion fields, produced lazily by [`frame_source`] (O(1 frame) of
+//!   memory), eagerly by [`prepare_sequence`], and shared across an
+//!   evaluation grid by
+//!   [`PreparedCache`]. Which search explores the block-matching window
+//!   is pluggable: [`MotionConfig::strategy`] names any
+//!   [`MotionSearch`][euphrates_isp::motion::MotionSearch] engine —
+//!   exhaustive, three-step, diamond, two-level hierarchical, or one
+//!   registered at runtime via
+//!   [`register_search`][euphrates_isp::motion::register_search].
 //! * [`backend`] — shared backend machinery: EW scheduling, the ROI
 //!   extrapolation step (reference or fixed-point datapath), MC cycle
 //!   accounting.
 //! * [`tracker`] / [`detector`] — the two evaluated tasks (§5.2): MDNet-
 //!   class single-object tracking and YOLOv2-class multi-object
-//!   detection, as [`VisionTask`][api::VisionTask] implementations.
-//! * [`eval`] — deterministic parallel suite evaluation plumbing.
+//!   detection, as [`VisionTask`] implementations.
+//! * [`eval`] — deterministic parallel evaluation plumbing;
+//!   [`Scenario::evaluate`] parallelizes the full *(sequence × scheme)*
+//!   grid over it.
 //! * [`system`] — the Table 1 platform model mapping inference rates to
 //!   SoC energy, FPS, and DRAM traffic.
 //!
 //! ## Quickstart
 //!
-//! Describe an experiment with the [`Scenario`][api::Scenario] builder —
-//! *dataset × motion config × scheme registry × platform* — and evaluate
-//! it to a structured report that carries accuracy, energy, FPS, and
-//! DRAM traffic together:
+//! Describe an experiment with the [`Scenario`] builder — *dataset ×
+//! motion config × scheme registry × platform* — and evaluate it to a
+//! structured report that carries accuracy, energy, FPS, and DRAM
+//! traffic together:
 //!
 //! ```
 //! use euphrates_core::prelude::*;
@@ -53,9 +63,12 @@
 //!
 //! ### Streaming
 //!
-//! The same schedule runs incrementally: open a [`Session`][api::Session]
-//! and push frames as they arrive. Per-frame results bit-match the
-//! offline path above.
+//! The same schedule runs incrementally: open a [`Session`] and push
+//! frames as they arrive. The frames themselves stream too —
+//! [`frame_source`] renders and motion-estimates lazily, so nothing
+//! materializes a whole sequence, and per-frame results bit-match the
+//! offline path above. Pick any search engine through
+//! [`MotionConfig::strategy`].
 //!
 //! ```
 //! use euphrates_core::prelude::*;
@@ -64,13 +77,17 @@
 //! let mut suite = euphrates_datasets::otb100_like(42, DatasetScale::fraction(0.1));
 //! suite.truncate(1);
 //! suite[0].frames = 12;
-//! let prep = prepare_sequence(&suite[0], &MotionConfig::default())?;
+//! let motion = MotionConfig {
+//!     strategy: SearchStrategy::Diamond, // or Hierarchical, or Custom(...)
+//!     ..MotionConfig::default()
+//! };
 //!
 //! let task = TrackerTask::new(euphrates_nn::oracle::calib::mdnet());
+//! let source = frame_source(&suite[0], &motion)?;
 //! let mut session = Session::new(task, BackendConfig::new(EwPolicy::Constant(4)),
-//!                                prep.resolution, 0)?;
-//! for frame in &prep.frames {
-//!     let decision: FrameDecision = session.push_frame(frame)?;
+//!                                source.resolution(), 0)?;
+//! for frame in source {
+//!     let decision: FrameDecision = session.push_frame(&frame?)?;
 //!     if decision.is_inference() {
 //!         // e.g. ship the fresh CNN result downstream
 //!     }
@@ -80,6 +97,12 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The one-call form of the same loop is
+//! [`run_stream`]`(task, resolution, frames, &config, stream)`; batch
+//! evaluation over many sequences and schemes belongs to
+//! [`Scenario::evaluate`], which shares each sequence's prepared frames
+//! across schemes through a [`PreparedCache`].
 //!
 //! ## Environment
 //!
@@ -97,8 +120,8 @@ pub mod system;
 pub mod tracker;
 
 pub use api::{
-    run_task, EvalReport, FrameContext, FrameDecision, Scenario, ScenarioBuilder, SchemeId,
-    SchemeResult, SchemeSpec, Session, StepStats, VisionTask,
+    run_stream, run_task, EvalReport, FrameContext, FrameDecision, Scenario, ScenarioBuilder,
+    SchemeId, SchemeResult, SchemeSpec, Session, StepStats, VisionTask,
 };
 pub use backend::{BackendConfig, TaskOutcome};
 #[allow(deprecated)]
@@ -107,7 +130,10 @@ pub use detector::DetectorTask;
 #[allow(deprecated)]
 pub use eval::evaluate_suite;
 pub use eval::{parallel_map, SuiteOutcome};
-pub use frontend::{prepare_sequence, FrameData, MotionConfig, PreparedSequence};
+pub use frontend::{
+    frame_source, prepare_sequence, FrameData, FrameSource, MotionConfig, PreparedCache,
+    PreparedSequence,
+};
 pub use system::SystemModel;
 #[allow(deprecated)]
 pub use tracker::run_tracking;
@@ -116,8 +142,8 @@ pub use tracker::TrackerTask;
 /// Convenience re-exports for pipeline users.
 pub mod prelude {
     pub use crate::api::{
-        run_task, EvalReport, FrameContext, FrameDecision, Scenario, ScenarioBuilder, SchemeId,
-        SchemeResult, SchemeSpec, Session, StepStats, VisionTask,
+        run_stream, run_task, EvalReport, FrameContext, FrameDecision, Scenario, ScenarioBuilder,
+        SchemeId, SchemeResult, SchemeSpec, Session, StepStats, VisionTask,
     };
     pub use crate::backend::{BackendConfig, TaskOutcome};
     #[allow(deprecated)]
@@ -126,12 +152,16 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::eval::evaluate_suite;
     pub use crate::eval::SuiteOutcome;
-    pub use crate::frontend::{prepare_sequence, FrameData, MotionConfig, PreparedSequence};
+    pub use crate::frontend::{
+        frame_source, prepare_sequence, FrameData, FrameSource, MotionConfig, PreparedCache,
+        PreparedSequence,
+    };
     pub use crate::system::SystemModel;
     #[allow(deprecated)]
     pub use crate::tracker::run_tracking;
     pub use crate::tracker::TrackerTask;
     pub use euphrates_datasets::{DatasetScale, Sequence, VisualAttribute};
+    pub use euphrates_isp::motion::SearchStrategy;
     pub use euphrates_mc::policy::{AdaptiveConfig, EwPolicy, FrameKind};
     pub use euphrates_soc::energy::ExtrapolationExecutor;
 }

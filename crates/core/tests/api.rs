@@ -150,6 +150,81 @@ fn session_streaming_bit_matches_offline_evaluate() {
     }
 }
 
+/// The streaming front-end satellite: running a task over the lazy
+/// `frame_source` (O(1 frame) of memory) must produce bit-identical
+/// outcomes to the eager `prepare_sequence` + `run_task` path, and to
+/// what grid-parallel `Scenario::evaluate` reports for the same cell.
+#[test]
+fn run_stream_bit_matches_prepared_run_task() {
+    let suite = tracking_suite(17, 2, 28);
+    let motion = MotionConfig::default();
+    let config = BackendConfig::new(EwPolicy::Constant(4));
+    let scenario = Scenario::builder(TrackerTask::new(calib::mdnet()))
+        .suite(suite.clone())
+        .motion(motion)
+        .scheme("EW-4", config)
+        .build()
+        .unwrap();
+    let report = scenario.evaluate().unwrap();
+    for (si, seq) in suite.iter().enumerate() {
+        let prep = prepare_sequence(seq, &motion).unwrap();
+        let eager = run_task(TrackerTask::new(calib::mdnet()), &prep, &config, si as u64).unwrap();
+        let source = frame_source(seq, &motion).unwrap();
+        let streamed = run_stream(
+            TrackerTask::new(calib::mdnet()),
+            source.resolution(),
+            source,
+            &config,
+            si as u64,
+        )
+        .unwrap();
+        assert_eq!(streamed, eager, "sequence {si} diverged from run_task");
+        assert_eq!(
+            streamed, report.schemes[0].per_sequence[si],
+            "sequence {si} diverged from Scenario::evaluate"
+        );
+    }
+}
+
+#[test]
+fn run_stream_rejects_empty_streams() {
+    let err = run_stream(
+        TrackerTask::new(calib::mdnet()),
+        euphrates_common::image::Resolution::VGA,
+        std::iter::empty(),
+        &BackendConfig::baseline(),
+        0,
+    );
+    assert!(err.is_err());
+}
+
+/// Grid-flattened evaluation must stay deterministic under any thread
+/// count: 1 worker, many workers, and the default all agree.
+#[test]
+fn grid_parallel_evaluate_is_thread_count_invariant() {
+    let suite = tracking_suite(19, 2, 24);
+    let build = |threads: usize| {
+        Scenario::builder(TrackerTask::new(calib::mdnet()))
+            .suite(suite.clone())
+            .threads(threads)
+            .scheme("base", BackendConfig::baseline())
+            .scheme("EW-2", BackendConfig::new(EwPolicy::Constant(2)))
+            .scheme("EW-8", BackendConfig::new(EwPolicy::Constant(8)))
+            .build()
+            .unwrap()
+            .evaluate()
+            .unwrap()
+    };
+    let serial = build(1);
+    let wide = build(12);
+    assert_eq!(serial.len(), wide.len());
+    for (a, b) in serial.iter().zip(wide.iter()) {
+        assert_eq!(a.label(), b.label());
+        assert_eq!(a.outcome, b.outcome, "{} diverged across pools", a.label());
+        assert_eq!(a.per_sequence, b.per_sequence);
+    }
+}
+
 #[test]
 fn frame_decisions_expose_the_schedule() {
     let suite = tracking_suite(13, 1, 16);

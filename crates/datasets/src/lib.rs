@@ -35,4 +35,4 @@ pub mod sequence;
 
 pub use attributes::VisualAttribute;
 pub use generator::{detection_suite, otb100_like, total_frames, vot2014_like, EVAL_RESOLUTION};
-pub use sequence::{DatasetScale, Sequence};
+pub use sequence::{DatasetScale, FrameIter, Sequence};

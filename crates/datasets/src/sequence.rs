@@ -4,6 +4,8 @@ use crate::attributes::VisualAttribute;
 use euphrates_camera::scene::{GtObject, RenderedFrame, Scene};
 use euphrates_common::image::Resolution;
 
+pub use euphrates_camera::scene::FrameIter;
+
 /// A benchmark sequence: a scene plus its metadata.
 #[derive(Debug, Clone)]
 pub struct Sequence {
@@ -28,10 +30,15 @@ impl Sequence {
         self.attributes.contains(&attr)
     }
 
-    /// Renders every frame (pixels + ground truth).
+    /// Lazily renders the sequence's frames, one per `next()` call,
+    /// borrowing the scene — the streaming front-end's entry point.
+    pub fn render_iter(&self) -> FrameIter<'_> {
+        self.scene.frames(0..self.frames)
+    }
+
+    /// Renders every frame (pixels + ground truth) eagerly.
     pub fn render_all(&self) -> Vec<RenderedFrame> {
-        let mut renderer = self.scene.renderer();
-        (0..self.frames).map(|i| renderer.render(i)).collect()
+        self.render_iter().collect()
     }
 
     /// Ground truth only (cheap; no pixel rendering).

@@ -10,8 +10,10 @@
 //! * **Functional** — [`pipeline::IspPipeline`] turns RAW Bayer frames into
 //!   RGB frames and, per frame, a [`motion::MotionField`]: one motion
 //!   vector, SAD, and confidence (Equ. 2) per macroblock, computed by a
-//!   real [`motion::BlockMatcher`] (exhaustive search or three-step
-//!   search).
+//!   real [`motion::BlockMatcher`] driving a pluggable
+//!   [`motion::MotionSearch`] engine (exhaustive, three-step, diamond,
+//!   two-level hierarchical, or anything installed via
+//!   [`motion::register_search`]).
 //! * **Architectural** — [`linebuffer::TdSramModel`] models the
 //!   temporal-denoise SRAM with single vs. double buffering (the §4.2
 //!   design choice that keeps MV write-back off the ISP critical path),
@@ -47,7 +49,10 @@ pub mod predictive;
 pub mod raw_motion;
 pub mod stages;
 
-pub use motion::{BlockMatcher, MotionField, MotionVector, SearchStrategy};
+pub use motion::{
+    register_search, BlockMatcher, MotionField, MotionSearch, MotionVector, SearchCtx, SearchStats,
+    SearchStrategy,
+};
 pub use pipeline::{IspOutput, IspPipeline};
 pub use predictive::PredictiveBlockMatcher;
 pub use raw_motion::RawBlockMatcher;

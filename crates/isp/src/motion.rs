@@ -1,24 +1,50 @@
-//! Block-matching motion estimation (§2.3 of the paper).
+//! Block-matching motion estimation (§2.3 of the paper) behind a
+//! pluggable [`MotionSearch`] engine.
 //!
 //! The frame is divided into `L × L` macroblocks; for each, the matcher
 //! finds the offset within a `(2d+1)²` search window of the *previous*
-//! frame minimizing the Sum of Absolute Differences (SAD). Two search
-//! strategies are provided, trading accuracy for compute:
+//! frame minimizing the Sum of Absolute Differences (SAD). *How* the
+//! window is explored is a strategy: the paper evaluates exhaustive
+//! search against the three-step search (Fig. 11b), and related work
+//! treats the search pattern as a first-class accuracy/compute knob.
+//! This module therefore exposes the search as a trait with an explicit
+//! probe-budget cost model:
 //!
-//! * [`SearchStrategy::Exhaustive`] — every offset; `L²·(2d+1)²` operations
-//!   per block.
-//! * [`SearchStrategy::ThreeStep`] — the classic TSS (Koga et al.), probing
-//!   8 neighbors at logarithmically shrinking steps; `L²·(1+8·log2(d+1))`
-//!   operations per block (a ~8/9 reduction at `d = 7`).
+//! * [`MotionSearch`] — one search algorithm: a cost model
+//!   ([`MotionSearch::probes_per_block`]) plus the walk itself
+//!   ([`MotionSearch::search`]), driven through a [`SearchCtx`] that
+//!   meters every SAD evaluation (so reported probe counts are measured,
+//!   not assumed).
+//! * [`SearchStrategy`] — the copyable *name* of a strategy, resolvable
+//!   to its engine. Built-ins: [`Exhaustive`](SearchStrategy::Exhaustive)
+//!   (`(2d+1)²` probes), [`ThreeStep`](SearchStrategy::ThreeStep) (Koga
+//!   et al., `1 + 8·steps` probes), [`Diamond`](SearchStrategy::Diamond)
+//!   (Zhu & Ma's LDSP/SDSP walk), and
+//!   [`Hierarchical`](SearchStrategy::Hierarchical) (two-level pyramid:
+//!   coarse TSS on a 2×-downsampled plane, ±1 refinement at full
+//!   resolution). Additional engines plug in at runtime via
+//!   [`register_search`] and [`SearchStrategy::Custom`].
 //!
 //! Each motion vector carries its SAD, from which the per-block confidence
 //! of Equ. 2 is derived: `α = 1 − SAD / (255 · n)`, with `n` the number of
 //! pixels actually compared (edge blocks may be partial).
+//!
+//! The SAD kernel iterates row slices (never per-pixel indexing),
+//! accumulates in u32 chunks the compiler can vectorize, and exits early
+//! once a candidate provably exceeds the incumbent best — candidates are
+//! abandoned, never mis-scored, so results are bit-identical to the naive
+//! kernel. [`BlockMatcher::estimate_parallel`] additionally spreads
+//! macroblock rows across worker threads (blocks are independent, so the
+//! field is identical to the serial result).
 
 use euphrates_common::error::{Error, Result};
 use euphrates_common::geom::{Rect, Vec2i};
-use euphrates_common::image::{LumaFrame, Resolution};
+use euphrates_common::image::{downsample2, LumaFrame, Resolution};
+use euphrates_common::par::parallel_map;
 use euphrates_common::units::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A motion vector with its matching cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,32 +57,608 @@ pub struct MotionVector {
     pub sad: u32,
 }
 
-/// The block-matching search strategy.
+// ---------------------------------------------------------------------------
+// Strategy names + registry
+// ---------------------------------------------------------------------------
+
+/// The name of a block-matching search strategy.
+///
+/// This is the cheap, copyable, hashable identifier carried by
+/// configuration structs; [`SearchStrategy::resolve`] yields the actual
+/// [`MotionSearch`] engine. [`SearchStrategy::Custom`] names an engine
+/// previously installed with [`register_search`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SearchStrategy {
     /// Full search of every offset in the window (most accurate).
     Exhaustive,
     /// Three-step search: logarithmic refinement (≈9× cheaper at d=7).
     ThreeStep,
+    /// Diamond search: large/small diamond pattern walk (Zhu & Ma); fewest
+    /// probes on smooth motion, gracefully degrades toward TSS cost.
+    Diamond,
+    /// Two-level hierarchical (pyramid) search: coarse TSS at half
+    /// resolution, ±1 full-resolution refinement.
+    Hierarchical,
+    /// A runtime-registered engine (see [`register_search`]).
+    Custom(&'static str),
 }
 
 impl SearchStrategy {
+    /// The four built-in strategies, in cost-descending order.
+    pub const BUILTIN: [SearchStrategy; 4] = [
+        SearchStrategy::Exhaustive,
+        SearchStrategy::ThreeStep,
+        SearchStrategy::Diamond,
+        SearchStrategy::Hierarchical,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchStrategy::Exhaustive => "exhaustive",
+            SearchStrategy::ThreeStep => "three-step",
+            SearchStrategy::Diamond => "diamond",
+            SearchStrategy::Hierarchical => "hierarchical",
+            SearchStrategy::Custom(name) => name,
+        }
+    }
+
+    /// Resolves the name to its search engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for a [`SearchStrategy::Custom`] name
+    /// that was never passed to [`register_search`].
+    pub fn resolve(self) -> Result<Arc<dyn MotionSearch>> {
+        match self {
+            SearchStrategy::Exhaustive => Ok(Arc::new(ExhaustiveSearch)),
+            SearchStrategy::ThreeStep => Ok(Arc::new(ThreeStepSearch)),
+            SearchStrategy::Diamond => Ok(Arc::new(DiamondSearch)),
+            SearchStrategy::Hierarchical => Ok(Arc::new(HierarchicalSearch)),
+            SearchStrategy::Custom(name) => registry()
+                .read()
+                .expect("search registry never poisons")
+                .get(name)
+                .cloned()
+                .ok_or_else(|| {
+                    Error::not_found(format!(
+                        "no motion search registered under `{name}` (call register_search first)"
+                    ))
+                }),
+        }
+    }
+
+    /// SAD probes per macroblock under this strategy's cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unregistered [`SearchStrategy::Custom`] name
+    /// (construction-time validation in [`BlockMatcher::new`] rejects
+    /// those before any cost model is consulted).
+    pub fn probes_per_block(self, search_range: u32) -> u64 {
+        self.resolve()
+            .expect("strategy validated at construction")
+            .probes_per_block(search_range)
+    }
+
     /// Arithmetic operations per macroblock for this strategy, per the
     /// paper's cost model (§2.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unregistered [`SearchStrategy::Custom`] name.
     pub fn ops_per_block(self, mb_size: u32, search_range: u32) -> u64 {
-        let l2 = u64::from(mb_size) * u64::from(mb_size);
-        match self {
-            SearchStrategy::Exhaustive => {
-                let w = 2 * u64::from(search_range) + 1;
-                l2 * w * w
-            }
-            SearchStrategy::ThreeStep => {
-                let steps = f64::from(search_range + 1).log2().max(1.0);
-                l2 * (1 + (8.0 * steps).round() as u64)
+        self.resolve()
+            .expect("strategy validated at construction")
+            .ops_per_block(mb_size, search_range)
+    }
+}
+
+impl fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn registry() -> &'static RwLock<BTreeMap<&'static str, Arc<dyn MotionSearch>>> {
+    static REGISTRY: OnceLock<RwLock<BTreeMap<&'static str, Arc<dyn MotionSearch>>>> =
+        OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+/// Installs a custom search engine under its [`MotionSearch::name`],
+/// returning the [`SearchStrategy::Custom`] handle that names it (use the
+/// handle anywhere a strategy is configured — `MotionConfig`,
+/// [`BlockMatcher::new`], the ISP pipeline).
+///
+/// # Errors
+///
+/// Rejects names that collide with a built-in strategy or a previously
+/// registered engine (the registry is process-global; last-wins
+/// replacement would make results order-dependent).
+pub fn register_search(search: Arc<dyn MotionSearch>) -> Result<SearchStrategy> {
+    let name = search.name();
+    if SearchStrategy::BUILTIN.iter().any(|b| b.name() == name) {
+        return Err(Error::config(format!(
+            "`{name}` is a built-in search strategy name"
+        )));
+    }
+    let mut map = registry().write().expect("search registry never poisons");
+    if map.contains_key(name) {
+        return Err(Error::config(format!(
+            "a motion search is already registered under `{name}`"
+        )));
+    }
+    map.insert(name, search);
+    Ok(SearchStrategy::Custom(name))
+}
+
+// ---------------------------------------------------------------------------
+// MotionSearch trait + metered search context
+// ---------------------------------------------------------------------------
+
+/// One block-matching search algorithm: a probe-budget cost model plus
+/// the search walk itself.
+///
+/// Implementations explore the window exclusively through
+/// [`SearchCtx::probe`] (and [`SearchCtx::probe_coarse`] for pyramid
+/// strategies), which meters every SAD evaluation, memoizes visited
+/// offsets, early-exits against the incumbent best, and maintains the
+/// best-so-far under the deterministic tie-break (lower SAD, then shorter
+/// vector). The zero offset is always probed before `search` runs, so no
+/// strategy can return a match worse than the zero vector.
+pub trait MotionSearch: fmt::Debug + Send + Sync {
+    /// Stable engine name (registry key, bench label).
+    fn name(&self) -> &'static str;
+
+    /// Cost model: SAD probes per macroblock at search range `d`. An
+    /// upper bound for adaptive walks; measured counts
+    /// ([`SearchStats::probes`]) must never exceed it.
+    fn probes_per_block(&self, search_range: u32) -> u64;
+
+    /// Cost model: arithmetic operations per `mb_size²` macroblock. The
+    /// default charges one op per pixel per probe; pyramid strategies
+    /// override it to price coarse probes at their smaller block size.
+    fn ops_per_block(&self, mb_size: u32, search_range: u32) -> u64 {
+        u64::from(mb_size) * u64::from(mb_size) * self.probes_per_block(search_range)
+    }
+
+    /// `true` if the engine needs the 2×-downsampled pyramid level
+    /// ([`SearchCtx::probe_coarse`]); the matcher then builds it once per
+    /// frame pair.
+    fn wants_pyramid(&self) -> bool {
+        false
+    }
+
+    /// Explores the window for the block described by `ctx`. The result
+    /// is whatever [`SearchCtx::best`] holds afterwards.
+    fn search(&self, ctx: &mut SearchCtx<'_>);
+}
+
+/// Measured search-effort counters for one [`BlockMatcher::estimate_with_stats`]
+/// call (or an aggregate of several).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Macroblocks searched.
+    pub blocks: u64,
+    /// SAD evaluations actually performed (memoized re-probes and
+    /// out-of-range candidates are not counted).
+    pub probes: u64,
+    /// Absolute-difference operations actually performed (early-exited
+    /// probes charge only the rows they evaluated).
+    pub sad_ops: u64,
+}
+
+impl SearchStats {
+    /// Mean measured probes per macroblock.
+    pub fn probes_per_block(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.blocks as f64
+        }
+    }
+
+    /// Accumulates another run's counters.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.blocks += other.blocks;
+        self.probes += other.probes;
+        self.sad_ops += other.sad_ops;
+    }
+}
+
+/// Reusable per-worker scratch (visited-offset bitmaps), so per-block
+/// bookkeeping costs a `fill` instead of an allocation.
+#[derive(Debug, Default)]
+struct Scratch {
+    visited: Vec<bool>,
+    coarse_visited: Vec<bool>,
+}
+
+/// The metered view of one macroblock's search a [`MotionSearch`] engine
+/// operates through.
+#[derive(Debug)]
+pub struct SearchCtx<'a> {
+    cur: &'a LumaFrame,
+    prev: &'a LumaFrame,
+    coarse: Option<(&'a LumaFrame, &'a LumaFrame)>,
+    x0: u32,
+    y0: u32,
+    bw: u32,
+    bh: u32,
+    d: i32,
+    dc: i32,
+    best: MotionVector,
+    probes: u64,
+    sad_ops: u64,
+    visited: &'a mut [bool],
+    coarse_visited: &'a mut [bool],
+}
+
+impl<'a> SearchCtx<'a> {
+    #[allow(clippy::too_many_arguments)] // constructed in one place, by the matcher
+    fn new(
+        cur: &'a LumaFrame,
+        prev: &'a LumaFrame,
+        coarse: Option<(&'a LumaFrame, &'a LumaFrame)>,
+        scratch: &'a mut Scratch,
+        x0: u32,
+        y0: u32,
+        bw: u32,
+        bh: u32,
+        d: i32,
+    ) -> Self {
+        let dc = coarse_range(d);
+        let fine_cells = ((2 * d + 1) * (2 * d + 1)) as usize;
+        let coarse_cells = ((2 * dc + 1) * (2 * dc + 1)) as usize;
+        scratch.visited.resize(fine_cells, false);
+        scratch.visited.fill(false);
+        scratch.coarse_visited.resize(coarse_cells, false);
+        scratch.coarse_visited.fill(false);
+        let mut ctx = SearchCtx {
+            cur,
+            prev,
+            coarse,
+            x0,
+            y0,
+            bw,
+            bh,
+            d,
+            dc,
+            best: MotionVector {
+                v: Vec2i::ZERO,
+                sad: u32::MAX,
+            },
+            probes: 0,
+            sad_ops: 0,
+            visited: &mut scratch.visited,
+            coarse_visited: &mut scratch.coarse_visited,
+        };
+        // Seed: the zero offset is always evaluated first, so no strategy
+        // can return a match worse than the zero vector.
+        ctx.probe(0, 0);
+        ctx
+    }
+
+    /// Search range `d`: probes are confined to `|vx|, |vy| ≤ d`.
+    pub fn range(&self) -> i32 {
+        self.d
+    }
+
+    /// Coarse-level search range (pyramid strategies).
+    pub fn coarse_range(&self) -> i32 {
+        self.dc
+    }
+
+    /// `true` if the matcher built the 2×-downsampled pyramid level for
+    /// this frame pair (i.e. the engine declared
+    /// [`MotionSearch::wants_pyramid`]).
+    pub fn has_pyramid(&self) -> bool {
+        self.coarse.is_some()
+    }
+
+    /// The best match found so far (the zero offset is always probed
+    /// before the engine runs).
+    pub fn best(&self) -> MotionVector {
+        self.best
+    }
+
+    /// The block's pixel size (edge blocks may be partial).
+    pub fn block_size(&self) -> (u32, u32) {
+        (self.bw, self.bh)
+    }
+
+    fn visited_index(&self, vx: i32, vy: i32) -> usize {
+        let w = 2 * self.d + 1;
+        ((vy + self.d) * w + (vx + self.d)) as usize
+    }
+
+    /// Probes offset `(vx, vy)`: evaluates the block SAD (early-exiting
+    /// once it provably exceeds the incumbent best) and folds the result
+    /// into [`SearchCtx::best`]. Returns `false` without evaluating
+    /// anything for out-of-range or already-probed offsets, so adaptive
+    /// walks may revisit freely at zero cost.
+    pub fn probe(&mut self, vx: i32, vy: i32) -> bool {
+        if vx.abs() > self.d || vy.abs() > self.d {
+            return false;
+        }
+        let idx = self.visited_index(vx, vy);
+        if self.visited[idx] {
+            return false;
+        }
+        self.visited[idx] = true;
+        let limit = self.best.sad;
+        let (sad, rows) = sad_block(
+            self.cur, self.prev, self.x0, self.y0, self.bw, self.bh, vx, vy, limit,
+        );
+        self.probes += 1;
+        self.sad_ops += u64::from(rows) * u64::from(self.bw);
+        let v = Vec2i::new(vx as i16, vy as i16);
+        if sad < self.best.sad || (sad == self.best.sad && v.norm_sq() < self.best.v.norm_sq()) {
+            self.best = MotionVector { v, sad };
+        }
+        true
+    }
+
+    /// Probes offset `(vx, vy)` at the coarse pyramid level, returning
+    /// the coarse SAD. Coarse probes are metered like fine ones (at the
+    /// coarse block's smaller pixel count) but do not touch
+    /// [`SearchCtx::best`] — the engine owns coarse-level bookkeeping.
+    /// Returns `None` when out of coarse range, already probed, or no
+    /// pyramid was built.
+    pub fn probe_coarse(&mut self, vx: i32, vy: i32) -> Option<u32> {
+        let (ccur, cprev) = self.coarse?;
+        if vx.abs() > self.dc || vy.abs() > self.dc {
+            return None;
+        }
+        let w = 2 * self.dc + 1;
+        let idx = ((vy + self.dc) * w + (vx + self.dc)) as usize;
+        if self.coarse_visited[idx] {
+            return None;
+        }
+        self.coarse_visited[idx] = true;
+        // Coarse block geometry: halved origin/extent, clamped into the
+        // pyramid plane (odd origins floor toward it).
+        let cw = ccur.width();
+        let ch = ccur.height();
+        let cx0 = (self.x0 / 2).min(cw - 1);
+        let cy0 = (self.y0 / 2).min(ch - 1);
+        let cbw = (self.bw / 2).max(1).min(cw - cx0);
+        let cbh = (self.bh / 2).max(1).min(ch - cy0);
+        let (sad, rows) = sad_block(ccur, cprev, cx0, cy0, cbw, cbh, vx, vy, u32::MAX);
+        self.probes += 1;
+        self.sad_ops += u64::from(rows) * u64::from(cbw);
+        Some(sad)
+    }
+}
+
+/// Coarse pyramid search range covering fine range `d` after ×2 upscale.
+fn coarse_range(d: i32) -> i32 {
+    ((d + 1) / 2).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Built-in strategies
+// ---------------------------------------------------------------------------
+
+/// Full-window search: every offset probed, row-major.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveSearch;
+
+impl MotionSearch for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn probes_per_block(&self, search_range: u32) -> u64 {
+        let w = 2 * u64::from(search_range) + 1;
+        w * w
+    }
+
+    fn search(&self, ctx: &mut SearchCtx<'_>) {
+        let d = ctx.range();
+        for vy in -d..=d {
+            for vx in -d..=d {
+                ctx.probe(vx, vy);
             }
         }
     }
 }
+
+/// The TSS starting step at range `d`: the largest power of two ≤
+/// max(1, ⌈d/2⌉). The single source of truth shared by the walks and
+/// their cost models, so neither can silently drift from the other.
+fn tss_initial_step(d: i32) -> i32 {
+    let mut step = 1i32;
+    while step * 2 <= (d + 1) / 2 {
+        step *= 2;
+    }
+    step
+}
+
+/// The number of step-halving rounds TSS performs at range `d`.
+fn tss_steps(search_range: u32) -> u32 {
+    (tss_initial_step(search_range as i32) as u32).ilog2() + 1
+}
+
+const RING8: [(i32, i32); 8] = [
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (-1, 0),
+    (1, 0),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+];
+
+/// Three-step search (Koga et al.): probe 8 neighbors at logarithmically
+/// shrinking steps, re-centering on the best.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeStepSearch;
+
+impl MotionSearch for ThreeStepSearch {
+    fn name(&self) -> &'static str {
+        "three-step"
+    }
+
+    /// Exact probe count of the walk: the center plus 8 ring probes per
+    /// step round. (The historical `1 + 8·log₂(d+1)` closed form
+    /// over-counted at ranges that are not `2^k − 1`; this model counts
+    /// the rounds the walk actually performs, and the conformance test
+    /// in `crates/isp/tests` keeps measured counts within it.)
+    fn probes_per_block(&self, search_range: u32) -> u64 {
+        1 + 8 * u64::from(tss_steps(search_range))
+    }
+
+    fn search(&self, ctx: &mut SearchCtx<'_>) {
+        let d = ctx.range();
+        let mut center = Vec2i::ZERO;
+        let mut step = tss_initial_step(d);
+        while step >= 1 {
+            for (sx, sy) in RING8 {
+                ctx.probe(
+                    i32::from(center.x) + sx * step,
+                    i32::from(center.y) + sy * step,
+                );
+            }
+            center = ctx.best().v;
+            step /= 2;
+        }
+    }
+}
+
+/// Large diamond search pattern: the 8 non-center points of a radius-2
+/// diamond.
+const LDSP: [(i32, i32); 8] = [
+    (0, -2),
+    (1, -1),
+    (2, 0),
+    (1, 1),
+    (0, 2),
+    (-1, 1),
+    (-2, 0),
+    (-1, -1),
+];
+
+/// Small diamond search pattern (final refinement).
+const SDSP: [(i32, i32); 4] = [(0, -1), (1, 0), (0, 1), (-1, 0)];
+
+/// Diamond search (Zhu & Ma, 2000): walk the large diamond pattern until
+/// the best stays at the center, then refine with the small diamond.
+#[derive(Debug, Clone, Copy)]
+pub struct DiamondSearch;
+
+impl MotionSearch for DiamondSearch {
+    fn name(&self) -> &'static str {
+        "diamond"
+    }
+
+    /// Sound upper bound: the walk performs at most `2d` large-diamond
+    /// rounds (enforced by the loop cap below), each probing at most 8
+    /// new points (memoization keeps revisits free), plus the seed probe
+    /// and the 4-point small diamond — and never more than the window
+    /// holds. Typical measured cost on tracking content is ~13–20 probes.
+    fn probes_per_block(&self, search_range: u32) -> u64 {
+        let window = (2 * u64::from(search_range) + 1).pow(2);
+        (13 + 16 * u64::from(search_range)).min(window)
+    }
+
+    fn search(&self, ctx: &mut SearchCtx<'_>) {
+        let d = ctx.range();
+        let mut center = Vec2i::ZERO;
+        // The incumbent (SAD, |v|²) strictly improves every re-centering
+        // round, so the walk cannot cycle; the `2d`-round cap both bounds
+        // pathological winding paths and makes `probes_per_block` a true
+        // upper bound (1 seed + 8·2d LDSP + 4 SDSP ≤ 13 + 16d).
+        for _ in 0..(2 * d.max(1)) {
+            for (ox, oy) in LDSP {
+                ctx.probe(i32::from(center.x) + ox, i32::from(center.y) + oy);
+            }
+            let best = ctx.best().v;
+            if best == center {
+                break;
+            }
+            center = best;
+        }
+        for (ox, oy) in SDSP {
+            ctx.probe(i32::from(center.x) + ox, i32::from(center.y) + oy);
+        }
+    }
+}
+
+/// Two-level hierarchical (pyramid) search: a coarse TSS walk on the
+/// 2×-downsampled plane picks a candidate, which a ±1 full-resolution
+/// window refines (covering the ×2 upscale quantization).
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalSearch;
+
+impl MotionSearch for HierarchicalSearch {
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+
+    /// One fine seed probe + the coarse TSS walk + the 3×3 refinement.
+    fn probes_per_block(&self, search_range: u32) -> u64 {
+        let dc = coarse_range(search_range as i32) as u32;
+        1 + (1 + 8 * u64::from(tss_steps(dc))) + 9
+    }
+
+    /// Coarse probes compare quarter-size blocks; price them accordingly.
+    fn ops_per_block(&self, mb_size: u32, search_range: u32) -> u64 {
+        let dc = coarse_range(search_range as i32) as u32;
+        let l2 = u64::from(mb_size) * u64::from(mb_size);
+        let coarse = (1 + 8 * u64::from(tss_steps(dc))) * (l2 / 4).max(1);
+        let fine = 10 * l2; // seed + 3×3 refinement
+        coarse + fine
+    }
+
+    fn wants_pyramid(&self) -> bool {
+        true
+    }
+
+    fn search(&self, ctx: &mut SearchCtx<'_>) {
+        if !ctx.has_pyramid() {
+            // Degenerate fallback (never reached through BlockMatcher,
+            // which builds the pyramid for us): plain three-step.
+            ThreeStepSearch.search(ctx);
+            return;
+        }
+        // Coarse TSS walk. Coarse bookkeeping is local: probe_coarse
+        // meters evaluations but the fine incumbent is untouched.
+        let dc = ctx.coarse_range();
+        let mut center = (0i32, 0i32);
+        let mut best = (ctx.probe_coarse(0, 0).unwrap_or(u32::MAX), (0i32, 0i32));
+        let mut step = tss_initial_step(dc);
+        while step >= 1 {
+            for (sx, sy) in RING8 {
+                let (vx, vy) = (center.0 + sx * step, center.1 + sy * step);
+                if let Some(sad) = ctx.probe_coarse(vx, vy) {
+                    let better = sad < best.0
+                        || (sad == best.0
+                            && vx * vx + vy * vy < best.1 .0.pow(2) + best.1 .1.pow(2));
+                    if better {
+                        best = (sad, (vx, vy));
+                    }
+                }
+            }
+            center = best.1;
+            step /= 2;
+        }
+        // Fine refinement: ±1 around the upscaled coarse candidate (the
+        // seed probe already covered the zero offset).
+        let (fx, fy) = (2 * best.1 .0, 2 * best.1 .1);
+        for ey in -1..=1 {
+            for ex in -1..=1 {
+                ctx.probe(fx + ex, fy + ey);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MotionField
+// ---------------------------------------------------------------------------
 
 /// Per-frame motion metadata: one [`MotionVector`] per macroblock.
 ///
@@ -242,7 +844,11 @@ fn validate_params(mb_size: u32, search_range: u32) -> Result<()> {
     Ok(())
 }
 
-/// Block-matching motion estimator.
+// ---------------------------------------------------------------------------
+// BlockMatcher
+// ---------------------------------------------------------------------------
+
+/// Block-matching motion estimator driving a pluggable [`MotionSearch`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockMatcher {
     mb_size: u32,
@@ -257,9 +863,11 @@ impl BlockMatcher {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] for a zero macroblock size or a
-    /// search range outside `1..=127` (MVs must fit the 1-byte encoding).
+    /// search range outside `1..=127` (MVs must fit the 1-byte encoding),
+    /// and [`Error::NotFound`] for an unregistered custom strategy.
     pub fn new(mb_size: u32, search_range: u32, strategy: SearchStrategy) -> Result<Self> {
         validate_params(mb_size, search_range)?;
+        strategy.resolve()?; // custom names must already be registered
         Ok(BlockMatcher {
             mb_size,
             search_range,
@@ -282,11 +890,18 @@ impl BlockMatcher {
         self.strategy
     }
 
-    /// Arithmetic operations per frame at `resolution` (the paper's cost
-    /// model; feeds the ISP power overhead estimate).
+    /// Arithmetic operations per frame at `resolution` under the
+    /// strategy's cost model (feeds the ISP power overhead estimate).
     pub fn ops_per_frame(&self, resolution: Resolution) -> u64 {
         let (bx, by) = resolution.macroblocks(self.mb_size);
         u64::from(bx) * u64::from(by) * self.strategy.ops_per_block(self.mb_size, self.search_range)
+    }
+
+    /// SAD probes per frame at `resolution` under the strategy's cost
+    /// model (an upper bound for adaptive walks).
+    pub fn probes_per_frame(&self, resolution: Resolution) -> u64 {
+        let (bx, by) = resolution.macroblocks(self.mb_size);
+        u64::from(bx) * u64::from(by) * self.strategy.probes_per_block(self.search_range)
     }
 
     /// Estimates the motion field of `cur` relative to `prev`.
@@ -295,6 +910,46 @@ impl BlockMatcher {
     ///
     /// Returns [`Error::ShapeMismatch`] if the frames differ in size.
     pub fn estimate(&self, cur: &LumaFrame, prev: &LumaFrame) -> Result<MotionField> {
+        self.estimate_with_stats(cur, prev).map(|(field, _)| field)
+    }
+
+    /// Estimates the motion field, also returning measured search-effort
+    /// counters (actual SAD probes and absolute-difference operations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the frames differ in size.
+    pub fn estimate_with_stats(
+        &self,
+        cur: &LumaFrame,
+        prev: &LumaFrame,
+    ) -> Result<(MotionField, SearchStats)> {
+        self.estimate_inner(cur, prev, 1)
+    }
+
+    /// Estimates the motion field with macroblock rows spread over up to
+    /// `threads` worker threads. Blocks are independent, so the result is
+    /// bit-identical to [`BlockMatcher::estimate`]; only wall-clock
+    /// changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the frames differ in size.
+    pub fn estimate_parallel(
+        &self,
+        cur: &LumaFrame,
+        prev: &LumaFrame,
+        threads: usize,
+    ) -> Result<(MotionField, SearchStats)> {
+        self.estimate_inner(cur, prev, threads)
+    }
+
+    fn estimate_inner(
+        &self,
+        cur: &LumaFrame,
+        prev: &LumaFrame,
+        threads: usize,
+    ) -> Result<(MotionField, SearchStats)> {
         if !cur.same_shape(prev) {
             return Err(Error::shape(format!(
                 "current {}x{} vs previous {}x{}",
@@ -304,119 +959,86 @@ impl BlockMatcher {
                 prev.height()
             )));
         }
+        let search = self.strategy.resolve()?;
         let res = Resolution::new(cur.width(), cur.height());
         let mut field = MotionField::zeroed(res, self.mb_size, self.search_range)?;
         let (blocks_x, blocks_y) = (field.blocks_x, field.blocks_y);
-        for by in 0..blocks_y {
-            for bx in 0..blocks_x {
-                let x0 = bx * self.mb_size;
-                let y0 = by * self.mb_size;
-                let bw = (cur.width() - x0).min(self.mb_size);
-                let bh = (cur.height() - y0).min(self.mb_size);
-                let mv = match self.strategy {
-                    SearchStrategy::Exhaustive => self.search_exhaustive(cur, prev, x0, y0, bw, bh),
-                    SearchStrategy::ThreeStep => self.search_tss(cur, prev, x0, y0, bw, bh),
-                };
-                field.vectors[(by * blocks_x + bx) as usize] = mv;
-            }
-        }
-        Ok(field)
-    }
-
-    fn search_exhaustive(
-        &self,
-        cur: &LumaFrame,
-        prev: &LumaFrame,
-        x0: u32,
-        y0: u32,
-        bw: u32,
-        bh: u32,
-    ) -> MotionVector {
-        let d = self.search_range as i32;
-        let mut best = MotionVector {
-            v: Vec2i::ZERO,
-            sad: sad_block(cur, prev, x0, y0, bw, bh, 0, 0),
+        // The pyramid level is shared by every block of the frame pair;
+        // build it once, only when the engine asks for it.
+        let pyramid = if search.wants_pyramid() {
+            Some((downsample2(cur), downsample2(prev)))
+        } else {
+            None
         };
-        for vy in -d..=d {
-            for vx in -d..=d {
-                if vx == 0 && vy == 0 {
-                    continue;
-                }
-                let sad = sad_block(cur, prev, x0, y0, bw, bh, vx, vy);
-                if better(sad, Vec2i::new(vx as i16, vy as i16), &best) {
-                    best = MotionVector {
-                        v: Vec2i::new(vx as i16, vy as i16),
-                        sad,
-                    };
-                }
-            }
-        }
-        best
-    }
-
-    fn search_tss(
-        &self,
-        cur: &LumaFrame,
-        prev: &LumaFrame,
-        x0: u32,
-        y0: u32,
-        bw: u32,
-        bh: u32,
-    ) -> MotionVector {
+        let coarse = pyramid.as_ref().map(|(a, b)| (a, b));
         let d = self.search_range as i32;
-        let mut center = Vec2i::ZERO;
-        let mut best = MotionVector {
-            v: Vec2i::ZERO,
-            sad: sad_block(cur, prev, x0, y0, bw, bh, 0, 0),
-        };
-        // Initial step: largest power of two ≤ max(1, (d+1)/2).
-        let mut step = 1i32;
-        while step * 2 <= (d + 1) / 2 {
-            step *= 2;
-        }
-        while step >= 1 {
-            let mut improved = best;
-            for (sx, sy) in [
-                (-1, -1),
-                (0, -1),
-                (1, -1),
-                (-1, 0),
-                (1, 0),
-                (-1, 1),
-                (0, 1),
-                (1, 1),
-            ] {
-                let vx = i32::from(center.x) + sx * step;
-                let vy = i32::from(center.y) + sy * step;
-                if vx.abs() > d || vy.abs() > d {
-                    continue;
+        let mb = self.mb_size;
+        let search = &*search;
+
+        let rows: Vec<u32> = (0..blocks_y).collect();
+        let row_results: Vec<(Vec<MotionVector>, SearchStats)> =
+            parallel_map(&rows, threads, |_, &by| {
+                let mut scratch = Scratch::default();
+                let mut mvs = Vec::with_capacity(blocks_x as usize);
+                let mut stats = SearchStats::default();
+                for bx in 0..blocks_x {
+                    let x0 = bx * mb;
+                    let y0 = by * mb;
+                    let bw = (cur.width() - x0).min(mb);
+                    let bh = (cur.height() - y0).min(mb);
+                    let mut ctx =
+                        SearchCtx::new(cur, prev, coarse, &mut scratch, x0, y0, bw, bh, d);
+                    search.search(&mut ctx);
+                    mvs.push(ctx.best());
+                    stats.blocks += 1;
+                    stats.probes += ctx.probes;
+                    stats.sad_ops += ctx.sad_ops;
                 }
-                let sad = sad_block(cur, prev, x0, y0, bw, bh, vx, vy);
-                if better(sad, Vec2i::new(vx as i16, vy as i16), &improved) {
-                    improved = MotionVector {
-                        v: Vec2i::new(vx as i16, vy as i16),
-                        sad,
-                    };
-                }
-            }
-            best = improved;
-            center = best.v;
-            step /= 2;
+                (mvs, stats)
+            });
+
+        let mut stats = SearchStats::default();
+        for (by, (mvs, row_stats)) in row_results.into_iter().enumerate() {
+            stats.merge(&row_stats);
+            let base = by * blocks_x as usize;
+            field.vectors[base..base + blocks_x as usize].copy_from_slice(&mvs);
         }
-        best
+        Ok((field, stats))
     }
 }
 
-/// Strict-improvement comparison with a deterministic tie-break: prefer the
-/// lower SAD; on equal SAD prefer the shorter vector (so static content
-/// yields zero motion even when many offsets match equally well).
-fn better(sad: u32, v: Vec2i, incumbent: &MotionVector) -> bool {
-    sad < incumbent.sad || (sad == incumbent.sad && v.norm_sq() < incumbent.v.norm_sq())
+// ---------------------------------------------------------------------------
+// SAD kernel
+// ---------------------------------------------------------------------------
+
+/// Sum of absolute differences of two equal-length rows, accumulated in
+/// u32 chunks the compiler can keep in vector registers.
+#[inline]
+fn row_sad(a: &[u8], b: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
+        let mut chunk = 0u32;
+        for k in 0..8 {
+            chunk += u32::from(pa[k].abs_diff(pb[k]));
+        }
+        sum += chunk;
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += u32::from(x.abs_diff(*y));
+    }
+    sum
 }
 
 /// SAD between the block at `(x0, y0)` of `cur` and the block displaced by
 /// `(-vx, -vy)` in `prev` (the content moved *by* `(vx, vy)`). Reference
-/// pixels outside the frame are clamped to the edge.
+/// pixels outside the frame are clamped to the edge. Evaluation walks row
+/// slices and stops after any row whose running total strictly exceeds
+/// `limit` — such a candidate can never beat the incumbent, and exact
+/// ties (`== limit`) are always fully evaluated so the shorter-vector
+/// tie-break stays deterministic. Returns the (possibly partial) SAD and
+/// the number of rows actually evaluated.
 #[allow(clippy::too_many_arguments)] // mirrors the hardware datapath's ports
 fn sad_block(
     cur: &LumaFrame,
@@ -427,13 +1049,13 @@ fn sad_block(
     bh: u32,
     vx: i32,
     vy: i32,
-) -> u32 {
+    limit: u32,
+) -> (u32, u32) {
     let rx = i64::from(x0) - i64::from(vx);
     let ry = i64::from(y0) - i64::from(vy);
-    let in_bounds = rx >= 0
-        && ry >= 0
-        && rx + i64::from(bw) <= i64::from(prev.width())
-        && ry + i64::from(bh) <= i64::from(prev.height());
+    let w = i64::from(prev.width());
+    let h = i64::from(prev.height());
+    let in_bounds = rx >= 0 && ry >= 0 && rx + i64::from(bw) <= w && ry + i64::from(bh) <= h;
     let mut sad = 0u32;
     if in_bounds {
         // Fast path: whole reference block is inside the frame.
@@ -441,20 +1063,47 @@ fn sad_block(
         for row in 0..bh {
             let a = &cur.row(y0 + row)[x0 as usize..(x0 + bw) as usize];
             let b = &prev.row(ry + row)[rx as usize..(rx + bw) as usize];
-            for (pa, pb) in a.iter().zip(b) {
-                sad += u32::from(pa.abs_diff(*pb));
+            sad += row_sad(a, b);
+            if sad > limit {
+                return (sad, row + 1);
             }
         }
-    } else {
-        for row in 0..bh {
-            for col in 0..bw {
-                let a = cur.at(x0 + col, y0 + row);
-                let b = prev.at_clamped(rx + i64::from(col), ry + i64::from(row));
-                sad += u32::from(a.abs_diff(b));
+        return (sad, bh);
+    }
+    // Clamped path: split each row into a left edge-clamped run, an
+    // in-bounds middle slice, and a right edge-clamped run.
+    let lo = (-rx).clamp(0, i64::from(bw)) as u32; // columns clamped to x = 0
+    let hi = (w - rx).clamp(i64::from(lo), i64::from(bw)) as u32; // first right-clamped column
+    for row in 0..bh {
+        let a = &cur.row(y0 + row)[x0 as usize..(x0 + bw) as usize];
+        let ry_c = (ry + i64::from(row)).clamp(0, h - 1) as u32;
+        let b = prev.row(ry_c);
+        let mut row_total = 0u32;
+        if lo > 0 {
+            let left = b[0];
+            for &pa in &a[..lo as usize] {
+                row_total += u32::from(pa.abs_diff(left));
             }
+        }
+        if hi > lo {
+            let bx0 = (rx + i64::from(lo)) as usize;
+            row_total += row_sad(
+                &a[lo as usize..hi as usize],
+                &b[bx0..bx0 + (hi - lo) as usize],
+            );
+        }
+        if hi < bw {
+            let right = b[b.len() - 1];
+            for &pa in &a[hi as usize..] {
+                row_total += u32::from(pa.abs_diff(right));
+            }
+        }
+        sad += row_total;
+        if sad > limit {
+            return (sad, row + 1);
         }
     }
-    sad
+    (sad, bh)
 }
 
 #[cfg(test)]
@@ -495,7 +1144,7 @@ mod tests {
     #[test]
     fn static_scene_yields_zero_motion() {
         let f = textured(64, 64, 1);
-        for strategy in [SearchStrategy::Exhaustive, SearchStrategy::ThreeStep] {
+        for strategy in SearchStrategy::BUILTIN {
             let m = BlockMatcher::new(16, 7, strategy).unwrap();
             let field = m.estimate(&f, &f).unwrap();
             for by in 0..field.blocks_y() {
@@ -544,6 +1193,27 @@ mod tests {
     }
 
     #[test]
+    fn diamond_and_hierarchical_recover_global_translation() {
+        // Shifts within both strategies' reliable envelope (the property
+        // suite in tests/search_properties.rs maps the envelopes).
+        let prev = textured(96, 96, 12);
+        for strategy in [SearchStrategy::Diamond, SearchStrategy::Hierarchical] {
+            for (dx, dy) in [(2, 0), (0, 3), (-3, -3), (3, -2)] {
+                let cur = shifted(&prev, dx, dy);
+                let m = BlockMatcher::new(16, 7, strategy).unwrap();
+                let field = m.estimate(&cur, &prev).unwrap();
+                let mv = field.at_block(2, 2);
+                assert_eq!(
+                    (i32::from(mv.v.x), i32::from(mv.v.y)),
+                    (dx, dy),
+                    "{strategy:?} shift ({dx},{dy})"
+                );
+                assert_eq!(mv.sad, 0, "{strategy:?} shift ({dx},{dy})");
+            }
+        }
+    }
+
+    #[test]
     fn motion_beyond_search_range_is_not_recovered() {
         // §7 of the paper: fast motion beyond the window is fundamentally
         // unobtainable. A 12-px shift with d=7 must NOT come back as 12.
@@ -585,15 +1255,17 @@ mod tests {
         // 70x50 with mb=16 -> 5x4 blocks, last column 6 px, last row 2 px.
         let prev = textured(70, 50, 6);
         let cur = shifted(&prev, 1, 1);
-        let m = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
-        let field = m.estimate(&cur, &prev).unwrap();
-        assert_eq!((field.blocks_x(), field.blocks_y()), (5, 4));
-        assert_eq!(field.block_pixels(4, 0), 6 * 16);
-        assert_eq!(field.block_pixels(0, 3), 16 * 2);
-        assert_eq!(field.block_pixels(4, 3), 6 * 2);
-        // Confidence of partial blocks is still within [0,1].
-        let c = field.confidence(4, 3);
-        assert!((0.0..=1.0).contains(&c));
+        for strategy in SearchStrategy::BUILTIN {
+            let m = BlockMatcher::new(16, 7, strategy).unwrap();
+            let field = m.estimate(&cur, &prev).unwrap();
+            assert_eq!((field.blocks_x(), field.blocks_y()), (5, 4));
+            assert_eq!(field.block_pixels(4, 0), 6 * 16);
+            assert_eq!(field.block_pixels(0, 3), 16 * 2);
+            assert_eq!(field.block_pixels(4, 3), 6 * 2);
+            // Confidence of partial blocks is still within [0,1].
+            let c = field.confidence(4, 3);
+            assert!((0.0..=1.0).contains(&c), "{strategy:?}");
+        }
     }
 
     #[test]
@@ -627,12 +1299,48 @@ mod tests {
     fn ops_model_matches_paper_formulas() {
         // ES at L=16, d=7: 16^2 * 15^2 = 57,600 ops/block.
         assert_eq!(SearchStrategy::Exhaustive.ops_per_block(16, 7), 256 * 225);
-        // TSS at L=16, d=7: 16^2 * (1 + 8*log2(8)) = 256 * 25 = 6,400.
+        // TSS at L=16, d=7: 16^2 * (1 + 8*3 steps) = 256 * 25 = 6,400.
         assert_eq!(SearchStrategy::ThreeStep.ops_per_block(16, 7), 256 * 25);
         // The paper's 8/9 reduction claim: 6400 / 57600 = 1/9.
         let es = SearchStrategy::Exhaustive.ops_per_block(16, 7) as f64;
         let tss = SearchStrategy::ThreeStep.ops_per_block(16, 7) as f64;
         assert!((tss / es - 1.0 / 9.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tss_probe_model_counts_actual_steps() {
+        // d=7: initial step 4 -> rounds {4,2,1} -> 1 + 8*3 = 25 probes.
+        assert_eq!(SearchStrategy::ThreeStep.probes_per_block(7), 25);
+        // d=10: (d+1)/2 = 5 -> initial step 4 (not 8) -> still 3 rounds.
+        // The old closed form `1 + 8*log2(d+1)` rounded this up to 29.
+        assert_eq!(SearchStrategy::ThreeStep.probes_per_block(10), 25);
+        // d=1: initial step 1 -> single round -> the full 3x3 window.
+        assert_eq!(SearchStrategy::ThreeStep.probes_per_block(1), 9);
+        // d=15: initial step 8 -> 4 rounds.
+        assert_eq!(SearchStrategy::ThreeStep.probes_per_block(15), 33);
+    }
+
+    #[test]
+    fn cheaper_strategies_model_fewer_probes_than_exhaustive() {
+        // TSS never exceeds the window at any range.
+        for d in [1u32, 4, 7, 15] {
+            assert!(
+                SearchStrategy::ThreeStep.probes_per_block(d)
+                    <= SearchStrategy::Exhaustive.probes_per_block(d),
+                "three-step budget exceeds exhaustive at d={d}"
+            );
+        }
+        // Diamond and hierarchical carry fixed pattern/pyramid overheads
+        // that only amortize at realistic ranges (the paper uses d=7).
+        for d in [4u32, 7, 15] {
+            let es = SearchStrategy::Exhaustive.probes_per_block(d);
+            for s in [SearchStrategy::Diamond, SearchStrategy::Hierarchical] {
+                assert!(
+                    s.probes_per_block(d) <= es,
+                    "{s} budget exceeds exhaustive at d={d}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -663,6 +1371,8 @@ mod tests {
         assert!(BlockMatcher::new(16, 0, SearchStrategy::Exhaustive).is_err());
         assert!(BlockMatcher::new(16, 128, SearchStrategy::Exhaustive).is_err());
         assert!(MotionField::zeroed(Resolution::VGA, 0, 7).is_err());
+        // Unregistered custom strategies are rejected at construction.
+        assert!(BlockMatcher::new(16, 7, SearchStrategy::Custom("nonexistent")).is_err());
     }
 
     #[test]
@@ -711,5 +1421,66 @@ mod tests {
         let f_small = m.estimate(&small, &prev).unwrap();
         let f_large = m.estimate(&large, &prev).unwrap();
         assert!(f_large.mean_magnitude() > f_small.mean_magnitude());
+    }
+
+    #[test]
+    fn stats_meter_actual_probes() {
+        let prev = textured(96, 96, 10);
+        let cur = shifted(&prev, 3, -2);
+        let m = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+        let (field, stats) = m.estimate_with_stats(&cur, &prev).unwrap();
+        assert_eq!(stats.blocks, field.block_count() as u64);
+        // ES probes every window offset exactly once per block.
+        assert_eq!(stats.probes, stats.blocks * 225);
+        // Early exit means far fewer ops than the full 225 * 256 model.
+        assert!(stats.sad_ops < stats.blocks * 225 * 256);
+        assert!(stats.sad_ops > 0);
+    }
+
+    #[test]
+    fn parallel_estimate_matches_serial() {
+        let prev = textured(128, 96, 11);
+        let cur = shifted(&prev, -4, 3);
+        for strategy in SearchStrategy::BUILTIN {
+            let m = BlockMatcher::new(16, 7, strategy).unwrap();
+            let (serial, s_stats) = m.estimate_with_stats(&cur, &prev).unwrap();
+            let (parallel, p_stats) = m.estimate_parallel(&cur, &prev, 4).unwrap();
+            assert_eq!(serial, parallel, "{strategy:?}");
+            assert_eq!(s_stats, p_stats, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn custom_strategies_are_pluggable() {
+        /// A cross-pattern search: scan both axes of the window.
+        #[derive(Debug)]
+        struct CrossSearch;
+        impl MotionSearch for CrossSearch {
+            fn name(&self) -> &'static str {
+                "test-cross"
+            }
+            fn probes_per_block(&self, search_range: u32) -> u64 {
+                1 + 4 * u64::from(search_range)
+            }
+            fn search(&self, ctx: &mut SearchCtx<'_>) {
+                for step in 1..=ctx.range() {
+                    for (sx, sy) in [(0, -1), (1, 0), (0, 1), (-1, 0)] {
+                        ctx.probe(sx * step, sy * step);
+                    }
+                }
+            }
+        }
+
+        let strategy = register_search(Arc::new(CrossSearch)).unwrap();
+        assert_eq!(strategy, SearchStrategy::Custom("test-cross"));
+        // Duplicate and built-in-colliding names are rejected.
+        assert!(register_search(Arc::new(CrossSearch)).is_err());
+
+        let prev = textured(64, 64, 13);
+        let cur = shifted(&prev, 0, 2); // axis-aligned: cross can find it
+        let m = BlockMatcher::new(16, 7, strategy).unwrap();
+        let (field, stats) = m.estimate_with_stats(&cur, &prev).unwrap();
+        assert_eq!((field.at_block(2, 2).v.x, field.at_block(2, 2).v.y), (0, 2));
+        assert!(stats.probes <= stats.blocks * strategy.probes_per_block(7));
     }
 }

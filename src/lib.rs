@@ -55,7 +55,14 @@
 //! ```
 //!
 //! For online serving, the same schedule runs frame by frame through a
-//! [`Session`][core::api::Session]:
+//! [`Session`][core::api::Session], fed by the streaming
+//! [`frame_source`][core::frontend::frame_source] front-end (which
+//! renders and motion-estimates lazily, holding one frame at a time).
+//! Motion estimation itself is pluggable: `MotionConfig::strategy`
+//! selects exhaustive, three-step, diamond, or two-level hierarchical
+//! search — or any custom
+//! [`MotionSearch`][isp::motion::MotionSearch] engine installed with
+//! [`register_search`][isp::motion::register_search]:
 //!
 //! ```no_run
 //! use euphrates::core::prelude::*;
