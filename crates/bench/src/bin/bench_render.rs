@@ -1,0 +1,196 @@
+//! Perf-trajectory recorder for the frame-production hot paths.
+//!
+//! Times the scanline renderer (RGB and fused-luma paths across the
+//! effects matrix), streaming sequence preparation, and a small
+//! end-to-end evaluate, then writes `BENCH_render.json` with median
+//! per-frame timings and machine info — the recorded baseline future
+//! PRs diff against.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p euphrates-bench --bin bench_render [-- --quick] [--out PATH]
+//! ```
+//!
+//! `--quick` (or `EUPHRATES_BENCH_QUICK=1`) cuts samples for CI; the
+//! JSON notes which mode produced it.
+
+use euphrates_camera::scene::{Scene, SceneBuilder, SceneEffects};
+use euphrates_common::image::{LumaFrame, Resolution};
+use euphrates_core::prelude::*;
+use euphrates_core::{frame_source, prepare_sequence};
+use euphrates_nn::oracle::calib;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Config {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut quick = std::env::var("EUPHRATES_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let mut out = "BENCH_render.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--out requires a path"))
+            }
+            other => panic!("unknown argument {other} (expected --quick / --out PATH)"),
+        }
+    }
+    Config { quick, out }
+}
+
+/// Median of per-iteration wall-clock nanoseconds over `samples` runs.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u64 {
+    // One warm-up pass (fills caches, builds lazy canvases).
+    f();
+    let mut ns: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+fn vga_scene(effects: SceneEffects) -> Scene {
+    SceneBuilder::new(Resolution::VGA, 42)
+        .effects(effects)
+        .object_default()
+        .build()
+}
+
+fn main() {
+    let cfg = parse_args();
+    let samples = if cfg.quick { 3 } else { 9 };
+    let frames: u32 = if cfg.quick { 4 } else { 12 };
+    println!(
+        "bench_render: {} mode, {samples} samples x {frames} frames",
+        if cfg.quick { "quick" } else { "full" }
+    );
+
+    let mut metrics: Vec<(String, u64)> = Vec::new();
+
+    // Renderer construction (background canvas + sampler).
+    let plain = SceneEffects {
+        pixel_noise_sigma: 0.0,
+        ..SceneEffects::default()
+    };
+    let scene = vga_scene(plain.clone());
+    metrics.push((
+        "renderer_new_ns".into(),
+        median_ns(samples, || {
+            black_box(scene.renderer());
+        }),
+    ));
+
+    // Per-frame rendering across the effects matrix (ns/frame).
+    let matrix = [
+        ("plain", plain.clone()),
+        (
+            "blur_shake",
+            SceneEffects {
+                exposure_blur: 0.8,
+                shake_amplitude: 5.0,
+                ..plain.clone()
+            },
+        ),
+        ("noise", SceneEffects::default()),
+    ];
+    for (name, effects) in &matrix {
+        let scene = vga_scene(effects.clone());
+        let mut renderer = scene.renderer();
+        let mut luma = LumaFrame::new(640, 480).expect("VGA");
+        metrics.push((
+            format!("render_rgb_{name}_ns_per_frame"),
+            median_ns(samples, || {
+                for i in 0..frames {
+                    let f = renderer.render_pixels(i);
+                    renderer.recycle(f);
+                }
+            }) / u64::from(frames),
+        ));
+        metrics.push((
+            format!("render_luma_{name}_ns_per_frame"),
+            median_ns(samples, || {
+                for i in 0..frames {
+                    black_box(renderer.render_luma_into(i, &mut luma));
+                }
+            }) / u64::from(frames),
+        ));
+    }
+
+    // Streaming preparation (render + TSS block matching), ns/frame.
+    let mut suite = euphrates_datasets::otb100_like(42, DatasetScale::fraction(0.05));
+    suite.truncate(1);
+    let mut seq = suite.pop().expect("non-empty suite");
+    seq.frames = frames.max(8);
+    let config = MotionConfig::default();
+    metrics.push((
+        "prepare_stream_ns_per_frame".into(),
+        median_ns(samples, || {
+            let mut n = 0u32;
+            for frame in frame_source(&seq, &config).expect("valid config") {
+                frame.expect("frame");
+                n += 1;
+            }
+            assert_eq!(n, seq.frames);
+        }) / u64::from(seq.frames),
+    ));
+
+    // Small end-to-end evaluate (ms scale; recorded in ns).
+    let eval_samples = if cfg.quick { 1 } else { 3 };
+    metrics.push((
+        "evaluate_tracking_ns".into(),
+        median_ns(eval_samples, || {
+            let prep = prepare_sequence(&seq, &config).expect("prepare succeeds");
+            black_box(
+                run_task(
+                    TrackerTask::new(calib::mdnet()),
+                    &prep,
+                    &BackendConfig::new(EwPolicy::Constant(4)),
+                    0,
+                )
+                .expect("run succeeds"),
+            );
+        }),
+    ));
+
+    // Render the JSON by hand (no serde in the tree).
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"bench\": \"render_path\",");
+    let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
+    let _ = writeln!(
+        json,
+        "  \"machine\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"threads\": {} }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        threads
+    );
+    json.push_str("  \"metrics\": {\n");
+    for (i, (name, ns)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {ns}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&cfg.out, &json).expect("writable output path");
+    for (name, ns) in &metrics {
+        println!("{name:<36} {:>12.3} ms", *ns as f64 / 1e6);
+    }
+    println!("wrote {}", cfg.out);
+}

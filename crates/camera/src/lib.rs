@@ -31,6 +31,55 @@
 //! assert_eq!(frame.rgb.width(), 160);
 //! assert_eq!(frame.truth.len(), 1);
 //! ```
+//!
+//! ## Performance notes
+//!
+//! [`scene::Renderer`] is a *scanline* renderer: frame production is
+//! row-granular data movement over a cached background canvas, not
+//! per-pixel recomputation. The moving parts, and how each preserves
+//! bit-identical output:
+//!
+//! * **Background blit** — one `memcpy` per row at an integer offset.
+//!   Provably equal to the old per-pixel `round` (`round(x + c) =
+//!   x + round(c)` for integer `x` away from half-pixel boundaries; a
+//!   guard routes the degenerate near-`.5` case to the exact per-pixel
+//!   path).
+//! * **Dirty-rect reuse** — between frames only the rectangles objects
+//!   touched (or a shake-induced offset change) are restored from the
+//!   canvas. Pure data movement, provably identical.
+//! * **Span rasterization** — object parts draw by row spans solved
+//!   from the inverse rotation with *tight* rotated extents; the
+//!   per-pixel inside test and texture arithmetic are unchanged, spans
+//!   are conservative (widened by one pixel), so drawn pixels are
+//!   decided by the identical expressions.
+//! * **Motion blur** — sub-exposures accumulate in `u16` (3 × 255
+//!   fits; integer sums are exact in both the old `f64` and the new
+//!   representation) and only object regions are re-rendered per tap
+//!   when the blit offset is tap-invariant. The rounded average is a
+//!   766-entry table of the old expression.
+//! * **Illumination** — a 256-entry LUT of the old per-channel gain
+//!   expression when pixel noise is off. With noise on, the seeded
+//!   per-channel RNG stream is replicated verbatim (it *is* the output
+//!   contract), which makes noise the rendering-cost floor.
+//! * **Fused luma** — [`scene::Renderer::render_luma_into`] composes
+//!   gain/noise and the RGB→luma conversion in one pass (clean
+//!   background pixels blit from a precomputed canvas luma), so the
+//!   streaming front-end never materializes an RGB frame it would
+//!   immediately discard. Golden-hash-locked rather than proven.
+//! * **Buffer reuse** — output frames come from an internal
+//!   [`FramePool`][euphrates_common::pool::FramePool]; return them with
+//!   [`scene::Renderer::recycle`] and steady-state rendering performs
+//!   O(1) allocations per frame. Callers that only need pixels should
+//!   use [`scene::Renderer::render_pixels`] (skips the O(objects²)
+//!   ground-truth occlusion pass).
+//!
+//! `tests/golden.rs` pins every effects combination (blur × noise ×
+//! shake, plus illumination drift) to FNV-1a digests recorded from the
+//! pre-scanline renderer, and `euphrates-bench`'s
+//! `ablation_render_path` measures the speedup against a faithful
+//! reconstruction of the old path (≥5× on the deterministic VGA
+//! effects matrix on one core; the noise path is pinned by its RNG
+//! stream and improves only marginally).
 
 pub mod imu;
 pub mod scene;
@@ -40,5 +89,5 @@ pub mod texture;
 pub mod trajectory;
 
 pub use imu::{ImuConfig, ImuReading, ImuSensor};
-pub use scene::{FrameIter, GtObject, RenderedFrame, Scene, SceneBuilder, SceneEffects};
+pub use scene::{FrameIter, GtObject, RenderedFrame, Renderer, Scene, SceneBuilder, SceneEffects};
 pub use sensor::{ImageSensor, SensorConfig};

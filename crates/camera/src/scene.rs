@@ -13,13 +13,13 @@
 //! to emulate CNN behaviour; the ISP consumes the pixels to produce real
 //! motion vectors.
 
-use crate::sprite::{Shape, Sprite};
+use crate::sprite::{Part, Shape, Sprite};
 use crate::texture::Texture;
 use crate::trajectory::{Profile, Trajectory};
 use euphrates_common::geom::{Rect, Vec2f};
-use euphrates_common::image::{Resolution, Rgb, RgbFrame};
+use euphrates_common::image::{LumaFrame, Resolution, Rgb, RgbFrame};
+use euphrates_common::pool::FramePool;
 use euphrates_common::rngx;
-use rand::Rng;
 
 /// Label id used for objects that occlude targets but are not themselves
 /// tracked or detected.
@@ -191,6 +191,11 @@ impl Scene {
         &self.effects
     }
 
+    /// The background texture.
+    pub fn background(&self) -> &Texture {
+        &self.background
+    }
+
     /// The scene seed (used to derive all per-frame noise).
     pub fn seed(&self) -> u64 {
         self.seed
@@ -272,12 +277,77 @@ impl Scene {
 /// shake without re-rendering.
 const BG_MARGIN: u32 = 32;
 
-/// Renders frames of one scene, caching the background canvas.
+/// An inclusive pixel rectangle, used for dirty-region tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PixelRect {
+    x0: u32,
+    x1: u32,
+    y0: u32,
+    y1: u32,
+}
+
+impl PixelRect {
+    fn union(self, other: PixelRect) -> PixelRect {
+        PixelRect {
+            x0: self.x0.min(other.x0),
+            x1: self.x1.max(other.x1),
+            y0: self.y0.min(other.y0),
+            y1: self.y1.max(other.y1),
+        }
+    }
+}
+
+/// Renders frames of one scene as a scanline pipeline.
+///
+/// The renderer caches the background canvas once (with a shake margin)
+/// and then produces each frame with row-granular data movement instead
+/// of per-pixel recomputation:
+///
+/// * the background blit is one `memcpy` per row at an integer offset
+///   (provably equal to the old per-pixel `round`, with an exact
+///   fallback for the degenerate half-pixel case);
+/// * between frames only the *dirty rectangles* touched by objects (or
+///   a shake-induced offset change) are restored from the canvas;
+/// * objects rasterize by row spans solved from the inverse rotation,
+///   with the decisive inside test unchanged, and procedural noise
+///   textures sample through a memoized lattice-cell cache;
+/// * motion blur accumulates sub-exposures in `u16` (3 × 255 fits) and
+///   re-renders only object regions per tap when the shake offset is
+///   tap-invariant;
+/// * illumination is a 256-entry LUT when pixel noise is off, and the
+///   luma path ([`render_luma_into`][Renderer::render_luma_into]) fuses
+///   gain/noise and the RGB→luma conversion into one pass over the
+///   composed frame, without materializing an output RGB frame.
+///
+/// Output is bit-identical to the pre-scanline renderer; the golden
+/// tests in `tests/golden.rs` pin that across every effects
+/// combination. Buffers are reused across calls through an internal
+/// [`FramePool`], so steady-state rendering performs O(1) allocations
+/// per frame.
 #[derive(Debug)]
 pub struct Renderer<'a> {
     scene: &'a Scene,
     /// Background rendered once with a margin on all sides.
     bg: RgbFrame,
+    /// Luma of `bg`, built on first use by the fused luma path.
+    bg_luma: Option<LumaFrame>,
+    /// Composed (pre-illumination, pre-noise) frame, reused across
+    /// renders.
+    compose: RgbFrame,
+    /// Background offset currently blitted into `compose`; `None` when
+    /// the compose content is not a pure integer shift of the canvas.
+    compose_offset: Option<(u32, u32)>,
+    /// Regions of `compose` that differ from the background at
+    /// `compose_offset`.
+    dirty: Vec<PixelRect>,
+    /// Scratch rect list for per-tap object bounds.
+    tap_dirty: Vec<PixelRect>,
+    /// Sub-exposure scratch frame for motion blur.
+    tap: Option<RgbFrame>,
+    /// Motion-blur accumulator: per-channel sums of up to 3 taps.
+    acc: Vec<[u16; 3]>,
+    /// Recyclable output buffers.
+    pool: FramePool,
 }
 
 impl<'a> Renderer<'a> {
@@ -285,138 +355,400 @@ impl<'a> Renderer<'a> {
         let res = scene.resolution;
         let (bw, bh) = (res.width + 2 * BG_MARGIN, res.height + 2 * BG_MARGIN);
         let mut bg = RgbFrame::new(bw, bh).expect("background dimensions are positive");
+        let mut sampler = scene.background.sampler();
         for y in 0..bh {
-            for x in 0..bw {
-                let wx = f64::from(x) - f64::from(BG_MARGIN);
-                let wy = f64::from(y) - f64::from(BG_MARGIN);
-                bg.set(x, y, scene.background.sample(wx, wy));
+            let wy = f64::from(y) - f64::from(BG_MARGIN);
+            for (x, px) in bg.row_mut(y).iter_mut().enumerate() {
+                let wx = x as f64 - f64::from(BG_MARGIN);
+                *px = sampler.sample(wx, wy);
             }
         }
-        Renderer { scene, bg }
+        Renderer {
+            scene,
+            bg,
+            bg_luma: None,
+            compose: RgbFrame::new(res.width, res.height).expect("positive resolution"),
+            compose_offset: None,
+            dirty: Vec::new(),
+            tap_dirty: Vec::new(),
+            tap: None,
+            acc: Vec::new(),
+            pool: FramePool::new(),
+        }
     }
 
     /// Renders frame `index`, returning pixels and ground truth.
     pub fn render(&mut self, index: u32) -> RenderedFrame {
-        let t = f64::from(index);
-        let blur = self.scene.effects.exposure_blur;
-        let rgb = if blur > 0.0 {
-            // Average three sub-exposures across the shutter interval.
-            let taps = [t, t - blur / 2.0, t - blur];
-            let mut acc: Vec<[f64; 3]> = vec![[0.0; 3]; self.scene.resolution.pixels() as usize];
-            for &tt in &taps {
-                let sub = self.render_instant(tt.max(0.0));
-                for (a, p) in acc.iter_mut().zip(sub.samples()) {
-                    a[0] += f64::from(p.r);
-                    a[1] += f64::from(p.g);
-                    a[2] += f64::from(p.b);
-                }
-            }
-            let n = taps.len() as f64;
-            let mut out = RgbFrame::new(self.scene.resolution.width, self.scene.resolution.height)
-                .expect("positive resolution");
-            for (dst, a) in out.samples_mut().iter_mut().zip(&acc) {
-                *dst = Rgb::new(
-                    (a[0] / n).round() as u8,
-                    (a[1] / n).round() as u8,
-                    (a[2] / n).round() as u8,
-                );
-            }
-            out
-        } else {
-            self.render_instant(t)
-        };
-
-        let rgb = self.apply_illumination_and_noise(rgb, index);
         RenderedFrame {
             index,
-            rgb,
+            rgb: self.render_pixels(index),
             truth: self.scene.ground_truth(index),
         }
     }
 
-    /// Renders the scene at an exact instant (no blur/noise/illumination).
-    fn render_instant(&self, t: f64) -> RgbFrame {
-        let res = self.scene.resolution;
-        let shake = self.scene.effects.shake(t);
-        let mut frame = RgbFrame::new(res.width, res.height).expect("positive resolution");
-
-        // Background blit at the shake offset (clamped to the margin).
-        let ox = (-shake.x).clamp(-f64::from(BG_MARGIN), f64::from(BG_MARGIN));
-        let oy = (-shake.y).clamp(-f64::from(BG_MARGIN), f64::from(BG_MARGIN));
-        for y in 0..res.height {
-            for x in 0..res.width {
-                let sx = (f64::from(x) + ox + f64::from(BG_MARGIN)).round() as i64;
-                let sy = (f64::from(y) + oy + f64::from(BG_MARGIN)).round() as i64;
-                frame.set(x, y, self.bg.at_clamped(sx, sy));
-            }
-        }
-
-        // Objects, painter's algorithm.
-        let mut order: Vec<&SceneObject> = self
-            .scene
-            .objects
-            .iter()
-            .filter(|o| o.active_at(t))
-            .collect();
-        order.sort_by_key(|o| o.z);
-        for obj in order {
-            self.draw_object(&mut frame, obj, t, shake);
-        }
-        frame
+    /// Renders frame `index` into a pooled frame, skipping the
+    /// ground-truth pass (which walks an O(objects²) occluder loop) —
+    /// the call for consumers that only need pixels. Return the frame
+    /// with [`recycle`][Renderer::recycle] to keep rendering
+    /// allocation-free.
+    pub fn render_pixels(&mut self, index: u32) -> RgbFrame {
+        let mut out = self.pool.acquire_rgb(self.scene.resolution);
+        self.render_pixels_into(index, &mut out);
+        out
     }
 
-    fn draw_object(&self, frame: &mut RgbFrame, obj: &SceneObject, t: f64, shake: Vec2f) {
+    /// Renders frame `index` into `out` (resized if needed), pixels
+    /// only.
+    pub fn render_pixels_into(&mut self, index: u32, out: &mut RgbFrame) {
         let res = self.scene.resolution;
-        let c = obj.trajectory.position(t) + shake;
-        let s = obj.scale.at(t).max(0.01);
-        let theta = obj.rotation.at(t);
-        let aspect = obj.aspect.at(t).clamp(0.05, 1.0);
-        let (sw, sh) = (obj.sprite.width * s * aspect, obj.sprite.height * s);
-        let (cos_t, sin_t) = (theta.cos(), theta.sin());
+        if out.width() != res.width || out.height() != res.height {
+            *out = RgbFrame::new(res.width, res.height).expect("positive resolution");
+        }
+        self.compose_frame(index);
+        self.finalize_rgb(index, out);
+    }
 
-        for part in &obj.sprite.parts {
-            let off = part.offset_at(t);
-            let pc_local = Vec2f::new(off.x * sw, off.y * sh);
-            // Part center in world coordinates.
-            let pcx = c.x + pc_local.x * cos_t - pc_local.y * sin_t;
-            let pcy = c.y + pc_local.x * sin_t + pc_local.y * cos_t;
-            let half = Vec2f::new(
-                (part.size.x * sw / 2.0).max(0.5),
-                (part.size.y * sh / 2.0).max(0.5),
-            );
-            // Conservative raster bounds: rotated extent.
-            let ext = half.x.hypot(half.y);
-            let x0 = ((pcx - ext).floor().max(0.0)) as u32;
-            let y0 = ((pcy - ext).floor().max(0.0)) as u32;
-            let x1 = ((pcx + ext).ceil().min(f64::from(res.width) - 1.0)).max(0.0) as u32;
-            let y1 = ((pcy + ext).ceil().min(f64::from(res.height) - 1.0)).max(0.0) as u32;
-            if x0 > x1 || y0 > y1 {
-                continue;
+    /// Renders frame `index` into `out` and returns its ground truth.
+    pub fn render_into(&mut self, index: u32, out: &mut RgbFrame) -> Vec<GtObject> {
+        self.render_pixels_into(index, out);
+        self.scene.ground_truth(index)
+    }
+
+    /// Renders frame `index` directly as a luma plane (bit-identical to
+    /// `rgb_to_luma` of the RGB render) and returns its ground truth.
+    /// The gain/noise stage and the RGB→luma conversion are fused into
+    /// one pass over the composed frame, so no full RGB output frame is
+    /// materialized — the streaming front-end's fast path.
+    pub fn render_luma_into(&mut self, index: u32, out: &mut LumaFrame) -> Vec<GtObject> {
+        let res = self.scene.resolution;
+        if out.width() != res.width || out.height() != res.height {
+            *out = LumaFrame::new(res.width, res.height).expect("positive resolution");
+        }
+        self.compose_frame(index);
+        self.finalize_luma(index, out);
+        self.scene.ground_truth(index)
+    }
+
+    /// Returns a frame's storage to the renderer's pool so the next
+    /// [`render_pixels`][Renderer::render_pixels] reuses it.
+    pub fn recycle(&mut self, frame: RgbFrame) {
+        self.pool.recycle_rgb(frame);
+    }
+
+    // -- compose: background + objects (pre-illumination/noise) ----------
+
+    fn compose_frame(&mut self, index: u32) {
+        let t = f64::from(index);
+        let blur = self.scene.effects.exposure_blur;
+        if blur > 0.0 {
+            self.compose_blurred(t, blur);
+        } else {
+            self.compose_instant(t);
+        }
+    }
+
+    /// The integer background-blit offset for a shake value, or `None`
+    /// when a rounded offset is within 1e-9 of a half-pixel boundary —
+    /// the one case where `round(x + c)` is not provably `x + round(c)`
+    /// per pixel — which falls back to the exact per-pixel blit.
+    fn blit_offset(&self, shake: Vec2f) -> Option<(u32, u32)> {
+        let m = f64::from(BG_MARGIN);
+        let (ox, oy) = shake_clamped(shake);
+        let (cx, cy) = (ox + m, oy + m);
+        let near_half = |c: f64| ((c - c.floor()) - 0.5).abs() < 1e-9;
+        if near_half(cx) || near_half(cy) {
+            return None;
+        }
+        Some((cx.round() as u32, cy.round() as u32))
+    }
+
+    /// Brings `compose` to "pure background at `shake`" state: restores
+    /// dirty regions when the offset is unchanged, row-blits the whole
+    /// frame when it moved, or falls back to the exact per-pixel path
+    /// for degenerate offsets. Clears the dirty list.
+    fn ensure_background(&mut self, shake: Vec2f) {
+        match self.blit_offset(shake) {
+            Some((dx, dy)) => self.ensure_background_at(dx, dy),
+            None => {
+                let (ox, oy) = shake_clamped(shake);
+                blit_exact(&self.bg, &mut self.compose, ox, oy);
+                self.compose_offset = None;
+                self.dirty.clear();
             }
-            for py in y0..=y1 {
-                for px in x0..=x1 {
-                    let dx = f64::from(px) + 0.5 - pcx;
-                    let dy = f64::from(py) + 0.5 - pcy;
-                    // Inverse rotation into part-local space.
-                    let lx = dx * cos_t + dy * sin_t;
-                    let ly = -dx * sin_t + dy * cos_t;
-                    let u = lx / half.x;
-                    let v = ly / half.y;
-                    let inside = match part.shape {
-                        Shape::Rectangle => u.abs() <= 1.0 && v.abs() <= 1.0,
-                        Shape::Ellipse => u * u + v * v <= 1.0,
-                    };
-                    if inside {
-                        // Texture is sampled in part-local pixel units so it
-                        // travels rigidly with the part.
-                        frame.set(px, py, part.texture.sample(lx, ly));
-                    }
+        }
+    }
+
+    fn ensure_background_at(&mut self, dx: u32, dy: u32) {
+        if self.compose_offset == Some((dx, dy)) {
+            for r in &self.dirty {
+                blit_rect(&self.bg, &mut self.compose, dx, dy, *r);
+            }
+        } else {
+            blit_full(&self.bg, &mut self.compose, dx, dy);
+            self.compose_offset = Some((dx, dy));
+        }
+        self.dirty.clear();
+    }
+
+    fn compose_instant(&mut self, t: f64) {
+        let shake = self.scene.effects.shake(t);
+        self.ensure_background(shake);
+        draw_objects_at(&mut self.compose, self.scene, t, shake, &mut self.dirty);
+    }
+
+    fn compose_blurred(&mut self, t: f64, blur: f64) {
+        // Average three sub-exposures across the shutter interval (the
+        // old renderer's taps, clamped at the sequence start).
+        let taps = [t, (t - blur / 2.0).max(0.0), (t - blur).max(0.0)];
+        let shakes = taps.map(|tt| self.scene.effects.shake(tt));
+        let offsets = [
+            self.blit_offset(shakes[0]),
+            self.blit_offset(shakes[1]),
+            self.blit_offset(shakes[2]),
+        ];
+        let same_offset =
+            offsets[0].is_some() && offsets[0] == offsets[1] && offsets[1] == offsets[2];
+        if same_offset {
+            let (dx, dy) = offsets[0].expect("checked is_some");
+            self.compose_blurred_same_offset(taps, shakes, dx, dy);
+        } else {
+            self.compose_blurred_general(taps, shakes, offsets);
+        }
+    }
+
+    /// Blur fast path: the background blit offset is tap-invariant (in
+    /// particular whenever shake is off), so background pixels average
+    /// to themselves exactly (`round(3v / 3) = v`) and only the object
+    /// dirty region needs per-tap work.
+    fn compose_blurred_same_offset(
+        &mut self,
+        taps: [f64; 3],
+        shakes: [Vec2f; 3],
+        dx: u32,
+        dy: u32,
+    ) {
+        self.ensure_background_at(dx, dy);
+
+        // Union of every tap's object bounds: the only pixels where the
+        // three sub-exposures can differ from the background.
+        let mut region: Option<PixelRect> = None;
+        for (&tt, &shake) in taps.iter().zip(&shakes) {
+            self.tap_dirty.clear();
+            collect_object_bounds(self.scene, tt, shake, &mut self.tap_dirty);
+            for r in &self.tap_dirty {
+                region = Some(region.map_or(*r, |u| u.union(*r)));
+            }
+        }
+        let Some(region) = region else {
+            return; // pure background frame; compose is already correct
+        };
+
+        self.ensure_scratch();
+        let Renderer {
+            scene,
+            bg,
+            compose,
+            tap,
+            acc,
+            dirty,
+            tap_dirty,
+            ..
+        } = self;
+        let tap = tap.as_mut().expect("ensure_scratch allocated the tap");
+        let w = compose.width() as usize;
+
+        // acc[region] := 3 × background.
+        for y in region.y0..=region.y1 {
+            let bg_row = &bg.row(y + dy)[dx as usize + region.x0 as usize..];
+            let acc_row = &mut acc[y as usize * w + region.x0 as usize..];
+            for (a, p) in acc_row
+                .iter_mut()
+                .zip(bg_row)
+                .take((region.x1 - region.x0 + 1) as usize)
+            {
+                *a = [3 * u16::from(p.r), 3 * u16::from(p.g), 3 * u16::from(p.b)];
+            }
+        }
+
+        // Per tap: rebuild the region over the background, draw that
+        // instant's objects, and accumulate the delta against the
+        // background (zero wherever the tap shows pure background).
+        for (&tt, &shake) in taps.iter().zip(&shakes) {
+            blit_rect(bg, tap, dx, dy, region);
+            tap_dirty.clear();
+            draw_objects_at(tap, scene, tt, shake, tap_dirty);
+            accumulate_tap_delta(acc, w, tap, bg, dx, dy, region);
+        }
+
+        // compose[region] := rounded average (see `third_lut`).
+        let lut = third_lut();
+        for y in region.y0..=region.y1 {
+            let n = (region.x1 - region.x0 + 1) as usize;
+            let base = y as usize * w + region.x0 as usize;
+            let row = &mut compose.row_mut(y)[region.x0 as usize..region.x0 as usize + n];
+            for (px, a) in row.iter_mut().zip(&acc[base..base + n]) {
+                *px = Rgb::new(lut[a[0] as usize], lut[a[1] as usize], lut[a[2] as usize]);
+            }
+        }
+        dirty.push(region);
+    }
+
+    /// Blur general path (shake moves the blit offset between taps):
+    /// sum the three shifted background rows directly into the
+    /// accumulator, then apply per-tap object deltas over each tap's
+    /// dirty region only, and average the whole frame once.
+    fn compose_blurred_general(
+        &mut self,
+        taps: [f64; 3],
+        shakes: [Vec2f; 3],
+        offsets: [Option<(u32, u32)>; 3],
+    ) {
+        let (Some(o0), Some(o1), Some(o2)) = (offsets[0], offsets[1], offsets[2]) else {
+            self.compose_blurred_fallback(taps, shakes, offsets);
+            return;
+        };
+        self.ensure_scratch();
+
+        // Per-tap object regions, computed up front so rows no object
+        // touches can skip the accumulator entirely.
+        let mut regions: [Option<PixelRect>; 3] = [None; 3];
+        for (k, (&tt, &shake)) in taps.iter().zip(&shakes).enumerate() {
+            self.tap_dirty.clear();
+            collect_object_bounds(self.scene, tt, shake, &mut self.tap_dirty);
+            for r in &self.tap_dirty {
+                regions[k] = Some(regions[k].map_or(*r, |u| u.union(*r)));
+            }
+        }
+        let row_touched = |y: u32| regions.iter().flatten().any(|r| y >= r.y0 && y <= r.y1);
+
+        let Renderer {
+            scene,
+            bg,
+            compose,
+            tap,
+            acc,
+            tap_dirty,
+            ..
+        } = self;
+        let tap = tap.as_mut().expect("ensure_scratch allocated the tap");
+        let w = compose.width() as usize;
+        let lut = third_lut();
+
+        // Clean rows: fuse the three shifted background rows straight
+        // into the rounded average; object rows: stage the sums in the
+        // accumulator for the per-tap deltas below.
+        for y in 0..compose.height() {
+            let r0 = &bg.row(y + o0.1)[o0.0 as usize..o0.0 as usize + w];
+            let r1 = &bg.row(y + o1.1)[o1.0 as usize..o1.0 as usize + w];
+            let r2 = &bg.row(y + o2.1)[o2.0 as usize..o2.0 as usize + w];
+            if row_touched(y) {
+                let acc_row = &mut acc[y as usize * w..(y as usize + 1) * w];
+                for (((a, p0), p1), p2) in acc_row.iter_mut().zip(r0).zip(r1).zip(r2) {
+                    *a = [
+                        u16::from(p0.r) + u16::from(p1.r) + u16::from(p2.r),
+                        u16::from(p0.g) + u16::from(p1.g) + u16::from(p2.g),
+                        u16::from(p0.b) + u16::from(p1.b) + u16::from(p2.b),
+                    ];
+                }
+            } else {
+                let out_row = compose.row_mut(y);
+                for (((px, p0), p1), p2) in out_row.iter_mut().zip(r0).zip(r1).zip(r2) {
+                    *px = Rgb::new(
+                        lut[(u16::from(p0.r) + u16::from(p1.r) + u16::from(p2.r)) as usize],
+                        lut[(u16::from(p0.g) + u16::from(p1.g) + u16::from(p2.g)) as usize],
+                        lut[(u16::from(p0.b) + u16::from(p1.b) + u16::from(p2.b)) as usize],
+                    );
                 }
             }
         }
+
+        // Per tap: rebuild only that tap's object region over its own
+        // background shift, draw, and accumulate the delta.
+        for (k, (&tt, &shake)) in taps.iter().zip(&shakes).enumerate() {
+            let (dx, dy) = [o0, o1, o2][k];
+            let Some(region) = regions[k] else {
+                continue;
+            };
+            blit_rect(bg, tap, dx, dy, region);
+            tap_dirty.clear();
+            draw_objects_at(tap, scene, tt, shake, tap_dirty);
+            accumulate_tap_delta(acc, w, tap, bg, dx, dy, region);
+        }
+
+        // Average the staged rows from the accumulator.
+        for y in 0..compose.height() {
+            if !row_touched(y) {
+                continue;
+            }
+            let acc_row = &acc[y as usize * w..(y as usize + 1) * w];
+            for (px, a) in compose.row_mut(y).iter_mut().zip(acc_row) {
+                *px = Rgb::new(lut[a[0] as usize], lut[a[1] as usize], lut[a[2] as usize]);
+            }
+        }
+        self.compose_offset = None;
+        self.dirty.clear();
     }
 
-    fn apply_illumination_and_noise(&self, mut frame: RgbFrame, index: u32) -> RgbFrame {
+    /// Last-resort blur path for degenerate half-pixel offsets: render
+    /// each sub-exposure fully (exact per-pixel blit) and accumulate
+    /// whole frames.
+    fn compose_blurred_fallback(
+        &mut self,
+        taps: [f64; 3],
+        shakes: [Vec2f; 3],
+        offsets: [Option<(u32, u32)>; 3],
+    ) {
+        self.ensure_scratch();
+        let Renderer {
+            scene,
+            bg,
+            compose,
+            tap,
+            acc,
+            tap_dirty,
+            ..
+        } = self;
+        let tap = tap.as_mut().expect("ensure_scratch allocated the tap");
+        for (k, (&tt, &shake)) in taps.iter().zip(&shakes).enumerate() {
+            match offsets[k] {
+                Some((dx, dy)) => blit_full(bg, tap, dx, dy),
+                None => {
+                    let (ox, oy) = shake_clamped(shake);
+                    blit_exact(bg, tap, ox, oy);
+                }
+            }
+            tap_dirty.clear();
+            draw_objects_at(tap, scene, tt, shake, tap_dirty);
+            if k == 0 {
+                for (a, p) in acc.iter_mut().zip(tap.samples()) {
+                    *a = [u16::from(p.r), u16::from(p.g), u16::from(p.b)];
+                }
+            } else {
+                for (a, p) in acc.iter_mut().zip(tap.samples()) {
+                    a[0] += u16::from(p.r);
+                    a[1] += u16::from(p.g);
+                    a[2] += u16::from(p.b);
+                }
+            }
+        }
+        average_acc(acc, compose);
+        self.compose_offset = None;
+        self.dirty.clear();
+    }
+
+    fn ensure_scratch(&mut self) {
+        let res = self.scene.resolution;
+        if self.tap.is_none() {
+            self.tap = Some(RgbFrame::new(res.width, res.height).expect("positive resolution"));
+        }
+        if self.acc.len() != res.pixels() as usize {
+            self.acc = vec![[0u16; 3]; res.pixels() as usize];
+        }
+    }
+
+    // -- finalize: illumination gain + pixel noise (+ fused luma) --------
+
+    fn gain_sigma(&self, index: u32) -> (f64, f64, bool) {
         let gain = self
             .scene
             .effects
@@ -425,29 +757,452 @@ impl<'a> Renderer<'a> {
             .max(0.0);
         let sigma = self.scene.effects.pixel_noise_sigma;
         let needs_gain = (gain - 1.0).abs() > 1e-9;
+        (gain, sigma, needs_gain)
+    }
+
+    fn finalize_rgb(&mut self, index: u32, out: &mut RgbFrame) {
+        let (gain, sigma, needs_gain) = self.gain_sigma(index);
         if !needs_gain && sigma <= 0.0 {
-            return frame;
+            out.copy_from(&self.compose);
+        } else if sigma <= 0.0 {
+            // Noise off: gain is a pure per-value function — one
+            // 256-entry LUT instead of a million rounds.
+            let lut = gain_lut(gain);
+            for (dst, src) in out.samples_mut().iter_mut().zip(self.compose.samples()) {
+                *dst = Rgb::new(
+                    lut[src.r as usize],
+                    lut[src.g as usize],
+                    lut[src.b as usize],
+                );
+            }
+        } else {
+            // Noise on: the per-channel RNG stream is part of the
+            // rendered output contract; replicate it exactly.
+            let mut rng = rngx::derived_rng(self.scene.seed, 0xF00D, u64::from(index));
+            for (dst, src) in out.samples_mut().iter_mut().zip(self.compose.samples()) {
+                *dst = Rgb::new(
+                    apply_gain_noise(src.r, gain, needs_gain, sigma, &mut rng),
+                    apply_gain_noise(src.g, gain, needs_gain, sigma, &mut rng),
+                    apply_gain_noise(src.b, gain, needs_gain, sigma, &mut rng),
+                );
+            }
         }
-        let mut rng = rngx::derived_rng(self.scene.seed, 0xF00D, u64::from(index));
-        for px in frame.samples_mut() {
-            let apply = |v: u8, rng: &mut rand::rngs::StdRng| -> u8 {
-                let mut f = f64::from(v);
-                if needs_gain {
-                    f *= gain;
+    }
+
+    fn finalize_luma(&mut self, index: u32, out: &mut LumaFrame) {
+        let (gain, sigma, needs_gain) = self.gain_sigma(index);
+        if !needs_gain && sigma <= 0.0 {
+            if let Some((dx, dy)) = self.compose_offset {
+                // Clean background pixels have a precomputed luma: blit
+                // rows from the canvas luma and convert only the dirty
+                // regions.
+                if self.bg_luma.is_none() {
+                    let mut l = LumaFrame::new(self.bg.width(), self.bg.height())
+                        .expect("background dimensions are positive");
+                    for (dst, src) in l.samples_mut().iter_mut().zip(self.bg.samples()) {
+                        *dst = src.luma();
+                    }
+                    self.bg_luma = Some(l);
                 }
-                if sigma > 0.0 {
-                    f += rngx::gaussian(rng, 0.0, sigma);
+                let bgl = self.bg_luma.as_ref().expect("built above");
+                let w = out.width() as usize;
+                for y in 0..out.height() {
+                    out.row_mut(y)
+                        .copy_from_slice(&bgl.row(y + dy)[dx as usize..dx as usize + w]);
                 }
-                f.round().clamp(0.0, 255.0) as u8
+                for r in &self.dirty {
+                    for y in r.y0..=r.y1 {
+                        let n = (r.x1 - r.x0 + 1) as usize;
+                        let src = &self.compose.row(y)[r.x0 as usize..r.x0 as usize + n];
+                        let dst = &mut out.row_mut(y)[r.x0 as usize..r.x0 as usize + n];
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d = s.luma();
+                        }
+                    }
+                }
+            } else {
+                for (dst, src) in out.samples_mut().iter_mut().zip(self.compose.samples()) {
+                    *dst = src.luma();
+                }
+            }
+        } else if sigma <= 0.0 {
+            let lut = gain_lut(gain);
+            for (dst, src) in out.samples_mut().iter_mut().zip(self.compose.samples()) {
+                *dst = Rgb::new(
+                    lut[src.r as usize],
+                    lut[src.g as usize],
+                    lut[src.b as usize],
+                )
+                .luma();
+            }
+        } else {
+            let mut rng = rngx::derived_rng(self.scene.seed, 0xF00D, u64::from(index));
+            for (dst, src) in out.samples_mut().iter_mut().zip(self.compose.samples()) {
+                *dst = Rgb::new(
+                    apply_gain_noise(src.r, gain, needs_gain, sigma, &mut rng),
+                    apply_gain_noise(src.g, gain, needs_gain, sigma, &mut rng),
+                    apply_gain_noise(src.b, gain, needs_gain, sigma, &mut rng),
+                )
+                .luma();
+            }
+        }
+    }
+}
+
+/// The rounded three-tap average as a table over the integer channel
+/// sum (`0..=765`): entry `s` is `(s as f64 / 3.0).round()`, exactly
+/// the old `f64` accumulator's per-channel arithmetic (integer sums are
+/// exact in both representations). Tabulating replaces ~1M libm
+/// `round` calls per blurred VGA frame with indexed loads.
+fn third_lut() -> [u8; 766] {
+    let mut lut = [0u8; 766];
+    for (s, out) in lut.iter_mut().enumerate() {
+        *out = (s as f64 / 3.0).round() as u8;
+    }
+    lut
+}
+
+/// Writes the rounded three-tap average into `out`.
+fn average_acc(acc: &[[u16; 3]], out: &mut RgbFrame) {
+    let lut = third_lut();
+    for (px, a) in out.samples_mut().iter_mut().zip(acc) {
+        *px = Rgb::new(lut[a[0] as usize], lut[a[1] as usize], lut[a[2] as usize]);
+    }
+}
+
+/// The old renderer's per-channel illumination/noise step, verbatim.
+#[inline]
+fn apply_gain_noise(
+    v: u8,
+    gain: f64,
+    needs_gain: bool,
+    sigma: f64,
+    rng: &mut rand::rngs::StdRng,
+) -> u8 {
+    let mut f = f64::from(v);
+    if needs_gain {
+        f *= gain;
+    }
+    if sigma > 0.0 {
+        f += rngx::gaussian(rng, 0.0, sigma);
+    }
+    f.round().clamp(0.0, 255.0) as u8
+}
+
+/// 256-entry gain LUT; entry `v` equals the old per-pixel computation
+/// for a channel value `v` with noise off.
+fn gain_lut(gain: f64) -> [u8; 256] {
+    let mut lut = [0u8; 256];
+    for (v, out) in lut.iter_mut().enumerate() {
+        *out = (v as f64 * gain).round().clamp(0.0, 255.0) as u8;
+    }
+    lut
+}
+
+/// The clamped fractional background offsets for a shake value — the
+/// bit-identity-critical clamp from the old renderer, derived in
+/// exactly one place (used by the integer fast path and both exact
+/// fallbacks).
+fn shake_clamped(shake: Vec2f) -> (f64, f64) {
+    let m = f64::from(BG_MARGIN);
+    ((-shake.x).clamp(-m, m), (-shake.y).clamp(-m, m))
+}
+
+/// Draws every object active at `t` in painter's order (stable sort by
+/// `z`, insertion order on ties — the old renderer's ordering).
+fn draw_objects_at(
+    frame: &mut RgbFrame,
+    scene: &Scene,
+    t: f64,
+    shake: Vec2f,
+    dirty: &mut Vec<PixelRect>,
+) {
+    let mut order: Vec<&SceneObject> = scene.objects.iter().filter(|o| o.active_at(t)).collect();
+    order.sort_by_key(|o| o.z);
+    for obj in order {
+        draw_object(frame, obj, t, shake, dirty);
+    }
+}
+
+/// Accumulates one sub-exposure's delta against its background over
+/// `region`: `acc += tap − bg` per channel. Safe in `u16`: the
+/// accumulator holds at most three 255-sums (≤ 765), so the transient
+/// `acc + tap` peaks at 1020 and the background term being subtracted
+/// is always still contained in the sum.
+fn accumulate_tap_delta(
+    acc: &mut [[u16; 3]],
+    w: usize,
+    tap: &RgbFrame,
+    bg: &RgbFrame,
+    dx: u32,
+    dy: u32,
+    region: PixelRect,
+) {
+    for y in region.y0..=region.y1 {
+        let n = (region.x1 - region.x0 + 1) as usize;
+        let base = y as usize * w + region.x0 as usize;
+        let tap_row = &tap.row(y)[region.x0 as usize..region.x0 as usize + n];
+        let bg_row = &bg.row(y + dy)[dx as usize + region.x0 as usize..];
+        for ((a, tp), bp) in acc[base..base + n].iter_mut().zip(tap_row).zip(bg_row) {
+            a[0] = a[0] + u16::from(tp.r) - u16::from(bp.r);
+            a[1] = a[1] + u16::from(tp.g) - u16::from(bp.g);
+            a[2] = a[2] + u16::from(tp.b) - u16::from(bp.b);
+        }
+    }
+}
+
+// -- background blits ------------------------------------------------------
+
+/// Full-frame background blit at an integer offset: one row `memcpy`
+/// per scanline. `dx`/`dy` are in `[0, 2 * BG_MARGIN]`, so every source
+/// index is in range by construction (no clamping needed).
+fn blit_full(bg: &RgbFrame, out: &mut RgbFrame, dx: u32, dy: u32) {
+    let w = out.width() as usize;
+    for y in 0..out.height() {
+        out.row_mut(y)
+            .copy_from_slice(&bg.row(y + dy)[dx as usize..dx as usize + w]);
+    }
+}
+
+/// Restores one rectangle of `out` from the background at an integer
+/// offset.
+fn blit_rect(bg: &RgbFrame, out: &mut RgbFrame, dx: u32, dy: u32, r: PixelRect) {
+    let n = (r.x1 - r.x0 + 1) as usize;
+    for y in r.y0..=r.y1 {
+        let src = &bg.row(y + dy)[(dx + r.x0) as usize..(dx + r.x0) as usize + n];
+        out.row_mut(y)[r.x0 as usize..r.x0 as usize + n].copy_from_slice(src);
+    }
+}
+
+/// The pre-scanline per-pixel blit, kept as the exact fallback for
+/// offsets within 1e-9 of a half-pixel boundary (where the row-blit
+/// integer-offset identity is not provable).
+fn blit_exact(bg: &RgbFrame, out: &mut RgbFrame, ox: f64, oy: f64) {
+    let m = f64::from(BG_MARGIN);
+    for y in 0..out.height() {
+        for x in 0..out.width() {
+            let sx = (f64::from(x) + ox + m).round() as i64;
+            let sy = (f64::from(y) + oy + m).round() as i64;
+            out.set(x, y, bg.at_clamped(sx, sy));
+        }
+    }
+}
+
+// -- object rasterization --------------------------------------------------
+
+/// Per-part raster geometry: world-space part center, half extents,
+/// rotation, and the clipped conservative pixel bounds.
+struct PartRaster {
+    pcx: f64,
+    pcy: f64,
+    half: Vec2f,
+    cos_t: f64,
+    sin_t: f64,
+    rect: PixelRect,
+}
+
+/// Per-object transform constants, hoisted out of the part loop.
+struct ObjectFrame {
+    c: Vec2f,
+    sw: f64,
+    sh: f64,
+    cos_t: f64,
+    sin_t: f64,
+}
+
+impl ObjectFrame {
+    fn new(obj: &SceneObject, t: f64, shake: Vec2f) -> ObjectFrame {
+        let c = obj.trajectory.position(t) + shake;
+        let s = obj.scale.at(t).max(0.01);
+        let theta = obj.rotation.at(t);
+        let aspect = obj.aspect.at(t).clamp(0.05, 1.0);
+        ObjectFrame {
+            c,
+            sw: obj.sprite.width * s * aspect,
+            sh: obj.sprite.height * s,
+            cos_t: theta.cos(),
+            sin_t: theta.sin(),
+        }
+    }
+}
+
+/// Computes a part's raster geometry, or `None` when its bounds clip to
+/// nothing. The extents are the *tight* rotated projections (plus a
+/// one-pixel margin absorbing floating-point error), not the old
+/// circumscribed-circle radius — for a rotated 2:1 rectangle this alone
+/// shrinks the scanned area by ~2–8×.
+fn part_raster(
+    of: &ObjectFrame,
+    part: &Part,
+    t: f64,
+    width: u32,
+    height: u32,
+) -> Option<PartRaster> {
+    let off = part.offset_at(t);
+    let pc_local = Vec2f::new(off.x * of.sw, off.y * of.sh);
+    let pcx = of.c.x + pc_local.x * of.cos_t - pc_local.y * of.sin_t;
+    let pcy = of.c.y + pc_local.x * of.sin_t + pc_local.y * of.cos_t;
+    let half = Vec2f::new(
+        (part.size.x * of.sw / 2.0).max(0.5),
+        (part.size.y * of.sh / 2.0).max(0.5),
+    );
+    let (ac, as_) = (of.cos_t.abs(), of.sin_t.abs());
+    let (ex, ey) = match part.shape {
+        Shape::Rectangle => (half.x * ac + half.y * as_, half.x * as_ + half.y * ac),
+        Shape::Ellipse => (
+            (half.x * ac).hypot(half.y * as_),
+            (half.x * as_).hypot(half.y * ac),
+        ),
+    };
+    let (ex, ey) = (ex + 1.0, ey + 1.0);
+    let x0 = (pcx - ex).floor().max(0.0);
+    let y0 = (pcy - ey).floor().max(0.0);
+    let x1 = ((pcx + ex).ceil().min(f64::from(width) - 1.0)).max(0.0);
+    let y1 = ((pcy + ey).ceil().min(f64::from(height) - 1.0)).max(0.0);
+    if x0 > x1 || y0 > y1 {
+        return None;
+    }
+    Some(PartRaster {
+        pcx,
+        pcy,
+        half,
+        cos_t: of.cos_t,
+        sin_t: of.sin_t,
+        rect: PixelRect {
+            x0: x0 as u32,
+            x1: x1 as u32,
+            y0: y0 as u32,
+            y1: y1 as u32,
+        },
+    })
+}
+
+/// Conservative column span of row `py` (inclusive, clamped to the
+/// part's rect), or `None` when the row cannot intersect the shape. The
+/// span is solved from the inverse rotation as an interval in `dx` and
+/// widened by one pixel on each side, so it strictly contains every
+/// pixel the exact inside test accepts; the test itself still runs
+/// per pixel within the span, unchanged.
+fn row_span(pr: &PartRaster, shape: Shape, dy_sin: f64, dy_cos: f64) -> Option<(u32, u32)> {
+    let (hx, hy) = (pr.half.x, pr.half.y);
+    let (c, s) = (pr.cos_t, pr.sin_t);
+    // dx interval containing all inside pixels of this row.
+    let (lo, hi) = match shape {
+        Shape::Rectangle => {
+            // |c·dx + dy_sin| ≤ hx  ∧  |−s·dx + dy_cos| ≤ hy
+            let a = linear_interval(c, dy_sin, hx + 1e-7 * (hx + dy_sin.abs() + 1.0))?;
+            let b = linear_interval(-s, dy_cos, hy + 1e-7 * (hy + dy_cos.abs() + 1.0))?;
+            let lo = a.0.max(b.0);
+            let hi = a.1.min(b.1);
+            if lo > hi {
+                return None;
+            }
+            (lo, hi)
+        }
+        Shape::Ellipse => {
+            // (lx/hx)² + (ly/hy)² ≤ 1 is a quadratic in dx with
+            // positive leading coefficient (cos² + sin² = 1).
+            let qa = (c / hx) * (c / hx) + (s / hy) * (s / hy);
+            let qb = 2.0 * (c * dy_sin / (hx * hx) - s * dy_cos / (hy * hy));
+            let qc = (dy_sin / hx) * (dy_sin / hx) + (dy_cos / hy) * (dy_cos / hy) - 1.0 - 1e-7;
+            let disc = qb * qb - 4.0 * qa * qc;
+            if disc < 0.0 {
+                return None;
+            }
+            let sq = disc.sqrt();
+            ((-qb - sq) / (2.0 * qa), (-qb + sq) / (2.0 * qa))
+        }
+    };
+    // Map dx = px + 0.5 − pcx back to pixel columns, widen by one, and
+    // clamp to the part rect.
+    let min_px = f64::from(pr.rect.x0);
+    let max_px = f64::from(pr.rect.x1);
+    let lo_px = (lo + pr.pcx - 0.5 - 1.0).floor().clamp(min_px, max_px);
+    let hi_px = (hi + pr.pcx - 0.5 + 1.0).ceil().clamp(min_px, max_px);
+    if lo_px > hi_px {
+        return None;
+    }
+    Some((lo_px as u32, hi_px as u32))
+}
+
+/// Solves `|a·dx + k| ≤ h` for `dx`, returning the closed interval or
+/// `None` when empty. A near-zero slope makes the constraint
+/// dx-independent: always satisfied or never.
+fn linear_interval(a: f64, k: f64, h: f64) -> Option<(f64, f64)> {
+    if a.abs() < 1e-12 {
+        if k.abs() <= h {
+            Some((f64::NEG_INFINITY, f64::INFINITY))
+        } else {
+            None
+        }
+    } else {
+        let p = (-h - k) / a;
+        let q = (h - k) / a;
+        Some((p.min(q), p.max(q)))
+    }
+}
+
+/// Draws one object (painter's algorithm slot) by row spans, recording
+/// each part's raster rect in `dirty`. The inside test and texture
+/// arithmetic are byte-for-byte the old per-pixel renderer's; only the
+/// pixels *visited* shrink.
+fn draw_object(
+    frame: &mut RgbFrame,
+    obj: &SceneObject,
+    t: f64,
+    shake: Vec2f,
+    dirty: &mut Vec<PixelRect>,
+) {
+    let of = ObjectFrame::new(obj, t, shake);
+    for part in &obj.sprite.parts {
+        let Some(pr) = part_raster(&of, part, t, frame.width(), frame.height()) else {
+            continue;
+        };
+        let mut sampler = part.texture.sampler();
+        for py in pr.rect.y0..=pr.rect.y1 {
+            let dy = f64::from(py) + 0.5 - pr.pcy;
+            let dy_sin = dy * pr.sin_t;
+            let dy_cos = dy * pr.cos_t;
+            let Some((cx0, cx1)) = row_span(&pr, part.shape, dy_sin, dy_cos) else {
+                continue;
             };
-            *px = Rgb::new(
-                apply(px.r, &mut rng),
-                apply(px.g, &mut rng),
-                apply(px.b, &mut rng),
-            );
+            let row = frame.row_mut(py);
+            for px in cx0..=cx1 {
+                let dx = f64::from(px) + 0.5 - pr.pcx;
+                // Inverse rotation into part-local space (identical
+                // expression tree to the old renderer: `dy_sin`/`dy_cos`
+                // are the same products, hoisted).
+                let lx = dx * pr.cos_t + dy_sin;
+                let ly = -dx * pr.sin_t + dy_cos;
+                let u = lx / pr.half.x;
+                let v = ly / pr.half.y;
+                let inside = match part.shape {
+                    Shape::Rectangle => u.abs() <= 1.0 && v.abs() <= 1.0,
+                    Shape::Ellipse => u * u + v * v <= 1.0,
+                };
+                if inside {
+                    // Texture is sampled in part-local pixel units so it
+                    // travels rigidly with the part.
+                    row[px as usize] = sampler.sample(lx, ly);
+                }
+            }
         }
-        let _ = rng.gen::<u8>(); // keep the stream length independent of layout
-        frame
+        dirty.push(pr.rect);
+    }
+}
+
+/// Collects the raster rects every part of every active object would
+/// touch at instant `t` — the motion-blur fast path's dirty region,
+/// computed without drawing.
+fn collect_object_bounds(scene: &Scene, t: f64, shake: Vec2f, out: &mut Vec<PixelRect>) {
+    let res = scene.resolution;
+    for obj in scene.objects.iter().filter(|o| o.active_at(t)) {
+        let of = ObjectFrame::new(obj, t, shake);
+        for part in &obj.sprite.parts {
+            if let Some(pr) = part_raster(&of, part, t, res.width, res.height) {
+                out.push(pr.rect);
+            }
+        }
     }
 }
 

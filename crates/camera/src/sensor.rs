@@ -71,6 +71,25 @@ impl ImageSensor {
     /// Returns an error if the input resolution differs from the
     /// configured capture resolution.
     pub fn capture(&self, rgb: &RgbFrame, frame_index: u32) -> Result<BayerFrame> {
+        let mut raw = BayerFrame::new(rgb.width(), rgb.height())?;
+        self.capture_into(rgb, frame_index, &mut raw)?;
+        Ok(raw)
+    }
+
+    /// [`capture`][ImageSensor::capture] into a caller-provided frame,
+    /// so a streaming pipeline can reuse one RAW buffer across frames
+    /// (`out` is resized if its shape differs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input resolution differs from the
+    /// configured capture resolution.
+    pub fn capture_into(
+        &self,
+        rgb: &RgbFrame,
+        frame_index: u32,
+        out: &mut BayerFrame,
+    ) -> Result<()> {
         if rgb.width() != self.config.resolution.width
             || rgb.height() != self.config.resolution.height
         {
@@ -81,28 +100,32 @@ impl ImageSensor {
                 rgb.height()
             )));
         }
-        let mut raw = BayerFrame::new(rgb.width(), rgb.height())?;
+        if !out.same_shape(rgb) {
+            *out = BayerFrame::new(rgb.width(), rgb.height())?;
+        }
         let mut rng = rngx::derived_rng(self.seed, 0x5E45, u64::from(frame_index));
         let sigma = self.config.read_noise_sigma;
         for y in 0..rgb.height() {
-            for x in 0..rgb.width() {
-                let px = rgb.at(x, y);
-                let v = match rggb_color(x, y) {
+            // Row-sliced mosaic: even rows alternate R/G photosites,
+            // odd rows G/B (same values `rggb_color` dispatches to).
+            let src = rgb.row(y);
+            let dst = out.row_mut(y);
+            for (x, (d, px)) in dst.iter_mut().zip(src).enumerate() {
+                let v = match rggb_color(x as u32, y) {
                     CfaColor::Red => px.r,
                     CfaColor::Green => px.g,
                     CfaColor::Blue => px.b,
                 };
-                let noisy = if sigma > 0.0 {
+                *d = if sigma > 0.0 {
                     (f64::from(v) + rngx::gaussian(&mut rng, 0.0, sigma))
                         .round()
                         .clamp(0.0, 255.0) as u8
                 } else {
                     v
                 };
-                raw.set(x, y, noisy);
             }
         }
-        Ok(raw)
+        Ok(())
     }
 
     /// Active power at the configured operating point, scaled by pixel rate
@@ -165,6 +188,21 @@ mod tests {
         assert_eq!(raw.at(1, 0), 100); // G site
         assert_eq!(raw.at(0, 1), 100); // G site
         assert_eq!(raw.at(1, 1), 50); // B site
+    }
+
+    #[test]
+    fn capture_into_reuses_buffer_and_matches_capture() {
+        let sensor = vga_sensor(2.0);
+        let rgb = solid_rgb(Resolution::VGA, Rgb::new(90, 160, 40));
+        let fresh = sensor.capture(&rgb, 5).unwrap();
+        // Wrong-shaped buffer is replaced; right-shaped buffer is reused.
+        let mut reused = BayerFrame::new(2, 2).unwrap();
+        sensor.capture_into(&rgb, 5, &mut reused).unwrap();
+        assert_eq!(fresh, reused);
+        let ptr = reused.samples().as_ptr();
+        sensor.capture_into(&rgb, 6, &mut reused).unwrap();
+        assert_eq!(reused.samples().as_ptr(), ptr, "buffer must be reused");
+        assert_eq!(reused, sensor.capture(&rgb, 6).unwrap());
     }
 
     #[test]

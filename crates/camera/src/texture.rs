@@ -108,6 +108,129 @@ impl Texture {
             }
         }
     }
+
+    /// Creates a stateful sampler for scanline access patterns.
+    ///
+    /// For [`Texture::Noise`] the sampler memoizes the four lattice
+    /// hashes of the current cell per octave: the plain [`sample`]
+    /// recomputes 8 hashes per pixel, while adjacent samples along a
+    /// scanline stay inside one `scale`-sized cell for many pixels, so
+    /// the sampler hits its one-entry cache for all but ~2/`scale` of
+    /// lookups. Returned colors are bit-identical to [`sample`] — only
+    /// the hash evaluations are cached; the interpolation arithmetic is
+    /// unchanged. Other variants delegate to [`sample`] directly.
+    ///
+    /// [`sample`]: Texture::sample
+    pub fn sampler(&self) -> TextureSampler<'_> {
+        let stripes = match self {
+            // Hoist the per-sample trigonometry; same arithmetic as
+            // `sample` (cos/sin of the same angle, applied identically).
+            Texture::Stripes { angle, .. } => (angle.cos(), angle.sin()),
+            _ => (0.0, 0.0),
+        };
+        TextureSampler {
+            texture: self,
+            octaves: [CellCache::EMPTY; 2],
+            stripes,
+        }
+    }
+}
+
+/// One memoized lattice cell: the four corner hashes of `(ix, iy)`.
+#[derive(Debug, Clone, Copy)]
+struct CellCache {
+    ix: i64,
+    iy: i64,
+    valid: bool,
+    v00: f64,
+    v10: f64,
+    v01: f64,
+    v11: f64,
+}
+
+impl CellCache {
+    const EMPTY: CellCache = CellCache {
+        ix: 0,
+        iy: 0,
+        valid: false,
+        v00: 0.0,
+        v10: 0.0,
+        v01: 0.0,
+        v11: 0.0,
+    };
+}
+
+/// A stateful, scanline-friendly texture sampler (see
+/// [`Texture::sampler`]). Bit-identical to [`Texture::sample`].
+#[derive(Debug)]
+pub struct TextureSampler<'a> {
+    texture: &'a Texture,
+    /// Per-octave lattice-cell caches for [`Texture::Noise`].
+    octaves: [CellCache; 2],
+    /// `(cos, sin)` of the stripe angle for [`Texture::Stripes`].
+    stripes: (f64, f64),
+}
+
+impl TextureSampler<'_> {
+    /// Samples the texture at `(x, y)`; identical output to
+    /// [`Texture::sample`].
+    #[inline]
+    pub fn sample(&mut self, x: f64, y: f64) -> Rgb {
+        match self.texture {
+            Texture::Noise {
+                lo,
+                hi,
+                scale,
+                seed,
+            } => {
+                let (sx, sy) = (x / scale, y / scale);
+                let n0 = value_noise_cached(*seed, sx, sy, &mut self.octaves[0]);
+                let n1 = value_noise_cached(
+                    *seed ^ 0xABCD_EF01,
+                    sx * 2.3,
+                    sy * 2.3,
+                    &mut self.octaves[1],
+                );
+                let v = (0.7 * n0 + 0.3 * n1).clamp(0.0, 1.0);
+                lerp_rgb(*lo, *hi, v)
+            }
+            Texture::Stripes { a, b, width, .. } => {
+                let proj = x * self.stripes.0 + y * self.stripes.1;
+                if ((proj / width).floor() as i64) & 1 == 0 {
+                    *a
+                } else {
+                    *b
+                }
+            }
+            other => other.sample(x, y),
+        }
+    }
+}
+
+/// [`value_noise`] with the four corner hashes served from a one-entry
+/// cell cache. The interpolation is the same expression tree as the
+/// uncached version, so results are bit-identical.
+#[inline]
+fn value_noise_cached(seed: u64, x: f64, y: f64, cache: &mut CellCache) -> f64 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = smoothstep(x - x0);
+    let fy = smoothstep(y - y0);
+    let (ix, iy) = (x0 as i64, y0 as i64);
+    if !cache.valid || cache.ix != ix || cache.iy != iy {
+        *cache = CellCache {
+            ix,
+            iy,
+            valid: true,
+            v00: lattice_hash(seed, ix, iy),
+            v10: lattice_hash(seed, ix + 1, iy),
+            v01: lattice_hash(seed, ix, iy + 1),
+            v11: lattice_hash(seed, ix + 1, iy + 1),
+        };
+    }
+    let top = cache.v00 + (cache.v10 - cache.v00) * fx;
+    let bot = cache.v01 + (cache.v11 - cache.v01) * fx;
+    top + (bot - top) * fy
 }
 
 /// Two-octave value noise in `[0, 1]`.
@@ -138,13 +261,32 @@ fn smoothstep(t: f64) -> f64 {
     t * t * (3.0 - 2.0 * t)
 }
 
+/// Rounds a non-negative channel value to `u8` exactly as
+/// `f.round().clamp(0.0, 255.0) as u8` does, without the libm `round`
+/// call on the hot path.
+///
+/// For `f >= 0.5`, `f + 0.5` is exact whenever it stays in `f`'s binade
+/// (0.5 is a multiple of every ulp there), and when it crosses into the
+/// next binade the sum lies in `[2^k, 2^k + 0.5]`, where rounding
+/// cannot cross an integer — so the saturating truncating cast equals
+/// `floor(f + 0.5)`, which is round-half-away-from-zero for positive
+/// values (saturation at 255 matches the clamp). Values below `0.5`
+/// (including slightly negative interpolation residue) take the
+/// original expression. The `fast_channel_round_matches_round` test
+/// sweeps boundary neighborhoods.
+#[inline]
+fn round_channel(f: f64) -> u8 {
+    if f >= 0.5 {
+        (f + 0.5) as u8
+    } else {
+        f.round().clamp(0.0, 255.0) as u8
+    }
+}
+
 fn lerp_rgb(a: Rgb, b: Rgb, t: f64) -> Rgb {
     let t = t.clamp(0.0, 1.0);
-    let mix = |x: u8, y: u8| -> u8 {
-        (f64::from(x) + (f64::from(y) - f64::from(x)) * t)
-            .round()
-            .clamp(0.0, 255.0) as u8
-    };
+    let mix =
+        |x: u8, y: u8| -> u8 { round_channel(f64::from(x) + (f64::from(y) - f64::from(x)) * t) };
     Rgb::new(mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b))
 }
 
@@ -230,10 +372,70 @@ mod tests {
     }
 
     #[test]
+    fn sampler_bit_matches_pure_sample() {
+        let textures = [
+            Texture::flat_gray(),
+            Texture::Checker {
+                a: Rgb::gray(10),
+                b: Rgb::gray(200),
+                cell: 6.0,
+            },
+            Texture::background_noise(17),
+            Texture::object_noise(3),
+            Texture::Stripes {
+                a: Rgb::new(1, 2, 3),
+                b: Rgb::new(200, 100, 50),
+                width: 5.0,
+                angle: 0.83,
+            },
+        ];
+        for tex in &textures {
+            let mut sampler = tex.sampler();
+            // Scanline order (cache-friendly), then scattered revisits
+            // (cache-hostile): both must agree exactly.
+            for y in 0..12 {
+                for x in 0..40 {
+                    let (fx, fy) = (f64::from(x) * 0.9 - 3.0, f64::from(y) * 1.1 - 2.0);
+                    assert_eq!(sampler.sample(fx, fy), tex.sample(fx, fy), "at {fx},{fy}");
+                }
+            }
+            for &(fx, fy) in &[(100.5, -7.2), (0.0, 0.0), (100.5, -7.2), (-31.4, 15.9)] {
+                assert_eq!(sampler.sample(fx, fy), tex.sample(fx, fy));
+            }
+        }
+    }
+
+    #[test]
     fn lerp_rgb_endpoints() {
         let a = Rgb::new(10, 20, 30);
         let b = Rgb::new(200, 100, 0);
         assert_eq!(lerp_rgb(a, b, 0.0), a);
         assert_eq!(lerp_rgb(a, b, 1.0), b);
+    }
+
+    #[test]
+    fn fast_channel_round_matches_round() {
+        let reference = |f: f64| f.round().clamp(0.0, 255.0) as u8;
+        // Dense sweep plus half-boundary neighborhoods and the largest
+        // f64 below 0.5 (the value where a naive trunc would carry).
+        for i in 0..200_000u32 {
+            let f = f64::from(i) * (256.0 / 200_000.0);
+            assert_eq!(round_channel(f), reference(f), "at {f}");
+        }
+        for k in 0..256u32 {
+            let h = f64::from(k) + 0.5;
+            for f in [
+                h,
+                h - f64::EPSILON * h,
+                h + f64::EPSILON * h,
+                h.next_down(),
+                h.next_up(),
+            ] {
+                assert_eq!(round_channel(f), reference(f), "at {f}");
+            }
+        }
+        for f in [0.0, -0.0, -1e-14, 0.5f64.next_down(), 255.5, 256.0, 300.0] {
+            assert_eq!(round_channel(f), reference(f), "at {f}");
+        }
     }
 }

@@ -133,6 +133,31 @@ impl<T: Copy> Plane<T> {
         &self.data[y as usize * w..(y as usize + 1) * w]
     }
 
+    /// Row `y` as a mutable slice (the scanline renderer's write path:
+    /// whole rows are blitted with `copy_from_slice`).
+    #[inline]
+    pub fn row_mut(&mut self, y: u32) -> &mut [T] {
+        let w = self.width as usize;
+        &mut self.data[y as usize * w..(y as usize + 1) * w]
+    }
+
+    /// Consumes the plane and returns its sample storage (used by
+    /// [`pool::FramePool`][crate::pool::FramePool] to recycle buffers).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Copies every sample from `src`, which must have the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[inline]
+    pub fn copy_from(&mut self, src: &Plane<T>) {
+        assert!(self.same_shape(src), "copy_from requires identical shapes");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// All samples, row-major.
     pub fn samples(&self) -> &[T] {
         &self.data
@@ -172,7 +197,27 @@ impl Rgb {
     }
 
     /// BT.601 luma, rounded.
+    ///
+    /// Computed in integer arithmetic (`(299·r + 587·g + 114·b + 500) /
+    /// 1000`) with a float fallback on exact decimal `.5` ties, which is
+    /// bit-identical to the original `f64` expression over all 2²⁴
+    /// inputs (the `luma_integer_path_matches_float_exhaustively` test
+    /// sweeps every one) while keeping the libm `round` call off the
+    /// per-pixel hot path.
     pub fn luma(self) -> u8 {
+        let s = 299 * u32::from(self.r) + 587 * u32::from(self.g) + 114 * u32::from(self.b);
+        if (s + 500) % 1000 == 0 {
+            // Exact half: defer to the original float expression, whose
+            // representation error decides the tie.
+            Self::luma_f64(self)
+        } else {
+            ((s + 500) / 1000) as u8
+        }
+    }
+
+    /// The original floating-point luma expression (reference
+    /// implementation; the tie path of [`luma`][Rgb::luma]).
+    fn luma_f64(self) -> u8 {
         let y = 0.299 * f64::from(self.r) + 0.587 * f64::from(self.g) + 0.114 * f64::from(self.b);
         y.round().clamp(0.0, 255.0) as u8
     }
@@ -348,6 +393,24 @@ mod tests {
         // Green dominates the luma.
         assert!(Rgb::new(0, 255, 0).luma() > Rgb::new(255, 0, 0).luma());
         assert!(Rgb::new(255, 0, 0).luma() > Rgb::new(0, 0, 255).luma());
+    }
+
+    #[test]
+    fn luma_integer_path_matches_float_exhaustively() {
+        // Debug builds sample the space; release builds (tier-1 runs
+        // `cargo test --release` in CI) sweep all 2^24 inputs.
+        let step: u32 = if cfg!(debug_assertions) { 7 } else { 1 };
+        let mut checked = 0u64;
+        for r in (0..=255u32).step_by(step as usize) {
+            for g in (0..=255u32).step_by(step as usize) {
+                for b in (0..=255u32).step_by(step as usize) {
+                    let px = Rgb::new(r as u8, g as u8, b as u8);
+                    assert_eq!(px.luma(), px.luma_f64(), "diverged at {px}");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked >= 38 * 38 * 38);
     }
 
     #[test]

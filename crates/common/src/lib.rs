@@ -5,8 +5,9 @@
 //! ([`fixed::Q16`], [`fixed::Q32`]), image planes ([`image::LumaFrame`],
 //! [`image::RgbFrame`], [`image::BayerFrame`]), accuracy metrics
 //! ([`metrics`]), descriptive statistics ([`stats`]), physical-unit newtypes
-//! ([`units`]), deterministic parallel-execution plumbing ([`par`]), and
-//! plain-text table rendering ([`table`]) used by the experiment harness.
+//! ([`units`]), deterministic parallel-execution plumbing ([`par`]),
+//! recyclable frame buffers ([`pool::FramePool`]), and plain-text table
+//! rendering ([`table`]) used by the experiment harness.
 //!
 //! Every other crate in the workspace depends on this one; it has no
 //! dependencies of its own outside the standard library.
@@ -27,6 +28,7 @@ pub mod geom;
 pub mod image;
 pub mod metrics;
 pub mod par;
+pub mod pool;
 pub mod rngx;
 pub mod stats;
 pub mod table;

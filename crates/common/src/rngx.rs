@@ -47,6 +47,45 @@ pub fn lattice_hash(seed: u64, x: i64, y: i64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// 64-bit FNV-1a hash over a byte stream — the digest the renderer's
+/// golden-output regression tests lock frames to. Stable across
+/// platforms and releases by construction (pure integer arithmetic).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a hasher for streaming digests over several frames.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a new digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// Absorbs `bytes` into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +123,20 @@ mod tests {
     fn gaussian_zero_sigma_is_constant() {
         let mut rng = derived_rng(7, 0, 0);
         assert_eq!(gaussian(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
+        // The streaming hasher agrees with the one-shot function.
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+        assert_eq!(Fnv1a::default().finish(), fnv1a(b""));
     }
 
     #[test]

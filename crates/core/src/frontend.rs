@@ -22,11 +22,11 @@
 //!   motion field taken from the temporal-denoise stage exactly as in
 //!   Fig. 7.
 
-use euphrates_camera::scene::GtObject;
+use euphrates_camera::scene::{GtObject, Renderer};
 use euphrates_camera::sensor::{ImageSensor, SensorConfig};
 use euphrates_common::error::{Error, Result};
-use euphrates_common::image::{rgb_to_luma, LumaFrame, Resolution};
-use euphrates_datasets::{FrameIter, Sequence};
+use euphrates_common::image::{BayerFrame, LumaFrame, Resolution, RgbFrame};
+use euphrates_datasets::Sequence;
 use euphrates_isp::motion::{BlockMatcher, MotionField, SearchStrategy};
 use euphrates_isp::pipeline::{IspConfig, IspPipeline};
 use std::sync::{Arc, Condvar, Mutex};
@@ -98,12 +98,23 @@ impl PreparedSequence {
 /// `next()` call, holding only the previous luma plane (fast path) or the
 /// ISP's temporal state (full path) between frames.
 ///
+/// The source drives the scene's scanline [`Renderer`] directly through
+/// fixed, reused buffers: the fast path renders straight to luma
+/// ([`Renderer::render_luma_into`], which fuses illumination/noise and
+/// the RGB→luma conversion, so no intermediate RGB frame is ever
+/// materialized) and double-buffers the current/previous planes; the
+/// full-ISP path reuses one RGB and one RAW frame across the whole
+/// stream. Steady-state iteration therefore performs O(1) allocations
+/// per frame.
+///
 /// Created by [`frame_source`]; consumed by
 /// [`run_stream`][crate::api::run_stream], a
 /// [`Session`][crate::api::Session] feeding loop, or `collect()`ed by
 /// [`prepare_sequence`].
 pub struct FrameSource<'a> {
-    frames: FrameIter<'a>,
+    renderer: Renderer<'a>,
+    next: u32,
+    end: u32,
     resolution: Resolution,
     state: SourceState,
 }
@@ -113,12 +124,18 @@ enum SourceState {
     Luma {
         matcher: BlockMatcher,
         config: MotionConfig,
-        prev_luma: Option<LumaFrame>,
+        /// Current / previous luma planes, swapped each frame.
+        cur: LumaFrame,
+        prev: LumaFrame,
+        have_prev: bool,
     },
     /// Full path: sensor capture + complete ISP per frame.
     FullIsp {
         sensor: ImageSensor,
         isp: Box<IspPipeline>,
+        /// Reused render target and RAW capture buffer.
+        rgb: RgbFrame,
+        raw: BayerFrame,
     },
 }
 
@@ -133,34 +150,46 @@ impl Iterator for FrameSource<'_> {
     type Item = Result<FrameData>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let rendered = self.frames.next()?;
-        let produce = |state: &mut SourceState| -> Result<FrameData> {
+        if self.next >= self.end {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        let renderer = &mut self.renderer;
+        let mut produce = |state: &mut SourceState| -> Result<FrameData> {
             match state {
                 SourceState::Luma {
                     matcher,
                     config,
-                    prev_luma,
+                    cur,
+                    prev,
+                    have_prev,
                 } => {
-                    let luma = rgb_to_luma(&rendered.rgb);
-                    let motion = match prev_luma {
-                        Some(prev) => matcher.estimate(&luma, prev)?,
-                        None => MotionField::zeroed(
-                            Resolution::new(luma.width(), luma.height()),
+                    let truth = renderer.render_luma_into(index, cur);
+                    let motion = if *have_prev {
+                        matcher.estimate(cur, prev)?
+                    } else {
+                        MotionField::zeroed(
+                            Resolution::new(cur.width(), cur.height()),
                             config.mb_size,
                             config.search_range,
-                        )?,
+                        )?
                     };
-                    *prev_luma = Some(luma);
-                    Ok(FrameData {
-                        truth: rendered.truth,
-                        motion,
-                    })
+                    std::mem::swap(cur, prev);
+                    *have_prev = true;
+                    Ok(FrameData { truth, motion })
                 }
-                SourceState::FullIsp { sensor, isp } => {
-                    let raw = sensor.capture(&rendered.rgb, rendered.index)?;
-                    let out = isp.process(&raw)?;
+                SourceState::FullIsp {
+                    sensor,
+                    isp,
+                    rgb,
+                    raw,
+                } => {
+                    let truth = renderer.render_into(index, rgb);
+                    sensor.capture_into(rgb, index, raw)?;
+                    let out = isp.process(raw)?;
                     Ok(FrameData {
-                        truth: rendered.truth,
+                        truth,
                         motion: out.motion,
                     })
                 }
@@ -170,9 +199,12 @@ impl Iterator for FrameSource<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.frames.size_hint()
+        let n = self.end.saturating_sub(self.next) as usize;
+        (n, Some(n))
     }
 }
+
+impl ExactSizeIterator for FrameSource<'_> {}
 
 /// Opens a streaming frame source over `seq`: frames are rendered and
 /// motion-estimated lazily, one per `next()`, without materializing the
@@ -198,16 +230,22 @@ pub fn frame_source<'a>(seq: &'a Sequence, config: &MotionConfig) -> Result<Fram
         SourceState::FullIsp {
             sensor,
             isp: Box::new(IspPipeline::new(isp_cfg)?),
+            rgb: RgbFrame::new(res.width, res.height)?,
+            raw: BayerFrame::new(res.width, res.height)?,
         }
     } else {
         SourceState::Luma {
             matcher: BlockMatcher::new(config.mb_size, config.search_range, config.strategy)?,
             config: *config,
-            prev_luma: None,
+            cur: LumaFrame::new(res.width, res.height)?,
+            prev: LumaFrame::new(res.width, res.height)?,
+            have_prev: false,
         }
     };
     Ok(FrameSource {
-        frames: seq.render_iter(),
+        renderer: seq.scene.renderer(),
+        next: 0,
+        end: seq.frames,
         resolution: res,
         state,
     })
@@ -426,6 +464,34 @@ mod tests {
             }
             assert_eq!(streamed, eager.len());
         }
+    }
+
+    #[test]
+    fn fused_luma_source_matches_rgb_conversion_path() {
+        // The streaming fast path renders straight to luma; its output
+        // must bit-match the pre-refactor shape: render RGB, convert
+        // with `rgb_to_luma`, then block-match against the previous
+        // plane.
+        let seq = tiny_seq();
+        let config = MotionConfig::default();
+        let matcher =
+            BlockMatcher::new(config.mb_size, config.search_range, config.strategy).unwrap();
+        let mut source = frame_source(&seq, &config).unwrap();
+        assert_eq!(source.len(), seq.frames as usize);
+        let mut prev: Option<LumaFrame> = None;
+        for rendered in seq.render_iter() {
+            let luma = euphrates_common::image::rgb_to_luma(&rendered.rgb);
+            let expected = match &prev {
+                Some(p) => matcher.estimate(&luma, p).unwrap(),
+                None => MotionField::zeroed(seq.resolution(), config.mb_size, config.search_range)
+                    .unwrap(),
+            };
+            let got = source.next().unwrap().unwrap();
+            assert_eq!(got.motion, expected, "frame {}", rendered.index);
+            assert_eq!(got.truth, rendered.truth, "frame {}", rendered.index);
+            prev = Some(luma);
+        }
+        assert!(source.next().is_none());
     }
 
     #[test]

@@ -58,6 +58,11 @@
 //! [`Session`][core::api::Session], fed by the streaming
 //! [`frame_source`][core::frontend::frame_source] front-end (which
 //! renders and motion-estimates lazily, holding one frame at a time).
+//! Frame production is a scanline pipeline: the fast path renders
+//! straight to luma through fixed, reused buffers (O(1) allocations
+//! per frame; see the "Performance notes" in
+//! [`camera`] for the renderer's bit-identity guarantees and
+//! `BENCH_render.json` for the recorded per-frame timings).
 //! Motion estimation itself is pluggable: `MotionConfig::strategy`
 //! selects exhaustive, three-step, diamond, or two-level hierarchical
 //! search — or any custom
