@@ -11,12 +11,18 @@
 //! before anything is timed; `crates/camera/tests/golden.rs` pins the
 //! same property against hashes recorded from the old code itself.
 //!
-//! The effects matrix is reported per combination. Pixel noise is the
-//! one stage the refactor cannot shrink: its per-channel Box–Muller
-//! stream (seeded RNG + libm `ln`/`cos`) *is* the output contract, so
-//! noise-on rendering is reported separately as the path's floor.
+//! The effects matrix is reported per combination. Pixel noise used to
+//! be the one stage the refactor could not shrink: the per-channel
+//! Box–Muller stream (seeded RNG + libm `ln`/`cos`) *was* the output
+//! contract. PR 4's pluggable noise engine keeps that stream available
+//! (and bit-identical) as `LegacyBoxMuller`, while the new default
+//! `FastGaussian` realizes the same σ through counter-based
+//! inverse-CDF sampling; `bench_noise_models` quantifies the gap and
+//! asserts the ≥8× contract plus the fused-luma invariant (the fused
+//! path must never do more work than RGB + separate conversion).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use euphrates_camera::noise::NoiseModelKind;
 use euphrates_camera::scene::{Scene, SceneBuilder, SceneEffects, SceneObject};
 use euphrates_camera::sprite::Shape;
 use euphrates_camera::texture::Texture;
@@ -293,7 +299,15 @@ fn combos() -> Vec<(&'static str, SceneEffects)> {
                 ..base
             },
         ),
-        ("noise", SceneEffects::default()),
+        (
+            // The old reconstruction *is* the Box–Muller stream, so the
+            // bit-identity leg of this matrix pins the legacy model.
+            "noise",
+            SceneEffects {
+                noise_model: NoiseModelKind::LegacyBoxMuller,
+                ..SceneEffects::default()
+            },
+        ),
     ]
 }
 
@@ -499,5 +513,127 @@ fn bench_prepare_sequence(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_render_matrix, bench_prepare_sequence);
+/// The pluggable noise engine: `FastGaussian` (counter-based
+/// inverse-CDF sampling, the new default) against `LegacyBoxMuller`
+/// (the golden-locked sequential stream) on σ=2 VGA frames, plus the
+/// fused-luma invariant for both models.
+///
+/// Asserted contracts:
+/// * `FastGaussian` fused-luma rendering is ≥8× faster than
+///   `LegacyBoxMuller` (the PR's headline; typically well above).
+/// * For each model, the fused render-to-luma path costs no more than
+///   rendering RGB and converting separately (10% timing tolerance for
+///   the shared container) — the fused path must never do more work
+///   than the unfused one.
+fn bench_noise_models(c: &mut Criterion) {
+    euphrates_bench::announce(
+        "ablation: counter-based FastGaussian vs legacy Box-Muller noise",
+        "sensor-noise engine on the frame-preparation hot path",
+    );
+
+    let scene_for = |kind: NoiseModelKind| {
+        vga_scene(SceneEffects {
+            noise_model: kind,
+            ..SceneEffects::default() // dataset default: sigma = 2
+        })
+    };
+    let fast_scene = scene_for(NoiseModelKind::FastGaussian);
+    let legacy_scene = scene_for(NoiseModelKind::LegacyBoxMuller);
+
+    // Sanity before timing: the fast model is deterministic and really
+    // is a different realization of the same scene (ground truth and
+    // clean compositing agree; only the noise bytes differ).
+    {
+        let mut a = fast_scene.renderer();
+        let mut b = fast_scene.renderer();
+        let f0 = a.render_pixels(3);
+        let f1 = b.render_pixels(3);
+        assert_eq!(f0, f1, "FastGaussian must be deterministic");
+        let mut l = legacy_scene.renderer();
+        assert_ne!(f0, l.render_pixels(3), "models must be distinct streams");
+    }
+
+    let mut g = c.benchmark_group("noise_model_vga_sigma2");
+    g.sample_size(3);
+    let mut luma = LumaFrame::new(640, 480).expect("VGA");
+    let mut fast = fast_scene.renderer();
+    let mut legacy = legacy_scene.renderer();
+    g.bench_function("fast_gaussian_luma", |b| {
+        b.iter(|| {
+            fast.render_luma_pixels_into(black_box(2), &mut luma);
+            black_box(luma.at(0, 0))
+        })
+    });
+    g.bench_function("legacy_box_muller_luma", |b| {
+        b.iter(|| {
+            legacy.render_luma_pixels_into(black_box(2), &mut luma);
+            black_box(luma.at(0, 0))
+        })
+    });
+    g.finish();
+
+    // Headline medians (ms/frame over FRAMES frames, median of 3
+    // passes — robust against scheduler hiccups on the 1-core box).
+    let median_ms = |mut pass: Box<dyn FnMut() + '_>| -> f64 {
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                pass();
+                t0.elapsed().as_secs_f64() * 1e3 / f64::from(FRAMES)
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[1]
+    };
+
+    let mut results: Vec<(&str, f64, f64)> = Vec::new(); // (model, fused, unfused)
+    for (name, scene) in [("fast", &fast_scene), ("legacy", &legacy_scene)] {
+        let mut r = scene.renderer();
+        let mut luma = LumaFrame::new(640, 480).expect("VGA");
+        let fused = median_ms(Box::new(|| {
+            for i in 0..FRAMES {
+                r.render_luma_pixels_into(i, &mut luma);
+                black_box(luma.at(0, 0));
+            }
+        }));
+        let mut r = scene.renderer();
+        let unfused = median_ms(Box::new(|| {
+            for i in 0..FRAMES {
+                let rgb = r.render_pixels(i);
+                let luma = euphrates_common::image::rgb_to_luma(&rgb);
+                black_box(luma.at(0, 0));
+                r.recycle(rgb);
+            }
+        }));
+        println!(
+            "noise sigma=2 VGA ({name:<6}): fused luma {fused:7.2} ms/frame, rgb+convert {unfused:7.2} ms/frame"
+        );
+        results.push((name, fused, unfused));
+    }
+
+    let fast_ms = results[0].1;
+    let legacy_ms = results[1].1;
+    println!(
+        "noise engine: FastGaussian {fast_ms:.2} ms/frame vs LegacyBoxMuller {legacy_ms:.2} ms/frame -> {:.1}x",
+        legacy_ms / fast_ms
+    );
+    assert!(
+        legacy_ms / fast_ms >= 8.0,
+        "FastGaussian must render sigma=2 VGA >=8x faster than the legacy stream (got {:.2}x)",
+        legacy_ms / fast_ms
+    );
+    for (name, fused, unfused) in results {
+        assert!(
+            fused <= unfused * 1.10,
+            "{name}: fused luma ({fused:.2} ms) must not exceed rgb+convert ({unfused:.2} ms)"
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_render_matrix,
+    bench_noise_models,
+    bench_prepare_sequence
+);
 criterion_main!(benches);

@@ -1,10 +1,13 @@
 //! Perf-trajectory recorder for the frame-production hot paths.
 //!
 //! Times the scanline renderer (RGB and fused-luma paths across the
-//! effects matrix), streaming sequence preparation, and a small
-//! end-to-end evaluate, then writes `BENCH_render.json` with median
-//! per-frame timings and machine info — the recorded baseline future
-//! PRs diff against.
+//! effects matrix, with the σ=2 noise stage under both the default
+//! counter-based `FastGaussian` model and the golden-locked
+//! `LegacyBoxMuller` stream), renderer construction (cold and with the
+//! scene-shared canvas), streaming sequence preparation, and a small
+//! end-to-end evaluate, then writes `BENCH_render.json` (schema 2)
+//! with median per-frame timings and machine info — the recorded
+//! baseline future PRs diff against.
 //!
 //! Usage:
 //!
@@ -15,6 +18,7 @@
 //! `--quick` (or `EUPHRATES_BENCH_QUICK=1`) cuts samples for CI; the
 //! JSON notes which mode produced it.
 
+use euphrates_camera::noise::NoiseModelKind;
 use euphrates_camera::scene::{Scene, SceneBuilder, SceneEffects};
 use euphrates_common::image::{LumaFrame, Resolution};
 use euphrates_core::prelude::*;
@@ -80,20 +84,32 @@ fn main() {
 
     let mut metrics: Vec<(String, u64)> = Vec::new();
 
-    // Renderer construction (background canvas + sampler).
+    // Renderer construction. Cold = a fresh scene whose background
+    // canvas must be sampled; shared = another renderer of an
+    // already-canvased scene (the common case in the evaluation grid,
+    // where every scheme re-opens the same sequences).
     let plain = SceneEffects {
         pixel_noise_sigma: 0.0,
         ..SceneEffects::default()
     };
+    metrics.push((
+        "renderer_new_cold_ns".into(),
+        median_ns(samples, || {
+            let scene = vga_scene(plain.clone());
+            black_box(scene.renderer());
+        }),
+    ));
     let scene = vga_scene(plain.clone());
     metrics.push((
-        "renderer_new_ns".into(),
+        "renderer_new_shared_ns".into(),
         median_ns(samples, || {
             black_box(scene.renderer());
         }),
     ));
 
-    // Per-frame rendering across the effects matrix (ns/frame).
+    // Per-frame rendering across the effects matrix (ns/frame). The
+    // noise stage is recorded under both models: `noise_fast` is the
+    // dataset default, `noise_legacy` the pre-engine Box–Muller floor.
     let matrix = [
         ("plain", plain.clone()),
         (
@@ -104,7 +120,14 @@ fn main() {
                 ..plain.clone()
             },
         ),
-        ("noise", SceneEffects::default()),
+        ("noise_fast", SceneEffects::default()),
+        (
+            "noise_legacy",
+            SceneEffects {
+                noise_model: NoiseModelKind::LegacyBoxMuller,
+                ..SceneEffects::default()
+            },
+        ),
     ];
     for (name, effects) in &matrix {
         let scene = vga_scene(effects.clone());
@@ -171,7 +194,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"schema\": 2,");
     let _ = writeln!(json, "  \"bench\": \"render_path\",");
     let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(

@@ -116,15 +116,13 @@ impl Default for ImuSensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trajectory::Profile;
 
     fn shaky_effects() -> SceneEffects {
         SceneEffects {
-            illumination: Profile::one(),
             shake_amplitude: 6.0,
             shake_period: 40.0,
-            exposure_blur: 0.0,
             pixel_noise_sigma: 0.0,
+            ..SceneEffects::default()
         }
     }
 

@@ -58,14 +58,39 @@
 //!   when the blit offset is tap-invariant. The rounded average is a
 //!   766-entry table of the old expression.
 //! * **Illumination** — a 256-entry LUT of the old per-channel gain
-//!   expression when pixel noise is off. With noise on, the seeded
-//!   per-channel RNG stream is replicated verbatim (it *is* the output
-//!   contract), which makes noise the rendering-cost floor.
+//!   expression when pixel noise is off; with noise on, gain folds into
+//!   the noise engine's row application.
+//! * **Pluggable noise engine** — pixel noise (and the sensor's read
+//!   noise) go through a [`noise::NoiseModel`] selected by the
+//!   [`noise::NoiseModelKind`] knob on [`scene::SceneEffects`] /
+//!   [`sensor::SensorConfig`] (and per evaluation via
+//!   `MotionConfig::noise_model` in `euphrates-core`):
+//!
+//!   * [`noise::LegacyBoxMuller`] replays the pre-engine sequential
+//!     Box–Muller stream **bit for bit** — its contract is the golden
+//!     hashes. One libm `ln`/`sqrt`/`cos` pair per two samples keeps
+//!     σ=2 VGA rendering at ~32 ms/frame.
+//!   * [`noise::FastGaussian`] (the default for fresh configs) is
+//!     counter-based: sample `i` of frame `k` is
+//!     `hash(seed, k, i)` fed through a σ-scaled fixed-point
+//!     inverse-CDF table, so application is an `i16` add + clamp per
+//!     channel — ~3.3 ms/frame for the same σ=2 VGA workload (~10×),
+//!     order-independent and row-parallel-ready. Its contract is
+//!     **statistical** (mean/σ/tails/independence pinned by
+//!     `tests/noise_model.rs`) plus its own recorded determinism
+//!     digests — *not* bit-compatibility with Box–Muller.
 //! * **Fused luma** — [`scene::Renderer::render_luma_into`] composes
-//!   gain/noise and the RGB→luma conversion in one pass (clean
-//!   background pixels blit from a precomputed canvas luma), so the
-//!   streaming front-end never materializes an RGB frame it would
-//!   immediately discard. Golden-hash-locked rather than proven.
+//!   gain/noise and the RGB→luma conversion row by row (clean
+//!   background pixels blit from a precomputed canvas luma; noisy rows
+//!   pass through the engine into a one-row scratch), so the streaming
+//!   front-end never materializes an RGB frame it would immediately
+//!   discard — and never does more work than the unfused RGB + convert
+//!   path (asserted in `ablation_render_path`).
+//! * **Shared canvases** — the sampled background canvas (and its
+//!   luma) is built once per [`scene::Scene`] and shared by every
+//!   renderer of that scene, so re-opening a sequence costs ~0.3 ms
+//!   instead of the ~10 ms canvas sampling (the evaluation grid opens
+//!   each sequence once per scheme).
 //! * **Buffer reuse** — output frames come from an internal
 //!   [`FramePool`][euphrates_common::pool::FramePool]; return them with
 //!   [`scene::Renderer::recycle`] and steady-state rendering performs
@@ -74,14 +99,15 @@
 //!   ground-truth occlusion pass).
 //!
 //! `tests/golden.rs` pins every effects combination (blur × noise ×
-//! shake, plus illumination drift) to FNV-1a digests recorded from the
-//! pre-scanline renderer, and `euphrates-bench`'s
-//! `ablation_render_path` measures the speedup against a faithful
-//! reconstruction of the old path (≥5× on the deterministic VGA
-//! effects matrix on one core; the noise path is pinned by its RNG
-//! stream and improves only marginally).
+//! shake, plus illumination drift) to FNV-1a digests: the legacy-model
+//! combos against digests recorded from the pre-scanline renderer, the
+//! fast-model noise combos against digests recorded at the engine's
+//! introduction. `euphrates-bench`'s `ablation_render_path` measures
+//! the speedups (≥5× on the deterministic VGA effects matrix, ≥8×
+//! FastGaussian vs LegacyBoxMuller at σ=2 — both asserted).
 
 pub mod imu;
+pub mod noise;
 pub mod scene;
 pub mod sensor;
 pub mod sprite;
@@ -89,5 +115,6 @@ pub mod texture;
 pub mod trajectory;
 
 pub use imu::{ImuConfig, ImuReading, ImuSensor};
+pub use noise::{FastGaussian, LegacyBoxMuller, NoiseModel, NoiseModelKind};
 pub use scene::{FrameIter, GtObject, RenderedFrame, Renderer, Scene, SceneBuilder, SceneEffects};
 pub use sensor::{ImageSensor, SensorConfig};

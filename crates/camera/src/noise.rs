@@ -1,0 +1,386 @@
+//! Pluggable sensor-noise models.
+//!
+//! Additive Gaussian noise appears twice in the frontend: as
+//! scene-level pixel noise applied by the [`Renderer`][crate::scene::Renderer]
+//! after composition (stream `0xF00D`), and as read noise on the
+//! [`ImageSensor`][crate::sensor::ImageSensor]'s RAW mosaic (stream
+//! `0x5E45`). Both used to be a frozen implementation detail — a seeded,
+//! strictly sequential per-channel Box–Muller stream whose exact bytes
+//! the golden tests lock. This module makes the *model* pluggable while
+//! keeping that stream available and bit-identical:
+//!
+//! * [`LegacyBoxMuller`] replays the pre-refactor stream byte for byte
+//!   (one `ln`/`sqrt`/`cos` libm call pair per two samples, sequential
+//!   state across the whole frame). `crates/camera/tests/golden.rs`
+//!   still validates it against every golden hash recorded from the
+//!   pre-refactor renderer.
+//! * [`FastGaussian`] — the default for fresh configs — is a
+//!   counter-based model: sample `i` of frame `k` is a pure function
+//!   `hash(seed, k, i)` fed through a σ-scaled fixed-point inverse-CDF
+//!   table ([`QuantGauss`]), quantized to the integer pixel domain so
+//!   application is an `i16` add + clamp per channel. No libm on the
+//!   hot path, no sequential state: noisy frames are order-independent
+//!   and row-parallel-ready. Its correctness contract is *statistical*
+//!   (moments, tails, independence — see
+//!   `crates/camera/tests/noise_model.rs`) plus its own determinism
+//!   golden hashes, not bit-compatibility with Box–Muller.
+//!
+//! Models are selected by the copyable [`NoiseModelKind`] carried on
+//! [`SceneEffects`][crate::scene::SceneEffects] /
+//! [`SensorConfig`][crate::sensor::SensorConfig] (and overridable per
+//! evaluation from `euphrates-core`'s `MotionConfig`), and instantiated
+//! as [`NoiseModel`] trait objects owned by the renderer/sensor.
+
+use euphrates_common::image::Rgb;
+use euphrates_common::rngx::{self, QuantGauss};
+use rand::rngs::StdRng;
+
+/// Which noise model realizes a Gaussian sigma. Copyable config value,
+/// usable as a cache key (`Eq + Hash`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NoiseModelKind {
+    /// Counter-based inverse-CDF sampling (the default): randomly
+    /// addressable, libm-free on the hot path, statistically Gaussian.
+    #[default]
+    FastGaussian,
+    /// The pre-refactor sequential Box–Muller stream, bit-identical to
+    /// every golden hash recorded before the noise engine existed.
+    LegacyBoxMuller,
+}
+
+impl NoiseModelKind {
+    /// Stable display name (bench labels, diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            NoiseModelKind::FastGaussian => "fast_gaussian",
+            NoiseModelKind::LegacyBoxMuller => "legacy_box_muller",
+        }
+    }
+
+    /// Instantiates the model.
+    pub fn model(self) -> Box<dyn NoiseModel> {
+        match self {
+            NoiseModelKind::FastGaussian => Box::new(FastGaussian::new()),
+            NoiseModelKind::LegacyBoxMuller => Box::new(LegacyBoxMuller::new()),
+        }
+    }
+}
+
+/// A per-frame additive-Gaussian noise engine, applied row by row.
+///
+/// Call [`begin_frame`][NoiseModel::begin_frame] once per frame, then
+/// one row method per scanline. Rows are addressed by `row0`, the
+/// linear sample index of the row's first element (`y · width` for
+/// pixel rows), which is how the counter-based model stays
+/// order-independent. [`LegacyBoxMuller`] is the one sequential model:
+/// for it, callers must deliver the frame's rows exactly once, in
+/// order, top to bottom — which the renderer and sensor do.
+pub trait NoiseModel: std::fmt::Debug + Send {
+    /// Which kind this model is.
+    fn kind(&self) -> NoiseModelKind;
+
+    /// Starts a frame: noise is keyed on `(base, stream, frame)` and
+    /// applied with the given illumination `gain` (1.0 = none) and
+    /// Gaussian `sigma` (callers only invoke the row methods when
+    /// `sigma > 0`).
+    fn begin_frame(&mut self, base: u64, stream: u64, frame: u32, gain: f64, sigma: f64);
+
+    /// Applies gain + noise to one row of composed RGB pixels. The
+    /// fused-luma renderer path calls this into a reused scratch row
+    /// and lumas it in a second tight loop — row-granular, so the
+    /// noisy RGB never exists as a frame, and the luma loop stays
+    /// vectorizable.
+    fn rgb_row(&mut self, row0: u64, src: &[Rgb], dst: &mut [Rgb]);
+
+    /// Applies noise in place over one row of single-channel samples
+    /// (the sensor RAW path; `row0` is the linear sample index, gain
+    /// does not apply).
+    fn raw_row(&mut self, row0: u64, dst: &mut [u8]);
+}
+
+// ---------------------------------------------------------------------------
+// LegacyBoxMuller
+// ---------------------------------------------------------------------------
+
+/// The pre-refactor noise stream, verbatim: a [`StdRng`] derived from
+/// `(base, stream, frame)` advanced one Box–Muller Gaussian per channel
+/// in row-major order. Bit-identical to the golden hashes.
+#[derive(Debug)]
+pub struct LegacyBoxMuller {
+    rng: Option<StdRng>,
+    gain: f64,
+    needs_gain: bool,
+    sigma: f64,
+}
+
+impl LegacyBoxMuller {
+    /// Creates the model (idle until [`NoiseModel::begin_frame`]).
+    pub fn new() -> Self {
+        LegacyBoxMuller {
+            rng: None,
+            gain: 1.0,
+            needs_gain: false,
+            sigma: 0.0,
+        }
+    }
+
+    /// The old renderer's per-channel illumination/noise step,
+    /// expression tree unchanged.
+    #[inline]
+    fn apply(&self, v: u8, rng: &mut StdRng) -> u8 {
+        let mut f = f64::from(v);
+        if self.needs_gain {
+            f *= self.gain;
+        }
+        if self.sigma > 0.0 {
+            f += rngx::gaussian(rng, 0.0, self.sigma);
+        }
+        f.round().clamp(0.0, 255.0) as u8
+    }
+}
+
+impl Default for LegacyBoxMuller {
+    fn default() -> Self {
+        LegacyBoxMuller::new()
+    }
+}
+
+impl NoiseModel for LegacyBoxMuller {
+    fn kind(&self) -> NoiseModelKind {
+        NoiseModelKind::LegacyBoxMuller
+    }
+
+    fn begin_frame(&mut self, base: u64, stream: u64, frame: u32, gain: f64, sigma: f64) {
+        self.rng = Some(rngx::derived_rng(base, stream, u64::from(frame)));
+        self.gain = gain;
+        self.needs_gain = (gain - 1.0).abs() > 1e-9;
+        self.sigma = sigma;
+    }
+
+    fn rgb_row(&mut self, _row0: u64, src: &[Rgb], dst: &mut [Rgb]) {
+        let mut rng = self.rng.take().expect("begin_frame before rows");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = Rgb::new(
+                self.apply(s.r, &mut rng),
+                self.apply(s.g, &mut rng),
+                self.apply(s.b, &mut rng),
+            );
+        }
+        self.rng = Some(rng);
+    }
+
+    fn raw_row(&mut self, _row0: u64, dst: &mut [u8]) {
+        // The sensor's read-noise step, verbatim (no gain on RAW).
+        let mut rng = self.rng.take().expect("begin_frame before rows");
+        for d in dst.iter_mut() {
+            *d = (f64::from(*d) + rngx::gaussian(&mut rng, 0.0, self.sigma))
+                .round()
+                .clamp(0.0, 255.0) as u8;
+        }
+        self.rng = Some(rng);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FastGaussian
+// ---------------------------------------------------------------------------
+
+/// Counter-based Gaussian noise: one [`rngx::counter_hash`] per pixel
+/// yields three 21-bit lanes, each fed through a σ-scaled [`QuantGauss`]
+/// inverse-CDF table to an integer offset; application is an `i16`
+/// add-and-clamp. Illumination gain is folded in through the same
+/// 256-entry LUT the noise-free path uses.
+///
+/// The σ-quantized table is cached across frames (σ is fixed per
+/// scene/sensor); `begin_frame` only refreshes the frame key and the
+/// gain LUT.
+#[derive(Debug)]
+pub struct FastGaussian {
+    /// σ-scaled table, rebuilt only when σ changes.
+    quant: Option<QuantGauss>,
+    /// `derive_seed(base, stream, frame)` — the frame's hash key.
+    key: u64,
+    /// Gain LUT (identity when this frame's gain is 1): one
+    /// unconditional byte load per channel keeps the hot loop
+    /// branchless.
+    gain_lut: [u8; 256],
+}
+
+/// The identity gain table.
+fn identity_lut() -> [u8; 256] {
+    let mut lut = [0u8; 256];
+    for (v, out) in lut.iter_mut().enumerate() {
+        *out = v as u8;
+    }
+    lut
+}
+
+/// `clamp(v + n)` on the integer pixel domain.
+#[inline]
+fn add_clamp(v: u8, n: i16) -> u8 {
+    (i16::from(v) + n).clamp(0, 255) as u8
+}
+
+impl FastGaussian {
+    /// Creates the model (idle until [`NoiseModel::begin_frame`]).
+    pub fn new() -> Self {
+        FastGaussian {
+            quant: None,
+            key: 0,
+            gain_lut: identity_lut(),
+        }
+    }
+}
+
+impl Default for FastGaussian {
+    fn default() -> Self {
+        FastGaussian::new()
+    }
+}
+
+impl NoiseModel for FastGaussian {
+    fn kind(&self) -> NoiseModelKind {
+        NoiseModelKind::FastGaussian
+    }
+
+    fn begin_frame(&mut self, base: u64, stream: u64, frame: u32, gain: f64, sigma: f64) {
+        self.key = rngx::derive_seed(base, stream, u64::from(frame));
+        if self.quant.as_ref().is_none_or(|q| q.sigma() != sigma) {
+            self.quant = Some(QuantGauss::new(sigma));
+        }
+        self.gain_lut = if (gain - 1.0).abs() > 1e-9 {
+            crate::scene::gain_lut(gain)
+        } else {
+            identity_lut()
+        };
+    }
+
+    fn rgb_row(&mut self, row0: u64, src: &[Rgb], dst: &mut [Rgb]) {
+        let q = self.quant.as_ref().expect("begin_frame before rows");
+        let key = self.key;
+        let lut = &self.gain_lut;
+        for (i, (d, s)) in dst.iter_mut().zip(src).enumerate() {
+            let n = q.sample3(rngx::counter_hash(key, row0 + i as u64));
+            *d = Rgb::new(
+                add_clamp(lut[s.r as usize], n[0]),
+                add_clamp(lut[s.g as usize], n[1]),
+                add_clamp(lut[s.b as usize], n[2]),
+            );
+        }
+    }
+
+    fn raw_row(&mut self, row0: u64, dst: &mut [u8]) {
+        let q = self.quant.as_ref().expect("begin_frame before rows");
+        let key = self.key;
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = add_clamp(*d, q.sample_at(key, row0 + i as u64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[(u8, u8, u8)]) -> Vec<Rgb> {
+        vals.iter().map(|&(r, g, b)| Rgb::new(r, g, b)).collect()
+    }
+
+    #[test]
+    fn legacy_rgb_row_replays_the_box_muller_stream() {
+        // One row of the model must equal driving the raw stream by
+        // hand — the bit contract the goldens rest on.
+        let src = row(&[(10, 200, 128), (0, 255, 77)]);
+        let mut dst = vec![Rgb::gray(0); 2];
+        let mut m = LegacyBoxMuller::new();
+        m.begin_frame(42, 0xF00D, 3, 1.0, 2.0);
+        m.rgb_row(0, &src, &mut dst);
+
+        let mut rng = rngx::derived_rng(42, 0xF00D, 3);
+        let mut expect = |v: u8| {
+            (f64::from(v) + rngx::gaussian(&mut rng, 0.0, 2.0))
+                .round()
+                .clamp(0.0, 255.0) as u8
+        };
+        for (d, s) in dst.iter().zip(&src) {
+            assert_eq!(d.r, expect(s.r));
+            assert_eq!(d.g, expect(s.g));
+            assert_eq!(d.b, expect(s.b));
+        }
+    }
+
+    #[test]
+    fn fast_rows_are_order_independent() {
+        let src = row(&[(50, 60, 70), (80, 90, 100), (1, 2, 3)]);
+        let mut m = FastGaussian::new();
+        m.begin_frame(7, 0xF00D, 1, 1.0, 3.0);
+        let mut a = vec![Rgb::gray(0); 3];
+        let mut b = vec![Rgb::gray(0); 3];
+        // Same row applied twice, then after an unrelated row, then as
+        // a fresh model: all identical.
+        m.rgb_row(30, &src, &mut a);
+        m.rgb_row(999, &src, &mut b);
+        m.rgb_row(30, &src, &mut b);
+        assert_eq!(a, b);
+        let mut m2 = FastGaussian::new();
+        m2.begin_frame(7, 0xF00D, 1, 1.0, 3.0);
+        m2.rgb_row(30, &src, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fast_gain_folds_through_the_lut() {
+        // gain 1.3 on channel v must equal the noise-free LUT value
+        // plus this pixel's noise offset (sources kept away from the
+        // 0/255 clamp so the offset is recoverable from the ungained
+        // application).
+        let src = row(&[(20, 34, 56), (120, 100, 60)]);
+        let mut gained = vec![Rgb::gray(0); 2];
+        let mut plain = vec![Rgb::gray(0); 2];
+        let mut m = FastGaussian::new();
+        m.begin_frame(9, 0xF00D, 2, 1.3, 2.0);
+        m.rgb_row(12, &src, &mut gained);
+        m.begin_frame(9, 0xF00D, 2, 1.0, 2.0);
+        m.rgb_row(12, &src, &mut plain);
+        let lut_gain = |v: u8| (f64::from(v) * 1.3).round().clamp(0.0, 255.0) as u8;
+        for ((g, p), s) in gained.iter().zip(&plain).zip(&src) {
+            for (gc, pc, sc) in [(g.r, p.r, s.r), (g.g, p.g, s.g), (g.b, p.b, s.b)] {
+                let n = i16::from(pc) - i16::from(sc);
+                assert_eq!(
+                    i16::from(gc),
+                    (i16::from(lut_gain(sc)) + n).clamp(0, 255),
+                    "channel {sc} with noise {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_raw_row_is_chunk_invariant() {
+        // Splitting a row at any boundary must not change the stream —
+        // the property that makes sensor rows independently applicable.
+        let base: Vec<u8> = (0..64).map(|i| (i * 3 % 256) as u8).collect();
+        let mut whole = base.clone();
+        let mut m = FastGaussian::new();
+        m.begin_frame(11, 0x5E45, 5, 1.0, 1.5);
+        m.raw_row(100, &mut whole);
+        for split in [1usize, 2, 3, 31, 63] {
+            let mut parts = base.clone();
+            m.raw_row(100, &mut parts[..split]);
+            m.raw_row(100 + split as u64, &mut parts[split..]);
+            assert_eq!(parts, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn kinds_roundtrip_and_default_is_fast() {
+        assert_eq!(NoiseModelKind::default(), NoiseModelKind::FastGaussian);
+        for kind in [
+            NoiseModelKind::FastGaussian,
+            NoiseModelKind::LegacyBoxMuller,
+        ] {
+            assert_eq!(kind.model().kind(), kind);
+        }
+        assert_eq!(NoiseModelKind::FastGaussian.name(), "fast_gaussian");
+    }
+}

@@ -13,13 +13,18 @@
 //! to emulate CNN behaviour; the ISP consumes the pixels to produce real
 //! motion vectors.
 
+use crate::noise::{NoiseModel, NoiseModelKind};
 use crate::sprite::{Part, Shape, Sprite};
 use crate::texture::Texture;
 use crate::trajectory::{Profile, Trajectory};
 use euphrates_common::geom::{Rect, Vec2f};
-use euphrates_common::image::{LumaFrame, Resolution, Rgb, RgbFrame};
+use euphrates_common::image::{rgb_to_luma, LumaFrame, Resolution, Rgb, RgbFrame};
 use euphrates_common::pool::FramePool;
-use euphrates_common::rngx;
+use std::sync::{Arc, OnceLock};
+
+/// The seed-derivation stream id of the renderer's pixel-noise stage
+/// (the sensor's read noise uses its own stream).
+pub(crate) const PIXEL_NOISE_STREAM: u64 = 0xF00D;
 
 /// Label id used for objects that occlude targets but are not themselves
 /// tracked or detected.
@@ -108,6 +113,11 @@ pub struct SceneEffects {
     pub exposure_blur: f64,
     /// Additive Gaussian pixel-noise sigma applied after rendering.
     pub pixel_noise_sigma: f64,
+    /// Which noise model realizes `pixel_noise_sigma`. Fresh configs
+    /// default to [`NoiseModelKind::FastGaussian`]; select
+    /// [`NoiseModelKind::LegacyBoxMuller`] to reproduce pre-engine
+    /// golden output bit for bit.
+    pub noise_model: NoiseModelKind,
 }
 
 impl Default for SceneEffects {
@@ -118,6 +128,7 @@ impl Default for SceneEffects {
             shake_period: 48.0,
             exposure_blur: 0.0,
             pixel_noise_sigma: 2.0,
+            noise_model: NoiseModelKind::FastGaussian,
         }
     }
 }
@@ -173,6 +184,21 @@ pub struct Scene {
     background: Texture,
     objects: Vec<SceneObject>,
     effects: SceneEffects,
+    /// Lazily rendered background canvases, shared by every renderer of
+    /// this scene (and of its clones).
+    canvas: CanvasCache,
+}
+
+/// The scene's sampled background canvas (and its luma), built once and
+/// shared: rendering the canvas walks the memoized
+/// [`Texture::sampler`] lattice over ~(W+64)·(H+64) pixels (~10 ms at
+/// VGA), so renderers of the same scene share the result instead of
+/// resampling it per construction. Cloning a [`Scene`] shares the
+/// cache; the canvas is immutable once built.
+#[derive(Debug, Clone, Default)]
+struct CanvasCache {
+    rgb: OnceLock<Arc<RgbFrame>>,
+    luma: OnceLock<Arc<LumaFrame>>,
 }
 
 impl Scene {
@@ -201,9 +227,49 @@ impl Scene {
         self.seed
     }
 
-    /// Creates a renderer with a cached background canvas.
+    /// Creates a renderer with a cached background canvas, using the
+    /// scene's own [`SceneEffects::noise_model`].
     pub fn renderer(&self) -> Renderer<'_> {
-        Renderer::new(self)
+        Renderer::new(self, self.effects.noise_model)
+    }
+
+    /// Creates a renderer overriding the noise model — how an
+    /// evaluation config selects the model independently of the scene
+    /// (with `pixel_noise_sigma == 0` the model is never invoked and
+    /// the choice is output-neutral).
+    pub fn renderer_with_noise(&self, noise: NoiseModelKind) -> Renderer<'_> {
+        Renderer::new(self, noise)
+    }
+
+    /// The shared background canvas (resolution plus shake margin),
+    /// rendered on first use.
+    fn canvas_rgb(&self) -> Arc<RgbFrame> {
+        self.canvas
+            .rgb
+            .get_or_init(|| {
+                let res = self.resolution;
+                let (bw, bh) = (res.width + 2 * BG_MARGIN, res.height + 2 * BG_MARGIN);
+                let mut bg = RgbFrame::new(bw, bh).expect("background dimensions are positive");
+                let mut sampler = self.background.sampler();
+                for y in 0..bh {
+                    let wy = f64::from(y) - f64::from(BG_MARGIN);
+                    for (x, px) in bg.row_mut(y).iter_mut().enumerate() {
+                        let wx = x as f64 - f64::from(BG_MARGIN);
+                        *px = sampler.sample(wx, wy);
+                    }
+                }
+                Arc::new(bg)
+            })
+            .clone()
+    }
+
+    /// The luma of [`canvas_rgb`][Scene::canvas_rgb], built on first use
+    /// by the fused clean-luma blit.
+    fn canvas_luma(&self) -> Arc<LumaFrame> {
+        self.canvas
+            .luma
+            .get_or_init(|| Arc::new(rgb_to_luma(&self.canvas_rgb())))
+            .clone()
     }
 
     /// Lazily renders frames `range`, one per `next()` call, borrowing
@@ -327,10 +393,14 @@ impl PixelRect {
 #[derive(Debug)]
 pub struct Renderer<'a> {
     scene: &'a Scene,
-    /// Background rendered once with a margin on all sides.
-    bg: RgbFrame,
-    /// Luma of `bg`, built on first use by the fused luma path.
-    bg_luma: Option<LumaFrame>,
+    /// Background rendered once with a margin on all sides, shared
+    /// with every other renderer of this scene.
+    bg: Arc<RgbFrame>,
+    /// The pluggable pixel-noise engine (invoked only when
+    /// `pixel_noise_sigma > 0`).
+    noise: Box<dyn NoiseModel>,
+    /// One-row scratch for the fused noisy-luma path.
+    noise_row: Vec<Rgb>,
     /// Composed (pre-illumination, pre-noise) frame, reused across
     /// renders.
     compose: RgbFrame,
@@ -351,22 +421,13 @@ pub struct Renderer<'a> {
 }
 
 impl<'a> Renderer<'a> {
-    fn new(scene: &'a Scene) -> Self {
+    fn new(scene: &'a Scene, noise: NoiseModelKind) -> Self {
         let res = scene.resolution;
-        let (bw, bh) = (res.width + 2 * BG_MARGIN, res.height + 2 * BG_MARGIN);
-        let mut bg = RgbFrame::new(bw, bh).expect("background dimensions are positive");
-        let mut sampler = scene.background.sampler();
-        for y in 0..bh {
-            let wy = f64::from(y) - f64::from(BG_MARGIN);
-            for (x, px) in bg.row_mut(y).iter_mut().enumerate() {
-                let wx = x as f64 - f64::from(BG_MARGIN);
-                *px = sampler.sample(wx, wy);
-            }
-        }
         Renderer {
             scene,
-            bg,
-            bg_luma: None,
+            bg: scene.canvas_rgb(),
+            noise: noise.model(),
+            noise_row: Vec::new(),
             compose: RgbFrame::new(res.width, res.height).expect("positive resolution"),
             compose_offset: None,
             dirty: Vec::new(),
@@ -420,13 +481,21 @@ impl<'a> Renderer<'a> {
     /// one pass over the composed frame, so no full RGB output frame is
     /// materialized — the streaming front-end's fast path.
     pub fn render_luma_into(&mut self, index: u32, out: &mut LumaFrame) -> Vec<GtObject> {
+        self.render_luma_pixels_into(index, out);
+        self.scene.ground_truth(index)
+    }
+
+    /// [`render_luma_into`][Renderer::render_luma_into] without the
+    /// ground-truth pass — the luma analogue of
+    /// [`render_pixels_into`][Renderer::render_pixels_into], for
+    /// consumers (and benchmarks) that only need the plane.
+    pub fn render_luma_pixels_into(&mut self, index: u32, out: &mut LumaFrame) {
         let res = self.scene.resolution;
         if out.width() != res.width || out.height() != res.height {
             *out = LumaFrame::new(res.width, res.height).expect("positive resolution");
         }
         self.compose_frame(index);
         self.finalize_luma(index, out);
-        self.scene.ground_truth(index)
     }
 
     /// Returns a frame's storage to the renderer's pool so the next
@@ -776,15 +845,21 @@ impl<'a> Renderer<'a> {
                 );
             }
         } else {
-            // Noise on: the per-channel RNG stream is part of the
-            // rendered output contract; replicate it exactly.
-            let mut rng = rngx::derived_rng(self.scene.seed, 0xF00D, u64::from(index));
-            for (dst, src) in out.samples_mut().iter_mut().zip(self.compose.samples()) {
-                *dst = Rgb::new(
-                    apply_gain_noise(src.r, gain, needs_gain, sigma, &mut rng),
-                    apply_gain_noise(src.g, gain, needs_gain, sigma, &mut rng),
-                    apply_gain_noise(src.b, gain, needs_gain, sigma, &mut rng),
-                );
+            // Noise on: hand the composed rows to the configured noise
+            // engine. The legacy model replays the sequential
+            // per-channel RNG stream exactly (rows arrive in order);
+            // the fast model addresses each pixel by counter, so this
+            // loop is order-independent and row-parallel-ready.
+            let Renderer {
+                scene,
+                compose,
+                noise,
+                ..
+            } = self;
+            noise.begin_frame(scene.seed, PIXEL_NOISE_STREAM, index, gain, sigma);
+            let w = u64::from(compose.width());
+            for y in 0..compose.height() {
+                noise.rgb_row(u64::from(y) * w, compose.row(y), out.row_mut(y));
             }
         }
     }
@@ -794,17 +869,9 @@ impl<'a> Renderer<'a> {
         if !needs_gain && sigma <= 0.0 {
             if let Some((dx, dy)) = self.compose_offset {
                 // Clean background pixels have a precomputed luma: blit
-                // rows from the canvas luma and convert only the dirty
-                // regions.
-                if self.bg_luma.is_none() {
-                    let mut l = LumaFrame::new(self.bg.width(), self.bg.height())
-                        .expect("background dimensions are positive");
-                    for (dst, src) in l.samples_mut().iter_mut().zip(self.bg.samples()) {
-                        *dst = src.luma();
-                    }
-                    self.bg_luma = Some(l);
-                }
-                let bgl = self.bg_luma.as_ref().expect("built above");
+                // rows from the (scene-shared) canvas luma and convert
+                // only the dirty regions.
+                let bgl = self.scene.canvas_luma();
                 let w = out.width() as usize;
                 for y in 0..out.height() {
                     out.row_mut(y)
@@ -836,14 +903,27 @@ impl<'a> Renderer<'a> {
                 .luma();
             }
         } else {
-            let mut rng = rngx::derived_rng(self.scene.seed, 0xF00D, u64::from(index));
-            for (dst, src) in out.samples_mut().iter_mut().zip(self.compose.samples()) {
-                *dst = Rgb::new(
-                    apply_gain_noise(src.r, gain, needs_gain, sigma, &mut rng),
-                    apply_gain_noise(src.g, gain, needs_gain, sigma, &mut rng),
-                    apply_gain_noise(src.b, gain, needs_gain, sigma, &mut rng),
-                )
-                .luma();
+            // Fused gain/noise + luma, row-granular: each composed row
+            // passes through the noise engine into a reused scratch row
+            // and is luma'd in a second tight (vectorizable) loop — by
+            // construction never more work than the RGB path plus a
+            // separate full-frame conversion, since the noisy RGB only
+            // ever exists one row at a time.
+            let Renderer {
+                scene,
+                compose,
+                noise,
+                noise_row,
+                ..
+            } = self;
+            noise.begin_frame(scene.seed, PIXEL_NOISE_STREAM, index, gain, sigma);
+            let w = compose.width() as usize;
+            noise_row.resize(w, Rgb::gray(0));
+            for y in 0..compose.height() {
+                noise.rgb_row(y as u64 * w as u64, compose.row(y), noise_row);
+                for (d, s) in out.row_mut(y).iter_mut().zip(noise_row.iter()) {
+                    *d = s.luma();
+                }
             }
         }
     }
@@ -870,28 +950,11 @@ fn average_acc(acc: &[[u16; 3]], out: &mut RgbFrame) {
     }
 }
 
-/// The old renderer's per-channel illumination/noise step, verbatim.
-#[inline]
-fn apply_gain_noise(
-    v: u8,
-    gain: f64,
-    needs_gain: bool,
-    sigma: f64,
-    rng: &mut rand::rngs::StdRng,
-) -> u8 {
-    let mut f = f64::from(v);
-    if needs_gain {
-        f *= gain;
-    }
-    if sigma > 0.0 {
-        f += rngx::gaussian(rng, 0.0, sigma);
-    }
-    f.round().clamp(0.0, 255.0) as u8
-}
-
 /// 256-entry gain LUT; entry `v` equals the old per-pixel computation
-/// for a channel value `v` with noise off.
-fn gain_lut(gain: f64) -> [u8; 256] {
+/// for a channel value `v` with noise off (also the table the fast
+/// noise model folds gain through, so the two paths can never
+/// diverge).
+pub(crate) fn gain_lut(gain: f64) -> [u8; 256] {
     let mut lut = [0u8; 256];
     for (v, out) in lut.iter_mut().enumerate() {
         *out = (v as f64 * gain).round().clamp(0.0, 255.0) as u8;
@@ -1317,6 +1380,7 @@ impl SceneBuilder {
             background: self.background,
             objects: self.objects,
             effects: self.effects,
+            canvas: CanvasCache::default(),
         }
     }
 }

@@ -9,10 +9,13 @@
 //! point, with a small static floor, which also covers the 480p evaluation
 //! setting.
 
+use crate::noise::NoiseModelKind;
 use euphrates_common::error::Result;
 use euphrates_common::image::{rggb_color, BayerFrame, CfaColor, Resolution, RgbFrame};
-use euphrates_common::rngx;
 use euphrates_common::units::{Bytes, MilliWatts};
+
+/// The seed-derivation stream id of the sensor's read-noise stage.
+const READ_NOISE_STREAM: u64 = 0x5E45;
 
 /// Static sensor configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +26,10 @@ pub struct SensorConfig {
     pub fps: f64,
     /// Read-noise sigma on the 8-bit RAW samples.
     pub read_noise_sigma: f64,
+    /// Which noise model realizes `read_noise_sigma` (fresh configs
+    /// default to the counter-based
+    /// [`FastGaussian`][crate::noise::FastGaussian]).
+    pub noise_model: NoiseModelKind,
     /// Bits per RAW sample on the CSI link (the AR1335 streams 10-bit; the
     /// functional model quantizes to 8).
     pub csi_bits_per_sample: u32,
@@ -38,6 +45,7 @@ impl Default for SensorConfig {
             resolution: Resolution::FULL_HD,
             fps: 60.0,
             read_noise_sigma: 1.5,
+            noise_model: NoiseModelKind::FastGaussian,
             csi_bits_per_sample: 10,
             reference_power: MilliWatts(180.0),
             static_power: MilliWatts(25.0),
@@ -103,26 +111,27 @@ impl ImageSensor {
         if !out.same_shape(rgb) {
             *out = BayerFrame::new(rgb.width(), rgb.height())?;
         }
-        let mut rng = rngx::derived_rng(self.seed, 0x5E45, u64::from(frame_index));
         let sigma = self.config.read_noise_sigma;
+        let mut noise = (sigma > 0.0).then(|| {
+            let mut m = self.config.noise_model.model();
+            m.begin_frame(self.seed, READ_NOISE_STREAM, frame_index, 1.0, sigma);
+            m
+        });
+        let w = u64::from(rgb.width());
         for y in 0..rgb.height() {
             // Row-sliced mosaic: even rows alternate R/G photosites,
             // odd rows G/B (same values `rggb_color` dispatches to).
             let src = rgb.row(y);
             let dst = out.row_mut(y);
             for (x, (d, px)) in dst.iter_mut().zip(src).enumerate() {
-                let v = match rggb_color(x as u32, y) {
+                *d = match rggb_color(x as u32, y) {
                     CfaColor::Red => px.r,
                     CfaColor::Green => px.g,
                     CfaColor::Blue => px.b,
                 };
-                *d = if sigma > 0.0 {
-                    (f64::from(v) + rngx::gaussian(&mut rng, 0.0, sigma))
-                        .round()
-                        .clamp(0.0, 255.0) as u8
-                } else {
-                    v
-                };
+            }
+            if let Some(noise) = noise.as_mut() {
+                noise.raw_row(u64::from(y) * w, dst);
             }
         }
         Ok(())

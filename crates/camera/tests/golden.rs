@@ -16,6 +16,7 @@
 //!    `rgb_to_luma(render(i).rgb)` on every finalize path, and ground
 //!    truth must be unchanged.
 
+use euphrates_camera::noise::NoiseModelKind;
 use euphrates_camera::scene::{
     RenderedFrame, Scene, SceneBuilder, SceneEffects, SceneObject, OCCLUDER_LABEL,
 };
@@ -180,7 +181,10 @@ fn scenes(effects: SceneEffects) -> [Scene; 3] {
 }
 
 /// The 8 global-effects combinations: index bit 0 = blur, bit 1 =
-/// noise, bit 2 = shake.
+/// noise, bit 2 = shake. [`PIXEL_GOLDEN`] was recorded from the
+/// pre-refactor renderer, whose noise *is* the sequential Box–Muller
+/// stream — so these effects pin [`NoiseModelKind::LegacyBoxMuller`]
+/// explicitly ([`fast_combo_effects`] covers the new default model).
 fn combo_effects(combo: usize) -> SceneEffects {
     SceneEffects {
         illumination: Profile::one(),
@@ -188,6 +192,16 @@ fn combo_effects(combo: usize) -> SceneEffects {
         pixel_noise_sigma: if combo & 2 != 0 { 2.0 } else { 0.0 },
         shake_amplitude: if combo & 4 != 0 { 5.0 } else { 0.0 },
         shake_period: 13.0,
+        noise_model: NoiseModelKind::LegacyBoxMuller,
+    }
+}
+
+/// The same combinations under the counter-based
+/// [`NoiseModelKind::FastGaussian`] default.
+fn fast_combo_effects(combo: usize) -> SceneEffects {
+    SceneEffects {
+        noise_model: NoiseModelKind::FastGaussian,
+        ..combo_effects(combo)
     }
 }
 
@@ -263,6 +277,25 @@ const TRUTH_GOLDEN: [[u64; 2]; 3] = [
     [0x604F03BD1C800C3D, 0xE0F59F4BCD7B3B30],
 ];
 
+/// The combos that exercise pixel noise (bit 1), where the model choice
+/// is visible in the output.
+const NOISE_COMBOS: [usize; 4] = [2, 3, 6, 7];
+
+/// `FAST_PIXEL_GOLDEN[scene][i]` for [`NOISE_COMBOS`] under
+/// [`NoiseModelKind::FastGaussian`] — the fast model's *determinism*
+/// contract (its distribution is pinned statistically in
+/// `tests/noise_model.rs`, not bitwise against Box–Muller). Recorded
+/// from the first counter-based implementation by `print_fast_golden`.
+/// Sampling is pure integer arithmetic; the one platform dependency is
+/// `ln` inside the table build (Acklam), whose entries sit far from
+/// rounding ties in practice.
+#[rustfmt::skip]
+const FAST_PIXEL_GOLDEN: [[u64; 4]; 3] = [
+    [0xB7D56F70B073389F, 0x7040BEB5B22558A5, 0x3CE78DCBBE3F766A, 0x8EB62440724E08A2],
+    [0xFBFAB5078866F24A, 0x054DBF3BE0B8214C, 0x3F3B193946740FA1, 0xDBEFE965588B82FC],
+    [0xA8D8D743E84F479F, 0x21FC2734552C0F51, 0x978F982C54A6F4AC, 0x6E1E8D9E7B70BC49],
+];
+
 /// One-time capture helper: run with
 /// `cargo test -p euphrates-camera --test golden --release -- --ignored --nocapture print_golden`
 /// and paste the output over the constants above.
@@ -287,6 +320,26 @@ fn print_golden() {
             let scene = &scenes(combo_effects(blur))[scene_idx];
             let (_, tr) = scene_digest(scene);
             print!("0x{tr:016X}, ");
+        }
+        println!("],");
+    }
+    println!("];");
+}
+
+/// Capture helper for [`FAST_PIXEL_GOLDEN`]: run with
+/// `cargo test -p euphrates-camera --test golden --release -- --ignored --nocapture print_fast_golden`
+/// and paste the output over the constant. Only regenerate when a
+/// change to the fast sampler is *intended*.
+#[test]
+#[ignore]
+fn print_fast_golden() {
+    println!("const FAST_PIXEL_GOLDEN: [[u64; 4]; 3] = [");
+    for scene_idx in 0..3 {
+        print!("    [");
+        for combo in NOISE_COMBOS {
+            let scene = &scenes(fast_combo_effects(combo))[scene_idx];
+            let (px, _) = scene_digest(scene);
+            print!("0x{px:016X}, ");
         }
         println!("],");
     }
@@ -323,6 +376,39 @@ fn ground_truth_matches_pre_refactor_golden_hashes() {
     }
 }
 
+/// The fast model is deterministic: its rendered output is pinned to
+/// hashes recorded from the first counter-based implementation, for
+/// every noise-carrying combo.
+#[test]
+fn fast_noise_output_matches_recorded_hashes() {
+    for (i, combo) in NOISE_COMBOS.into_iter().enumerate() {
+        let scenes = scenes(fast_combo_effects(combo));
+        for (scene_idx, scene) in scenes.iter().enumerate() {
+            let (px, _) = scene_digest(scene);
+            assert_eq!(
+                px,
+                FAST_PIXEL_GOLDEN[scene_idx][i],
+                "fast-noise digest changed: scene {scene_idx}, {} (got 0x{px:016X})",
+                combo_name(combo)
+            );
+        }
+    }
+}
+
+/// With noise off the model is never invoked, so model selection must
+/// be output-neutral: the fast-model digests of the deterministic
+/// combos equal the legacy goldens.
+#[test]
+fn noise_model_choice_is_invisible_without_noise() {
+    for combo in [0, 1, 4, 5] {
+        let scenes = scenes(fast_combo_effects(combo));
+        for (scene_idx, scene) in scenes.iter().enumerate() {
+            let (px, _) = scene_digest(scene);
+            assert_eq!(px, PIXEL_GOLDEN[scene_idx][combo]);
+        }
+    }
+}
+
 /// `Scene::frames(range)` must bit-match a *fresh* renderer at every
 /// index: the iterator's incremental compose state (dirty rects, cached
 /// offsets, reused accumulators) must be invisible in the output.
@@ -349,18 +435,25 @@ fn frame_iter_bit_matches_fresh_renders_under_all_effects() {
 /// independent of the compose state left by earlier frames.
 #[test]
 fn out_of_order_rendering_is_state_independent() {
-    for combo in [0, 4, 5] {
-        let scene = scene_b(combo_effects(combo));
+    let variants = [
+        combo_effects(0),
+        combo_effects(4),
+        combo_effects(5),
+        // The counter-based noise model must be order-independent too
+        // (it has no sequential state at all).
+        fast_combo_effects(6),
+        fast_combo_effects(3),
+    ];
+    for effects in variants {
+        let scene = scene_b(effects);
         let mut r = scene.renderer();
         let indices = [7u32, 0, 7, 3, 3, 9, 0];
         for &i in &indices {
             let warm = r.render(i);
             let fresh = scene.renderer().render(i);
             assert_eq!(
-                warm.rgb,
-                fresh.rgb,
-                "frame {i} differs after out-of-order renders ({})",
-                combo_name(combo)
+                warm.rgb, fresh.rgb,
+                "frame {i} differs after out-of-order renders"
             );
         }
     }
@@ -379,11 +472,17 @@ fn truth_matches_scene_ground_truth() {
 }
 
 /// The fused luma path must agree with converting the RGB render, on
-/// every finalize variant: plain, gain-only (LUT), noise, gain+noise.
+/// every finalize variant (plain, gain-only LUT, noise, gain+noise)
+/// under *both* noise models.
 #[test]
 fn fused_luma_matches_rgb_conversion() {
-    for combo in 0..8 {
-        for scene in &scenes(combo_effects(combo)) {
+    for combo in 0..16 {
+        let effects = if combo < 8 {
+            combo_effects(combo)
+        } else {
+            fast_combo_effects(combo - 8)
+        };
+        for scene in &scenes(effects) {
             let mut rgb_renderer = scene.renderer();
             let mut luma_renderer = scene.renderer();
             let mut luma = euphrates_common::image::LumaFrame::new(RES.width, RES.height).unwrap();
@@ -393,8 +492,9 @@ fn fused_luma_matches_rgb_conversion() {
                 assert_eq!(
                     luma,
                     rgb_to_luma(&frame.rgb),
-                    "luma diverges at frame {i} ({})",
-                    combo_name(combo)
+                    "luma diverges at frame {i} ({}, {:?})",
+                    combo_name(combo % 8),
+                    scene.effects().noise_model
                 );
                 assert_eq!(truth, frame.truth);
             }

@@ -160,6 +160,7 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::tracker::run_tracking;
     pub use crate::tracker::TrackerTask;
+    pub use euphrates_camera::noise::NoiseModelKind;
     pub use euphrates_datasets::{DatasetScale, Sequence, VisualAttribute};
     pub use euphrates_isp::motion::SearchStrategy;
     pub use euphrates_mc::policy::{AdaptiveConfig, EwPolicy, FrameKind};

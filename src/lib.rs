@@ -60,9 +60,15 @@
 //! renders and motion-estimates lazily, holding one frame at a time).
 //! Frame production is a scanline pipeline: the fast path renders
 //! straight to luma through fixed, reused buffers (O(1) allocations
-//! per frame; see the "Performance notes" in
-//! [`camera`] for the renderer's bit-identity guarantees and
-//! `BENCH_render.json` for the recorded per-frame timings).
+//! per frame). Sensor noise is a pluggable model — the default
+//! counter-based `FastGaussian` renders the dataset-default σ=2 VGA
+//! noise in ~3.3 ms/frame under a *statistical* contract
+//! (moments/tails/independence), roughly 10× the golden-locked
+//! `LegacyBoxMuller` stream, whose contract stays *bitwise*; pick per
+//! scene via `SceneEffects::noise_model` or per run via
+//! `MotionConfig::noise_model` (see the "Performance notes" in
+//! [`camera`] for the renderer's guarantees and `BENCH_render.json`
+//! for the recorded per-frame timings).
 //! Motion estimation itself is pluggable: `MotionConfig::strategy`
 //! selects exhaustive, three-step, diamond, or two-level hierarchical
 //! search — or any custom
