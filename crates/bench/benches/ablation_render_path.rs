@@ -472,10 +472,7 @@ fn bench_prepare_sequence(c: &mut Criterion) {
                     .unwrap(),
             };
             prev = Some(luma);
-            frames.push(FrameData {
-                truth: seq.ground_truth(i),
-                motion,
-            });
+            frames.push(FrameData::new(seq.ground_truth(i), motion));
         }
         frames.len()
     };

@@ -4,6 +4,12 @@
 //! comparison to diamond and two-level hierarchical search, reporting
 //! accuracy, *measured* probes (not just the cost model), and wall-clock
 //! per estimated frame for each strategy.
+//!
+//! Since PR 5 the *evaluated default* (`MotionConfig::default()`) is the
+//! pyramid-cached hierarchical search; this sweep is what licenses that
+//! promotion, and it asserts the accuracy band outright: every strategy
+//! must stay within 0.008 success rate of exhaustive search at every
+//! scheme × threshold.
 
 use euphrates_bench::{announce, run_tracking_suite, textured_luma, tracking_workload};
 use euphrates_common::table::{fnum, Table};
@@ -107,4 +113,10 @@ fn main() {
         "max success-rate gap across schemes/thresholds/strategies: {:.3} (paper: 'almost identical')",
         max_delta
     );
+    assert!(
+        max_delta <= 0.008,
+        "strategy sweep must stay within 0.008 success rate of ES \
+         (hierarchical is the evaluated default on that basis), got {max_delta:.4}"
+    );
+    println!("band OK: hierarchical remains a sound evaluated default (MotionConfig::default())");
 }

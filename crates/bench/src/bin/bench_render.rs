@@ -4,10 +4,19 @@
 //! effects matrix, with the σ=2 noise stage under both the default
 //! counter-based `FastGaussian` model and the golden-locked
 //! `LegacyBoxMuller` stream), renderer construction (cold and with the
-//! scene-shared canvas), streaming sequence preparation, and a small
-//! end-to-end evaluate, then writes `BENCH_render.json` (schema 2)
-//! with median per-frame timings and machine info — the recorded
-//! baseline future PRs diff against.
+//! scene-shared canvas), the block-matching stage on real rendered
+//! frames (the pyramid-cached hierarchical default and the paper's
+//! TSS), streaming sequence preparation, and a small end-to-end
+//! evaluate, then writes `BENCH_render.json` (schema 3) with median
+//! per-frame timings and machine info — the recorded baseline future
+//! PRs diff against.
+//!
+//! Schema 3 (PR 5) adds the `estimate_*` motion metrics and re-records
+//! everything after the post-noise-floor work: the SWAR SAD kernel +
+//! center-out exhaustive walk, hierarchical as the evaluated default
+//! with the pyramid cached per streamed frame, the direct-table
+//! `FastGaussian` sampler, the rel-keyed blur+shake background cache,
+//! and row-major canvas generation.
 //!
 //! Usage:
 //!
@@ -152,11 +161,37 @@ fn main() {
         ));
     }
 
-    // Streaming preparation (render + TSS block matching), ns/frame.
+    // Block matching on real (noisy) consecutive rendered frames:
+    // the evaluated default (pyramid-cached hierarchical) next to the
+    // paper's TSS.
     let mut suite = euphrates_datasets::otb100_like(42, DatasetScale::fraction(0.05));
     suite.truncate(1);
     let mut seq = suite.pop().expect("non-empty suite");
     seq.frames = frames.max(8);
+    {
+        use euphrates_isp::motion::BlockMatcher;
+        let mut renderer = seq.scene.renderer();
+        let mut prev = LumaFrame::new(640, 480).expect("VGA");
+        let mut cur = LumaFrame::new(640, 480).expect("VGA");
+        renderer.render_luma_pixels_into(2, &mut prev);
+        renderer.render_luma_pixels_into(3, &mut cur);
+        for (name, strategy) in [
+            ("hierarchical", SearchStrategy::Hierarchical),
+            ("three_step", SearchStrategy::ThreeStep),
+        ] {
+            let m = BlockMatcher::new(16, 7, strategy).expect("built-in strategy");
+            metrics.push((
+                format!("estimate_{name}_ns_per_frame"),
+                median_ns(samples, || {
+                    for _ in 0..frames {
+                        black_box(m.estimate(&cur, &prev).expect("same shape"));
+                    }
+                }) / u64::from(frames),
+            ));
+        }
+    }
+
+    // Streaming preparation (render + default block matching), ns/frame.
     let config = MotionConfig::default();
     metrics.push((
         "prepare_stream_ns_per_frame".into(),
@@ -194,7 +229,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 2,");
+    let _ = writeln!(json, "  \"schema\": 3,");
     let _ = writeln!(json, "  \"bench\": \"render_path\",");
     let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(

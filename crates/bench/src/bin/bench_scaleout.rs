@@ -1,0 +1,137 @@
+//! Scale-out sweep recorder: the full-suite evaluation path at
+//! OTB scale.
+//!
+//! The Fig. 10/11 benches evaluate fractional suites; this binary
+//! exercises the path the paper's headline numbers assume — the whole
+//! OTB-100-like suite at `DatasetScale` 1.0 (100 sequences × 590 frames
+//! ≈ 59k frames) through the grid-parallel `Scenario::evaluate` — and
+//! records `BENCH_scaleout.json` (schema 1) with end-to-end wall-clock,
+//! frame throughput, and per-scheme success rates. The committed
+//! baseline is the scale-out perf trajectory future PRs diff against;
+//! CI regenerates a quick-mode copy (a small fraction of the suite) and
+//! uploads it as an artifact next to the render trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p euphrates-bench --bin bench_scaleout [-- --quick] [--out PATH]
+//! ```
+//!
+//! `--quick` (or `EUPHRATES_BENCH_QUICK=1`) evaluates a 0.05-fraction
+//! suite for CI; the JSON notes which mode (and scale) produced it.
+
+use euphrates_core::prelude::*;
+use euphrates_nn::oracle::calib;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Config {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut quick = std::env::var("EUPHRATES_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let mut out = "BENCH_scaleout.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--out requires a path"))
+            }
+            other => panic!("unknown argument {other} (expected --quick / --out PATH)"),
+        }
+    }
+    Config { quick, out }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let scale = if cfg.quick {
+        DatasetScale::fraction(0.05)
+    } else {
+        DatasetScale::full()
+    };
+    let suite = euphrates_datasets::otb100_like(42, scale);
+    let sequences = suite.len();
+    let frames: u64 = suite.iter().map(|s| u64::from(s.frames)).sum();
+    println!(
+        "bench_scaleout: {} mode, scale {:.2} -> {sequences} sequences, {frames} frames",
+        if cfg.quick { "quick" } else { "full" },
+        scale.sequence_fraction,
+    );
+
+    let schemes = [
+        ("base", BackendConfig::baseline()),
+        ("EW-4", BackendConfig::new(EwPolicy::Constant(4))),
+        ("EW-16", BackendConfig::new(EwPolicy::Constant(16))),
+    ];
+    let scenario = {
+        let mut b = Scenario::builder(TrackerTask::new(calib::mdnet())).suite(suite);
+        for (id, backend) in &schemes {
+            b = b.scheme(*id, *backend);
+        }
+        b.build().expect("scheme registry is valid")
+    };
+
+    let t0 = Instant::now();
+    let report = scenario.evaluate().expect("scale-out evaluation succeeds");
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    // The grid runs every scheme over every sequence, but each sequence
+    // is prepared exactly once; throughput is reported per *prepared*
+    // frame (the dominant cost at this scale).
+    let ns_per_frame = wall_ns / frames.max(1);
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"bench\": \"scaleout_otb\",");
+    let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
+    let _ = writeln!(json, "  \"scale\": {},", scale.sequence_fraction);
+    let _ = writeln!(
+        json,
+        "  \"machine\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"threads\": {} }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        threads
+    );
+    json.push_str("  \"metrics\": {\n");
+    let _ = writeln!(json, "    \"sequences\": {sequences},");
+    let _ = writeln!(json, "    \"frames\": {frames},");
+    let _ = writeln!(json, "    \"schemes\": {},", schemes.len());
+    let _ = writeln!(json, "    \"evaluate_wall_ns\": {wall_ns},");
+    let _ = writeln!(json, "    \"evaluate_ns_per_frame\": {ns_per_frame},");
+    for (i, result) in report.iter().enumerate() {
+        let comma = if i + 1 == report.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"success_at_05_{}\": {:.4}{comma}",
+            result.label(),
+            result.rate_at_05()
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&cfg.out, &json).expect("writable output path");
+
+    println!(
+        "evaluate: {:.2} s total, {:.3} ms/frame over {} schemes",
+        wall_ns as f64 / 1e9,
+        ns_per_frame as f64 / 1e6,
+        schemes.len()
+    );
+    for result in &report {
+        println!(
+            "  {:<6} success@0.5 = {:.3} (inference rate {:.3})",
+            result.label(),
+            result.rate_at_05(),
+            result.outcome.inference_rate()
+        );
+    }
+    println!("wrote {}", cfg.out);
+}

@@ -54,9 +54,15 @@
 //!   decided by the identical expressions.
 //! * **Motion blur** — sub-exposures accumulate in `u16` (3 × 255
 //!   fits; integer sums are exact in both the old `f64` and the new
-//!   representation) and only object regions are re-rendered per tap
-//!   when the blit offset is tap-invariant. The rounded average is a
-//!   766-entry table of the old expression.
+//!   representation) and only object regions are re-rendered per tap.
+//!   When shake moves the blit offset between taps, the three-tap
+//!   background average is served from a small cache of *averaged
+//!   canvases* keyed on the taps' relative offsets (a pure function of
+//!   them, so entries never go stale): clean scanlines are one row
+//!   blit — and one luma-plane blit on the fused-luma path — instead
+//!   of a three-tap sum, which took `blur_shake` luma from ~2.3 to
+//!   ~1.2 ms/frame. The rounded average is a 766-entry table of the
+//!   old expression either way.
 //! * **Illumination** — a 256-entry LUT of the old per-channel gain
 //!   expression when pixel noise is off; with noise on, gain folds into
 //!   the noise engine's row application.
@@ -72,13 +78,16 @@
 //!     σ=2 VGA rendering at ~32 ms/frame.
 //!   * [`noise::FastGaussian`] (the default for fresh configs) is
 //!     counter-based: sample `i` of frame `k` is
-//!     `hash(seed, k, i)` fed through a σ-scaled fixed-point
-//!     inverse-CDF table, so application is an `i16` add + clamp per
-//!     channel — ~3.3 ms/frame for the same σ=2 VGA workload (~10×),
-//!     order-independent and row-parallel-ready. Its contract is
-//!     **statistical** (mean/σ/tails/independence pinned by
-//!     `tests/noise_model.rs`) plus its own recorded determinism
-//!     digests — *not* bit-compatibility with Box–Muller.
+//!     `hash(seed, k, i)` indexing a σ-scaled table of *pre-rounded
+//!     integer offsets* (one i16 load per sample; the former
+//!     sub-quantum table interpolation was dropped as an intended
+//!     realization change), so application is an `i16` add + clamp per
+//!     channel — ~2.2 ms/frame for the σ=2 VGA fused-luma workload
+//!     (~15× over the legacy stream), order-independent and
+//!     row-parallel-ready. Its contract is **statistical**
+//!     (mean/σ/tails/independence pinned by `tests/noise_model.rs`)
+//!     plus its own recorded determinism digests — *not*
+//!     bit-compatibility with Box–Muller.
 //! * **Fused luma** — [`scene::Renderer::render_luma_into`] composes
 //!   gain/noise and the RGB→luma conversion row by row (clean
 //!   background pixels blit from a precomputed canvas luma; noisy rows
@@ -88,9 +97,13 @@
 //!   path (asserted in `ablation_render_path`).
 //! * **Shared canvases** — the sampled background canvas (and its
 //!   luma) is built once per [`scene::Scene`] and shared by every
-//!   renderer of that scene, so re-opening a sequence costs ~0.3 ms
-//!   instead of the ~10 ms canvas sampling (the evaluation grid opens
-//!   each sequence once per scheme).
+//!   renderer of that scene, so re-opening a sequence costs ~0.02 ms.
+//!   The one cold sampling a scene ever does generates lattice cells
+//!   row-major ([`texture::Texture::fill_row`]): the cell index
+//!   advances by comparison instead of per-pixel `floor` calls (libm
+//!   on x86-64 baseline), cutting cold construction from ~11.9 to
+//!   ~7 ms. Unrotated object parts rasterize through the same
+//!   row-walker ([`texture::Texture::row_sampler`]).
 //! * **Buffer reuse** — output frames come from an internal
 //!   [`FramePool`][euphrates_common::pool::FramePool]; return them with
 //!   [`scene::Renderer::recycle`] and steady-state rendering performs

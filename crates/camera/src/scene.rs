@@ -250,13 +250,14 @@ impl Scene {
                 let res = self.resolution;
                 let (bw, bh) = (res.width + 2 * BG_MARGIN, res.height + 2 * BG_MARGIN);
                 let mut bg = RgbFrame::new(bw, bh).expect("background dimensions are positive");
-                let mut sampler = self.background.sampler();
+                // Row-major cell generation (Texture::fill_row): the
+                // lattice cells of a scanline are walked in order, so
+                // per-pixel `floor` calls and cell-cache probes vanish
+                // from the one full canvas sampling a scene ever does.
                 for y in 0..bh {
                     let wy = f64::from(y) - f64::from(BG_MARGIN);
-                    for (x, px) in bg.row_mut(y).iter_mut().enumerate() {
-                        let wx = x as f64 - f64::from(BG_MARGIN);
-                        *px = sampler.sample(wx, wy);
-                    }
+                    self.background
+                        .fill_row(wy, -f64::from(BG_MARGIN), bg.row_mut(y));
                 }
                 Arc::new(bg)
             })
@@ -343,6 +344,101 @@ impl Scene {
 /// shake without re-rendering.
 const BG_MARGIN: u32 = 32;
 
+/// Which background canvas the renderer's `compose` buffer currently
+/// mirrors (at `compose_offset`, outside the dirty rects).
+///
+/// A `Blur` base carries the relative tap offsets identifying its
+/// canvas. Because an averaged canvas is a pure function of those
+/// offsets, a matching base can always be dirty-restored — even if the
+/// cache entry was evicted and rebuilt in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ComposeBase {
+    /// The scene's shared background canvas.
+    Scene,
+    /// A three-tap averaged canvas ([`BlurBgCache`]) for the given
+    /// relative tap offsets.
+    Blur(TapRel),
+}
+
+/// Relative sub-exposure blit offsets `(o1 − o0, o2 − o0)`.
+type TapRel = ((i32, i32), (i32, i32));
+
+/// Most blur-under-shake frames cycle through a handful of relative
+/// tap offsets (the taps are a fraction of a frame apart, so each
+/// component is −1/0/+1 and tracks the shake phase); a small
+/// most-recently-used cache makes every offset triple after the first
+/// shake period a pure canvas hit.
+const BLUR_BG_CACHE_CAP: usize = 8;
+
+/// The three-tap averaged background for motion blur under shake.
+///
+/// When all three sub-exposure blit offsets are integral, every clean
+/// pixel of a blurred frame is
+/// `round((bg[o0] + bg[o1] + bg[o2]) / 3)` — a pure function of the
+/// canvas and the *relative* offsets `(o1 − o0, o2 − o0)`, which shake
+/// moves only every few frames (the taps are a fraction of a frame
+/// apart). Caching the averaged canvas (and its luma) keyed on those
+/// relative offsets turns the per-frame three-tap background sum into
+/// one row blit per scanline — and a luma-plane blit on the fused-luma
+/// path — with per-tap work confined to the object region, exactly like
+/// the instant path. Values are bit-identical to summing per frame: the
+/// same integer sums feed the same rounded-third LUT.
+#[derive(Debug)]
+struct BlurBgCache {
+    /// Relative tap offsets `(o1 − o0, o2 − o0)` this average is for.
+    rel: TapRel,
+    /// Averaged canvas (valid wherever all three taps are in range —
+    /// which covers every offset triple that rounds to this `rel`).
+    rgb: RgbFrame,
+    /// Luma of `rgb`, for the clean-row fast path of the luma output.
+    luma: LumaFrame,
+}
+
+impl BlurBgCache {
+    /// Builds (or rebuilds in place) the averaged canvas for `rel`.
+    fn build(bg: &RgbFrame, rel: TapRel, reuse: Option<BlurBgCache>) -> Self {
+        let (bw, bh) = (bg.width(), bg.height());
+        let (mut rgb, mut luma) = match reuse {
+            Some(c) if c.rgb.width() == bw && c.rgb.height() == bh => (c.rgb, c.luma),
+            _ => (
+                RgbFrame::new(bw, bh).expect("canvas dimensions are positive"),
+                LumaFrame::new(bw, bh).expect("canvas dimensions are positive"),
+            ),
+        };
+        let ((r1x, r1y), (r2x, r2y)) = rel;
+        // Valid domain: indices where all three taps stay inside the
+        // canvas. Every frame read lands here by construction (frame
+        // offsets o1 = o0 + r1 and o2 = o0 + r2 are themselves valid
+        // canvas offsets).
+        let lo_u = 0.max(-r1x).max(-r2x);
+        let hi_u = i64::from(bw) - 1 + i64::from(0.min(-r1x).min(-r2x));
+        let lo_v = 0.max(-r1y).max(-r2y);
+        let hi_v = i64::from(bh) - 1 + i64::from(0.min(-r1y).min(-r2y));
+        let lut = third_lut();
+        for v in i64::from(lo_v)..=hi_v {
+            let b0 = bg.row(v as u32);
+            let b1 = bg.row((v + i64::from(r1y)) as u32);
+            let b2 = bg.row((v + i64::from(r2y)) as u32);
+            let rgb_row = rgb.row_mut(v as u32);
+            for u in i64::from(lo_u)..=hi_u {
+                let p0 = b0[u as usize];
+                let p1 = b1[(u + i64::from(r1x)) as usize];
+                let p2 = b2[(u + i64::from(r2x)) as usize];
+                rgb_row[u as usize] = Rgb::new(
+                    lut[(u16::from(p0.r) + u16::from(p1.r) + u16::from(p2.r)) as usize],
+                    lut[(u16::from(p0.g) + u16::from(p1.g) + u16::from(p2.g)) as usize],
+                    lut[(u16::from(p0.b) + u16::from(p1.b) + u16::from(p2.b)) as usize],
+                );
+            }
+            let dst = &mut luma.row_mut(v as u32)[lo_u as usize..=hi_u as usize];
+            for (d, p) in dst.iter_mut().zip(&rgb_row[lo_u as usize..=hi_u as usize]) {
+                *d = p.luma();
+            }
+        }
+        BlurBgCache { rel, rgb, luma }
+    }
+}
+
 /// An inclusive pixel rectangle, used for dirty-region tracking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PixelRect {
@@ -405,8 +501,15 @@ pub struct Renderer<'a> {
     /// renders.
     compose: RgbFrame,
     /// Background offset currently blitted into `compose`; `None` when
-    /// the compose content is not a pure integer shift of the canvas.
+    /// the compose content is not a pure integer shift of a canvas.
     compose_offset: Option<(u32, u32)>,
+    /// Which canvas `compose_offset` refers to: the scene background or
+    /// the blur cache's three-tap average.
+    compose_base: ComposeBase,
+    /// Cached three-tap averaged backgrounds for motion blur under
+    /// shake, keyed on the taps' relative offsets, most recently used
+    /// last (see [`BlurBgCache`]; capped at [`BLUR_BG_CACHE_CAP`]).
+    blur_bg: Vec<BlurBgCache>,
     /// Regions of `compose` that differ from the background at
     /// `compose_offset`.
     dirty: Vec<PixelRect>,
@@ -430,6 +533,8 @@ impl<'a> Renderer<'a> {
             noise_row: Vec::new(),
             compose: RgbFrame::new(res.width, res.height).expect("positive resolution"),
             compose_offset: None,
+            compose_base: ComposeBase::Scene,
+            blur_bg: Vec::new(),
             dirty: Vec::new(),
             tap_dirty: Vec::new(),
             tap: None,
@@ -542,21 +647,49 @@ impl<'a> Renderer<'a> {
                 let (ox, oy) = shake_clamped(shake);
                 blit_exact(&self.bg, &mut self.compose, ox, oy);
                 self.compose_offset = None;
+                self.compose_base = ComposeBase::Scene;
                 self.dirty.clear();
             }
         }
     }
 
     fn ensure_background_at(&mut self, dx: u32, dy: u32) {
-        if self.compose_offset == Some((dx, dy)) {
-            for r in &self.dirty {
-                blit_rect(&self.bg, &mut self.compose, dx, dy, *r);
+        self.ensure_canvas_at(ComposeBase::Scene, dx, dy);
+    }
+
+    /// Brings `compose` to "pure `base` canvas at `(dx, dy)`" state:
+    /// restores dirty regions when the canvas and offset are unchanged,
+    /// row-blits the whole frame otherwise. Clears the dirty list.
+    fn ensure_canvas_at(&mut self, base: ComposeBase, dx: u32, dy: u32) {
+        let Renderer {
+            bg,
+            blur_bg,
+            compose,
+            compose_offset,
+            compose_base,
+            dirty,
+            ..
+        } = self;
+        let src: &RgbFrame = match base {
+            ComposeBase::Scene => bg,
+            ComposeBase::Blur(rel) => {
+                &blur_bg
+                    .iter()
+                    .find(|c| c.rel == rel)
+                    .expect("blur cache built before use")
+                    .rgb
+            }
+        };
+        if *compose_offset == Some((dx, dy)) && *compose_base == base {
+            for r in dirty.iter() {
+                blit_rect(src, compose, dx, dy, *r);
             }
         } else {
-            blit_full(&self.bg, &mut self.compose, dx, dy);
-            self.compose_offset = Some((dx, dy));
+            blit_full(src, compose, dx, dy);
+            *compose_offset = Some((dx, dy));
+            *compose_base = base;
         }
-        self.dirty.clear();
+        dirty.clear();
     }
 
     fn compose_instant(&mut self, t: f64) {
@@ -663,9 +796,10 @@ impl<'a> Renderer<'a> {
     }
 
     /// Blur general path (shake moves the blit offset between taps):
-    /// sum the three shifted background rows directly into the
-    /// accumulator, then apply per-tap object deltas over each tap's
-    /// dirty region only, and average the whole frame once.
+    /// the three-tap background sum is served from the [`BlurBgCache`]
+    /// averaged canvas — one row blit per clean scanline, rebuilt only
+    /// when the taps' *relative* offsets change — and the accumulator
+    /// stages only the object-region rectangle for the per-tap deltas.
     fn compose_blurred_general(
         &mut self,
         taps: [f64; 3],
@@ -676,86 +810,93 @@ impl<'a> Renderer<'a> {
             self.compose_blurred_fallback(taps, shakes, offsets);
             return;
         };
-        self.ensure_scratch();
+        let rel = (
+            (o1.0 as i32 - o0.0 as i32, o1.1 as i32 - o0.1 as i32),
+            (o2.0 as i32 - o0.0 as i32, o2.1 as i32 - o0.1 as i32),
+        );
+        match self.blur_bg.iter().position(|c| c.rel == rel) {
+            Some(i) => {
+                // Keep most-recently-used entries at the back.
+                let hit = self.blur_bg.remove(i);
+                self.blur_bg.push(hit);
+            }
+            None => {
+                let reuse = if self.blur_bg.len() >= BLUR_BG_CACHE_CAP {
+                    Some(self.blur_bg.remove(0))
+                } else {
+                    None
+                };
+                let built = BlurBgCache::build(&self.bg, rel, reuse);
+                self.blur_bg.push(built);
+            }
+        }
+        self.ensure_canvas_at(ComposeBase::Blur(rel), o0.0, o0.1);
 
-        // Per-tap object regions, computed up front so rows no object
-        // touches can skip the accumulator entirely.
-        let mut regions: [Option<PixelRect>; 3] = [None; 3];
-        for (k, (&tt, &shake)) in taps.iter().zip(&shakes).enumerate() {
+        // Union of every tap's object bounds: the only pixels where the
+        // three sub-exposures can differ from the averaged background.
+        let mut region: Option<PixelRect> = None;
+        for (&tt, &shake) in taps.iter().zip(&shakes) {
             self.tap_dirty.clear();
             collect_object_bounds(self.scene, tt, shake, &mut self.tap_dirty);
             for r in &self.tap_dirty {
-                regions[k] = Some(regions[k].map_or(*r, |u| u.union(*r)));
+                region = Some(region.map_or(*r, |u| u.union(*r)));
             }
         }
-        let row_touched = |y: u32| regions.iter().flatten().any(|r| y >= r.y0 && y <= r.y1);
+        let Some(region) = region else {
+            return; // pure averaged background; compose is already correct
+        };
 
+        self.ensure_scratch();
         let Renderer {
             scene,
             bg,
             compose,
             tap,
             acc,
+            dirty,
             tap_dirty,
             ..
         } = self;
         let tap = tap.as_mut().expect("ensure_scratch allocated the tap");
         let w = compose.width() as usize;
-        let lut = third_lut();
+        let n = (region.x1 - region.x0 + 1) as usize;
 
-        // Clean rows: fuse the three shifted background rows straight
-        // into the rounded average; object rows: stage the sums in the
-        // accumulator for the per-tap deltas below.
-        for y in 0..compose.height() {
-            let r0 = &bg.row(y + o0.1)[o0.0 as usize..o0.0 as usize + w];
-            let r1 = &bg.row(y + o1.1)[o1.0 as usize..o1.0 as usize + w];
-            let r2 = &bg.row(y + o2.1)[o2.0 as usize..o2.0 as usize + w];
-            if row_touched(y) {
-                let acc_row = &mut acc[y as usize * w..(y as usize + 1) * w];
-                for (((a, p0), p1), p2) in acc_row.iter_mut().zip(r0).zip(r1).zip(r2) {
-                    *a = [
-                        u16::from(p0.r) + u16::from(p1.r) + u16::from(p2.r),
-                        u16::from(p0.g) + u16::from(p1.g) + u16::from(p2.g),
-                        u16::from(p0.b) + u16::from(p1.b) + u16::from(p2.b),
-                    ];
-                }
-            } else {
-                let out_row = compose.row_mut(y);
-                for (((px, p0), p1), p2) in out_row.iter_mut().zip(r0).zip(r1).zip(r2) {
-                    *px = Rgb::new(
-                        lut[(u16::from(p0.r) + u16::from(p1.r) + u16::from(p2.r)) as usize],
-                        lut[(u16::from(p0.g) + u16::from(p1.g) + u16::from(p2.g)) as usize],
-                        lut[(u16::from(p0.b) + u16::from(p1.b) + u16::from(p2.b)) as usize],
-                    );
-                }
+        // acc[region] := sum of the three shifted background taps.
+        for y in region.y0..=region.y1 {
+            let r0 = &bg.row(y + o0.1)[o0.0 as usize + region.x0 as usize..];
+            let r1 = &bg.row(y + o1.1)[o1.0 as usize + region.x0 as usize..];
+            let r2 = &bg.row(y + o2.1)[o2.0 as usize + region.x0 as usize..];
+            let base = y as usize * w + region.x0 as usize;
+            for (((a, p0), p1), p2) in acc[base..base + n].iter_mut().zip(r0).zip(r1).zip(r2) {
+                *a = [
+                    u16::from(p0.r) + u16::from(p1.r) + u16::from(p2.r),
+                    u16::from(p0.g) + u16::from(p1.g) + u16::from(p2.g),
+                    u16::from(p0.b) + u16::from(p1.b) + u16::from(p2.b),
+                ];
             }
         }
 
-        // Per tap: rebuild only that tap's object region over its own
-        // background shift, draw, and accumulate the delta.
+        // Per tap: rebuild the region over that tap's own background
+        // shift, draw that instant's objects, and accumulate the delta
+        // (zero wherever the tap shows pure background).
         for (k, (&tt, &shake)) in taps.iter().zip(&shakes).enumerate() {
             let (dx, dy) = [o0, o1, o2][k];
-            let Some(region) = regions[k] else {
-                continue;
-            };
             blit_rect(bg, tap, dx, dy, region);
             tap_dirty.clear();
             draw_objects_at(tap, scene, tt, shake, tap_dirty);
             accumulate_tap_delta(acc, w, tap, bg, dx, dy, region);
         }
 
-        // Average the staged rows from the accumulator.
-        for y in 0..compose.height() {
-            if !row_touched(y) {
-                continue;
-            }
-            let acc_row = &acc[y as usize * w..(y as usize + 1) * w];
-            for (px, a) in compose.row_mut(y).iter_mut().zip(acc_row) {
+        // compose[region] := rounded average (see `third_lut`).
+        let lut = third_lut();
+        for y in region.y0..=region.y1 {
+            let base = y as usize * w + region.x0 as usize;
+            let row = &mut compose.row_mut(y)[region.x0 as usize..region.x0 as usize + n];
+            for (px, a) in row.iter_mut().zip(&acc[base..base + n]) {
                 *px = Rgb::new(lut[a[0] as usize], lut[a[1] as usize], lut[a[2] as usize]);
             }
         }
-        self.compose_offset = None;
-        self.dirty.clear();
+        dirty.push(region);
     }
 
     /// Last-resort blur path for degenerate half-pixel offsets: render
@@ -802,6 +943,7 @@ impl<'a> Renderer<'a> {
         }
         average_acc(acc, compose);
         self.compose_offset = None;
+        self.compose_base = ComposeBase::Scene;
         self.dirty.clear();
     }
 
@@ -869,9 +1011,24 @@ impl<'a> Renderer<'a> {
         if !needs_gain && sigma <= 0.0 {
             if let Some((dx, dy)) = self.compose_offset {
                 // Clean background pixels have a precomputed luma: blit
-                // rows from the (scene-shared) canvas luma and convert
-                // only the dirty regions.
-                let bgl = self.scene.canvas_luma();
+                // rows from the active canvas's luma plane (the scene's
+                // shared canvas, or the blur cache's averaged canvas)
+                // and convert only the dirty regions.
+                let scene_luma;
+                let bgl: &LumaFrame = match self.compose_base {
+                    ComposeBase::Scene => {
+                        scene_luma = self.scene.canvas_luma();
+                        &scene_luma
+                    }
+                    ComposeBase::Blur(rel) => {
+                        &self
+                            .blur_bg
+                            .iter()
+                            .find(|c| c.rel == rel)
+                            .expect("blur base implies a cached canvas")
+                            .luma
+                    }
+                };
                 let w = out.width() as usize;
                 for y in 0..out.height() {
                     out.row_mut(y)
@@ -903,12 +1060,12 @@ impl<'a> Renderer<'a> {
                 .luma();
             }
         } else {
-            // Fused gain/noise + luma, row-granular: each composed row
-            // passes through the noise engine into a reused scratch row
-            // and is luma'd in a second tight (vectorizable) loop — by
-            // construction never more work than the RGB path plus a
-            // separate full-frame conversion, since the noisy RGB only
-            // ever exists one row at a time.
+            // Gain/noise + luma through the noise engine's `luma_row`
+            // (engine-into-scratch + a tight luma loop by default; a
+            // model may override with its own fusion) — by construction
+            // never more work than the RGB path plus a separate
+            // full-frame conversion, since the noisy RGB only ever
+            // exists one row at a time.
             let Renderer {
                 scene,
                 compose,
@@ -918,12 +1075,13 @@ impl<'a> Renderer<'a> {
             } = self;
             noise.begin_frame(scene.seed, PIXEL_NOISE_STREAM, index, gain, sigma);
             let w = compose.width() as usize;
-            noise_row.resize(w, Rgb::gray(0));
             for y in 0..compose.height() {
-                noise.rgb_row(y as u64 * w as u64, compose.row(y), noise_row);
-                for (d, s) in out.row_mut(y).iter_mut().zip(noise_row.iter()) {
-                    *d = s.luma();
-                }
+                noise.luma_row(
+                    y as u64 * w as u64,
+                    compose.row(y),
+                    noise_row,
+                    out.row_mut(y),
+                );
             }
         }
     }
@@ -1221,6 +1379,15 @@ fn draw_object(
         let Some(pr) = part_raster(&of, part, t, frame.width(), frame.height()) else {
             continue;
         };
+        // Axis-aligned parts (the common case: most dataset targets
+        // never rotate) walk each row through a RowSampler — `lx` is
+        // nondecreasing along the span when `cos θ = 1`, so noise
+        // textures advance lattice cells by comparison instead of
+        // calling `floor` per pixel. The coordinates fed to the sampler
+        // are the very same `lx`/`ly` expressions (with `sin θ = 0` and
+        // `cos θ = 1` the products are exact), so output is
+        // bit-identical to the rotated path below.
+        let axis_aligned = pr.sin_t == 0.0 && pr.cos_t == 1.0;
         let mut sampler = part.texture.sampler();
         for py in pr.rect.y0..=pr.rect.y1 {
             let dy = f64::from(py) + 0.5 - pr.pcy;
@@ -1230,6 +1397,24 @@ fn draw_object(
                 continue;
             };
             let row = frame.row_mut(py);
+            if axis_aligned {
+                let mut walker = part.texture.row_sampler(dy_cos);
+                for px in cx0..=cx1 {
+                    let dx = f64::from(px) + 0.5 - pr.pcx;
+                    let lx = dx * pr.cos_t + dy_sin;
+                    let ly = -dx * pr.sin_t + dy_cos;
+                    let u = lx / pr.half.x;
+                    let v = ly / pr.half.y;
+                    let inside = match part.shape {
+                        Shape::Rectangle => u.abs() <= 1.0 && v.abs() <= 1.0,
+                        Shape::Ellipse => u * u + v * v <= 1.0,
+                    };
+                    if inside {
+                        row[px as usize] = walker.sample(lx);
+                    }
+                }
+                continue;
+            }
             for px in cx0..=cx1 {
                 let dx = f64::from(px) + 0.5 - pr.pcx;
                 // Inverse rotation into part-local space (identical

@@ -136,6 +136,161 @@ impl Texture {
     }
 }
 
+impl Texture {
+    /// Fills `out[i] = self.sample(wx0 + i, wy)` for a whole scanline,
+    /// bit-identically, walking lattice cells row-major.
+    ///
+    /// For [`Texture::Noise`] this is the canvas generator's fast path:
+    /// the row's `y` terms (cell row, eased fraction) are hoisted out of
+    /// the pixel loop, and the `x` cell index advances by *comparison*
+    /// against the next cell boundary instead of calling `floor` per
+    /// sample — `x` is monotonic along a row, so the tracked index
+    /// equals `floor` exactly — with corner hashes shifted across the
+    /// cell edge (two fresh hashes per crossing instead of four). On
+    /// targets where `f64::floor` is a libm call (x86-64 baseline), this
+    /// removes four of them per pixel. The interpolation arithmetic is
+    /// the same expression tree as [`Texture::sample`], so output is
+    /// bit-identical; other variants delegate to the sampler.
+    pub fn fill_row(&self, wy: f64, wx0: f64, out: &mut [Rgb]) {
+        let mut sampler = self.row_sampler(wy);
+        for (i, px) in out.iter_mut().enumerate() {
+            *px = sampler.sample(wx0 + i as f64);
+        }
+    }
+}
+
+/// A single-scanline sampler: like [`Texture::sampler`], but with the
+/// row's `y` terms hoisted at construction, for callers that sample one
+/// row at *nondecreasing* `x` positions (a rasterizer walking an
+/// unrotated span). Output is bit-identical to [`Texture::sample`] at
+/// the same coordinates; the noise fast path avoids the per-sample
+/// `floor` calls entirely (same cell walker as [`Texture::fill_row`]).
+#[derive(Debug)]
+pub struct RowSampler<'a> {
+    texture: &'a Texture,
+    y: f64,
+    /// Row walkers for the two noise octaves ([`Texture::Noise`] only).
+    cells: Option<(RowCells, RowCells)>,
+}
+
+impl Texture {
+    /// Creates a [`RowSampler`] for the scanline at `y`. Samples must be
+    /// requested at nondecreasing `x`.
+    pub fn row_sampler(&self, y: f64) -> RowSampler<'_> {
+        let cells = match self {
+            Texture::Noise { scale, seed, .. } => {
+                let sy = y / scale;
+                Some((
+                    RowCells::new(*seed, sy),
+                    RowCells::new(*seed ^ 0xABCD_EF01, sy * 2.3),
+                ))
+            }
+            _ => None,
+        };
+        RowSampler {
+            texture: self,
+            y,
+            cells,
+        }
+    }
+}
+
+impl RowSampler<'_> {
+    /// Samples the texture at `(x, self.y)`; identical output to
+    /// [`Texture::sample`]. `x` must be ≥ every previously sampled `x`
+    /// of this row.
+    #[inline]
+    pub fn sample(&mut self, x: f64) -> Rgb {
+        match (self.texture, &mut self.cells) {
+            (Texture::Noise { lo, hi, scale, .. }, Some((oct0, oct1))) => {
+                let sx = x / scale;
+                let n0 = oct0.value(sx);
+                let n1 = oct1.value(sx * 2.3);
+                let v = (0.7 * n0 + 0.3 * n1).clamp(0.0, 1.0);
+                lerp_rgb(*lo, *hi, v)
+            }
+            _ => self.texture.sample(x, self.y),
+        }
+    }
+}
+
+/// One noise octave's row-major cell walker: the row's `y` cell and
+/// eased fraction are fixed at construction; the `x` cell advances
+/// monotonically by boundary comparison (see [`Texture::fill_row`]).
+#[derive(Debug)]
+struct RowCells {
+    seed: u64,
+    iy: i64,
+    fy: f64,
+    ix: i64,
+    /// `(ix + 1) as f64` — the boundary the next sample is compared
+    /// against.
+    next_x: f64,
+    v00: f64,
+    v10: f64,
+    v01: f64,
+    v11: f64,
+    init: bool,
+}
+
+impl RowCells {
+    fn new(seed: u64, sy: f64) -> Self {
+        let y0 = sy.floor();
+        RowCells {
+            seed,
+            iy: y0 as i64,
+            fy: smoothstep(sy - y0),
+            ix: 0,
+            next_x: 0.0,
+            v00: 0.0,
+            v10: 0.0,
+            v01: 0.0,
+            v11: 0.0,
+            init: false,
+        }
+    }
+
+    /// Loads the four corner hashes of the current cell.
+    fn load(&mut self) {
+        self.v00 = lattice_hash(self.seed, self.ix, self.iy);
+        self.v10 = lattice_hash(self.seed, self.ix + 1, self.iy);
+        self.v01 = lattice_hash(self.seed, self.ix, self.iy + 1);
+        self.v11 = lattice_hash(self.seed, self.ix + 1, self.iy + 1);
+        self.next_x = (self.ix + 1) as f64;
+    }
+
+    /// Single-octave value noise at `sx` (row `y` fixed), identical to
+    /// `value_noise(seed, sx, sy)`: the tracked cell index equals
+    /// `sx.floor()` (samples arrive in nondecreasing order), and the
+    /// interpolation is the same expression tree.
+    #[inline]
+    fn value(&mut self, sx: f64) -> f64 {
+        if !self.init {
+            self.ix = sx.floor() as i64;
+            self.load();
+            self.init = true;
+        } else if sx >= self.next_x {
+            // Advance one cell, shifting the shared corner pair; jumps
+            // of more than one cell (coarse sampling) reload outright.
+            self.ix += 1;
+            if sx < (self.ix + 1) as f64 {
+                self.v00 = self.v10;
+                self.v01 = self.v11;
+                self.v10 = lattice_hash(self.seed, self.ix + 1, self.iy);
+                self.v11 = lattice_hash(self.seed, self.ix + 1, self.iy + 1);
+                self.next_x = (self.ix + 1) as f64;
+            } else {
+                self.ix = sx.floor() as i64;
+                self.load();
+            }
+        }
+        let fx = smoothstep(sx - self.ix as f64);
+        let top = self.v00 + (self.v10 - self.v00) * fx;
+        let bot = self.v01 + (self.v11 - self.v01) * fx;
+        top + (bot - top) * self.fy
+    }
+}
+
 /// One memoized lattice cell: the four corner hashes of `(ix, iy)`.
 #[derive(Debug, Clone, Copy)]
 struct CellCache {

@@ -298,9 +298,23 @@ impl Rect {
     ///
     /// Panics if `nx` or `ny` is zero.
     pub fn grid(&self, nx: u32, ny: u32) -> Vec<Rect> {
-        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
-        let (sw, sh) = (self.w / nx as f64, self.h / ny as f64);
         let mut out = Vec::with_capacity((nx * ny) as usize);
+        self.grid_into(nx, ny, &mut out);
+        out
+    }
+
+    /// [`grid`][Rect::grid] into a caller-owned vector (cleared first),
+    /// so per-frame extrapolation loops can reuse one scratch buffer
+    /// instead of allocating a sub-ROI list per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero.
+    pub fn grid_into(&self, nx: u32, ny: u32, out: &mut Vec<Rect>) {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        out.clear();
+        out.reserve((nx * ny) as usize);
+        let (sw, sh) = (self.w / nx as f64, self.h / ny as f64);
         for j in 0..ny {
             for i in 0..nx {
                 out.push(Rect::new(
@@ -311,7 +325,6 @@ impl Rect {
                 ));
             }
         }
-        out
     }
 
     /// Distance between the centers of two rectangles.

@@ -270,25 +270,61 @@ pub fn rgb_to_luma(rgb: &RgbFrame) -> LumaFrame {
     out
 }
 
+/// The pyramid level dimensions [`downsample2`] produces for a source
+/// plane: halved in each dimension, floored, clamped to at least 1.
+pub fn downsample2_dims(src: &LumaFrame) -> (u32, u32) {
+    ((src.width() / 2).max(1), (src.height() / 2).max(1))
+}
+
 /// Downsamples a luma plane by 2× in each dimension with a 2×2 box
 /// filter (odd trailing rows/columns are dropped). This is the pyramid
 /// level used by hierarchical motion search; frames smaller than 2×2 are
 /// returned as a 1×1 plane holding the corner sample.
 pub fn downsample2(src: &LumaFrame) -> LumaFrame {
-    let w = (src.width() / 2).max(1);
-    let h = (src.height() / 2).max(1);
+    let (w, h) = downsample2_dims(src);
     let mut out = LumaFrame::new(w, h).expect("halved dimensions stay positive");
+    downsample2_into(src, &mut out);
+    out
+}
+
+/// [`downsample2`] into a caller-owned plane (resized if its shape does
+/// not match [`downsample2_dims`]), so a streaming caller can reuse one
+/// pyramid buffer per frame slot — O(1) allocations in steady state. The
+/// hot path walks row-slice pairs; output is bit-identical to the
+/// original per-sample formulation (`(a + b + c + d + 2) / 4` on the
+/// same four samples).
+pub fn downsample2_into(src: &LumaFrame, out: &mut LumaFrame) {
+    let (w, h) = downsample2_dims(src);
+    if out.width() != w || out.height() != h {
+        *out = LumaFrame::new(w, h).expect("halved dimensions stay positive");
+    }
+    if src.width() < 2 || src.height() < 2 {
+        // Degenerate 1-wide / 1-high sources: the 2×2 cell clamps onto
+        // the corner sample (kept out of the sliced fast path below).
+        for y in 0..h {
+            for x in 0..w {
+                let (x0, y0) = (2 * x, 2 * y);
+                let sum = u16::from(src.at_clamped(i64::from(x0), i64::from(y0)))
+                    + u16::from(src.at_clamped(i64::from(x0) + 1, i64::from(y0)))
+                    + u16::from(src.at_clamped(i64::from(x0), i64::from(y0) + 1))
+                    + u16::from(src.at_clamped(i64::from(x0) + 1, i64::from(y0) + 1));
+                out.set(x, y, ((sum + 2) / 4) as u8);
+            }
+        }
+        return;
+    }
     for y in 0..h {
-        for x in 0..w {
-            let (x0, y0) = (2 * x, 2 * y);
-            let sum = u16::from(src.at_clamped(i64::from(x0), i64::from(y0)))
-                + u16::from(src.at_clamped(i64::from(x0) + 1, i64::from(y0)))
-                + u16::from(src.at_clamped(i64::from(x0), i64::from(y0) + 1))
-                + u16::from(src.at_clamped(i64::from(x0) + 1, i64::from(y0) + 1));
-            out.set(x, y, ((sum + 2) / 4) as u8);
+        let top = src.row(2 * y);
+        let bot = src.row(2 * y + 1);
+        for (x, d) in out.row_mut(y).iter_mut().enumerate() {
+            let x0 = 2 * x;
+            let sum = u16::from(top[x0])
+                + u16::from(top[x0 + 1])
+                + u16::from(bot[x0])
+                + u16::from(bot[x0 + 1]);
+            *d = ((sum + 2) / 4) as u8;
         }
     }
-    out
 }
 
 /// Frame resolution in pixels.
@@ -442,6 +478,31 @@ mod tests {
         // Degenerate 1x1 input stays 1x1.
         let one = LumaFrame::new(1, 1).unwrap();
         assert_eq!(downsample2(&one).len(), 1);
+    }
+
+    #[test]
+    fn downsample2_into_reuses_and_resizes_buffers() {
+        let mut src = LumaFrame::new(9, 7).unwrap();
+        for (i, s) in src.samples_mut().iter_mut().enumerate() {
+            *s = (i * 37 % 256) as u8;
+        }
+        // Mis-shaped buffer is resized; values match the allocating form.
+        let mut out = LumaFrame::new(3, 3).unwrap();
+        downsample2_into(&src, &mut out);
+        assert_eq!(out, downsample2(&src));
+        assert_eq!((out.width(), out.height()), downsample2_dims(&src));
+        // Reuse with a matching shape also matches (stale content is
+        // fully overwritten).
+        for s in src.samples_mut() {
+            *s = s.wrapping_add(91);
+        }
+        downsample2_into(&src, &mut out);
+        assert_eq!(out, downsample2(&src));
+        // Degenerate 1-wide source goes through the clamped path.
+        let thin = LumaFrame::new(1, 5).unwrap();
+        let mut t = LumaFrame::new(1, 1).unwrap();
+        downsample2_into(&thin, &mut t);
+        assert_eq!(t, downsample2(&thin));
     }
 
     #[test]

@@ -92,12 +92,47 @@ impl TaskOutcome {
 }
 
 /// Per-tracked-object extrapolation state covering both datapath flavors.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Carries a reusable sub-ROI scratch buffer so the per-frame
+/// [`extrapolate_roi`] step performs no allocations in steady state;
+/// the scratch is excluded from equality (two states with the same
+/// filter history are equal regardless of what their scratch last
+/// held).
+#[derive(Debug, Default)]
 pub struct TrackState {
     /// Reference-path filter state.
     pub reference: RoiState,
     /// Fixed-point filter state (one `(Q16, Q16)` per sub-ROI).
     pub fixed: Vec<(Q16, Q16)>,
+    /// Sub-ROI scratch reused across frames (not part of the state's
+    /// identity).
+    subs: Vec<Rect>,
+}
+
+impl Clone for TrackState {
+    fn clone(&self) -> Self {
+        TrackState {
+            reference: self.reference.clone(),
+            fixed: self.fixed.clone(),
+            subs: Vec::new(),
+        }
+    }
+
+    /// Field-wise `clone_from`, reusing every destination allocation
+    /// (a derived `Clone` would fall back to `*self = source.clone()`
+    /// and re-allocate) — this is what makes the tracker's per-I-frame
+    /// probe clone allocation-free in steady state. The scratch buffer
+    /// is left as-is: it carries no state.
+    fn clone_from(&mut self, source: &Self) {
+        self.reference.clone_from(&source.reference);
+        self.fixed.clone_from(&source.fixed);
+    }
+}
+
+impl PartialEq for TrackState {
+    fn eq(&self, other: &Self) -> bool {
+        self.reference == other.reference && self.fixed == other.fixed
+    }
 }
 
 impl TrackState {
@@ -106,12 +141,18 @@ impl TrackState {
         TrackState {
             reference: RoiState::new(config),
             fixed: vec![(Q16::ZERO, Q16::ZERO); config.sub_roi_count()],
+            subs: Vec::with_capacity(config.sub_roi_count()),
         }
     }
 }
 
 /// One extrapolation step: moves `roi` forward by the motion field,
 /// returning the new ROI, datapath cycles, and arithmetic-op count.
+///
+/// The hardware (fixed-datapath) path runs allocation-free: the sub-ROI
+/// grid goes into the state's scratch buffer and the op count is summed
+/// in the same pass (the identical per-sub-ROI arithmetic
+/// [`Extrapolator::ops_estimate`] performs).
 pub fn extrapolate_roi(
     roi: &Rect,
     field: &MotionField,
@@ -120,8 +161,8 @@ pub fn extrapolate_roi(
     fixed_datapath: bool,
 ) -> (Rect, Cycles, u64) {
     let extrapolator = Extrapolator::new(*config);
-    let ops = extrapolator.ops_estimate(roi, field);
     if !fixed_datapath {
+        let ops = extrapolator.ops_estimate(roi, field);
         let out = extrapolator.extrapolate(roi, field, &mut state.reference);
         // Reference path still charges datapath-equivalent cycles so the
         // energy model is datapath-choice-independent.
@@ -130,15 +171,18 @@ pub fn extrapolate_roi(
     }
     let dp = SimdDatapath::default();
     let (gx, gy) = config.effective_grid();
-    let subs = roi.grid(gx, gy);
-    if state.fixed.len() != subs.len() {
-        state.fixed = vec![(Q16::ZERO, Q16::ZERO); subs.len()];
+    let TrackState { fixed, subs, .. } = state;
+    roi.grid_into(gx, gy, subs);
+    if fixed.len() != subs.len() {
+        *fixed = vec![(Q16::ZERO, Q16::ZERO); subs.len()];
     }
+    let mut ops = 0u64;
     let mut merged = Rect::default();
     let mut cycles = Cycles::ZERO;
     for (i, sub) in subs.iter().enumerate() {
-        let result = dp.evaluate(field, sub, state.fixed[i], config);
-        state.fixed[i] = (result.mv_x, result.mv_y);
+        ops += field.blocks_in_roi(sub).count() as u64 * 6 + 32;
+        let result = dp.evaluate(field, sub, fixed[i], config);
+        fixed[i] = (result.mv_x, result.mv_y);
         cycles += result.cycles;
         let mv = SimdDatapath::to_vec2f(&result);
         merged = merged.union_bbox(&sub.translated(mv));
@@ -171,19 +215,11 @@ pub fn retain_at_edge(roi: &Rect, bounds: &Rect, frac: f64) -> Rect {
     )
 }
 
-/// Converts scene ground truth to the oracle's view.
+/// Converts scene ground truth to the oracle's view. The conversion is
+/// cached on the frame ([`FrameData::targets`]); prefer borrowing that
+/// directly — this shim clones it for callers that need ownership.
 pub fn oracle_targets(frame: &FrameData) -> Vec<OracleTarget> {
-    frame
-        .truth
-        .iter()
-        .map(|g| OracleTarget {
-            id: g.id,
-            label: g.label,
-            rect: g.rect,
-            visibility: g.visibility,
-            blur: g.blur,
-        })
-        .collect()
+    frame.targets().to_vec()
 }
 
 /// Creates the EW controller for a backend config.
@@ -195,7 +231,8 @@ pub fn controller(config: &BackendConfig) -> Result<EwController> {
     EwController::new(config.policy)
 }
 
-/// Charges the per-frame sequencer program to the outcome.
+/// Charges the per-frame sequencer program to the outcome (total
+/// cycles computed directly — the step list is never materialized).
 pub fn charge_sequencer(
     outcome: &mut TaskOutcome,
     kind: FrameKind,
@@ -204,8 +241,7 @@ pub fn charge_sequencer(
     datapath_cycles: Cycles,
 ) {
     let seq = McSequencer::default();
-    let program = seq.frame_program(kind, field.metadata_bytes().0, rois, datapath_cycles);
-    outcome.mc_cycles += program.total_cycles();
+    outcome.mc_cycles += seq.frame_cycles(kind, field.metadata_bytes().0, rois, datapath_cycles);
 }
 
 #[cfg(test)]

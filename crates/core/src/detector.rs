@@ -10,7 +10,7 @@
 //! positives).
 
 use crate::api::{run_task, FrameContext, StepStats, VisionTask};
-use crate::backend::{extrapolate_roi, oracle_targets, BackendConfig, TaskOutcome, TrackState};
+use crate::backend::{extrapolate_roi, BackendConfig, TaskOutcome, TrackState};
 use crate::frontend::{FrameData, PreparedSequence};
 use euphrates_common::error::{Error, Result};
 use euphrates_common::geom::Rect;
@@ -110,10 +110,10 @@ impl VisionTask for DetectorTask {
             })
             .collect();
 
-        let targets = oracle_targets(ctx.frame);
-        let detections = state
-            .oracle
-            .detect(&targets, &ctx.bounds, ctx.stream, ctx.index);
+        let detections =
+            state
+                .oracle
+                .detect(ctx.frame.targets(), &ctx.bounds, ctx.stream, ctx.index);
 
         // Adaptive feedback: how well did extrapolation predict the
         // detector's output?
@@ -183,16 +183,13 @@ impl VisionTask for DetectorTask {
     }
 
     fn score(&self, ctx: &FrameContext, state: &Self::State, outcome: &mut TaskOutcome) {
-        // Score every emitted box against ground truth (paper AP).
-        let truths: Vec<Rect> = ctx
-            .frame
-            .truth
-            .iter()
-            .filter(|g| !g.rect.is_empty())
-            .map(|g| g.rect)
-            .collect();
+        // Score every emitted box against ground truth (paper AP). The
+        // non-empty truth boxes are cached on the frame, shared by every
+        // scheme that scores it.
         let preds: Vec<Rect> = state.tracks.iter().map(|t| t.rect).collect();
-        outcome.ious.extend(match_detections(&preds, &truths));
+        outcome
+            .ious
+            .extend(match_detections(&preds, ctx.frame.truth_rects()));
     }
 }
 

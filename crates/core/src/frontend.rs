@@ -26,10 +26,14 @@ use euphrates_camera::noise::NoiseModelKind;
 use euphrates_camera::scene::{GtObject, Renderer};
 use euphrates_camera::sensor::{ImageSensor, SensorConfig};
 use euphrates_common::error::{Error, Result};
-use euphrates_common::image::{BayerFrame, LumaFrame, Resolution, RgbFrame};
+use euphrates_common::geom::Rect;
+use euphrates_common::image::{
+    downsample2_dims, downsample2_into, BayerFrame, LumaFrame, Resolution, RgbFrame,
+};
 use euphrates_datasets::Sequence;
 use euphrates_isp::motion::{BlockMatcher, MotionField, SearchStrategy};
 use euphrates_isp::pipeline::{IspConfig, IspPipeline};
+use euphrates_nn::oracle::OracleTarget;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Motion-estimation configuration for an evaluation run.
@@ -42,7 +46,12 @@ pub struct MotionConfig {
     pub mb_size: u32,
     /// Search range `d` (paper default 7).
     pub search_range: u32,
-    /// Block-matching strategy (paper default TSS). Any
+    /// Block-matching strategy. The evaluated default is
+    /// [`SearchStrategy::Hierarchical`] — the pyramid-cached two-level
+    /// search, which the Fig. 11b sweep pins within 0.008 success rate
+    /// of exhaustive search at a fraction of the probes (the paper's
+    /// modelled ISP stage, TSS, remains selectable as
+    /// [`SearchStrategy::ThreeStep`]). Any
     /// [`MotionSearch`][euphrates_isp::motion::MotionSearch] engine
     /// registered via
     /// [`register_search`][euphrates_isp::motion::register_search] can be
@@ -66,7 +75,7 @@ impl Default for MotionConfig {
         MotionConfig {
             mb_size: 16,
             search_range: 7,
-            strategy: SearchStrategy::ThreeStep,
+            strategy: SearchStrategy::Hierarchical,
             full_isp: false,
             noise_model: None,
         }
@@ -74,12 +83,65 @@ impl Default for MotionConfig {
 }
 
 /// One frame's backend-visible data.
+///
+/// Construct through [`FrameData::new`], which also caches the two
+/// derived views every scheme used to recompute per frame — the
+/// oracle-facing target list and the non-empty truth rectangles. A
+/// prepared sequence is shared by every scheme in the evaluation grid,
+/// so deriving them once at preparation time removes a per-(frame ×
+/// scheme) allocation from both task hot loops. Treat a `FrameData` as
+/// immutable once built: mutating `truth` in place would desync the
+/// cached views.
 #[derive(Debug, Clone)]
 pub struct FrameData {
     /// Ground truth (consumed by the oracles and the scorer).
     pub truth: Vec<GtObject>,
     /// The ISP-exported motion field (zeroed for frame 0).
     pub motion: MotionField,
+    /// Cached oracle view of `truth` (same order).
+    targets: Vec<OracleTarget>,
+    /// Cached non-empty ground-truth boxes (the scorer's view).
+    truth_rects: Vec<Rect>,
+}
+
+impl FrameData {
+    /// Bundles one frame's ground truth and motion field, deriving the
+    /// cached oracle/scorer views.
+    pub fn new(truth: Vec<GtObject>, motion: MotionField) -> Self {
+        let targets = truth
+            .iter()
+            .map(|g| OracleTarget {
+                id: g.id,
+                label: g.label,
+                rect: g.rect,
+                visibility: g.visibility,
+                blur: g.blur,
+            })
+            .collect();
+        let truth_rects = truth
+            .iter()
+            .filter(|g| !g.rect.is_empty())
+            .map(|g| g.rect)
+            .collect();
+        FrameData {
+            truth,
+            motion,
+            targets,
+            truth_rects,
+        }
+    }
+
+    /// The oracle view of this frame's ground truth (one
+    /// [`OracleTarget`] per truth object, same order).
+    pub fn targets(&self) -> &[OracleTarget] {
+        &self.targets
+    }
+
+    /// The non-empty ground-truth boxes (what detection scoring matches
+    /// against).
+    pub fn truth_rects(&self) -> &[Rect] {
+        &self.truth_rects
+    }
 }
 
 /// A sequence reduced to backend inputs, reusable across schemes.
@@ -138,6 +200,14 @@ enum SourceState {
         /// Current / previous luma planes, swapped each frame.
         cur: LumaFrame,
         prev: LumaFrame,
+        /// Cached 2×-downsampled pyramid planes for `cur`/`prev`,
+        /// double-buffered alongside them (present only when the
+        /// matcher's strategy wants a pyramid). Each frame's coarse
+        /// plane is built exactly once, in a reused buffer — where a
+        /// bare `estimate` call would rebuild both levels per frame
+        /// pair — so the pyramid travels with the frame through the
+        /// swap.
+        pyramid: Option<(LumaFrame, LumaFrame)>,
         have_prev: bool,
     },
     /// Full path: sensor capture + complete ISP per frame.
@@ -174,11 +244,20 @@ impl Iterator for FrameSource<'_> {
                     config,
                     cur,
                     prev,
+                    pyramid,
                     have_prev,
                 } => {
                     let truth = renderer.render_luma_into(index, cur);
+                    if let Some((pcur, _)) = pyramid.as_mut() {
+                        downsample2_into(cur, pcur);
+                    }
                     let motion = if *have_prev {
-                        matcher.estimate(cur, prev)?
+                        match pyramid.as_ref() {
+                            Some((pcur, pprev)) => {
+                                matcher.estimate_with_pyramid(cur, prev, pcur, pprev)?.0
+                            }
+                            None => matcher.estimate(cur, prev)?,
+                        }
                     } else {
                         MotionField::zeroed(
                             Resolution::new(cur.width(), cur.height()),
@@ -187,8 +266,11 @@ impl Iterator for FrameSource<'_> {
                         )?
                     };
                     std::mem::swap(cur, prev);
+                    if let Some((pcur, pprev)) = pyramid.as_mut() {
+                        std::mem::swap(pcur, pprev);
+                    }
                     *have_prev = true;
-                    Ok(FrameData { truth, motion })
+                    Ok(FrameData::new(truth, motion))
                 }
                 SourceState::FullIsp {
                     sensor,
@@ -199,10 +281,7 @@ impl Iterator for FrameSource<'_> {
                     let truth = renderer.render_into(index, rgb);
                     sensor.capture_into(rgb, index, raw)?;
                     let out = isp.process(raw)?;
-                    Ok(FrameData {
-                        truth,
-                        motion: out.motion,
-                    })
+                    Ok(FrameData::new(truth, out.motion))
                 }
             }
         };
@@ -248,11 +327,20 @@ pub fn frame_source<'a>(seq: &'a Sequence, config: &MotionConfig) -> Result<Fram
             raw: BayerFrame::new(res.width, res.height)?,
         }
     } else {
+        let matcher = BlockMatcher::new(config.mb_size, config.search_range, config.strategy)?;
+        let cur = LumaFrame::new(res.width, res.height)?;
+        let pyramid = if matcher.wants_pyramid() {
+            let (pw, ph) = downsample2_dims(&cur);
+            Some((LumaFrame::new(pw, ph)?, LumaFrame::new(pw, ph)?))
+        } else {
+            None
+        };
         SourceState::Luma {
-            matcher: BlockMatcher::new(config.mb_size, config.search_range, config.strategy)?,
+            matcher,
             config: *config,
-            cur: LumaFrame::new(res.width, res.height)?,
-            prev: LumaFrame::new(res.width, res.height)?,
+            prev: cur.clone(),
+            cur,
+            pyramid,
             have_prev: false,
         }
     };

@@ -37,6 +37,9 @@ pub struct TrackerState {
     oracle: TrackerOracle,
     filter: TrackState,
     prediction: Rect,
+    /// Scratch clone of `filter` for the I-frame probe extrapolation,
+    /// reused across frames (`clone_from` recycles its allocations).
+    probe: TrackState,
 }
 
 impl TrackerState {
@@ -49,17 +52,15 @@ impl TrackerState {
 
 /// The frame's first oracle-visible target (a zeroed placeholder when the
 /// frame has none — inference against it simply re-detects nothing).
+/// Reads the cached oracle view directly; no per-frame allocation.
 fn first_target(frame: &FrameData) -> OracleTarget {
-    crate::backend::oracle_targets(frame)
-        .into_iter()
-        .next()
-        .unwrap_or(OracleTarget {
-            id: 0,
-            label: 0,
-            rect: Rect::default(),
-            visibility: 0.0,
-            blur: 0.0,
-        })
+    frame.targets().first().copied().unwrap_or(OracleTarget {
+        id: 0,
+        label: 0,
+        rect: Rect::default(),
+        visibility: 0.0,
+        blur: 0.0,
+    })
 }
 
 impl VisionTask for TrackerTask {
@@ -87,6 +88,7 @@ impl VisionTask for TrackerTask {
             oracle: TrackerOracle::new(self.profile, config.seed),
             filter: TrackState::new(&config.extrapolation),
             prediction: first_truth.rect,
+            probe: TrackState::new(&config.extrapolation),
         })
     }
 
@@ -97,13 +99,14 @@ impl VisionTask for TrackerTask {
         _outcome: &mut TaskOutcome,
     ) -> StepStats {
         // The adaptive controller needs the extrapolated prediction this
-        // inference replaces (§3.3); compute it without disturbing the
-        // filter state.
-        let mut probe = state.filter.clone();
+        // inference replaces (§3.3); compute it in the reusable probe
+        // scratch so the filter state is undisturbed and no per-frame
+        // allocation happens.
+        state.probe.clone_from(&state.filter);
         let (extrapolated, datapath_cycles, _) = extrapolate_roi(
             &state.prediction,
             &ctx.frame.motion,
-            &mut probe,
+            &mut state.probe,
             &ctx.config.extrapolation,
             ctx.config.fixed_datapath,
         );

@@ -267,15 +267,11 @@ fn tracker_session_rejects_targetless_first_frame() {
         0,
     )
     .unwrap();
-    let frame = FrameData {
-        truth: vec![],
-        motion: euphrates_isp::motion::MotionField::zeroed(
-            euphrates_common::image::Resolution::VGA,
-            16,
-            7,
-        )
-        .unwrap(),
-    };
+    let frame = FrameData::new(
+        vec![],
+        euphrates_isp::motion::MotionField::zeroed(euphrates_common::image::Resolution::VGA, 16, 7)
+            .unwrap(),
+    );
     assert!(session.push_frame(&frame).is_err());
 }
 

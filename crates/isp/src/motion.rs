@@ -29,17 +29,27 @@
 //! of Equ. 2 is derived: `α = 1 − SAD / (255 · n)`, with `n` the number of
 //! pixels actually compared (edge blocks may be partial).
 //!
-//! The SAD kernel iterates row slices (never per-pixel indexing),
-//! accumulates in u32 chunks the compiler can vectorize, and exits early
-//! once a candidate provably exceeds the incumbent best — candidates are
-//! abandoned, never mis-scored, so results are bit-identical to the naive
-//! kernel. [`BlockMatcher::estimate_parallel`] additionally spreads
-//! macroblock rows across worker threads (blocks are independent, so the
-//! field is identical to the serial result).
+//! The SAD kernel is a SWAR micro-kernel: rows are evaluated as 8-pixel
+//! lanes in fixed-width per-byte reductions the compiler lowers to the
+//! hardware SAD instruction where one exists (`psadbw` on x86-64), with
+//! rows addressed by running offsets into the flat sample storage, the
+//! ubiquitous 16-px block width fully unrolled (two rows per early-exit
+//! check), and candidates abandoned once they provably exceed the
+//! incumbent best — abandoned, never mis-scored, so results are
+//! bit-identical to the naive kernel. The best-match tie-break is a
+//! *total* order (SAD, then |v|², then `(vy, vx)`), which makes the
+//! winner independent of probe order and lets walks reorder probes for
+//! early-exit efficiency (the exhaustive walk probes center-out rings).
+//! Pyramid strategies can reuse caller-cached 2×-downsampled planes via
+//! [`BlockMatcher::estimate_with_pyramid`] — how the streaming frontend
+//! avoids rebuilding both levels every frame pair.
+//! [`BlockMatcher::estimate_parallel`] additionally spreads macroblock
+//! rows across worker threads (blocks are independent, so the field is
+//! identical to the serial result).
 
 use euphrates_common::error::{Error, Result};
 use euphrates_common::geom::{Rect, Vec2i};
-use euphrates_common::image::{downsample2, LumaFrame, Resolution};
+use euphrates_common::image::{downsample2, downsample2_dims, LumaFrame, Resolution};
 use euphrates_common::par::parallel_map;
 use euphrates_common::units::Bytes;
 use std::collections::BTreeMap;
@@ -204,9 +214,13 @@ pub fn register_search(search: Arc<dyn MotionSearch>) -> Result<SearchStrategy> 
 /// [`SearchCtx::probe`] (and [`SearchCtx::probe_coarse`] for pyramid
 /// strategies), which meters every SAD evaluation, memoizes visited
 /// offsets, early-exits against the incumbent best, and maintains the
-/// best-so-far under the deterministic tie-break (lower SAD, then shorter
-/// vector). The zero offset is always probed before `search` runs, so no
-/// strategy can return a match worse than the zero vector.
+/// best-so-far under the deterministic tie-break (lower SAD, then
+/// shorter vector, then smaller `(vy, vx)` lexicographically). The
+/// tie-break is a *total* order, so the winner over any candidate set is
+/// independent of visiting order — which is what lets walks reorder
+/// probes for better early-exit behaviour without changing results. The
+/// zero offset is always probed before `search` runs, so no strategy can
+/// return a match worse than the zero vector.
 pub trait MotionSearch: fmt::Debug + Send + Sync {
     /// Stable engine name (registry key, bench label).
     fn name(&self) -> &'static str;
@@ -286,6 +300,10 @@ pub struct SearchCtx<'a> {
     y0: u32,
     bw: u32,
     bh: u32,
+    /// Coarse block geometry (origin + extent in the pyramid plane),
+    /// hoisted out of the per-probe path: halved origin/extent, clamped
+    /// into the plane (odd origins floor toward it).
+    cgeom: (u32, u32, u32, u32),
     d: i32,
     dc: i32,
     best: MotionVector,
@@ -315,6 +333,21 @@ impl<'a> SearchCtx<'a> {
         scratch.visited.fill(false);
         scratch.coarse_visited.resize(coarse_cells, false);
         scratch.coarse_visited.fill(false);
+        let cgeom = match coarse {
+            Some((ccur, _)) => {
+                let cw = ccur.width();
+                let ch = ccur.height();
+                let cx0 = (x0 / 2).min(cw - 1);
+                let cy0 = (y0 / 2).min(ch - 1);
+                (
+                    cx0,
+                    cy0,
+                    (bw / 2).max(1).min(cw - cx0),
+                    (bh / 2).max(1).min(ch - cy0),
+                )
+            }
+            None => (0, 0, 0, 0),
+        };
         let mut ctx = SearchCtx {
             cur,
             prev,
@@ -323,6 +356,7 @@ impl<'a> SearchCtx<'a> {
             y0,
             bw,
             bh,
+            cgeom,
             d,
             dc,
             best: MotionVector {
@@ -394,7 +428,10 @@ impl<'a> SearchCtx<'a> {
         self.probes += 1;
         self.sad_ops += u64::from(rows) * u64::from(self.bw);
         let v = Vec2i::new(vx as i16, vy as i16);
-        if sad < self.best.sad || (sad == self.best.sad && v.norm_sq() < self.best.v.norm_sq()) {
+        if sad < self.best.sad
+            || (sad == self.best.sad
+                && (v.norm_sq(), v.y, v.x) < (self.best.v.norm_sq(), self.best.v.y, self.best.v.x))
+        {
             self.best = MotionVector { v, sad };
         }
         true
@@ -403,10 +440,14 @@ impl<'a> SearchCtx<'a> {
     /// Probes offset `(vx, vy)` at the coarse pyramid level, returning
     /// the coarse SAD. Coarse probes are metered like fine ones (at the
     /// coarse block's smaller pixel count) but do not touch
-    /// [`SearchCtx::best`] — the engine owns coarse-level bookkeeping.
-    /// Returns `None` when out of coarse range, already probed, or no
-    /// pyramid was built.
-    pub fn probe_coarse(&mut self, vx: i32, vy: i32) -> Option<u32> {
+    /// [`SearchCtx::best`] — the engine owns coarse-level bookkeeping,
+    /// including the early-exit `limit`: a returned SAD strictly greater
+    /// than `limit` may be partial (the evaluation abandoned the
+    /// candidate as soon as it provably lost to the engine's coarse
+    /// incumbent), so it is only meaningful as "worse than limit". Pass
+    /// `u32::MAX` for exact SADs. Returns `None` when out of coarse
+    /// range, already probed, or no pyramid was built.
+    pub fn probe_coarse(&mut self, vx: i32, vy: i32, limit: u32) -> Option<u32> {
         let (ccur, cprev) = self.coarse?;
         if vx.abs() > self.dc || vy.abs() > self.dc {
             return None;
@@ -417,15 +458,8 @@ impl<'a> SearchCtx<'a> {
             return None;
         }
         self.coarse_visited[idx] = true;
-        // Coarse block geometry: halved origin/extent, clamped into the
-        // pyramid plane (odd origins floor toward it).
-        let cw = ccur.width();
-        let ch = ccur.height();
-        let cx0 = (self.x0 / 2).min(cw - 1);
-        let cy0 = (self.y0 / 2).min(ch - 1);
-        let cbw = (self.bw / 2).max(1).min(cw - cx0);
-        let cbh = (self.bh / 2).max(1).min(ch - cy0);
-        let (sad, rows) = sad_block(ccur, cprev, cx0, cy0, cbw, cbh, vx, vy, u32::MAX);
+        let (cx0, cy0, cbw, cbh) = self.cgeom;
+        let (sad, rows) = sad_block(ccur, cprev, cx0, cy0, cbw, cbh, vx, vy, limit);
         self.probes += 1;
         self.sad_ops += u64::from(rows) * u64::from(cbw);
         Some(sad)
@@ -441,7 +475,13 @@ fn coarse_range(d: i32) -> i32 {
 // Built-in strategies
 // ---------------------------------------------------------------------------
 
-/// Full-window search: every offset probed, row-major.
+/// Full-window search: every offset probed, in center-out Chebyshev
+/// rings. Ring order reaches the true match (small for typical tracking
+/// motion) after ~`(2|v|+1)²` probes instead of half the window, so the
+/// incumbent drops early and the SAD kernel's early exit abandons the
+/// remaining candidates after a row or two — same probe count, same
+/// result (the tie-break is visit-order-independent), much less
+/// arithmetic.
 #[derive(Debug, Clone, Copy)]
 pub struct ExhaustiveSearch;
 
@@ -457,9 +497,14 @@ impl MotionSearch for ExhaustiveSearch {
 
     fn search(&self, ctx: &mut SearchCtx<'_>) {
         let d = ctx.range();
-        for vy in -d..=d {
-            for vx in -d..=d {
-                ctx.probe(vx, vy);
+        for r in 1..=d {
+            for vx in -r..=r {
+                ctx.probe(vx, -r);
+                ctx.probe(vx, r);
+            }
+            for vy in (-r + 1)..r {
+                ctx.probe(-r, vy);
+                ctx.probe(r, vy);
             }
         }
     }
@@ -625,15 +670,22 @@ impl MotionSearch for HierarchicalSearch {
             return;
         }
         // Coarse TSS walk. Coarse bookkeeping is local: probe_coarse
-        // meters evaluations but the fine incumbent is untouched.
+        // meters evaluations but the fine incumbent is untouched; the
+        // coarse incumbent doubles as the early-exit limit, so losing
+        // candidates abandon after a row or two (a partial SAD is by
+        // contract > best.0, which the `better` test rejects exactly as
+        // the full SAD would).
         let dc = ctx.coarse_range();
         let mut center = (0i32, 0i32);
-        let mut best = (ctx.probe_coarse(0, 0).unwrap_or(u32::MAX), (0i32, 0i32));
+        let mut best = (
+            ctx.probe_coarse(0, 0, u32::MAX).unwrap_or(u32::MAX),
+            (0i32, 0i32),
+        );
         let mut step = tss_initial_step(dc);
         while step >= 1 {
             for (sx, sy) in RING8 {
                 let (vx, vy) = (center.0 + sx * step, center.1 + sy * step);
-                if let Some(sad) = ctx.probe_coarse(vx, vy) {
+                if let Some(sad) = ctx.probe_coarse(vx, vy, best.0) {
                     let better = sad < best.0
                         || (sad == best.0
                             && vx * vx + vy * vy < best.1 .0.pow(2) + best.1 .1.pow(2));
@@ -646,8 +698,12 @@ impl MotionSearch for HierarchicalSearch {
             step /= 2;
         }
         // Fine refinement: ±1 around the upscaled coarse candidate (the
-        // seed probe already covered the zero offset).
+        // seed probe already covered the zero offset). The candidate
+        // itself goes first — it is the likeliest winner, and a low fine
+        // incumbent makes the 8 neighbours abandon early (probe order
+        // cannot change the result: the tie-break is a total order).
         let (fx, fy) = (2 * best.1 .0, 2 * best.1 .1);
+        ctx.probe(fx, fy);
         for ey in -1..=1 {
             for ex in -1..=1 {
                 ctx.probe(fx + ex, fy + ey);
@@ -924,7 +980,58 @@ impl BlockMatcher {
         cur: &LumaFrame,
         prev: &LumaFrame,
     ) -> Result<(MotionField, SearchStats)> {
-        self.estimate_inner(cur, prev, 1)
+        self.estimate_inner(cur, prev, None, 1)
+    }
+
+    /// `true` if this matcher's strategy consumes the 2×-downsampled
+    /// pyramid level — the signal for streaming callers to cache one
+    /// [`downsample2`] plane per frame slot and pass it to
+    /// [`estimate_with_pyramid`][BlockMatcher::estimate_with_pyramid]
+    /// instead of letting every [`estimate`][BlockMatcher::estimate]
+    /// call rebuild both levels.
+    pub fn wants_pyramid(&self) -> bool {
+        self.strategy
+            .resolve()
+            .expect("strategy validated at construction")
+            .wants_pyramid()
+    }
+
+    /// [`estimate_with_stats`][BlockMatcher::estimate_with_stats] with
+    /// caller-cached pyramid planes: `coarse_cur` / `coarse_prev` must be
+    /// the [`downsample2`] of `cur` / `prev`. A streaming frontend
+    /// computes each frame's coarse plane exactly once (into a reused
+    /// buffer, see [`downsample2_into`][euphrates_common::image::downsample2_into])
+    /// and double-buffers it alongside the fine plane, where a bare
+    /// `estimate` would rebuild *both* levels every call. Results are
+    /// bit-identical to [`estimate`][BlockMatcher::estimate] by
+    /// construction — the engine sees the same planes either way. For
+    /// strategies that never ask for a pyramid
+    /// ([`wants_pyramid`][BlockMatcher::wants_pyramid] `== false`) the
+    /// coarse planes are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the frames differ in size, or
+    /// if a coarse plane does not have the pyramid dimensions of its
+    /// fine plane.
+    pub fn estimate_with_pyramid(
+        &self,
+        cur: &LumaFrame,
+        prev: &LumaFrame,
+        coarse_cur: &LumaFrame,
+        coarse_prev: &LumaFrame,
+    ) -> Result<(MotionField, SearchStats)> {
+        let (cw, ch) = downsample2_dims(cur);
+        for (name, plane) in [("coarse_cur", coarse_cur), ("coarse_prev", coarse_prev)] {
+            if plane.width() != cw || plane.height() != ch {
+                return Err(Error::shape(format!(
+                    "{name} is {}x{}, expected pyramid level {cw}x{ch}",
+                    plane.width(),
+                    plane.height()
+                )));
+            }
+        }
+        self.estimate_inner(cur, prev, Some((coarse_cur, coarse_prev)), 1)
     }
 
     /// Estimates the motion field with macroblock rows spread over up to
@@ -941,13 +1048,14 @@ impl BlockMatcher {
         prev: &LumaFrame,
         threads: usize,
     ) -> Result<(MotionField, SearchStats)> {
-        self.estimate_inner(cur, prev, threads)
+        self.estimate_inner(cur, prev, None, threads)
     }
 
     fn estimate_inner(
         &self,
         cur: &LumaFrame,
         prev: &LumaFrame,
+        ext_pyramid: Option<(&LumaFrame, &LumaFrame)>,
         threads: usize,
     ) -> Result<(MotionField, SearchStats)> {
         if !cur.same_shape(prev) {
@@ -963,14 +1071,19 @@ impl BlockMatcher {
         let res = Resolution::new(cur.width(), cur.height());
         let mut field = MotionField::zeroed(res, self.mb_size, self.search_range)?;
         let (blocks_x, blocks_y) = (field.blocks_x, field.blocks_y);
-        // The pyramid level is shared by every block of the frame pair;
-        // build it once, only when the engine asks for it.
-        let pyramid = if search.wants_pyramid() {
+        // The pyramid level is shared by every block of the frame pair:
+        // prefer the caller's cached planes; build once per call only
+        // when the engine asks for a pyramid nobody supplied.
+        let owned_pyramid = if search.wants_pyramid() && ext_pyramid.is_none() {
             Some((downsample2(cur), downsample2(prev)))
         } else {
             None
         };
-        let coarse = pyramid.as_ref().map(|(a, b)| (a, b));
+        let coarse = if search.wants_pyramid() {
+            ext_pyramid.or_else(|| owned_pyramid.as_ref().map(|(a, b)| (a, b)))
+        } else {
+            None
+        };
         let d = self.search_range as i32;
         let mb = self.mb_size;
         let search = &*search;
@@ -1011,19 +1124,53 @@ impl BlockMatcher {
 // SAD kernel
 // ---------------------------------------------------------------------------
 
-/// Sum of absolute differences of two equal-length rows, accumulated in
-/// u32 chunks the compiler can keep in vector registers.
+/// SAD of one 8-pixel lane pair: the per-byte absolute differences of
+/// two 8-byte lanes reduced into one u32 chunk. Written as a fixed
+/// 8-wide reduction so the compiler keeps the whole lane in one vector
+/// register and lowers it to the hardware SAD instruction where one
+/// exists (`psadbw` on x86-64).
+#[inline]
+fn lane_sad(x: &[u8; 8], y: &[u8; 8]) -> u32 {
+    let mut chunk = 0u32;
+    for k in 0..8 {
+        chunk += u32::from(x[k].abs_diff(y[k]));
+    }
+    chunk
+}
+
+/// Borrows an 8-pixel lane as a fixed-size array.
+#[inline]
+fn lane(p: &[u8]) -> &[u8; 8] {
+    p.try_into().expect("8-byte lane")
+}
+
+/// SAD of one 16-pixel row (two packed lanes) — the macroblock-width
+/// special case, reduced in one fixed 16-wide pass so the compiler can
+/// use a full-width vector SAD.
+#[inline]
+fn row_sad16(a: &[u8; 16], b: &[u8; 16]) -> u32 {
+    let mut chunk = 0u32;
+    for k in 0..16 {
+        chunk += u32::from(a[k].abs_diff(b[k]));
+    }
+    chunk
+}
+
+/// Borrows a 16-pixel row as a fixed-size array.
+#[inline]
+fn row16(p: &[u8]) -> &[u8; 16] {
+    p.try_into().expect("16-byte row")
+}
+
+/// Sum of absolute differences of two equal-length rows: 8-pixel lanes
+/// accumulated in u32 chunks (see [`lane_sad`]).
 #[inline]
 fn row_sad(a: &[u8], b: &[u8]) -> u32 {
     let mut sum = 0u32;
     let mut ca = a.chunks_exact(8);
     let mut cb = b.chunks_exact(8);
     for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
-        let mut chunk = 0u32;
-        for k in 0..8 {
-            chunk += u32::from(pa[k].abs_diff(pb[k]));
-        }
-        sum += chunk;
+        sum += lane_sad(lane(pa), lane(pb));
     }
     for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
         sum += u32::from(x.abs_diff(*y));
@@ -1040,6 +1187,7 @@ fn row_sad(a: &[u8], b: &[u8]) -> u32 {
 /// tie-break stays deterministic. Returns the (possibly partial) SAD and
 /// the number of rows actually evaluated.
 #[allow(clippy::too_many_arguments)] // mirrors the hardware datapath's ports
+#[inline]
 fn sad_block(
     cur: &LumaFrame,
     prev: &LumaFrame,
@@ -1058,14 +1206,74 @@ fn sad_block(
     let in_bounds = rx >= 0 && ry >= 0 && rx + i64::from(bw) <= w && ry + i64::from(bh) <= h;
     let mut sad = 0u32;
     if in_bounds {
-        // Fast path: whole reference block is inside the frame.
-        let (rx, ry) = (rx as u32, ry as u32);
-        for row in 0..bh {
-            let a = &cur.row(y0 + row)[x0 as usize..(x0 + bw) as usize];
-            let b = &prev.row(ry + row)[rx as usize..(rx + bw) as usize];
-            sad += row_sad(a, b);
-            if sad > limit {
-                return (sad, row + 1);
+        // Fast path: whole reference block is inside the frame. Rows are
+        // addressed by running offsets into the flat sample storage (one
+        // slice-bounds check per row instead of the row()+subslice pair),
+        // with the ubiquitous 16-px block width fully unrolled into two
+        // u64 lanes per row.
+        let ca = cur.samples();
+        let pa = prev.samples();
+        let mut ai = y0 as usize * cur.width() as usize + x0 as usize;
+        let mut bi = ry as usize * prev.width() as usize + rx as usize;
+        let (cw, pw) = (cur.width() as usize, prev.width() as usize);
+        if bw == 16 {
+            // Two rows (four u64 lanes) per early-exit check: the lane
+            // SADs of a row pair are independent and pipeline, and the
+            // abandon test still only rejects candidates whose partial
+            // SAD already exceeds the incumbent.
+            let mut row = 0;
+            while row + 2 <= bh {
+                let a0 = row16(&ca[ai..ai + 16]);
+                let b0 = row16(&pa[bi..bi + 16]);
+                let a1 = row16(&ca[ai + cw..ai + cw + 16]);
+                let b1 = row16(&pa[bi + pw..bi + pw + 16]);
+                sad += row_sad16(a0, b0) + row_sad16(a1, b1);
+                row += 2;
+                if sad > limit {
+                    return (sad, row);
+                }
+                ai += 2 * cw;
+                bi += 2 * pw;
+            }
+            if row < bh {
+                sad += row_sad16(row16(&ca[ai..ai + 16]), row16(&pa[bi..bi + 16]));
+                row += 1;
+                if sad > limit {
+                    return (sad, row);
+                }
+            }
+        } else if bw == 8 {
+            // The coarse pyramid level's block width: one lane per row,
+            // two rows per early-exit check.
+            let mut row = 0;
+            while row + 2 <= bh {
+                sad += lane_sad(lane(&ca[ai..ai + 8]), lane(&pa[bi..bi + 8]))
+                    + lane_sad(
+                        lane(&ca[ai + cw..ai + cw + 8]),
+                        lane(&pa[bi + pw..bi + pw + 8]),
+                    );
+                row += 2;
+                if sad > limit {
+                    return (sad, row);
+                }
+                ai += 2 * cw;
+                bi += 2 * pw;
+            }
+            if row < bh {
+                sad += lane_sad(lane(&ca[ai..ai + 8]), lane(&pa[bi..bi + 8]));
+                row += 1;
+                if sad > limit {
+                    return (sad, row);
+                }
+            }
+        } else {
+            for row in 0..bh {
+                sad += row_sad(&ca[ai..ai + bw as usize], &pa[bi..bi + bw as usize]);
+                if sad > limit {
+                    return (sad, row + 1);
+                }
+                ai += cw;
+                bi += pw;
             }
         }
         return (sad, bh);

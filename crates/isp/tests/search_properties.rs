@@ -53,6 +53,105 @@ fn zero_vector_sad(cur: &LumaFrame, prev: &LumaFrame, x0: u32, y0: u32, bw: u32,
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// The SWAR SAD micro-kernel must be bit-identical to a scalar
+    /// per-pixel reference over arbitrary blocks — partial edge blocks
+    /// and clamped-edge reference reads included. The reference
+    /// evaluates every candidate in full (no early exit) with the
+    /// row-major first-wins tie-break, which the engine's total-order
+    /// tie-break (SAD, |v|², then (vy, vx)) reproduces exactly, so any
+    /// kernel or walk divergence shows up as a field mismatch.
+    #[test]
+    fn swar_sad_kernel_bit_matches_scalar_reference(
+        seed_a in 0u64..500,
+        seed_b in 0u64..500,
+        w in 33u32..90,
+        h in 25u32..70,
+        dx in -9i32..=9,
+        dy in -9i32..=9,
+    ) {
+        let prev = textured(w, h, seed_a);
+        let cur = shifted(&textured(w, h, seed_b), dx, dy);
+        let (mb, d) = (16u32, 7i32);
+        let m = BlockMatcher::new(mb, d as u32, SearchStrategy::Exhaustive).unwrap();
+        let field = m.estimate(&cur, &prev).unwrap();
+        for by in 0..field.blocks_y() {
+            for bx in 0..field.blocks_x() {
+                let x0 = bx * mb;
+                let y0 = by * mb;
+                let bw = (w - x0).min(mb);
+                let bh = (h - y0).min(mb);
+                // Scalar reference: full SAD of every window offset,
+                // per-pixel clamped reads, row-major first-wins.
+                let mut best: Option<(u32, i32, i32)> = None;
+                for vy in -d..=d {
+                    for vx in -d..=d {
+                        let mut sad = 0u32;
+                        for row in 0..bh {
+                            for col in 0..bw {
+                                let a = cur.at(x0 + col, y0 + row);
+                                let b = prev.at_clamped(
+                                    i64::from(x0 + col) - i64::from(vx),
+                                    i64::from(y0 + row) - i64::from(vy),
+                                );
+                                sad += u32::from(a.abs_diff(b));
+                            }
+                        }
+                        let better = match best {
+                            None => true,
+                            Some((bs, bx_, by_)) => {
+                                sad < bs
+                                    || (sad == bs
+                                        && vx * vx + vy * vy < bx_ * bx_ + by_ * by_)
+                            }
+                        };
+                        if better {
+                            best = Some((sad, vx, vy));
+                        }
+                    }
+                }
+                let (ref_sad, ref_vx, ref_vy) = best.unwrap();
+                let mv = field.at_block(bx, by);
+                prop_assert_eq!(
+                    (mv.sad, i32::from(mv.v.x), i32::from(mv.v.y)),
+                    (ref_sad, ref_vx, ref_vy),
+                    "block ({}, {}) of {}x{} shift ({},{})", bx, by, w, h, dx, dy
+                );
+            }
+        }
+    }
+
+    /// Pyramid-cached hierarchical search must return exactly the
+    /// motion vectors (and measured effort) of the per-call pyramid it
+    /// replaces, on arbitrary content — including frames whose halved
+    /// dimensions are odd.
+    #[test]
+    fn pyramid_cached_hierarchical_matches_per_call(
+        seed_a in 0u64..500,
+        w in 33u32..101,
+        h in 25u32..81,
+        dx in -7i32..=7,
+        dy in -7i32..=7,
+    ) {
+        let prev = textured(w, h, seed_a);
+        let cur = shifted(&prev, dx, dy);
+        let m = BlockMatcher::new(16, 7, SearchStrategy::Hierarchical).unwrap();
+        prop_assert!(m.wants_pyramid());
+        let (per_call, per_call_stats) = m.estimate_with_stats(&cur, &prev).unwrap();
+        let ccur = euphrates_common::image::downsample2(&cur);
+        let cprev = euphrates_common::image::downsample2(&prev);
+        let (cached, cached_stats) =
+            m.estimate_with_pyramid(&cur, &prev, &ccur, &cprev).unwrap();
+        prop_assert_eq!(per_call, cached);
+        prop_assert_eq!(per_call_stats, cached_stats);
+        // Mis-shaped coarse planes are rejected, not silently accepted.
+        prop_assert!(m.estimate_with_pyramid(&cur, &prev, &prev, &cprev).is_err());
+        // Strategies that never consult the pyramid ignore it.
+        let es = BlockMatcher::new(16, 7, SearchStrategy::Exhaustive).unwrap();
+        prop_assert!(!es.wants_pyramid());
+        let (a, _) = es.estimate_with_pyramid(&cur, &prev, &ccur, &cprev).unwrap();
+        prop_assert_eq!(a, es.estimate(&cur, &prev).unwrap());
+    }
+
     /// (a) No strategy may return a SAD worse than the zero vector, on
     /// any content — including uncorrelated frames where search can only
     /// flail.

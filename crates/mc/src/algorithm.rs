@@ -68,9 +68,24 @@ impl ExtrapolationConfig {
 
 /// Per-object filter state: the previous filtered motion vector of each
 /// sub-ROI (`MV_{F−1}` in Equ. 3).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, PartialEq, Default)]
 pub struct RoiState {
     prev_mv: Vec<Vec2f>,
+}
+
+impl Clone for RoiState {
+    fn clone(&self) -> Self {
+        RoiState {
+            prev_mv: self.prev_mv.clone(),
+        }
+    }
+
+    /// Reuses the destination's allocation — per-frame probe clones in
+    /// the task scheduler go through this, so steady-state cloning is
+    /// allocation-free.
+    fn clone_from(&mut self, source: &Self) {
+        self.prev_mv.clone_from(&source.prev_mv);
+    }
 }
 
 impl RoiState {

@@ -158,6 +158,30 @@ impl McSequencer {
         });
         FrameProgram { steps }
     }
+
+    /// Total cycles of the frame program, computed without materializing
+    /// the step list — the per-frame accounting call of the task
+    /// scheduler, which only ever needs the sum. Equal to
+    /// `frame_program(..).total_cycles()` by construction (the test
+    /// below pins them together).
+    pub fn frame_cycles(
+        &self,
+        kind: FrameKind,
+        mv_bytes: u64,
+        rois: u32,
+        extrapolation_cycles: Cycles,
+    ) -> Cycles {
+        let c = &self.costs;
+        let mut total = u64::from(c.fetch_setup)
+            + mv_bytes.div_ceil(1024) * u64::from(c.fetch_cycles_per_kib)
+            + extrapolation_cycles.0;
+        if kind == FrameKind::Inference {
+            total += u64::from(c.program_nnx)
+                + u64::from(c.wait_poll)
+                + u64::from(c.compare_per_roi) * u64::from(rois);
+        }
+        Cycles(total + u64::from(c.write_per_roi) * u64::from(rois))
+    }
 }
 
 impl Default for McSequencer {
@@ -203,6 +227,21 @@ mod tests {
                 SeqState::WriteResults,
             ]
         );
+    }
+
+    #[test]
+    fn frame_cycles_matches_materialized_program() {
+        let seq = McSequencer::default();
+        for kind in [FrameKind::Inference, FrameKind::Extrapolation] {
+            for (mv_bytes, rois, dp) in [(0u64, 0u32, 0u64), (8192, 4, 200), (4800, 10, 5_000)] {
+                assert_eq!(
+                    seq.frame_cycles(kind, mv_bytes, rois, Cycles(dp)),
+                    seq.frame_program(kind, mv_bytes, rois, Cycles(dp))
+                        .total_cycles(),
+                    "{kind:?} mv {mv_bytes} rois {rois} dp {dp}"
+                );
+            }
+        }
     }
 
     #[test]

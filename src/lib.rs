@@ -62,8 +62,8 @@
 //! straight to luma through fixed, reused buffers (O(1) allocations
 //! per frame). Sensor noise is a pluggable model — the default
 //! counter-based `FastGaussian` renders the dataset-default σ=2 VGA
-//! noise in ~3.3 ms/frame under a *statistical* contract
-//! (moments/tails/independence), roughly 10× the golden-locked
+//! noise in ~2.2 ms/frame under a *statistical* contract
+//! (moments/tails/independence), roughly 15× the golden-locked
 //! `LegacyBoxMuller` stream, whose contract stays *bitwise*; pick per
 //! scene via `SceneEffects::noise_model` or per run via
 //! `MotionConfig::noise_model` (see the "Performance notes" in
@@ -73,7 +73,16 @@
 //! selects exhaustive, three-step, diamond, or two-level hierarchical
 //! search — or any custom
 //! [`MotionSearch`][isp::motion::MotionSearch] engine installed with
-//! [`register_search`][isp::motion::register_search]:
+//! [`register_search`][isp::motion::register_search]. The evaluated
+//! default is the pyramid-cached hierarchical search (within 0.008
+//! success rate of exhaustive at ~27 probes/block, asserted by the
+//! Fig. 11b sweep), the SAD kernel is a SWAR micro-kernel the
+//! compiler lowers to hardware SAD instructions, and the streaming
+//! front-end caches each frame's pyramid level alongside the frame —
+//! post-PR-5 floors on the 1-core container: streaming preparation
+//! ~3.0 ms/frame, the 12-frame tracking evaluate ~40 ms (both in
+//! `BENCH_render.json`, schema 3; full-suite OTB-scale sweeps are
+//! recorded in `BENCH_scaleout.json`):
 //!
 //! ```no_run
 //! use euphrates::core::prelude::*;
