@@ -7,7 +7,7 @@
 //! scene-shared canvas), the block-matching stage on real rendered
 //! frames (the pyramid-cached hierarchical default and the paper's
 //! TSS), streaming sequence preparation, and a small end-to-end
-//! evaluate, then writes `BENCH_render.json` (schema 3) with median
+//! evaluate, then writes `BENCH_render.json` (schema 4) with median
 //! per-frame timings and machine info — the recorded baseline future
 //! PRs diff against.
 //!
@@ -17,6 +17,13 @@
 //! with the pyramid cached per streamed frame, the direct-table
 //! `FastGaussian` sampler, the rel-keyed blur+shake background cache,
 //! and row-major canvas generation.
+//!
+//! Schema 4 (PR 6) pins the fused noise pass to explicit thread counts:
+//! the `render_*_noise_fast_t{1,4}_*` rows time the row-parallel
+//! `FastGaussian` path (bit-identical at any thread count) under
+//! [`set_noise_threads`][euphrates_camera::scene::Renderer::set_noise_threads]
+//! 1 and 4, so the 4-thread speedup is recorded rather than inherited
+//! from whatever `EUPHRATES_THREADS` happened to be.
 //!
 //! Usage:
 //!
@@ -161,6 +168,33 @@ fn main() {
         ));
     }
 
+    // The fused noise pass at pinned thread counts (the matrix rows
+    // above use the env-derived default). Same scene, same model; only
+    // the row-banding fan-out differs — outputs are bit-identical.
+    for noise_threads in [1usize, 4] {
+        let scene = vga_scene(SceneEffects::default());
+        let mut renderer = scene.renderer();
+        renderer.set_noise_threads(noise_threads);
+        let mut luma = LumaFrame::new(640, 480).expect("VGA");
+        metrics.push((
+            format!("render_rgb_noise_fast_t{noise_threads}_ns_per_frame"),
+            median_ns(samples, || {
+                for i in 0..frames {
+                    let f = renderer.render_pixels(i);
+                    renderer.recycle(f);
+                }
+            }) / u64::from(frames),
+        ));
+        metrics.push((
+            format!("render_luma_noise_fast_t{noise_threads}_ns_per_frame"),
+            median_ns(samples, || {
+                for i in 0..frames {
+                    black_box(renderer.render_luma_into(i, &mut luma));
+                }
+            }) / u64::from(frames),
+        ));
+    }
+
     // Block matching on real (noisy) consecutive rendered frames:
     // the evaluated default (pyramid-cached hierarchical) next to the
     // paper's TSS.
@@ -229,7 +263,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 3,");
+    let _ = writeln!(json, "  \"schema\": 4,");
     let _ = writeln!(json, "  \"bench\": \"render_path\",");
     let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(

@@ -5,11 +5,18 @@
 //! exercises the path the paper's headline numbers assume — the whole
 //! OTB-100-like suite at `DatasetScale` 1.0 (100 sequences × 590 frames
 //! ≈ 59k frames) through the grid-parallel `Scenario::evaluate` — and
-//! records `BENCH_scaleout.json` (schema 1) with end-to-end wall-clock,
+//! records `BENCH_scaleout.json` (schema 2) with end-to-end wall-clock,
 //! frame throughput, and per-scheme success rates. The committed
 //! baseline is the scale-out perf trajectory future PRs diff against;
 //! CI regenerates a quick-mode copy (a small fraction of the suite) and
 //! uploads it as an artifact next to the render trajectory.
+//!
+//! Schema 2 (PR 6) runs the grid at pinned thread counts — the
+//! `t1_evaluate_*` and `t4_evaluate_*` rows time
+//! `ScenarioBuilder::threads(1)` and `threads(4)` — and asserts the two
+//! reports agree bit-for-bit (threading decides *where* a sequence
+//! runs, never *what* it computes), so the 4-thread throughput row is a
+//! measured number, not an extrapolation.
 //!
 //! Usage:
 //!
@@ -69,28 +76,56 @@ fn main() {
         ("EW-4", BackendConfig::new(EwPolicy::Constant(4))),
         ("EW-16", BackendConfig::new(EwPolicy::Constant(16))),
     ];
-    let scenario = {
+    let builder = {
         let mut b = Scenario::builder(TrackerTask::new(calib::mdnet())).suite(suite);
         for (id, backend) in &schemes {
             b = b.scheme(*id, *backend);
         }
-        b.build().expect("scheme registry is valid")
+        b
     };
 
-    let t0 = Instant::now();
-    let report = scenario.evaluate().expect("scale-out evaluation succeeds");
-    let wall_ns = t0.elapsed().as_nanos() as u64;
-    // The grid runs every scheme over every sequence, but each sequence
-    // is prepared exactly once; throughput is reported per *prepared*
-    // frame (the dominant cost at this scale).
-    let ns_per_frame = wall_ns / frames.max(1);
+    // The same grid at pinned worker counts. The grid runs every scheme
+    // over every sequence, but each sequence is prepared exactly once;
+    // throughput is reported per *prepared* frame (the dominant cost at
+    // this scale).
+    let mut walls: Vec<(usize, u64, u64)> = Vec::new(); // (threads, wall, ns/frame)
+    let mut reports = Vec::new();
+    for t in [1usize, 4] {
+        let scenario = builder
+            .clone()
+            .threads(t)
+            .build()
+            .expect("scheme registry is valid");
+        let t0 = Instant::now();
+        let report = scenario.evaluate().expect("scale-out evaluation succeeds");
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        walls.push((t, wall_ns, wall_ns / frames.max(1)));
+        reports.push(report);
+    }
+    // Threading must not change a single result bit.
+    let (report, report_t4) = (&reports[0], &reports[1]);
+    for (r1, r4) in report.iter().zip(report_t4.iter()) {
+        assert_eq!(r1.label(), r4.label());
+        assert_eq!(
+            r1.rate_at_05().to_bits(),
+            r4.rate_at_05().to_bits(),
+            "4-thread evaluate diverged from 1-thread on {}",
+            r1.label()
+        );
+        assert_eq!(
+            r1.outcome.inference_rate().to_bits(),
+            r4.outcome.inference_rate().to_bits(),
+            "4-thread inference schedule diverged on {}",
+            r1.label()
+        );
+    }
 
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"schema\": 2,");
     let _ = writeln!(json, "  \"bench\": \"scaleout_otb\",");
     let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(json, "  \"scale\": {},", scale.sequence_fraction);
@@ -105,8 +140,10 @@ fn main() {
     let _ = writeln!(json, "    \"sequences\": {sequences},");
     let _ = writeln!(json, "    \"frames\": {frames},");
     let _ = writeln!(json, "    \"schemes\": {},", schemes.len());
-    let _ = writeln!(json, "    \"evaluate_wall_ns\": {wall_ns},");
-    let _ = writeln!(json, "    \"evaluate_ns_per_frame\": {ns_per_frame},");
+    for (t, wall_ns, ns_per_frame) in &walls {
+        let _ = writeln!(json, "    \"t{t}_evaluate_wall_ns\": {wall_ns},");
+        let _ = writeln!(json, "    \"t{t}_evaluate_ns_per_frame\": {ns_per_frame},");
+    }
     for (i, result) in report.iter().enumerate() {
         let comma = if i + 1 == report.len() { "" } else { "," };
         let _ = writeln!(
@@ -119,13 +156,15 @@ fn main() {
     json.push_str("  }\n}\n");
     std::fs::write(&cfg.out, &json).expect("writable output path");
 
-    println!(
-        "evaluate: {:.2} s total, {:.3} ms/frame over {} schemes",
-        wall_ns as f64 / 1e9,
-        ns_per_frame as f64 / 1e6,
-        schemes.len()
-    );
-    for result in &report {
+    for (t, wall_ns, ns_per_frame) in &walls {
+        println!(
+            "evaluate t{t}: {:.2} s total, {:.3} ms/frame over {} schemes",
+            *wall_ns as f64 / 1e9,
+            *ns_per_frame as f64 / 1e6,
+            schemes.len()
+        );
+    }
+    for result in report.iter() {
         println!(
             "  {:<6} success@0.5 = {:.3} (inference rate {:.3})",
             result.label(),

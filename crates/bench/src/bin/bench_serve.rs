@@ -1,0 +1,248 @@
+//! Serving-trajectory recorder for the sharded session server.
+//!
+//! The paper's deployment target is continuous vision for "millions of
+//! users"; `euphrates-serve` is the repo's serving layer (ROADMAP item
+//! 1). This binary measures it the way an inference server is measured:
+//! a fixed population of concurrent sessions streams pre-prepared
+//! frames (ground truth + ISP motion fields — what the ISP ships to the
+//! backend) through `SessionServer`, and we record sessions/sec,
+//! frames/sec, and the submit→completion latency distribution
+//! (p50/p95/p99 from the merged per-worker histograms) at **1 worker**
+//! and **4 workers**, writing `BENCH_serve.json` (schema 1).
+//!
+//! Frames are prepared once up front (a handful of unique mini scenes
+//! shared across sessions; oracle streams still differ per session id),
+//! so the numbers isolate the serving path — sharding, the bounded
+//! lanes, and the per-frame I/E schedule — from client-side rendering.
+//! A single producer thread submits round-robin across sessions with
+//! spin-yield retry on `Submit::Busy`; the busy-retry count is recorded
+//! so backpressure is visible in the trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p euphrates-bench --bin bench_serve [-- --quick] [--out PATH]
+//! ```
+//!
+//! `--quick` (or `EUPHRATES_BENCH_QUICK=1`) shrinks the session
+//! population for CI; the JSON notes which mode produced it.
+
+use euphrates_camera::scene::SceneBuilder;
+use euphrates_camera::texture::Texture;
+use euphrates_common::image::Resolution;
+use euphrates_core::prelude::*;
+use euphrates_core::prepare_sequence;
+use euphrates_nn::oracle::calib;
+use euphrates_serve::{ServeConfig, SessionServer, Submit};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const RES: Resolution = Resolution::new(160, 120);
+const SCHEME: &str = "EW-4";
+const UNIQUE_SCENES: u64 = 8;
+
+struct Config {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut quick = std::env::var("EUPHRATES_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let mut out = "BENCH_serve.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--out requires a path"))
+            }
+            other => panic!("unknown argument {other} (expected --quick / --out PATH)"),
+        }
+    }
+    Config { quick, out }
+}
+
+/// A tiny tracking sequence (160×120, drifting rigid target) — cheap
+/// enough that hundreds of sessions fit in one bench run.
+fn mini_sequence(i: u64, frames: u32) -> Sequence {
+    let seed = 9000 + i;
+    let scene = SceneBuilder::new(RES, seed)
+        .background(Texture::background_noise(seed ^ 0xB6))
+        .object_default()
+        .build();
+    Sequence {
+        name: format!("serve_mini_{i}"),
+        attributes: vec![],
+        scene,
+        frames,
+    }
+}
+
+struct RunStats {
+    wall_ns: u64,
+    served: u64,
+    busy_retries: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    mean_ns: u64,
+}
+
+/// Streams `sessions` concurrent sessions (interleaved round-robin, one
+/// frame per session per round) through a fresh server and reports the
+/// merged drain statistics.
+fn run_serve(workers: usize, sessions: u64, frames: &[Vec<Arc<FrameData>>]) -> RunStats {
+    let server = SessionServer::new(
+        TrackerTask::new(calib::mdnet()),
+        vec![SchemeSpec::new(SCHEME, BackendConfig::new(EwPolicy::Constant(4))).expect("valid id")],
+        ServeConfig {
+            workers,
+            queue_depth: 64,
+        },
+    )
+    .expect("valid server config");
+
+    let frames_per_session = frames[0].len();
+    let mut busy_retries = 0u64;
+    let t0 = Instant::now();
+    for id in 0..sessions {
+        server.open(id, SCHEME, RES).expect("open succeeds");
+    }
+    // `j` walks frame positions round-robin across sessions; it indexes
+    // the *inner* per-scene vectors, which the iterator lint can't see.
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..frames_per_session {
+        for id in 0..sessions {
+            let mut frame = Arc::clone(&frames[(id % UNIQUE_SCENES) as usize][j]);
+            loop {
+                match server.submit(id, frame) {
+                    Submit::Enqueued => break,
+                    Submit::Busy(back) => {
+                        busy_retries += 1;
+                        frame = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+    for id in 0..sessions {
+        server.close(id).expect("close succeeds");
+    }
+    let report = server.drain();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    assert_eq!(report.sessions() as u64, sessions, "every session reported");
+    assert_eq!(report.failed_sessions(), 0, "no session died");
+    assert_eq!(report.dropped, 0, "no frame dropped");
+    assert_eq!(report.served, sessions * frames_per_session as u64);
+
+    RunStats {
+        wall_ns,
+        served: report.served,
+        busy_retries,
+        p50_ns: report.latency.quantile(0.50),
+        p95_ns: report.latency.quantile(0.95),
+        p99_ns: report.latency.quantile(0.99),
+        mean_ns: report.latency.mean() as u64,
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let sessions: u64 = if cfg.quick { 32 } else { 256 };
+    let frames_per_session: u32 = if cfg.quick { 6 } else { 16 };
+    println!(
+        "bench_serve: {} mode, {sessions} sessions x {frames_per_session} frames",
+        if cfg.quick { "quick" } else { "full" }
+    );
+
+    // Prepare the frame streams once (client-side rendering + block
+    // matching), outside the timed region.
+    let motion = MotionConfig::default();
+    let frames: Vec<Vec<Arc<FrameData>>> = (0..UNIQUE_SCENES)
+        .map(|u| {
+            let prep = prepare_sequence(&mini_sequence(u, frames_per_session), &motion)
+                .expect("mini sequence prepares");
+            prep.frames.into_iter().map(Arc::new).collect()
+        })
+        .collect();
+
+    let mut metrics: Vec<(String, String)> = Vec::new();
+    metrics.push(("sessions".into(), sessions.to_string()));
+    metrics.push(("frames_per_session".into(), frames_per_session.to_string()));
+    metrics.push(("queue_depth".into(), "64".into()));
+
+    for workers in [1usize, 4] {
+        let stats = run_serve(workers, sessions, &frames);
+        let wall_s = stats.wall_ns as f64 / 1e9;
+        let sessions_per_sec = sessions as f64 / wall_s;
+        let frames_per_sec = stats.served as f64 / wall_s;
+        println!(
+            "w{workers}: {:.1} sessions/s, {:.0} frames/s, p50 {:.3} ms, p99 {:.3} ms, {} busy retries",
+            sessions_per_sec,
+            frames_per_sec,
+            stats.p50_ns as f64 / 1e6,
+            stats.p99_ns as f64 / 1e6,
+            stats.busy_retries
+        );
+        metrics.push((format!("w{workers}_wall_ns"), stats.wall_ns.to_string()));
+        metrics.push((
+            format!("w{workers}_sessions_per_sec"),
+            format!("{sessions_per_sec:.2}"),
+        ));
+        metrics.push((
+            format!("w{workers}_frames_per_sec"),
+            format!("{frames_per_sec:.1}"),
+        ));
+        metrics.push((
+            format!("w{workers}_latency_p50_ns"),
+            stats.p50_ns.to_string(),
+        ));
+        metrics.push((
+            format!("w{workers}_latency_p95_ns"),
+            stats.p95_ns.to_string(),
+        ));
+        metrics.push((
+            format!("w{workers}_latency_p99_ns"),
+            stats.p99_ns.to_string(),
+        ));
+        metrics.push((
+            format!("w{workers}_latency_mean_ns"),
+            stats.mean_ns.to_string(),
+        ));
+        metrics.push((
+            format!("w{workers}_busy_retries"),
+            stats.busy_retries.to_string(),
+        ));
+    }
+
+    // Render the JSON by hand (no serde in the tree).
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"bench\": \"serve_sessions\",");
+    let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
+    let _ = writeln!(
+        json,
+        "  \"machine\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"threads\": {} }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        threads
+    );
+    json.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {value}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&cfg.out, &json).expect("writable output path");
+    println!("wrote {}", cfg.out);
+}

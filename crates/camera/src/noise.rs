@@ -113,6 +113,33 @@ pub trait NoiseModel: std::fmt::Debug + Send {
     /// (the sensor RAW path; `row0` is the linear sample index, gain
     /// does not apply).
     fn raw_row(&mut self, row0: u64, dst: &mut [u8]);
+
+    /// For order-independent models: a [`Sync`] view of this frame's
+    /// state whose rows can be applied concurrently (and redundantly)
+    /// in any order, bit-identical to the sequential row methods.
+    /// Sequential models — [`LegacyBoxMuller`], whose stream *is* its
+    /// row order — return `None`, and callers fall back to in-order
+    /// application. Only valid between
+    /// [`begin_frame`][NoiseModel::begin_frame] and the next one.
+    fn par_rows(&self) -> Option<&dyn ParNoiseRows> {
+        None
+    }
+}
+
+/// The row-parallel face of an order-independent [`NoiseModel`]: every
+/// method is `&self` and the trait is `Sync`, so a renderer can hand
+/// disjoint row bands of one frame to worker threads (see
+/// [`parallel_rows`][euphrates_common::par::parallel_rows]). Output
+/// must be bit-identical to the sequential `NoiseModel` row methods for
+/// the same `row0` — the goldens pin this for [`FastGaussian`].
+pub trait ParNoiseRows: Sync {
+    /// [`NoiseModel::rgb_row`], shared-state form.
+    fn rgb_row(&self, row0: u64, src: &[Rgb], dst: &mut [Rgb]);
+
+    /// Gain + noise + RGB→luma fused per pixel: `dst[i]` equals
+    /// `rgb_row(src)[i].luma()` bit for bit, with no scratch row (each
+    /// worker band would otherwise need its own).
+    fn luma_row(&self, row0: u64, src: &[Rgb], dst: &mut [u8]);
 }
 
 // ---------------------------------------------------------------------------
@@ -247,32 +274,12 @@ impl FastGaussian {
             gain_lut: identity_lut(),
         }
     }
-}
 
-impl Default for FastGaussian {
-    fn default() -> Self {
-        FastGaussian::new()
-    }
-}
-
-impl NoiseModel for FastGaussian {
-    fn kind(&self) -> NoiseModelKind {
-        NoiseModelKind::FastGaussian
-    }
-
-    fn begin_frame(&mut self, base: u64, stream: u64, frame: u32, gain: f64, sigma: f64) {
-        self.key = rngx::derive_seed(base, stream, u64::from(frame));
-        if self.quant.as_ref().is_none_or(|q| q.sigma() != sigma) {
-            self.quant = Some(QuantGauss::new(sigma));
-        }
-        self.gain_lut = if (gain - 1.0).abs() > 1e-9 {
-            crate::scene::gain_lut(gain)
-        } else {
-            identity_lut()
-        };
-    }
-
-    fn rgb_row(&mut self, row0: u64, src: &[Rgb], dst: &mut [Rgb]) {
+    /// The shared-state row kernel behind both the `&mut`
+    /// [`NoiseModel::rgb_row`] and the [`ParNoiseRows`] view: all frame
+    /// state (`key`, σ-table, gain LUT) is read-only after
+    /// `begin_frame`, so rows can run concurrently.
+    fn apply_rgb_row(&self, row0: u64, src: &[Rgb], dst: &mut [Rgb]) {
         let q = self.quant.as_ref().expect("begin_frame before rows");
         let key = self.key;
         let lut = &self.gain_lut;
@@ -308,12 +315,87 @@ impl NoiseModel for FastGaussian {
             base += 1;
         }
     }
+}
+
+impl Default for FastGaussian {
+    fn default() -> Self {
+        FastGaussian::new()
+    }
+}
+
+impl NoiseModel for FastGaussian {
+    fn kind(&self) -> NoiseModelKind {
+        NoiseModelKind::FastGaussian
+    }
+
+    fn begin_frame(&mut self, base: u64, stream: u64, frame: u32, gain: f64, sigma: f64) {
+        self.key = rngx::derive_seed(base, stream, u64::from(frame));
+        if self.quant.as_ref().is_none_or(|q| q.sigma() != sigma) {
+            self.quant = Some(QuantGauss::new(sigma));
+        }
+        self.gain_lut = if (gain - 1.0).abs() > 1e-9 {
+            crate::scene::gain_lut(gain)
+        } else {
+            identity_lut()
+        };
+    }
+
+    fn rgb_row(&mut self, row0: u64, src: &[Rgb], dst: &mut [Rgb]) {
+        self.apply_rgb_row(row0, src, dst);
+    }
 
     fn raw_row(&mut self, row0: u64, dst: &mut [u8]) {
         let q = self.quant.as_ref().expect("begin_frame before rows");
         let key = self.key;
         for (i, d) in dst.iter_mut().enumerate() {
             *d = add_clamp(*d, q.sample_at(key, row0 + i as u64));
+        }
+    }
+
+    fn par_rows(&self) -> Option<&dyn ParNoiseRows> {
+        Some(self)
+    }
+}
+
+impl ParNoiseRows for FastGaussian {
+    fn rgb_row(&self, row0: u64, src: &[Rgb], dst: &mut [Rgb]) {
+        self.apply_rgb_row(row0, src, dst);
+    }
+
+    fn luma_row(&self, row0: u64, src: &[Rgb], dst: &mut [u8]) {
+        // Noise then luma per pixel, no scratch. Bit-identical to
+        // `apply_rgb_row` + `.luma()` because there is no carried state:
+        // each output depends only on its own source pixel and hash.
+        let q = self.quant.as_ref().expect("begin_frame before rows");
+        let key = self.key;
+        let lut = &self.gain_lut;
+        let mut db = dst.chunks_exact_mut(8);
+        let mut sb = src.chunks_exact(8);
+        let mut base = row0;
+        for (dc, sc) in db.by_ref().zip(sb.by_ref()) {
+            let mut n = [[0i16; 3]; 8];
+            for (j, nj) in n.iter_mut().enumerate() {
+                *nj = q.sample3(rngx::counter_hash(key, base + j as u64));
+            }
+            for ((d, s), nj) in dc.iter_mut().zip(sc).zip(n) {
+                *d = Rgb::new(
+                    add_clamp(lut[s.r as usize], nj[0]),
+                    add_clamp(lut[s.g as usize], nj[1]),
+                    add_clamp(lut[s.b as usize], nj[2]),
+                )
+                .luma();
+            }
+            base += 8;
+        }
+        for (d, s) in db.into_remainder().iter_mut().zip(sb.remainder()) {
+            let n = q.sample3(rngx::counter_hash(key, base));
+            *d = Rgb::new(
+                add_clamp(lut[s.r as usize], n[0]),
+                add_clamp(lut[s.g as usize], n[1]),
+                add_clamp(lut[s.b as usize], n[2]),
+            )
+            .luma();
+            base += 1;
         }
     }
 }
@@ -410,6 +492,39 @@ mod tests {
             m.raw_row(100 + split as u64, &mut parts[split..]);
             assert_eq!(parts, whole, "split at {split}");
         }
+    }
+
+    #[test]
+    fn par_view_matches_sequential_rows_bit_for_bit() {
+        // The &self view must replay the &mut row methods exactly —
+        // including the fused luma against scratch + .luma().
+        let src: Vec<Rgb> = (0..37)
+            .map(|i| Rgb::new((i * 7) as u8, (i * 13 + 5) as u8, (255 - i * 3) as u8))
+            .collect();
+        let mut m = FastGaussian::new();
+        m.begin_frame(21, 0xF00D, 4, 1.2, 2.5);
+        let mut seq_rgb = vec![Rgb::gray(0); src.len()];
+        let mut seq_luma = vec![0u8; src.len()];
+        let mut scratch = Vec::new();
+        NoiseModel::rgb_row(&mut m, 640, &src, &mut seq_rgb);
+        NoiseModel::luma_row(&mut m, 640, &src, &mut scratch, &mut seq_luma);
+        let par = m.par_rows().expect("FastGaussian is order-independent");
+        let mut par_rgb = vec![Rgb::gray(0); src.len()];
+        let mut par_luma = vec![0u8; src.len()];
+        par.rgb_row(640, &src, &mut par_rgb);
+        par.luma_row(640, &src, &mut par_luma);
+        assert_eq!(par_rgb, seq_rgb);
+        assert_eq!(par_luma, seq_luma);
+    }
+
+    #[test]
+    fn legacy_has_no_par_view() {
+        let mut m = LegacyBoxMuller::new();
+        m.begin_frame(1, 2, 3, 1.0, 1.0);
+        assert!(
+            m.par_rows().is_none(),
+            "sequential stream must stay in order"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::texture::Texture;
 use crate::trajectory::{Profile, Trajectory};
 use euphrates_common::geom::{Rect, Vec2f};
 use euphrates_common::image::{rgb_to_luma, LumaFrame, Resolution, Rgb, RgbFrame};
+use euphrates_common::par::{default_threads, parallel_rows};
 use euphrates_common::pool::FramePool;
 use std::sync::{Arc, OnceLock};
 
@@ -497,6 +498,10 @@ pub struct Renderer<'a> {
     noise: Box<dyn NoiseModel>,
     /// One-row scratch for the fused noisy-luma path.
     noise_row: Vec<Rgb>,
+    /// Worker threads for the noise finalize pass when the model is
+    /// order-independent (see
+    /// [`set_noise_threads`][Renderer::set_noise_threads]).
+    noise_threads: usize,
     /// Composed (pre-illumination, pre-noise) frame, reused across
     /// renders.
     compose: RgbFrame,
@@ -531,6 +536,7 @@ impl<'a> Renderer<'a> {
             bg: scene.canvas_rgb(),
             noise: noise.model(),
             noise_row: Vec::new(),
+            noise_threads: default_threads(),
             compose: RgbFrame::new(res.width, res.height).expect("positive resolution"),
             compose_offset: None,
             compose_base: ComposeBase::Scene,
@@ -601,6 +607,17 @@ impl<'a> Renderer<'a> {
         }
         self.compose_frame(index);
         self.finalize_luma(index, out);
+    }
+
+    /// Sets the worker-thread count for the noise finalize pass
+    /// (defaults to [`default_threads`]). Only models exposing a
+    /// [`ParNoiseRows`][crate::noise::ParNoiseRows] view parallelize;
+    /// output is bit-identical at every thread count — the goldens are
+    /// recorded sequentially and hold regardless. Benches pin this to
+    /// compare 1- vs N-thread rendering without mutating the
+    /// process environment.
+    pub fn set_noise_threads(&mut self, threads: usize) {
+        self.noise_threads = threads.max(1);
     }
 
     /// Returns a frame's storage to the renderer's pool so the next
@@ -990,18 +1007,32 @@ impl<'a> Renderer<'a> {
             // Noise on: hand the composed rows to the configured noise
             // engine. The legacy model replays the sequential
             // per-channel RNG stream exactly (rows arrive in order);
-            // the fast model addresses each pixel by counter, so this
-            // loop is order-independent and row-parallel-ready.
+            // the fast model addresses each pixel by counter, so its
+            // rows band out over `noise_threads` workers with
+            // bit-identical output.
             let Renderer {
                 scene,
                 compose,
                 noise,
+                noise_threads,
                 ..
             } = self;
             noise.begin_frame(scene.seed, PIXEL_NOISE_STREAM, index, gain, sigma);
-            let w = u64::from(compose.width());
-            for y in 0..compose.height() {
-                noise.rgb_row(u64::from(y) * w, compose.row(y), out.row_mut(y));
+            let w = compose.width() as usize;
+            match noise.par_rows() {
+                Some(par) if *noise_threads > 1 => parallel_rows(
+                    compose.samples(),
+                    out.samples_mut(),
+                    w,
+                    w,
+                    *noise_threads,
+                    |y, srow, drow| par.rgb_row(y as u64 * w as u64, srow, drow),
+                ),
+                _ => {
+                    for y in 0..compose.height() {
+                        noise.rgb_row(u64::from(y) * w as u64, compose.row(y), out.row_mut(y));
+                    }
+                }
             }
         }
     }
@@ -1071,17 +1102,30 @@ impl<'a> Renderer<'a> {
                 compose,
                 noise,
                 noise_row,
+                noise_threads,
                 ..
             } = self;
             noise.begin_frame(scene.seed, PIXEL_NOISE_STREAM, index, gain, sigma);
             let w = compose.width() as usize;
-            for y in 0..compose.height() {
-                noise.luma_row(
-                    y as u64 * w as u64,
-                    compose.row(y),
-                    noise_row,
-                    out.row_mut(y),
-                );
+            match noise.par_rows() {
+                Some(par) if *noise_threads > 1 => parallel_rows(
+                    compose.samples(),
+                    out.samples_mut(),
+                    w,
+                    w,
+                    *noise_threads,
+                    |y, srow, drow| par.luma_row(y as u64 * w as u64, srow, drow),
+                ),
+                _ => {
+                    for y in 0..compose.height() {
+                        noise.luma_row(
+                            y as u64 * w as u64,
+                            compose.row(y),
+                            noise_row,
+                            out.row_mut(y),
+                        );
+                    }
+                }
             }
         }
     }

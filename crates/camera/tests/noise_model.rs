@@ -18,7 +18,7 @@ use euphrates_camera::noise::{FastGaussian, NoiseModel, NoiseModelKind};
 use euphrates_camera::scene::{SceneBuilder, SceneEffects};
 use euphrates_camera::sensor::{ImageSensor, SensorConfig};
 use euphrates_camera::texture::Texture;
-use euphrates_common::image::{Resolution, Rgb, RgbFrame};
+use euphrates_common::image::{LumaFrame, Resolution, Rgb, RgbFrame};
 use euphrates_common::rngx;
 
 const RES: Resolution = Resolution::new(160, 120);
@@ -162,6 +162,45 @@ fn fast_renders_are_independent_of_render_order() {
         assert_eq!(a, b, "frame {i}");
         warm.recycle(a);
     }
+}
+
+#[test]
+fn noise_pass_is_bit_identical_at_any_thread_count() {
+    // Banding the noise finalize pass (and the fused luma variant) over
+    // worker threads must change nothing: every output equals the
+    // sequential threads=1 render, which is what the golden digests in
+    // `tests/golden.rs` pin.
+    let scene = flat_scene(2.0, NoiseModelKind::FastGaussian);
+    for frame in [0u32, 3] {
+        let mut r1 = scene.renderer();
+        r1.set_noise_threads(1);
+        let rgb1 = r1.render_pixels(frame);
+        let mut luma1 = LumaFrame::new(RES.width, RES.height).unwrap();
+        r1.render_luma_pixels_into(frame, &mut luma1);
+        for threads in [2usize, 4, 8] {
+            let mut rn = scene.renderer();
+            rn.set_noise_threads(threads);
+            let rgbn = rn.render_pixels(frame);
+            assert_eq!(rgbn, rgb1, "rgb frame {frame} at {threads} threads");
+            let mut luman = LumaFrame::new(RES.width, RES.height).unwrap();
+            rn.render_luma_pixels_into(frame, &mut luman);
+            assert_eq!(luman, luma1, "luma frame {frame} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn legacy_renders_ignore_the_thread_knob() {
+    // The sequential model exposes no parallel view; raising the thread
+    // count must leave its in-order stream untouched.
+    let scene = flat_scene(2.0, NoiseModelKind::LegacyBoxMuller);
+    let mut r1 = scene.renderer();
+    r1.set_noise_threads(1);
+    let mut r4 = scene.renderer();
+    r4.set_noise_threads(4);
+    let a = r1.render_pixels(2);
+    let b = r4.render_pixels(2);
+    assert_eq!(a, b);
 }
 
 #[test]

@@ -85,6 +85,73 @@ where
         .collect()
 }
 
+/// Maps `f` over corresponding rows of a source and a destination
+/// slice, spreading contiguous row *bands* over up to `threads` scoped
+/// worker threads.
+///
+/// `src` is read in rows of `src_stride` elements, `dst` written in rows
+/// of `dst_stride`; row `y` of one corresponds to row `y` of the other.
+/// Each output row is produced by exactly one `f(y, src_row, dst_row)`
+/// call, so the result is identical at any thread count — `f` must
+/// derive everything from `y` and the row contents, never from call
+/// order (the renderer's counter-addressed noise pass is the canonical
+/// user). With `threads <= 1` (or a single row) everything runs inline
+/// on the caller.
+///
+/// # Panics
+///
+/// Panics if either slice length is not a whole number of rows, if the
+/// row counts differ, or if `f` panics (propagated on join).
+pub fn parallel_rows<S, D, F>(
+    src: &[S],
+    dst: &mut [D],
+    src_stride: usize,
+    dst_stride: usize,
+    threads: usize,
+    f: F,
+) where
+    S: Sync,
+    D: Send,
+    F: Fn(usize, &[S], &mut [D]) + Sync,
+{
+    assert!(src_stride > 0 && dst_stride > 0, "strides must be positive");
+    assert_eq!(src.len() % src_stride, 0, "src is whole rows");
+    assert_eq!(dst.len() % dst_stride, 0, "dst is whole rows");
+    let rows = dst.len() / dst_stride;
+    assert_eq!(src.len() / src_stride, rows, "row counts must match");
+    let threads = threads.max(1).min(rows.max(1));
+    if threads <= 1 {
+        for (y, (drow, srow)) in dst
+            .chunks_mut(dst_stride)
+            .zip(src.chunks(src_stride))
+            .enumerate()
+        {
+            f(y, srow, drow);
+        }
+        return;
+    }
+    let band = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (b, (dband, sband)) in dst
+            .chunks_mut(band * dst_stride)
+            .zip(src.chunks(band * src_stride))
+            .enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let y0 = b * band;
+                for (i, (drow, srow)) in dband
+                    .chunks_mut(dst_stride)
+                    .zip(sband.chunks(src_stride))
+                    .enumerate()
+                {
+                    f(y0 + i, srow, drow);
+                }
+            });
+        }
+    });
+}
+
 /// Hard ceiling on the worker-thread count (shared-runner etiquette).
 const MAX_THREADS: usize = 16;
 
@@ -152,6 +219,40 @@ mod tests {
             .expect("formatted panic message");
         assert!(msg.contains("item 7"), "missing index context: {msg}");
         assert!(msg.contains("sequence exploded"), "missing payload: {msg}");
+    }
+
+    #[test]
+    fn parallel_rows_matches_sequential_at_any_thread_count() {
+        let (w_src, w_dst, rows) = (6usize, 3usize, 37usize);
+        let src: Vec<u32> = (0..(w_src * rows) as u32).collect();
+        let mut expect = vec![0u32; w_dst * rows];
+        let f = |y: usize, s: &[u32], d: &mut [u32]| {
+            for (i, out) in d.iter_mut().enumerate() {
+                *out = s[2 * i] + s[2 * i + 1] + y as u32;
+            }
+        };
+        parallel_rows(&src, &mut expect, w_src, w_dst, 1, f);
+        for threads in [2, 3, 4, 8, 64] {
+            let mut got = vec![0u32; w_dst * rows];
+            parallel_rows(&src, &mut got, w_src, w_dst, threads, f);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_rows_handles_degenerate_shapes() {
+        // Zero rows: nothing to do, no panic.
+        let src: Vec<u8> = vec![];
+        let mut dst: Vec<u8> = vec![];
+        parallel_rows(&src, &mut dst, 4, 4, 8, |_, _, _| panic!("no rows"));
+        // One row stays inline.
+        let src = vec![1u8, 2, 3, 4];
+        let mut dst = vec![0u8; 4];
+        parallel_rows(&src, &mut dst, 4, 4, 8, |y, s, d| {
+            assert_eq!(y, 0);
+            d.copy_from_slice(s);
+        });
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -159,6 +159,18 @@ impl FrameDecision {
 /// accumulated [`TaskOutcome`] after `n` pushes is bit-identical to an
 /// offline [`run_task`] over the same `n` frames, because the offline
 /// path is implemented on top of this one.
+///
+/// # Serving semantics
+///
+/// Sessions are built to live on long-running server workers
+/// (`euphrates-serve`): a `Session` is `Send` whenever its task and
+/// state are, every push validates the frame against the session's
+/// declared resolution (a mid-stream dimension change is a client bug,
+/// not a panic), and the first error **poisons** the session — every
+/// later push fails fast with [`Error`] instead of running the schedule
+/// on top of inconsistent state. Check
+/// [`is_poisoned`][Session::is_poisoned] to distinguish "stream ended"
+/// from "stream died".
 #[derive(Debug)]
 pub struct Session<T: VisionTask> {
     task: T,
@@ -170,6 +182,7 @@ pub struct Session<T: VisionTask> {
     state: Option<T::State>,
     outcome: TaskOutcome,
     next_frame: u64,
+    poisoned: bool,
 }
 
 impl<T: VisionTask> Session<T> {
@@ -205,6 +218,7 @@ impl<T: VisionTask> Session<T> {
             state: None,
             outcome: TaskOutcome::default(),
             next_frame: 0,
+            poisoned: false,
         })
     }
 
@@ -218,6 +232,19 @@ impl<T: VisionTask> Session<T> {
         &self.outcome
     }
 
+    /// The resolution this session was opened at; every pushed frame
+    /// must match it.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// `true` once a push has failed: the session rejects all further
+    /// frames (the outcome up to the failure remains readable and
+    /// [`finish`][Session::finish]able).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// Consumes one frame: decides I vs. E, runs the task step, feeds the
     /// adaptive controller, charges the Motion-Controller sequencer, and
     /// scores the frame's predictions.
@@ -225,13 +252,41 @@ impl<T: VisionTask> Session<T> {
     /// # Errors
     ///
     /// The first push propagates task initialization errors (e.g. a
-    /// tracking stream whose first frame has no visible target).
+    /// tracking stream whose first frame has no visible target). A frame
+    /// whose motion field disagrees with the session's resolution is
+    /// rejected. Any error poisons the session: every subsequent push
+    /// fails fast without touching task state.
     pub fn push_frame(&mut self, frame: &FrameData) -> Result<FrameDecision> {
+        if self.poisoned {
+            return Err(Error::config(format!(
+                "session poisoned at frame {}: an earlier push failed; open a new session",
+                self.next_frame
+            )));
+        }
+        let got = frame.motion.resolution();
+        if got != self.resolution {
+            self.poisoned = true;
+            return Err(Error::config(format!(
+                "frame {} is {}x{} but the session was opened at {}x{}: \
+                 mid-stream dimension changes need a new session",
+                self.next_frame,
+                got.width,
+                got.height,
+                self.resolution.width,
+                self.resolution.height
+            )));
+        }
         if self.state.is_none() {
-            self.state = Some(
-                self.task
-                    .init(self.resolution, frame, &self.config, self.stream)?,
-            );
+            match self
+                .task
+                .init(self.resolution, frame, &self.config, self.stream)
+            {
+                Ok(state) => self.state = Some(state),
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            }
         }
         let state = self.state.as_mut().expect("state initialized above");
 

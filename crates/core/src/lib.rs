@@ -104,6 +104,20 @@
 //! [`Scenario::evaluate`], which shares each sequence's prepared frames
 //! across schemes through a [`PreparedCache`].
 //!
+//! ### Serving
+//!
+//! A [`Session`] is the unit of serving: it is `Send` (it moves to a
+//! worker thread whole), it validates every pushed frame against the
+//! resolution it was opened at, and any error *poisons* it — later
+//! pushes fail fast instead of silently desynchronizing the frame
+//! index and EW schedule (see the "Serving semantics" notes on
+//! [`Session`]). The multi-stream layer built on those guarantees —
+//! sharding ids onto workers, bounded ingress queues with
+//! backpressure, per-session panic isolation, drain reports with
+//! latency quantiles — is the `euphrates-serve` crate; its sessions
+//! bit-match [`Scenario::evaluate`] because both are this crate's
+//! per-frame scheduler.
+//!
 //! ## Environment
 //!
 //! * `EUPHRATES_THREADS` — overrides the evaluation worker-thread count

@@ -1,0 +1,190 @@
+//! Hostile-input property tests for the streaming `Session` (ROADMAP
+//! item 5 slice): a serving worker feeds `push_frame` whatever clients
+//! send, so malformed streams must come back as clean `Err`s — never a
+//! panic, and never a session that silently keeps scoring on top of
+//! inconsistent state.
+//!
+//! Covered here: mid-stream dimension changes, empty/degenerate ROIs
+//! and visibility values, extreme `MotionConfig`s, and the poisoning
+//! contract (first error ⇒ every later push fails fast).
+
+use euphrates_camera::scene::GtObject;
+use euphrates_common::geom::Rect;
+use euphrates_common::image::Resolution;
+use euphrates_core::prelude::*;
+use euphrates_isp::motion::MotionField;
+use euphrates_nn::oracle::calib;
+use proptest::prelude::*;
+
+const RES: Resolution = Resolution::new(160, 120);
+
+fn zeroed_motion(res: Resolution) -> MotionField {
+    MotionField::zeroed(res, 16, 7).expect("valid field parameters")
+}
+
+/// A frame with one target whose geometry the tests control.
+fn frame_with(rect: Rect, visibility: f64, res: Resolution) -> FrameData {
+    FrameData::new(
+        vec![GtObject {
+            id: 0,
+            label: 0,
+            rect,
+            visibility,
+            blur: 0.0,
+            speed: 0.0,
+        }],
+        zeroed_motion(res),
+    )
+}
+
+fn tracker_session(res: Resolution) -> Session<TrackerTask> {
+    Session::new(
+        TrackerTask::new(calib::mdnet()),
+        BackendConfig::new(EwPolicy::Constant(4)),
+        res,
+        0,
+    )
+    .expect("valid policy")
+}
+
+#[test]
+fn sessions_move_to_serving_workers() {
+    // The compile-time contract `euphrates-serve` rests on: a session
+    // (and everything a worker carries with it) can cross threads.
+    fn is_send<T: Send>() {}
+    is_send::<Session<TrackerTask>>();
+    is_send::<Session<DetectorTask>>();
+    is_send::<FrameData>();
+    is_send::<TaskOutcome>();
+}
+
+#[test]
+fn dimension_change_mid_stream_errors_and_poisons() {
+    let mut session = tracker_session(RES);
+    let good = frame_with(Rect::new(40.0, 30.0, 32.0, 24.0), 1.0, RES);
+    session.push_frame(&good).expect("healthy first frame");
+    assert!(!session.is_poisoned());
+
+    let resized = frame_with(
+        Rect::new(40.0, 30.0, 32.0, 24.0),
+        1.0,
+        Resolution::new(320, 240),
+    );
+    let err = session.push_frame(&resized).expect_err("must reject");
+    assert!(err.to_string().contains("dimension"), "{err}");
+    assert!(session.is_poisoned());
+
+    // Poisoned: even a well-formed frame now fails fast…
+    let err = session.push_frame(&good).expect_err("poisoned");
+    assert!(err.to_string().contains("poisoned"), "{err}");
+    // …but the pre-failure outcome stays readable and finishable.
+    assert_eq!(session.frames(), 1);
+    assert_eq!(session.finish().frames, 1);
+}
+
+#[test]
+fn init_failure_poisons_instead_of_retrying() {
+    // A targetless frame 0 is an init error; the session must not
+    // accept a "better" frame afterwards as if the stream were healthy
+    // (frame indices and the EW schedule would silently desynchronize).
+    let mut session = tracker_session(RES);
+    let empty = FrameData::new(vec![], zeroed_motion(RES));
+    assert!(session.push_frame(&empty).is_err());
+    assert!(session.is_poisoned());
+    let good = frame_with(Rect::new(10.0, 10.0, 20.0, 20.0), 1.0, RES);
+    assert!(session.push_frame(&good).is_err());
+    assert_eq!(session.frames(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary (even degenerate) target geometry after a healthy
+    /// first frame: pushes may legitimately succeed — an empty rect is
+    /// "target out of view", which tracking handles — but must never
+    /// panic, and an `Err` must poison every later push.
+    #[test]
+    fn hostile_geometry_never_panics(
+        x in -500.0f64..700.0,
+        y in -500.0f64..700.0,
+        w in -50.0f64..600.0,
+        h in -50.0f64..600.0,
+        visibility in -1.0f64..2.0,
+        frames in 1usize..12,
+    ) {
+        let mut session = tracker_session(RES);
+        let first = frame_with(Rect::new(40.0, 30.0, 32.0, 24.0), 1.0, RES);
+        session.push_frame(&first).expect("healthy first frame");
+        let hostile = frame_with(Rect::new(x, y, w, h), visibility, RES);
+        let mut failed = false;
+        for _ in 0..frames {
+            let r = session.push_frame(&hostile);
+            if failed {
+                prop_assert!(r.is_err(), "poisoned session accepted a frame");
+            }
+            failed |= r.is_err();
+            prop_assert_eq!(session.is_poisoned(), failed);
+        }
+    }
+
+    /// Degenerate first frames: never a panic, and rejection means the
+    /// session stays at zero frames.
+    #[test]
+    fn hostile_first_frames_error_cleanly(
+        x in -500.0f64..700.0,
+        y in -500.0f64..700.0,
+        w in -50.0f64..600.0,
+        h in -50.0f64..600.0,
+        visibility in -1.0f64..2.0,
+    ) {
+        let mut session = tracker_session(RES);
+        let first = frame_with(Rect::new(x, y, w, h), visibility, RES);
+        match session.push_frame(&first) {
+            Ok(_) => prop_assert_eq!(session.frames(), 1),
+            Err(_) => {
+                prop_assert!(session.is_poisoned());
+                prop_assert_eq!(session.frames(), 0);
+            }
+        }
+    }
+
+    /// Extreme motion configurations must prepare or refuse — not
+    /// panic. (The 1-byte MV encoding bounds the search range; zero
+    /// macroblocks are meaningless.)
+    #[test]
+    fn extreme_motion_configs_error_cleanly(
+        mb_i in 0usize..6,
+        sr_i in 0usize..6,
+    ) {
+        const MB: [u32; 6] = [0, 1, 3, 16, 64, 1024];
+        const SR: [u32; 6] = [0, 1, 7, 127, 128, 100_000];
+        let (mb_size, search_range) = (MB[mb_i], SR[sr_i]);
+        let mut suite = euphrates_datasets::otb100_like(3, DatasetScale::fraction(0.05));
+        suite.truncate(1);
+        suite[0].frames = 4;
+        let config = MotionConfig {
+            mb_size,
+            search_range,
+            ..MotionConfig::default()
+        };
+        match prepare_sequence(&suite[0], &config) {
+            Ok(prep) => {
+                // A config the ISP accepts must also stream cleanly.
+                let mut session = Session::new(
+                    TrackerTask::new(calib::mdnet()),
+                    BackendConfig::new(EwPolicy::Constant(4)),
+                    prep.resolution,
+                    0,
+                )
+                .unwrap();
+                for frame in &prep.frames {
+                    session.push_frame(frame).expect("prepared frames are valid");
+                }
+            }
+            Err(e) => {
+                // Clean, descriptive refusal.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Sharded concurrent session serving for the Euphrates pipeline.
+//!
+//! The paper's deployment target is "millions of users" of continuous
+//! vision (§1): the per-frame schedule that `euphrates_core::Session`
+//! implements is cheap enough that one machine should carry hundreds of
+//! concurrent streams. This crate is that serving layer, shaped like an
+//! inference server:
+//!
+//! * **Sharding** — every session id is hashed onto one of N worker
+//!   threads, so a session's frames are processed *in order by a single
+//!   worker*. Per-session outcomes are therefore bit-identical to
+//!   running the same frames through a standalone [`Session`] (or the
+//!   offline `Scenario::evaluate`, which is built on sessions): workers
+//!   only decide *where* a session runs, never *what* it computes.
+//! * **Backpressure** — each worker has a bounded ingress queue.
+//!   [`submit`][SessionServer::submit] never blocks and never buffers
+//!   beyond the bound: a full lane returns [`Submit::Busy`] handing the
+//!   frame back to the caller (admission control instead of unbounded
+//!   growth — memory is `O(workers × queue_depth)` frames).
+//! * **Shared read-only state** — one scheme registry (the validated
+//!   [`SchemeSpec`] list, the serving analog of the offline
+//!   `PreparedCache`) lives behind an [`Arc`] shared by all workers;
+//!   per-worker state (the session table, latency histogram, counters)
+//!   is owned, unsynchronized scratch.
+//! * **Instrumentation** — every frame's submit→completion latency is
+//!   recorded into a per-worker
+//!   [`LatencyHistogram`]
+//!   (O(1) record, ~6% quantile error), merged at drain into one
+//!   histogram reporting p50/p95/p99.
+//! * **Isolation** — a panicking task step kills *its* session (the
+//!   drain report carries the error), never the worker: the other
+//!   sessions sharded onto the same lane keep streaming.
+//!
+//! Frames enter as [`Arc<FrameData>`] — ground truth plus the
+//! ISP-exported motion field, i.e. what the paper's ISP ships to the
+//! vision backend. Producing them (rendering, sensor, ISP) stays on the
+//! client side of the ingress queue, e.g. via [`feed_sequence`], which
+//! streams a synthetic [`Sequence`] through the O(1)-memory
+//! `frame_source` pipeline with retry-on-busy. Each feeder owns its
+//! renderer (and thus its `FramePool`) — the per-worker-pool pattern
+//! documented in `euphrates_common::pool`.
+//!
+//! ```no_run
+//! use euphrates_core::prelude::*;
+//! use euphrates_nn::oracle::calib;
+//! use euphrates_serve::{ServeConfig, SessionServer};
+//!
+//! let schemes = vec![SchemeSpec::new("EW-4", BackendConfig::new(EwPolicy::Constant(4))).unwrap()];
+//! let server = SessionServer::new(
+//!     TrackerTask::new(calib::mdnet()),
+//!     schemes,
+//!     ServeConfig::default(),
+//! ).unwrap();
+//! let suite = euphrates_datasets::otb100_like(42, DatasetScale::fraction(0.1));
+//! for (id, seq) in suite.iter().enumerate() {
+//!     euphrates_serve::feed_sequence(&server, id as u64, "EW-4", seq, &MotionConfig::default()).unwrap();
+//! }
+//! let report = server.drain();
+//! println!("p99 = {} ns over {} frames", report.latency.quantile(0.99), report.served);
+//! ```
+
+use euphrates_common::error::{Error, Result};
+use euphrates_common::image::Resolution;
+use euphrates_common::par::default_threads;
+use euphrates_common::rngx;
+use euphrates_common::stats::LatencyHistogram;
+use euphrates_core::api::{SchemeSpec, Session, VisionTask};
+use euphrates_core::backend::TaskOutcome;
+use euphrates_core::frontend::{frame_source, FrameData, MotionConfig};
+use euphrates_datasets::Sequence;
+use std::collections::{BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Client-chosen session identifier. Doubles as the session's oracle
+/// stream index (the `stream` argument of [`Session::new`]), so serving
+/// sequence `i` of a suite under id `i` reproduces the offline
+/// evaluation's noise streams exactly.
+pub type SessionId = u64;
+
+/// Hash salt for the id → worker shard (any fixed key works; a mixed
+/// hash keeps structured id spaces — 0, 1, 2, … — balanced).
+const SHARD_STREAM: u64 = 0x5E4E;
+
+/// Server sizing.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (shards). Default: [`default_threads`], which
+    /// honors `EUPHRATES_THREADS`.
+    pub workers: usize,
+    /// Per-worker ingress bound, in messages. Bounds server memory at
+    /// `workers × queue_depth` in-flight frames; beyond it,
+    /// [`submit`][SessionServer::submit] reports [`Submit::Busy`].
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: default_threads(),
+            queue_depth: 64,
+        }
+    }
+}
+
+/// The verdict of a non-blocking [`submit`][SessionServer::submit].
+#[derive(Debug)]
+#[must_use = "a Busy frame must be retried or dropped deliberately"]
+pub enum Submit {
+    /// The frame was accepted onto its session's lane.
+    Enqueued,
+    /// The lane is at its bound; the frame is handed back so the caller
+    /// can retry, shed load, or slow the producer.
+    Busy(Arc<FrameData>),
+}
+
+impl Submit {
+    /// `true` if the frame was accepted.
+    pub fn is_enqueued(&self) -> bool {
+        matches!(self, Submit::Enqueued)
+    }
+}
+
+/// One message on a worker's lane.
+enum Msg {
+    /// Open session `id` under scheme index `scheme` (re-opening an
+    /// existing id flushes the old session into the report first).
+    Open {
+        id: SessionId,
+        scheme: usize,
+        resolution: Resolution,
+    },
+    /// One frame for session `id`; `at` is its submit timestamp.
+    Frame {
+        id: SessionId,
+        frame: Arc<FrameData>,
+        at: Instant,
+    },
+    /// Finish session `id` and stash its outcome.
+    Close { id: SessionId },
+}
+
+/// Read-only state shared by all workers.
+struct Shared<T> {
+    task: T,
+    schemes: Vec<SchemeSpec>,
+}
+
+/// A worker's session slot: a live session, or the error that killed it
+/// (kept so late frames are counted as dropped, not "unknown session",
+/// and so close/drain can report *why* the session died). Sessions are
+/// boxed so a mostly-dead table stays small.
+enum Slot<T: VisionTask> {
+    Live(Box<Session<T>>),
+    Dead(Error),
+}
+
+/// What one worker hands back at drain.
+struct WorkerOutput {
+    outcomes: Vec<(SessionId, Result<TaskOutcome>)>,
+    latency: LatencyHistogram,
+    frames: u64,
+    served: u64,
+    dropped: u64,
+}
+
+/// The merged result of [`SessionServer::drain`]: every session's
+/// outcome (keyed by id), the cross-worker latency histogram, and the
+/// frame counters the throughput numbers derive from.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Per-session outcomes, one entry per opened session (errors for
+    /// sessions that died).
+    outcomes: HashMap<SessionId, Result<TaskOutcome>>,
+    /// Submit→completion latency over every successfully served frame.
+    pub latency: LatencyHistogram,
+    /// Frames received by workers (served + dropped).
+    pub frames: u64,
+    /// Frames pushed through a live session successfully.
+    pub served: u64,
+    /// Frames discarded: sent to a dead or never-opened session.
+    pub dropped: u64,
+    /// Frames received per worker, in worker order (shard balance).
+    pub per_worker_frames: Vec<u64>,
+}
+
+impl DrainReport {
+    /// Number of sessions that reached the report.
+    pub fn sessions(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// One session's outcome (or the error that killed it).
+    pub fn outcome(&self, id: SessionId) -> Option<&Result<TaskOutcome>> {
+        self.outcomes.get(&id)
+    }
+
+    /// Iterates `(id, outcome)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SessionId, &Result<TaskOutcome>)> {
+        self.outcomes.iter()
+    }
+
+    /// Number of sessions whose outcome is an error.
+    pub fn failed_sessions(&self) -> usize {
+        self.outcomes.values().filter(|o| o.is_err()).count()
+    }
+}
+
+/// A sharded, backpressured session server over `N` worker threads.
+///
+/// See the [crate docs](self) for the serving model. The server is
+/// `Sync`: [`open`][SessionServer::open],
+/// [`submit`][SessionServer::submit] and [`close`][SessionServer::close]
+/// take `&self` and may be called from any number of producer threads
+/// concurrently (each call resolves one lane and performs one channel
+/// operation). [`drain`][SessionServer::drain] consumes the server.
+pub struct SessionServer<T: VisionTask> {
+    shared: Arc<Shared<T>>,
+    lanes: Vec<SyncSender<Msg>>,
+    workers: Vec<JoinHandle<WorkerOutput>>,
+}
+
+impl<T> SessionServer<T>
+where
+    T: VisionTask + Clone + Send + Sync + 'static,
+    T::State: Send,
+{
+    /// Starts a server: `config.workers` threads, each with a bounded
+    /// lane, all sharing one read-only scheme registry.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty or duplicate-id scheme registry and zero-sized
+    /// worker pools or queues.
+    pub fn new(
+        task: T,
+        schemes: impl IntoIterator<Item = SchemeSpec>,
+        config: ServeConfig,
+    ) -> Result<Self> {
+        let schemes: Vec<SchemeSpec> = schemes.into_iter().collect();
+        if schemes.is_empty() {
+            return Err(Error::config("server needs at least one scheme"));
+        }
+        let mut seen = BTreeSet::new();
+        for spec in &schemes {
+            if !seen.insert(spec.id.clone()) {
+                return Err(Error::config(format!("duplicate scheme id `{}`", spec.id)));
+            }
+        }
+        if config.workers == 0 || config.queue_depth == 0 {
+            return Err(Error::config(
+                "server needs at least one worker and a positive queue depth",
+            ));
+        }
+        let shared = Arc::new(Shared { task, schemes });
+        let mut lanes = Vec::with_capacity(config.workers);
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (tx, rx) = sync_channel(config.queue_depth);
+            let shared = Arc::clone(&shared);
+            lanes.push(tx);
+            workers.push(std::thread::spawn(move || worker_loop(shared, rx)));
+        }
+        Ok(SessionServer {
+            shared,
+            lanes,
+            workers,
+        })
+    }
+
+    /// The worker (shard) count.
+    pub fn workers(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The registered schemes, in registration order.
+    pub fn schemes(&self) -> &[SchemeSpec] {
+        &self.shared.schemes
+    }
+
+    /// Which worker serves `id`.
+    fn shard(&self, id: SessionId) -> usize {
+        (rngx::counter_hash(SHARD_STREAM, id) % self.lanes.len() as u64) as usize
+    }
+
+    /// Opens session `id` under the named scheme at `resolution`.
+    /// Control messages block briefly if the lane is momentarily full
+    /// (they are rare relative to frames and the lane is guaranteed to
+    /// drain); re-opening a live id flushes the old session into the
+    /// drain report and starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown scheme ids.
+    pub fn open(&self, id: SessionId, scheme: &str, resolution: Resolution) -> Result<()> {
+        let idx = self
+            .shared
+            .schemes
+            .iter()
+            .position(|s| s.id.as_str() == scheme)
+            .ok_or_else(|| Error::config(format!("unknown scheme id `{scheme}`")))?;
+        self.send_control(
+            self.shard(id),
+            Msg::Open {
+                id,
+                scheme: idx,
+                resolution,
+            },
+        )
+    }
+
+    /// Offers one frame to session `id`'s lane without blocking:
+    /// [`Submit::Enqueued`] on success, [`Submit::Busy`] (frame handed
+    /// back) when the lane is at its bound. Frames for ids that were
+    /// never opened are accepted here and counted as dropped by the
+    /// worker — admission control is per-lane, not per-session.
+    pub fn submit(&self, id: SessionId, frame: Arc<FrameData>) -> Submit {
+        let lane = self.shard(id);
+        match self.lanes[lane].try_send(Msg::Frame {
+            id,
+            frame,
+            at: Instant::now(),
+        }) {
+            Ok(()) => Submit::Enqueued,
+            Err(TrySendError::Full(Msg::Frame { frame, .. })) => Submit::Busy(frame),
+            Err(TrySendError::Full(_)) => unreachable!("submit only sends frames"),
+            Err(TrySendError::Disconnected(_)) => {
+                panic!("serve worker {lane} exited while the server was live (bug)")
+            }
+        }
+    }
+
+    /// Finishes session `id`: its outcome (or the error that killed it)
+    /// becomes part of the drain report. Like
+    /// [`open`][SessionServer::open], blocks briefly on a momentarily
+    /// full lane.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for live servers; returns an error only if
+    /// the worker has vanished.
+    pub fn close(&self, id: SessionId) -> Result<()> {
+        self.send_control(self.shard(id), Msg::Close { id })
+    }
+
+    /// Shuts down gracefully: closes every lane, lets each worker
+    /// finish its queued messages and flush all still-open sessions,
+    /// then merges the per-worker reports.
+    pub fn drain(self) -> DrainReport {
+        drop(self.lanes);
+        let mut report = DrainReport {
+            outcomes: HashMap::new(),
+            latency: LatencyHistogram::new(),
+            frames: 0,
+            served: 0,
+            dropped: 0,
+            per_worker_frames: Vec::with_capacity(self.workers.len()),
+        };
+        for handle in self.workers {
+            let out = handle
+                .join()
+                .expect("serve workers isolate session panics and never die");
+            report.latency.merge(&out.latency);
+            report.frames += out.frames;
+            report.served += out.served;
+            report.dropped += out.dropped;
+            report.per_worker_frames.push(out.frames);
+            for (id, outcome) in out.outcomes {
+                report.outcomes.insert(id, outcome);
+            }
+        }
+        report
+    }
+
+    /// Blocking send for rare control messages; maps a vanished worker
+    /// to a clean error instead of a panic (drain will surface it).
+    fn send_control(&self, lane: usize, msg: Msg) -> Result<()> {
+        self.lanes[lane]
+            .send(msg)
+            .map_err(|_| Error::config(format!("serve worker {lane} is gone")))
+    }
+}
+
+/// One worker: owns its session table, histogram, and counters; runs
+/// until every sender is dropped, then flushes all remaining sessions.
+fn worker_loop<T>(shared: Arc<Shared<T>>, rx: Receiver<Msg>) -> WorkerOutput
+where
+    T: VisionTask + Clone,
+{
+    let mut sessions: HashMap<SessionId, Slot<T>> = HashMap::new();
+    let mut out = WorkerOutput {
+        outcomes: Vec::new(),
+        latency: LatencyHistogram::new(),
+        frames: 0,
+        served: 0,
+        dropped: 0,
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Open {
+                id,
+                scheme,
+                resolution,
+            } => {
+                let spec = &shared.schemes[scheme];
+                let slot = match Session::new(shared.task.clone(), spec.backend, resolution, id) {
+                    Ok(session) => Slot::Live(Box::new(session)),
+                    Err(e) => Slot::Dead(e),
+                };
+                if let Some(old) = sessions.insert(id, slot) {
+                    out.outcomes.push((id, finish_slot(old)));
+                }
+            }
+            Msg::Frame { id, frame, at } => {
+                out.frames += 1;
+                match sessions.get_mut(&id) {
+                    Some(Slot::Live(session)) => {
+                        // One session's panic must not take down the
+                        // worker (or the other sessions on this shard).
+                        match catch_unwind(AssertUnwindSafe(|| session.push_frame(&frame))) {
+                            Ok(Ok(_)) => {
+                                out.served += 1;
+                                out.latency.record(at.elapsed().as_nanos() as u64);
+                            }
+                            Ok(Err(e)) => {
+                                out.dropped += 1;
+                                sessions.insert(id, Slot::Dead(e));
+                            }
+                            Err(payload) => {
+                                out.dropped += 1;
+                                sessions.insert(
+                                    id,
+                                    Slot::Dead(Error::config(format!(
+                                        "session task panicked: {}",
+                                        panic_text(payload)
+                                    ))),
+                                );
+                            }
+                        }
+                    }
+                    Some(Slot::Dead(_)) | None => out.dropped += 1,
+                }
+            }
+            Msg::Close { id } => {
+                let outcome = match sessions.remove(&id) {
+                    Some(slot) => finish_slot(slot),
+                    None => Err(Error::config(format!("close of unknown session {id}"))),
+                };
+                out.outcomes.push((id, outcome));
+            }
+        }
+    }
+    // Lanes closed: graceful drain flushes everything still open.
+    for (id, slot) in sessions {
+        out.outcomes.push((id, finish_slot(slot)));
+    }
+    out
+}
+
+fn finish_slot<T: VisionTask>(slot: Slot<T>) -> Result<TaskOutcome> {
+    match slot {
+        Slot::Live(session) => Ok(session.finish()),
+        Slot::Dead(e) => Err(e),
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// Streams one synthetic sequence into the server under session `id`:
+/// opens, renders frames lazily through the O(1)-memory `frame_source`
+/// pipeline (client-side, with the renderer's own frame pool), submits
+/// each with spin-yield retry under backpressure, and closes.
+///
+/// # Errors
+///
+/// Propagates open/render errors; a lost worker surfaces as an error
+/// from the open or close.
+pub fn feed_sequence<T>(
+    server: &SessionServer<T>,
+    id: SessionId,
+    scheme: &str,
+    seq: &Sequence,
+    motion: &MotionConfig,
+) -> Result<()>
+where
+    T: VisionTask + Clone + Send + Sync + 'static,
+    T::State: Send,
+{
+    let source = frame_source(seq, motion)?;
+    server.open(id, scheme, source.resolution())?;
+    for frame in source {
+        let mut frame = Arc::new(frame?);
+        loop {
+            match server.submit(id, frame) {
+                Submit::Enqueued => break,
+                Submit::Busy(back) => {
+                    frame = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    server.close(id)
+}

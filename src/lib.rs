@@ -23,6 +23,7 @@
 //! | [`soc`] | SoC energy/timing models, DES, DRAM, CPU |
 //! | [`datasets`] | OTB/VOT/detection-style benchmark suites |
 //! | [`core`] | the assembled continuous-vision pipeline |
+//! | [`serve`] | sharded concurrent session serving |
 //!
 //! ## Quickstart
 //!
@@ -101,6 +102,21 @@
 //! # }
 //! ```
 //!
+//! ## Serving many streams
+//!
+//! One process carries many concurrent streams through the
+//! [`serve`] layer: a [`SessionServer`][serve::SessionServer] shards
+//! session ids onto worker threads (each session's frames processed in
+//! order by one worker — outcomes stay bit-identical to a solo
+//! [`Session`][core::api::Session] or the offline evaluate), bounded
+//! ingress lanes return [`Busy`][serve::Submit] instead of buffering
+//! without limit, and the drain report carries per-session outcomes
+//! plus a merged submit→completion latency histogram (p50/p95/p99 via
+//! [`LatencyHistogram`][common::stats::LatencyHistogram]). The
+//! recorded serving trajectory lives in `BENCH_serve.json` (1-worker
+//! and 4-worker rows); `examples/session_server.rs` is the runnable
+//! tour.
+//!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/benches/` for the per-figure reproduction harness.
 //!
@@ -118,4 +134,5 @@ pub use euphrates_datasets as datasets;
 pub use euphrates_isp as isp;
 pub use euphrates_mc as mc;
 pub use euphrates_nn as nn;
+pub use euphrates_serve as serve;
 pub use euphrates_soc as soc;
