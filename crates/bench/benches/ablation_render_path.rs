@@ -627,10 +627,126 @@ fn bench_noise_models(c: &mut Criterion) {
     }
 }
 
+/// The PR-7 lane-hash batch against the PR-5/6 direct-table path it
+/// replaced, at kernel level: both walk the same σ=2 `QuantGauss`
+/// table under the same frame key over the same rendered VGA pixels,
+/// but the old path pays one `counter_hash` per *sample* (24 hashes
+/// per 8-pixel chunk, then a scratch row + per-pixel `.luma()`), while
+/// the new `FastGaussian::luma_row` draws the whole chunk through the
+/// windowed Weyl-lane batch (6–7 hashes) and collapses an L1 tile with
+/// `rgb_to_luma_row`. Kernel-vs-kernel in one process, so the ratio is
+/// far more stable than absolute wall-clock on the shared container.
+///
+/// Asserted: bit-identical luma for the full frame, and the lane-hash
+/// path ≥1.5× the direct-table path (measured ~2×).
+fn bench_lane_hash_noise(_c: &mut Criterion) {
+    use euphrates_camera::noise::{FastGaussian, NoiseModel};
+    use euphrates_common::rngx::QuantGauss;
+
+    euphrates_bench::announce(
+        "ablation: windowed lane-hash noise batch vs per-sample direct table",
+        "sigma=2 noise stage of the fused-luma hot path",
+    );
+
+    // Realistic pixel content: a clean rendered VGA frame.
+    let scene = vga_scene(SceneEffects {
+        pixel_noise_sigma: 0.0,
+        ..SceneEffects::default()
+    });
+    let rgb = scene.renderer().render_pixels(2);
+    let (w, h) = (rgb.width() as usize, rgb.height() as usize);
+    let (base, stream, frame, sigma) = (42u64, 0xF00Du64, 2u32, 2.0f64);
+
+    // PR-5/6 shape: per-sample table walk + scratch row + per-pixel luma.
+    let q = QuantGauss::new(sigma);
+    let key = euphrates_common::rngx::derive_seed(base, stream, u64::from(frame));
+    let add_clamp = |v: u8, n: i16| (i16::from(v) + n).clamp(0, 255) as u8;
+    let mut scratch = vec![Rgb::gray(0); w];
+    let mut old_pass = |out: &mut [u8]| {
+        for (y, (src, dst)) in rgb
+            .samples()
+            .chunks_exact(w)
+            .zip(out.chunks_exact_mut(w))
+            .enumerate()
+        {
+            let mut base3 = (y * w) as u64 * 3;
+            for (d, p) in scratch.iter_mut().zip(src) {
+                *d = Rgb::new(
+                    add_clamp(p.r, q.sample_at(key, base3)),
+                    add_clamp(p.g, q.sample_at(key, base3 + 1)),
+                    add_clamp(p.b, q.sample_at(key, base3 + 2)),
+                );
+                base3 += 3;
+            }
+            for (d, p) in dst.iter_mut().zip(scratch.iter()) {
+                *d = p.luma();
+            }
+        }
+    };
+
+    // PR-7 shape: the shipped model's fused luma row.
+    let mut m = FastGaussian::new();
+    m.begin_frame(base, stream, frame, 1.0, sigma);
+    let mut sc = Vec::new();
+    let mut new_pass = |m: &mut FastGaussian, out: &mut [u8]| {
+        for (y, (src, dst)) in rgb
+            .samples()
+            .chunks_exact(w)
+            .zip(out.chunks_exact_mut(w))
+            .enumerate()
+        {
+            m.luma_row((y * w) as u64, src, &mut sc, dst);
+        }
+    };
+
+    // Bit-identity before timing.
+    let mut old_out = vec![0u8; w * h];
+    let mut new_out = vec![0u8; w * h];
+    old_pass(&mut old_out);
+    new_pass(&mut m, &mut new_out);
+    assert_eq!(
+        old_out, new_out,
+        "lane batch must replay the canonical stream"
+    );
+
+    let median_ms = |mut pass: Box<dyn FnMut() + '_>| -> f64 {
+        pass(); // warm-up
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..4 {
+                    pass();
+                }
+                t0.elapsed().as_secs_f64() * 1e3 / 4.0
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[2]
+    };
+    let o = median_ms(Box::new(|| {
+        old_pass(&mut old_out);
+        black_box(old_out[0]);
+    }));
+    let n = median_ms(Box::new(|| {
+        new_pass(&mut m, &mut new_out);
+        black_box(new_out[0]);
+    }));
+    println!(
+        "noise kernel sigma=2 VGA: direct-table {o:.2} ms/frame vs lane-hash {n:.2} ms/frame -> {:.2}x (bit-identical)",
+        o / n
+    );
+    assert!(
+        o / n >= 1.5,
+        "lane-hash fused luma must be >=1.5x the PR-5 direct-table path (got {:.2}x)",
+        o / n
+    );
+}
+
 criterion_group!(
     benches,
     bench_render_matrix,
     bench_noise_models,
+    bench_lane_hash_noise,
     bench_prepare_sequence
 );
 criterion_main!(benches);

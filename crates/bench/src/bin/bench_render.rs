@@ -7,7 +7,7 @@
 //! scene-shared canvas), the block-matching stage on real rendered
 //! frames (the pyramid-cached hierarchical default and the paper's
 //! TSS), streaming sequence preparation, and a small end-to-end
-//! evaluate, then writes `BENCH_render.json` (schema 4) with median
+//! evaluate, then writes `BENCH_render.json` (schema 5) with median
 //! per-frame timings and machine info — the recorded baseline future
 //! PRs diff against.
 //!
@@ -24,6 +24,18 @@
 //! [`set_noise_threads`][euphrates_camera::scene::Renderer::set_noise_threads]
 //! 1 and 4, so the 4-thread speedup is recorded rather than inherited
 //! from whatever `EUPHRATES_THREADS` happened to be.
+//!
+//! Schema 5 (PR 7) re-records after the lane-hash noise engine, the
+//! SWAR blur/luma tile kernels, and the canvas memo, and adds
+//! per-stage rows: `construction_cold_ns` now draws a *distinct seed
+//! per sample* (the process-wide canvas memo would otherwise turn
+//! every sample after the first into a hit) next to the new
+//! `construction_memo_hit_ns`; `noise_stage_t1_ns_per_frame` isolates
+//! the σ=2 noise pass (fused-luma t1 minus the noise-free luma row);
+//! and the deterministic `prefilter_*`/`unfiltered_*` op counters
+//! record what the opt-in SAD lower-bound prefilter buys on real noisy
+//! frames (operation counts, not wall-clock — this box's timer noise
+//! swamps sub-ms effects, while `sad_ops`/`lb_skips` are exact).
 //!
 //! Usage:
 //!
@@ -100,16 +112,30 @@ fn main() {
 
     let mut metrics: Vec<(String, u64)> = Vec::new();
 
-    // Renderer construction. Cold = a fresh scene whose background
-    // canvas must be sampled; shared = another renderer of an
+    // Renderer construction. Cold = a never-before-seen background
+    // (distinct seed per sample, so the canvas memo can't help);
+    // memo_hit = a fresh scene whose (texture, dims) key is already
+    // memoized process-wide; shared = another renderer of an
     // already-canvased scene (the common case in the evaluation grid,
     // where every scheme re-opens the same sequences).
     let plain = SceneEffects {
         pixel_noise_sigma: 0.0,
         ..SceneEffects::default()
     };
+    let mut cold_seed = 10_000u64;
     metrics.push((
-        "renderer_new_cold_ns".into(),
+        "construction_cold_ns".into(),
+        median_ns(samples, || {
+            cold_seed += 1;
+            let scene = SceneBuilder::new(Resolution::VGA, cold_seed)
+                .effects(plain.clone())
+                .object_default()
+                .build();
+            black_box(scene.renderer());
+        }),
+    ));
+    metrics.push((
+        "construction_memo_hit_ns".into(),
         median_ns(samples, || {
             let scene = vga_scene(plain.clone());
             black_box(scene.renderer());
@@ -195,6 +221,22 @@ fn main() {
         ));
     }
 
+    // Isolated σ=2 noise-stage cost at one thread: the fused-luma t1
+    // row minus the noise-free luma row (same renderer shape, the only
+    // delta is the lane-hash noise pass).
+    {
+        let find = |key: &str| {
+            metrics
+                .iter()
+                .find(|(n, _)| n == key)
+                .map(|(_, v)| *v)
+                .expect("recorded above")
+        };
+        let stage = find("render_luma_noise_fast_t1_ns_per_frame")
+            .saturating_sub(find("render_luma_plain_ns_per_frame"));
+        metrics.push(("noise_stage_t1_ns_per_frame".into(), stage));
+    }
+
     // Block matching on real (noisy) consecutive rendered frames:
     // the evaluated default (pyramid-cached hierarchical) next to the
     // paper's TSS.
@@ -222,6 +264,27 @@ fn main() {
                     }
                 }) / u64::from(frames),
             ));
+        }
+
+        // Deterministic prefilter op counters on the same noisy frame
+        // pair (exact — immune to timer noise). `sad_ops` is the count
+        // of row-SAD reductions the search actually performed,
+        // `lb_skips` the candidates the lower bound eliminated before
+        // any pixel loads; the fields are bit-identical either way.
+        for (name, strategy) in [
+            ("hier", SearchStrategy::Hierarchical),
+            ("es", SearchStrategy::Exhaustive),
+        ] {
+            let off = BlockMatcher::new(16, 7, strategy).expect("built-in strategy");
+            let on = BlockMatcher::new(16, 7, strategy)
+                .expect("built-in strategy")
+                .with_prefilter(true);
+            let (f_off, s_off) = off.estimate_with_stats(&cur, &prev).expect("same shape");
+            let (f_on, s_on) = on.estimate_with_stats(&cur, &prev).expect("same shape");
+            assert_eq!(f_off, f_on, "prefilter must be bit-identical ({name})");
+            metrics.push((format!("unfiltered_{name}_sad_ops"), s_off.sad_ops));
+            metrics.push((format!("prefilter_{name}_sad_ops"), s_on.sad_ops));
+            metrics.push((format!("prefilter_{name}_lb_skips"), s_on.lb_skips));
         }
     }
 
@@ -263,7 +326,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 4,");
+    let _ = writeln!(json, "  \"schema\": 5,");
     let _ = writeln!(json, "  \"bench\": \"render_path\",");
     let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(
@@ -282,7 +345,11 @@ fn main() {
 
     std::fs::write(&cfg.out, &json).expect("writable output path");
     for (name, ns) in &metrics {
-        println!("{name:<36} {:>12.3} ms", *ns as f64 / 1e6);
+        if name.contains("_ns") {
+            println!("{name:<36} {:>12.3} ms", *ns as f64 / 1e6);
+        } else {
+            println!("{name:<36} {ns:>12} ops");
+        }
     }
     println!("wrote {}", cfg.out);
 }

@@ -229,11 +229,19 @@ impl NoiseModel for LegacyBoxMuller {
 // FastGaussian
 // ---------------------------------------------------------------------------
 
-/// Counter-based Gaussian noise: one [`rngx::counter_hash`] per pixel
-/// yields three 21-bit lanes, each fed through a σ-scaled [`QuantGauss`]
+/// Counter-based Gaussian noise addressed at *sample* granularity
+/// (sample index = 3 · pixel + channel for RGB rows, the raw linear
+/// index for RAW rows), fed through a σ-scaled [`QuantGauss`]
 /// inverse-CDF table to an integer offset; application is an `i16`
-/// add-and-clamp. Illumination gain is folded in through the same
-/// 256-entry LUT the noise-free path uses.
+/// add-and-clamp. Samples are drawn through the windowed lane batch
+/// [`QuantGauss::samples24`] — Weyl counters advanced by constant
+/// offsets, two SplitMix multiplies each, four 12-bit table lanes per
+/// hash — so a chunk of eight RGB pixels costs six hashes (12
+/// multiplies) on the aligned fast path, seven when the chunk base
+/// straddles a hash, plus 24 check-free table loads; a per-sample walk
+/// would pay 24 hashes. Illumination gain folds in through the same 256-entry
+/// LUT the noise-free path uses; the common gain = 1 frame skips the
+/// LUT entirely so the apply loop is pure add/clamp.
 ///
 /// The σ-quantized table is cached across frames (σ is fixed per
 /// scene/sensor); `begin_frame` only refreshes the frame key and the
@@ -244,10 +252,11 @@ pub struct FastGaussian {
     quant: Option<QuantGauss>,
     /// `derive_seed(base, stream, frame)` — the frame's hash key.
     key: u64,
-    /// Gain LUT (identity when this frame's gain is 1): one
-    /// unconditional byte load per channel keeps the hot loop
-    /// branchless.
+    /// Gain LUT (identity when this frame's gain is 1).
     gain_lut: [u8; 256],
+    /// Whether this frame's gain is exactly the identity — selects the
+    /// LUT-free apply loops.
+    unit_gain: bool,
 }
 
 /// The identity gain table.
@@ -272,6 +281,7 @@ impl FastGaussian {
             quant: None,
             key: 0,
             gain_lut: identity_lut(),
+            unit_gain: true,
         }
     }
 
@@ -279,40 +289,80 @@ impl FastGaussian {
     /// [`NoiseModel::rgb_row`] and the [`ParNoiseRows`] view: all frame
     /// state (`key`, σ-table, gain LUT) is read-only after
     /// `begin_frame`, so rows can run concurrently.
-    fn apply_rgb_row(&self, row0: u64, src: &[Rgb], dst: &mut [Rgb]) {
+    ///
+    /// Eight pixels at a time: deinterleave the chunk into a flat
+    /// 24-byte array (gain-free frames skip the LUT load, `GAIN` is a
+    /// compile-time split), add/clamp the whole array in one
+    /// fixed-width loop, reassemble. The flat loops are what LLVM
+    /// vectorizes; values are identical to the per-pixel form.
+    #[inline]
+    fn rgb_row_impl<const GAIN: bool>(&self, row0: u64, src: &[Rgb], dst: &mut [Rgb]) {
         let q = self.quant.as_ref().expect("begin_frame before rows");
         let key = self.key;
         let lut = &self.gain_lut;
-        // Pixels are hashed in batches of 8: each counter_hash is a
-        // short dependent chain (two 64-bit multiplies), so hoisting 8
-        // independent hashes into one tight loop lets them overlap in
-        // the pipeline instead of serializing behind each pixel's table
-        // lookups. Values are identical to hashing inline.
         let mut db = dst.chunks_exact_mut(8);
         let mut sb = src.chunks_exact(8);
-        let mut base = row0;
+        let mut base3 = row0 * 3;
         for (dc, sc) in db.by_ref().zip(sb.by_ref()) {
-            let mut n = [[0i16; 3]; 8];
-            for (j, nj) in n.iter_mut().enumerate() {
-                *nj = q.sample3(rngx::counter_hash(key, base + j as u64));
+            let n = q.samples24(key, base3);
+            let mut v = [0u8; 24];
+            for (k, s) in sc.iter().enumerate() {
+                if GAIN {
+                    v[3 * k] = lut[s.r as usize];
+                    v[3 * k + 1] = lut[s.g as usize];
+                    v[3 * k + 2] = lut[s.b as usize];
+                } else {
+                    v[3 * k] = s.r;
+                    v[3 * k + 1] = s.g;
+                    v[3 * k + 2] = s.b;
+                }
             }
-            for ((d, s), nj) in dc.iter_mut().zip(sc).zip(n) {
-                *d = Rgb::new(
-                    add_clamp(lut[s.r as usize], nj[0]),
-                    add_clamp(lut[s.g as usize], nj[1]),
-                    add_clamp(lut[s.b as usize], nj[2]),
-                );
+            for (vj, nj) in v.iter_mut().zip(n) {
+                *vj = add_clamp(*vj, nj);
             }
-            base += 8;
+            for (k, d) in dc.iter_mut().enumerate() {
+                *d = Rgb::new(v[3 * k], v[3 * k + 1], v[3 * k + 2]);
+            }
+            base3 += 24;
         }
         for (d, s) in db.into_remainder().iter_mut().zip(sb.remainder()) {
-            let n = q.sample3(rngx::counter_hash(key, base));
             *d = Rgb::new(
-                add_clamp(lut[s.r as usize], n[0]),
-                add_clamp(lut[s.g as usize], n[1]),
-                add_clamp(lut[s.b as usize], n[2]),
+                add_clamp(lut[s.r as usize], q.sample_at(key, base3)),
+                add_clamp(lut[s.g as usize], q.sample_at(key, base3 + 1)),
+                add_clamp(lut[s.b as usize], q.sample_at(key, base3 + 2)),
             );
-            base += 1;
+            base3 += 3;
+        }
+    }
+
+    #[inline]
+    fn apply_rgb_row(&self, row0: u64, src: &[Rgb], dst: &mut [Rgb]) {
+        if self.unit_gain {
+            self.rgb_row_impl::<false>(row0, src, dst);
+        } else {
+            self.rgb_row_impl::<true>(row0, src, dst);
+        }
+    }
+
+    /// Gain + noise + BT.601 luma over one row, bit-identical to
+    /// `rgb_row + .luma()` by construction: the noisy RGB is produced
+    /// by the same chunk kernel as [`rgb_row_impl`][Self::rgb_row_impl]
+    /// into a 64-pixel stack tile, which
+    /// [`rgb_to_luma_row`][euphrates_common::image::rgb_to_luma_row]
+    /// then collapses with its single-multiply exact ÷1000. Keeping the
+    /// two stages as separate loops over an L1-resident tile measures
+    /// *faster* than a per-pixel fused loop here: fused, LLVM folds the
+    /// scalar table loads into the pixel arithmetic and scalarizes the
+    /// otherwise-packed add/clamp passes; split, each loop compiles to
+    /// its best form (the apply pass to `paddw`/`packuswb`, the luma
+    /// pass to a lean scalar magic-multiply walk).
+    #[inline]
+    fn apply_luma_row(&self, row0: u64, src: &[Rgb], dst: &mut [u8]) {
+        let mut tile = [Rgb::gray(0); 64];
+        for (i, (sc, dc)) in src.chunks(64).zip(dst.chunks_mut(64)).enumerate() {
+            let t = &mut tile[..sc.len()];
+            self.apply_rgb_row(row0 + (i * 64) as u64, sc, t);
+            euphrates_common::image::rgb_to_luma_row(t, dc);
         }
     }
 }
@@ -333,10 +383,11 @@ impl NoiseModel for FastGaussian {
         if self.quant.as_ref().is_none_or(|q| q.sigma() != sigma) {
             self.quant = Some(QuantGauss::new(sigma));
         }
-        self.gain_lut = if (gain - 1.0).abs() > 1e-9 {
-            crate::scene::gain_lut(gain)
-        } else {
+        self.unit_gain = (gain - 1.0).abs() <= 1e-9;
+        self.gain_lut = if self.unit_gain {
             identity_lut()
+        } else {
+            crate::scene::gain_lut(gain)
         };
     }
 
@@ -344,11 +395,30 @@ impl NoiseModel for FastGaussian {
         self.apply_rgb_row(row0, src, dst);
     }
 
+    fn luma_row(&mut self, row0: u64, src: &[Rgb], _scratch: &mut Vec<Rgb>, dst: &mut [u8]) {
+        // The tiled two-pass kernel beats the scratch-row default: the
+        // apply pass and the luma collapse each keep their packed form
+        // over a 64-pixel L1 tile instead of allocating a full scratch
+        // row; bit-identity with rgb_row + .luma() is pinned by tests
+        // either way.
+        self.apply_luma_row(row0, src, dst);
+    }
+
     fn raw_row(&mut self, row0: u64, dst: &mut [u8]) {
         let q = self.quant.as_ref().expect("begin_frame before rows");
         let key = self.key;
-        for (i, d) in dst.iter_mut().enumerate() {
-            *d = add_clamp(*d, q.sample_at(key, row0 + i as u64));
+        let mut it = dst.chunks_exact_mut(24);
+        let mut base = row0;
+        for c in it.by_ref() {
+            let n = q.samples24(key, base);
+            for (d, nj) in c.iter_mut().zip(n) {
+                *d = add_clamp(*d, nj);
+            }
+            base += 24;
+        }
+        for d in it.into_remainder() {
+            *d = add_clamp(*d, q.sample_at(key, base));
+            base += 1;
         }
     }
 
@@ -363,40 +433,7 @@ impl ParNoiseRows for FastGaussian {
     }
 
     fn luma_row(&self, row0: u64, src: &[Rgb], dst: &mut [u8]) {
-        // Noise then luma per pixel, no scratch. Bit-identical to
-        // `apply_rgb_row` + `.luma()` because there is no carried state:
-        // each output depends only on its own source pixel and hash.
-        let q = self.quant.as_ref().expect("begin_frame before rows");
-        let key = self.key;
-        let lut = &self.gain_lut;
-        let mut db = dst.chunks_exact_mut(8);
-        let mut sb = src.chunks_exact(8);
-        let mut base = row0;
-        for (dc, sc) in db.by_ref().zip(sb.by_ref()) {
-            let mut n = [[0i16; 3]; 8];
-            for (j, nj) in n.iter_mut().enumerate() {
-                *nj = q.sample3(rngx::counter_hash(key, base + j as u64));
-            }
-            for ((d, s), nj) in dc.iter_mut().zip(sc).zip(n) {
-                *d = Rgb::new(
-                    add_clamp(lut[s.r as usize], nj[0]),
-                    add_clamp(lut[s.g as usize], nj[1]),
-                    add_clamp(lut[s.b as usize], nj[2]),
-                )
-                .luma();
-            }
-            base += 8;
-        }
-        for (d, s) in db.into_remainder().iter_mut().zip(sb.remainder()) {
-            let n = q.sample3(rngx::counter_hash(key, base));
-            *d = Rgb::new(
-                add_clamp(lut[s.r as usize], n[0]),
-                add_clamp(lut[s.g as usize], n[1]),
-                add_clamp(lut[s.b as usize], n[2]),
-            )
-            .luma();
-            base += 1;
-        }
+        self.apply_luma_row(row0, src, dst);
     }
 }
 

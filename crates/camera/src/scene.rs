@@ -18,7 +18,7 @@ use crate::sprite::{Part, Shape, Sprite};
 use crate::texture::Texture;
 use crate::trajectory::{Profile, Trajectory};
 use euphrates_common::geom::{Rect, Vec2f};
-use euphrates_common::image::{rgb_to_luma, LumaFrame, Resolution, Rgb, RgbFrame};
+use euphrates_common::image::{rgb_to_luma, rgb_to_luma_row, LumaFrame, Resolution, Rgb, RgbFrame};
 use euphrates_common::par::{default_threads, parallel_rows};
 use euphrates_common::pool::FramePool;
 use std::sync::{Arc, OnceLock};
@@ -191,15 +191,109 @@ pub struct Scene {
 }
 
 /// The scene's sampled background canvas (and its luma), built once and
-/// shared: rendering the canvas walks the memoized
-/// [`Texture::sampler`] lattice over ~(W+64)·(H+64) pixels (~10 ms at
-/// VGA), so renderers of the same scene share the result instead of
+/// shared: rendering the canvas samples the column-table lattice fill
+/// ([`Texture::fill_rect`]) over ~(W+64)·(H+64) pixels (milliseconds
+/// at VGA), so renderers of the same scene share the result instead of
 /// resampling it per construction. Cloning a [`Scene`] shares the
-/// cache; the canvas is immutable once built.
+/// cache; the canvas is immutable once built. Scenes that are *not*
+/// clones still share canvases whenever their background parameters
+/// coincide, through the process-wide [`canvas_memo`].
 #[derive(Debug, Clone, Default)]
 struct CanvasCache {
     rgb: OnceLock<Arc<RgbFrame>>,
     luma: OnceLock<Arc<LumaFrame>>,
+}
+
+/// A canvas identity: the background texture plus canvas dimensions —
+/// everything the sampled pixels are a function of.
+type CanvasKey = (Texture, u32, u32);
+
+/// One memoized canvas (see [`canvas_memo`]).
+struct CanvasMemoEntry {
+    key: CanvasKey,
+    rgb: Arc<RgbFrame>,
+    /// Derived lazily, shared across scenes like the RGB plane.
+    luma: Option<Arc<LumaFrame>>,
+}
+
+/// The process-wide canvas memo: evaluation grids and benchmarks
+/// construct many distinct [`Scene`] values over the *same* handful of
+/// background textures (every scheme re-opens the same sequences), and
+/// a sampled canvas is a pure function of its [`CanvasKey`] — so
+/// re-sampling one per scene construction is pure waste. A small MRU
+/// list (capacity [`CANVAS_MEMO_CAP`], ~1.5 MB per VGA canvas + luma)
+/// turns every construction after a sequence's first into an `Arc`
+/// clone. Canvases are built *outside* the lock (a concurrent build of
+/// the same key wastes one sampling, never blocks others), and
+/// eviction only drops the memo's own reference — scenes holding the
+/// canvas keep it alive.
+fn canvas_memo() -> &'static std::sync::Mutex<Vec<CanvasMemoEntry>> {
+    static MEMO: OnceLock<std::sync::Mutex<Vec<CanvasMemoEntry>>> = OnceLock::new();
+    MEMO.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+/// Canvas-memo capacity, in canvases. Eight covers every evaluation
+/// fraction the tier-1 suites run (≤ 5 concurrent sequences) with room
+/// for ad-hoc scenes, and bounds resident memory at a few megabytes.
+const CANVAS_MEMO_CAP: usize = 8;
+
+/// Looks up `key` in the memo, moving a hit to the MRU position.
+fn canvas_memo_rgb(key: &CanvasKey) -> Option<Arc<RgbFrame>> {
+    let mut memo = canvas_memo().lock().expect("canvas memo poisoned");
+    let i = memo.iter().position(|e| &e.key == key)?;
+    let entry = memo.remove(i);
+    let rgb = entry.rgb.clone();
+    memo.push(entry);
+    Some(rgb)
+}
+
+/// Inserts a freshly sampled canvas, evicting the least recently used
+/// entry past capacity. If another thread inserted the same key while
+/// this one was sampling, the first insertion wins (so every scene
+/// holding the key shares one allocation).
+fn canvas_memo_insert(key: CanvasKey, rgb: Arc<RgbFrame>) -> Arc<RgbFrame> {
+    let mut memo = canvas_memo().lock().expect("canvas memo poisoned");
+    if let Some(e) = memo.iter().find(|e| e.key == key) {
+        return e.rgb.clone();
+    }
+    if memo.len() >= CANVAS_MEMO_CAP {
+        memo.remove(0);
+    }
+    memo.push(CanvasMemoEntry {
+        key,
+        rgb: rgb.clone(),
+        luma: None,
+    });
+    rgb
+}
+
+/// The memoized luma for `key`, deriving and caching it on first use.
+/// `rgb` must be the memo's canvas for `key` (or an identical clone of
+/// it — the plane is a pure function of the key either way).
+fn canvas_memo_luma(key: &CanvasKey, rgb: &RgbFrame) -> Arc<LumaFrame> {
+    {
+        let memo = canvas_memo().lock().expect("canvas memo poisoned");
+        if let Some(l) = memo
+            .iter()
+            .find(|e| &e.key == key)
+            .and_then(|e| e.luma.clone())
+        {
+            return l;
+        }
+    }
+    let luma = Arc::new(rgb_to_luma(rgb));
+    let mut memo = canvas_memo().lock().expect("canvas memo poisoned");
+    if let Some(e) = memo.iter_mut().find(|e| &e.key == key) {
+        match &e.luma {
+            Some(l) => l.clone(),
+            None => {
+                e.luma = Some(luma.clone());
+                luma
+            }
+        }
+    } else {
+        luma
+    }
 }
 
 impl Scene {
@@ -242,35 +336,47 @@ impl Scene {
         Renderer::new(self, noise)
     }
 
+    /// This scene's [`CanvasKey`]: what the canvas pixels depend on.
+    fn canvas_key(&self) -> CanvasKey {
+        let res = self.resolution;
+        (
+            self.background.clone(),
+            res.width + 2 * BG_MARGIN,
+            res.height + 2 * BG_MARGIN,
+        )
+    }
+
     /// The shared background canvas (resolution plus shake margin),
-    /// rendered on first use.
+    /// rendered on first use — or adopted from the process-wide
+    /// [`canvas_memo`] when an identically parameterized scene already
+    /// sampled it.
     fn canvas_rgb(&self) -> Arc<RgbFrame> {
         self.canvas
             .rgb
             .get_or_init(|| {
-                let res = self.resolution;
-                let (bw, bh) = (res.width + 2 * BG_MARGIN, res.height + 2 * BG_MARGIN);
-                let mut bg = RgbFrame::new(bw, bh).expect("background dimensions are positive");
-                // Row-major cell generation (Texture::fill_row): the
-                // lattice cells of a scanline are walked in order, so
-                // per-pixel `floor` calls and cell-cache probes vanish
-                // from the one full canvas sampling a scene ever does.
-                for y in 0..bh {
-                    let wy = f64::from(y) - f64::from(BG_MARGIN);
-                    self.background
-                        .fill_row(wy, -f64::from(BG_MARGIN), bg.row_mut(y));
+                let key = self.canvas_key();
+                if let Some(hit) = canvas_memo_rgb(&key) {
+                    return hit;
                 }
-                Arc::new(bg)
+                let (bw, bh) = (key.1, key.2);
+                let mut bg = RgbFrame::new(bw, bh).expect("background dimensions are positive");
+                // Column-table cell generation: per-column texture
+                // terms computed once, rows replayed against them —
+                // the one full canvas sampling a key ever needs.
+                self.background
+                    .fill_rect(-f64::from(BG_MARGIN), -f64::from(BG_MARGIN), &mut bg);
+                canvas_memo_insert(key, Arc::new(bg))
             })
             .clone()
     }
 
-    /// The luma of [`canvas_rgb`][Scene::canvas_rgb], built on first use
-    /// by the fused clean-luma blit.
+    /// The luma of [`canvas_rgb`][Scene::canvas_rgb], derived on first
+    /// use by the fused clean-luma blit and shared through the memo
+    /// like the RGB plane.
     fn canvas_luma(&self) -> Arc<LumaFrame> {
         self.canvas
             .luma
-            .get_or_init(|| Arc::new(rgb_to_luma(&self.canvas_rgb())))
+            .get_or_init(|| canvas_memo_luma(&self.canvas_key(), &self.canvas_rgb()))
             .clone()
     }
 
@@ -383,7 +489,7 @@ const BLUR_BG_CACHE_CAP: usize = 8;
 /// one row blit per scanline — and a luma-plane blit on the fused-luma
 /// path — with per-tap work confined to the object region, exactly like
 /// the instant path. Values are bit-identical to summing per frame: the
-/// same integer sums feed the same rounded-third LUT.
+/// same integer sums feed the same rounded third (see `rounded_third`).
 #[derive(Debug)]
 struct BlurBgCache {
     /// Relative tap offsets `(o1 − o0, o2 − o0)` this average is for.
@@ -415,26 +521,20 @@ impl BlurBgCache {
         let hi_u = i64::from(bw) - 1 + i64::from(0.min(-r1x).min(-r2x));
         let lo_v = 0.max(-r1y).max(-r2y);
         let hi_v = i64::from(bh) - 1 + i64::from(0.min(-r1y).min(-r2y));
-        let lut = third_lut();
+        let lo = lo_u as usize;
+        let n = (hi_u - i64::from(lo_u) + 1) as usize;
+        let mut acc_row: Vec<[u16; 3]> = vec![[0u16; 3]; n];
         for v in i64::from(lo_v)..=hi_v {
-            let b0 = bg.row(v as u32);
-            let b1 = bg.row((v + i64::from(r1y)) as u32);
-            let b2 = bg.row((v + i64::from(r2y)) as u32);
-            let rgb_row = rgb.row_mut(v as u32);
-            for u in i64::from(lo_u)..=hi_u {
-                let p0 = b0[u as usize];
-                let p1 = b1[(u + i64::from(r1x)) as usize];
-                let p2 = b2[(u + i64::from(r2x)) as usize];
-                rgb_row[u as usize] = Rgb::new(
-                    lut[(u16::from(p0.r) + u16::from(p1.r) + u16::from(p2.r)) as usize],
-                    lut[(u16::from(p0.g) + u16::from(p1.g) + u16::from(p2.g)) as usize],
-                    lut[(u16::from(p0.b) + u16::from(p1.b) + u16::from(p2.b)) as usize],
-                );
-            }
-            let dst = &mut luma.row_mut(v as u32)[lo_u as usize..=hi_u as usize];
-            for (d, p) in dst.iter_mut().zip(&rgb_row[lo_u as usize..=hi_u as usize]) {
-                *d = p.luma();
-            }
+            let b0 = &bg.row(v as u32)[lo..lo + n];
+            let b1 = &bg.row((v + i64::from(r1y)) as u32)[(lo_u + r1x) as usize..][..n];
+            let b2 = &bg.row((v + i64::from(r2y)) as u32)[(lo_u + r2x) as usize..][..n];
+            let rgb_row = &mut rgb.row_mut(v as u32)[lo..lo + n];
+            blur_acc_sum3(&mut acc_row, b0, b1, b2);
+            blur_average_row(&acc_row, rgb_row);
+            rgb_to_luma_row(
+                &rgb.row(v as u32)[lo..lo + n],
+                &mut luma.row_mut(v as u32)[lo..lo + n],
+            );
         }
         BlurBgCache { rel, rgb, luma }
     }
@@ -777,16 +877,11 @@ impl<'a> Renderer<'a> {
         let w = compose.width() as usize;
 
         // acc[region] := 3 × background.
+        let n = (region.x1 - region.x0 + 1) as usize;
         for y in region.y0..=region.y1 {
-            let bg_row = &bg.row(y + dy)[dx as usize + region.x0 as usize..];
-            let acc_row = &mut acc[y as usize * w + region.x0 as usize..];
-            for (a, p) in acc_row
-                .iter_mut()
-                .zip(bg_row)
-                .take((region.x1 - region.x0 + 1) as usize)
-            {
-                *a = [3 * u16::from(p.r), 3 * u16::from(p.g), 3 * u16::from(p.b)];
-            }
+            let bg_row = &bg.row(y + dy)[dx as usize + region.x0 as usize..][..n];
+            let base = y as usize * w + region.x0 as usize;
+            blur_acc_init3(&mut acc[base..base + n], bg_row);
         }
 
         // Per tap: rebuild the region over the background, draw that
@@ -799,15 +894,11 @@ impl<'a> Renderer<'a> {
             accumulate_tap_delta(acc, w, tap, bg, dx, dy, region);
         }
 
-        // compose[region] := rounded average (see `third_lut`).
-        let lut = third_lut();
+        // compose[region] := rounded average (see `rounded_third`).
         for y in region.y0..=region.y1 {
-            let n = (region.x1 - region.x0 + 1) as usize;
             let base = y as usize * w + region.x0 as usize;
             let row = &mut compose.row_mut(y)[region.x0 as usize..region.x0 as usize + n];
-            for (px, a) in row.iter_mut().zip(&acc[base..base + n]) {
-                *px = Rgb::new(lut[a[0] as usize], lut[a[1] as usize], lut[a[2] as usize]);
-            }
+            blur_average_row(&acc[base..base + n], row);
         }
         dirty.push(region);
     }
@@ -880,17 +971,11 @@ impl<'a> Renderer<'a> {
 
         // acc[region] := sum of the three shifted background taps.
         for y in region.y0..=region.y1 {
-            let r0 = &bg.row(y + o0.1)[o0.0 as usize + region.x0 as usize..];
-            let r1 = &bg.row(y + o1.1)[o1.0 as usize + region.x0 as usize..];
-            let r2 = &bg.row(y + o2.1)[o2.0 as usize + region.x0 as usize..];
+            let r0 = &bg.row(y + o0.1)[o0.0 as usize + region.x0 as usize..][..n];
+            let r1 = &bg.row(y + o1.1)[o1.0 as usize + region.x0 as usize..][..n];
+            let r2 = &bg.row(y + o2.1)[o2.0 as usize + region.x0 as usize..][..n];
             let base = y as usize * w + region.x0 as usize;
-            for (((a, p0), p1), p2) in acc[base..base + n].iter_mut().zip(r0).zip(r1).zip(r2) {
-                *a = [
-                    u16::from(p0.r) + u16::from(p1.r) + u16::from(p2.r),
-                    u16::from(p0.g) + u16::from(p1.g) + u16::from(p2.g),
-                    u16::from(p0.b) + u16::from(p1.b) + u16::from(p2.b),
-                ];
-            }
+            blur_acc_sum3(&mut acc[base..base + n], r0, r1, r2);
         }
 
         // Per tap: rebuild the region over that tap's own background
@@ -904,14 +989,11 @@ impl<'a> Renderer<'a> {
             accumulate_tap_delta(acc, w, tap, bg, dx, dy, region);
         }
 
-        // compose[region] := rounded average (see `third_lut`).
-        let lut = third_lut();
+        // compose[region] := rounded average (see `rounded_third`).
         for y in region.y0..=region.y1 {
             let base = y as usize * w + region.x0 as usize;
             let row = &mut compose.row_mut(y)[region.x0 as usize..region.x0 as usize + n];
-            for (px, a) in row.iter_mut().zip(&acc[base..base + n]) {
-                *px = Rgb::new(lut[a[0] as usize], lut[a[1] as usize], lut[a[2] as usize]);
-            }
+            blur_average_row(&acc[base..base + n], row);
         }
         dirty.push(region);
     }
@@ -1131,25 +1213,119 @@ impl<'a> Renderer<'a> {
     }
 }
 
-/// The rounded three-tap average as a table over the integer channel
-/// sum (`0..=765`): entry `s` is `(s as f64 / 3.0).round()`, exactly
-/// the old `f64` accumulator's per-channel arithmetic (integer sums are
-/// exact in both representations). Tabulating replaces ~1M libm
-/// `round` calls per blurred VGA frame with indexed loads.
-fn third_lut() -> [u8; 766] {
-    let mut lut = [0u8; 766];
-    for (s, out) in lut.iter_mut().enumerate() {
-        *out = (s as f64 / 3.0).round() as u8;
+// -- SWAR blur kernels -----------------------------------------------------
+//
+// The blur accumulator loops all share one shape: 3-byte `Rgb` structs
+// on one side, flat `[u16; 3]` channel sums on the other. Fused
+// per-pixel loops scalarize (the struct shuffling drags the lane
+// arithmetic down with it), so each kernel splits into an L1 stack
+// tile: one pass of pure byte shuffling, one pass of flat `u8`/`u16`
+// lane arithmetic the auto-vectorizer handles at baseline SSE2 — the
+// same two-pass discipline as the sensor-noise luma kernel.
+
+/// Tile width in pixels (192 channel lanes) of the blur kernels.
+const BLUR_TILE_PX: usize = 64;
+
+/// Rounded third of a three-tap channel sum, branch-free and LUT-free:
+/// for `s ≤ 765` the fraction `s/3` never lands exactly on `.5`, so
+/// `round(s/3) = ⌊(2s + 3)/6⌋`, and `⌊x/6⌋ = (x · 10923) >> 16`
+/// exactly for `x ≤ 32767` — eight lanes per 16-bit high multiply
+/// (`pmulhuw`) when fed a flat `u16` stream, where the 766-entry LUT
+/// it replaces was an unvectorizable gather.
+/// `rounded_third_matches_the_rounded_lut` pins the equivalence over
+/// the whole domain.
+#[inline]
+fn rounded_third(s: u16) -> u8 {
+    ((u32::from(2 * s + 3) * 10923) >> 16) as u8
+}
+
+/// Unpacks a run of pixels into a flat channel-byte tile prefix.
+#[inline]
+fn unpack_rgb_tile<'t>(px: &[Rgb], tile: &'t mut [u8; 3 * BLUR_TILE_PX]) -> &'t [u8] {
+    let t = &mut tile[..3 * px.len()];
+    for (c, p) in t.chunks_exact_mut(3).zip(px) {
+        c[0] = p.r;
+        c[1] = p.g;
+        c[2] = p.b;
     }
-    lut
+    t
+}
+
+/// `acc := 3 × bg` per channel — the same-offset blur init, where all
+/// three taps read the same background pixel.
+fn blur_acc_init3(acc: &mut [[u16; 3]], bg: &[Rgb]) {
+    debug_assert_eq!(acc.len(), bg.len());
+    let mut tile = [0u8; 3 * BLUR_TILE_PX];
+    for (ac, bc) in acc.chunks_mut(BLUR_TILE_PX).zip(bg.chunks(BLUR_TILE_PX)) {
+        let t = unpack_rgb_tile(bc, &mut tile);
+        for (a, &v) in ac.as_flattened_mut().iter_mut().zip(t) {
+            *a = 3 * u16::from(v);
+        }
+    }
+}
+
+/// `acc := r0 + r1 + r2` per channel — the general blur init over
+/// three shifted background taps.
+fn blur_acc_sum3(acc: &mut [[u16; 3]], r0: &[Rgb], r1: &[Rgb], r2: &[Rgb]) {
+    debug_assert!(acc.len() == r0.len() && acc.len() == r1.len() && acc.len() == r2.len());
+    let mut t0 = [0u8; 3 * BLUR_TILE_PX];
+    let mut t1 = [0u8; 3 * BLUR_TILE_PX];
+    let mut t2 = [0u8; 3 * BLUR_TILE_PX];
+    for (((ac, c0), c1), c2) in acc
+        .chunks_mut(BLUR_TILE_PX)
+        .zip(r0.chunks(BLUR_TILE_PX))
+        .zip(r1.chunks(BLUR_TILE_PX))
+        .zip(r2.chunks(BLUR_TILE_PX))
+    {
+        let u0 = unpack_rgb_tile(c0, &mut t0);
+        let u1 = unpack_rgb_tile(c1, &mut t1);
+        let u2 = unpack_rgb_tile(c2, &mut t2);
+        for (((a, &v0), &v1), &v2) in ac.as_flattened_mut().iter_mut().zip(u0).zip(u1).zip(u2) {
+            *a = u16::from(v0) + u16::from(v1) + u16::from(v2);
+        }
+    }
+}
+
+/// `acc += add − sub` per channel — one sub-exposure's object delta
+/// against its own background (see [`accumulate_tap_delta`] for the
+/// `u16` range argument).
+fn blur_acc_delta(acc: &mut [[u16; 3]], add: &[Rgb], sub: &[Rgb]) {
+    debug_assert!(acc.len() == add.len() && acc.len() == sub.len());
+    let mut ta = [0u8; 3 * BLUR_TILE_PX];
+    let mut ts = [0u8; 3 * BLUR_TILE_PX];
+    for ((ac, ca), cs) in acc
+        .chunks_mut(BLUR_TILE_PX)
+        .zip(add.chunks(BLUR_TILE_PX))
+        .zip(sub.chunks(BLUR_TILE_PX))
+    {
+        let ua = unpack_rgb_tile(ca, &mut ta);
+        let us = unpack_rgb_tile(cs, &mut ts);
+        for ((a, &va), &vs) in ac.as_flattened_mut().iter_mut().zip(ua).zip(us) {
+            *a = *a + u16::from(va) - u16::from(vs);
+        }
+    }
+}
+
+/// `out := round(acc / 3)` per channel — the compose-side rounded
+/// average ([`rounded_third`] over the flat lane stream, then a pack
+/// pass into the 3-byte pixels).
+fn blur_average_row(acc: &[[u16; 3]], out: &mut [Rgb]) {
+    debug_assert_eq!(acc.len(), out.len());
+    let mut tile = [0u8; 3 * BLUR_TILE_PX];
+    for (ac, oc) in acc.chunks(BLUR_TILE_PX).zip(out.chunks_mut(BLUR_TILE_PX)) {
+        let t = &mut tile[..3 * oc.len()];
+        for (d, &v) in t.iter_mut().zip(ac.as_flattened()) {
+            *d = rounded_third(v);
+        }
+        for (p, c) in oc.iter_mut().zip(t.chunks_exact(3)) {
+            *p = Rgb::new(c[0], c[1], c[2]);
+        }
+    }
 }
 
 /// Writes the rounded three-tap average into `out`.
 fn average_acc(acc: &[[u16; 3]], out: &mut RgbFrame) {
-    let lut = third_lut();
-    for (px, a) in out.samples_mut().iter_mut().zip(acc) {
-        *px = Rgb::new(lut[a[0] as usize], lut[a[1] as usize], lut[a[2] as usize]);
-    }
+    blur_average_row(acc, out.samples_mut());
 }
 
 /// 256-entry gain LUT; entry `v` equals the old per-pixel computation
@@ -1207,12 +1383,8 @@ fn accumulate_tap_delta(
         let n = (region.x1 - region.x0 + 1) as usize;
         let base = y as usize * w + region.x0 as usize;
         let tap_row = &tap.row(y)[region.x0 as usize..region.x0 as usize + n];
-        let bg_row = &bg.row(y + dy)[dx as usize + region.x0 as usize..];
-        for ((a, tp), bp) in acc[base..base + n].iter_mut().zip(tap_row).zip(bg_row) {
-            a[0] = a[0] + u16::from(tp.r) - u16::from(bp.r);
-            a[1] = a[1] + u16::from(tp.g) - u16::from(bp.g);
-            a[2] = a[2] + u16::from(tp.b) - u16::from(bp.b);
-        }
+        let bg_row = &bg.row(y + dy)[dx as usize + region.x0 as usize..][..n];
+        blur_acc_delta(&mut acc[base..base + n], tap_row, bg_row);
     }
 }
 
@@ -1624,6 +1796,17 @@ mod tests {
             .build()
     }
 
+    /// The blur kernels' mul-shift rounded third must equal the
+    /// original `(s as f64 / 3.0).round()` LUT entry on the whole
+    /// accumulator domain (three 255-sums).
+    #[test]
+    fn rounded_third_matches_the_rounded_lut() {
+        for s in 0u16..=765 {
+            let reference = (f64::from(s) / 3.0).round() as u8;
+            assert_eq!(rounded_third(s), reference, "s = {s}");
+        }
+    }
+
     #[test]
     fn render_produces_frame_and_truth() {
         let scene = small_scene();
@@ -1634,6 +1817,25 @@ mod tests {
         assert_eq!(f.truth.len(), 1);
         assert!(f.truth[0].visibility > 0.9);
         assert!(!f.truth[0].rect.is_empty());
+    }
+
+    /// Two scenes built from the same parameters (not clones of each
+    /// other) must share one memoized canvas allocation — RGB and the
+    /// derived luma — while a different seed gets its own.
+    #[test]
+    fn identical_scenes_share_one_memoized_canvas() {
+        let a = SceneBuilder::new(Resolution::new(96, 64), 20260808)
+            .object_default()
+            .build();
+        let b = SceneBuilder::new(Resolution::new(96, 64), 20260808)
+            .object_default()
+            .build();
+        assert!(Arc::ptr_eq(&a.canvas_rgb(), &b.canvas_rgb()));
+        assert!(Arc::ptr_eq(&a.canvas_luma(), &b.canvas_luma()));
+        let c = SceneBuilder::new(Resolution::new(96, 64), 20260809)
+            .object_default()
+            .build();
+        assert!(!Arc::ptr_eq(&a.canvas_rgb(), &c.canvas_rgb()));
     }
 
     #[test]

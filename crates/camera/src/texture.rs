@@ -195,6 +195,61 @@ impl Texture {
     }
 }
 
+impl Texture {
+    /// Fills a whole axis-aligned pixel rectangle,
+    /// `out[y][i] = self.sample(wx0 + i, wy0 + y)`, bit-identically to
+    /// per-pixel [`Texture::sample`] — the background-canvas generator.
+    ///
+    /// Beyond [`Texture::fill_row`]'s row-major cell walking, this
+    /// exploits that every row samples the *same* x positions: the
+    /// per-column texture-space terms of [`Texture::Noise`] — the cell
+    /// index and the eased fraction `smoothstep(sx − ⌊sx⌋)`, per octave
+    /// — are computed once into column tables and replayed for every
+    /// row, deleting the division, the `2.3` octave scaling, and the
+    /// smoothstep polynomial from the per-pixel loop (the values are
+    /// the same f64 expressions evaluated once, so interpolation inputs
+    /// are bit-identical). Cell-crossing hash reloads follow the
+    /// tabulated indices exactly as the walker would. Other variants
+    /// delegate to [`Texture::fill_row`] per row.
+    pub fn fill_rect(&self, wx0: f64, wy0: f64, out: &mut euphrates_common::image::RgbFrame) {
+        let Texture::Noise {
+            lo,
+            hi,
+            scale,
+            seed,
+        } = self
+        else {
+            for y in 0..out.height() {
+                self.fill_row(wy0 + f64::from(y), wx0, out.row_mut(y));
+            }
+            return;
+        };
+        let w = out.width() as usize;
+        let col = |sx: f64| {
+            let x0 = sx.floor();
+            (x0 as i64, smoothstep(sx - x0))
+        };
+        let cols0: Vec<(i64, f64)> = (0..w).map(|i| col((wx0 + i as f64) / scale)).collect();
+        let cols1: Vec<(i64, f64)> = (0..w)
+            .map(|i| col(((wx0 + i as f64) / scale) * 2.3))
+            .collect();
+        for y in 0..out.height() {
+            let wy = wy0 + f64::from(y);
+            let sy = wy / scale;
+            let mut oct0 = RowCells::new(*seed, sy);
+            let mut oct1 = RowCells::new(*seed ^ 0xABCD_EF01, sy * 2.3);
+            for ((px, &(ix0, fx0)), &(ix1, fx1)) in
+                out.row_mut(y).iter_mut().zip(&cols0).zip(&cols1)
+            {
+                let n0 = oct0.value_pre(ix0, fx0);
+                let n1 = oct1.value_pre(ix1, fx1);
+                let v = (0.7 * n0 + 0.3 * n1).clamp(0.0, 1.0);
+                *px = lerp_rgb(*lo, *hi, v);
+            }
+        }
+    }
+}
+
 impl RowSampler<'_> {
     /// Samples the texture at `(x, self.y)`; identical output to
     /// [`Texture::sample`]. `x` must be ≥ every previously sampled `x`
@@ -285,6 +340,34 @@ impl RowCells {
             }
         }
         let fx = smoothstep(sx - self.ix as f64);
+        let top = self.v00 + (self.v10 - self.v00) * fx;
+        let bot = self.v01 + (self.v11 - self.v01) * fx;
+        top + (bot - top) * self.fy
+    }
+
+    /// [`value`][RowCells::value] with the cell index and eased
+    /// fraction supplied from a precomputed column table
+    /// ([`Texture::fill_rect`]): the same cell-advance decisions driven
+    /// by the tabulated `ix` instead of the boundary comparison, and
+    /// the same interpolation expression fed the tabulated `fx`.
+    #[inline]
+    fn value_pre(&mut self, ix: i64, fx: f64) -> f64 {
+        if !self.init {
+            self.ix = ix;
+            self.load();
+            self.init = true;
+        } else if ix != self.ix {
+            if ix == self.ix + 1 {
+                self.ix = ix;
+                self.v00 = self.v10;
+                self.v01 = self.v11;
+                self.v10 = lattice_hash(self.seed, self.ix + 1, self.iy);
+                self.v11 = lattice_hash(self.seed, self.ix + 1, self.iy + 1);
+            } else {
+                self.ix = ix;
+                self.load();
+            }
+        }
         let top = self.v00 + (self.v10 - self.v00) * fx;
         let bot = self.v01 + (self.v11 - self.v01) * fx;
         top + (bot - top) * self.fy
@@ -470,6 +553,34 @@ mod tests {
     fn noise_is_deterministic() {
         let t = Texture::background_noise(7);
         assert_eq!(t.sample(12.3, 45.6), t.sample(12.3, 45.6));
+    }
+
+    /// The column-table rect fill must be bit-identical to per-pixel
+    /// sampling — across cell crossings, negative world origins, and
+    /// both octave scales (the canvas generator's exact access
+    /// pattern), and for a delegating non-noise variant.
+    #[test]
+    fn fill_rect_matches_per_pixel_sampling() {
+        use euphrates_common::image::RgbFrame;
+        let textures = [
+            Texture::background_noise(7),
+            Texture::object_noise(1234),
+            Texture::Checker {
+                a: Rgb::gray(10),
+                b: Rgb::gray(200),
+                cell: 7.5,
+            },
+        ];
+        for t in &textures {
+            let mut out = RgbFrame::new(131, 77).unwrap();
+            t.fill_rect(-32.0, -32.0, &mut out);
+            for y in 0..out.height() {
+                for x in 0..out.width() {
+                    let reference = t.sample(-32.0 + f64::from(x), -32.0 + f64::from(y));
+                    assert_eq!(out.at(x, y), reference, "{t:?} diverged at ({x}, {y})");
+                }
+            }
+        }
     }
 
     #[test]

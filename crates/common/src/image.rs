@@ -261,12 +261,30 @@ pub type RgbFrame = Plane<Rgb>;
 /// constants in the power/bandwidth model).
 pub type BayerFrame = Plane<u8>;
 
+/// Converts a run of RGB pixels to luma, bit-identical to per-pixel
+/// [`Rgb::luma`] but cheaper: one magic multiply yields both the exact
+/// `(s+500)/1000` quotient and the exact-half tie predicate.
+/// `s·⌈2²⁸/1000⌉ >> 28` equals `s/1000` for every `s ≤ 255 500`, and
+/// because `1000·268436 − 2²⁸ = 544`, the low 28 bits of the product
+/// fall below `268 436` iff `1000 | s` — proven exhaustively over the
+/// whole BT.601 dot range by the `luma_magic_divide_is_exact_*` test.
+/// Ties (≈ 1/1000 pixels) defer to [`Rgb::luma`]'s f64 resolution.
+pub fn rgb_to_luma_row(src: &[Rgb], dst: &mut [u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        let sum = 299 * u32::from(s.r) + 587 * u32::from(s.g) + 114 * u32::from(s.b) + 500;
+        let p = u64::from(sum) * 268_436;
+        *d = if (p & 0x0FFF_FFFF) < 268_436 {
+            s.luma()
+        } else {
+            (p >> 28) as u8
+        };
+    }
+}
+
 /// Converts an RGB frame to its luma plane.
 pub fn rgb_to_luma(rgb: &RgbFrame) -> LumaFrame {
     let mut out = Plane::new(rgb.width(), rgb.height()).expect("non-empty source plane");
-    for (dst, src) in out.samples_mut().iter_mut().zip(rgb.samples()) {
-        *dst = src.luma();
-    }
+    rgb_to_luma_row(rgb.samples(), out.samples_mut());
     out
 }
 
@@ -447,6 +465,47 @@ mod tests {
             }
         }
         assert!(checked >= 38 * 38 * 38);
+    }
+
+    #[test]
+    fn luma_magic_divide_is_exact_over_the_whole_dot_range() {
+        // `rgb_to_luma_row` computes (s+500)/1000 and the s+500 ≡ 0
+        // (mod 1000) tie predicate from one multiply by ⌈2²⁸/1000⌉.
+        // The BT.601 dot is bounded by 255 000, so checking every s in
+        // the range is a complete proof of both identities.
+        for s in 0u32..=255_000 {
+            let sp = s + 500;
+            let p = u64::from(sp) * 268_436;
+            assert_eq!((p >> 28) as u32, sp / 1000, "quotient at s = {s}");
+            assert_eq!(
+                (p & 0x0FFF_FFFF) < 268_436,
+                sp % 1000 == 0,
+                "tie predicate at s = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn rgb_to_luma_row_matches_per_pixel_including_ties() {
+        // A dense pseudo-random sweep plus one pixel engineered to hit
+        // the exact-half tie path.
+        let mut src: Vec<Rgb> = (0..4096u32)
+            .map(|i| {
+                Rgb::new(
+                    (i.wrapping_mul(97) >> 3) as u8,
+                    (i.wrapping_mul(193) >> 5) as u8,
+                    (i.wrapping_mul(31)) as u8,
+                )
+            })
+            .collect();
+        // (0, 0, 250): 114·250 = 28 500, +500 divisible by 1000 — a
+        // guaranteed exact-half tie.
+        src.push(Rgb::new(0, 0, 250));
+        let mut fast = vec![0u8; src.len()];
+        rgb_to_luma_row(&src, &mut fast);
+        for (f, s) in fast.iter().zip(&src) {
+            assert_eq!(*f, s.luma(), "diverged at {s}");
+        }
     }
 
     #[test]

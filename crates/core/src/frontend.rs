@@ -31,7 +31,7 @@ use euphrates_common::image::{
     downsample2_dims, downsample2_into, BayerFrame, LumaFrame, Resolution, RgbFrame,
 };
 use euphrates_datasets::Sequence;
-use euphrates_isp::motion::{BlockMatcher, MotionField, SearchStrategy};
+use euphrates_isp::motion::{BlockMatcher, CachedPlanes, MotionField, RowPrefix, SearchStrategy};
 use euphrates_isp::pipeline::{IspConfig, IspPipeline};
 use euphrates_nn::oracle::OracleTarget;
 use std::sync::{Arc, Condvar, Mutex};
@@ -68,6 +68,16 @@ pub struct MotionConfig {
     /// only by schemes that agree on the realization — and *is* shared
     /// by all of them.
     pub noise_model: Option<NoiseModelKind>,
+    /// Enables the matcher's SAD lower-bound prefilter
+    /// ([`BlockMatcher::with_prefilter`]) on the fast luma path, with
+    /// its [`RowPrefix`] tables double-buffered alongside the pyramid
+    /// (each frame's table is built exactly once and travels through
+    /// the swap). Motion fields are bit-identical either way; the
+    /// prefilter trades bound arithmetic for candidate evaluations, so
+    /// it pays when evaluation is expensive (custom engines, hardware
+    /// models) and stays off by default on the SWAR host kernel — see
+    /// the `euphrates-isp` module docs for the measured trade.
+    pub prefilter: bool,
 }
 
 impl Default for MotionConfig {
@@ -78,6 +88,7 @@ impl Default for MotionConfig {
             strategy: SearchStrategy::Hierarchical,
             full_isp: false,
             noise_model: None,
+            prefilter: false,
         }
     }
 }
@@ -208,6 +219,15 @@ enum SourceState {
         /// pair — so the pyramid travels with the frame through the
         /// swap.
         pyramid: Option<(LumaFrame, LumaFrame)>,
+        /// Double-buffered [`RowPrefix`] tables of the fine planes
+        /// (and, with a pyramid, the coarse planes), present only when
+        /// [`MotionConfig::prefilter`] is set — same lifecycle as the
+        /// pyramid: rebuilt for `cur` each frame, consumed as the
+        /// reference side next frame after the swap. Boxed — the
+        /// tables are prefilter-only, and the common prefilter-off
+        /// source shouldn't carry their footprint in the enum.
+        prefix: Option<Box<(RowPrefix, RowPrefix)>>,
+        coarse_prefix: Option<Box<(RowPrefix, RowPrefix)>>,
         have_prev: bool,
     },
     /// Full path: sensor capture + complete ISP per frame.
@@ -245,19 +265,29 @@ impl Iterator for FrameSource<'_> {
                     cur,
                     prev,
                     pyramid,
+                    prefix,
+                    coarse_prefix,
                     have_prev,
                 } => {
                     let truth = renderer.render_luma_into(index, cur);
                     if let Some((pcur, _)) = pyramid.as_mut() {
                         downsample2_into(cur, pcur);
                     }
+                    if let Some(p) = prefix.as_deref_mut() {
+                        p.0.rebuild(cur);
+                    }
+                    if let (Some(p), Some((pcur, _))) =
+                        (coarse_prefix.as_deref_mut(), pyramid.as_ref())
+                    {
+                        p.0.rebuild(pcur);
+                    }
                     let motion = if *have_prev {
-                        match pyramid.as_ref() {
-                            Some((pcur, pprev)) => {
-                                matcher.estimate_with_pyramid(cur, prev, pcur, pprev)?.0
-                            }
-                            None => matcher.estimate(cur, prev)?,
-                        }
+                        let planes = CachedPlanes {
+                            pyramid: pyramid.as_ref().map(|(pc, pp)| (pc, pp)),
+                            prefix_prev: prefix.as_deref().map(|(_, xp)| xp),
+                            coarse_prefix_prev: coarse_prefix.as_deref().map(|(_, xp)| xp),
+                        };
+                        matcher.estimate_cached(cur, prev, planes)?.0
                     } else {
                         MotionField::zeroed(
                             Resolution::new(cur.width(), cur.height()),
@@ -268,6 +298,14 @@ impl Iterator for FrameSource<'_> {
                     std::mem::swap(cur, prev);
                     if let Some((pcur, pprev)) = pyramid.as_mut() {
                         std::mem::swap(pcur, pprev);
+                    }
+                    if let Some(p) = prefix.as_deref_mut() {
+                        let (xcur, xprev) = p;
+                        std::mem::swap(xcur, xprev);
+                    }
+                    if let Some(p) = coarse_prefix.as_deref_mut() {
+                        let (xcur, xprev) = p;
+                        std::mem::swap(xcur, xprev);
                     }
                     *have_prev = true;
                     Ok(FrameData::new(truth, motion))
@@ -327,7 +365,8 @@ pub fn frame_source<'a>(seq: &'a Sequence, config: &MotionConfig) -> Result<Fram
             raw: BayerFrame::new(res.width, res.height)?,
         }
     } else {
-        let matcher = BlockMatcher::new(config.mb_size, config.search_range, config.strategy)?;
+        let matcher = BlockMatcher::new(config.mb_size, config.search_range, config.strategy)?
+            .with_prefilter(config.prefilter);
         let cur = LumaFrame::new(res.width, res.height)?;
         let pyramid = if matcher.wants_pyramid() {
             let (pw, ph) = downsample2_dims(&cur);
@@ -335,12 +374,21 @@ pub fn frame_source<'a>(seq: &'a Sequence, config: &MotionConfig) -> Result<Fram
         } else {
             None
         };
+        let prefix = config
+            .prefilter
+            .then(|| Box::new((RowPrefix::build(&cur), RowPrefix::build(&cur))));
+        let coarse_prefix = match (config.prefilter, pyramid.as_ref()) {
+            (true, Some((pc, _))) => Some(Box::new((RowPrefix::build(pc), RowPrefix::build(pc)))),
+            _ => None,
+        };
         SourceState::Luma {
             matcher,
             config: *config,
             prev: cur.clone(),
             cur,
             pyramid,
+            prefix,
+            coarse_prefix,
             have_prev: false,
         }
     };
@@ -597,6 +645,34 @@ mod tests {
             prev = Some(luma);
         }
         assert!(source.next().is_none());
+    }
+
+    #[test]
+    fn prefiltered_streaming_is_bit_identical() {
+        // Turning on the SAD lower-bound prefilter must not change a
+        // single motion vector — it only reorders which candidates get
+        // fully evaluated. Exercise both the hierarchical default
+        // (fine + coarse prefix tables double-buffered with the
+        // pyramid) and exhaustive search (fine table only).
+        let seq = tiny_seq();
+        for strategy in [SearchStrategy::Hierarchical, SearchStrategy::Exhaustive] {
+            let base_cfg = MotionConfig {
+                strategy,
+                ..MotionConfig::default()
+            };
+            let pre_cfg = MotionConfig {
+                prefilter: true,
+                ..base_cfg
+            };
+            assert_ne!(base_cfg, pre_cfg, "prefilter is part of config identity");
+            let base = frame_source(&seq, &base_cfg).unwrap();
+            let pre = frame_source(&seq, &pre_cfg).unwrap();
+            for (i, (a, b)) in base.zip(pre).enumerate() {
+                let (a, b) = (a.unwrap(), b.unwrap());
+                assert_eq!(a.motion, b.motion, "{strategy:?} frame {i}");
+                assert_eq!(a.truth, b.truth, "{strategy:?} frame {i}");
+            }
+        }
     }
 
     #[test]

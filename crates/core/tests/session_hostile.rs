@@ -148,6 +148,60 @@ proptest! {
         }
     }
 
+    /// Structure-aware hostile *sequences*: instead of one bad frame,
+    /// sample a whole client stream mixing healthy tracking frames
+    /// with every malformation class (degenerate geometry, vanishing
+    /// targets, resolution switches, empty truth) in random order, and
+    /// check the session's global invariants across the run:
+    ///
+    /// * no operation ever panics;
+    /// * `frames()` counts exactly the accepted pushes;
+    /// * poisoning is monotone — after the first `Err`, every later
+    ///   push fails and `is_poisoned()` stays set;
+    /// * `finish()` always works and reports the accepted count.
+    #[test]
+    fn hostile_sequences_preserve_session_invariants(
+        ops in proptest::collection::vec(0usize..6, 1..24),
+        jitter in -300.0f64..400.0,
+    ) {
+        let mut session = tracker_session(RES);
+        let mut accepted = 0u64;
+        let mut poisoned = false;
+        for (i, &op) in ops.iter().enumerate() {
+            let drift = 1.5 * i as f64;
+            let frame = match op {
+                // Healthy, slowly drifting target.
+                0 => frame_with(Rect::new(40.0 + drift, 30.0, 32.0, 24.0), 1.0, RES),
+                // Wild jump — legal geometry, hostile magnitude.
+                1 => frame_with(Rect::new(jitter, -jitter, 32.0, 24.0), 1.0, RES),
+                // Degenerate/inverted box.
+                2 => frame_with(Rect::new(40.0, 30.0, -10.0, 0.0), 1.0, RES),
+                // Target far out of view.
+                3 => frame_with(Rect::new(5000.0, 5000.0, 32.0, 24.0), 0.0, RES),
+                // Truthless frame.
+                4 => FrameData::new(vec![], zeroed_motion(RES)),
+                // Mid-stream resolution switch.
+                _ => frame_with(
+                    Rect::new(40.0, 30.0, 32.0, 24.0),
+                    1.0,
+                    Resolution::new(320, 240),
+                ),
+            };
+            let r = session.push_frame(&frame);
+            if poisoned {
+                prop_assert!(r.is_err(), "op {op} revived a poisoned session");
+            }
+            if r.is_ok() {
+                accepted += 1;
+            } else {
+                poisoned = true;
+            }
+            prop_assert_eq!(session.is_poisoned(), poisoned);
+            prop_assert_eq!(session.frames(), accepted);
+        }
+        prop_assert_eq!(session.finish().frames, accepted);
+    }
+
     /// Extreme motion configurations must prepare or refuse — not
     /// panic. (The 1-byte MV encoding bounds the search range; zero
     /// macroblocks are meaningless.)

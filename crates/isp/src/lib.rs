@@ -83,8 +83,8 @@ pub mod raw_motion;
 pub mod stages;
 
 pub use motion::{
-    register_search, BlockMatcher, MotionField, MotionSearch, MotionVector, SearchCtx, SearchStats,
-    SearchStrategy,
+    register_search, BlockMatcher, CachedPlanes, MotionField, MotionSearch, MotionVector,
+    RowPrefix, SearchCtx, SearchStats, SearchStrategy,
 };
 pub use pipeline::{IspOutput, IspPipeline};
 pub use predictive::PredictiveBlockMatcher;

@@ -36,7 +36,24 @@
 //! ubiquitous 16-px block width fully unrolled (two rows per early-exit
 //! check), and candidates abandoned once they provably exceed the
 //! incumbent best — abandoned, never mis-scored, so results are
-//! bit-identical to the naive kernel. The best-match tie-break is a
+//! bit-identical to the naive kernel. Ahead of the kernel an opt-in SAD
+//! *lower-bound prefilter* can be enabled (see
+//! [`BlockMatcher::with_prefilter`]): per-row sums of the reference
+//! frame are prefix-summed once per frame pair ([`RowPrefix`]), so each
+//! fully in-bounds candidate gets a triangle-inequality bound on its
+//! SAD from `bh` additions — candidates whose bound already exceeds the
+//! incumbent are rejected before a single pixel load, with fields and
+//! probe counts provably unchanged. On noisy VGA content the prefilter
+//! eliminates ~91 % of exhaustive-search candidate evaluations (4.8×
+//! fewer absolute-difference ops) and ~58 % of hierarchical ones
+//! (1.55× fewer ops) — the right default for a hardware ISP or any
+//! expensive [`MotionSearch`] evaluator, where pixel fetches are the
+//! cost. It is *off* by default on the host path because the SWAR
+//! early exit already floors a losing candidate at roughly the price
+//! of the bound walk itself, so host wall-clock is neutral while the
+//! bound adds work to every surviving candidate (measured, not
+//! hypothesized — see `ablation_motion_engine`).
+//! The best-match tie-break is a
 //! *total* order (SAD, then |v|², then `(vy, vx)`), which makes the
 //! winner independent of probe order and lets walks reorder probes for
 //! early-exit efficiency (the exhaustive walk probes center-out rings).
@@ -255,12 +272,24 @@ pub trait MotionSearch: fmt::Debug + Send + Sync {
 pub struct SearchStats {
     /// Macroblocks searched.
     pub blocks: u64,
-    /// SAD evaluations actually performed (memoized re-probes and
-    /// out-of-range candidates are not counted).
+    /// Candidate evaluations charged: every offset accepted by
+    /// [`SearchCtx::probe`] / [`SearchCtx::probe_coarse`] (memoized
+    /// re-probes and out-of-range candidates are not counted). The
+    /// count is *invariant* under the lower-bound prefilter — a probe
+    /// the prefilter resolves without touching pixels is charged
+    /// exactly like the full evaluation it replaced
+    /// ([`lb_skips`][SearchStats::lb_skips] says how many went that
+    /// way).
     pub probes: u64,
     /// Absolute-difference operations actually performed (early-exited
-    /// probes charge only the rows they evaluated).
+    /// probes charge only the rows they evaluated; prefilter-skipped
+    /// probes charge none).
     pub sad_ops: u64,
+    /// Probes resolved by the SAD lower-bound prefilter alone — the
+    /// row-sum bound already exceeded the incumbent, so no pixel data
+    /// was loaded. A subset of [`probes`][SearchStats::probes]; zero
+    /// when the prefilter is disabled.
+    pub lb_skips: u64,
 }
 
 impl SearchStats {
@@ -278,15 +307,104 @@ impl SearchStats {
         self.blocks += other.blocks;
         self.probes += other.probes;
         self.sad_ops += other.sad_ops;
+        self.lb_skips += other.lb_skips;
     }
 }
 
-/// Reusable per-worker scratch (visited-offset bitmaps), so per-block
-/// bookkeeping costs a `fill` instead of an allocation.
+// ---------------------------------------------------------------------------
+// Row-prefix tables (SAD lower-bound prefilter)
+// ---------------------------------------------------------------------------
+
+/// Per-row inclusive prefix sums of a luma plane: the sum of any row
+/// segment in O(1). One table per *reference* frame serves every
+/// macroblock and every candidate offset of a frame pair — the fuel for
+/// the SAD lower-bound prefilter (see [`SearchCtx::probe`]). Per row,
+/// `|Σ cur − Σ cand| = |Σ (cur − cand)| ≤ Σ |cur − cand|` (triangle
+/// inequality), so summing the per-row absolute sum differences bounds
+/// the block SAD from below; a candidate whose bound already exceeds
+/// the incumbent is rejected from `bh` additions instead of up to
+/// `bh·bw` pixel loads — and provably could not have won, so fields are
+/// bit-identical. Streaming callers build each frame's table once
+/// ([`rebuild`][RowPrefix::rebuild] into a reused buffer) and
+/// double-buffer it alongside the luma planes, exactly like the
+/// pyramid level (see [`BlockMatcher::estimate_cached`]).
+#[derive(Debug, Clone, Default)]
+pub struct RowPrefix {
+    /// Row stride: plane width + 1 (each row leads with a zero).
+    w1: usize,
+    h: usize,
+    data: Vec<u32>,
+}
+
+impl RowPrefix {
+    /// Builds the table for `frame`.
+    pub fn build(frame: &LumaFrame) -> Self {
+        let mut t = RowPrefix::default();
+        t.rebuild(frame);
+        t
+    }
+
+    /// Rebuilds the table in place for `frame`, reusing the allocation
+    /// (the steady-state entry point for streaming callers).
+    pub fn rebuild(&mut self, frame: &LumaFrame) {
+        let w = frame.width() as usize;
+        self.w1 = w + 1;
+        self.h = frame.height() as usize;
+        self.data.resize(self.w1 * self.h, 0);
+        for (out, row) in self
+            .data
+            .chunks_exact_mut(self.w1)
+            .zip(frame.samples().chunks_exact(w))
+        {
+            let mut run = 0u32;
+            out[0] = 0;
+            for (o, &px) in out[1..].iter_mut().zip(row) {
+                run += u32::from(px);
+                *o = run;
+            }
+        }
+    }
+
+    /// `true` if the table was built for a plane of `frame`'s shape.
+    pub fn matches(&self, frame: &LumaFrame) -> bool {
+        self.w1 == frame.width() as usize + 1 && self.h == frame.height() as usize
+    }
+
+    /// `true` if the candidate block at `(rx, ry)` provably cannot beat
+    /// `limit`: the running row-sum bound is compared against `limit`
+    /// after every row, so clear losers are rejected after a couple of
+    /// additions — the same early-exit shape as the SAD kernel itself.
+    /// The row walk is a strength-reduced stride over one up-front
+    /// subslice (no per-row multiply, one range check for the window).
+    #[inline]
+    fn rejects(&self, cur_rows: &[u32], rx: usize, ry: usize, bw: usize, limit: u32) -> bool {
+        let Some(last) = cur_rows.len().checked_sub(1) else {
+            return false;
+        };
+        let start = ry * self.w1 + rx;
+        let tab = &self.data[start..start + last * self.w1 + bw + 1];
+        let mut bound = 0u32;
+        let mut base = 0usize;
+        for &cr in cur_rows {
+            bound += cr.abs_diff(tab[base + bw] - tab[base]);
+            if bound > limit {
+                return true;
+            }
+            base += self.w1;
+        }
+        false
+    }
+}
+
+/// Reusable per-worker scratch (visited-offset bitmaps and the current
+/// block's row sums), so per-block bookkeeping costs a `fill` instead
+/// of an allocation.
 #[derive(Debug, Default)]
 struct Scratch {
     visited: Vec<bool>,
     coarse_visited: Vec<bool>,
+    cur_rows: Vec<u32>,
+    ccur_rows: Vec<u32>,
 }
 
 /// The metered view of one macroblock's search a [`MotionSearch`] engine
@@ -309,8 +427,17 @@ pub struct SearchCtx<'a> {
     best: MotionVector,
     probes: u64,
     sad_ops: u64,
+    lb_skips: u64,
     visited: &'a mut [bool],
     coarse_visited: &'a mut [bool],
+    /// Reference-frame row-prefix tables (fine, coarse) — present only
+    /// when the matcher's lower-bound prefilter is enabled.
+    prefix: Option<&'a RowPrefix>,
+    cprefix: Option<&'a RowPrefix>,
+    /// Row sums of the current block (fine, coarse), filled when the
+    /// matching prefix table is present.
+    cur_rows: &'a [u32],
+    ccur_rows: &'a [u32],
 }
 
 impl<'a> SearchCtx<'a> {
@@ -319,6 +446,8 @@ impl<'a> SearchCtx<'a> {
         cur: &'a LumaFrame,
         prev: &'a LumaFrame,
         coarse: Option<(&'a LumaFrame, &'a LumaFrame)>,
+        prefix: Option<&'a RowPrefix>,
+        cprefix: Option<&'a RowPrefix>,
         scratch: &'a mut Scratch,
         x0: u32,
         y0: u32,
@@ -348,6 +477,25 @@ impl<'a> SearchCtx<'a> {
             }
             None => (0, 0, 0, 0),
         };
+        // Block row sums for the prefilter bound, once per block — the
+        // cost of roughly one probe, amortized over the whole walk.
+        scratch.cur_rows.clear();
+        if prefix.is_some() {
+            for r in 0..bh {
+                let row = &cur.row(y0 + r)[x0 as usize..(x0 + bw) as usize];
+                scratch.cur_rows.push(row_total(row));
+            }
+        }
+        scratch.ccur_rows.clear();
+        if cprefix.is_some() {
+            if let Some((ccur, _)) = coarse {
+                let (cx0, cy0, cbw, cbh) = cgeom;
+                for r in 0..cbh {
+                    let row = &ccur.row(cy0 + r)[cx0 as usize..(cx0 + cbw) as usize];
+                    scratch.ccur_rows.push(row_total(row));
+                }
+            }
+        }
         let mut ctx = SearchCtx {
             cur,
             prev,
@@ -365,8 +513,13 @@ impl<'a> SearchCtx<'a> {
             },
             probes: 0,
             sad_ops: 0,
+            lb_skips: 0,
             visited: &mut scratch.visited,
             coarse_visited: &mut scratch.coarse_visited,
+            prefix,
+            cprefix,
+            cur_rows: &scratch.cur_rows,
+            ccur_rows: &scratch.ccur_rows,
         };
         // Seed: the zero offset is always evaluated first, so no strategy
         // can return a match worse than the zero vector.
@@ -412,6 +565,16 @@ impl<'a> SearchCtx<'a> {
     /// into [`SearchCtx::best`]. Returns `false` without evaluating
     /// anything for out-of-range or already-probed offsets, so adaptive
     /// walks may revisit freely at zero cost.
+    ///
+    /// When the matcher's lower-bound prefilter is enabled, a fully
+    /// in-bounds candidate whose row-sum bound (see [`RowPrefix`])
+    /// *strictly* exceeds the incumbent SAD is rejected without loading
+    /// a pixel: its true SAD is at least the bound, so it could not
+    /// have displaced the best under the `(SAD, |v|², (vy, vx))` total
+    /// order. Exact-bound ties are always fully evaluated, keeping the
+    /// shorter-vector tie-break bit-identical to the unfiltered walk;
+    /// the rejection is metered as a probe, so probe counts are
+    /// invariant too.
     pub fn probe(&mut self, vx: i32, vy: i32) -> bool {
         if vx.abs() > self.d || vy.abs() > self.d {
             return false;
@@ -422,6 +585,27 @@ impl<'a> SearchCtx<'a> {
         }
         self.visited[idx] = true;
         let limit = self.best.sad;
+        if let Some(pf) = self.prefix {
+            let rx = i64::from(self.x0) - i64::from(vx);
+            let ry = i64::from(self.y0) - i64::from(vy);
+            let in_bounds = rx >= 0
+                && ry >= 0
+                && rx + i64::from(self.bw) <= i64::from(self.prev.width())
+                && ry + i64::from(self.bh) <= i64::from(self.prev.height());
+            if in_bounds
+                && pf.rejects(
+                    self.cur_rows,
+                    rx as usize,
+                    ry as usize,
+                    self.bw as usize,
+                    limit,
+                )
+            {
+                self.probes += 1;
+                self.lb_skips += 1;
+                return true;
+            }
+        }
         let (sad, rows) = sad_block(
             self.cur, self.prev, self.x0, self.y0, self.bw, self.bh, vx, vy, limit,
         );
@@ -459,6 +643,34 @@ impl<'a> SearchCtx<'a> {
         }
         self.coarse_visited[idx] = true;
         let (cx0, cy0, cbw, cbh) = self.cgeom;
+        if let Some(pf) = self.cprefix {
+            let rx = i64::from(cx0) - i64::from(vx);
+            let ry = i64::from(cy0) - i64::from(vy);
+            let in_bounds = rx >= 0
+                && ry >= 0
+                && rx + i64::from(cbw) <= i64::from(cprev.width())
+                && ry + i64::from(cbh) <= i64::from(cprev.height());
+            if in_bounds
+                && pf.rejects(
+                    self.ccur_rows,
+                    rx as usize,
+                    ry as usize,
+                    cbw as usize,
+                    limit,
+                )
+            {
+                // Contract-compatible rejection: the (partial) bound
+                // is a lower bound on the true SAD and strictly
+                // exceeds `limit`, which is exactly the "partial SAD"
+                // shape an early-exited evaluation would return — the
+                // engine's incumbent test rejects it the same way, so
+                // coarse walks are bit-identical. `limit + 1` is the
+                // smallest value with that property.
+                self.probes += 1;
+                self.lb_skips += 1;
+                return Some(limit.saturating_add(1));
+            }
+        }
         let (sad, rows) = sad_block(ccur, cprev, cx0, cy0, cbw, cbh, vx, vy, limit);
         self.probes += 1;
         self.sad_ops += u64::from(rows) * u64::from(cbw);
@@ -904,17 +1116,39 @@ fn validate_params(mb_size: u32, search_range: u32) -> Result<()> {
 // BlockMatcher
 // ---------------------------------------------------------------------------
 
+/// Caller-cached derived planes for [`BlockMatcher::estimate_cached`].
+///
+/// Streaming callers build each frame's derived planes exactly once and
+/// double-buffer them alongside the luma planes; anything left `None`
+/// that the configuration needs is built internally per call (results
+/// are bit-identical either way — the search sees the same data).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CachedPlanes<'a> {
+    /// 2×-downsampled planes of the current / previous frame
+    /// ([`downsample2`] of each), consumed by pyramid strategies.
+    pub pyramid: Option<(&'a LumaFrame, &'a LumaFrame)>,
+    /// Row-prefix table of the *previous* (reference) frame, consumed
+    /// by the lower-bound prefilter.
+    pub prefix_prev: Option<&'a RowPrefix>,
+    /// Row-prefix table of the coarse previous plane (requires
+    /// `pyramid`).
+    pub coarse_prefix_prev: Option<&'a RowPrefix>,
+}
+
 /// Block-matching motion estimator driving a pluggable [`MotionSearch`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockMatcher {
     mb_size: u32,
     search_range: u32,
     strategy: SearchStrategy,
+    prefilter: bool,
 }
 
 impl BlockMatcher {
     /// Creates a matcher with macroblock size `mb_size` (typically 16),
-    /// search range `d` (typically 7), and the given strategy.
+    /// search range `d` (typically 7), and the given strategy. The SAD
+    /// lower-bound prefilter starts disabled (it never changes results
+    /// — see [`BlockMatcher::with_prefilter`] for when to turn it on).
     ///
     /// # Errors
     ///
@@ -928,7 +1162,36 @@ impl BlockMatcher {
             mb_size,
             search_range,
             strategy,
+            prefilter: false,
         })
+    }
+
+    /// Enables or disables the SAD lower-bound prefilter (default:
+    /// disabled). The prefilter rejects candidates whose per-row
+    /// bound (see [`RowPrefix`]) already exceeds the incumbent SAD
+    /// before any pixel is loaded; motion fields and measured probe
+    /// counts are bit-identical either way (pinned by the property
+    /// suite in `tests/search_properties.rs`), only
+    /// [`SearchStats::sad_ops`] / [`SearchStats::lb_skips`] change.
+    ///
+    /// Enable it when candidate evaluation is expensive — a custom
+    /// [`MotionSearch`] with a scalar or non-early-exit kernel, or when
+    /// modelling the hardware ISP, where every absolute-difference op
+    /// is a pixel fetch and the op-count cut is the point (4.8× on
+    /// noisy VGA exhaustive search, 1.55× hierarchical; see the module
+    /// docs and `ablation_motion_engine`). On the host's SWAR kernel
+    /// the early exit already floors losing candidates at roughly the
+    /// bound's own cost, so wall-clock stays neutral and the default
+    /// is off.
+    #[must_use]
+    pub fn with_prefilter(mut self, enabled: bool) -> Self {
+        self.prefilter = enabled;
+        self
+    }
+
+    /// `true` if the SAD lower-bound prefilter is enabled.
+    pub fn prefilter(&self) -> bool {
+        self.prefilter
     }
 
     /// Macroblock size.
@@ -980,7 +1243,7 @@ impl BlockMatcher {
         cur: &LumaFrame,
         prev: &LumaFrame,
     ) -> Result<(MotionField, SearchStats)> {
-        self.estimate_inner(cur, prev, None, 1)
+        self.estimate_inner(cur, prev, CachedPlanes::default(), 1)
     }
 
     /// `true` if this matcher's strategy consumes the 2×-downsampled
@@ -1021,17 +1284,80 @@ impl BlockMatcher {
         coarse_cur: &LumaFrame,
         coarse_prev: &LumaFrame,
     ) -> Result<(MotionField, SearchStats)> {
-        let (cw, ch) = downsample2_dims(cur);
-        for (name, plane) in [("coarse_cur", coarse_cur), ("coarse_prev", coarse_prev)] {
-            if plane.width() != cw || plane.height() != ch {
-                return Err(Error::shape(format!(
-                    "{name} is {}x{}, expected pyramid level {cw}x{ch}",
-                    plane.width(),
-                    plane.height()
-                )));
+        self.estimate_cached(
+            cur,
+            prev,
+            CachedPlanes {
+                pyramid: Some((coarse_cur, coarse_prev)),
+                ..CachedPlanes::default()
+            },
+        )
+    }
+
+    /// [`estimate_with_stats`][BlockMatcher::estimate_with_stats] with
+    /// any subset of caller-cached derived planes — the generalization
+    /// of [`estimate_with_pyramid`][BlockMatcher::estimate_with_pyramid]
+    /// that also accepts the prefilter's [`RowPrefix`] tables. A
+    /// streaming frontend builds each frame's derived planes exactly
+    /// once (coarse plane via
+    /// [`downsample2_into`][euphrates_common::image::downsample2_into],
+    /// prefix tables via [`RowPrefix::rebuild`]) and double-buffers
+    /// them alongside the fine planes, where a bare
+    /// [`estimate`][BlockMatcher::estimate] call would rebuild
+    /// everything per frame pair. Results are bit-identical to
+    /// [`estimate`][BlockMatcher::estimate] by construction. Planes the
+    /// configuration does not need (no pyramid strategy, prefilter
+    /// disabled) are ignored; needed planes left `None` are built
+    /// internally for this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the frames differ in size,
+    /// if a coarse plane does not have the pyramid dimensions of its
+    /// fine plane, if `prefix_prev` was not built for `prev`'s shape,
+    /// or if `coarse_prefix_prev` is supplied without its pyramid or
+    /// does not match the coarse plane's shape.
+    pub fn estimate_cached(
+        &self,
+        cur: &LumaFrame,
+        prev: &LumaFrame,
+        planes: CachedPlanes<'_>,
+    ) -> Result<(MotionField, SearchStats)> {
+        if let Some((coarse_cur, coarse_prev)) = planes.pyramid {
+            let (cw, ch) = downsample2_dims(cur);
+            for (name, plane) in [("coarse_cur", coarse_cur), ("coarse_prev", coarse_prev)] {
+                if plane.width() != cw || plane.height() != ch {
+                    return Err(Error::shape(format!(
+                        "{name} is {}x{}, expected pyramid level {cw}x{ch}",
+                        plane.width(),
+                        plane.height()
+                    )));
+                }
             }
         }
-        self.estimate_inner(cur, prev, Some((coarse_cur, coarse_prev)), 1)
+        if let Some(pf) = planes.prefix_prev {
+            if !pf.matches(prev) {
+                return Err(Error::shape(
+                    "prefix_prev was not built for the previous frame's shape",
+                ));
+            }
+        }
+        if let Some(cpf) = planes.coarse_prefix_prev {
+            match planes.pyramid {
+                Some((_, coarse_prev)) if cpf.matches(coarse_prev) => {}
+                Some(_) => {
+                    return Err(Error::shape(
+                        "coarse_prefix_prev was not built for the coarse plane's shape",
+                    ));
+                }
+                None => {
+                    return Err(Error::shape(
+                        "coarse_prefix_prev supplied without its pyramid planes",
+                    ));
+                }
+            }
+        }
+        self.estimate_inner(cur, prev, planes, 1)
     }
 
     /// Estimates the motion field with macroblock rows spread over up to
@@ -1048,14 +1374,14 @@ impl BlockMatcher {
         prev: &LumaFrame,
         threads: usize,
     ) -> Result<(MotionField, SearchStats)> {
-        self.estimate_inner(cur, prev, None, threads)
+        self.estimate_inner(cur, prev, CachedPlanes::default(), threads)
     }
 
     fn estimate_inner(
         &self,
         cur: &LumaFrame,
         prev: &LumaFrame,
-        ext_pyramid: Option<(&LumaFrame, &LumaFrame)>,
+        ext: CachedPlanes<'_>,
         threads: usize,
     ) -> Result<(MotionField, SearchStats)> {
         if !cur.same_shape(prev) {
@@ -1071,16 +1397,37 @@ impl BlockMatcher {
         let res = Resolution::new(cur.width(), cur.height());
         let mut field = MotionField::zeroed(res, self.mb_size, self.search_range)?;
         let (blocks_x, blocks_y) = (field.blocks_x, field.blocks_y);
-        // The pyramid level is shared by every block of the frame pair:
-        // prefer the caller's cached planes; build once per call only
-        // when the engine asks for a pyramid nobody supplied.
-        let owned_pyramid = if search.wants_pyramid() && ext_pyramid.is_none() {
+        // Derived planes are shared by every block of the frame pair:
+        // prefer the caller's cached ones; build once per call only
+        // what the configuration needs and nobody supplied.
+        let owned_pyramid = if search.wants_pyramid() && ext.pyramid.is_none() {
             Some((downsample2(cur), downsample2(prev)))
         } else {
             None
         };
         let coarse = if search.wants_pyramid() {
-            ext_pyramid.or_else(|| owned_pyramid.as_ref().map(|(a, b)| (a, b)))
+            ext.pyramid
+                .or_else(|| owned_pyramid.as_ref().map(|(a, b)| (a, b)))
+        } else {
+            None
+        };
+        let owned_prefix = if self.prefilter && ext.prefix_prev.is_none() {
+            Some(RowPrefix::build(prev))
+        } else {
+            None
+        };
+        let prefix = if self.prefilter {
+            ext.prefix_prev.or(owned_prefix.as_ref())
+        } else {
+            None
+        };
+        let owned_cprefix = if self.prefilter && ext.coarse_prefix_prev.is_none() {
+            coarse.map(|(_, cprev)| RowPrefix::build(cprev))
+        } else {
+            None
+        };
+        let cprefix = if self.prefilter && coarse.is_some() {
+            ext.coarse_prefix_prev.or(owned_cprefix.as_ref())
         } else {
             None
         };
@@ -1099,13 +1446,25 @@ impl BlockMatcher {
                     let y0 = by * mb;
                     let bw = (cur.width() - x0).min(mb);
                     let bh = (cur.height() - y0).min(mb);
-                    let mut ctx =
-                        SearchCtx::new(cur, prev, coarse, &mut scratch, x0, y0, bw, bh, d);
+                    let mut ctx = SearchCtx::new(
+                        cur,
+                        prev,
+                        coarse,
+                        prefix,
+                        cprefix,
+                        &mut scratch,
+                        x0,
+                        y0,
+                        bw,
+                        bh,
+                        d,
+                    );
                     search.search(&mut ctx);
                     mvs.push(ctx.best());
                     stats.blocks += 1;
                     stats.probes += ctx.probes;
                     stats.sad_ops += ctx.sad_ops;
+                    stats.lb_skips += ctx.lb_skips;
                 }
                 (mvs, stats)
             });
@@ -1160,6 +1519,23 @@ fn row_sad16(a: &[u8; 16], b: &[u8; 16]) -> u32 {
 #[inline]
 fn row16(p: &[u8]) -> &[u8; 16] {
     p.try_into().expect("16-byte row")
+}
+
+/// Total of one block row — `Σ px = SAD(row, 0)`, so the 8-wide lanes
+/// lower to the same hardware SAD instruction as the match kernel.
+/// Feeds the current-block side of the lower-bound prefilter.
+#[inline]
+fn row_total(p: &[u8]) -> u32 {
+    const ZERO: [u8; 8] = [0; 8];
+    let mut sum = 0u32;
+    let mut c = p.chunks_exact(8);
+    for lane8 in c.by_ref() {
+        sum += lane_sad(lane(lane8), &ZERO);
+    }
+    for &x in c.remainder() {
+        sum += u32::from(x);
+    }
+    sum
 }
 
 /// Sum of absolute differences of two equal-length rows: 8-pixel lanes

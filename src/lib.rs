@@ -62,11 +62,13 @@
 //! Frame production is a scanline pipeline: the fast path renders
 //! straight to luma through fixed, reused buffers (O(1) allocations
 //! per frame). Sensor noise is a pluggable model — the default
-//! counter-based `FastGaussian` renders the dataset-default σ=2 VGA
-//! noise in ~2.2 ms/frame under a *statistical* contract
-//! (moments/tails/independence), roughly 15× the golden-locked
-//! `LegacyBoxMuller` stream, whose contract stays *bitwise*; pick per
-//! scene via `SceneEffects::noise_model` or per run via
+//! counter-based `FastGaussian` draws its samples through a windowed
+//! lane-parallel hash batch and renders the dataset-default σ=2 VGA
+//! fused-luma workload in ~1.25 ms/frame single-core (the noise stage
+//! itself ~1 ms; ~26× the golden-locked `LegacyBoxMuller` stream)
+//! under a *statistical* contract (moments/tails/independence), while
+//! the legacy stream's contract stays *bitwise*; pick per scene via
+//! `SceneEffects::noise_model` or per run via
 //! `MotionConfig::noise_model` (see the "Performance notes" in
 //! [`camera`] for the renderer's guarantees and `BENCH_render.json`
 //! for the recorded per-frame timings).
@@ -79,11 +81,17 @@
 //! success rate of exhaustive at ~27 probes/block, asserted by the
 //! Fig. 11b sweep), the SAD kernel is a SWAR micro-kernel the
 //! compiler lowers to hardware SAD instructions, and the streaming
-//! front-end caches each frame's pyramid level alongside the frame —
-//! post-PR-5 floors on the 1-core container: streaming preparation
-//! ~3.0 ms/frame, the 12-frame tracking evaluate ~40 ms (both in
-//! `BENCH_render.json`, schema 3; full-suite OTB-scale sweeps are
-//! recorded in `BENCH_scaleout.json`):
+//! front-end caches each frame's pyramid level alongside the frame.
+//! An opt-in SAD lower-bound prefilter (`MotionConfig::prefilter` /
+//! `BlockMatcher::with_prefilter`) eliminates most candidates before
+//! any pixel loads with bit-identical fields — its value is the
+//! operation-count cut (~4.8× fewer SAD ops for exhaustive search on
+//! noisy frames, ~1.55× hierarchical), the quantity that models a
+//! hardware ISP. Current floors on the 1-core container: streaming
+//! preparation ~2.6 ms/frame, the 12-frame tracking evaluate ~31 ms,
+//! cold renderer construction ~6.7 ms (re-opening a known background
+//! is a ~0.04 ms memo hit) — all in `BENCH_render.json`, schema 5;
+//! full-suite OTB-scale sweeps are recorded in `BENCH_scaleout.json`:
 //!
 //! ```no_run
 //! use euphrates::core::prelude::*;
