@@ -8,15 +8,22 @@
 //! backend) through `SessionServer`, and we record sessions/sec,
 //! frames/sec, and the submit→completion latency distribution
 //! (p50/p95/p99 from the merged per-worker histograms) at **1 worker**
-//! and **4 workers**, writing `BENCH_serve.json` (schema 1).
+//! and **4 workers**, each **with and without cross-session NN
+//! batching**, writing `BENCH_serve.json` (schema 2).
+//!
+//! Schema 2 adds the PR-8 quantities: the batched-vs-solo systolic
+//! amortization ratio (charged cycles over `jobs ×` the per-inference
+//! plan — an op-count ratio, asserted `< 1`, wall-clock-free), the
+//! realized batch-size p50/p99, and the parked/woken/spin-retry ingress
+//! counters (producers now sleep on a capacity gate instead of
+//! spin-yielding; `spin_retries == 0` is asserted every run).
 //!
 //! Frames are prepared once up front (a handful of unique mini scenes
 //! shared across sessions; oracle streams still differ per session id),
-//! so the numbers isolate the serving path — sharding, the bounded
-//! lanes, and the per-frame I/E schedule — from client-side rendering.
-//! A single producer thread submits round-robin across sessions with
-//! spin-yield retry on `Submit::Busy`; the busy-retry count is recorded
-//! so backpressure is visible in the trajectory.
+//! so the numbers isolate the serving path — sharding, the gated lanes,
+//! the batch collector, and the per-frame I/E schedule — from
+//! client-side rendering. A single producer thread submits round-robin
+//! across sessions with `submit_blocking` (parked backpressure).
 //!
 //! Usage:
 //!
@@ -33,14 +40,16 @@ use euphrates_common::image::Resolution;
 use euphrates_core::prelude::*;
 use euphrates_core::prepare_sequence;
 use euphrates_nn::oracle::calib;
-use euphrates_serve::{ServeConfig, SessionServer, Submit};
+use euphrates_serve::{NnBatchConfig, ServeConfig, SessionServer};
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const RES: Resolution = Resolution::new(160, 120);
 const SCHEME: &str = "EW-4";
 const UNIQUE_SCENES: u64 = 8;
+const MAX_BATCH: usize = 16;
+const MAX_WAIT: Duration = Duration::from_micros(200);
 
 struct Config {
     quick: bool,
@@ -84,29 +93,51 @@ fn mini_sequence(i: u64, frames: u32) -> Sequence {
 struct RunStats {
     wall_ns: u64,
     served: u64,
-    busy_retries: u64,
     p50_ns: u64,
     p95_ns: u64,
     p99_ns: u64,
     mean_ns: u64,
+    parked: u64,
+    woken: u64,
+    spin_retries: u64,
+    /// `None` on unbatched runs.
+    nn: Option<NnStats>,
+}
+
+struct NnStats {
+    jobs: u64,
+    batches: u64,
+    amortization: f64,
+    batch_p50: u64,
+    batch_p99: u64,
+    mean_batch: f64,
 }
 
 /// Streams `sessions` concurrent sessions (interleaved round-robin, one
 /// frame per session per round) through a fresh server and reports the
 /// merged drain statistics.
-fn run_serve(workers: usize, sessions: u64, frames: &[Vec<Arc<FrameData>>]) -> RunStats {
+fn run_serve(
+    workers: usize,
+    sessions: u64,
+    frames: &[Vec<Arc<FrameData>>],
+    batching: bool,
+) -> RunStats {
+    let mut config = ServeConfig::sized(workers, 64);
+    if batching {
+        config = config.with_nn_batching(NnBatchConfig {
+            network: euphrates_nn::zoo::mdnet(),
+            max_batch: MAX_BATCH,
+            max_wait: MAX_WAIT,
+        });
+    }
     let server = SessionServer::new(
         TrackerTask::new(calib::mdnet()),
         vec![SchemeSpec::new(SCHEME, BackendConfig::new(EwPolicy::Constant(4))).expect("valid id")],
-        ServeConfig {
-            workers,
-            queue_depth: 64,
-        },
+        config,
     )
     .expect("valid server config");
 
     let frames_per_session = frames[0].len();
-    let mut busy_retries = 0u64;
     let t0 = Instant::now();
     for id in 0..sessions {
         server.open(id, SCHEME, RES).expect("open succeeds");
@@ -116,17 +147,8 @@ fn run_serve(workers: usize, sessions: u64, frames: &[Vec<Arc<FrameData>>]) -> R
     #[allow(clippy::needless_range_loop)]
     for j in 0..frames_per_session {
         for id in 0..sessions {
-            let mut frame = Arc::clone(&frames[(id % UNIQUE_SCENES) as usize][j]);
-            loop {
-                match server.submit(id, frame) {
-                    Submit::Enqueued => break,
-                    Submit::Busy(back) => {
-                        busy_retries += 1;
-                        frame = back;
-                        std::thread::yield_now();
-                    }
-                }
-            }
+            let frame = Arc::clone(&frames[(id % UNIQUE_SCENES) as usize][j]);
+            server.submit_blocking(id, frame).expect("worker alive");
         }
     }
     for id in 0..sessions {
@@ -139,15 +161,41 @@ fn run_serve(workers: usize, sessions: u64, frames: &[Vec<Arc<FrameData>>]) -> R
     assert_eq!(report.failed_sessions(), 0, "no session died");
     assert_eq!(report.dropped, 0, "no frame dropped");
     assert_eq!(report.served, sessions * frames_per_session as u64);
+    // The tentpole's ingress criterion, checked on every recorded run:
+    // blocked producers park; the spin fallback never executes.
+    assert_eq!(report.ingress.spin_retries, 0, "spin path executed");
+
+    let nn = report.nn.as_ref().map(|nn| {
+        // Op-count criterion (1-core container: wall-clock is reported,
+        // never asserted): the fused batches cost strictly fewer array
+        // cycles than the same jobs priced solo.
+        assert!(
+            nn.batched_cycles < nn.solo_cycles,
+            "batched {} !< solo {}",
+            nn.batched_cycles,
+            nn.solo_cycles
+        );
+        NnStats {
+            jobs: nn.jobs,
+            batches: nn.batches,
+            amortization: nn.amortization(),
+            batch_p50: nn.batch_sizes.quantile(0.50),
+            batch_p99: nn.batch_sizes.quantile(0.99),
+            mean_batch: nn.mean_batch(),
+        }
+    });
 
     RunStats {
         wall_ns,
         served: report.served,
-        busy_retries,
         p50_ns: report.latency.quantile(0.50),
         p95_ns: report.latency.quantile(0.95),
         p99_ns: report.latency.quantile(0.99),
         mean_ns: report.latency.mean() as u64,
+        parked: report.ingress.parked,
+        woken: report.ingress.woken,
+        spin_retries: report.ingress.spin_retries,
+        nn,
     }
 }
 
@@ -171,53 +219,68 @@ fn main() {
         })
         .collect();
 
-    let mut metrics: Vec<(String, String)> = Vec::new();
-    metrics.push(("sessions".into(), sessions.to_string()));
-    metrics.push(("frames_per_session".into(), frames_per_session.to_string()));
-    metrics.push(("queue_depth".into(), "64".into()));
+    let mut metrics: Vec<(String, String)> = vec![
+        ("sessions".into(), sessions.to_string()),
+        ("frames_per_session".into(), frames_per_session.to_string()),
+        ("queue_depth".into(), "64".into()),
+        ("max_batch".into(), MAX_BATCH.to_string()),
+        ("max_wait_us".into(), MAX_WAIT.as_micros().to_string()),
+    ];
 
     for workers in [1usize, 4] {
-        let stats = run_serve(workers, sessions, &frames);
-        let wall_s = stats.wall_ns as f64 / 1e9;
-        let sessions_per_sec = sessions as f64 / wall_s;
-        let frames_per_sec = stats.served as f64 / wall_s;
-        println!(
-            "w{workers}: {:.1} sessions/s, {:.0} frames/s, p50 {:.3} ms, p99 {:.3} ms, {} busy retries",
-            sessions_per_sec,
-            frames_per_sec,
-            stats.p50_ns as f64 / 1e6,
-            stats.p99_ns as f64 / 1e6,
-            stats.busy_retries
-        );
-        metrics.push((format!("w{workers}_wall_ns"), stats.wall_ns.to_string()));
-        metrics.push((
-            format!("w{workers}_sessions_per_sec"),
-            format!("{sessions_per_sec:.2}"),
-        ));
-        metrics.push((
-            format!("w{workers}_frames_per_sec"),
-            format!("{frames_per_sec:.1}"),
-        ));
-        metrics.push((
-            format!("w{workers}_latency_p50_ns"),
-            stats.p50_ns.to_string(),
-        ));
-        metrics.push((
-            format!("w{workers}_latency_p95_ns"),
-            stats.p95_ns.to_string(),
-        ));
-        metrics.push((
-            format!("w{workers}_latency_p99_ns"),
-            stats.p99_ns.to_string(),
-        ));
-        metrics.push((
-            format!("w{workers}_latency_mean_ns"),
-            stats.mean_ns.to_string(),
-        ));
-        metrics.push((
-            format!("w{workers}_busy_retries"),
-            stats.busy_retries.to_string(),
-        ));
+        for batching in [false, true] {
+            let stats = run_serve(workers, sessions, &frames, batching);
+            let tag = if batching { "batched" } else { "unbatched" };
+            let key = format!("w{workers}_{tag}");
+            let wall_s = stats.wall_ns as f64 / 1e9;
+            let sessions_per_sec = sessions as f64 / wall_s;
+            let frames_per_sec = stats.served as f64 / wall_s;
+            print!(
+                "{key}: {sessions_per_sec:.1} sessions/s, {frames_per_sec:.0} frames/s, \
+                 p50 {:.3} ms, p99 {:.3} ms, {} parked / {} woken",
+                stats.p50_ns as f64 / 1e6,
+                stats.p99_ns as f64 / 1e6,
+                stats.parked,
+                stats.woken,
+            );
+            if let Some(nn) = &stats.nn {
+                print!(
+                    ", amortization {:.3} over {} batches (mean {:.1})",
+                    nn.amortization, nn.batches, nn.mean_batch
+                );
+            }
+            println!();
+            metrics.push((format!("{key}_wall_ns"), stats.wall_ns.to_string()));
+            metrics.push((
+                format!("{key}_sessions_per_sec"),
+                format!("{sessions_per_sec:.2}"),
+            ));
+            metrics.push((
+                format!("{key}_frames_per_sec"),
+                format!("{frames_per_sec:.1}"),
+            ));
+            metrics.push((format!("{key}_latency_p50_ns"), stats.p50_ns.to_string()));
+            metrics.push((format!("{key}_latency_p95_ns"), stats.p95_ns.to_string()));
+            metrics.push((format!("{key}_latency_p99_ns"), stats.p99_ns.to_string()));
+            metrics.push((format!("{key}_latency_mean_ns"), stats.mean_ns.to_string()));
+            metrics.push((format!("{key}_parked"), stats.parked.to_string()));
+            metrics.push((format!("{key}_woken"), stats.woken.to_string()));
+            metrics.push((
+                format!("{key}_spin_retries"),
+                stats.spin_retries.to_string(),
+            ));
+            if let Some(nn) = &stats.nn {
+                metrics.push((format!("{key}_nn_jobs"), nn.jobs.to_string()));
+                metrics.push((format!("{key}_nn_batches"), nn.batches.to_string()));
+                metrics.push((
+                    format!("{key}_amortization"),
+                    format!("{:.4}", nn.amortization),
+                ));
+                metrics.push((format!("{key}_batch_p50"), nn.batch_p50.to_string()));
+                metrics.push((format!("{key}_batch_p99"), nn.batch_p99.to_string()));
+                metrics.push((format!("{key}_batch_mean"), format!("{:.2}", nn.mean_batch)));
+            }
+        }
     }
 
     // Render the JSON by hand (no serde in the tree).
@@ -226,7 +289,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"schema\": 2,");
     let _ = writeln!(json, "  \"bench\": \"serve_sessions\",");
     let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(

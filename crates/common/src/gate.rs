@@ -1,0 +1,299 @@
+//! [`CapacityGate`]: a condvar-based counting gate that puts blocked
+//! producers to sleep instead of letting them spin.
+//!
+//! The serving layer bounds each worker's ingress lane. The first
+//! design handled a full lane by handing the frame back
+//! (`Submit::Busy`) and letting the producer retry with
+//! `thread::yield_now()` — a spin-yield loop that burns a core per
+//! blocked producer and wakes at the scheduler's mercy rather than when
+//! capacity actually frees. This gate is the event-driven replacement:
+//!
+//! * a producer [`acquire`][CapacityGate::acquire]s one unit of
+//!   capacity, **parking on a condvar** when none is free;
+//! * the consumer [`release`][CapacityGate::release]s a unit as it
+//!   dequeues, waking exactly one parked producer;
+//! * [`try_acquire`][CapacityGate::try_acquire] keeps the non-blocking
+//!   admission-control path (reject-with-the-frame) intact, and
+//!   [`acquire_timeout`][CapacityGate::acquire_timeout] bounds how long
+//!   a producer is willing to sleep.
+//!
+//! The gate deliberately lives *next to* the transport (an `mpsc`
+//! channel in the server) rather than replacing it: permits mirror the
+//! channel's bound, so a holder of a permit can always complete its
+//! send without blocking — see the invariant note on
+//! [`CapacityGate::release`].
+//!
+//! Parking behavior is observable: [`stats`][CapacityGate::stats]
+//! reports how many times producers actually slept ([`GateStats::parked`])
+//! and how many wake-ups releases delivered ([`GateStats::woken`]) —
+//! the counters the serving tests assert on to pin "no producer ever
+//! busy-waits".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Counters describing how a [`CapacityGate`] was used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Times a producer found the gate closed and went to sleep.
+    pub parked: u64,
+    /// Wake-ups delivered to sleeping producers by releases.
+    pub woken: u64,
+    /// Acquisitions that succeeded without sleeping.
+    pub immediate: u64,
+}
+
+impl GateStats {
+    /// Accumulates another gate's counters (for merging per-lane gates
+    /// into one report).
+    pub fn merge(&mut self, other: &GateStats) {
+        self.parked += other.parked;
+        self.woken += other.woken;
+        self.immediate += other.immediate;
+    }
+}
+
+/// A counting capacity gate: `capacity` permits, blocking producers
+/// sleep on a condvar and are woken as the consumer drains.
+#[derive(Debug)]
+pub struct CapacityGate {
+    capacity: usize,
+    permits: Mutex<usize>,
+    available: Condvar,
+    parked: AtomicU64,
+    woken: AtomicU64,
+    immediate: AtomicU64,
+}
+
+impl CapacityGate {
+    /// A gate with `capacity` permits (all initially free).
+    pub fn new(capacity: usize) -> Self {
+        CapacityGate {
+            capacity,
+            permits: Mutex::new(capacity),
+            available: Condvar::new(),
+            parked: AtomicU64::new(0),
+            woken: AtomicU64::new(0),
+            immediate: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured permit count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Permits currently free (a snapshot; racy by nature).
+    pub fn available(&self) -> usize {
+        *self.permits.lock().expect("gate mutex poisoned")
+    }
+
+    /// Takes one permit without blocking; `false` if none is free.
+    pub fn try_acquire(&self) -> bool {
+        let mut permits = self.permits.lock().expect("gate mutex poisoned");
+        if *permits == 0 {
+            return false;
+        }
+        *permits -= 1;
+        self.immediate.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Takes one permit, sleeping until one frees. The sleep is a
+    /// condvar wait: the producer consumes no CPU until a
+    /// [`release`][CapacityGate::release] (or a spurious wake-up, which
+    /// re-checks and sleeps again — never a yield-loop).
+    pub fn acquire(&self) {
+        let mut permits = self.permits.lock().expect("gate mutex poisoned");
+        if *permits > 0 {
+            *permits -= 1;
+            self.immediate.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.parked.fetch_add(1, Ordering::Relaxed);
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("gate mutex poisoned");
+        }
+        *permits -= 1;
+        self.woken.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes one permit, sleeping at most `timeout`; `false` when the
+    /// deadline passes with the gate still closed.
+    pub fn acquire_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut permits = self.permits.lock().expect("gate mutex poisoned");
+        if *permits > 0 {
+            *permits -= 1;
+            self.immediate.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        self.parked.fetch_add(1, Ordering::Relaxed);
+        while *permits == 0 {
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, _timed_out) = self
+                .available
+                .wait_timeout(permits, remaining)
+                .expect("gate mutex poisoned");
+            permits = guard;
+        }
+        *permits -= 1;
+        self.woken.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Returns one permit and wakes one parked producer.
+    ///
+    /// Invariant (enforced by the caller's protocol, asserted here):
+    /// releases never exceed acquisitions, so `permits ≤ capacity`
+    /// always holds — which is what guarantees a permit holder can
+    /// complete its bounded-channel send without blocking.
+    pub fn release(&self) {
+        let mut permits = self.permits.lock().expect("gate mutex poisoned");
+        assert!(
+            *permits < self.capacity,
+            "CapacityGate released more permits than it holds (protocol bug)"
+        );
+        *permits += 1;
+        drop(permits);
+        self.available.notify_one();
+    }
+
+    /// Parking/wake-up counters accumulated so far.
+    pub fn stats(&self) -> GateStats {
+        GateStats {
+            parked: self.parked.load(Ordering::Relaxed),
+            woken: self.woken.load(Ordering::Relaxed),
+            immediate: self.immediate.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_acquire_respects_capacity() {
+        let g = CapacityGate::new(2);
+        assert!(g.try_acquire());
+        assert!(g.try_acquire());
+        assert!(!g.try_acquire());
+        g.release();
+        assert!(g.try_acquire());
+        assert_eq!(g.stats().parked, 0);
+    }
+
+    #[test]
+    fn acquire_parks_and_release_wakes() {
+        let g = Arc::new(CapacityGate::new(1));
+        g.acquire();
+        let g2 = Arc::clone(&g);
+        let t = std::thread::spawn(move || {
+            g2.acquire(); // must park: no permit free
+        });
+        // Wait until the producer is actually parked.
+        while g.stats().parked == 0 {
+            std::thread::yield_now();
+        }
+        g.release();
+        t.join().unwrap();
+        let stats = g.stats();
+        assert_eq!(stats.parked, 1);
+        assert_eq!(stats.woken, 1);
+        assert_eq!(g.available(), 0, "woken producer took the permit");
+    }
+
+    #[test]
+    fn acquire_timeout_expires_without_a_permit() {
+        let g = CapacityGate::new(1);
+        g.acquire();
+        let t0 = Instant::now();
+        assert!(!g.acquire_timeout(Duration::from_millis(20)));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // The failed wait must not leak a permit.
+        g.release();
+        assert!(g.try_acquire());
+        assert!(!g.try_acquire());
+    }
+
+    #[test]
+    fn acquire_timeout_succeeds_when_released() {
+        let g = Arc::new(CapacityGate::new(1));
+        g.acquire();
+        let g2 = Arc::clone(&g);
+        let t = std::thread::spawn(move || g2.acquire_timeout(Duration::from_secs(10)));
+        while g.stats().parked == 0 {
+            std::thread::yield_now();
+        }
+        g.release();
+        assert!(t.join().unwrap(), "woken before the deadline");
+        assert_eq!(g.stats().woken, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol bug")]
+    fn over_release_is_a_loud_bug() {
+        let g = CapacityGate::new(1);
+        g.release();
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = GateStats {
+            parked: 1,
+            woken: 2,
+            immediate: 3,
+        };
+        a.merge(&GateStats {
+            parked: 10,
+            woken: 20,
+            immediate: 30,
+        });
+        assert_eq!(
+            a,
+            GateStats {
+                parked: 11,
+                woken: 22,
+                immediate: 33,
+            }
+        );
+    }
+
+    #[test]
+    fn contended_gate_never_exceeds_capacity() {
+        // 4 producers × many acquisitions through a 2-permit gate; a
+        // shared "in flight" counter checks the bound.
+        let g = Arc::new(CapacityGate::new(2));
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        g.acquire();
+                        let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        assert!(now <= 2, "capacity exceeded: {now}");
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        g.release();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.available(), 2);
+        let s = g.stats();
+        assert_eq!(s.immediate + s.woken, 800, "every acquire accounted");
+    }
+}

@@ -483,6 +483,7 @@ pub struct ScenarioBuilder<T> {
     motion: MotionConfig,
     platform: SystemModel,
     network: Option<NetworkDescriptor>,
+    nn_batch: u32,
     threads: Option<usize>,
     schemes: Vec<(String, BackendConfig, ExtrapolationExecutor)>,
 }
@@ -518,6 +519,17 @@ impl<T: VisionTask> ScenarioBuilder<T> {
     /// carries accuracy only.
     pub fn network(mut self, network: NetworkDescriptor) -> Self {
         self.network = Some(network);
+        self
+    }
+
+    /// Sets the cross-session NN batch size the platform model assumes
+    /// for I-frame inference (default 1 — the exact un-batched
+    /// evaluation path, so existing reports stay bit-stable). Values
+    /// above 1 charge each session its amortized share of a fused
+    /// `nn_batch`-request systolic job (see
+    /// [`SystemModel::evaluate_batched`]).
+    pub fn nn_batch(mut self, batch: u32) -> Self {
+        self.nn_batch = batch;
         self
     }
 
@@ -582,6 +594,7 @@ impl<T: VisionTask> ScenarioBuilder<T> {
             motion: self.motion,
             platform: self.platform,
             network: self.network,
+            nn_batch: self.nn_batch,
             threads: self.threads,
             schemes,
         })
@@ -597,6 +610,7 @@ pub struct Scenario<T> {
     motion: MotionConfig,
     platform: SystemModel,
     network: Option<NetworkDescriptor>,
+    nn_batch: u32,
     threads: Option<usize>,
     schemes: Vec<SchemeSpec>,
 }
@@ -610,6 +624,7 @@ impl<T: VisionTask> Scenario<T> {
             motion: MotionConfig::default(),
             platform: SystemModel::table1(),
             network: None,
+            nn_batch: 1,
             threads: None,
             schemes: Vec::new(),
         }
@@ -713,10 +728,11 @@ impl<T: VisionTask> Scenario<T> {
                 merged.merge(outcome);
             }
             let system = match &self.network {
-                Some(net) => Some(self.platform.evaluate(
+                Some(net) => Some(self.platform.evaluate_batched(
                     net,
                     merged.mean_window(),
                     spec.executor,
+                    self.nn_batch,
                 )?),
                 None => None,
             };

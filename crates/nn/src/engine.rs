@@ -82,6 +82,80 @@ impl InferencePlan {
     }
 }
 
+/// A planned batched inference: `requests` same-network jobs fused into
+/// one weight-resident pass over the array (see
+/// [`SystolicModel::analyze_batch`]).
+///
+/// Where [`InferencePlan`] prices one request, a `BatchPlan` prices the
+/// whole fused batch; the `per_request_*` accessors hand back the
+/// amortized share the serving layer charges to each session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPlan {
+    requests: u32,
+    stats: NetworkStats,
+    active_power: MilliWatts,
+}
+
+impl BatchPlan {
+    /// Number of fused requests.
+    pub fn requests(&self) -> u32 {
+        self.requests
+    }
+
+    /// Latency of the whole batch.
+    pub fn latency(&self) -> Picos {
+        self.stats.latency()
+    }
+
+    /// Accelerator energy for the whole batch.
+    pub fn energy(&self) -> MilliJoules {
+        self.active_power.over(self.latency())
+    }
+
+    /// Total array cycles for the whole batch.
+    pub fn compute_cycles(&self) -> u64 {
+        self.stats.total_compute_cycles().0
+    }
+
+    /// DRAM bytes read by the whole batch.
+    pub fn dram_read(&self) -> Bytes {
+        self.stats.dram_read()
+    }
+
+    /// DRAM bytes written by the whole batch.
+    pub fn dram_write(&self) -> Bytes {
+        self.stats.dram_write()
+    }
+
+    /// Amortized per-request latency (batch latency / requests; the
+    /// remainder is charged to request 0 so shares sum to the total).
+    pub fn per_request_latency(&self) -> Picos {
+        Picos(self.latency().0 / u64::from(self.requests))
+    }
+
+    /// Amortized per-request energy.
+    pub fn per_request_energy(&self) -> MilliJoules {
+        MilliJoules(self.energy().0 / f64::from(self.requests))
+    }
+
+    /// The underlying per-layer statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Compute-cycle amortization against a solo plan: batched cycles
+    /// divided by `requests ×` the solo cycles. 1.0 means batching
+    /// bought nothing; lower is better.
+    pub fn amortization_vs(&self, solo: &InferencePlan) -> f64 {
+        let solo_total =
+            u128::from(self.requests) * u128::from(solo.stats.total_compute_cycles().0);
+        if solo_total == 0 {
+            return 1.0;
+        }
+        self.compute_cycles() as f64 / solo_total as f64
+    }
+}
+
 /// Runtime state of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NnxState {
@@ -119,6 +193,17 @@ impl NnxEngine {
     pub fn plan(&self, net: &NetworkDescriptor) -> InferencePlan {
         InferencePlan {
             stats: self.model.analyze(net),
+            active_power: self.config.active_power,
+        }
+    }
+
+    /// Plans a fused batch of `requests` same-network inferences (run
+    /// once per batch size, reuse across batches).
+    pub fn plan_batch(&self, net: &NetworkDescriptor, requests: u32) -> BatchPlan {
+        let requests = requests.max(1);
+        BatchPlan {
+            requests,
+            stats: self.model.analyze_batch(net, requests),
             active_power: self.config.active_power,
         }
     }
@@ -201,6 +286,37 @@ mod tests {
         assert!(!engine.is_busy(done));
         assert!(engine.start(&plan, done).is_ok());
         assert_eq!(engine.jobs_started(), 2);
+    }
+
+    #[test]
+    fn batch_plan_amortizes_cycles_and_energy() {
+        let engine = NnxEngine::default();
+        let net = zoo::mdnet();
+        let solo = engine.plan(&net);
+        for b in [2u32, 8, 16] {
+            let batch = engine.plan_batch(&net, b);
+            assert_eq!(batch.requests(), b);
+            let ratio = batch.amortization_vs(&solo);
+            assert!(ratio < 1.0, "B={b}: amortization ratio {ratio} not below 1");
+            assert!(
+                batch.per_request_energy().0 < solo.energy().0,
+                "B={b}: per-request energy did not shrink"
+            );
+            assert!(batch.per_request_latency().0 < solo.latency().0);
+        }
+    }
+
+    #[test]
+    fn batch_plan_of_zero_clamps_to_one_request() {
+        let engine = NnxEngine::default();
+        let net = zoo::tiny_yolo();
+        let zero = engine.plan_batch(&net, 0);
+        assert_eq!(zero.requests(), 1);
+        assert_eq!(zero, engine.plan_batch(&net, 1));
+        // A single-request batch still uses the weight-resident walk, so
+        // its shares are self-consistent even though it is not the solo
+        // conservative walk (documented in the systolic crate docs).
+        assert_eq!(zero.per_request_latency(), zero.latency());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod oracle;
 pub mod systolic;
 pub mod zoo;
 
-pub use engine::{InferencePlan, NnxConfig, NnxEngine};
+pub use engine::{BatchPlan, InferencePlan, NnxConfig, NnxEngine};
 pub use layer::{Layer, LayerKind, NetworkDescriptor, TensorShape};
 pub use oracle::{
     Detection, DetectorOracle, DetectorProfile, OracleTarget, TrackerOracle, TrackerProfile,

@@ -26,6 +26,25 @@
 //! Per-layer latency takes the max of compute time and DMA time (the
 //! double-buffered SRAM overlaps them), so memory-bound layers are charged
 //! their DRAM time. This is what limits baseline YOLOv2 to ~17 FPS.
+//!
+//! # Cross-request batching
+//!
+//! [`SystolicModel::analyze`] walks one inference: every layer is a
+//! separate job, every tile pays its own fill + drain, and the weights
+//! are streamed from DRAM once per *inference*. When `N` requests run
+//! the *same* network (the serving case — many sessions, one model),
+//! the scheduler can instead fold all `N` GEMMs into one: the `M`
+//! dimension grows `N×` (exactly the [`NetworkDescriptor::batch`]
+//! machinery, extended across requests), and
+//! [`SystolicModel::analyze_batch`] charges the **weight-resident
+//! walk**: all row tiles that share one weight column block run back to
+//! back, so the array pays one fill + drain per weight block instead of
+//! one per tile, partial `M`-tiles amortize across requests, and
+//! weights travel from DRAM once per *batch*. Per-request cycles and
+//! traffic are therefore strictly below the `N×` solo cost whenever any
+//! layer has fill/drain overhead or a ragged `M`-tile — the
+//! amortization the serving layer's batch collector charges, asserted
+//! on op counts in `ablation_systolic_design`.
 
 use crate::layer::{LayerKind, NetworkDescriptor};
 use euphrates_common::units::{Bytes, Clock, Cycles, Picos};
@@ -201,6 +220,121 @@ impl SystolicModel {
         NetworkStats {
             network: net.name.clone(),
             per_layer,
+        }
+    }
+
+    /// Analyzes `requests` same-network inferences folded into **one
+    /// batched job** (see the crate docs on cross-request batching).
+    ///
+    /// Each layer's GEMM grows its `M` dimension by `requests` — the
+    /// [`NetworkDescriptor::batch`] machinery extended across requests —
+    /// and is charged the *weight-resident walk*: row tiles sharing a
+    /// weight column block run back to back, so the `R + C − 2`
+    /// fill/drain bubble is paid once per weight block instead of once
+    /// per tile, ragged final `M`-tiles amortize across requests, and
+    /// weights stream from DRAM once per batch (per strip group when
+    /// they exceed their SRAM partition). Input/output activations still
+    /// scale linearly — they are distinct per request.
+    ///
+    /// The returned stats cover the **whole batch**; divide by
+    /// `requests` for per-request quantities. `requests` is clamped to
+    /// at least 1. Note `analyze_batch(net, 1)` is *not* identical to
+    /// [`analyze`][SystolicModel::analyze]: the per-inference walk
+    /// conservatively re-fills the array on every tile, the batched
+    /// scheduler pipelines tiles that share weights — the comparison the
+    /// amortization ratio is defined against.
+    pub fn analyze_batch(&self, net: &NetworkDescriptor, requests: u32) -> NetworkStats {
+        let requests = requests.max(1);
+        let per_layer = net
+            .layers
+            .iter()
+            .map(|layer| self.analyze_layer_batched(layer, net.batch, requests))
+            .collect();
+        NetworkStats {
+            network: net.name.clone(),
+            per_layer,
+        }
+    }
+
+    /// One layer of the batched walk: identical DRAM strip-grouping
+    /// semantics to [`analyze_layer`][Self::analyze_layer], but tiles
+    /// sharing a weight block pipeline their fill/drain.
+    fn analyze_layer_batched(
+        &self,
+        layer: &crate::layer::Layer,
+        net_batch: u32,
+        requests: u32,
+    ) -> LayerStats {
+        let cfg = &self.config;
+        let batch = net_batch.saturating_mul(requests);
+        let macs = layer.macs() * u64::from(batch);
+        match layer.gemm_dims(batch) {
+            Some((m, n, k)) => {
+                let r = u64::from(cfg.rows);
+                let c = u64::from(cfg.cols);
+                let m_tiles = m.div_ceil(r);
+                let n_tiles = n.div_ceil(c);
+                let compute_cycles = match cfg.dataflow {
+                    Dataflow::OutputStationary => {
+                        // Per weight block (N-tile): all M-tiles stream
+                        // back to back, drain of tile i overlapping fill
+                        // of tile i+1 — one fill/drain bubble per block.
+                        n_tiles * (k * m_tiles + r + c - 2)
+                    }
+                    Dataflow::WeightStationary => {
+                        // Weights pinned per fold; the whole batched M
+                        // streams through each fold once.
+                        let k_folds = k.div_ceil(r);
+                        k_folds * n_tiles * (r + m + c - 1)
+                    }
+                };
+
+                // Weights travel once per batch (or once per strip group
+                // of the batched M walk). Activations stay per-request:
+                // a request's ifmap rows are live only while its slice
+                // of the batched M streams, so each request makes the
+                // same SRAM-residency decision a solo run would — the
+                // batched ifmap traffic is exactly `requests ×` solo,
+                // never a refetch blow-up from summing live sets.
+                let weight_bytes = k * n;
+                let req_ifmap_bytes = layer.input.elements() * u64::from(net_batch);
+                let ofmap_bytes = layer.output().elements() * u64::from(batch);
+                let weight_reads = if weight_bytes <= cfg.weight_sram.0 {
+                    weight_bytes
+                } else {
+                    let strips = (cfg.weight_sram.0 / (k * c)).max(1);
+                    weight_bytes * m_tiles.div_ceil(strips)
+                };
+                let req_ifmap_reads = if req_ifmap_bytes <= cfg.ifmap_sram.0 {
+                    req_ifmap_bytes
+                } else {
+                    let strips = (cfg.ifmap_sram.0 / (k * r)).max(1);
+                    req_ifmap_bytes * n_tiles.div_ceil(strips)
+                };
+                let dram_read = Bytes(weight_reads + req_ifmap_reads * u64::from(requests));
+                let dram_write = Bytes(ofmap_bytes);
+
+                let compute_time = cfg.clock.to_time(Cycles(compute_cycles));
+                let dma_time =
+                    Picos::from_secs_f64((dram_read.0 + dram_write.0) as f64 / cfg.dram_bandwidth);
+                LayerStats {
+                    name: layer.name.clone(),
+                    macs,
+                    compute_cycles: Cycles(compute_cycles),
+                    utilization: macs as f64
+                        / (compute_cycles as f64 * f64::from(cfg.rows) * f64::from(cfg.cols)),
+                    dram_read,
+                    dram_write,
+                    latency: if compute_time > dma_time {
+                        compute_time
+                    } else {
+                        dma_time
+                    },
+                }
+            }
+            // Scalar-unit work has no array fill to amortize: the
+            // batched cost is exactly the per-request cost scaled.
+            None => self.analyze_layer(layer, batch),
         }
     }
 
@@ -461,5 +595,108 @@ mod tests {
             per_layer: vec![],
         };
         assert_eq!(stats.fps(), 0.0);
+    }
+
+    // -- cross-request batching ---------------------------------------------
+
+    #[test]
+    fn batched_cycles_amortize_below_n_times_solo() {
+        // The tentpole invariant: a B-request batch costs strictly fewer
+        // array cycles than B solo inferences, for the networks the
+        // server actually runs, under both dataflows.
+        for dataflow in [Dataflow::OutputStationary, Dataflow::WeightStationary] {
+            let model = SystolicModel::new(SystolicConfig {
+                dataflow,
+                ..SystolicConfig::table1()
+            });
+            for net in [zoo::mdnet(), zoo::yolov2(), zoo::tiny_yolo()] {
+                let solo = model.analyze(&net).total_compute_cycles().0;
+                for b in [2u32, 4, 8, 16] {
+                    let batched = model.analyze_batch(&net, b).total_compute_cycles().0;
+                    assert!(
+                        batched < u64::from(b) * solo,
+                        "{} B={b} {dataflow:?}: batched {batched} !< {}",
+                        net.name,
+                        u64::from(b) * solo
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_macs_and_activation_traffic_scale_exactly() {
+        // Amortization never drops work: MACs and output writes are
+        // exactly B× (every request computes its own activations).
+        let model = SystolicModel::default();
+        let net = zoo::mdnet();
+        let solo = model.analyze_batch(&net, 1);
+        for b in [2u32, 5, 8] {
+            let batched = model.analyze_batch(&net, b);
+            assert_eq!(batched.total_macs(), u64::from(b) * solo.total_macs());
+            assert_eq!(batched.dram_write().0, u64::from(b) * solo.dram_write().0);
+        }
+    }
+
+    #[test]
+    fn batched_weight_traffic_is_shared_across_requests() {
+        // Weight bytes stream once per batch (or strip group), so the
+        // batched read traffic sits strictly below B× the solo reads.
+        let model = SystolicModel::default();
+        for net in [zoo::mdnet(), zoo::yolov2()] {
+            let solo = model.analyze(&net).dram_read().0;
+            for b in [4u32, 16] {
+                let batched = model.analyze_batch(&net, b).dram_read().0;
+                assert!(
+                    batched < u64::from(b) * solo,
+                    "{} B={b}: reads {batched} !< {}",
+                    net.name,
+                    u64::from(b) * solo
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_cycles_never_exceed_the_single_request_walk() {
+        // Batching can be ragged (ceil effects make adjacent batch
+        // sizes wobble), but it never makes a request more expensive
+        // than running alone: cycles(B)/B ≤ cycles(1), checked as
+        // cycles(B) ≤ B·cycles(1) in integers to avoid float fuzz.
+        let model = SystolicModel::default();
+        for net in [zoo::mdnet(), zoo::yolov2(), zoo::tiny_yolo()] {
+            let one = model.analyze_batch(&net, 1).total_compute_cycles().0;
+            for b in 2u32..=32 {
+                let cycles = model.analyze_batch(&net, b).total_compute_cycles().0;
+                assert!(
+                    u128::from(cycles) <= u128::from(b) * u128::from(one),
+                    "{} B={b}: per-request cycles exceed solo walk",
+                    net.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_zero_clamps_to_one() {
+        let model = SystolicModel::default();
+        let net = zoo::tiny_yolo();
+        assert_eq!(model.analyze_batch(&net, 0), model.analyze_batch(&net, 1));
+    }
+
+    #[test]
+    fn batched_utilization_stays_bounded() {
+        let model = SystolicModel::default();
+        for b in [1u32, 3, 17] {
+            let stats = model.analyze_batch(&zoo::yolov2(), b);
+            for l in &stats.per_layer {
+                assert!(
+                    (0.0..=1.0).contains(&l.utilization),
+                    "B={b} {}: util {}",
+                    l.name,
+                    l.utilization
+                );
+            }
+        }
     }
 }

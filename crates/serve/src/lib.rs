@@ -12,54 +12,100 @@
 //!   running the same frames through a standalone [`Session`] (or the
 //!   offline `Scenario::evaluate`, which is built on sessions): workers
 //!   only decide *where* a session runs, never *what* it computes.
-//! * **Backpressure** — each worker has a bounded ingress queue.
-//!   [`submit`][SessionServer::submit] never blocks and never buffers
-//!   beyond the bound: a full lane returns [`Submit::Busy`] handing the
-//!   frame back to the caller (admission control instead of unbounded
-//!   growth — memory is `O(workers × queue_depth)` frames).
+//! * **Backpressure** — each worker has a bounded ingress queue guarded
+//!   by a [`CapacityGate`]. [`try_submit`][SessionServer::try_submit]
+//!   never blocks and never buffers beyond the bound: a full lane
+//!   returns [`Submit::Busy`] handing the frame back to the caller
+//!   (admission control instead of unbounded growth — memory is
+//!   `O(workers × queue_depth)` frames).
 //! * **Shared read-only state** — one scheme registry (the validated
 //!   [`SchemeSpec`] list, the serving analog of the offline
 //!   `PreparedCache`) lives behind an [`Arc`] shared by all workers;
-//!   per-worker state (the session table, latency histogram, counters)
+//!   per-worker state (the session table, latency histograms, counters)
 //!   is owned, unsynchronized scratch.
-//! * **Instrumentation** — every frame's submit→completion latency is
-//!   recorded into a per-worker
-//!   [`LatencyHistogram`]
-//!   (O(1) record, ~6% quantile error), merged at drain into one
-//!   histogram reporting p50/p95/p99.
+//! * **Instrumentation** — every frame's submit→completion latency and
+//!   submit→dequeue queue wait are recorded into per-worker
+//!   [`LatencyHistogram`]s (O(1) record, ~6% quantile error), merged at
+//!   drain; [`DrainReport::per_worker`] additionally carries each
+//!   shard's occupancy and parking counters so the batching window can
+//!   be tuned from data.
 //! * **Isolation** — a panicking task step kills *its* session (the
 //!   drain report carries the error), never the worker: the other
 //!   sessions sharded onto the same lane keep streaming.
+//!
+//! # Batching & backpressure
+//!
+//! **Parked producers, not spin loops.** Each lane pairs its bounded
+//! channel with a [`CapacityGate`] whose permits mirror the channel's
+//! bound: *every* message — open, frame, close — takes a permit before
+//! it is sent, and the worker returns the permit as it dequeues. A
+//! holder of a permit therefore always completes its send without
+//! blocking, and a producer that finds the lane full has three choices:
+//!
+//! * [`try_submit`][SessionServer::try_submit] — never waits; hands the
+//!   frame back as [`Submit::Busy`] (admission control).
+//! * [`submit_blocking`][SessionServer::submit_blocking] — sleeps on the
+//!   gate's condvar and is woken exactly when its lane drains a slot.
+//!   No spin-yield retry exists on this path: the
+//!   [`IngressReport::spin_retries`] counter instruments the
+//!   structurally unreachable fallback and the saturation tests assert
+//!   it stays zero while [`IngressReport::parked`] grows.
+//! * [`submit_deadline`][SessionServer::submit_deadline] — parks for at
+//!   most a deadline, then hands the frame back.
+//!
+//! **Cross-session NN batching.** On silicon, the systolic array earns
+//! its efficiency by amortizing weight loads and array fill/drain
+//! across work; one session's I-frame at a time cannot exploit that.
+//! With [`ServeConfig::with_nn_batching`] each worker runs a
+//! `BatchCollector`: I-frame inference jobs from *different sessions*
+//! sharded onto the worker are gathered within a bounded window
+//! (`max_batch` jobs or `max_wait`, whichever first) and charged as one
+//! fused job via `SystolicModel::analyze_batch` — weights stream once,
+//! fill/drain is paid per weight block instead of per request. The
+//! batch is an *accounting* fusion: the NN itself is a modeled oracle
+//! whose functional decisions are produced synchronously inside
+//! `Session::push_frame`, so batching defers only the cycle/energy
+//! attribution and per-session outcomes (decisions, accuracy, fields)
+//! stay **bit-identical** to the unbatched path — the equivalence tests
+//! assert exactly that. The amortized cost lands in
+//! [`DrainReport::nn`]: batched vs `N×` solo cycles, energy, DRAM
+//! traffic, and the realized batch-size histogram.
 //!
 //! Frames enter as [`Arc<FrameData>`] — ground truth plus the
 //! ISP-exported motion field, i.e. what the paper's ISP ships to the
 //! vision backend. Producing them (rendering, sensor, ISP) stays on the
 //! client side of the ingress queue, e.g. via [`feed_sequence`], which
 //! streams a synthetic [`Sequence`] through the O(1)-memory
-//! `frame_source` pipeline with retry-on-busy. Each feeder owns its
-//! renderer (and thus its `FramePool`) — the per-worker-pool pattern
-//! documented in `euphrates_common::pool`.
+//! `frame_source` pipeline with parked-producer backpressure. Each
+//! feeder owns its renderer (and thus its `FramePool`) — the
+//! per-worker-pool pattern documented in `euphrates_common::pool`.
 //!
 //! ```no_run
 //! use euphrates_core::prelude::*;
 //! use euphrates_nn::oracle::calib;
-//! use euphrates_serve::{ServeConfig, SessionServer};
+//! use euphrates_serve::{NnBatchConfig, ServeConfig, SessionServer};
+//! use std::time::Duration;
 //!
 //! let schemes = vec![SchemeSpec::new("EW-4", BackendConfig::new(EwPolicy::Constant(4))).unwrap()];
-//! let server = SessionServer::new(
-//!     TrackerTask::new(calib::mdnet()),
-//!     schemes,
-//!     ServeConfig::default(),
-//! ).unwrap();
+//! let config = ServeConfig::default().with_nn_batching(NnBatchConfig {
+//!     network: euphrates_nn::zoo::mdnet(),
+//!     max_batch: 16,
+//!     max_wait: Duration::from_micros(200),
+//! });
+//! let server = SessionServer::new(TrackerTask::new(calib::mdnet()), schemes, config).unwrap();
 //! let suite = euphrates_datasets::otb100_like(42, DatasetScale::fraction(0.1));
 //! for (id, seq) in suite.iter().enumerate() {
 //!     euphrates_serve::feed_sequence(&server, id as u64, "EW-4", seq, &MotionConfig::default()).unwrap();
 //! }
 //! let report = server.drain();
 //! println!("p99 = {} ns over {} frames", report.latency.quantile(0.99), report.served);
+//! if let Some(nn) = &report.nn {
+//!     println!("amortization = {:.3} over {} batches", nn.amortization(), nn.batches);
+//! }
 //! ```
 
 use euphrates_common::error::{Error, Result};
+use euphrates_common::gate::CapacityGate;
 use euphrates_common::image::Resolution;
 use euphrates_common::par::default_threads;
 use euphrates_common::rngx;
@@ -68,12 +114,15 @@ use euphrates_core::api::{SchemeSpec, Session, VisionTask};
 use euphrates_core::backend::TaskOutcome;
 use euphrates_core::frontend::{frame_source, FrameData, MotionConfig};
 use euphrates_datasets::Sequence;
+use euphrates_nn::engine::{BatchPlan, InferencePlan, NnxEngine};
+use euphrates_nn::layer::NetworkDescriptor;
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Client-chosen session identifier. Doubles as the session's oracle
 /// stream index (the `stream` argument of [`Session::new`]), so serving
@@ -85,6 +134,19 @@ pub type SessionId = u64;
 /// hash keeps structured id spaces — 0, 1, 2, … — balanced).
 const SHARD_STREAM: u64 = 0x5E4E;
 
+/// Cross-session NN batching configuration (see the crate docs'
+/// "Batching & backpressure" section).
+#[derive(Debug, Clone)]
+pub struct NnBatchConfig {
+    /// The network whose I-frame inferences are fused.
+    pub network: NetworkDescriptor,
+    /// Jobs per fused batch at most; a full batch flushes immediately.
+    pub max_batch: usize,
+    /// How long a worker holds an open batch waiting for more jobs
+    /// before flushing it short.
+    pub max_wait: Duration,
+}
+
 /// Server sizing.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -93,8 +155,12 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Per-worker ingress bound, in messages. Bounds server memory at
     /// `workers × queue_depth` in-flight frames; beyond it,
-    /// [`submit`][SessionServer::submit] reports [`Submit::Busy`].
+    /// [`try_submit`][SessionServer::try_submit] reports
+    /// [`Submit::Busy`] and [`submit_blocking`][SessionServer::submit_blocking]
+    /// parks.
     pub queue_depth: usize,
+    /// Cross-session NN batching; `None` charges every inference solo.
+    pub nn_batching: Option<NnBatchConfig>,
 }
 
 impl Default for ServeConfig {
@@ -102,18 +168,37 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: default_threads(),
             queue_depth: 64,
+            nn_batching: None,
         }
     }
 }
 
-/// The verdict of a non-blocking [`submit`][SessionServer::submit].
+impl ServeConfig {
+    /// An explicitly sized server without NN batching.
+    pub fn sized(workers: usize, queue_depth: usize) -> Self {
+        ServeConfig {
+            workers,
+            queue_depth,
+            nn_batching: None,
+        }
+    }
+
+    /// Enables cross-session NN batching.
+    pub fn with_nn_batching(mut self, batching: NnBatchConfig) -> Self {
+        self.nn_batching = Some(batching);
+        self
+    }
+}
+
+/// The verdict of a non-blocking or deadline-bounded submit.
 #[derive(Debug)]
 #[must_use = "a Busy frame must be retried or dropped deliberately"]
 pub enum Submit {
     /// The frame was accepted onto its session's lane.
     Enqueued,
-    /// The lane is at its bound; the frame is handed back so the caller
-    /// can retry, shed load, or slow the producer.
+    /// The lane is at its bound (or the deadline passed); the frame is
+    /// handed back so the caller can retry, shed load, or slow the
+    /// producer.
     Busy(Arc<FrameData>),
 }
 
@@ -143,10 +228,22 @@ enum Msg {
     Close { id: SessionId },
 }
 
+/// Pre-planned batched-inference costs shared by all workers: one
+/// [`BatchPlan`] per realizable batch size, plus the solo plan the
+/// amortization ratio is defined against.
+struct BatchRuntime {
+    max_batch: usize,
+    max_wait: Duration,
+    /// `plans[b - 1]` prices a fused `b`-request batch.
+    plans: Vec<BatchPlan>,
+    solo: InferencePlan,
+}
+
 /// Read-only state shared by all workers.
 struct Shared<T> {
     task: T,
     schemes: Vec<SchemeSpec>,
+    batching: Option<BatchRuntime>,
 }
 
 /// A worker's session slot: a live session, or the error that killed it
@@ -158,18 +255,127 @@ enum Slot<T: VisionTask> {
     Dead(Error),
 }
 
+/// One worker shard's drained statistics.
+#[derive(Debug)]
+pub struct WorkerStats {
+    /// Frames this shard received (served + dropped).
+    pub frames: u64,
+    /// Frames pushed through a live session successfully.
+    pub served: u64,
+    /// Frames discarded (dead or never-opened session).
+    pub dropped: u64,
+    /// Submit→dequeue wait per frame, nanoseconds.
+    pub queue_wait: LatencyHistogram,
+    /// Nanoseconds spent processing messages.
+    pub busy_ns: u64,
+    /// Nanoseconds from worker start to drain completion.
+    pub wall_ns: u64,
+    /// Producers that parked on this shard's gate.
+    pub parked: u64,
+    /// Wake-ups this shard's drains delivered.
+    pub woken: u64,
+}
+
+impl WorkerStats {
+    /// Fraction of the worker's wall time spent processing (`0..=1`).
+    pub fn occupancy(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            (self.busy_ns as f64 / self.wall_ns as f64).min(1.0)
+        }
+    }
+}
+
+/// Cross-session NN batching outcome, merged over all workers.
+#[derive(Debug, Default)]
+pub struct NnServeReport {
+    /// I-frame inference jobs charged through batches.
+    pub jobs: u64,
+    /// Fused batches flushed.
+    pub batches: u64,
+    /// Array cycles actually charged (batched walk).
+    pub batched_cycles: u64,
+    /// Array cycles the same jobs would cost solo (`jobs ×` the
+    /// per-inference plan).
+    pub solo_cycles: u64,
+    /// Accelerator energy charged, millijoules.
+    pub energy_mj: f64,
+    /// DRAM traffic charged, bytes.
+    pub dram_bytes: u64,
+    /// Realized batch sizes (p50/p99 of this histogram tune
+    /// `max_batch`/`max_wait`).
+    pub batch_sizes: LatencyHistogram,
+}
+
+impl NnServeReport {
+    /// Charged cycles over solo cycles: 1.0 means batching bought
+    /// nothing; lower is better.
+    pub fn amortization(&self) -> f64 {
+        if self.solo_cycles == 0 {
+            1.0
+        } else {
+            self.batched_cycles as f64 / self.solo_cycles as f64
+        }
+    }
+
+    /// Mean realized batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.batches as f64
+        }
+    }
+
+    fn merge(&mut self, other: &NnServeReport) {
+        self.jobs += other.jobs;
+        self.batches += other.batches;
+        self.batched_cycles += other.batched_cycles;
+        self.solo_cycles += other.solo_cycles;
+        self.energy_mj += other.energy_mj;
+        self.dram_bytes += other.dram_bytes;
+        self.batch_sizes.merge(&other.batch_sizes);
+    }
+}
+
+/// How frames got in: parked-producer and admission-control counters,
+/// summed over all lanes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IngressReport {
+    /// Producers that slept on a full lane.
+    pub parked: u64,
+    /// Wake-ups delivered by worker dequeues.
+    pub woken: u64,
+    /// Sends that found capacity immediately.
+    pub immediate: u64,
+    /// Retries of the structurally unreachable permit-held-but-full
+    /// fallback. The saturation tests assert this stays **zero** — the
+    /// executable form of "no spin-yield submit path remains".
+    pub spin_retries: u64,
+    /// Frames handed back by [`try_submit`][SessionServer::try_submit]
+    /// or an expired [`submit_deadline`][SessionServer::submit_deadline].
+    pub busy_rejections: u64,
+}
+
 /// What one worker hands back at drain.
 struct WorkerOutput {
     outcomes: Vec<(SessionId, Result<TaskOutcome>)>,
     latency: LatencyHistogram,
+    queue_wait: LatencyHistogram,
     frames: u64,
     served: u64,
     dropped: u64,
+    busy_ns: u64,
+    wall_ns: u64,
+    nn: Option<NnServeReport>,
 }
 
 /// The merged result of [`SessionServer::drain`]: every session's
-/// outcome (keyed by id), the cross-worker latency histogram, and the
-/// frame counters the throughput numbers derive from.
+/// outcome (keyed by id), cross-worker latency/queue-wait histograms,
+/// the frame counters the throughput numbers derive from, per-shard
+/// statistics, ingress counters, and (when batching is on) the NN
+/// batching report.
 #[derive(Debug)]
 pub struct DrainReport {
     /// Per-session outcomes, one entry per opened session (errors for
@@ -177,6 +383,8 @@ pub struct DrainReport {
     outcomes: HashMap<SessionId, Result<TaskOutcome>>,
     /// Submit→completion latency over every successfully served frame.
     pub latency: LatencyHistogram,
+    /// Submit→dequeue wait over every received frame.
+    pub queue_wait: LatencyHistogram,
     /// Frames received by workers (served + dropped).
     pub frames: u64,
     /// Frames pushed through a live session successfully.
@@ -185,6 +393,12 @@ pub struct DrainReport {
     pub dropped: u64,
     /// Frames received per worker, in worker order (shard balance).
     pub per_worker_frames: Vec<u64>,
+    /// Full per-shard statistics, in worker order.
+    pub per_worker: Vec<WorkerStats>,
+    /// Ingress counters summed over all lanes.
+    pub ingress: IngressReport,
+    /// Cross-session NN batching outcome; `None` when batching is off.
+    pub nn: Option<NnServeReport>,
 }
 
 impl DrainReport {
@@ -209,18 +423,29 @@ impl DrainReport {
     }
 }
 
+/// One worker's ingress lane: the bounded transport plus the capacity
+/// gate whose permits mirror its bound.
+struct Lane {
+    tx: SyncSender<Msg>,
+    gate: Arc<CapacityGate>,
+}
+
 /// A sharded, backpressured session server over `N` worker threads.
 ///
 /// See the [crate docs](self) for the serving model. The server is
 /// `Sync`: [`open`][SessionServer::open],
-/// [`submit`][SessionServer::submit] and [`close`][SessionServer::close]
-/// take `&self` and may be called from any number of producer threads
-/// concurrently (each call resolves one lane and performs one channel
-/// operation). [`drain`][SessionServer::drain] consumes the server.
+/// [`try_submit`][SessionServer::try_submit],
+/// [`submit_blocking`][SessionServer::submit_blocking] and
+/// [`close`][SessionServer::close] take `&self` and may be called from
+/// any number of producer threads concurrently (each call resolves one
+/// lane, takes one permit, and performs one channel operation).
+/// [`drain`][SessionServer::drain] consumes the server.
 pub struct SessionServer<T: VisionTask> {
     shared: Arc<Shared<T>>,
-    lanes: Vec<SyncSender<Msg>>,
+    lanes: Vec<Lane>,
     workers: Vec<JoinHandle<WorkerOutput>>,
+    spin_retries: AtomicU64,
+    busy_rejections: AtomicU64,
 }
 
 impl<T> SessionServer<T>
@@ -228,13 +453,14 @@ where
     T: VisionTask + Clone + Send + Sync + 'static,
     T::State: Send,
 {
-    /// Starts a server: `config.workers` threads, each with a bounded
-    /// lane, all sharing one read-only scheme registry.
+    /// Starts a server: `config.workers` threads, each with a bounded,
+    /// gated lane, all sharing one read-only scheme registry (and, when
+    /// batching is enabled, one table of pre-planned batch costs).
     ///
     /// # Errors
     ///
-    /// Rejects an empty or duplicate-id scheme registry and zero-sized
-    /// worker pools or queues.
+    /// Rejects an empty or duplicate-id scheme registry, zero-sized
+    /// worker pools or queues, and a zero `max_batch`.
     pub fn new(
         task: T,
         schemes: impl IntoIterator<Item = SchemeSpec>,
@@ -255,19 +481,47 @@ where
                 "server needs at least one worker and a positive queue depth",
             ));
         }
-        let shared = Arc::new(Shared { task, schemes });
+        let batching = match config.nn_batching {
+            Some(nb) => {
+                if nb.max_batch == 0 {
+                    return Err(Error::config("nn batching needs max_batch >= 1"));
+                }
+                let engine = NnxEngine::default();
+                let plans = (1..=nb.max_batch)
+                    .map(|b| engine.plan_batch(&nb.network, b as u32))
+                    .collect();
+                Some(BatchRuntime {
+                    max_batch: nb.max_batch,
+                    max_wait: nb.max_wait,
+                    plans,
+                    solo: engine.plan(&nb.network),
+                })
+            }
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            task,
+            schemes,
+            batching,
+        });
         let mut lanes = Vec::with_capacity(config.workers);
         let mut workers = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
             let (tx, rx) = sync_channel(config.queue_depth);
+            let gate = Arc::new(CapacityGate::new(config.queue_depth));
             let shared = Arc::clone(&shared);
-            lanes.push(tx);
-            workers.push(std::thread::spawn(move || worker_loop(shared, rx)));
+            let worker_gate = Arc::clone(&gate);
+            lanes.push(Lane { tx, gate });
+            workers.push(std::thread::spawn(move || {
+                worker_loop(shared, rx, worker_gate)
+            }));
         }
         Ok(SessionServer {
             shared,
             lanes,
             workers,
+            spin_retries: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
         })
     }
 
@@ -286,11 +540,11 @@ where
         (rngx::counter_hash(SHARD_STREAM, id) % self.lanes.len() as u64) as usize
     }
 
-    /// Opens session `id` under the named scheme at `resolution`.
-    /// Control messages block briefly if the lane is momentarily full
-    /// (they are rare relative to frames and the lane is guaranteed to
-    /// drain); re-opening a live id flushes the old session into the
-    /// drain report and starts fresh.
+    /// Opens session `id` under the named scheme at `resolution`,
+    /// parking if the lane is momentarily full (control messages are
+    /// rare relative to frames and the lane is guaranteed to drain);
+    /// re-opening a live id flushes the old session into the drain
+    /// report and starts fresh.
     ///
     /// # Errors
     ///
@@ -302,7 +556,7 @@ where
             .iter()
             .position(|s| s.id.as_str() == scheme)
             .ok_or_else(|| Error::config(format!("unknown scheme id `{scheme}`")))?;
-        self.send_control(
+        self.send_parked(
             self.shard(id),
             Msg::Open {
                 id,
@@ -317,25 +571,82 @@ where
     /// back) when the lane is at its bound. Frames for ids that were
     /// never opened are accepted here and counted as dropped by the
     /// worker — admission control is per-lane, not per-session.
-    pub fn submit(&self, id: SessionId, frame: Arc<FrameData>) -> Submit {
+    pub fn try_submit(&self, id: SessionId, frame: Arc<FrameData>) -> Submit {
         let lane = self.shard(id);
-        match self.lanes[lane].try_send(Msg::Frame {
+        if !self.lanes[lane].gate.try_acquire() {
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Submit::Busy(frame);
+        }
+        self.send_frame_with_permit(lane, id, frame)
+    }
+
+    /// Submits one frame, **parking** until its lane has capacity: the
+    /// producer sleeps on the lane's condvar and is woken exactly when
+    /// the worker drains a slot — never a spin-yield retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the worker has vanished (a server bug;
+    /// workers isolate session panics).
+    pub fn submit_blocking(&self, id: SessionId, frame: Arc<FrameData>) -> Result<()> {
+        let lane = self.shard(id);
+        self.lanes[lane].gate.acquire();
+        match self.send_frame_with_permit(lane, id, frame) {
+            Submit::Enqueued => Ok(()),
+            Submit::Busy(_) => Err(Error::config(format!("serve worker {lane} is gone"))),
+        }
+    }
+
+    /// Submits one frame, parking for at most `timeout`:
+    /// [`Submit::Busy`] hands the frame back when the deadline passes
+    /// with the lane still full.
+    pub fn submit_deadline(
+        &self,
+        id: SessionId,
+        frame: Arc<FrameData>,
+        timeout: Duration,
+    ) -> Submit {
+        let lane = self.shard(id);
+        if !self.lanes[lane].gate.acquire_timeout(timeout) {
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Submit::Busy(frame);
+        }
+        self.send_frame_with_permit(lane, id, frame)
+    }
+
+    /// Completes a frame send under an already-held permit. A held
+    /// permit guarantees a free channel slot (permits mirror the
+    /// bound), so the `Full` branch is structurally unreachable — it is
+    /// instrumented ([`IngressReport::spin_retries`]) rather than
+    /// trusted, and the saturation tests assert it never fires.
+    fn send_frame_with_permit(&self, lane: usize, id: SessionId, frame: Arc<FrameData>) -> Submit {
+        let mut msg = Msg::Frame {
             id,
             frame,
             at: Instant::now(),
-        }) {
-            Ok(()) => Submit::Enqueued,
-            Err(TrySendError::Full(Msg::Frame { frame, .. })) => Submit::Busy(frame),
-            Err(TrySendError::Full(_)) => unreachable!("submit only sends frames"),
-            Err(TrySendError::Disconnected(_)) => {
-                panic!("serve worker {lane} exited while the server was live (bug)")
+        };
+        loop {
+            match self.lanes[lane].tx.try_send(msg) {
+                Ok(()) => return Submit::Enqueued,
+                Err(TrySendError::Full(back)) => {
+                    self.spin_retries.fetch_add(1, Ordering::Relaxed);
+                    msg = back;
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(back)) => {
+                    self.lanes[lane].gate.release();
+                    let Msg::Frame { frame, .. } = back else {
+                        unreachable!("frame sends only carry frames")
+                    };
+                    return Submit::Busy(frame);
+                }
             }
         }
     }
 
     /// Finishes session `id`: its outcome (or the error that killed it)
     /// becomes part of the drain report. Like
-    /// [`open`][SessionServer::open], blocks briefly on a momentarily
+    /// [`open`][SessionServer::open], parks briefly on a momentarily
     /// full lane.
     ///
     /// # Errors
@@ -343,31 +654,66 @@ where
     /// Currently infallible for live servers; returns an error only if
     /// the worker has vanished.
     pub fn close(&self, id: SessionId) -> Result<()> {
-        self.send_control(self.shard(id), Msg::Close { id })
+        self.send_parked(self.shard(id), Msg::Close { id })
     }
 
     /// Shuts down gracefully: closes every lane, lets each worker
     /// finish its queued messages and flush all still-open sessions,
     /// then merges the per-worker reports.
     pub fn drain(self) -> DrainReport {
+        let gates: Vec<Arc<CapacityGate>> = self
+            .lanes
+            .iter()
+            .map(|lane| Arc::clone(&lane.gate))
+            .collect();
         drop(self.lanes);
         let mut report = DrainReport {
             outcomes: HashMap::new(),
             latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
             frames: 0,
             served: 0,
             dropped: 0,
             per_worker_frames: Vec::with_capacity(self.workers.len()),
+            per_worker: Vec::with_capacity(self.workers.len()),
+            ingress: IngressReport {
+                spin_retries: self.spin_retries.load(Ordering::Relaxed),
+                busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+                ..IngressReport::default()
+            },
+            nn: self
+                .shared
+                .batching
+                .as_ref()
+                .map(|_| NnServeReport::default()),
         };
-        for handle in self.workers {
+        for (handle, gate) in self.workers.into_iter().zip(gates) {
             let out = handle
                 .join()
                 .expect("serve workers isolate session panics and never die");
+            let gs = gate.stats();
+            report.ingress.parked += gs.parked;
+            report.ingress.woken += gs.woken;
+            report.ingress.immediate += gs.immediate;
             report.latency.merge(&out.latency);
+            report.queue_wait.merge(&out.queue_wait);
             report.frames += out.frames;
             report.served += out.served;
             report.dropped += out.dropped;
             report.per_worker_frames.push(out.frames);
+            report.per_worker.push(WorkerStats {
+                frames: out.frames,
+                served: out.served,
+                dropped: out.dropped,
+                queue_wait: out.queue_wait,
+                busy_ns: out.busy_ns,
+                wall_ns: out.wall_ns,
+                parked: gs.parked,
+                woken: gs.woken,
+            });
+            if let (Some(total), Some(nn)) = (report.nn.as_mut(), out.nn.as_ref()) {
+                total.merge(nn);
+            }
             for (id, outcome) in out.outcomes {
                 report.outcomes.insert(id, outcome);
             }
@@ -375,30 +721,154 @@ where
         report
     }
 
-    /// Blocking send for rare control messages; maps a vanished worker
-    /// to a clean error instead of a panic (drain will surface it).
-    fn send_control(&self, lane: usize, msg: Msg) -> Result<()> {
-        self.lanes[lane]
-            .send(msg)
-            .map_err(|_| Error::config(format!("serve worker {lane} is gone")))
+    /// A live snapshot of the ingress counters (the same numbers
+    /// [`drain`][SessionServer::drain] reports, sampled mid-flight) —
+    /// lets saturation tests and monitors observe parking as it
+    /// happens.
+    pub fn ingress_snapshot(&self) -> IngressReport {
+        let mut report = IngressReport {
+            spin_retries: self.spin_retries.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            ..IngressReport::default()
+        };
+        for lane in &self.lanes {
+            let gs = lane.gate.stats();
+            report.parked += gs.parked;
+            report.woken += gs.woken;
+            report.immediate += gs.immediate;
+        }
+        report
+    }
+
+    /// Parked send for rare control messages; maps a vanished worker to
+    /// a clean error instead of a panic (drain will surface it).
+    fn send_parked(&self, lane: usize, msg: Msg) -> Result<()> {
+        self.lanes[lane].gate.acquire();
+        let mut msg = msg;
+        loop {
+            match self.lanes[lane].tx.try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(back)) => {
+                    self.spin_retries.fetch_add(1, Ordering::Relaxed);
+                    msg = back;
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.lanes[lane].gate.release();
+                    return Err(Error::config(format!("serve worker {lane} is gone")));
+                }
+            }
+        }
     }
 }
 
-/// One worker: owns its session table, histogram, and counters; runs
-/// until every sender is dropped, then flushes all remaining sessions.
-fn worker_loop<T>(shared: Arc<Shared<T>>, rx: Receiver<Msg>) -> WorkerOutput
+/// Per-worker accumulator for the cross-session batch window: counts
+/// pending I-frame jobs (decisions are produced synchronously by the
+/// session — only *cost attribution* is deferred) and remembers when
+/// the window opened.
+struct BatchCollector {
+    pending: usize,
+    opened_at: Option<Instant>,
+}
+
+impl BatchCollector {
+    fn new() -> Self {
+        BatchCollector {
+            pending: 0,
+            opened_at: None,
+        }
+    }
+
+    /// Registers one inference job; returns `true` when the batch hit
+    /// `max_batch` and must flush now.
+    fn add(&mut self, max_batch: usize) -> bool {
+        if self.pending == 0 {
+            self.opened_at = Some(Instant::now());
+        }
+        self.pending += 1;
+        self.pending >= max_batch
+    }
+
+    /// The instant the open window expires, if one is open.
+    fn deadline(&self, max_wait: Duration) -> Option<Instant> {
+        self.opened_at.map(|at| at + max_wait)
+    }
+
+    /// Closes the window, returning the fused batch size.
+    fn take(&mut self) -> Option<usize> {
+        self.opened_at = None;
+        let n = std::mem::take(&mut self.pending);
+        (n > 0).then_some(n)
+    }
+}
+
+/// Charges one flushed batch of `jobs` inferences into the worker's NN
+/// report using the pre-planned batch costs.
+fn charge_batch(report: &mut NnServeReport, runtime: &BatchRuntime, jobs: usize) {
+    let plan = &runtime.plans[jobs - 1];
+    report.jobs += jobs as u64;
+    report.batches += 1;
+    report.batched_cycles += plan.compute_cycles();
+    report.solo_cycles += jobs as u64 * runtime.solo.stats().total_compute_cycles().0;
+    report.energy_mj += plan.energy().0;
+    report.dram_bytes += plan.dram_read().0 + plan.dram_write().0;
+    report.batch_sizes.record(jobs as u64);
+}
+
+/// One worker: owns its session table, histograms, counters, and batch
+/// collector; runs until every sender is dropped, then flushes the open
+/// batch and all remaining sessions. Releases one gate permit per
+/// dequeued message — the other half of the parked-producer protocol.
+fn worker_loop<T>(
+    shared: Arc<Shared<T>>,
+    rx: Receiver<Msg>,
+    gate: Arc<CapacityGate>,
+) -> WorkerOutput
 where
     T: VisionTask + Clone,
 {
+    let started = Instant::now();
     let mut sessions: HashMap<SessionId, Slot<T>> = HashMap::new();
+    let mut collector = BatchCollector::new();
     let mut out = WorkerOutput {
         outcomes: Vec::new(),
         latency: LatencyHistogram::new(),
+        queue_wait: LatencyHistogram::new(),
         frames: 0,
         served: 0,
         dropped: 0,
+        busy_ns: 0,
+        wall_ns: 0,
+        nn: shared.batching.as_ref().map(|_| NnServeReport::default()),
     };
-    while let Ok(msg) = rx.recv() {
+    loop {
+        // While a batch window is open, wait only until its deadline;
+        // otherwise block indefinitely for the next message.
+        let msg = match shared
+            .batching
+            .as_ref()
+            .and_then(|b| collector.deadline(b.max_wait))
+        {
+            Some(deadline) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let (Some(rt), Some(nn), Some(jobs)) =
+                            (shared.batching.as_ref(), out.nn.as_mut(), collector.take())
+                        {
+                            charge_batch(nn, rt, jobs);
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => None,
+                }
+            }
+            None => rx.recv().ok(),
+        };
+        let Some(msg) = msg else { break };
+        gate.release();
+        let busy_from = Instant::now();
         match msg {
             Msg::Open {
                 id,
@@ -416,14 +886,26 @@ where
             }
             Msg::Frame { id, frame, at } => {
                 out.frames += 1;
+                out.queue_wait.record(at.elapsed().as_nanos() as u64);
                 match sessions.get_mut(&id) {
                     Some(Slot::Live(session)) => {
                         // One session's panic must not take down the
                         // worker (or the other sessions on this shard).
                         match catch_unwind(AssertUnwindSafe(|| session.push_frame(&frame))) {
-                            Ok(Ok(_)) => {
+                            Ok(Ok(decision)) => {
                                 out.served += 1;
                                 out.latency.record(at.elapsed().as_nanos() as u64);
+                                if decision.is_inference() {
+                                    if let Some(rt) = shared.batching.as_ref() {
+                                        if collector.add(rt.max_batch) {
+                                            if let (Some(nn), Some(jobs)) =
+                                                (out.nn.as_mut(), collector.take())
+                                            {
+                                                charge_batch(nn, rt, jobs);
+                                            }
+                                        }
+                                    }
+                                }
                             }
                             Ok(Err(e)) => {
                                 out.dropped += 1;
@@ -452,11 +934,18 @@ where
                 out.outcomes.push((id, outcome));
             }
         }
+        out.busy_ns += busy_from.elapsed().as_nanos() as u64;
     }
-    // Lanes closed: graceful drain flushes everything still open.
+    // Lanes closed: flush the open batch, then everything still open.
+    if let (Some(rt), Some(jobs)) = (shared.batching.as_ref(), collector.take()) {
+        if let Some(nn) = out.nn.as_mut() {
+            charge_batch(nn, rt, jobs);
+        }
+    }
     for (id, slot) in sessions {
         out.outcomes.push((id, finish_slot(slot)));
     }
+    out.wall_ns = started.elapsed().as_nanos() as u64;
     out
 }
 
@@ -478,12 +967,14 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Streams one synthetic sequence into the server under session `id`:
 /// opens, renders frames lazily through the O(1)-memory `frame_source`
 /// pipeline (client-side, with the renderer's own frame pool), submits
-/// each with spin-yield retry under backpressure, and closes.
+/// each with parked-producer backpressure
+/// ([`submit_blocking`][SessionServer::submit_blocking] — the feeder
+/// sleeps, not spins, when its lane is full), and closes.
 ///
 /// # Errors
 ///
 /// Propagates open/render errors; a lost worker surfaces as an error
-/// from the open or close.
+/// from the open, submit, or close.
 pub fn feed_sequence<T>(
     server: &SessionServer<T>,
     id: SessionId,
@@ -498,16 +989,7 @@ where
     let source = frame_source(seq, motion)?;
     server.open(id, scheme, source.resolution())?;
     for frame in source {
-        let mut frame = Arc::new(frame?);
-        loop {
-            match server.submit(id, frame) {
-                Submit::Enqueued => break,
-                Submit::Busy(back) => {
-                    frame = back;
-                    std::thread::yield_now();
-                }
-            }
-        }
+        server.submit_blocking(id, Arc::new(frame?))?;
     }
     server.close(id)
 }

@@ -1,6 +1,7 @@
 //! The serving contract of `SessionServer`: sharded sessions bit-match
-//! standalone `Session` runs and the offline `Scenario::evaluate`,
-//! backpressure triggers at the configured bound, drain flushes every
+//! standalone `Session` runs and the offline `Scenario::evaluate` (with
+//! and without cross-session NN batching), backpressure parks producers
+//! at the configured bound without spinning, drain flushes every
 //! in-flight session, and a panicking session is isolated to itself.
 
 use euphrates_camera::scene::SceneBuilder;
@@ -10,8 +11,10 @@ use euphrates_common::par::parallel_map;
 use euphrates_core::prelude::*;
 use euphrates_isp::motion::MotionField;
 use euphrates_nn::oracle::calib;
-use euphrates_serve::{feed_sequence, ServeConfig, SessionServer, Submit};
+use euphrates_serve::{feed_sequence, NnBatchConfig, ServeConfig, SessionServer, Submit};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 const MINI_RES: Resolution = Resolution::new(80, 60);
 
@@ -44,7 +47,7 @@ fn zeroed_frame(res: Resolution) -> Arc<FrameData> {
 // ---------------------------------------------------------------------------
 
 /// Blocks every I/E step until `release()` — makes queue occupancy
-/// deterministic for the backpressure test.
+/// deterministic for the backpressure tests.
 #[derive(Debug, Clone)]
 struct GateTask {
     gate: Arc<(Mutex<bool>, Condvar)>,
@@ -158,7 +161,9 @@ impl VisionTask for PanicTask {
 /// The acceptance criterion: ≥ 256 concurrently served sessions whose
 /// per-session outcomes are bit-identical to the offline
 /// `Scenario::evaluate` over the same suite (session id = suite index =
-/// oracle stream).
+/// oracle stream) — through BOTH the plain server and the
+/// batching-enabled server, since batching defers only cost
+/// attribution, never decisions.
 #[test]
 fn serves_256_sessions_bit_identical_to_offline_evaluate() {
     const SESSIONS: u64 = 256;
@@ -172,37 +177,72 @@ fn serves_256_sessions_bit_identical_to_offline_evaluate() {
         .unwrap();
     let offline = scenario.evaluate().unwrap();
 
-    let server = SessionServer::new(
-        TrackerTask::new(calib::mdnet()),
-        vec![SchemeSpec::new("EW-4", BackendConfig::new(EwPolicy::Constant(4))).unwrap()],
-        ServeConfig {
-            workers: 4,
-            queue_depth: 8,
-        },
-    )
-    .unwrap();
-    // Concurrent producers: 8 feeder threads × 256 sessions, frames
-    // rendered client-side and submitted with retry-on-busy.
-    let ids: Vec<u64> = (0..SESSIONS).collect();
-    let fed: Vec<euphrates_common::Result<()>> = parallel_map(&ids, 8, |_, &id| {
-        feed_sequence(&server, id, "EW-4", &suite[id as usize], &motion)
-    });
-    assert!(fed.iter().all(|r| r.is_ok()));
+    let configs = [
+        ServeConfig::sized(4, 8),
+        ServeConfig::sized(4, 8).with_nn_batching(NnBatchConfig {
+            network: euphrates_nn::zoo::mdnet(),
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+        }),
+    ];
+    for config in configs {
+        let batching = config.nn_batching.is_some();
+        let server = SessionServer::new(
+            TrackerTask::new(calib::mdnet()),
+            vec![SchemeSpec::new("EW-4", BackendConfig::new(EwPolicy::Constant(4))).unwrap()],
+            config,
+        )
+        .unwrap();
+        // Concurrent producers: 8 feeder threads × 256 sessions, frames
+        // rendered client-side and submitted with parked backpressure.
+        let ids: Vec<u64> = (0..SESSIONS).collect();
+        let fed: Vec<euphrates_common::Result<()>> = parallel_map(&ids, 8, |_, &id| {
+            feed_sequence(&server, id, "EW-4", &suite[id as usize], &motion)
+        });
+        assert!(fed.iter().all(|r| r.is_ok()));
 
-    let report = server.drain();
-    assert_eq!(report.sessions(), SESSIONS as usize);
-    assert_eq!(report.dropped, 0);
-    assert_eq!(report.served, SESSIONS * 5);
-    assert_eq!(report.latency.count(), report.served);
-    // Every shard carried some of the load.
-    assert!(report.per_worker_frames.iter().all(|&f| f > 0));
-    for (si, offline_outcome) in offline.schemes[0].per_sequence.iter().enumerate() {
-        let served = report
-            .outcome(si as u64)
-            .expect("session reported")
-            .as_ref()
-            .expect("session healthy");
-        assert_eq!(served, offline_outcome, "session {si} diverged");
+        let report = server.drain();
+        assert_eq!(report.sessions(), SESSIONS as usize);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.served, SESSIONS * 5);
+        assert_eq!(report.latency.count(), report.served);
+        assert_eq!(report.queue_wait.count(), report.frames);
+        // No spin-yield path: any waiting was parked, never retried.
+        assert_eq!(report.ingress.spin_retries, 0);
+        // Every shard carried some of the load, and says so twice.
+        assert!(report.per_worker_frames.iter().all(|&f| f > 0));
+        assert_eq!(report.per_worker.len(), 4);
+        for (w, stats) in report.per_worker.iter().enumerate() {
+            assert_eq!(stats.frames, report.per_worker_frames[w]);
+            assert!(stats.occupancy() <= 1.0);
+        }
+        let mut inferences = 0u64;
+        for (si, offline_outcome) in offline.schemes[0].per_sequence.iter().enumerate() {
+            let served = report
+                .outcome(si as u64)
+                .expect("session reported")
+                .as_ref()
+                .expect("session healthy");
+            assert_eq!(
+                served, offline_outcome,
+                "session {si} diverged (batching={batching})"
+            );
+            inferences += served.inferences;
+        }
+        // The batching server charges every I-frame inference through a
+        // batch, and the fused cost amortizes below jobs × solo.
+        match &report.nn {
+            Some(nn) => {
+                assert!(batching);
+                assert_eq!(nn.jobs, inferences);
+                assert!(nn.batches >= 1);
+                assert_eq!(nn.batch_sizes.count(), nn.batches);
+                assert!(nn.amortization() < 1.0, "ratio {}", nn.amortization());
+                assert!(nn.energy_mj > 0.0);
+                assert!(nn.dram_bytes > 0);
+            }
+            None => assert!(!batching),
+        }
     }
 }
 
@@ -222,10 +262,7 @@ fn interleaved_sessions_bit_match_independent_runs() {
     let server = SessionServer::new(
         TrackerTask::new(calib::mdnet()),
         vec![SchemeSpec::new("EW-4", backend).unwrap()],
-        ServeConfig {
-            workers: 3,
-            queue_depth: 4,
-        },
+        ServeConfig::sized(3, 4),
     )
     .unwrap();
     for (i, prep) in preps.iter().enumerate() {
@@ -233,19 +270,13 @@ fn interleaved_sessions_bit_match_independent_runs() {
     }
     for j in 0..FRAMES as usize {
         for (i, prep) in preps.iter().enumerate() {
-            let mut frame = Arc::new(prep.frames[j].clone());
-            loop {
-                match server.submit(i as u64, frame) {
-                    Submit::Enqueued => break,
-                    Submit::Busy(back) => {
-                        frame = back;
-                        std::thread::yield_now();
-                    }
-                }
-            }
+            server
+                .submit_blocking(i as u64, Arc::new(prep.frames[j].clone()))
+                .unwrap();
         }
     }
     let report = server.drain();
+    assert_eq!(report.ingress.spin_retries, 0);
 
     for (i, prep) in preps.iter().enumerate() {
         let mut solo = Session::new(
@@ -268,7 +299,7 @@ fn interleaved_sessions_bit_match_independent_runs() {
 }
 
 // ---------------------------------------------------------------------------
-// Backpressure / drain / isolation
+// Backpressure / parking / drain / isolation
 // ---------------------------------------------------------------------------
 
 #[test]
@@ -278,10 +309,7 @@ fn backpressure_triggers_at_the_configured_bound() {
     let server = SessionServer::new(
         gate.clone(),
         vec![SchemeSpec::new("g", BackendConfig::baseline()).unwrap()],
-        ServeConfig {
-            workers: 1,
-            queue_depth: DEPTH,
-        },
+        ServeConfig::sized(1, DEPTH),
     )
     .unwrap();
     server.open(7, "g", MINI_RES).unwrap();
@@ -294,7 +322,7 @@ fn backpressure_triggers_at_the_configured_bound() {
     let mut enqueued = 0u32;
     let mut saw_busy = false;
     for _ in 0..DEPTH + 8 {
-        match server.submit(7, zeroed_frame(MINI_RES)) {
+        match server.try_submit(7, zeroed_frame(MINI_RES)) {
             Submit::Enqueued => enqueued += 1,
             Submit::Busy(frame) => {
                 // The frame comes back to the caller intact.
@@ -309,6 +337,7 @@ fn backpressure_triggers_at_the_configured_bound() {
         (DEPTH as u32 - 1..=DEPTH as u32 + 1).contains(&enqueued),
         "accepted {enqueued} frames on a depth-{DEPTH} lane"
     );
+    assert!(server.ingress_snapshot().busy_rejections >= 1);
 
     // Releasing the gate lets the queue drain; everything accepted is
     // served and nothing is lost.
@@ -320,15 +349,96 @@ fn backpressure_triggers_at_the_configured_bound() {
     assert_eq!(outcome.frames, u64::from(enqueued));
 }
 
+/// The tentpole's ingress criterion: under saturation, blocked
+/// producers PARK (wakeup counters grow) and the spin-retry counter
+/// stays zero — no spin-yield submit path remains — while the server
+/// still drains every accepted frame.
+#[test]
+fn saturated_producers_park_without_spinning() {
+    const DEPTH: usize = 2;
+    const FRAMES: u64 = 8;
+    let gate = GateTask::new();
+    let server = Arc::new(
+        SessionServer::new(
+            gate.clone(),
+            vec![SchemeSpec::new("g", BackendConfig::baseline()).unwrap()],
+            ServeConfig::sized(1, DEPTH),
+        )
+        .unwrap(),
+    );
+    server.open(1, "g", MINI_RES).unwrap();
+
+    let accepted = Arc::new(AtomicU64::new(0));
+    let producer = {
+        let server = Arc::clone(&server);
+        let accepted = Arc::clone(&accepted);
+        std::thread::spawn(move || {
+            for _ in 0..FRAMES {
+                server.submit_blocking(1, zeroed_frame(MINI_RES)).unwrap();
+                accepted.fetch_add(1, Ordering::SeqCst);
+            }
+        })
+    };
+
+    // The worker is stuck inside frame 1's task step, so once the lane
+    // fills the producer MUST park — wait until the gate has seen it.
+    while server.ingress_snapshot().parked == 0 {
+        std::thread::yield_now();
+    }
+    assert_eq!(server.ingress_snapshot().spin_retries, 0);
+
+    gate.release();
+    producer.join().unwrap();
+    assert_eq!(accepted.load(Ordering::SeqCst), FRAMES);
+
+    let server = Arc::into_inner(server).expect("producer joined");
+    let report = server.drain();
+    assert!(report.ingress.parked > 0, "no producer ever parked");
+    assert!(report.ingress.woken > 0, "no parked producer was woken");
+    assert_eq!(report.ingress.spin_retries, 0, "spin path executed");
+    assert_eq!(report.served, FRAMES);
+    assert_eq!(report.dropped, 0);
+    // Per-worker stats carry the same parking counters.
+    assert_eq!(
+        report.per_worker.iter().map(|w| w.parked).sum::<u64>(),
+        report.ingress.parked
+    );
+}
+
+/// `submit_deadline` hands the frame back when the lane stays full past
+/// the deadline, and counts the rejection.
+#[test]
+fn deadline_submit_returns_the_frame_on_timeout() {
+    let gate = GateTask::new();
+    let server = SessionServer::new(
+        gate.clone(),
+        vec![SchemeSpec::new("g", BackendConfig::baseline()).unwrap()],
+        ServeConfig::sized(1, 1),
+    )
+    .unwrap();
+    server.open(3, "g", MINI_RES).unwrap();
+    // Frame 1 is dequeued and blocks the worker; frame 2 occupies the
+    // single slot; frame 3 must park until the deadline and come back.
+    server.submit_blocking(3, zeroed_frame(MINI_RES)).unwrap();
+    server.submit_blocking(3, zeroed_frame(MINI_RES)).unwrap();
+    match server.submit_deadline(3, zeroed_frame(MINI_RES), Duration::from_millis(10)) {
+        Submit::Busy(frame) => assert_eq!(frame.truth.len(), 0),
+        Submit::Enqueued => panic!("a blocked lane accepted a third frame"),
+    }
+    assert!(server.ingress_snapshot().busy_rejections >= 1);
+
+    gate.release();
+    let report = server.drain();
+    assert_eq!(report.served, 2);
+    assert_eq!(report.ingress.spin_retries, 0);
+}
+
 #[test]
 fn drain_flushes_unclosed_sessions() {
     let server = SessionServer::new(
         TrackerTask::new(calib::mdnet()),
         vec![SchemeSpec::new("base", BackendConfig::baseline()).unwrap()],
-        ServeConfig {
-            workers: 2,
-            queue_depth: 8,
-        },
+        ServeConfig::sized(2, 8),
     )
     .unwrap();
     let motion = MotionConfig::default();
@@ -336,13 +446,7 @@ fn drain_flushes_unclosed_sessions() {
         let prep = prepare_sequence(&mini_sequence(200 + i, 3), &motion).unwrap();
         server.open(i, "base", prep.resolution).unwrap();
         for frame in &prep.frames {
-            let mut f = Arc::new(frame.clone());
-            loop {
-                match server.submit(i, f) {
-                    Submit::Enqueued => break,
-                    Submit::Busy(back) => f = back,
-                }
-            }
+            server.submit_blocking(i, Arc::new(frame.clone())).unwrap();
         }
         // No close: drain must flush it.
     }
@@ -365,26 +469,14 @@ fn panicking_session_is_isolated_and_reported() {
             panic_at: 2,
         },
         vec![SchemeSpec::new("p", BackendConfig::baseline()).unwrap()],
-        ServeConfig {
-            workers: 1,
-            queue_depth: 32,
-        },
+        ServeConfig::sized(1, 32),
     )
     .unwrap();
     server.open(13, "p", MINI_RES).unwrap();
     server.open(26, "p", MINI_RES).unwrap();
     for _ in 0..5 {
         for id in [13u64, 26] {
-            let mut f = zeroed_frame(MINI_RES);
-            loop {
-                match server.submit(id, f) {
-                    Submit::Enqueued => break,
-                    Submit::Busy(back) => {
-                        f = back;
-                        std::thread::yield_now();
-                    }
-                }
-            }
+            server.submit_blocking(id, zeroed_frame(MINI_RES)).unwrap();
         }
     }
     let report = server.drain();
@@ -418,10 +510,7 @@ fn config_validation_rejects_nonsense() {
         SessionServer::new(
             TrackerTask::new(calib::mdnet()),
             schemes,
-            ServeConfig {
-                workers,
-                queue_depth,
-            },
+            ServeConfig::sized(workers, queue_depth),
         )
     };
     assert!(mk(vec![], 2, 8).is_err(), "no schemes");
@@ -433,6 +522,19 @@ fn config_validation_rejects_nonsense() {
     let one = || vec![SchemeSpec::new("a", BackendConfig::baseline()).unwrap()];
     assert!(mk(one(), 0, 8).is_err(), "zero workers");
     assert!(mk(one(), 2, 0).is_err(), "zero depth");
+    assert!(
+        SessionServer::new(
+            TrackerTask::new(calib::mdnet()),
+            one(),
+            ServeConfig::sized(1, 4).with_nn_batching(NnBatchConfig {
+                network: euphrates_nn::zoo::mdnet(),
+                max_batch: 0,
+                max_wait: Duration::from_micros(100),
+            }),
+        )
+        .is_err(),
+        "zero max_batch"
+    );
 
     let server = mk(one(), 2, 8).unwrap();
     assert_eq!(server.workers(), 2);
@@ -440,6 +542,7 @@ fn config_validation_rejects_nonsense() {
     let report = server.drain();
     assert_eq!(report.sessions(), 0);
     assert_eq!(report.frames, 0);
+    assert!(report.nn.is_none());
 }
 
 #[test]
@@ -447,13 +550,10 @@ fn frames_for_unopened_sessions_are_dropped_not_fatal() {
     let server = SessionServer::new(
         TrackerTask::new(calib::mdnet()),
         vec![SchemeSpec::new("a", BackendConfig::baseline()).unwrap()],
-        ServeConfig {
-            workers: 1,
-            queue_depth: 8,
-        },
+        ServeConfig::sized(1, 8),
     )
     .unwrap();
-    assert!(server.submit(99, zeroed_frame(MINI_RES)).is_enqueued());
+    assert!(server.try_submit(99, zeroed_frame(MINI_RES)).is_enqueued());
     let report = server.drain();
     assert_eq!(report.dropped, 1);
     assert_eq!(report.served, 0);

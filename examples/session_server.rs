@@ -15,7 +15,8 @@
 
 use euphrates::core::prelude::*;
 use euphrates::nn::oracle::calib;
-use euphrates::serve::{feed_sequence, ServeConfig, SessionServer};
+use euphrates::serve::{feed_sequence, NnBatchConfig, ServeConfig, SessionServer};
+use std::time::Duration;
 
 fn main() -> euphrates::common::Result<()> {
     // A small suite standing in for independent client streams; a real
@@ -26,10 +27,15 @@ fn main() -> euphrates::common::Result<()> {
     }
     let motion = MotionConfig::default();
 
-    let config = ServeConfig {
-        workers: 4,
-        queue_depth: 16,
-    };
+    // Cross-session NN batching: concurrent sessions' I-frame
+    // inferences are fused into one systolic job per bounded window,
+    // amortizing weight loads and array fill/drain — functional
+    // outcomes stay bit-identical (asserted below).
+    let config = ServeConfig::sized(4, 16).with_nn_batching(NnBatchConfig {
+        network: euphrates::nn::zoo::mdnet(),
+        max_batch: 16,
+        max_wait: Duration::from_micros(200),
+    });
     let server = SessionServer::new(
         TrackerTask::new(calib::mdnet()),
         vec![
@@ -48,10 +54,11 @@ fn main() -> euphrates::common::Result<()> {
     );
 
     // Stream every sequence through the server. `feed_sequence` renders
-    // client-side via the O(1)-memory frame source and retries politely
-    // when its session's lane is at the bound. Session id doubles as the
-    // oracle stream index, so the offline re-run below can reproduce the
-    // exact same noise streams.
+    // client-side via the O(1)-memory frame source and parks (sleeps on
+    // the lane's capacity gate, no spinning) when its session's lane is
+    // at the bound. Session id doubles as the oracle stream index, so
+    // the offline re-run below can reproduce the exact same noise
+    // streams.
     for (id, seq) in suite.iter().enumerate() {
         let scheme = if id % 2 == 0 { "EW-4" } else { "adaptive" };
         feed_sequence(&server, id as u64, scheme, seq, &motion)?;
@@ -92,6 +99,24 @@ fn main() -> euphrates::common::Result<()> {
         report.latency.quantile(0.50) as f64 / 1e6,
         report.latency.quantile(0.99) as f64 / 1e6,
     );
+    println!(
+        "ingress: {} immediate, {} parked, {} woken, {} spin retries",
+        report.ingress.immediate,
+        report.ingress.parked,
+        report.ingress.woken,
+        report.ingress.spin_retries,
+    );
+    if let Some(nn) = &report.nn {
+        println!(
+            "nn batching: {} jobs in {} batches (mean {:.1}/batch), \
+             {:.3}x the solo cycle cost, {:.1} mJ charged",
+            nn.jobs,
+            nn.batches,
+            nn.mean_batch(),
+            nn.amortization(),
+            nn.energy_mj,
+        );
+    }
     println!("offline re-runs are bit-identical: OK");
     Ok(())
 }

@@ -117,13 +117,20 @@
 //! session ids onto worker threads (each session's frames processed in
 //! order by one worker — outcomes stay bit-identical to a solo
 //! [`Session`][core::api::Session] or the offline evaluate), bounded
-//! ingress lanes return [`Busy`][serve::Submit] instead of buffering
-//! without limit, and the drain report carries per-session outcomes
-//! plus a merged submit→completion latency histogram (p50/p95/p99 via
-//! [`LatencyHistogram`][common::stats::LatencyHistogram]). The
-//! recorded serving trajectory lives in `BENCH_serve.json` (1-worker
-//! and 4-worker rows); `examples/session_server.rs` is the runnable
-//! tour.
+//! ingress lanes park blocked producers on a capacity gate (no
+//! spin-yield; [`try_submit`][serve::SessionServer::try_submit]
+//! returns [`Busy`][serve::Submit] for callers that would rather not
+//! wait), and concurrent sessions' NN inferences can be fused into
+//! batched systolic jobs ([`NnBatchConfig`][serve::NnBatchConfig]) that
+//! amortize weight loads and array fill/drain while outcomes stay
+//! bit-identical — only the charged cycle/energy cost changes. The
+//! drain report carries per-session outcomes plus merged
+//! submit→completion and queue-wait histograms (p50/p95/p99 via
+//! [`LatencyHistogram`][common::stats::LatencyHistogram]), per-worker
+//! occupancy, ingress park/wake counters, and the realized batch
+//! amortization ratio. The recorded serving trajectory lives in
+//! `BENCH_serve.json` (schema 2: 1- and 4-worker rows, batched and
+//! unbatched); `examples/session_server.rs` is the runnable tour.
 //!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/benches/` for the per-figure reproduction harness.
