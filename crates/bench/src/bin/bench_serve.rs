@@ -9,7 +9,7 @@
 //! frames/sec, and the submit→completion latency distribution
 //! (p50/p95/p99 from the merged per-worker histograms) at **1 worker**
 //! and **4 workers**, each **with and without cross-session NN
-//! batching**, writing `BENCH_serve.json` (schema 2).
+//! batching**, writing `BENCH_serve.json` (schema 3).
 //!
 //! Schema 2 adds the PR-8 quantities: the batched-vs-solo systolic
 //! amortization ratio (charged cycles over `jobs ×` the per-inference
@@ -17,6 +17,17 @@
 //! realized batch-size p50/p99, and the parked/woken/spin-retry ingress
 //! counters (producers now sleep on a capacity gate instead of
 //! spin-yielding; `spin_retries == 0` is asserted every run).
+//!
+//! Schema 3 adds the overload section: the same serving path under a
+//! planned 2× overload (two producer threads, one worker), nominal vs
+//! degraded — the degraded run carries an [`SloConfig`] plus a chaos
+//! [`PressurePlan`] burst, so the overload controller walks the
+//! standard degradation ladder deterministically (widened EW window,
+//! cheaper motion search, shedding at the last rung). Reported:
+//! nominal vs degraded throughput and queue-wait p99, shed rate, and
+//! the inference buy-back. Only counter-derived quantities are
+//! asserted (shed counts, rung timeline, inference totals); wall-clock
+//! is reported, never asserted.
 //!
 //! Frames are prepared once up front (a handful of unique mini scenes
 //! shared across sessions; oracle streams still differ per session id),
@@ -40,7 +51,9 @@ use euphrates_common::image::Resolution;
 use euphrates_core::prelude::*;
 use euphrates_core::prepare_sequence;
 use euphrates_nn::oracle::calib;
-use euphrates_serve::{NnBatchConfig, ServeConfig, SessionServer};
+use euphrates_serve::{
+    ChaosConfig, NnBatchConfig, PressurePlan, ServeConfig, SessionServer, SloConfig,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -199,6 +212,123 @@ fn run_serve(
     }
 }
 
+/// Overload-section rounds per session: fixed (not shrunk by `--quick`)
+/// so the standard ladder's shedding rung is always reached.
+const OVERLOAD_ROUNDS: usize = 16;
+
+struct OverloadStats {
+    wall_ns: u64,
+    frames: u64,
+    served: u64,
+    shed: u64,
+    queue_p99_ns: u64,
+    inferences: u64,
+    transitions: usize,
+    final_rung: usize,
+}
+
+/// Streams `sessions` EW-1 sessions through **one** worker from **two**
+/// producer threads — a planned 2× overload. The degraded run adds an
+/// SLO (4-frame epochs, degrade after one bad epoch) plus a chaos
+/// pressure burst, so every session walks the standard ladder on a
+/// deterministic schedule: rung 1 before arrival 0, rung 2 at arrival
+/// 4, shedding from arrival 8.
+fn run_overload(sessions: u64, frames: &[Vec<Arc<FrameData>>], degraded: bool) -> OverloadStats {
+    let mut config = ServeConfig::sized(1, 256);
+    if degraded {
+        let slo = SloConfig::new(Duration::from_millis(1), Duration::from_millis(5))
+            .with_epoch(4)
+            .with_hysteresis(1, 8);
+        let chaos = ChaosConfig::seeded(0xBE7C).with_pressure(PressurePlan::Burst {
+            from: 0,
+            until: 1_000,
+        });
+        config = config.with_slo(slo).with_chaos(chaos);
+    }
+    let server = Arc::new(
+        SessionServer::new(
+            TrackerTask::new(calib::mdnet()),
+            vec![
+                SchemeSpec::new("EW-1", BackendConfig::new(EwPolicy::Constant(1)))
+                    .expect("valid id"),
+            ],
+            config,
+        )
+        .expect("valid server config"),
+    );
+    let per_session = frames[0].len();
+    let t0 = Instant::now();
+    for id in 0..sessions {
+        server.open(id, "EW-1", RES).expect("open succeeds");
+    }
+    let producers: Vec<_> = (0..2u64)
+        .map(|p| {
+            let server = Arc::clone(&server);
+            let frames = frames.to_vec();
+            std::thread::spawn(move || {
+                for j in 0..OVERLOAD_ROUNDS {
+                    for id in (p..sessions).step_by(2) {
+                        let frame =
+                            Arc::clone(&frames[(id % UNIQUE_SCENES) as usize][j % per_session]);
+                        server.submit_blocking(id, frame).expect("worker alive");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in producers {
+        h.join().expect("producer survives");
+    }
+    for id in 0..sessions {
+        server.close(id).expect("close succeeds");
+    }
+    let server = Arc::into_inner(server).expect("producers joined");
+    let report = server.drain();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    assert_eq!(report.frames, sessions * OVERLOAD_ROUNDS as u64);
+    assert_eq!(report.frames, report.served + report.dropped + report.shed);
+    assert_eq!(report.failed_sessions(), 0, "no session died");
+    assert_eq!(report.ingress.spin_retries, 0, "spin path executed");
+    let inferences: u64 = report
+        .iter()
+        .map(|(_, o)| o.as_ref().expect("healthy session").inferences)
+        .sum();
+    let (transitions, final_rung) = if degraded {
+        // The planned walk, exactly: 8 frames served then 8 shed per
+        // session, one surviving I-frame each under the widened window.
+        assert_eq!(report.served, sessions * 8);
+        assert_eq!(report.shed, sessions * 8);
+        assert_eq!(
+            inferences, sessions,
+            "window widening must buy back inferences"
+        );
+        let walk = report.degradation.as_ref().expect("slo armed");
+        let timeline: Vec<(u64, usize, usize)> = walk
+            .timeline
+            .iter()
+            .map(|t| (t.epoch, t.from, t.to))
+            .collect();
+        assert_eq!(timeline, vec![(0, 0, 1), (1, 1, 2), (2, 2, 3)]);
+        (walk.timeline.len(), walk.final_rung)
+    } else {
+        assert_eq!(report.served, report.frames);
+        assert_eq!(report.shed, 0);
+        assert_eq!(inferences, report.frames, "EW-1 infers every frame");
+        (0, 0)
+    };
+    OverloadStats {
+        wall_ns,
+        frames: report.frames,
+        served: report.served,
+        shed: report.shed,
+        queue_p99_ns: report.queue_wait.quantile(0.99),
+        inferences,
+        transitions,
+        final_rung,
+    }
+}
+
 fn main() {
     let cfg = parse_args();
     let sessions: u64 = if cfg.quick { 32 } else { 256 };
@@ -283,13 +413,55 @@ fn main() {
         }
     }
 
+    // Overload section (schema 3): 2× overload into one worker,
+    // nominal vs SLO-degraded.
+    let overload_sessions: u64 = if cfg.quick { 16 } else { 64 };
+    metrics.push(("overload_sessions".into(), overload_sessions.to_string()));
+    metrics.push(("overload_rounds".into(), OVERLOAD_ROUNDS.to_string()));
+    for degraded in [false, true] {
+        let stats = run_overload(overload_sessions, &frames, degraded);
+        let key = if degraded {
+            "overload_degraded"
+        } else {
+            "overload_nominal"
+        };
+        let wall_s = stats.wall_ns as f64 / 1e9;
+        let frames_per_sec = stats.served as f64 / wall_s;
+        let shed_rate = stats.shed as f64 / stats.frames as f64;
+        println!(
+            "{key}: {frames_per_sec:.0} served frames/s, queue-wait p99 {:.3} ms, \
+             shed rate {shed_rate:.2}, {} inferences, {} rung transitions",
+            stats.queue_p99_ns as f64 / 1e6,
+            stats.inferences,
+            stats.transitions,
+        );
+        metrics.push((format!("{key}_wall_ns"), stats.wall_ns.to_string()));
+        metrics.push((
+            format!("{key}_frames_per_sec"),
+            format!("{frames_per_sec:.1}"),
+        ));
+        metrics.push((
+            format!("{key}_queue_wait_p99_ns"),
+            stats.queue_p99_ns.to_string(),
+        ));
+        metrics.push((format!("{key}_served"), stats.served.to_string()));
+        metrics.push((format!("{key}_shed"), stats.shed.to_string()));
+        metrics.push((format!("{key}_shed_rate"), format!("{shed_rate:.4}")));
+        metrics.push((format!("{key}_inferences"), stats.inferences.to_string()));
+        metrics.push((
+            format!("{key}_rung_transitions"),
+            stats.transitions.to_string(),
+        ));
+        metrics.push((format!("{key}_final_rung"), stats.final_rung.to_string()));
+    }
+
     // Render the JSON by hand (no serde in the tree).
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 2,");
+    let _ = writeln!(json, "  \"schema\": 3,");
     let _ = writeln!(json, "  \"bench\": \"serve_sessions\",");
     let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(

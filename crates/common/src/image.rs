@@ -45,8 +45,15 @@ impl<T: Copy + Default> Plane<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ShapeMismatch`] if `data.len() != width * height`.
+    /// Returns [`Error::InvalidConfig`] if either dimension is zero
+    /// (matching [`new`][Plane::new]) or [`Error::ShapeMismatch`] if
+    /// `data.len() != width * height`.
     pub fn from_vec(width: u32, height: u32, data: Vec<T>) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(Error::config(format!(
+                "plane dimensions must be positive, got {width}x{height}"
+            )));
+        }
         if data.len() != width as usize * height as usize {
             return Err(Error::shape(format!(
                 "expected {} samples for {width}x{height}, got {}",
@@ -464,7 +471,9 @@ mod tests {
                 }
             }
         }
-        assert!(checked >= 38 * 38 * 38);
+        // 0..=255 step 7 visits ceil(256/7) = 37 values per axis.
+        let per_axis = u64::from(256u32.div_ceil(step));
+        assert_eq!(checked, per_axis * per_axis * per_axis);
     }
 
     #[test]

@@ -69,6 +69,20 @@ pub fn counter_hash(key: u64, counter: u64) -> u64 {
 /// windowed lane batch.
 pub const WEYL_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Deterministic jitter: a [`counter_hash`] sample folded into
+/// `[0, span)`. The serving layer's retry backoff and fault plans need
+/// randomized-looking spread *without* wall-clock or shared-state
+/// randomness — same `(key, counter, span)` in, same jitter out, on any
+/// thread, in any order. `span == 0` yields 0 (no jitter requested).
+///
+/// The fold is a 128-bit multiply-shift (`hash × span >> 64`), which is
+/// bias-free for any `span` that divides 2⁶⁴ and within 1 part in 2⁶⁴
+/// otherwise — far below anything a backoff schedule can observe.
+#[inline]
+pub fn jitter(key: u64, counter: u64, span: u64) -> u64 {
+    ((u128::from(counter_hash(key, counter)) * u128::from(span)) >> 64) as u64
+}
+
 /// [`QuantGauss`] samples carried per 64-bit [`counter_hash`] output on
 /// the noise path: four 16-bit lanes, each contributing its top 12 bits
 /// as a table index. The table only consumes `GAUSS_TABLE_BITS` bits,
@@ -227,7 +241,11 @@ impl QuantGauss {
         );
         let mut q = Box::new([0i16; 1 << GAUSS_TABLE_BITS]);
         for (o, &zi) in q.iter_mut().zip(gauss_z_table()) {
-            *o = (sigma * zi).round() as i16;
+            // Clamp to the pixel domain's reach: an offset beyond ±255
+            // saturates any u8 add anyway, and bounding the entries here
+            // keeps the hot-path `i16` add-and-clamp overflow-free for
+            // arbitrarily large (even saturating) sigmas.
+            *o = (sigma * zi).round().clamp(-255.0, 255.0) as i16;
         }
         QuantGauss { sigma, q }
     }
@@ -436,6 +454,30 @@ mod tests {
             let frac = f64::from(ones) / f64::from(n as u32);
             assert!((frac - 0.5).abs() < 0.05, "bit {bit}: ones fraction {frac}");
         }
+    }
+
+    #[test]
+    fn jitter_is_pure_bounded_and_spread() {
+        // Pure: same inputs, same jitter — the property the serving
+        // retry/backoff determinism tests lean on.
+        assert_eq!(jitter(11, 3, 1000), jitter(11, 3, 1000));
+        // Degenerate span.
+        assert_eq!(jitter(11, 3, 0), 0);
+        assert_eq!(jitter(11, 3, 1), 0);
+        // Bounded and reasonably spread over a counter sweep.
+        let span = 1_000u64;
+        let samples: Vec<u64> = (0..4096).map(|i| jitter(9, i, span)).collect();
+        assert!(samples.iter().all(|&j| j < span));
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!(
+            (mean - span as f64 / 2.0).abs() < span as f64 * 0.05,
+            "mean {mean} far from uniform center"
+        );
+        // Different keys and counters decorrelate.
+        assert_ne!(
+            (0..64).map(|i| jitter(1, i, span)).collect::<Vec<_>>(),
+            (0..64).map(|i| jitter(2, i, span)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

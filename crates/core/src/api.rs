@@ -245,6 +245,42 @@ impl<T: VisionTask> Session<T> {
         self.poisoned
     }
 
+    /// The EW window currently governing the schedule (constant N, or
+    /// the adaptive controller's learned width).
+    pub fn current_window(&self) -> u32 {
+        self.ctrl.window()
+    }
+
+    /// Swaps the session's EW policy **mid-stream**, preserving the
+    /// schedule phase: frames already extrapolated since the last
+    /// I-frame keep counting against the new window, so widening never
+    /// inserts a spurious inference and narrowing re-infers promptly.
+    ///
+    /// This is the overload-degradation actuator of `euphrates-serve`:
+    /// under queue pressure a server widens live sessions' windows
+    /// (more extrapolation, fewer CNN frames) and restores the scheme's
+    /// declared policy when the pressure clears. The accumulated
+    /// [`TaskOutcome`] is untouched; only future frames are scheduled
+    /// differently.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid policy parameters (zero windows, adaptive
+    /// `min > max`); the session is unchanged — and in particular **not
+    /// poisoned** — on error. Re-configuring a poisoned session is
+    /// rejected with the poison error.
+    pub fn reconfigure_policy(&mut self, policy: euphrates_mc::policy::EwPolicy) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::state(format!(
+                "session poisoned at frame {}: cannot reconfigure; open a new session",
+                self.next_frame
+            )));
+        }
+        self.ctrl.reconfigure(policy)?;
+        self.config.policy = policy;
+        Ok(())
+    }
+
     /// Consumes one frame: decides I vs. E, runs the task step, feeds the
     /// adaptive controller, charges the Motion-Controller sequencer, and
     /// scores the frame's predictions.

@@ -114,6 +114,48 @@ impl EwController {
         &self.policy
     }
 
+    /// Swaps the policy on a *running* controller, preserving the
+    /// schedule phase — `frames_since_inference` and the lifetime
+    /// counters carry over, so the I/E cadence bends at the switch
+    /// point instead of restarting (no spurious I-frame).
+    ///
+    /// This is the serving layer's degradation actuator: an overload
+    /// controller widens the window mid-stream (more extrapolation,
+    /// fewer CNN frames) and later restores the scheme's own policy.
+    /// Switching to [`EwPolicy::Constant`] pins the window to `n`;
+    /// switching to [`EwPolicy::Adaptive`] clamps the *current* window
+    /// into the new `[min, max]` range (the learned window survives a
+    /// round-trip through a constant rung) and restarts the growth
+    /// streak.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the same invalid policies as [`EwController::new`]; the
+    /// controller is unchanged on error.
+    pub fn reconfigure(&mut self, policy: EwPolicy) -> Result<()> {
+        let window = match policy {
+            EwPolicy::Constant(n) => {
+                if n == 0 {
+                    return Err(Error::config("constant EW must be >= 1"));
+                }
+                n
+            }
+            EwPolicy::Adaptive(cfg) => {
+                if cfg.min_window == 0 {
+                    return Err(Error::config("adaptive min window must be >= 1"));
+                }
+                if cfg.min_window > cfg.max_window {
+                    return Err(Error::config("adaptive min window exceeds max"));
+                }
+                self.window.clamp(cfg.min_window, cfg.max_window)
+            }
+        };
+        self.policy = policy;
+        self.window = window;
+        self.streak = 0;
+        Ok(())
+    }
+
     /// The current window size.
     pub fn window(&self) -> u32 {
         self.window
@@ -277,6 +319,73 @@ mod tests {
         assert_eq!(c.next_frame(), FrameKind::Extrapolation);
         assert_eq!(c.next_frame(), FrameKind::Inference);
         assert_eq!(c.next_frame(), FrameKind::Extrapolation);
+    }
+
+    #[test]
+    fn reconfigure_preserves_schedule_phase() {
+        let mut c = EwController::new(EwPolicy::Constant(4)).unwrap();
+        assert_eq!(c.next_frame(), FrameKind::Inference);
+        assert_eq!(c.next_frame(), FrameKind::Extrapolation);
+        // Widen mid-window: the two frames already scheduled still
+        // count against the new window — no restart I-frame.
+        c.reconfigure(EwPolicy::Constant(8)).unwrap();
+        assert_eq!(c.window(), 8);
+        let kinds: Vec<FrameKind> = (0..6).map(|_| c.next_frame()).collect();
+        assert!(
+            kinds.iter().all(|k| *k == FrameKind::Extrapolation),
+            "frames 2..8 of the widened window must extrapolate: {kinds:?}"
+        );
+        assert_eq!(c.next_frame(), FrameKind::Inference, "frame 8 re-infers");
+        assert_eq!(c.frames_scheduled(), 9);
+    }
+
+    #[test]
+    fn reconfigure_narrow_triggers_prompt_inference() {
+        let mut c = EwController::new(EwPolicy::Constant(16)).unwrap();
+        for i in 0..6 {
+            let expected = if i == 0 {
+                FrameKind::Inference
+            } else {
+                FrameKind::Extrapolation
+            };
+            assert_eq!(c.next_frame(), expected);
+        }
+        // Narrowing below the frames already extrapolated: the next
+        // frame infers (phase >= window), restoring accuracy promptly.
+        c.reconfigure(EwPolicy::Constant(2)).unwrap();
+        assert_eq!(c.next_frame(), FrameKind::Inference);
+        assert_eq!(c.next_frame(), FrameKind::Extrapolation);
+        assert_eq!(c.next_frame(), FrameKind::Inference);
+    }
+
+    #[test]
+    fn reconfigure_rejects_invalid_and_leaves_state() {
+        let mut c = EwController::new(EwPolicy::Constant(4)).unwrap();
+        assert!(c.reconfigure(EwPolicy::Constant(0)).is_err());
+        assert!(c
+            .reconfigure(EwPolicy::Adaptive(AdaptiveConfig {
+                min_window: 9,
+                max_window: 3,
+                ..AdaptiveConfig::default()
+            }))
+            .is_err());
+        assert_eq!(*c.policy(), EwPolicy::Constant(4), "unchanged on error");
+        assert_eq!(c.window(), 4);
+    }
+
+    #[test]
+    fn reconfigure_to_adaptive_clamps_current_window() {
+        let mut c = EwController::new(EwPolicy::Constant(12)).unwrap();
+        c.reconfigure(EwPolicy::Adaptive(AdaptiveConfig {
+            min_window: 1,
+            max_window: 8,
+            ..AdaptiveConfig::default()
+        }))
+        .unwrap();
+        assert_eq!(c.window(), 8, "learned/pinned window clamps into range");
+        // And the adaptive dynamics now apply.
+        c.record_comparison(0.0);
+        assert_eq!(c.window(), 7);
     }
 
     #[test]

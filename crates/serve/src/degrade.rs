@@ -1,0 +1,545 @@
+//! SLO-aware graceful degradation: the overload-control state machine.
+//!
+//! Euphrates' central observation — the EW window is a *knob* trading
+//! accuracy for compute (§3.3) — makes the window the natural actuator
+//! for overload control: a server that cannot meet its queue-wait SLO
+//! can widen live sessions' windows (more extrapolation, fewer CNN
+//! frames) instead of failing closed. This module declares that
+//! mechanism as data:
+//!
+//! * [`SloConfig`] — the service-level objective: a per-frame queue-wait
+//!   budget, a declared p99 target, the evaluation epoch, and the
+//!   hysteresis streaks.
+//! * [`DegradationLadder`] / [`Rung`] — the ordered list of states the
+//!   server may degrade through. Each rung can widen the EW window,
+//!   shrink the NN batching window, recommend a cheaper motion search
+//!   to producers, and (last resort) shed frames.
+//! * [`OverloadController`] — a **pure, deterministic** state machine:
+//!   it consumes one pressure observation per epoch (the fraction of
+//!   frames whose queue wait exceeded the budget, derived from the same
+//!   measurements that feed the queue-wait histograms) and walks the
+//!   ladder with two-sided hysteresis. Every transition is recorded
+//!   into a timeline that [`DegradationReport`] surfaces at drain.
+//!
+//! Determinism is the load-bearing property: the controller holds no
+//! clock and no randomness, so the rung sequence is a function of the
+//! observation sequence alone. Under a chaos
+//! [`PressurePlan`][crate::chaos::PressurePlan] the observations
+//! themselves are a pure function of `(seed, epoch)`, which is what
+//! lets the chaos suite assert *identical* rung timelines and
+//! per-session outcomes at any worker count.
+
+use euphrates_common::error::{Error, Result};
+use euphrates_isp::motion::SearchStrategy;
+use std::time::Duration;
+
+/// One state of the degradation ladder. Rung 0 is the nominal state;
+/// higher rungs trade more quality for headroom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rung {
+    /// Label used in logs and reports.
+    pub name: &'static str,
+    /// `Some(n)` pins live sessions' EW windows to `n` (constant mode);
+    /// `None` restores each session's scheme-declared policy.
+    pub ew_window: Option<u32>,
+    /// Right-shift applied to `NnBatchConfig::max_wait` at this rung:
+    /// shift 1 halves the batching window (lower latency, less
+    /// amortization), shift 0 leaves it nominal.
+    pub max_wait_shift: u32,
+    /// A cheaper block-matching search recommended to producers at this
+    /// rung (motion estimation runs client-side; see
+    /// [`SessionServer::degraded_motion`][crate::SessionServer::degraded_motion]).
+    pub motion_hint: Option<SearchStrategy>,
+    /// Shed frames at this rung instead of processing them: under a
+    /// live (measured) controller only frames already over the
+    /// per-frame budget are shed; under a chaos pressure plan every
+    /// frame at the rung is shed so the outcome stays deterministic.
+    pub shed: bool,
+}
+
+impl Rung {
+    /// A no-op rung: scheme policy, nominal batching window, no hint,
+    /// no shedding.
+    pub fn nominal(name: &'static str) -> Self {
+        Rung {
+            name,
+            ew_window: None,
+            max_wait_shift: 0,
+            motion_hint: None,
+            shed: false,
+        }
+    }
+}
+
+/// The ordered degradation states a server walks under pressure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationLadder {
+    /// Rung 0 first; the controller degrades toward the end.
+    pub rungs: Vec<Rung>,
+}
+
+impl DegradationLadder {
+    /// The default four-rung ladder: nominal → EW-8 + half batching
+    /// window + three-step search → EW-16 + quarter window + diamond
+    /// search → the same plus shedding.
+    pub fn standard() -> Self {
+        DegradationLadder {
+            rungs: vec![
+                Rung::nominal("nominal"),
+                Rung {
+                    name: "ew8-tss",
+                    ew_window: Some(8),
+                    max_wait_shift: 1,
+                    motion_hint: Some(SearchStrategy::ThreeStep),
+                    shed: false,
+                },
+                Rung {
+                    name: "ew16-diamond",
+                    ew_window: Some(16),
+                    max_wait_shift: 2,
+                    motion_hint: Some(SearchStrategy::Diamond),
+                    shed: false,
+                },
+                Rung {
+                    name: "shed",
+                    ew_window: Some(16),
+                    max_wait_shift: 3,
+                    motion_hint: Some(SearchStrategy::Diamond),
+                    shed: true,
+                },
+            ],
+        }
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// `true` if the ladder has no rungs (invalid; rejected by
+    /// [`SloConfig::validate`]).
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.rungs.is_empty() {
+            return Err(Error::config("degradation ladder needs at least one rung"));
+        }
+        for (i, rung) in self.rungs.iter().enumerate() {
+            if rung.ew_window == Some(0) {
+                return Err(Error::config(format!(
+                    "ladder rung {i} (`{}`) pins the EW window to 0",
+                    rung.name
+                )));
+            }
+            if rung.max_wait_shift > 32 {
+                return Err(Error::config(format!(
+                    "ladder rung {i} (`{}`) shifts max_wait by {} (> 32)",
+                    rung.name, rung.max_wait_shift
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The per-server service-level objective and the ladder that defends
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Per-frame queue-wait budget: a dequeued frame that waited longer
+    /// counts against the epoch's pressure (and is shed at a shedding
+    /// rung — a stale frame's result is worthless in continuous
+    /// vision).
+    pub frame_budget: Duration,
+    /// The declared SLO bound on queue-wait p99. Reported against the
+    /// measured distribution; on the 1-core CI box wall-clock is
+    /// *reported, never asserted* (the repo's standing rule), so tests
+    /// gate on the deterministic counters instead.
+    pub p99_target: Duration,
+    /// Frames per evaluation epoch: the controller observes pressure
+    /// once per `eval_every` frames.
+    pub eval_every: u64,
+    /// Consecutive overloaded epochs before stepping **down** a rung
+    /// (degrading).
+    pub degrade_after: u32,
+    /// Consecutive healthy epochs before stepping back **up** toward
+    /// nominal (recovering). Larger than `degrade_after` by default —
+    /// degrade fast, recover cautiously.
+    pub upgrade_after: u32,
+    /// An epoch is *overloaded* when the fraction of frames over
+    /// `frame_budget` reaches this value.
+    pub degrade_frac: f64,
+    /// An epoch is *healthy* when the over-budget fraction is at or
+    /// below this value; between the two thresholds the controller
+    /// holds its rung (the dead band of the hysteresis).
+    pub recover_frac: f64,
+    /// The degradation states.
+    pub ladder: DegradationLadder,
+}
+
+impl SloConfig {
+    /// An SLO with the standard ladder and default epoch/hysteresis
+    /// (256-frame epochs; degrade after 1 overloaded epoch, recover
+    /// after 4 healthy ones; 5% / 1% pressure thresholds).
+    pub fn new(frame_budget: Duration, p99_target: Duration) -> Self {
+        SloConfig {
+            frame_budget,
+            p99_target,
+            eval_every: 256,
+            degrade_after: 1,
+            upgrade_after: 4,
+            degrade_frac: 0.05,
+            recover_frac: 0.01,
+            ladder: DegradationLadder::standard(),
+        }
+    }
+
+    /// Replaces the ladder.
+    pub fn with_ladder(mut self, ladder: DegradationLadder) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Sets the evaluation epoch (frames per pressure observation).
+    pub fn with_epoch(mut self, eval_every: u64) -> Self {
+        self.eval_every = eval_every;
+        self
+    }
+
+    /// Sets the hysteresis streaks.
+    pub fn with_hysteresis(mut self, degrade_after: u32, upgrade_after: u32) -> Self {
+        self.degrade_after = degrade_after;
+        self.upgrade_after = upgrade_after;
+        self
+    }
+
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero budgets/epochs/streaks, pressure thresholds outside
+    /// `[0, 1]` or inverted, and invalid ladders.
+    pub fn validate(&self) -> Result<()> {
+        if self.frame_budget.is_zero() {
+            return Err(Error::config("SLO frame budget must be positive"));
+        }
+        if self.p99_target.is_zero() {
+            return Err(Error::config("SLO p99 target must be positive"));
+        }
+        if self.eval_every == 0 {
+            return Err(Error::config("SLO epoch (eval_every) must be >= 1 frame"));
+        }
+        if self.degrade_after == 0 || self.upgrade_after == 0 {
+            return Err(Error::config("SLO hysteresis streaks must be >= 1 epoch"));
+        }
+        if !(0.0..=1.0).contains(&self.degrade_frac) || !(0.0..=1.0).contains(&self.recover_frac) {
+            return Err(Error::config("SLO pressure thresholds must lie in [0, 1]"));
+        }
+        if self.recover_frac > self.degrade_frac {
+            return Err(Error::config(
+                "SLO recover threshold exceeds the degrade threshold (inverted hysteresis)",
+            ));
+        }
+        self.ladder.validate()
+    }
+}
+
+/// One recorded ladder transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RungTransition {
+    /// The epoch whose observation triggered the step.
+    pub epoch: u64,
+    /// Rung before.
+    pub from: usize,
+    /// Rung after (`from ± 1`).
+    pub to: usize,
+    /// The over-budget fraction observed that epoch.
+    pub over_frac: f64,
+}
+
+/// The deterministic overload state machine: feeds on one pressure
+/// observation per epoch, walks the ladder with two-sided hysteresis,
+/// and records every transition.
+#[derive(Debug, Clone)]
+pub struct OverloadController {
+    slo: SloConfig,
+    rung: usize,
+    over_streak: u32,
+    under_streak: u32,
+    epochs: u64,
+    timeline: Vec<RungTransition>,
+}
+
+impl OverloadController {
+    /// Creates a controller at rung 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SloConfig::validate`] failures.
+    pub fn new(slo: SloConfig) -> Result<Self> {
+        slo.validate()?;
+        Ok(OverloadController {
+            slo,
+            rung: 0,
+            over_streak: 0,
+            under_streak: 0,
+            epochs: 0,
+            timeline: Vec::new(),
+        })
+    }
+
+    /// The configuration driving the walk.
+    pub fn slo(&self) -> &SloConfig {
+        &self.slo
+    }
+
+    /// The current rung index.
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+
+    /// Epochs observed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Every transition taken, in order.
+    pub fn timeline(&self) -> &[RungTransition] {
+        &self.timeline
+    }
+
+    /// Consumes one epoch's pressure observation — the fraction of the
+    /// epoch's frames whose queue wait exceeded the budget — and
+    /// returns the (possibly new) rung.
+    ///
+    /// Overloaded epochs (`over_frac >= degrade_frac`) extend the
+    /// degrade streak; healthy epochs (`over_frac <= recover_frac`)
+    /// extend the recover streak; the dead band between them resets
+    /// both, holding the rung. A streak reaching its threshold steps
+    /// one rung (clamped at the ladder ends) and resets.
+    pub fn observe(&mut self, over_frac: f64) -> usize {
+        let epoch = self.epochs;
+        self.epochs += 1;
+        let over_frac = if over_frac.is_finite() {
+            over_frac.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        if over_frac >= self.slo.degrade_frac {
+            self.under_streak = 0;
+            self.over_streak += 1;
+            if self.over_streak >= self.slo.degrade_after {
+                self.over_streak = 0;
+                if self.rung + 1 < self.slo.ladder.len() {
+                    self.timeline.push(RungTransition {
+                        epoch,
+                        from: self.rung,
+                        to: self.rung + 1,
+                        over_frac,
+                    });
+                    self.rung += 1;
+                }
+            }
+        } else if over_frac <= self.slo.recover_frac {
+            self.over_streak = 0;
+            self.under_streak += 1;
+            if self.under_streak >= self.slo.upgrade_after {
+                self.under_streak = 0;
+                if self.rung > 0 {
+                    self.timeline.push(RungTransition {
+                        epoch,
+                        from: self.rung,
+                        to: self.rung - 1,
+                        over_frac,
+                    });
+                    self.rung -= 1;
+                }
+            }
+        } else {
+            self.over_streak = 0;
+            self.under_streak = 0;
+        }
+        self.rung
+    }
+}
+
+/// The degradation outcome of one server lifetime, merged into
+/// [`DrainReport`][crate::DrainReport].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// Every ladder transition, in epoch order. Under a chaos pressure
+    /// plan this is the canonical (thread-count-independent) walk.
+    pub timeline: Vec<RungTransition>,
+    /// Frames *scheduled* at each rung (indexed like the ladder): live
+    /// sessions' arrivals, whether served, shed, or fatal.
+    pub frames_per_rung: Vec<u64>,
+    /// Frames shed at shedding rungs (accounted separately from served
+    /// and dropped: `frames == served + dropped + shed`).
+    pub shed: u64,
+    /// Live EW re-configurations applied to sessions on rung changes.
+    pub reconfigs: u64,
+    /// Pressure epochs observed.
+    pub epochs: u64,
+    /// The rung the server ended on.
+    pub final_rung: usize,
+}
+
+impl DegradationReport {
+    /// The deepest rung the walk reached.
+    pub fn max_rung(&self) -> usize {
+        self.timeline
+            .iter()
+            .map(|t| t.to)
+            .max()
+            .unwrap_or(self.final_rung)
+            .max(self.final_rung)
+    }
+
+    /// Number of transitions taken.
+    pub fn transitions(&self) -> usize {
+        self.timeline.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo(degrade_after: u32, upgrade_after: u32) -> SloConfig {
+        SloConfig::new(Duration::from_millis(1), Duration::from_millis(5))
+            .with_epoch(4)
+            .with_hysteresis(degrade_after, upgrade_after)
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(slo(1, 1).validate().is_ok());
+        assert!(slo(0, 1).validate().is_err());
+        assert!(slo(1, 0).validate().is_err());
+        let mut s = slo(1, 1);
+        s.frame_budget = Duration::ZERO;
+        assert!(s.validate().is_err());
+        let mut s = slo(1, 1);
+        s.eval_every = 0;
+        assert!(s.validate().is_err());
+        let mut s = slo(1, 1);
+        s.recover_frac = 0.5;
+        s.degrade_frac = 0.1;
+        assert!(s.validate().is_err(), "inverted hysteresis band");
+        let mut s = slo(1, 1);
+        s.ladder = DegradationLadder { rungs: vec![] };
+        assert!(s.validate().is_err(), "empty ladder");
+        let mut s = slo(1, 1);
+        s.ladder.rungs[1].ew_window = Some(0);
+        assert!(s.validate().is_err(), "zero EW pin");
+    }
+
+    #[test]
+    fn walks_down_under_sustained_pressure_and_clamps() {
+        let mut c = OverloadController::new(slo(1, 1)).unwrap();
+        let depth = c.slo().ladder.len();
+        for _ in 0..10 {
+            c.observe(1.0);
+        }
+        assert_eq!(c.rung(), depth - 1, "clamped at the last rung");
+        assert_eq!(c.timeline().len(), depth - 1, "one transition per step");
+        for (i, t) in c.timeline().iter().enumerate() {
+            assert_eq!((t.from, t.to), (i, i + 1));
+            assert_eq!(t.epoch, i as u64);
+        }
+    }
+
+    #[test]
+    fn recovers_with_hysteresis() {
+        let mut c = OverloadController::new(slo(1, 2)).unwrap();
+        c.observe(1.0);
+        c.observe(1.0);
+        assert_eq!(c.rung(), 2);
+        // One healthy epoch is not enough (upgrade_after = 2)...
+        c.observe(0.0);
+        assert_eq!(c.rung(), 2);
+        // ...two are.
+        c.observe(0.0);
+        assert_eq!(c.rung(), 1);
+        c.observe(0.0);
+        c.observe(0.0);
+        assert_eq!(c.rung(), 0);
+        // Clamped at nominal.
+        c.observe(0.0);
+        c.observe(0.0);
+        assert_eq!(c.rung(), 0);
+        let downs: Vec<usize> = c
+            .timeline()
+            .iter()
+            .filter(|t| t.to < t.from)
+            .map(|t| t.to)
+            .collect();
+        assert_eq!(downs, vec![1, 0]);
+    }
+
+    #[test]
+    fn dead_band_holds_the_rung_and_resets_streaks() {
+        let mut c = OverloadController::new(slo(2, 2)).unwrap();
+        // degrade_frac 0.05, recover_frac 0.01: 0.03 is the dead band.
+        c.observe(1.0);
+        c.observe(0.03); // resets the degrade streak
+        c.observe(1.0);
+        assert_eq!(c.rung(), 0, "streak broken by the dead band");
+        c.observe(1.0);
+        assert_eq!(c.rung(), 1, "two consecutive overloaded epochs step");
+        c.observe(0.0);
+        c.observe(0.03); // resets the recover streak too
+        c.observe(0.0);
+        assert_eq!(c.rung(), 1);
+        c.observe(0.0);
+        assert_eq!(c.rung(), 0);
+    }
+
+    #[test]
+    fn walk_is_a_pure_function_of_the_observation_sequence() {
+        let pressures: Vec<f64> = (0..64)
+            .map(|e| {
+                if euphrates_common::rngx::counter_hash(0xD15C0, e).is_multiple_of(3) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let run = |pressures: &[f64]| {
+            let mut c = OverloadController::new(slo(1, 2)).unwrap();
+            for &p in pressures {
+                c.observe(p);
+            }
+            (c.rung(), c.timeline().to_vec())
+        };
+        assert_eq!(run(&pressures), run(&pressures));
+    }
+
+    #[test]
+    fn non_finite_pressure_degrades_rather_than_wedging() {
+        let mut c = OverloadController::new(slo(1, 1)).unwrap();
+        c.observe(f64::NAN);
+        assert_eq!(c.rung(), 1, "NaN pressure reads as full overload");
+        c.observe(f64::INFINITY);
+        assert_eq!(c.rung(), 2);
+    }
+
+    #[test]
+    fn standard_ladder_tightens_monotonically() {
+        let ladder = DegradationLadder::standard();
+        assert!(ladder.len() >= 2);
+        assert_eq!(ladder.rungs[0], Rung::nominal("nominal"));
+        let mut prev_shift = 0;
+        for rung in &ladder.rungs {
+            assert!(
+                rung.max_wait_shift >= prev_shift,
+                "batch window only shrinks"
+            );
+            prev_shift = rung.max_wait_shift;
+        }
+        assert!(ladder.rungs.last().unwrap().shed, "last resort sheds");
+    }
+}

@@ -71,6 +71,43 @@
 //! [`DrainReport::nn`]: batched vs `N×` solo cycles, energy, DRAM
 //! traffic, and the realized batch-size histogram.
 //!
+//! # Overload, degradation & chaos
+//!
+//! A server that can only fail closed under pressure wastes the
+//! paper's central knob: the EW window *is* a quality/compute dial, so
+//! overload should turn the dial before it drops frames. With
+//! [`ServeConfig::with_slo`] the server watches the same queue-wait
+//! measurements that feed its histograms and walks a declared
+//! [`DegradationLadder`] with two-sided hysteresis (the
+//! [`OverloadController`] in [`degrade`]): widen live sessions' EW
+//! windows (via the core runtime re-config `Session::reconfigure_policy`),
+//! shrink the NN batching window, recommend a cheaper motion search to
+//! producers ([`degraded_motion`][SessionServer::degraded_motion]), and
+//! — last resort — shed frames that have already blown their budget.
+//! Every transition lands in the [`DegradationReport`] merged into
+//! [`DrainReport::degradation`], and shed frames get their own counter:
+//! `frames == served + dropped + shed`, exactly.
+//!
+//! [`ServeConfig::with_chaos`] arms a seeded, bit-reproducible fault
+//! plan ([`ChaosConfig`] in [`chaos`]): worker stalls, injected session
+//! panics, corrupted (wrong-resolution) frames, and forced admission
+//! rejections, all derived from [`rngx::counter_hash`] over logical
+//! counters — never wall-clock. A chaos
+//! [`PressurePlan`] replaces the measured pressure signal with a pure
+//! function of the epoch, advanced per-session by arrival index, which
+//! makes the entire degradation walk — rung timeline *and* per-session
+//! outcomes — a deterministic function of `(seed, config)` at any
+//! worker count. The chaos suite asserts exactly that, plus exact frame
+//! accounting and zero spin retries under fault storms.
+//!
+//! On the producer side, [`feed_sequence_with`] hardens the feed loop:
+//! bounded deadline-submit retries with deterministic jittered backoff
+//! ([`FeedPolicy::backoff`], pure in `(seed, session, frame, attempt)`),
+//! then either parks (frame never lost) or sheds client-side; repeated
+//! rejections can trip a circuit breaker that tombstones the session
+//! with a typed reason ([`FailureKind::CircuitBroken`] in
+//! [`DrainReport::failure_breakdown`]).
+//!
 //! Frames enter as [`Arc<FrameData>`] — ground truth plus the
 //! ISP-exported motion field, i.e. what the paper's ISP ships to the
 //! vision backend. Producing them (rendering, sensor, ISP) stays on the
@@ -104,6 +141,14 @@
 //! }
 //! ```
 
+pub mod chaos;
+pub mod degrade;
+
+pub use chaos::{ChaosConfig, ChaosReport, PressurePlan};
+pub use degrade::{
+    DegradationLadder, DegradationReport, OverloadController, Rung, RungTransition, SloConfig,
+};
+
 use euphrates_common::error::{Error, Result};
 use euphrates_common::gate::CapacityGate;
 use euphrates_common::image::Resolution;
@@ -114,13 +159,15 @@ use euphrates_core::api::{SchemeSpec, Session, VisionTask};
 use euphrates_core::backend::TaskOutcome;
 use euphrates_core::frontend::{frame_source, FrameData, MotionConfig};
 use euphrates_datasets::Sequence;
+use euphrates_isp::motion::MotionField;
+use euphrates_mc::policy::EwPolicy;
 use euphrates_nn::engine::{BatchPlan, InferencePlan, NnxEngine};
 use euphrates_nn::layer::NetworkDescriptor;
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -161,6 +208,12 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Cross-session NN batching; `None` charges every inference solo.
     pub nn_batching: Option<NnBatchConfig>,
+    /// SLO-aware graceful degradation (see the crate docs' "Overload,
+    /// degradation & chaos" section); `None` never degrades.
+    pub slo: Option<SloConfig>,
+    /// Deterministic fault injection; `None` (the default) means the
+    /// chaos hooks cost one `Option` check per event.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -169,6 +222,8 @@ impl Default for ServeConfig {
             workers: default_threads(),
             queue_depth: 64,
             nn_batching: None,
+            slo: None,
+            chaos: None,
         }
     }
 }
@@ -179,13 +234,25 @@ impl ServeConfig {
         ServeConfig {
             workers,
             queue_depth,
-            nn_batching: None,
+            ..ServeConfig::default()
         }
     }
 
     /// Enables cross-session NN batching.
     pub fn with_nn_batching(mut self, batching: NnBatchConfig) -> Self {
         self.nn_batching = Some(batching);
+        self
+    }
+
+    /// Enables SLO-aware graceful degradation.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Arms deterministic fault injection.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -226,6 +293,9 @@ enum Msg {
     },
     /// Finish session `id` and stash its outcome.
     Close { id: SessionId },
+    /// Tombstone session `id` with `error` (circuit breaker): late
+    /// frames drop, the eventual close reports the typed reason.
+    Fail { id: SessionId, error: Error },
 }
 
 /// Pre-planned batched-inference costs shared by all workers: one
@@ -239,31 +309,118 @@ struct BatchRuntime {
     solo: InferencePlan,
 }
 
+/// The overload-control state shared by all workers when an SLO is
+/// configured. Two operating modes:
+///
+/// * **Measured** (`plan: None`): workers pool per-epoch pressure in
+///   the atomics; whichever worker closes an epoch locks the global
+///   controller, observes, and publishes the new rung in `current`.
+///   Real, but epoch composition depends on thread interleaving.
+/// * **Planned** (`plan: Some`): each session carries its own clone of
+///   `template` advanced by *arrival index* against the pure pressure
+///   plan, so per-session rung schedules (and outcomes) are identical
+///   at any worker count; `current` mirrors the latest advance for the
+///   worker-level knobs (batch window, motion hint).
+struct OverloadRuntime {
+    slo: SloConfig,
+    plan: Option<PressurePlan>,
+    template: OverloadController,
+    /// The rung driving worker-level knobs right now.
+    current: AtomicUsize,
+    /// Frames observed in measured mode (monotonic; an epoch closes
+    /// every `eval_every`-th frame).
+    epoch_frames: AtomicU64,
+    /// Over-budget frames in the current measured epoch.
+    epoch_over: AtomicU64,
+    /// The measured-mode controller (locked once per epoch, never per
+    /// frame).
+    controller: Mutex<OverloadController>,
+}
+
 /// Read-only state shared by all workers.
 struct Shared<T> {
     task: T,
     schemes: Vec<SchemeSpec>,
     batching: Option<BatchRuntime>,
+    overload: Option<OverloadRuntime>,
+    chaos: Option<ChaosConfig>,
+}
+
+/// Why a session failed — the typed classification behind
+/// [`DrainReport::failure_breakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The session poisoned itself (invalid frame, task error) through
+    /// its own validation path.
+    Poisoned,
+    /// The task panicked mid-frame; the worker isolated it.
+    Panicked,
+    /// A producer's circuit breaker tombstoned the session
+    /// ([`SessionServer::break_session`]).
+    CircuitBroken,
+    /// A chaos fault (injected panic or corrupted frame) killed it.
+    ChaosInjected,
+    /// Protocol misuse: the session never opened cleanly or was closed
+    /// without being known.
+    Protocol,
+}
+
+/// Session failures counted by [`FailureKind`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FailureBreakdown {
+    /// Self-poisoned sessions.
+    pub poisoned: usize,
+    /// Panic-killed sessions.
+    pub panicked: usize,
+    /// Circuit-broken sessions.
+    pub circuit_broken: usize,
+    /// Chaos casualties.
+    pub chaos_injected: usize,
+    /// Protocol misuse.
+    pub protocol: usize,
+}
+
+impl FailureBreakdown {
+    /// Total failed sessions.
+    pub fn total(&self) -> usize {
+        self.poisoned + self.panicked + self.circuit_broken + self.chaos_injected + self.protocol
+    }
+}
+
+/// A live session plus the serving-side state that rides along: its
+/// scheme index (to restore the declared EW policy at rung 0), the
+/// arrival counter the deterministic fault/pressure schedules key on,
+/// the rung currently applied to it, and — under a pressure plan — its
+/// own controller replica.
+struct LiveSlot<T: VisionTask> {
+    session: Session<T>,
+    scheme: usize,
+    arrivals: u64,
+    applied_rung: usize,
+    walk: Option<OverloadController>,
 }
 
 /// A worker's session slot: a live session, or the error that killed it
 /// (kept so late frames are counted as dropped, not "unknown session",
-/// and so close/drain can report *why* the session died). Sessions are
-/// boxed so a mostly-dead table stays small.
+/// and so close/drain can report *why* the session died — including the
+/// typed [`FailureKind`]). Sessions are boxed so a mostly-dead table
+/// stays small.
 enum Slot<T: VisionTask> {
-    Live(Box<Session<T>>),
-    Dead(Error),
+    Live(Box<LiveSlot<T>>),
+    Dead { error: Error, kind: FailureKind },
 }
 
 /// One worker shard's drained statistics.
 #[derive(Debug)]
 pub struct WorkerStats {
-    /// Frames this shard received (served + dropped).
+    /// Frames this shard received (served + dropped + shed).
     pub frames: u64,
     /// Frames pushed through a live session successfully.
     pub served: u64,
     /// Frames discarded (dead or never-opened session).
     pub dropped: u64,
+    /// Frames shed by the degradation ladder's last-resort rung.
+    pub shed: u64,
     /// Submit→dequeue wait per frame, nanoseconds.
     pub queue_wait: LatencyHistogram,
     /// Nanoseconds spent processing messages.
@@ -360,14 +517,19 @@ pub struct IngressReport {
 
 /// What one worker hands back at drain.
 struct WorkerOutput {
-    outcomes: Vec<(SessionId, Result<TaskOutcome>)>,
+    outcomes: Vec<(SessionId, Result<TaskOutcome>, Option<FailureKind>)>,
     latency: LatencyHistogram,
     queue_wait: LatencyHistogram,
     frames: u64,
     served: u64,
     dropped: u64,
+    shed: u64,
     busy_ns: u64,
     wall_ns: u64,
+    frames_per_rung: Vec<u64>,
+    reconfigs: u64,
+    max_epochs: u64,
+    chaos: ChaosReport,
     nn: Option<NnServeReport>,
 }
 
@@ -378,19 +540,21 @@ struct WorkerOutput {
 /// batching report.
 #[derive(Debug)]
 pub struct DrainReport {
-    /// Per-session outcomes, one entry per opened session (errors for
-    /// sessions that died).
-    outcomes: HashMap<SessionId, Result<TaskOutcome>>,
+    /// Per-session outcomes plus (for failures) the typed kind, one
+    /// entry per opened session.
+    outcomes: HashMap<SessionId, (Result<TaskOutcome>, Option<FailureKind>)>,
     /// Submit→completion latency over every successfully served frame.
     pub latency: LatencyHistogram,
     /// Submit→dequeue wait over every received frame.
     pub queue_wait: LatencyHistogram,
-    /// Frames received by workers (served + dropped).
+    /// Frames received by workers (served + dropped + shed).
     pub frames: u64,
     /// Frames pushed through a live session successfully.
     pub served: u64,
     /// Frames discarded: sent to a dead or never-opened session.
     pub dropped: u64,
+    /// Frames shed by the degradation ladder (SLO servers only).
+    pub shed: u64,
     /// Frames received per worker, in worker order (shard balance).
     pub per_worker_frames: Vec<u64>,
     /// Full per-shard statistics, in worker order.
@@ -399,6 +563,10 @@ pub struct DrainReport {
     pub ingress: IngressReport,
     /// Cross-session NN batching outcome; `None` when batching is off.
     pub nn: Option<NnServeReport>,
+    /// The degradation walk and its accounting; `None` without an SLO.
+    pub degradation: Option<DegradationReport>,
+    /// Faults injected; `None` when chaos is unarmed.
+    pub chaos: Option<ChaosReport>,
 }
 
 impl DrainReport {
@@ -409,17 +577,43 @@ impl DrainReport {
 
     /// One session's outcome (or the error that killed it).
     pub fn outcome(&self, id: SessionId) -> Option<&Result<TaskOutcome>> {
-        self.outcomes.get(&id)
+        self.outcomes.get(&id).map(|(outcome, _)| outcome)
     }
 
     /// Iterates `(id, outcome)` in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&SessionId, &Result<TaskOutcome>)> {
-        self.outcomes.iter()
+        self.outcomes.iter().map(|(id, (outcome, _))| (id, outcome))
     }
 
     /// Number of sessions whose outcome is an error.
     pub fn failed_sessions(&self) -> usize {
-        self.outcomes.values().filter(|o| o.is_err()).count()
+        self.outcomes.values().filter(|(o, _)| o.is_err()).count()
+    }
+
+    /// Why session `id` failed, if it did.
+    pub fn failure_kind(&self, id: SessionId) -> Option<FailureKind> {
+        self.outcomes
+            .get(&id)
+            .and_then(|(outcome, kind)| if outcome.is_err() { *kind } else { None })
+    }
+
+    /// Failed sessions classified by [`FailureKind`];
+    /// `breakdown.total() == failed_sessions()`.
+    pub fn failure_breakdown(&self) -> FailureBreakdown {
+        let mut b = FailureBreakdown::default();
+        for (outcome, kind) in self.outcomes.values() {
+            if outcome.is_ok() {
+                continue;
+            }
+            match kind.unwrap_or(FailureKind::Protocol) {
+                FailureKind::Poisoned => b.poisoned += 1,
+                FailureKind::Panicked => b.panicked += 1,
+                FailureKind::CircuitBroken => b.circuit_broken += 1,
+                FailureKind::ChaosInjected => b.chaos_injected += 1,
+                FailureKind::Protocol => b.protocol += 1,
+            }
+        }
+        b
     }
 }
 
@@ -446,6 +640,11 @@ pub struct SessionServer<T: VisionTask> {
     workers: Vec<JoinHandle<WorkerOutput>>,
     spin_retries: AtomicU64,
     busy_rejections: AtomicU64,
+    /// Admission sequence number (only advanced while the chaos
+    /// rejection channel is armed — keeps the fault schedule a pure
+    /// function of the submit order).
+    submit_seq: AtomicU64,
+    chaos_rejections: AtomicU64,
 }
 
 impl<T> SessionServer<T>
@@ -460,7 +659,9 @@ where
     /// # Errors
     ///
     /// Rejects an empty or duplicate-id scheme registry, zero-sized
-    /// worker pools or queues, and a zero `max_batch`.
+    /// worker pools or queues, a zero `max_batch`, an invalid
+    /// [`SloConfig`], and a chaos pressure plan without an SLO to
+    /// drive.
     pub fn new(
         task: T,
         schemes: impl IntoIterator<Item = SchemeSpec>,
@@ -499,21 +700,45 @@ where
             }
             None => None,
         };
+        if let Some(chaos) = &config.chaos {
+            if chaos.pressure.is_some() && config.slo.is_none() {
+                return Err(Error::config(
+                    "a chaos pressure plan needs an SLO (ServeConfig::with_slo) to drive",
+                ));
+            }
+        }
+        let overload = match config.slo {
+            Some(slo) => {
+                let template = OverloadController::new(slo.clone())?;
+                Some(OverloadRuntime {
+                    slo,
+                    plan: config.chaos.as_ref().and_then(|c| c.pressure),
+                    controller: Mutex::new(template.clone()),
+                    template,
+                    current: AtomicUsize::new(0),
+                    epoch_frames: AtomicU64::new(0),
+                    epoch_over: AtomicU64::new(0),
+                })
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             task,
             schemes,
             batching,
+            overload,
+            chaos: config.chaos,
         });
         let mut lanes = Vec::with_capacity(config.workers);
         let mut workers = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
+        for windex in 0..config.workers {
             let (tx, rx) = sync_channel(config.queue_depth);
             let gate = Arc::new(CapacityGate::new(config.queue_depth));
             let shared = Arc::clone(&shared);
             let worker_gate = Arc::clone(&gate);
             lanes.push(Lane { tx, gate });
             workers.push(std::thread::spawn(move || {
-                worker_loop(shared, rx, worker_gate)
+                worker_loop(shared, rx, worker_gate, windex as u64)
             }));
         }
         Ok(SessionServer {
@@ -522,6 +747,8 @@ where
             workers,
             spin_retries: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            submit_seq: AtomicU64::new(0),
+            chaos_rejections: AtomicU64::new(0),
         })
     }
 
@@ -572,12 +799,36 @@ where
     /// never opened are accepted here and counted as dropped by the
     /// worker — admission control is per-lane, not per-session.
     pub fn try_submit(&self, id: SessionId, frame: Arc<FrameData>) -> Submit {
+        if self.chaos_reject() {
+            return Submit::Busy(frame);
+        }
         let lane = self.shard(id);
         if !self.lanes[lane].gate.try_acquire() {
             self.busy_rejections.fetch_add(1, Ordering::Relaxed);
             return Submit::Busy(frame);
         }
         self.send_frame_with_permit(lane, id, frame)
+    }
+
+    /// The chaos forced-saturation channel: pretends the lane is full
+    /// for a deterministic subset of non-blocking/deadline admissions.
+    /// [`submit_blocking`][SessionServer::submit_blocking] is exempt —
+    /// it has no `Busy` verdict to fake.
+    fn chaos_reject(&self) -> bool {
+        let Some(chaos) = self.shared.chaos.as_ref() else {
+            return false;
+        };
+        if chaos.reject_every == 0 {
+            return false;
+        }
+        let seq = self.submit_seq.fetch_add(1, Ordering::Relaxed);
+        if chaos.reject_at(seq) {
+            self.chaos_rejections.fetch_add(1, Ordering::Relaxed);
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
     }
 
     /// Submits one frame, **parking** until its lane has capacity: the
@@ -606,6 +857,9 @@ where
         frame: Arc<FrameData>,
         timeout: Duration,
     ) -> Submit {
+        if self.chaos_reject() {
+            return Submit::Busy(frame);
+        }
         let lane = self.shard(id);
         if !self.lanes[lane].gate.acquire_timeout(timeout) {
             self.busy_rejections.fetch_add(1, Ordering::Relaxed);
@@ -657,6 +911,51 @@ where
         self.send_parked(self.shard(id), Msg::Close { id })
     }
 
+    /// Trips the circuit breaker on session `id`: the session is
+    /// tombstoned with `reason` as a typed
+    /// [`FailureKind::CircuitBroken`] failure, late frames for it are
+    /// dropped, and the eventual close/drain reports the reason. Used
+    /// by [`feed_sequence_with`] when a producer gives up on a session;
+    /// callable directly by any supervisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the worker has vanished.
+    pub fn break_session(&self, id: SessionId, reason: impl Into<String>) -> Result<()> {
+        self.send_parked(
+            self.shard(id),
+            Msg::Fail {
+                id,
+                error: Error::state(reason.into()),
+            },
+        )
+    }
+
+    /// The degradation rung currently driving the worker-level knobs
+    /// (0 — nominal — when no SLO is configured).
+    pub fn current_rung(&self) -> usize {
+        self.shared
+            .overload
+            .as_ref()
+            .map_or(0, |rt| rt.current.load(Ordering::Relaxed))
+    }
+
+    /// `base` with the current rung's cheaper motion-search
+    /// recommendation applied (identity at nominal or without an SLO).
+    /// Motion estimation runs client-side, so the server can only
+    /// advise: producers that re-render under pressure should route
+    /// their [`MotionConfig`] through this before building frames.
+    pub fn degraded_motion(&self, base: &MotionConfig) -> MotionConfig {
+        let mut config = *base;
+        if let Some(rt) = self.shared.overload.as_ref() {
+            let rung = &rt.slo.ladder.rungs[rt.current.load(Ordering::Relaxed)];
+            if let Some(hint) = rung.motion_hint {
+                config.strategy = hint;
+            }
+        }
+        config
+    }
+
     /// Shuts down gracefully: closes every lane, lets each worker
     /// finish its queued messages and flush all still-open sessions,
     /// then merges the per-worker reports.
@@ -667,6 +966,15 @@ where
             .map(|lane| Arc::clone(&lane.gate))
             .collect();
         drop(self.lanes);
+        let ladder_len = self
+            .shared
+            .overload
+            .as_ref()
+            .map_or(0, |rt| rt.slo.ladder.len());
+        let mut frames_per_rung = vec![0u64; ladder_len];
+        let mut reconfigs = 0u64;
+        let mut max_epochs = 0u64;
+        let mut chaos_total = ChaosReport::default();
         let mut report = DrainReport {
             outcomes: HashMap::new(),
             latency: LatencyHistogram::new(),
@@ -674,6 +982,7 @@ where
             frames: 0,
             served: 0,
             dropped: 0,
+            shed: 0,
             per_worker_frames: Vec::with_capacity(self.workers.len()),
             per_worker: Vec::with_capacity(self.workers.len()),
             ingress: IngressReport {
@@ -686,6 +995,8 @@ where
                 .batching
                 .as_ref()
                 .map(|_| NnServeReport::default()),
+            degradation: None,
+            chaos: None,
         };
         for (handle, gate) in self.workers.into_iter().zip(gates) {
             let out = handle
@@ -700,11 +1011,19 @@ where
             report.frames += out.frames;
             report.served += out.served;
             report.dropped += out.dropped;
+            report.shed += out.shed;
+            for (rung, n) in out.frames_per_rung.iter().enumerate() {
+                frames_per_rung[rung] += n;
+            }
+            reconfigs += out.reconfigs;
+            max_epochs = max_epochs.max(out.max_epochs);
+            chaos_total.merge(&out.chaos);
             report.per_worker_frames.push(out.frames);
             report.per_worker.push(WorkerStats {
                 frames: out.frames,
                 served: out.served,
                 dropped: out.dropped,
+                shed: out.shed,
                 queue_wait: out.queue_wait,
                 busy_ns: out.busy_ns,
                 wall_ns: out.wall_ns,
@@ -714,9 +1033,41 @@ where
             if let (Some(total), Some(nn)) = (report.nn.as_mut(), out.nn.as_ref()) {
                 total.merge(nn);
             }
-            for (id, outcome) in out.outcomes {
-                report.outcomes.insert(id, outcome);
+            for (id, outcome, kind) in out.outcomes {
+                report.outcomes.insert(id, (outcome, kind));
             }
+        }
+        if let Some(rt) = self.shared.overload.as_ref() {
+            // Planned mode: the canonical (thread-count-independent)
+            // walk is the template replayed over the pure pressure plan
+            // for as many epochs as any session reached. Measured mode:
+            // the global controller's own history (a poisoned lock just
+            // means a worker died mid-epoch; its state is still valid).
+            let (timeline, epochs, final_rung) = match &rt.plan {
+                Some(plan) => {
+                    let mut walk = rt.template.clone();
+                    for epoch in 0..max_epochs {
+                        walk.observe(plan.over_frac(epoch));
+                    }
+                    (walk.timeline().to_vec(), walk.epochs(), walk.rung())
+                }
+                None => {
+                    let ctl = rt.controller.lock().unwrap_or_else(|p| p.into_inner());
+                    (ctl.timeline().to_vec(), ctl.epochs(), ctl.rung())
+                }
+            };
+            report.degradation = Some(DegradationReport {
+                timeline,
+                frames_per_rung,
+                shed: report.shed,
+                reconfigs,
+                epochs,
+                final_rung,
+            });
+        }
+        if self.shared.chaos.is_some() {
+            chaos_total.rejections += self.chaos_rejections.load(Ordering::Relaxed);
+            report.chaos = Some(chaos_total);
         }
         report
     }
@@ -823,6 +1174,7 @@ fn worker_loop<T>(
     shared: Arc<Shared<T>>,
     rx: Receiver<Msg>,
     gate: Arc<CapacityGate>,
+    windex: u64,
 ) -> WorkerOutput
 where
     T: VisionTask + Clone,
@@ -830,6 +1182,22 @@ where
     let started = Instant::now();
     let mut sessions: HashMap<SessionId, Slot<T>> = HashMap::new();
     let mut collector = BatchCollector::new();
+    let mut dequeues: u64 = 0;
+    let ladder_len = shared.overload.as_ref().map_or(0, |rt| rt.slo.ladder.len());
+    // The chaos corruption channel's substitute: a tiny frame of the
+    // wrong resolution, so the corruption travels the same validation
+    // (and poison) path a malformed client frame would.
+    let corrupt_frame = shared
+        .chaos
+        .as_ref()
+        .filter(|c| c.corrupt_every != 0)
+        .map(|_| {
+            FrameData::new(
+                Vec::new(),
+                MotionField::zeroed(Resolution::new(2, 2), 2, 1)
+                    .expect("a 2x2 zero field is always constructible"),
+            )
+        });
     let mut out = WorkerOutput {
         outcomes: Vec::new(),
         latency: LatencyHistogram::new(),
@@ -837,18 +1205,32 @@ where
         frames: 0,
         served: 0,
         dropped: 0,
+        shed: 0,
         busy_ns: 0,
         wall_ns: 0,
+        frames_per_rung: vec![0; ladder_len],
+        reconfigs: 0,
+        max_epochs: 0,
+        chaos: ChaosReport::default(),
         nn: shared.batching.as_ref().map(|_| NnServeReport::default()),
     };
     loop {
-        // While a batch window is open, wait only until its deadline;
-        // otherwise block indefinitely for the next message.
-        let msg = match shared
-            .batching
-            .as_ref()
-            .and_then(|b| collector.deadline(b.max_wait))
-        {
+        // While a batch window is open, wait only until its deadline
+        // (shrunk by the current rung's shift — degraded servers trade
+        // amortization for latency); otherwise block for the next
+        // message.
+        let deadline = shared.batching.as_ref().and_then(|b| {
+            let max_wait = match shared.overload.as_ref() {
+                Some(rt) => {
+                    let rung = rt.current.load(Ordering::Relaxed);
+                    let shift = rt.slo.ladder.rungs[rung].max_wait_shift.min(63);
+                    Duration::from_nanos((b.max_wait.as_nanos() as u64) >> shift)
+                }
+                None => b.max_wait,
+            };
+            collector.deadline(max_wait)
+        });
+        let msg = match deadline {
             Some(deadline) => {
                 let wait = deadline.saturating_duration_since(Instant::now());
                 match rx.recv_timeout(wait) {
@@ -868,6 +1250,13 @@ where
         };
         let Some(msg) = msg else { break };
         gate.release();
+        if let Some(chaos) = shared.chaos.as_ref() {
+            if chaos.stall_at(windex, dequeues) {
+                out.chaos.stalls += 1;
+                std::thread::sleep(chaos.stall);
+            }
+        }
+        dequeues += 1;
         let busy_from = Instant::now();
         match msg {
             Msg::Open {
@@ -877,61 +1266,186 @@ where
             } => {
                 let spec = &shared.schemes[scheme];
                 let slot = match Session::new(shared.task.clone(), spec.backend, resolution, id) {
-                    Ok(session) => Slot::Live(Box::new(session)),
-                    Err(e) => Slot::Dead(e),
+                    Ok(session) => Slot::Live(Box::new(LiveSlot {
+                        session,
+                        scheme,
+                        arrivals: 0,
+                        applied_rung: 0,
+                        walk: shared
+                            .overload
+                            .as_ref()
+                            .filter(|rt| rt.plan.is_some())
+                            .map(|rt| rt.template.clone()),
+                    })),
+                    Err(e) => Slot::Dead {
+                        error: e,
+                        kind: FailureKind::Protocol,
+                    },
                 };
                 if let Some(old) = sessions.insert(id, slot) {
-                    out.outcomes.push((id, finish_slot(old)));
+                    let (outcome, kind) = finish_slot(old);
+                    out.outcomes.push((id, outcome, kind));
                 }
             }
             Msg::Frame { id, frame, at } => {
                 out.frames += 1;
-                out.queue_wait.record(at.elapsed().as_nanos() as u64);
+                let wait_ns = at.elapsed().as_nanos() as u64;
+                out.queue_wait.record(wait_ns);
+                // Measured-mode pressure pooling: every received frame
+                // contributes; the worker that completes an epoch locks
+                // the controller once and publishes the rung.
+                if let Some(rt) = shared.overload.as_ref() {
+                    if rt.plan.is_none() {
+                        if wait_ns > rt.slo.frame_budget.as_nanos() as u64 {
+                            rt.epoch_over.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let n = rt.epoch_frames.fetch_add(1, Ordering::Relaxed) + 1;
+                        if n % rt.slo.eval_every == 0 {
+                            let over = rt.epoch_over.swap(0, Ordering::Relaxed);
+                            let mut ctl = rt.controller.lock().unwrap_or_else(|p| p.into_inner());
+                            let rung = ctl.observe(over as f64 / rt.slo.eval_every as f64);
+                            rt.current.store(rung, Ordering::Relaxed);
+                        }
+                    }
+                }
                 match sessions.get_mut(&id) {
-                    Some(Slot::Live(session)) => {
-                        // One session's panic must not take down the
-                        // worker (or the other sessions on this shard).
-                        match catch_unwind(AssertUnwindSafe(|| session.push_frame(&frame))) {
-                            Ok(Ok(decision)) => {
-                                out.served += 1;
-                                out.latency.record(at.elapsed().as_nanos() as u64);
-                                if decision.is_inference() {
-                                    if let Some(rt) = shared.batching.as_ref() {
-                                        if collector.add(rt.max_batch) {
-                                            if let (Some(nn), Some(jobs)) =
-                                                (out.nn.as_mut(), collector.take())
-                                            {
-                                                charge_batch(nn, rt, jobs);
+                    Some(Slot::Live(slot)) => {
+                        let arrival = slot.arrivals;
+                        slot.arrivals += 1;
+                        // Resolve this frame's rung: planned mode walks
+                        // the session's own controller replica on its
+                        // arrival index; measured mode reads the global
+                        // rung.
+                        let rung = match shared.overload.as_ref() {
+                            Some(rt) => match (&rt.plan, slot.walk.as_mut()) {
+                                (Some(plan), Some(walk)) => {
+                                    if arrival % rt.slo.eval_every == 0 {
+                                        let epoch = arrival / rt.slo.eval_every;
+                                        let r = walk.observe(plan.over_frac(epoch));
+                                        out.max_epochs = out.max_epochs.max(epoch + 1);
+                                        rt.current.store(r, Ordering::Relaxed);
+                                    }
+                                    walk.rung()
+                                }
+                                _ => rt.current.load(Ordering::Relaxed),
+                            },
+                            None => 0,
+                        };
+                        let mut shed = false;
+                        if let Some(rt) = shared.overload.as_ref() {
+                            out.frames_per_rung[rung] += 1;
+                            if rung != slot.applied_rung {
+                                let policy = match rt.slo.ladder.rungs[rung].ew_window {
+                                    Some(n) => EwPolicy::Constant(n),
+                                    None => shared.schemes[slot.scheme].backend.policy,
+                                };
+                                if slot.session.reconfigure_policy(policy).is_ok() {
+                                    out.reconfigs += 1;
+                                }
+                                slot.applied_rung = rung;
+                            }
+                            // Last-resort rung: planned mode sheds every
+                            // frame (deterministic); measured mode sheds
+                            // only frames already over budget (a stale
+                            // frame's result is worthless).
+                            shed = rt.slo.ladder.rungs[rung].shed
+                                && (rt.plan.is_some()
+                                    || wait_ns > rt.slo.frame_budget.as_nanos() as u64);
+                        }
+                        if shed {
+                            out.shed += 1;
+                        } else {
+                            let (chaos_panic, chaos_corrupt) = match shared.chaos.as_ref() {
+                                Some(c) => (c.panic_at(id, arrival), c.corrupt_at(id, arrival)),
+                                None => (false, false),
+                            };
+                            let pushed: &FrameData = if chaos_corrupt {
+                                out.chaos.corrupted += 1;
+                                corrupt_frame
+                                    .as_ref()
+                                    .expect("corruption armed implies the substitute exists")
+                            } else {
+                                &frame
+                            };
+                            // One session's panic — organic or injected —
+                            // must not take down the worker (or the other
+                            // sessions on this shard).
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                if chaos_panic {
+                                    panic!("chaos: injected task panic");
+                                }
+                                slot.session.push_frame(pushed)
+                            })) {
+                                Ok(Ok(decision)) => {
+                                    out.served += 1;
+                                    out.latency.record(at.elapsed().as_nanos() as u64);
+                                    if decision.is_inference() {
+                                        if let Some(rt) = shared.batching.as_ref() {
+                                            if collector.add(rt.max_batch) {
+                                                if let (Some(nn), Some(jobs)) =
+                                                    (out.nn.as_mut(), collector.take())
+                                                {
+                                                    charge_batch(nn, rt, jobs);
+                                                }
                                             }
                                         }
                                     }
                                 }
-                            }
-                            Ok(Err(e)) => {
-                                out.dropped += 1;
-                                sessions.insert(id, Slot::Dead(e));
-                            }
-                            Err(payload) => {
-                                out.dropped += 1;
-                                sessions.insert(
-                                    id,
-                                    Slot::Dead(Error::config(format!(
-                                        "session task panicked: {}",
-                                        panic_text(payload)
-                                    ))),
-                                );
+                                Ok(Err(e)) => {
+                                    out.dropped += 1;
+                                    let kind = if chaos_corrupt {
+                                        FailureKind::ChaosInjected
+                                    } else {
+                                        FailureKind::Poisoned
+                                    };
+                                    sessions.insert(id, Slot::Dead { error: e, kind });
+                                }
+                                Err(payload) => {
+                                    out.dropped += 1;
+                                    let kind = if chaos_panic {
+                                        out.chaos.panics += 1;
+                                        FailureKind::ChaosInjected
+                                    } else {
+                                        FailureKind::Panicked
+                                    };
+                                    sessions.insert(
+                                        id,
+                                        Slot::Dead {
+                                            error: Error::config(format!(
+                                                "session task panicked: {}",
+                                                panic_text(payload)
+                                            )),
+                                            kind,
+                                        },
+                                    );
+                                }
                             }
                         }
                     }
-                    Some(Slot::Dead(_)) | None => out.dropped += 1,
+                    Some(Slot::Dead { .. }) | None => out.dropped += 1,
                 }
             }
             Msg::Close { id } => {
-                let outcome = match sessions.remove(&id) {
+                let (outcome, kind) = match sessions.remove(&id) {
                     Some(slot) => finish_slot(slot),
-                    None => Err(Error::config(format!("close of unknown session {id}"))),
+                    None => (
+                        Err(Error::config(format!("close of unknown session {id}"))),
+                        Some(FailureKind::Protocol),
+                    ),
                 };
-                out.outcomes.push((id, outcome));
+                out.outcomes.push((id, outcome, kind));
+            }
+            Msg::Fail { id, error } => {
+                // The tombstone replaces whatever was there; a live
+                // session's partial outcome is deliberately discarded —
+                // the breaker reason is the record.
+                sessions.insert(
+                    id,
+                    Slot::Dead {
+                        error,
+                        kind: FailureKind::CircuitBroken,
+                    },
+                );
             }
         }
         out.busy_ns += busy_from.elapsed().as_nanos() as u64;
@@ -943,16 +1457,17 @@ where
         }
     }
     for (id, slot) in sessions {
-        out.outcomes.push((id, finish_slot(slot)));
+        let (outcome, kind) = finish_slot(slot);
+        out.outcomes.push((id, outcome, kind));
     }
     out.wall_ns = started.elapsed().as_nanos() as u64;
     out
 }
 
-fn finish_slot<T: VisionTask>(slot: Slot<T>) -> Result<TaskOutcome> {
+fn finish_slot<T: VisionTask>(slot: Slot<T>) -> (Result<TaskOutcome>, Option<FailureKind>) {
     match slot {
-        Slot::Live(session) => Ok(session.finish()),
-        Slot::Dead(e) => Err(e),
+        Slot::Live(live) => (Ok(live.session.finish()), None),
+        Slot::Dead { error, kind } => (Err(error), Some(kind)),
     }
 }
 
@@ -964,12 +1479,181 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "<non-string panic payload>".to_string())
 }
 
-/// Streams one synthetic sequence into the server under session `id`:
-/// opens, renders frames lazily through the O(1)-memory `frame_source`
-/// pipeline (client-side, with the renderer's own frame pool), submits
-/// each with parked-producer backpressure
+/// Hash key for [`FeedPolicy::backoff`]'s jitter stream.
+const BACKOFF_STREAM: u64 = 0xFEED_B0FF;
+
+/// Producer-side retry/backoff hardening for the feed loop.
+///
+/// Each frame gets up to `attempts` deadline-bounded submits whose
+/// timeouts grow exponentially with a deterministic jitter
+/// ([`backoff`][FeedPolicy::backoff] — pure in
+/// `(jitter_seed, session, frame, attempt)`, so retry schedules
+/// decorrelate across sessions without a wall clock). A frame still
+/// `Busy` after the last attempt either parks until capacity
+/// (`park_after_retries`, the lossless default) or is shed
+/// client-side; `breaker_threshold` consecutive shed frames trip
+/// [`SessionServer::break_session`], tombstoning the session instead of
+/// hammering a lane that cannot keep up.
+#[derive(Debug, Clone)]
+pub struct FeedPolicy {
+    /// Deadline-bounded submit attempts per frame before the fallback
+    /// (0 = pure [`submit_blocking`][SessionServer::submit_blocking]).
+    pub attempts: u32,
+    /// First attempt's backoff window.
+    pub base_backoff: Duration,
+    /// Ceiling for the exponential growth.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// After `attempts` Busy verdicts: `true` parks (the frame is never
+    /// lost), `false` sheds the frame client-side and counts it in
+    /// [`FeedReport::rejected`].
+    pub park_after_retries: bool,
+    /// Consecutive client-side rejections that trip the circuit breaker
+    /// (0 disables it; only reachable with `park_after_retries =
+    /// false`).
+    pub breaker_threshold: u32,
+}
+
+impl Default for FeedPolicy {
+    fn default() -> Self {
+        FeedPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+            jitter_seed: 0xFEED,
+            park_after_retries: true,
+            breaker_threshold: 0,
+        }
+    }
+}
+
+impl FeedPolicy {
+    /// The pre-retry behavior: park on a full lane immediately, never
+    /// reject, never trip.
+    pub fn blocking() -> Self {
+        FeedPolicy {
+            attempts: 0,
+            ..FeedPolicy::default()
+        }
+    }
+
+    /// The deadline for retry `attempt` of `frame` on session `id`:
+    /// exponential in the attempt, capped at `max_backoff`, with a
+    /// deterministic jitter in the upper half of the window. A pure
+    /// function — the chaos suite replays schedules bit-for-bit.
+    pub fn backoff(&self, id: SessionId, frame: u64, attempt: u32) -> Duration {
+        let base = self.base_backoff.as_nanos() as u64;
+        let cap = self.max_backoff.as_nanos() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(20)).min(cap).max(1);
+        let jitter = rngx::jitter(
+            self.jitter_seed ^ BACKOFF_STREAM ^ id,
+            rngx::counter_hash(frame, u64::from(attempt)),
+            exp / 2 + 1,
+        );
+        Duration::from_nanos(exp / 2 + jitter)
+    }
+}
+
+/// What one [`feed_sequence_with`] call did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FeedReport {
+    /// Frames accepted onto the lane (including after retries or a
+    /// park).
+    pub submitted: u64,
+    /// Frames shed client-side after exhausting the retry budget.
+    pub rejected: u64,
+    /// Busy verdicts that led to another attempt.
+    pub retries: u64,
+    /// `true` if the circuit breaker tombstoned the session.
+    pub tripped: bool,
+}
+
+/// Streams one synthetic sequence into the server under session `id`
+/// with an explicit [`FeedPolicy`]: opens, renders frames lazily
+/// through the O(1)-memory `frame_source` pipeline (client-side, with
+/// the renderer's own frame pool), submits each frame under the
+/// policy's retry/backoff/breaker rules, and closes (the close still
+/// runs after a breaker trip — it is what surfaces the typed
+/// [`FailureKind::CircuitBroken`] outcome at drain).
+///
+/// # Errors
+///
+/// Propagates open/render errors; a lost worker surfaces as an error
+/// from the open, submit, or close.
+pub fn feed_sequence_with<T>(
+    server: &SessionServer<T>,
+    id: SessionId,
+    scheme: &str,
+    seq: &Sequence,
+    motion: &MotionConfig,
+    policy: &FeedPolicy,
+) -> Result<FeedReport>
+where
+    T: VisionTask + Clone + Send + Sync + 'static,
+    T::State: Send,
+{
+    let source = frame_source(seq, motion)?;
+    server.open(id, scheme, source.resolution())?;
+    let mut report = FeedReport::default();
+    let mut consecutive = 0u32;
+    for (index, frame) in source.enumerate() {
+        let frame = Arc::new(frame?);
+        if policy.attempts == 0 {
+            server.submit_blocking(id, frame)?;
+            report.submitted += 1;
+            continue;
+        }
+        // `pending` holds the frame while it is still ours; an accepted
+        // submit leaves it `None`.
+        let mut pending = Some(frame);
+        for attempt in 0..policy.attempts {
+            let frame = pending
+                .take()
+                .expect("pending frame present while retrying");
+            match server.submit_deadline(id, frame, policy.backoff(id, index as u64, attempt)) {
+                Submit::Enqueued => break,
+                Submit::Busy(back) => {
+                    report.retries += 1;
+                    pending = Some(back);
+                }
+            }
+        }
+        let mut accepted = pending.is_none();
+        if let Some(frame) = pending.take() {
+            if policy.park_after_retries {
+                server.submit_blocking(id, frame)?;
+                accepted = true;
+            }
+        }
+        if accepted {
+            report.submitted += 1;
+            consecutive = 0;
+            continue;
+        }
+        report.rejected += 1;
+        consecutive += 1;
+        if policy.breaker_threshold != 0 && consecutive >= policy.breaker_threshold {
+            report.tripped = true;
+            server.break_session(
+                id,
+                format!(
+                    "circuit breaker: {consecutive} consecutive frames rejected \
+                     (last at frame {index} of session {id})"
+                ),
+            )?;
+            break;
+        }
+    }
+    server.close(id)?;
+    Ok(report)
+}
+
+/// Streams one synthetic sequence into the server under session `id`
+/// with the default [`FeedPolicy`]: a few jittered-backoff retries on
+/// a full lane, then parked-producer backpressure
 /// ([`submit_blocking`][SessionServer::submit_blocking] — the feeder
-/// sleeps, not spins, when its lane is full), and closes.
+/// sleeps, not spins) so no frame is ever lost.
 ///
 /// # Errors
 ///
@@ -986,10 +1670,5 @@ where
     T: VisionTask + Clone + Send + Sync + 'static,
     T::State: Send,
 {
-    let source = frame_source(seq, motion)?;
-    server.open(id, scheme, source.resolution())?;
-    for frame in source {
-        server.submit_blocking(id, Arc::new(frame?))?;
-    }
-    server.close(id)
+    feed_sequence_with(server, id, scheme, seq, motion, &FeedPolicy::default()).map(|_| ())
 }

@@ -8,8 +8,8 @@
 //! * no panic escape — task panics surface as session errors, never as
 //!   a dead worker or a propagated unwind;
 //! * exact accounting — every accepted frame is counted exactly once
-//!   (`frames == served + dropped`, and `frames` equals what producers
-//!   saw accepted);
+//!   (`frames == served + dropped + shed`, and `frames` equals what
+//!   producers saw accepted);
 //! * no spin-yield — the structurally unreachable retry stays at zero
 //!   even under storm interleavings.
 
@@ -174,8 +174,14 @@ fn hostile_interleavings_keep_exact_accounting() {
         );
         assert_eq!(
             report.frames,
-            report.served + report.dropped,
-            "trial {trial}: served/dropped do not partition the intake"
+            report.served + report.dropped + report.shed,
+            "trial {trial}: served/dropped/shed do not partition the intake"
+        );
+        assert_eq!(report.shed, 0, "trial {trial}: no SLO, nothing to shed");
+        assert_eq!(
+            report.failure_breakdown().total(),
+            report.failed_sessions(),
+            "trial {trial}: breakdown must cover every failure"
         );
         assert_eq!(report.queue_wait.count(), report.frames);
         assert_eq!(report.ingress.spin_retries, 0, "trial {trial}");
@@ -222,7 +228,7 @@ fn panic_storm_never_kills_a_worker() {
     }
     let report = server.drain();
     assert_eq!(report.frames, SESSIONS * FRAMES);
-    assert_eq!(report.frames, report.served + report.dropped);
+    assert_eq!(report.frames, report.served + report.dropped + report.shed);
     assert_eq!(report.sessions(), SESSIONS as usize);
     assert!(report.failed_sessions() > 0, "storm hash never fired");
     assert!(

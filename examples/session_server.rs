@@ -15,7 +15,7 @@
 
 use euphrates::core::prelude::*;
 use euphrates::nn::oracle::calib;
-use euphrates::serve::{feed_sequence, NnBatchConfig, ServeConfig, SessionServer};
+use euphrates::serve::{feed_sequence, FailureKind, NnBatchConfig, ServeConfig, SessionServer};
 use std::time::Duration;
 
 fn main() -> euphrates::common::Result<()> {
@@ -63,6 +63,18 @@ fn main() -> euphrates::common::Result<()> {
         let scheme = if id % 2 == 0 { "EW-4" } else { "adaptive" };
         feed_sequence(&server, id as u64, scheme, seq, &motion)?;
     }
+
+    // One doomed stream: a producer that gives up on its session (lost
+    // client, tripped retry breaker) tombstones it with a typed reason
+    // instead of leaving it half-open — the drain report classifies it
+    // separately from healthy streams.
+    let doomed = suite.len() as u64;
+    server.open(
+        doomed,
+        "EW-4",
+        euphrates::common::image::Resolution::new(80, 60),
+    )?;
+    server.break_session(doomed, "client heartbeat lost; circuit breaker opened")?;
 
     let report = server.drain();
     println!("session  scheme    frames  inferences  rate");
@@ -117,6 +129,23 @@ fn main() -> euphrates::common::Result<()> {
             nn.energy_mj,
         );
     }
+    // Failed sessions carry a typed kind, not just an error string —
+    // an operator can tell tenant bugs (poisoned/panicked) from
+    // producer give-ups (circuit-broken) at a glance.
+    let breakdown = report.failure_breakdown();
+    println!(
+        "failures: {} poisoned, {} panicked, {} circuit-broken, {} chaos, {} protocol",
+        breakdown.poisoned,
+        breakdown.panicked,
+        breakdown.circuit_broken,
+        breakdown.chaos_injected,
+        breakdown.protocol,
+    );
+    assert_eq!(
+        report.failure_kind(doomed),
+        Some(FailureKind::CircuitBroken)
+    );
+    assert_eq!(breakdown.total(), 1, "only the doomed stream fails");
     println!("offline re-runs are bit-identical: OK");
     Ok(())
 }

@@ -129,8 +129,26 @@
 //! [`LatencyHistogram`][common::stats::LatencyHistogram]), per-worker
 //! occupancy, ingress park/wake counters, and the realized batch
 //! amortization ratio. The recorded serving trajectory lives in
-//! `BENCH_serve.json` (schema 2: 1- and 4-worker rows, batched and
-//! unbatched); `examples/session_server.rs` is the runnable tour.
+//! `BENCH_serve.json` (schema 3: 1- and 4-worker rows, batched and
+//! unbatched, plus nominal-vs-degraded overload rows);
+//! `examples/session_server.rs` is the runnable tour.
+//!
+//! Under overload the server degrades gracefully instead of queueing
+//! without bound: an [`SloConfig`][serve::SloConfig] arms an
+//! [`OverloadController`][serve::OverloadController] that walks a
+//! declared [`DegradationLadder`][serve::DegradationLadder] with
+//! hysteresis — widening the extrapolation window (trading the paper's
+//! accuracy knob for compute), shrinking the batching window, switching
+//! to cheaper motion search, and shedding at the last rung — with
+//! every transition recorded in the drain report's
+//! [`DegradationReport`][serve::DegradationReport]. A seeded
+//! [`ChaosConfig`][serve::ChaosConfig] fault plan (worker stalls,
+//! injected panics, corrupted frames, forced admission rejections,
+//! planned pressure) drives the bit-reproducible chaos suite, and
+//! [`feed_sequence`][serve::feed_sequence] producers retry `Busy`
+//! admissions with deterministic jittered backoff, tripping a typed
+//! circuit breaker ([`FailureKind`][serve::FailureKind]) when a
+//! session stays unreachable.
 //!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/benches/` for the per-figure reproduction harness.
