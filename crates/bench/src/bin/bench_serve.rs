@@ -9,7 +9,7 @@
 //! frames/sec, and the submit→completion latency distribution
 //! (p50/p95/p99 from the merged per-worker histograms) at **1 worker**
 //! and **4 workers**, each **with and without cross-session NN
-//! batching**, writing `BENCH_serve.json` (schema 3).
+//! batching**, writing `BENCH_serve.json` (schema 4).
 //!
 //! Schema 2 adds the PR-8 quantities: the batched-vs-solo systolic
 //! amortization ratio (charged cycles over `jobs ×` the per-inference
@@ -28,6 +28,17 @@
 //! the inference buy-back. Only counter-derived quantities are
 //! asserted (shed counts, rung timeline, inference totals); wall-clock
 //! is reported, never asserted.
+//!
+//! Schema 4 adds the recovery section (PR-10 crash recovery): the same
+//! serving path under seeded worker-kill chaos with supervision, over a
+//! kill-rate × checkpoint-cadence grid. Reported per cell: kills
+//! landed, workers respawned, sessions resurrected vs drained
+//! `Unrecovered`, frames replayed from the write-ahead log, and the
+//! deterministic MTTR proxy (worst replay distance, in logical arrival
+//! ticks). The fixed replay budget deliberately under-covers the wide
+//! cadence, so the grid shows the cadence-vs-replay-memory trade-off:
+//! tight checkpoints recover everything with short replays, sparse
+//! checkpoints trade replay length for losses.
 //!
 //! Frames are prepared once up front (a handful of unique mini scenes
 //! shared across sessions; oracle streams still differ per session id),
@@ -53,6 +64,7 @@ use euphrates_core::prepare_sequence;
 use euphrates_nn::oracle::calib;
 use euphrates_serve::{
     ChaosConfig, NnBatchConfig, PressurePlan, ServeConfig, SessionServer, SloConfig,
+    SuperviseConfig,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -329,6 +341,99 @@ fn run_overload(sessions: u64, frames: &[Vec<Arc<FrameData>>], degraded: bool) -
     }
 }
 
+/// The recovery grid's fixed replay budget: covers the tight cadence
+/// (4) with room to spare, deliberately under-covers the sparse one
+/// (16) so the unrecovered band is visible in the numbers.
+const REPLAY_BUDGET: u64 = 8;
+
+struct RecoveryStats {
+    wall_ns: u64,
+    frames: u64,
+    served: u64,
+    kills: u64,
+    respawns: u64,
+    resurrected: u64,
+    replayed_frames: u64,
+    unrecovered: u64,
+    mttr_ticks: u64,
+}
+
+/// Streams `sessions` sessions through two supervised workers under
+/// seeded worker-kill chaos and reports the recovery counters. All
+/// asserted quantities are logical (kill draws key on `(session,
+/// arrival)`, MTTR is a replay distance) — wall-clock is reported,
+/// never asserted.
+fn run_recovery(
+    sessions: u64,
+    frames: &[Vec<Arc<FrameData>>],
+    kill_every: u64,
+    checkpoint_every: u64,
+) -> RecoveryStats {
+    let config = ServeConfig::sized(2, 64)
+        .with_chaos(ChaosConfig::seeded(0x4EC0).with_worker_kills(kill_every))
+        .with_supervision(
+            SuperviseConfig::every(checkpoint_every, REPLAY_BUDGET)
+                .with_watchdog(Duration::from_millis(1), 4),
+        );
+    let server = SessionServer::new(
+        TrackerTask::new(calib::mdnet()),
+        vec![SchemeSpec::new(SCHEME, BackendConfig::new(EwPolicy::Constant(4))).expect("valid id")],
+        config,
+    )
+    .expect("valid server config");
+    let per_session = frames[0].len();
+    let t0 = Instant::now();
+    for id in 0..sessions {
+        server.open(id, SCHEME, RES).expect("open succeeds");
+    }
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..per_session {
+        for id in 0..sessions {
+            let frame = Arc::clone(&frames[(id % UNIQUE_SCENES) as usize][j]);
+            server.submit_blocking(id, frame).expect("worker respawns");
+        }
+    }
+    for id in 0..sessions {
+        server.close(id).expect("close succeeds");
+    }
+    let report = server.drain();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    assert_eq!(report.frames, sessions * per_session as u64);
+    assert_eq!(report.frames, report.served + report.dropped + report.shed);
+    assert_eq!(report.ingress.spin_retries, 0, "spin path executed");
+    let recovery = report.recovery.clone().expect("supervision armed");
+    assert_eq!(recovery.respawns as usize, recovery.detections());
+    assert_eq!(
+        report.failure_breakdown().unrecovered as u64,
+        recovery.unrecovered,
+        "every loss must be a typed Unrecovered outcome"
+    );
+    if checkpoint_every <= REPLAY_BUDGET + 1 {
+        assert_eq!(
+            recovery.unrecovered, 0,
+            "budget {REPLAY_BUDGET} covers cadence {checkpoint_every}"
+        );
+    }
+    assert!(
+        recovery.mttr_ticks() < checkpoint_every,
+        "replay distance {} must stay under the cadence {checkpoint_every}",
+        recovery.mttr_ticks()
+    );
+    let kills = report.chaos.expect("chaos armed").kills;
+    RecoveryStats {
+        wall_ns,
+        frames: report.frames,
+        served: report.served,
+        kills,
+        respawns: recovery.respawns,
+        resurrected: recovery.resurrected,
+        replayed_frames: recovery.replayed_frames,
+        unrecovered: recovery.unrecovered,
+        mttr_ticks: recovery.mttr_ticks(),
+    }
+}
+
 fn main() {
     let cfg = parse_args();
     let sessions: u64 = if cfg.quick { 32 } else { 256 };
@@ -455,13 +560,53 @@ fn main() {
         metrics.push((format!("{key}_final_rung"), stats.final_rung.to_string()));
     }
 
+    // Recovery section (schema 4): kill rate × checkpoint cadence under
+    // supervision, fixed replay budget.
+    let recovery_sessions: u64 = if cfg.quick { 16 } else { 64 };
+    metrics.push(("recovery_sessions".into(), recovery_sessions.to_string()));
+    metrics.push(("recovery_replay_budget".into(), REPLAY_BUDGET.to_string()));
+    for kill_every in [64u64, 16] {
+        for checkpoint_every in [4u64, 16] {
+            let stats = run_recovery(recovery_sessions, &frames, kill_every, checkpoint_every);
+            let key = format!("recovery_k{kill_every}_c{checkpoint_every}");
+            let wall_s = stats.wall_ns as f64 / 1e9;
+            let frames_per_sec = stats.served as f64 / wall_s;
+            println!(
+                "{key}: {frames_per_sec:.0} served frames/s, {} kills, {} respawns, \
+                 {} resurrected, {} unrecovered, {} replayed, mttr {} ticks",
+                stats.kills,
+                stats.respawns,
+                stats.resurrected,
+                stats.unrecovered,
+                stats.replayed_frames,
+                stats.mttr_ticks,
+            );
+            metrics.push((format!("{key}_wall_ns"), stats.wall_ns.to_string()));
+            metrics.push((
+                format!("{key}_frames_per_sec"),
+                format!("{frames_per_sec:.1}"),
+            ));
+            metrics.push((format!("{key}_frames"), stats.frames.to_string()));
+            metrics.push((format!("{key}_served"), stats.served.to_string()));
+            metrics.push((format!("{key}_kills"), stats.kills.to_string()));
+            metrics.push((format!("{key}_respawns"), stats.respawns.to_string()));
+            metrics.push((format!("{key}_resurrected"), stats.resurrected.to_string()));
+            metrics.push((
+                format!("{key}_replayed_frames"),
+                stats.replayed_frames.to_string(),
+            ));
+            metrics.push((format!("{key}_unrecovered"), stats.unrecovered.to_string()));
+            metrics.push((format!("{key}_mttr_ticks"), stats.mttr_ticks.to_string()));
+        }
+    }
+
     // Render the JSON by hand (no serde in the tree).
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 3,");
+    let _ = writeln!(json, "  \"schema\": 4,");
     let _ = writeln!(json, "  \"bench\": \"serve_sessions\",");
     let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(

@@ -371,6 +371,138 @@ impl<T: VisionTask> Session<T> {
     }
 }
 
+impl<T> Session<T>
+where
+    T: VisionTask + Clone,
+    T::State: Clone,
+{
+    /// Captures a point-in-time [`SessionCheckpoint`] of the full
+    /// scheduler state: the EW controller (schedule phase included),
+    /// the active policy, the task state, the accumulated outcome, the
+    /// accepted-frame count, and the poison flag.
+    ///
+    /// The session is untouched — snapshotting mid-stream and
+    /// continuing is always safe. The crash-recovery invariant (the
+    /// checkpoint suite asserts it) is that
+    /// [`restore`][Session::restore]-at-any-cut-point bit-matches an
+    /// uninterrupted run: pushing frames `k..n` into the restored
+    /// session yields exactly the outcome of pushing `0..n` into the
+    /// original.
+    pub fn snapshot(&self) -> SessionCheckpoint<T> {
+        SessionCheckpoint {
+            task: self.task.clone(),
+            config: self.config,
+            ctrl: self.ctrl,
+            resolution: self.resolution,
+            bounds: self.bounds,
+            stream: self.stream,
+            state: self.state.clone(),
+            outcome: self.outcome.clone(),
+            next_frame: self.next_frame,
+            poisoned: self.poisoned,
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint — the other half of
+    /// [`snapshot`][Session::snapshot]. Infallible: the checkpoint was
+    /// taken from a validated session, so there is nothing left to
+    /// validate (a poisoned session restores poisoned and keeps
+    /// rejecting pushes, exactly like the original).
+    pub fn restore(checkpoint: SessionCheckpoint<T>) -> Self {
+        Session {
+            task: checkpoint.task,
+            config: checkpoint.config,
+            ctrl: checkpoint.ctrl,
+            resolution: checkpoint.resolution,
+            bounds: checkpoint.bounds,
+            stream: checkpoint.stream,
+            state: checkpoint.state,
+            outcome: checkpoint.outcome,
+            next_frame: checkpoint.next_frame,
+            poisoned: checkpoint.poisoned,
+        }
+    }
+}
+
+/// A point-in-time image of a [`Session`], produced by
+/// [`Session::snapshot`] and consumed by [`Session::restore`].
+///
+/// The checkpoint owns clones of everything the scheduler needs —
+/// task, backend config, EW controller (with its schedule phase and
+/// adaptive history), task state, accumulated [`TaskOutcome`], frame
+/// counter, and poison flag — so it is independent of the session it
+/// came from: the original can keep running, die, or be dropped
+/// without invalidating the checkpoint. `euphrates-serve` builds its
+/// crash-recovery ledger on exactly this type.
+pub struct SessionCheckpoint<T: VisionTask> {
+    task: T,
+    config: BackendConfig,
+    ctrl: euphrates_mc::policy::EwController,
+    resolution: Resolution,
+    bounds: Rect,
+    stream: u64,
+    state: Option<T::State>,
+    outcome: TaskOutcome,
+    next_frame: u64,
+    poisoned: bool,
+}
+
+impl<T: VisionTask> SessionCheckpoint<T> {
+    /// Frames the checkpointed session had consumed.
+    pub fn frames(&self) -> u64 {
+        self.next_frame
+    }
+
+    /// Whether the checkpointed session was poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The resolution the checkpointed session was opened at.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// The outcome accumulated up to the checkpoint.
+    pub fn outcome(&self) -> &TaskOutcome {
+        &self.outcome
+    }
+}
+
+// Manual impls: derives would demand `T: Clone`/`T: Debug` without
+// also propagating the `T::State` bounds the fields actually need.
+impl<T> Clone for SessionCheckpoint<T>
+where
+    T: VisionTask + Clone,
+    T::State: Clone,
+{
+    fn clone(&self) -> Self {
+        SessionCheckpoint {
+            task: self.task.clone(),
+            config: self.config,
+            ctrl: self.ctrl,
+            resolution: self.resolution,
+            bounds: self.bounds,
+            stream: self.stream,
+            state: self.state.clone(),
+            outcome: self.outcome.clone(),
+            next_frame: self.next_frame,
+            poisoned: self.poisoned,
+        }
+    }
+}
+
+impl<T: VisionTask> fmt::Debug for SessionCheckpoint<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionCheckpoint")
+            .field("frames", &self.next_frame)
+            .field("poisoned", &self.poisoned)
+            .field("resolution", &self.resolution)
+            .field("stream", &self.stream)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Runs `task` over a prepared sequence offline (every frame pushed
 /// through a [`Session`] in order).
 ///

@@ -135,7 +135,7 @@ pub mod tracker;
 
 pub use api::{
     run_stream, run_task, EvalReport, FrameContext, FrameDecision, Scenario, ScenarioBuilder,
-    SchemeId, SchemeResult, SchemeSpec, Session, StepStats, VisionTask,
+    SchemeId, SchemeResult, SchemeSpec, Session, SessionCheckpoint, StepStats, VisionTask,
 };
 pub use backend::{BackendConfig, TaskOutcome};
 #[allow(deprecated)]
@@ -157,7 +157,7 @@ pub use tracker::TrackerTask;
 pub mod prelude {
     pub use crate::api::{
         run_stream, run_task, EvalReport, FrameContext, FrameDecision, Scenario, ScenarioBuilder,
-        SchemeId, SchemeResult, SchemeSpec, Session, StepStats, VisionTask,
+        SchemeId, SchemeResult, SchemeSpec, Session, SessionCheckpoint, StepStats, VisionTask,
     };
     pub use crate::backend::{BackendConfig, TaskOutcome};
     #[allow(deprecated)]

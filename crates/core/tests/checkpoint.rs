@@ -1,0 +1,171 @@
+//! Checkpoint/restore property tests: a [`Session`] snapshot taken at
+//! *any* cut point, restored and driven over the remaining frames, must
+//! bit-match the uninterrupted run — per-frame decisions and the final
+//! [`TaskOutcome`] alike — for both evaluated tasks. This is the
+//! foundation the serve-layer crash recovery (checkpoint + replay)
+//! stands on.
+//!
+//! Also covered: snapshotting is non-destructive (the original session
+//! keeps running bit-identically after being snapshotted), and a
+//! poisoned session restores poisoned (fail-fast survives the
+//! round-trip — recovery must not resurrect a corrupt stream as
+//! healthy).
+
+use euphrates_camera::scene::SceneBuilder;
+use euphrates_camera::texture::Texture;
+use euphrates_common::image::Resolution;
+use euphrates_core::prelude::*;
+use euphrates_nn::oracle::calib;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+const RES: Resolution = Resolution::new(96, 72);
+const FRAMES: u32 = 18;
+
+/// One rendered sequence, shared across all cases (rendering dominates
+/// the suite's cost; the frames are immutable).
+fn frames() -> &'static [Arc<FrameData>] {
+    static FRAMES_CELL: OnceLock<Vec<Arc<FrameData>>> = OnceLock::new();
+    FRAMES_CELL.get_or_init(|| {
+        let scene = SceneBuilder::new(RES, 42)
+            .background(Texture::background_noise(0xC0))
+            .object_default()
+            .build();
+        let seq = euphrates_datasets::Sequence {
+            name: "checkpoint".to_string(),
+            attributes: vec![],
+            scene,
+            frames: FRAMES,
+        };
+        frame_source(&seq, &MotionConfig::default())
+            .expect("valid sequence")
+            .map(|f| Arc::new(f.expect("rendered frame")))
+            .collect()
+    })
+}
+
+fn run_cut_equals_straight<T>(task: T, config: BackendConfig, cut: usize)
+where
+    T: VisionTask + Clone,
+    T::State: Clone,
+{
+    let frames = frames();
+    // The uninterrupted reference, recording every decision.
+    let mut straight = Session::new(task.clone(), config, RES, 7).unwrap();
+    let mut straight_decisions = Vec::new();
+    for frame in frames {
+        straight_decisions.push(straight.push_frame(frame).expect("healthy stream"));
+    }
+
+    // Interrupted at `cut`: snapshot, keep BOTH lineages running — the
+    // original (snapshot must be non-destructive) and the restored one.
+    let mut original = Session::new(task, config, RES, 7).unwrap();
+    for frame in &frames[..cut] {
+        original.push_frame(frame).expect("healthy stream");
+    }
+    let checkpoint = original.snapshot();
+    assert_eq!(checkpoint.frames(), cut as u64);
+    let mut restored = Session::<T>::restore(checkpoint);
+    assert_eq!(restored.frames(), cut as u64);
+
+    for (i, frame) in frames[cut..].iter().enumerate() {
+        let want = &straight_decisions[cut + i];
+        let from_original = original.push_frame(frame).expect("healthy stream");
+        let from_restored = restored.push_frame(frame).expect("healthy stream");
+        assert_eq!(
+            &from_restored,
+            want,
+            "restored session diverged at frame {} (cut {cut})",
+            cut + i
+        );
+        assert_eq!(
+            &from_original,
+            want,
+            "snapshot mutated the original session (frame {}, cut {cut})",
+            cut + i
+        );
+    }
+    assert_eq!(restored.outcome(), straight.outcome());
+    assert_eq!(
+        restored.finish(),
+        straight.finish(),
+        "final outcome diverged at cut {cut}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tracker_checkpoint_is_bit_identical_at_any_cut(cut in 0usize..=FRAMES as usize) {
+        run_cut_equals_straight(
+            TrackerTask::new(calib::mdnet()),
+            BackendConfig::new(EwPolicy::Constant(4)),
+            cut,
+        );
+    }
+
+    #[test]
+    fn detector_checkpoint_is_bit_identical_at_any_cut(cut in 0usize..=FRAMES as usize) {
+        run_cut_equals_straight(
+            DetectorTask::new(calib::yolov2()),
+            BackendConfig::new(EwPolicy::Constant(2)),
+            cut,
+        );
+    }
+}
+
+#[test]
+fn adaptive_policy_checkpoints_too() {
+    // The EW schedule state machine is richest under the adaptive
+    // policy — cut right after a scheduled inference and mid-window.
+    for cut in [0, 1, 5, 8, 13, FRAMES as usize] {
+        run_cut_equals_straight(
+            TrackerTask::new(calib::mdnet()),
+            BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
+            cut,
+        );
+    }
+}
+
+#[test]
+fn poisoned_sessions_restore_poisoned() {
+    let frames = frames();
+    let mut session = Session::new(
+        TrackerTask::new(calib::mdnet()),
+        BackendConfig::new(EwPolicy::Constant(4)),
+        RES,
+        7,
+    )
+    .unwrap();
+    for frame in &frames[..3] {
+        session.push_frame(frame).expect("healthy stream");
+    }
+    // A dimension change poisons the stream…
+    let wrong = Session::new(
+        TrackerTask::new(calib::mdnet()),
+        BackendConfig::new(EwPolicy::Constant(4)),
+        Resolution::new(32, 24),
+        7,
+    )
+    .unwrap();
+    drop(wrong);
+    let bad = FrameData::new(
+        vec![],
+        euphrates_isp::motion::MotionField::zeroed(Resolution::new(32, 24), 16, 7).unwrap(),
+    );
+    session.push_frame(&bad).expect_err("dimension mismatch");
+    assert!(session.is_poisoned());
+    let pre_poison_frames = session.frames();
+
+    // …and the poison survives the checkpoint round-trip: restored
+    // sessions fail fast instead of resuming a corrupt stream.
+    let mut restored = Session::<TrackerTask>::restore(session.snapshot());
+    assert!(restored.is_poisoned());
+    assert_eq!(restored.frames(), pre_poison_frames);
+    let err = restored
+        .push_frame(&frames[3])
+        .expect_err("poisoned session must fail fast after restore");
+    assert!(err.to_string().contains("poisoned"), "{err}");
+    assert_eq!(restored.finish().frames, pre_poison_frames);
+}

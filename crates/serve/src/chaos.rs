@@ -15,7 +15,13 @@
 //!   validation/poison path end to end;
 //! * **forced queue saturation** — admissions are rejected as
 //!   [`Submit::Busy`][crate::Submit] as if the lane were full,
-//!   exercising producer retry/backoff and shedding.
+//!   exercising producer retry/backoff and shedding;
+//! * **worker kills** — the worker thread exits mid-message (keyed on
+//!   `(id, arrival)` so the incident timeline is worker-count
+//!   invariant), exercising the supervisor's checkpoint/replay
+//!   resurrection path ([`crate::supervise`]);
+//! * **heartbeat wedges** — the worker hangs long enough for the
+//!   watchdog to miss its beats and depose it.
 //!
 //! Every decision derives from [`rngx::counter_hash`] over *logical*
 //! counters — session id, per-session arrival index, per-worker dequeue
@@ -38,6 +44,8 @@ const STALL_STREAM: u64 = 0xC4A0_57A1;
 const PANIC_STREAM: u64 = 0xC4A0_57A2;
 const CORRUPT_STREAM: u64 = 0xC4A0_57A3;
 const REJECT_STREAM: u64 = 0xC4A0_57A4;
+const KILL_STREAM: u64 = 0xC4A0_57A5;
+const WEDGE_STREAM: u64 = 0xC4A0_57A6;
 
 /// A synthetic pressure signal for the overload controller: replaces
 /// the measured over-budget fraction with a pure function of the epoch,
@@ -111,6 +119,23 @@ pub struct ChaosConfig {
     /// Forcibly reject ~1/n of non-blocking/deadline admissions as
     /// `Busy` (0 = off) — synthetic queue saturation.
     pub reject_every: u64,
+    /// Kill the serving *worker* on ~1/n live-session frame pushes
+    /// (0 = off): the worker thread exits mid-message, stranding every
+    /// session sharded onto it, and the in-flight frame is handed to
+    /// the supervisor. Keyed on `(id, arrival)` like the panic channel,
+    /// so the kill incident timeline is identical at any worker count.
+    /// Requires supervision
+    /// ([`ServeConfig::with_supervision`][crate::ServeConfig::with_supervision]) —
+    /// validated at server construction.
+    pub kill_every: u64,
+    /// Wedge the worker (a heartbeat-length stall, `wedge` long) before
+    /// ~1/n dequeues (0 = off). Under supervision the watchdog detects
+    /// the missed beats, deposes the worker, and respawns it; without
+    /// supervision a wedge is just a long stall.
+    pub wedge_every: u64,
+    /// How long a wedged worker hangs. Must exceed the supervisor's
+    /// `beat_interval × missed_beats` for detection to trigger.
+    pub wedge: Duration,
     /// Synthetic pressure for the overload controller; requires an
     /// [`SloConfig`][crate::SloConfig] on the server.
     pub pressure: Option<PressurePlan>,
@@ -127,6 +152,9 @@ impl ChaosConfig {
             panic_every: 0,
             corrupt_every: 0,
             reject_every: 0,
+            kill_every: 0,
+            wedge_every: 0,
+            wedge: Duration::from_millis(20),
             pressure: None,
         }
     }
@@ -153,6 +181,21 @@ impl ChaosConfig {
     /// Arms forced admission rejections on ~1/`every` submits.
     pub fn with_rejections(mut self, every: u64) -> Self {
         self.reject_every = every;
+        self
+    }
+
+    /// Arms worker kills on ~1/`every` live-session frame pushes
+    /// (needs supervision on the server).
+    pub fn with_worker_kills(mut self, every: u64) -> Self {
+        self.kill_every = every;
+        self
+    }
+
+    /// Arms heartbeat-stall wedges: ~1/`every` dequeues hang for
+    /// `wedge` before processing.
+    pub fn with_wedges(mut self, every: u64, wedge: Duration) -> Self {
+        self.wedge_every = every;
+        self.wedge = wedge;
         self
     }
 
@@ -202,6 +245,26 @@ impl ChaosConfig {
     pub(crate) fn reject_at(&self, submit: u64) -> bool {
         self.fires(self.reject_every, REJECT_STREAM, submit)
     }
+
+    /// Should session `id`'s `arrival`-th frame kill its worker?
+    #[inline]
+    pub(crate) fn kill_at(&self, id: u64, arrival: u64) -> bool {
+        self.fires(
+            self.kill_every,
+            KILL_STREAM,
+            rngx::counter_hash(id, arrival),
+        )
+    }
+
+    /// Should worker `worker` wedge before its `dequeue`-th message?
+    #[inline]
+    pub(crate) fn wedge_at(&self, worker: u64, dequeue: u64) -> bool {
+        self.fires(
+            self.wedge_every,
+            WEDGE_STREAM,
+            rngx::counter_hash(worker, dequeue),
+        )
+    }
 }
 
 /// Counters of the faults actually injected, merged over all workers
@@ -217,12 +280,16 @@ pub struct ChaosReport {
     pub corrupted: u64,
     /// Admissions forcibly rejected as `Busy`.
     pub rejections: u64,
+    /// Worker kills taken (each stranded a whole shard until respawn).
+    pub kills: u64,
+    /// Heartbeat-stall wedges taken.
+    pub wedges: u64,
 }
 
 impl ChaosReport {
     /// Total faults injected.
     pub fn total(&self) -> u64 {
-        self.stalls + self.panics + self.corrupted + self.rejections
+        self.stalls + self.panics + self.corrupted + self.rejections + self.kills + self.wedges
     }
 
     pub(crate) fn merge(&mut self, other: &ChaosReport) {
@@ -230,6 +297,8 @@ impl ChaosReport {
         self.panics += other.panics;
         self.corrupted += other.corrupted;
         self.rejections += other.rejections;
+        self.kills += other.kills;
+        self.wedges += other.wedges;
     }
 }
 

@@ -106,7 +106,44 @@
 //! then either parks (frame never lost) or sheds client-side; repeated
 //! rejections can trip a circuit breaker that tombstones the session
 //! with a typed reason ([`FailureKind::CircuitBroken`] in
-//! [`DrainReport::failure_breakdown`]).
+//! [`DrainReport::failure_breakdown`]). With a non-zero
+//! [`FeedPolicy::breaker_cooldown`] the breaker is *half-open* instead
+//! of terminal: after a deterministic cooldown it admits one probe
+//! frame and either re-closes or re-trips
+//! ([`FeedReport::trips`]/[`FeedReport::reclosed`]).
+//!
+//! # Recovery & supervision
+//!
+//! [`ServeConfig::with_supervision`] arms crash recovery (the
+//! [`supervise`] module): workers checkpoint every session on a fixed
+//! arrival cadence via [`Session::snapshot`] and keep the frames since
+//! in a bounded replay log; a watchdog thread watches logical
+//! heartbeats, declares workers dead on thread exit or frozen
+//! mid-message beats, **respawns** them, and resurrects their sessions
+//! from checkpoint + replay — bit-identical to a fault-free run, or
+//! drained as [`FailureKind::Unrecovered`] with the exact
+//! budget arithmetic when the log outgrew
+//! [`SuperviseConfig::replay_budget`]. The chaos plan gains two
+//! matching fault channels ([`ChaosConfig::with_worker_kills`],
+//! [`ChaosConfig::with_wedges`]), keyed on the same logical counters as
+//! every other fault, so the full incident timeline in
+//! [`DrainReport::recovery`] is identical at any worker count.
+//!
+//! **Checkpoint cadence vs replay memory.** The ledger holds up to
+//! `checkpoint_every + replay_budget` `Arc`-shared frames per session:
+//! a tight cadence means cheap, short replays (low MTTR in logical
+//! ticks) but frequent snapshot work; a loose cadence amortizes
+//! snapshots but lengthens replays — and a `replay_budget` below
+//! `checkpoint_every - 1` deliberately caps the memory by making the
+//! tail of each checkpoint interval unrecoverable. `bench_serve`
+//! sweeps exactly this grid.
+//!
+//! The whole server also restarts warm: [`SessionServer::freeze`]
+//! flushes every live session to a checkpoint inside a
+//! [`ServerImage`], and [`SessionServer::thaw`] rebuilds a running
+//! server — at any worker count — whose sessions continue bit-exactly
+//! where they froze, with the pre-freeze counters carried into the
+//! final [`DrainReport`].
 //!
 //! Frames enter as [`Arc<FrameData>`] — ground truth plus the
 //! ISP-exported motion field, i.e. what the paper's ISP ships to the
@@ -143,12 +180,15 @@
 
 pub mod chaos;
 pub mod degrade;
+pub mod supervise;
 
 pub use chaos::{ChaosConfig, ChaosReport, PressurePlan};
 pub use degrade::{
     DegradationLadder, DegradationReport, OverloadController, Rung, RungTransition, SloConfig,
 };
+pub use supervise::{IncidentKind, RecoveryIncident, RecoveryReport, SuperviseConfig};
 
+use crate::supervise::{Ledger, LedgerStore, LiveLedger, Pulse, SlotCheckpoint};
 use euphrates_common::error::{Error, Result};
 use euphrates_common::gate::CapacityGate;
 use euphrates_common::image::Resolution;
@@ -165,7 +205,7 @@ use euphrates_nn::engine::{BatchPlan, InferencePlan, NnxEngine};
 use euphrates_nn::layer::NetworkDescriptor;
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -214,6 +254,10 @@ pub struct ServeConfig {
     /// Deterministic fault injection; `None` (the default) means the
     /// chaos hooks cost one `Option` check per event.
     pub chaos: Option<ChaosConfig>,
+    /// Crash recovery (see the crate docs' "Recovery & supervision"
+    /// section): `None` runs bare workers; `Some` checkpoints sessions,
+    /// watches worker heartbeats, and respawns dead workers.
+    pub supervise: Option<SuperviseConfig>,
 }
 
 impl Default for ServeConfig {
@@ -224,6 +268,7 @@ impl Default for ServeConfig {
             nn_batching: None,
             slo: None,
             chaos: None,
+            supervise: None,
         }
     }
 }
@@ -253,6 +298,13 @@ impl ServeConfig {
     /// Arms deterministic fault injection.
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Enables crash recovery: session checkpointing, worker
+    /// heartbeats, and supervised respawn.
+    pub fn with_supervision(mut self, supervise: SuperviseConfig) -> Self {
+        self.supervise = Some(supervise);
         self
     }
 }
@@ -337,13 +389,18 @@ struct OverloadRuntime {
     controller: Mutex<OverloadController>,
 }
 
-/// Read-only state shared by all workers.
+/// Read-only state shared by all workers (plus the one write-once
+/// `freeze` latch the warm-restart path flips before shutdown).
 struct Shared<T> {
     task: T,
     schemes: Vec<SchemeSpec>,
     batching: Option<BatchRuntime>,
     overload: Option<OverloadRuntime>,
     chaos: Option<ChaosConfig>,
+    supervise: Option<SuperviseConfig>,
+    /// Set by [`SessionServer::freeze`]: workers flush open sessions as
+    /// checkpoints instead of finishing them.
+    freeze: AtomicBool,
 }
 
 /// Why a session failed — the typed classification behind
@@ -363,6 +420,10 @@ pub enum FailureKind {
     /// Protocol misuse: the session never opened cleanly or was closed
     /// without being known.
     Protocol,
+    /// A worker died with this session further from its last checkpoint
+    /// than the supervision replay budget allows; the error carries the
+    /// exact budget arithmetic. Only reachable with supervision armed.
+    Unrecovered,
 }
 
 /// Session failures counted by [`FailureKind`].
@@ -378,12 +439,19 @@ pub struct FailureBreakdown {
     pub chaos_injected: usize,
     /// Protocol misuse.
     pub protocol: usize,
+    /// Sessions lost past the supervision replay budget.
+    pub unrecovered: usize,
 }
 
 impl FailureBreakdown {
     /// Total failed sessions.
     pub fn total(&self) -> usize {
-        self.poisoned + self.panicked + self.circuit_broken + self.chaos_injected + self.protocol
+        self.poisoned
+            + self.panicked
+            + self.circuit_broken
+            + self.chaos_injected
+            + self.protocol
+            + self.unrecovered
     }
 }
 
@@ -567,6 +635,9 @@ pub struct DrainReport {
     pub degradation: Option<DegradationReport>,
     /// Faults injected; `None` when chaos is unarmed.
     pub chaos: Option<ChaosReport>,
+    /// Worker deaths, respawns, and resurrection accounting; `None`
+    /// without supervision.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl DrainReport {
@@ -611,6 +682,7 @@ impl DrainReport {
                 FailureKind::CircuitBroken => b.circuit_broken += 1,
                 FailureKind::ChaosInjected => b.chaos_injected += 1,
                 FailureKind::Protocol => b.protocol += 1,
+                FailureKind::Unrecovered => b.unrecovered += 1,
             }
         }
         b
@@ -622,6 +694,75 @@ impl DrainReport {
 struct Lane {
     tx: SyncSender<Msg>,
     gate: Arc<CapacityGate>,
+}
+
+/// How one worker incarnation ended.
+enum WorkerExit<T: VisionTask> {
+    /// Lanes closed; the worker flushed and is done (carries frozen
+    /// session checkpoints instead of outcomes when the server is
+    /// freezing).
+    Drained(Box<DrainedWorker<T>>),
+    /// The worker died mid-message (chaos kill) or was deposed wedged:
+    /// it hands its lane receiver, in-flight message, and dequeue
+    /// counter to the successor the watchdog will spawn.
+    Killed(Box<KilledWorker>),
+}
+
+struct DrainedWorker<T: VisionTask> {
+    output: WorkerOutput,
+    frozen: Vec<(SessionId, FrozenSlot<T>)>,
+}
+
+struct KilledWorker {
+    output: WorkerOutput,
+    rx: Receiver<Msg>,
+    pending: Option<Msg>,
+    dequeues: u64,
+    /// `Some((session, arrival))` for a chaos kill; `None` for a
+    /// deposed wedge.
+    trigger: Option<(SessionId, u64)>,
+}
+
+/// A frozen session slot inside a [`ServerImage`]: a live session's
+/// checkpoint, or the tombstone of one that had already died.
+// Live dominates any healthy image; boxing it would cost an
+// indirection on every freeze/thaw for a variant imbalance that only
+// exists while tombstones are present.
+#[allow(clippy::large_enum_variant)]
+enum FrozenSlot<T: VisionTask> {
+    Live(SlotCheckpoint<T>),
+    Dead { error: Error, kind: FailureKind },
+}
+
+/// The worker threads behind the lanes: bare handles, or one watchdog
+/// that owns (and respawns) them.
+enum Crew<T: VisionTask> {
+    Plain(Vec<JoinHandle<WorkerExit<T>>>),
+    Supervised(JoinHandle<WatchdogResult<T>>),
+}
+
+/// What the watchdog hands back once every seat has drained.
+struct WatchdogResult<T: VisionTask> {
+    /// Per-seat merged outputs (all incarnations), in worker order.
+    outputs: Vec<WorkerOutput>,
+    frozen: Vec<(SessionId, FrozenSlot<T>)>,
+    recovery: RecoveryReport,
+}
+
+/// Everything a worker incarnation owns. Built once per spawn; a
+/// successor inherits the dead worker's receiver, session table,
+/// in-flight message, and dequeue counter so no message and no logical
+/// tick is lost or double-counted.
+struct WorkerContext<T: VisionTask> {
+    shared: Arc<Shared<T>>,
+    rx: Receiver<Msg>,
+    gate: Arc<CapacityGate>,
+    windex: u64,
+    pulse: Option<Arc<Pulse>>,
+    ledgers: Option<LedgerStore<T>>,
+    sessions: HashMap<SessionId, Slot<T>>,
+    pending: Option<Msg>,
+    dequeues: u64,
 }
 
 /// A sharded, backpressured session server over `N` worker threads.
@@ -637,7 +778,10 @@ struct Lane {
 pub struct SessionServer<T: VisionTask> {
     shared: Arc<Shared<T>>,
     lanes: Vec<Lane>,
-    workers: Vec<JoinHandle<WorkerOutput>>,
+    crew: Crew<T>,
+    /// Pre-freeze statistics carried through [`thaw`][Self::thaw],
+    /// merged into the final drain.
+    carry: Option<Box<DrainReport>>,
     spin_retries: AtomicU64,
     busy_rejections: AtomicU64,
     /// Admission sequence number (only advanced while the chaos
@@ -650,7 +794,7 @@ pub struct SessionServer<T: VisionTask> {
 impl<T> SessionServer<T>
 where
     T: VisionTask + Clone + Send + Sync + 'static,
-    T::State: Send,
+    T::State: Send + Clone,
 {
     /// Starts a server: `config.workers` threads, each with a bounded,
     /// gated lane, all sharing one read-only scheme registry (and, when
@@ -667,7 +811,26 @@ where
         schemes: impl IntoIterator<Item = SchemeSpec>,
         config: ServeConfig,
     ) -> Result<Self> {
-        let schemes: Vec<SchemeSpec> = schemes.into_iter().collect();
+        Self::boot(
+            task,
+            schemes.into_iter().collect(),
+            config,
+            Vec::new(),
+            None,
+        )
+    }
+
+    /// The shared construction path behind [`new`][Self::new] and
+    /// [`thaw`][Self::thaw]: validates, shards any thawed sessions onto
+    /// their lanes, and spawns the crew (bare workers, or workers plus
+    /// the supervising watchdog).
+    fn boot(
+        task: T,
+        schemes: Vec<SchemeSpec>,
+        config: ServeConfig,
+        initial: Vec<(SessionId, Slot<T>)>,
+        carry: Option<Box<DrainReport>>,
+    ) -> Result<Self> {
         if schemes.is_empty() {
             return Err(Error::config("server needs at least one scheme"));
         }
@@ -706,6 +869,15 @@ where
                     "a chaos pressure plan needs an SLO (ServeConfig::with_slo) to drive",
                 ));
             }
+            if (chaos.kill_every != 0 || chaos.wedge_every != 0) && config.supervise.is_none() {
+                return Err(Error::config(
+                    "chaos worker kills/wedges need supervision \
+                     (ServeConfig::with_supervision) to recover from",
+                ));
+            }
+        }
+        if let Some(sup) = &config.supervise {
+            sup.validate()?;
         }
         let overload = match config.slo {
             Some(slo) => {
@@ -728,23 +900,87 @@ where
             batching,
             overload,
             chaos: config.chaos,
+            supervise: config.supervise.clone(),
+            freeze: AtomicBool::new(false),
         });
-        let mut lanes = Vec::with_capacity(config.workers);
-        let mut workers = Vec::with_capacity(config.workers);
-        for windex in 0..config.workers {
-            let (tx, rx) = sync_channel(config.queue_depth);
-            let gate = Arc::new(CapacityGate::new(config.queue_depth));
-            let shared = Arc::clone(&shared);
-            let worker_gate = Arc::clone(&gate);
-            lanes.push(Lane { tx, gate });
-            workers.push(std::thread::spawn(move || {
-                worker_loop(shared, rx, worker_gate, windex as u64)
-            }));
+        // Thawed sessions land on the lane their id hashes to — the
+        // same shard function live traffic uses, at whatever worker
+        // count *this* incarnation runs.
+        let mut tables: Vec<HashMap<SessionId, Slot<T>>> =
+            (0..config.workers).map(|_| HashMap::new()).collect();
+        for (id, slot) in initial {
+            let lane = (rngx::counter_hash(SHARD_STREAM, id) % config.workers as u64) as usize;
+            tables[lane].insert(id, slot);
         }
+        let mut lanes = Vec::with_capacity(config.workers);
+        let crew = if let Some(sup) = config.supervise.clone() {
+            let mut seats = Vec::with_capacity(config.workers);
+            for (windex, table) in tables.into_iter().enumerate() {
+                let (tx, rx) = sync_channel(config.queue_depth);
+                let gate = Arc::new(CapacityGate::new(config.queue_depth));
+                let pulse = Arc::new(Pulse::default());
+                let store: LedgerStore<T> = Arc::new(Mutex::new(HashMap::new()));
+                lanes.push(Lane {
+                    tx,
+                    gate: Arc::clone(&gate),
+                });
+                let ctx = WorkerContext {
+                    shared: Arc::clone(&shared),
+                    rx,
+                    gate: Arc::clone(&gate),
+                    windex: windex as u64,
+                    pulse: Some(Arc::clone(&pulse)),
+                    ledgers: Some(Arc::clone(&store)),
+                    sessions: table,
+                    pending: None,
+                    dequeues: 0,
+                };
+                let handle = std::thread::spawn(move || worker_loop(ctx));
+                seats.push(Seat {
+                    handle: Some(handle),
+                    pulse,
+                    store,
+                    gate,
+                    windex: windex as u64,
+                    agg: None,
+                    frozen: Vec::new(),
+                    last_beats: 0,
+                    stale: 0,
+                });
+            }
+            let shared = Arc::clone(&shared);
+            Crew::Supervised(std::thread::spawn(move || {
+                watchdog_loop(shared, seats, sup)
+            }))
+        } else {
+            let mut workers = Vec::with_capacity(config.workers);
+            for (windex, table) in tables.into_iter().enumerate() {
+                let (tx, rx) = sync_channel(config.queue_depth);
+                let gate = Arc::new(CapacityGate::new(config.queue_depth));
+                lanes.push(Lane {
+                    tx,
+                    gate: Arc::clone(&gate),
+                });
+                let ctx = WorkerContext {
+                    shared: Arc::clone(&shared),
+                    rx,
+                    gate,
+                    windex: windex as u64,
+                    pulse: None,
+                    ledgers: None,
+                    sessions: table,
+                    pending: None,
+                    dequeues: 0,
+                };
+                workers.push(std::thread::spawn(move || worker_loop(ctx)));
+            }
+            Crew::Plain(workers)
+        };
         Ok(SessionServer {
             shared,
             lanes,
-            workers,
+            crew,
+            carry,
             spin_retries: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             submit_seq: AtomicU64::new(0),
@@ -960,12 +1196,96 @@ where
     /// finish its queued messages and flush all still-open sessions,
     /// then merges the per-worker reports.
     pub fn drain(self) -> DrainReport {
+        self.shutdown().0
+    }
+
+    /// Warm-restart half one: shuts the server down with every live
+    /// session flushed to a checkpoint instead of finished. The
+    /// returned [`ServerImage`] plus [`thaw`][Self::thaw] rebuilds a
+    /// server whose sessions continue bit-exactly where they froze.
+    /// Statistics accumulated so far ride inside the image and are
+    /// merged into the final drain.
+    pub fn freeze(self) -> ServerImage<T> {
+        self.shared.freeze.store(true, Ordering::Relaxed);
+        let task = self.shared.task.clone();
+        let schemes = self.shared.schemes.clone();
+        let (carry, mut sessions) = self.shutdown();
+        // Deterministic image: session order is id order, not the
+        // worker-join order of whatever incarnation froze.
+        sessions.sort_by_key(|(id, _)| *id);
+        ServerImage {
+            task,
+            schemes,
+            sessions,
+            carry,
+        }
+    }
+
+    /// Warm-restart half two: rebuilds a running server from a
+    /// [`freeze`][Self::freeze] image under a fresh `config` (any
+    /// worker count — sessions re-shard by id). Scheme registry and
+    /// task come from the image; pre-freeze statistics carry into the
+    /// final [`DrainReport`].
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`new`][Self::new].
+    pub fn thaw(image: ServerImage<T>, config: ServeConfig) -> Result<Self> {
+        let ServerImage {
+            task,
+            schemes,
+            sessions,
+            carry,
+        } = image;
+        let initial = sessions
+            .into_iter()
+            .map(|(id, frozen)| {
+                let slot = match frozen {
+                    FrozenSlot::Live(cp) => Slot::Live(Box::new(thaw_slot(cp))),
+                    FrozenSlot::Dead { error, kind } => Slot::Dead { error, kind },
+                };
+                (id, slot)
+            })
+            .collect();
+        Self::boot(task, schemes, config, initial, Some(Box::new(carry)))
+    }
+
+    /// The common teardown behind [`drain`][Self::drain] and
+    /// [`freeze`][Self::freeze]: close lanes, join the crew, merge.
+    fn shutdown(self) -> (DrainReport, Vec<(SessionId, FrozenSlot<T>)>) {
         let gates: Vec<Arc<CapacityGate>> = self
             .lanes
             .iter()
             .map(|lane| Arc::clone(&lane.gate))
             .collect();
         drop(self.lanes);
+        let (outputs, frozen, recovery) = match self.crew {
+            Crew::Plain(workers) => {
+                let mut outputs = Vec::with_capacity(workers.len());
+                let mut frozen = Vec::new();
+                for handle in workers {
+                    match handle
+                        .join()
+                        .expect("serve workers isolate session panics and never die")
+                    {
+                        WorkerExit::Drained(d) => {
+                            outputs.push(d.output);
+                            frozen.extend(d.frozen);
+                        }
+                        WorkerExit::Killed(_) => {
+                            unreachable!("kills and wedges are gated on supervision")
+                        }
+                    }
+                }
+                (outputs, frozen, None)
+            }
+            Crew::Supervised(watchdog) => {
+                let result = watchdog
+                    .join()
+                    .expect("the watchdog isolates nothing and touches no task code");
+                (result.outputs, result.frozen, Some(result.recovery))
+            }
+        };
         let ladder_len = self
             .shared
             .overload
@@ -983,8 +1303,8 @@ where
             served: 0,
             dropped: 0,
             shed: 0,
-            per_worker_frames: Vec::with_capacity(self.workers.len()),
-            per_worker: Vec::with_capacity(self.workers.len()),
+            per_worker_frames: Vec::with_capacity(outputs.len()),
+            per_worker: Vec::with_capacity(outputs.len()),
             ingress: IngressReport {
                 spin_retries: self.spin_retries.load(Ordering::Relaxed),
                 busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
@@ -997,11 +1317,9 @@ where
                 .map(|_| NnServeReport::default()),
             degradation: None,
             chaos: None,
+            recovery,
         };
-        for (handle, gate) in self.workers.into_iter().zip(gates) {
-            let out = handle
-                .join()
-                .expect("serve workers isolate session panics and never die");
+        for (out, gate) in outputs.into_iter().zip(gates) {
             let gs = gate.stats();
             report.ingress.parked += gs.parked;
             report.ingress.woken += gs.woken;
@@ -1069,7 +1387,10 @@ where
             chaos_total.rejections += self.chaos_rejections.load(Ordering::Relaxed);
             report.chaos = Some(chaos_total);
         }
-        report
+        if let Some(carry) = self.carry {
+            merge_carry(&mut report, *carry);
+        }
+        (report, frozen)
     }
 
     /// A live snapshot of the ingress counters (the same numbers
@@ -1166,23 +1487,22 @@ fn charge_batch(report: &mut NnServeReport, runtime: &BatchRuntime, jobs: usize)
     report.batch_sizes.record(jobs as u64);
 }
 
-/// One worker: owns its session table, histograms, counters, and batch
-/// collector; runs until every sender is dropped, then flushes the open
-/// batch and all remaining sessions. Releases one gate permit per
-/// dequeued message — the other half of the parked-producer protocol.
-fn worker_loop<T>(
-    shared: Arc<Shared<T>>,
-    rx: Receiver<Msg>,
-    gate: Arc<CapacityGate>,
-    windex: u64,
-) -> WorkerOutput
+/// One worker incarnation: owns its session table, histograms,
+/// counters, and batch collector; runs until every sender is dropped
+/// (→ [`WorkerExit::Drained`]) or a supervised fault takes it down
+/// (→ [`WorkerExit::Killed`], handing its lane to the successor).
+/// Releases one gate permit per dequeued message — the other half of
+/// the parked-producer protocol; a message inherited from a dead
+/// predecessor released its permit (and consumed its dequeue tick)
+/// already.
+fn worker_loop<T>(mut ctx: WorkerContext<T>) -> WorkerExit<T>
 where
     T: VisionTask + Clone,
+    T::State: Clone,
 {
     let started = Instant::now();
-    let mut sessions: HashMap<SessionId, Slot<T>> = HashMap::new();
+    let shared = Arc::clone(&ctx.shared);
     let mut collector = BatchCollector::new();
-    let mut dequeues: u64 = 0;
     let ladder_len = shared.overload.as_ref().map_or(0, |rt| rt.slo.ladder.len());
     // The chaos corruption channel's substitute: a tiny frame of the
     // wrong resolution, so the corruption travels the same validation
@@ -1214,7 +1534,29 @@ where
         chaos: ChaosReport::default(),
         nn: shared.batching.as_ref().map(|_| NnServeReport::default()),
     };
+    // Seed the recovery ledger for inherited sessions: a no-op on
+    // respawn (the ledger outlived the dead worker), the genesis
+    // checkpoint for a thawed generation-0 table.
+    if let Some(store) = ctx.ledgers.as_ref() {
+        let mut store = store.lock().unwrap_or_else(|p| p.into_inner());
+        for (id, slot) in &ctx.sessions {
+            store.entry(*id).or_insert_with(|| match slot {
+                Slot::Live(live) => Ledger::Live(LiveLedger {
+                    checkpoint: checkpoint_slot(live),
+                    replay: Vec::new(),
+                    lag: 0,
+                    lost: false,
+                    last_kill: None,
+                }),
+                Slot::Dead { error, kind } => Ledger::Dead {
+                    error: error.clone(),
+                    kind: *kind,
+                },
+            });
+        }
+    }
     loop {
+        let injected = ctx.pending.is_some();
         // While a batch window is open, wait only until its deadline
         // (shrunk by the current rung's shift — degraded servers trade
         // amortization for latency); otherwise block for the next
@@ -1230,33 +1572,70 @@ where
             };
             collector.deadline(max_wait)
         });
-        let msg = match deadline {
-            Some(deadline) => {
-                let wait = deadline.saturating_duration_since(Instant::now());
-                match rx.recv_timeout(wait) {
-                    Ok(msg) => Some(msg),
-                    Err(RecvTimeoutError::Timeout) => {
-                        if let (Some(rt), Some(nn), Some(jobs)) =
-                            (shared.batching.as_ref(), out.nn.as_mut(), collector.take())
-                        {
-                            charge_batch(nn, rt, jobs);
+        let msg = match ctx.pending.take() {
+            Some(msg) => Some(msg),
+            None => match deadline {
+                Some(deadline) => {
+                    let wait = deadline.saturating_duration_since(Instant::now());
+                    match ctx.rx.recv_timeout(wait) {
+                        Ok(msg) => Some(msg),
+                        Err(RecvTimeoutError::Timeout) => {
+                            if let (Some(rt), Some(nn), Some(jobs)) =
+                                (shared.batching.as_ref(), out.nn.as_mut(), collector.take())
+                            {
+                                charge_batch(nn, rt, jobs);
+                            }
+                            continue;
                         }
-                        continue;
+                        Err(RecvTimeoutError::Disconnected) => None,
                     }
-                    Err(RecvTimeoutError::Disconnected) => None,
                 }
-            }
-            None => rx.recv().ok(),
+                None => ctx.rx.recv().ok(),
+            },
         };
         let Some(msg) = msg else { break };
-        gate.release();
-        if let Some(chaos) = shared.chaos.as_ref() {
-            if chaos.stall_at(windex, dequeues) {
-                out.chaos.stalls += 1;
-                std::thread::sleep(chaos.stall);
+        if let Some(pulse) = ctx.pulse.as_ref() {
+            pulse.start();
+        }
+        // A message inherited from a dead predecessor already released
+        // its permit and consumed its dequeue tick (and survived any
+        // stall/wedge draw at that tick) — only fresh dequeues advance
+        // the counters and the per-tick fault channels.
+        if !injected {
+            ctx.gate.release();
+            let tick = ctx.dequeues;
+            ctx.dequeues += 1;
+            if let Some(chaos) = shared.chaos.as_ref() {
+                if chaos.stall_at(ctx.windex, tick) {
+                    out.chaos.stalls += 1;
+                    std::thread::sleep(chaos.stall);
+                }
+                if chaos.wedge_at(ctx.windex, tick) {
+                    // Wedge: stop making progress mid-message — busy
+                    // stays true and the beat counter freezes, which is
+                    // exactly what the watchdog's stale detection
+                    // catches. The in-flight message travels to the
+                    // successor untouched.
+                    out.chaos.wedges += 1;
+                    let pulse = ctx
+                        .pulse
+                        .as_ref()
+                        .expect("wedges are gated on supervision at config validation");
+                    while !pulse.is_deposed() {
+                        std::thread::sleep(chaos.wedge);
+                    }
+                    flush_batch(&shared, &mut collector, &mut out);
+                    out.wall_ns = started.elapsed().as_nanos() as u64;
+                    return WorkerExit::Killed(Box::new(KilledWorker {
+                        output: out,
+                        rx: ctx.rx,
+                        pending: Some(msg),
+                        dequeues: ctx.dequeues,
+                        trigger: None,
+                    }));
+                }
             }
         }
-        dequeues += 1;
         let busy_from = Instant::now();
         match msg {
             Msg::Open {
@@ -1282,12 +1661,68 @@ where
                         kind: FailureKind::Protocol,
                     },
                 };
-                if let Some(old) = sessions.insert(id, slot) {
+                if let Some(store) = ctx.ledgers.as_ref() {
+                    let entry = match &slot {
+                        Slot::Live(live) => Ledger::Live(LiveLedger {
+                            checkpoint: checkpoint_slot(live),
+                            replay: Vec::new(),
+                            lag: 0,
+                            lost: false,
+                            last_kill: None,
+                        }),
+                        Slot::Dead { error, kind } => Ledger::Dead {
+                            error: error.clone(),
+                            kind: *kind,
+                        },
+                    };
+                    store
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(id, entry);
+                }
+                if let Some(old) = ctx.sessions.insert(id, slot) {
                     let (outcome, kind) = finish_slot(old);
                     out.outcomes.push((id, outcome, kind));
                 }
             }
             Msg::Frame { id, frame, at } => {
+                // Chaos worker kill: keyed on the target session's next
+                // arrival index (worker-count invariant), checked
+                // *before* any counter so the redelivered frame is
+                // counted exactly once — by the successor. The ledger's
+                // `last_kill` fuse keeps the same draw from re-firing
+                // on redelivery.
+                if let (Some(chaos), Some(store)) = (shared.chaos.as_ref(), ctx.ledgers.as_ref()) {
+                    if chaos.kill_every != 0 {
+                        if let Some(Slot::Live(slot)) = ctx.sessions.get(&id) {
+                            let arrival = slot.arrivals;
+                            if chaos.kill_at(id, arrival) {
+                                let fire = {
+                                    let mut store = store.lock().unwrap_or_else(|p| p.into_inner());
+                                    match store.get_mut(&id) {
+                                        Some(Ledger::Live(l)) if l.last_kill != Some(arrival) => {
+                                            l.last_kill = Some(arrival);
+                                            true
+                                        }
+                                        _ => false,
+                                    }
+                                };
+                                if fire {
+                                    out.chaos.kills += 1;
+                                    flush_batch(&shared, &mut collector, &mut out);
+                                    out.wall_ns = started.elapsed().as_nanos() as u64;
+                                    return WorkerExit::Killed(Box::new(KilledWorker {
+                                        output: out,
+                                        rx: ctx.rx,
+                                        pending: Some(Msg::Frame { id, frame, at }),
+                                        dequeues: ctx.dequeues,
+                                        trigger: Some((id, arrival)),
+                                    }));
+                                }
+                            }
+                        }
+                    }
+                }
                 out.frames += 1;
                 let wait_ns = at.elapsed().as_nanos() as u64;
                 out.queue_wait.record(wait_ns);
@@ -1308,50 +1743,31 @@ where
                         }
                     }
                 }
-                match sessions.get_mut(&id) {
+                match ctx.sessions.get_mut(&id) {
                     Some(Slot::Live(slot)) => {
+                        // Write-ahead: log the frame into the recovery
+                        // ledger *before* processing — shed frames
+                        // included, since they still advance the
+                        // arrival counter and the planned walk and must
+                        // be re-shed identically on replay.
+                        if let (Some(store), Some(sup)) =
+                            (ctx.ledgers.as_ref(), shared.supervise.as_ref())
+                        {
+                            let mut store = store.lock().unwrap_or_else(|p| p.into_inner());
+                            if let Some(Ledger::Live(l)) = store.get_mut(&id) {
+                                l.lag += 1;
+                                if l.lag > sup.replay_budget {
+                                    l.lost = true;
+                                    l.replay.clear();
+                                } else {
+                                    l.replay.push(Arc::clone(&frame));
+                                }
+                            }
+                        }
                         let arrival = slot.arrivals;
                         slot.arrivals += 1;
-                        // Resolve this frame's rung: planned mode walks
-                        // the session's own controller replica on its
-                        // arrival index; measured mode reads the global
-                        // rung.
-                        let rung = match shared.overload.as_ref() {
-                            Some(rt) => match (&rt.plan, slot.walk.as_mut()) {
-                                (Some(plan), Some(walk)) => {
-                                    if arrival % rt.slo.eval_every == 0 {
-                                        let epoch = arrival / rt.slo.eval_every;
-                                        let r = walk.observe(plan.over_frac(epoch));
-                                        out.max_epochs = out.max_epochs.max(epoch + 1);
-                                        rt.current.store(r, Ordering::Relaxed);
-                                    }
-                                    walk.rung()
-                                }
-                                _ => rt.current.load(Ordering::Relaxed),
-                            },
-                            None => 0,
-                        };
-                        let mut shed = false;
-                        if let Some(rt) = shared.overload.as_ref() {
-                            out.frames_per_rung[rung] += 1;
-                            if rung != slot.applied_rung {
-                                let policy = match rt.slo.ladder.rungs[rung].ew_window {
-                                    Some(n) => EwPolicy::Constant(n),
-                                    None => shared.schemes[slot.scheme].backend.policy,
-                                };
-                                if slot.session.reconfigure_policy(policy).is_ok() {
-                                    out.reconfigs += 1;
-                                }
-                                slot.applied_rung = rung;
-                            }
-                            // Last-resort rung: planned mode sheds every
-                            // frame (deterministic); measured mode sheds
-                            // only frames already over budget (a stale
-                            // frame's result is worthless).
-                            shed = rt.slo.ladder.rungs[rung].shed
-                                && (rt.plan.is_some()
-                                    || wait_ns > rt.slo.frame_budget.as_nanos() as u64);
-                        }
+                        let shed =
+                            schedule_arrival(&shared, slot, arrival, Some(wait_ns), Some(&mut out));
                         if shed {
                             out.shed += 1;
                         } else {
@@ -1398,7 +1814,8 @@ where
                                     } else {
                                         FailureKind::Poisoned
                                     };
-                                    sessions.insert(id, Slot::Dead { error: e, kind });
+                                    bury(ctx.ledgers.as_ref(), id, &e, kind);
+                                    ctx.sessions.insert(id, Slot::Dead { error: e, kind });
                                 }
                                 Err(payload) => {
                                     out.dropped += 1;
@@ -1408,16 +1825,33 @@ where
                                     } else {
                                         FailureKind::Panicked
                                     };
-                                    sessions.insert(
-                                        id,
-                                        Slot::Dead {
-                                            error: Error::config(format!(
-                                                "session task panicked: {}",
-                                                panic_text(payload)
-                                            )),
-                                            kind,
-                                        },
-                                    );
+                                    let error = Error::config(format!(
+                                        "session task panicked: {}",
+                                        panic_text(payload)
+                                    ));
+                                    bury(ctx.ledgers.as_ref(), id, &error, kind);
+                                    ctx.sessions.insert(id, Slot::Dead { error, kind });
+                                }
+                            }
+                        }
+                        // Checkpoint refresh on the arrival cadence —
+                        // only if the session survived this frame.
+                        // Cadence points are pure arrival multiples, so
+                        // a session's replay distance at any fault is
+                        // `arrival % checkpoint_every` at every worker
+                        // count.
+                        if let (Some(store), Some(sup)) =
+                            (ctx.ledgers.as_ref(), shared.supervise.as_ref())
+                        {
+                            if let Some(Slot::Live(slot)) = ctx.sessions.get(&id) {
+                                if slot.arrivals % sup.checkpoint_every == 0 {
+                                    let mut store = store.lock().unwrap_or_else(|p| p.into_inner());
+                                    if let Some(Ledger::Live(l)) = store.get_mut(&id) {
+                                        l.checkpoint = checkpoint_slot(slot);
+                                        l.replay.clear();
+                                        l.lag = 0;
+                                        l.lost = false;
+                                    }
                                 }
                             }
                         }
@@ -1426,7 +1860,10 @@ where
                 }
             }
             Msg::Close { id } => {
-                let (outcome, kind) = match sessions.remove(&id) {
+                if let Some(store) = ctx.ledgers.as_ref() {
+                    store.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
+                }
+                let (outcome, kind) = match ctx.sessions.remove(&id) {
                     Some(slot) => finish_slot(slot),
                     None => (
                         Err(Error::config(format!("close of unknown session {id}"))),
@@ -1439,7 +1876,8 @@ where
                 // The tombstone replaces whatever was there; a live
                 // session's partial outcome is deliberately discarded —
                 // the breaker reason is the record.
-                sessions.insert(
+                bury(ctx.ledgers.as_ref(), id, &error, FailureKind::CircuitBroken);
+                ctx.sessions.insert(
                     id,
                     Slot::Dead {
                         error,
@@ -1449,19 +1887,535 @@ where
             }
         }
         out.busy_ns += busy_from.elapsed().as_nanos() as u64;
-    }
-    // Lanes closed: flush the open batch, then everything still open.
-    if let (Some(rt), Some(jobs)) = (shared.batching.as_ref(), collector.take()) {
-        if let Some(nn) = out.nn.as_mut() {
-            charge_batch(nn, rt, jobs);
+        if let Some(pulse) = ctx.pulse.as_ref() {
+            pulse.finish();
         }
     }
-    for (id, slot) in sessions {
+    // Lanes closed: flush the open batch, then everything still open —
+    // as outcomes normally, as checkpoints when the server is freezing
+    // for a warm restart.
+    flush_batch(&shared, &mut collector, &mut out);
+    out.wall_ns = started.elapsed().as_nanos() as u64;
+    if shared.freeze.load(Ordering::Relaxed) {
+        let frozen = ctx
+            .sessions
+            .drain()
+            .map(|(id, slot)| {
+                let frozen = match slot {
+                    Slot::Live(live) => FrozenSlot::Live(checkpoint_slot(&live)),
+                    Slot::Dead { error, kind } => FrozenSlot::Dead { error, kind },
+                };
+                (id, frozen)
+            })
+            .collect();
+        return WorkerExit::Drained(Box::new(DrainedWorker {
+            output: out,
+            frozen,
+        }));
+    }
+    for (id, slot) in ctx.sessions.drain() {
         let (outcome, kind) = finish_slot(slot);
         out.outcomes.push((id, outcome, kind));
     }
-    out.wall_ns = started.elapsed().as_nanos() as u64;
-    out
+    WorkerExit::Drained(Box::new(DrainedWorker {
+        output: out,
+        frozen: Vec::new(),
+    }))
+}
+
+/// Flushes the open batch window into the worker's NN report (used at
+/// every worker exit point and on drain).
+fn flush_batch<T: VisionTask>(
+    shared: &Shared<T>,
+    collector: &mut BatchCollector,
+    out: &mut WorkerOutput,
+) {
+    if let Some(rt) = shared.batching.as_ref() {
+        if let (Some(nn), Some(jobs)) = (out.nn.as_mut(), collector.take()) {
+            charge_batch(nn, rt, jobs);
+        }
+    }
+}
+
+/// Mirrors a session death into the recovery ledger so a resurrection
+/// reproduces the tombstone (late frames must still count as dropped
+/// after a respawn).
+fn bury<T: VisionTask>(
+    ledgers: Option<&LedgerStore<T>>,
+    id: SessionId,
+    error: &Error,
+    kind: FailureKind,
+) {
+    if let Some(store) = ledgers {
+        store.lock().unwrap_or_else(|p| p.into_inner()).insert(
+            id,
+            Ledger::Dead {
+                error: error.clone(),
+                kind,
+            },
+        );
+    }
+}
+
+/// Resolves one arrival's degradation decision for a session slot: in
+/// planned mode advances the slot's own controller replica on the
+/// arrival index, in measured mode reads the global rung; applies the
+/// rung's EW policy via `Session::reconfigure_policy` when it changes,
+/// and returns whether the frame is shed.
+///
+/// The live path passes `Some(out)`; the recovery **replay** path
+/// passes `None` for both `wait_ns` and `out` — replay rebuilds session
+/// *state* (walk, policy, arrivals) without touching any counter,
+/// histogram, or the global rung, because every replayed frame was
+/// already counted by the incarnation that first processed it. Under a
+/// planned pressure plan the shed decision is a pure function of the
+/// arrival index, so replay re-sheds exactly the frames the dead worker
+/// shed; in measured mode replay never sheds (documented best-effort —
+/// measured rungs are wall-clock-driven and not replayable).
+fn schedule_arrival<T>(
+    shared: &Shared<T>,
+    slot: &mut LiveSlot<T>,
+    arrival: u64,
+    wait_ns: Option<u64>,
+    mut out: Option<&mut WorkerOutput>,
+) -> bool
+where
+    T: VisionTask + Clone,
+{
+    let rung = match shared.overload.as_ref() {
+        Some(rt) => match (&rt.plan, slot.walk.as_mut()) {
+            (Some(plan), Some(walk)) => {
+                if arrival.is_multiple_of(rt.slo.eval_every) {
+                    let epoch = arrival / rt.slo.eval_every;
+                    let r = walk.observe(plan.over_frac(epoch));
+                    if let Some(out) = out.as_deref_mut() {
+                        out.max_epochs = out.max_epochs.max(epoch + 1);
+                        rt.current.store(r, Ordering::Relaxed);
+                    }
+                }
+                walk.rung()
+            }
+            _ => rt.current.load(Ordering::Relaxed),
+        },
+        None => 0,
+    };
+    let mut shed = false;
+    if let Some(rt) = shared.overload.as_ref() {
+        if let Some(out) = out.as_deref_mut() {
+            out.frames_per_rung[rung] += 1;
+        }
+        if rung != slot.applied_rung {
+            let policy = match rt.slo.ladder.rungs[rung].ew_window {
+                Some(n) => EwPolicy::Constant(n),
+                None => shared.schemes[slot.scheme].backend.policy,
+            };
+            if slot.session.reconfigure_policy(policy).is_ok() {
+                if let Some(out) = out {
+                    out.reconfigs += 1;
+                }
+            }
+            slot.applied_rung = rung;
+        }
+        // Last-resort rung: planned mode sheds every frame
+        // (deterministic); measured mode sheds only frames already over
+        // budget (a stale frame's result is worthless).
+        shed = rt.slo.ladder.rungs[rung].shed
+            && (rt.plan.is_some()
+                || wait_ns.is_some_and(|w| w > rt.slo.frame_budget.as_nanos() as u64));
+    }
+    shed
+}
+
+/// Captures a live serving slot into a checkpoint (core session
+/// snapshot + serve-side schedule state).
+fn checkpoint_slot<T>(slot: &LiveSlot<T>) -> SlotCheckpoint<T>
+where
+    T: VisionTask + Clone,
+    T::State: Clone,
+{
+    SlotCheckpoint {
+        session: slot.session.snapshot(),
+        scheme: slot.scheme,
+        arrivals: slot.arrivals,
+        applied_rung: slot.applied_rung,
+        walk: slot.walk.clone(),
+    }
+}
+
+/// Rebuilds a live serving slot from a checkpoint.
+fn thaw_slot<T>(cp: SlotCheckpoint<T>) -> LiveSlot<T>
+where
+    T: VisionTask + Clone,
+    T::State: Clone,
+{
+    LiveSlot {
+        session: Session::restore(cp.session),
+        scheme: cp.scheme,
+        arrivals: cp.arrivals,
+        applied_rung: cp.applied_rung,
+        walk: cp.walk,
+    }
+}
+
+/// Rebuilds a dead worker's session table from its lane ledger:
+/// tombstones are copied, live sessions are restored from their last
+/// checkpoint and the write-ahead log is replayed through the same
+/// scheduling logic the live path uses (counter-free — see
+/// [`schedule_arrival`]). Sessions whose log outgrew the replay budget
+/// drain as [`FailureKind::Unrecovered`] with the exact arithmetic in
+/// the error. Replay skips the per-frame chaos checks deliberately:
+/// a frame only enters the log *after* surviving its kill draw, and a
+/// frame whose injected panic/corruption killed the session leaves a
+/// `Dead` ledger behind, so logged frames are exactly the fault-free
+/// ones.
+fn resurrect<T>(
+    shared: &Shared<T>,
+    store: &LedgerStore<T>,
+    recovery: &mut RecoveryReport,
+) -> HashMap<SessionId, Slot<T>>
+where
+    T: VisionTask + Clone,
+    T::State: Clone,
+{
+    let budget = shared.supervise.as_ref().map_or(0, |s| s.replay_budget);
+    let mut sessions = HashMap::new();
+    let mut store = store.lock().unwrap_or_else(|p| p.into_inner());
+    for (id, ledger) in store.iter_mut() {
+        match ledger {
+            Ledger::Dead { error, kind } => {
+                sessions.insert(
+                    *id,
+                    Slot::Dead {
+                        error: error.clone(),
+                        kind: *kind,
+                    },
+                );
+            }
+            Ledger::Live(live) => {
+                if live.lost {
+                    let error = Error::state(format!(
+                        "unrecovered session {id}: worker died {} frames past the last \
+                         checkpoint, over the replay budget of {budget}",
+                        live.lag,
+                    ));
+                    sessions.insert(
+                        *id,
+                        Slot::Dead {
+                            error: error.clone(),
+                            kind: FailureKind::Unrecovered,
+                        },
+                    );
+                    *ledger = Ledger::Dead {
+                        error,
+                        kind: FailureKind::Unrecovered,
+                    };
+                    recovery.unrecovered += 1;
+                    continue;
+                }
+                let mut slot = thaw_slot(live.checkpoint.clone());
+                let mut failed: Option<Error> = None;
+                for frame in &live.replay {
+                    let arrival = slot.arrivals;
+                    slot.arrivals += 1;
+                    recovery.replayed_frames += 1;
+                    if schedule_arrival(shared, &mut slot, arrival, None, None) {
+                        continue;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| slot.session.push_frame(frame))) {
+                        Ok(Ok(_)) => {}
+                        Ok(Err(e)) => {
+                            failed = Some(e);
+                            break;
+                        }
+                        Err(payload) => {
+                            failed = Some(Error::config(format!(
+                                "session task panicked during replay: {}",
+                                panic_text(payload)
+                            )));
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    None => {
+                        recovery.resurrected += 1;
+                        sessions.insert(*id, Slot::Live(Box::new(slot)));
+                    }
+                    Some(e) => {
+                        let error =
+                            Error::state(format!("unrecovered session {id}: replay diverged: {e}"));
+                        sessions.insert(
+                            *id,
+                            Slot::Dead {
+                                error: error.clone(),
+                                kind: FailureKind::Unrecovered,
+                            },
+                        );
+                        *ledger = Ledger::Dead {
+                            error,
+                            kind: FailureKind::Unrecovered,
+                        };
+                        recovery.unrecovered += 1;
+                    }
+                }
+            }
+        }
+    }
+    sessions
+}
+
+/// One supervised worker seat: the thread handle of its current
+/// incarnation plus everything the watchdog needs to detect a death,
+/// resurrect the lane, and spawn a successor.
+struct Seat<T: VisionTask> {
+    handle: Option<JoinHandle<WorkerExit<T>>>,
+    pulse: Arc<Pulse>,
+    store: LedgerStore<T>,
+    gate: Arc<CapacityGate>,
+    windex: u64,
+    /// Merged outputs of all finished incarnations on this seat.
+    agg: Option<WorkerOutput>,
+    frozen: Vec<(SessionId, FrozenSlot<T>)>,
+    last_beats: u64,
+    stale: u32,
+}
+
+fn merge_seat<T: VisionTask>(seat: &mut Seat<T>, out: WorkerOutput) {
+    match seat.agg.as_mut() {
+        Some(agg) => merge_output(agg, out),
+        None => seat.agg = Some(out),
+    }
+}
+
+fn merge_output(agg: &mut WorkerOutput, out: WorkerOutput) {
+    agg.outcomes.extend(out.outcomes);
+    agg.latency.merge(&out.latency);
+    agg.queue_wait.merge(&out.queue_wait);
+    agg.frames += out.frames;
+    agg.served += out.served;
+    agg.dropped += out.dropped;
+    agg.shed += out.shed;
+    agg.busy_ns += out.busy_ns;
+    agg.wall_ns += out.wall_ns;
+    for (rung, n) in out.frames_per_rung.iter().enumerate() {
+        agg.frames_per_rung[rung] += n;
+    }
+    agg.reconfigs += out.reconfigs;
+    agg.max_epochs = agg.max_epochs.max(out.max_epochs);
+    agg.chaos.merge(&out.chaos);
+    if let (Some(total), Some(nn)) = (agg.nn.as_mut(), out.nn.as_ref()) {
+        total.merge(nn);
+    }
+}
+
+/// The supervisor: polls every seat's heartbeat, joins finished
+/// incarnations, and — when one died instead of draining — resurrects
+/// its lane's sessions from the ledger and spawns a successor that
+/// inherits the lane receiver, the in-flight message, and the dequeue
+/// counter. Mid-message workers whose beat counter freezes for
+/// `missed_beats` consecutive polls are deposed (the wedge channel).
+/// Runs until every seat has drained.
+fn watchdog_loop<T>(
+    shared: Arc<Shared<T>>,
+    mut seats: Vec<Seat<T>>,
+    cfg: SuperviseConfig,
+) -> WatchdogResult<T>
+where
+    T: VisionTask + Clone + Send + Sync + 'static,
+    T::State: Send + Clone,
+{
+    let mut recovery = RecoveryReport::default();
+    loop {
+        let mut live = false;
+        for seat in &mut seats {
+            let Some(handle) = seat.handle.as_ref() else {
+                continue;
+            };
+            if !handle.is_finished() {
+                live = true;
+                let (beats, busy) = seat.pulse.sample();
+                if busy && beats == seat.last_beats {
+                    seat.stale += 1;
+                    if seat.stale >= cfg.missed_beats {
+                        seat.pulse.depose();
+                    }
+                } else {
+                    seat.stale = 0;
+                }
+                seat.last_beats = beats;
+                continue;
+            }
+            let exit = seat
+                .handle
+                .take()
+                .expect("checked above")
+                .join()
+                .expect("serve workers isolate session panics and never die");
+            match exit {
+                WorkerExit::Drained(d) => {
+                    merge_seat(seat, d.output);
+                    seat.frozen = d.frozen;
+                }
+                WorkerExit::Killed(k) => {
+                    live = true;
+                    let k = *k;
+                    let incident = match k.trigger {
+                        Some((session, arrival)) => {
+                            let (replay_lag, recovered) = {
+                                let store = seat.store.lock().unwrap_or_else(|p| p.into_inner());
+                                match store.get(&session) {
+                                    Some(Ledger::Live(l)) => (l.lag, !l.lost),
+                                    _ => (0, true),
+                                }
+                            };
+                            RecoveryIncident {
+                                kind: IncidentKind::WorkerKill,
+                                session,
+                                tick: arrival,
+                                replay_lag,
+                                recovered,
+                            }
+                        }
+                        None => {
+                            let session = match &k.pending {
+                                Some(
+                                    Msg::Frame { id, .. }
+                                    | Msg::Open { id, .. }
+                                    | Msg::Close { id }
+                                    | Msg::Fail { id, .. },
+                                ) => *id,
+                                None => SessionId::MAX,
+                            };
+                            RecoveryIncident {
+                                kind: IncidentKind::Wedge,
+                                session,
+                                tick: k.dequeues.saturating_sub(1),
+                                replay_lag: 0,
+                                recovered: true,
+                            }
+                        }
+                    };
+                    recovery.incidents.push(incident);
+                    recovery.respawns += 1;
+                    merge_seat(seat, k.output);
+                    let sessions = resurrect(shared.as_ref(), &seat.store, &mut recovery);
+                    seat.pulse.reinstate();
+                    seat.last_beats = 0;
+                    seat.stale = 0;
+                    let ctx = WorkerContext {
+                        shared: Arc::clone(&shared),
+                        rx: k.rx,
+                        gate: Arc::clone(&seat.gate),
+                        windex: seat.windex,
+                        pulse: Some(Arc::clone(&seat.pulse)),
+                        ledgers: Some(Arc::clone(&seat.store)),
+                        sessions,
+                        pending: k.pending,
+                        dequeues: k.dequeues,
+                    };
+                    seat.handle = Some(std::thread::spawn(move || worker_loop(ctx)));
+                }
+            }
+        }
+        if !live {
+            break;
+        }
+        std::thread::sleep(cfg.beat_interval);
+    }
+    recovery.incidents.sort_by_key(|i| (i.tick, i.session));
+    let mut outputs = Vec::with_capacity(seats.len());
+    let mut frozen = Vec::new();
+    for seat in seats {
+        outputs.push(
+            seat.agg
+                .expect("every seat drained before the watchdog exits"),
+        );
+        frozen.extend(seat.frozen);
+    }
+    WatchdogResult {
+        outputs,
+        frozen,
+        recovery,
+    }
+}
+
+/// A frozen server: the task, the scheme registry, every session's
+/// checkpoint (or tombstone) in id order, and the statistics
+/// accumulated before the freeze. Produced by
+/// [`SessionServer::freeze`], consumed by [`SessionServer::thaw`] —
+/// the thawed server's sessions continue bit-exactly where they froze,
+/// at any worker count.
+pub struct ServerImage<T: VisionTask> {
+    task: T,
+    schemes: Vec<SchemeSpec>,
+    sessions: Vec<(SessionId, FrozenSlot<T>)>,
+    carry: DrainReport,
+}
+
+impl<T: VisionTask> ServerImage<T> {
+    /// Sessions captured in the image (live checkpoints + tombstones).
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Sessions frozen live (restorable).
+    pub fn live_sessions(&self) -> usize {
+        self.sessions
+            .iter()
+            .filter(|(_, slot)| matches!(slot, FrozenSlot::Live(_)))
+            .count()
+    }
+
+    /// The statistics accumulated before the freeze (merged into the
+    /// thawed server's final drain).
+    pub fn carried(&self) -> &DrainReport {
+        &self.carry
+    }
+}
+
+/// Folds a pre-freeze [`DrainReport`] carried through a warm restart
+/// into the final one: histograms merge, counters add, outcome maps
+/// union (the post-thaw run wins on conflict — it saw the session
+/// last), and the degradation walk keeps the current incarnation's
+/// unless it had none. `per_worker`/`per_worker_frames` stay
+/// per-incarnation (the worker count may have changed across the
+/// restart).
+fn merge_carry(report: &mut DrainReport, carry: DrainReport) {
+    report.latency.merge(&carry.latency);
+    report.queue_wait.merge(&carry.queue_wait);
+    report.frames += carry.frames;
+    report.served += carry.served;
+    report.dropped += carry.dropped;
+    report.shed += carry.shed;
+    report.ingress.parked += carry.ingress.parked;
+    report.ingress.woken += carry.ingress.woken;
+    report.ingress.immediate += carry.ingress.immediate;
+    report.ingress.spin_retries += carry.ingress.spin_retries;
+    report.ingress.busy_rejections += carry.ingress.busy_rejections;
+    if let Some(nn) = carry.nn {
+        match report.nn.as_mut() {
+            Some(total) => total.merge(&nn),
+            None => report.nn = Some(nn),
+        }
+    }
+    if report.degradation.is_none() {
+        report.degradation = carry.degradation;
+    }
+    if let Some(chaos) = carry.chaos {
+        match report.chaos.as_mut() {
+            Some(total) => total.merge(&chaos),
+            None => report.chaos = Some(chaos),
+        }
+    }
+    if let Some(recovery) = carry.recovery {
+        match report.recovery.as_mut() {
+            Some(total) => total.merge(&recovery),
+            None => report.recovery = Some(recovery),
+        }
+    }
+    for (id, entry) in carry.outcomes {
+        report.outcomes.entry(id).or_insert(entry);
+    }
 }
 
 fn finish_slot<T: VisionTask>(slot: Slot<T>) -> (Result<TaskOutcome>, Option<FailureKind>) {
@@ -1491,9 +2445,16 @@ const BACKOFF_STREAM: u64 = 0xFEED_B0FF;
 /// decorrelate across sessions without a wall clock). A frame still
 /// `Busy` after the last attempt either parks until capacity
 /// (`park_after_retries`, the lossless default) or is shed
-/// client-side; `breaker_threshold` consecutive shed frames trip
-/// [`SessionServer::break_session`], tombstoning the session instead of
-/// hammering a lane that cannot keep up.
+/// client-side; `breaker_threshold` consecutive shed frames trip a
+/// circuit breaker. With `breaker_cooldown == 0` the trip is terminal:
+/// [`SessionServer::break_session`] tombstones the session and the feed
+/// stops. With a nonzero cooldown the breaker is *half-open*: the next
+/// `breaker_cooldown` frames are skipped client-side without touching
+/// the lane ([`FeedReport::short_circuited`]), then one probe frame is
+/// let through — an accepted probe re-closes the breaker
+/// ([`FeedReport::reclosed`]), a rejected one re-opens it for another
+/// cooldown. Every transition is a pure function of the submit
+/// verdicts, so breaker timelines replay bit-for-bit.
 #[derive(Debug, Clone)]
 pub struct FeedPolicy {
     /// Deadline-bounded submit attempts per frame before the fallback
@@ -1513,6 +2474,10 @@ pub struct FeedPolicy {
     /// (0 disables it; only reachable with `park_after_retries =
     /// false`).
     pub breaker_threshold: u32,
+    /// Frames skipped client-side after a trip before one half-open
+    /// probe is let through. `0` keeps the legacy terminal breaker: the
+    /// first trip tombstones the session and stops the feed.
+    pub breaker_cooldown: u64,
 }
 
 impl Default for FeedPolicy {
@@ -1524,6 +2489,7 @@ impl Default for FeedPolicy {
             jitter_seed: 0xFEED,
             park_after_retries: true,
             breaker_threshold: 0,
+            breaker_cooldown: 0,
         }
     }
 }
@@ -1565,8 +2531,94 @@ pub struct FeedReport {
     pub rejected: u64,
     /// Busy verdicts that led to another attempt.
     pub retries: u64,
-    /// `true` if the circuit breaker tombstoned the session.
+    /// `true` if the circuit breaker tombstoned the session (only with
+    /// [`FeedPolicy::breaker_cooldown`]` == 0`).
     pub tripped: bool,
+    /// Closed/half-open → open transitions.
+    pub trips: u64,
+    /// Frames skipped client-side while the breaker was open.
+    pub short_circuited: u64,
+    /// Half-open probes that re-closed the breaker.
+    pub reclosed: u64,
+}
+
+/// The feed loop's half-open circuit breaker (see
+/// [`FeedPolicy::breaker_cooldown`]). Transitions are pure in the
+/// sequence of submit verdicts: closed → open after
+/// `breaker_threshold` consecutive rejections, open counts down
+/// `breaker_cooldown` skipped frames, the frame after the countdown is
+/// the half-open probe, and the probe's verdict either re-closes or
+/// re-opens.
+struct CircuitBreaker {
+    state: BreakerState,
+    consecutive: u32,
+    threshold: u32,
+    cooldown: u64,
+}
+
+enum BreakerState {
+    Closed,
+    Open { remaining: u64 },
+    HalfOpen,
+}
+
+impl CircuitBreaker {
+    fn new(policy: &FeedPolicy) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive: 0,
+            threshold: policy.breaker_threshold,
+            cooldown: policy.breaker_cooldown,
+        }
+    }
+
+    /// Whether the next frame may touch the lane. Counts down the open
+    /// cooldown; the frame that finds it exhausted is admitted as the
+    /// half-open probe.
+    fn admits(&mut self) -> bool {
+        match &mut self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { remaining } => {
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    false
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records an accepted frame; returns `true` when it was the probe
+    /// that re-closed the breaker.
+    fn on_accepted(&mut self) -> bool {
+        self.consecutive = 0;
+        if matches!(self.state, BreakerState::HalfOpen) {
+            self.state = BreakerState::Closed;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a client-side rejection; returns `true` when it tripped
+    /// the breaker open (a failed probe trips unconditionally).
+    fn on_rejected(&mut self) -> bool {
+        self.consecutive += 1;
+        let trip = match self.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.threshold != 0 && self.consecutive >= self.threshold,
+            // Open frames never reach the lane, so never reject.
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            self.state = BreakerState::Open {
+                remaining: self.cooldown,
+            };
+        }
+        trip
+    }
 }
 
 /// Streams one synthetic sequence into the server under session `id`
@@ -1591,14 +2643,18 @@ pub fn feed_sequence_with<T>(
 ) -> Result<FeedReport>
 where
     T: VisionTask + Clone + Send + Sync + 'static,
-    T::State: Send,
+    T::State: Send + Clone,
 {
     let source = frame_source(seq, motion)?;
     server.open(id, scheme, source.resolution())?;
     let mut report = FeedReport::default();
-    let mut consecutive = 0u32;
+    let mut breaker = CircuitBreaker::new(policy);
     for (index, frame) in source.enumerate() {
         let frame = Arc::new(frame?);
+        if !breaker.admits() {
+            report.short_circuited += 1;
+            continue;
+        }
         if policy.attempts == 0 {
             server.submit_blocking(id, frame)?;
             report.submitted += 1;
@@ -1628,21 +2684,26 @@ where
         }
         if accepted {
             report.submitted += 1;
-            consecutive = 0;
+            if breaker.on_accepted() {
+                report.reclosed += 1;
+            }
             continue;
         }
         report.rejected += 1;
-        consecutive += 1;
-        if policy.breaker_threshold != 0 && consecutive >= policy.breaker_threshold {
-            report.tripped = true;
-            server.break_session(
-                id,
-                format!(
-                    "circuit breaker: {consecutive} consecutive frames rejected \
-                     (last at frame {index} of session {id})"
-                ),
-            )?;
-            break;
+        if breaker.on_rejected() {
+            report.trips += 1;
+            if policy.breaker_cooldown == 0 {
+                report.tripped = true;
+                server.break_session(
+                    id,
+                    format!(
+                        "circuit breaker: {} consecutive frames rejected \
+                         (last at frame {index} of session {id})",
+                        breaker.consecutive
+                    ),
+                )?;
+                break;
+            }
         }
     }
     server.close(id)?;
@@ -1668,7 +2729,7 @@ pub fn feed_sequence<T>(
 ) -> Result<()>
 where
     T: VisionTask + Clone + Send + Sync + 'static,
-    T::State: Send,
+    T::State: Send + Clone,
 {
     feed_sequence_with(server, id, scheme, seq, motion, &FeedPolicy::default()).map(|_| ())
 }

@@ -435,6 +435,7 @@ fn forced_saturation_trips_the_circuit_breaker() {
         jitter_seed: 1,
         park_after_retries: false,
         breaker_threshold: 3,
+        breaker_cooldown: 0,
     };
     let feed = euphrates_serve::feed_sequence_with(
         &server,
@@ -458,6 +459,107 @@ fn forced_saturation_trips_the_circuit_breaker() {
     assert!(err.contains("circuit breaker"), "untyped reason: {err}");
     assert_eq!(report.chaos.expect("chaos armed").rejections, 6);
     assert_eq!(report.ingress.spin_retries, 0);
+    // Legacy terminal breaker: one trip, nothing short-circuited or
+    // reclosed (the feed stops at the trip).
+    assert_eq!((feed.trips, feed.short_circuited, feed.reclosed), (1, 0, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Half-open breaker: a nonzero cooldown turns the trip into open →
+// skip-N → probe cycles instead of a tombstone.
+// ---------------------------------------------------------------------------
+
+fn breaker_sequence(frames: u32) -> Sequence {
+    let scene = SceneBuilder::new(RES, 5)
+        .background(Texture::background_noise(0x5B))
+        .object_default()
+        .build();
+    Sequence {
+        name: "half-open".to_string(),
+        attributes: vec![],
+        scene,
+        frames,
+    }
+}
+
+fn half_open_feed(reject_every: u64) -> (euphrates_serve::FeedReport, FailureBreakdownProbe) {
+    let server = SessionServer::new(
+        CalmTask,
+        vec![SchemeSpec::new("s", BackendConfig::baseline()).unwrap()],
+        ServeConfig::sized(1, 32).with_chaos(ChaosConfig::seeded(3).with_rejections(reject_every)),
+    )
+    .unwrap();
+    let policy = FeedPolicy {
+        attempts: 1,
+        base_backoff: Duration::from_micros(50),
+        max_backoff: Duration::from_micros(200),
+        jitter_seed: 1,
+        park_after_retries: false,
+        breaker_threshold: 2,
+        breaker_cooldown: 3,
+    };
+    let feed = euphrates_serve::feed_sequence_with(
+        &server,
+        0,
+        "s",
+        &breaker_sequence(16),
+        &MotionConfig::default(),
+        &policy,
+    )
+    .expect("half-open feed never hard-fails");
+    let report = server.drain();
+    let probe = FailureBreakdownProbe {
+        circuit_broken: report.failure_breakdown().circuit_broken,
+        frames: report.frames,
+        submitted_match: report.frames == feed.submitted,
+    };
+    (feed, probe)
+}
+
+struct FailureBreakdownProbe {
+    circuit_broken: usize,
+    frames: u64,
+    submitted_match: bool,
+}
+
+#[test]
+fn half_open_breaker_cycles_open_probe_reopen_under_total_rejection() {
+    // reject_every = 1: every admission is forcibly Busy, so every
+    // half-open probe fails and the breaker never recloses. The whole
+    // timeline is a pure function of the policy: trip at frame 1
+    // (threshold 2), skip 3, probe-and-retrip at frames 5, 9, 13.
+    let (feed, probe) = half_open_feed(1);
+    assert_eq!(feed.submitted, 0);
+    assert_eq!(feed.rejected, 5, "2 tripping frames + 3 failed probes");
+    assert_eq!(feed.retries, 5, "one attempt per admitted frame");
+    assert_eq!(feed.trips, 4, "initial trip + 3 failed probes");
+    assert_eq!(feed.short_circuited, 11, "3 per cooldown, 2 at the tail");
+    assert_eq!(feed.reclosed, 0);
+    assert!(!feed.tripped, "half-open mode never tombstones");
+    // The session survives: no CircuitBroken tombstone, clean close.
+    assert_eq!(probe.circuit_broken, 0);
+    assert_eq!(probe.frames, 0);
+    assert!(probe.submitted_match);
+}
+
+#[test]
+fn half_open_breaker_recloses_on_a_surviving_probe() {
+    // reject_every = 2 fires on roughly half the admissions: probes can
+    // survive, so the breaker must both trip and reclose at least once,
+    // and the whole timeline must be bit-identical across runs.
+    let (feed, probe) = half_open_feed(2);
+    let (again, _) = half_open_feed(2);
+    assert_eq!(feed, again, "breaker timeline must be pure");
+    assert!(feed.trips >= 1, "never tripped: {feed:?}");
+    assert!(feed.reclosed >= 1, "no probe ever reclosed: {feed:?}");
+    assert!(!feed.tripped);
+    assert_eq!(probe.circuit_broken, 0);
+    assert!(probe.submitted_match, "accepted frames lost");
+    assert_eq!(
+        feed.submitted + feed.rejected + feed.short_circuited,
+        16,
+        "verdicts must partition the sequence: {feed:?}"
+    );
 }
 
 // ---------------------------------------------------------------------------

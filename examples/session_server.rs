@@ -9,13 +9,23 @@
 //! frames, because workers only decide *where* a session runs, never
 //! *what* it computes.
 //!
+//! Act two replays the same streams under seeded worker-kill chaos with
+//! supervision armed: dead workers are detected by heartbeat, respawned,
+//! and their sessions resurrected from the last checkpoint plus a
+//! bounded replay log — the drained outcomes *still* bit-match the
+//! offline runs, and the `RecoveryReport` shows the incident timeline
+//! in logical ticks.
+//!
 //! ```text
 //! cargo run --release --example session_server
 //! ```
 
 use euphrates::core::prelude::*;
 use euphrates::nn::oracle::calib;
-use euphrates::serve::{feed_sequence, FailureKind, NnBatchConfig, ServeConfig, SessionServer};
+use euphrates::serve::{
+    feed_sequence, ChaosConfig, FailureKind, NnBatchConfig, ServeConfig, SessionServer,
+    SuperviseConfig,
+};
 use std::time::Duration;
 
 fn main() -> euphrates::common::Result<()> {
@@ -77,6 +87,7 @@ fn main() -> euphrates::common::Result<()> {
     server.break_session(doomed, "client heartbeat lost; circuit breaker opened")?;
 
     let report = server.drain();
+    let mut offline_outcomes = Vec::new();
     println!("session  scheme    frames  inferences  rate");
     for (id, seq) in suite.iter().enumerate() {
         let scheme = if id % 2 == 0 { "EW-4" } else { "adaptive" };
@@ -102,6 +113,7 @@ fn main() -> euphrates::common::Result<()> {
         };
         let offline = run_task(TrackerTask::new(calib::mdnet()), &prep, &backend, id as u64)?;
         assert_eq!(*outcome, offline);
+        offline_outcomes.push(offline);
     }
 
     println!(
@@ -134,12 +146,14 @@ fn main() -> euphrates::common::Result<()> {
     // producer give-ups (circuit-broken) at a glance.
     let breakdown = report.failure_breakdown();
     println!(
-        "failures: {} poisoned, {} panicked, {} circuit-broken, {} chaos, {} protocol",
+        "failures: {} poisoned, {} panicked, {} circuit-broken, {} chaos, \
+         {} protocol, {} unrecovered",
         breakdown.poisoned,
         breakdown.panicked,
         breakdown.circuit_broken,
         breakdown.chaos_injected,
         breakdown.protocol,
+        breakdown.unrecovered,
     );
     assert_eq!(
         report.failure_kind(doomed),
@@ -147,5 +161,68 @@ fn main() -> euphrates::common::Result<()> {
     );
     assert_eq!(breakdown.total(), 1, "only the doomed stream fails");
     println!("offline re-runs are bit-identical: OK");
+
+    // Act two: the same streams, but workers are killed out from under
+    // them (seeded chaos, ~1 kill per 8 arrivals per session) with
+    // supervision armed: checkpoint every 4 arrivals, replay budget 16,
+    // 1 ms heartbeat watchdog. The supervisor respawns dead workers and
+    // resurrects their sessions from checkpoint + replay.
+    println!("\n-- crash recovery under worker-kill chaos --");
+    let config = ServeConfig::sized(2, 16)
+        .with_chaos(ChaosConfig::seeded(13).with_worker_kills(8))
+        .with_supervision(SuperviseConfig::every(4, 16).with_watchdog(Duration::from_millis(1), 4));
+    let server = SessionServer::new(
+        TrackerTask::new(calib::mdnet()),
+        vec![
+            SchemeSpec::new("EW-4", BackendConfig::new(EwPolicy::Constant(4)))?,
+            SchemeSpec::new(
+                "adaptive",
+                BackendConfig::new(EwPolicy::Adaptive(AdaptiveConfig::default())),
+            )?,
+        ],
+        config,
+    )?;
+    for (id, seq) in suite.iter().enumerate() {
+        let scheme = if id % 2 == 0 { "EW-4" } else { "adaptive" };
+        feed_sequence(&server, id as u64, scheme, seq, &motion)?;
+    }
+    let report = server.drain();
+    let recovery = report.recovery.as_ref().expect("supervision armed");
+    println!(
+        "{} worker deaths detected, {} respawned, {} sessions resurrected, \
+         {} frames replayed, {} unrecovered, MTTR {} logical ticks",
+        recovery.detections(),
+        recovery.respawns,
+        recovery.resurrected,
+        recovery.replayed_frames,
+        recovery.unrecovered,
+        recovery.mttr_ticks(),
+    );
+    for incident in &recovery.incidents {
+        println!(
+            "  {:?} at tick {} (session {}): replay lag {}, {}",
+            incident.kind,
+            incident.tick,
+            incident.session,
+            incident.replay_lag,
+            if incident.recovered {
+                "recovered"
+            } else {
+                "lost"
+            },
+        );
+    }
+    // The recovery guarantee, end to end: every session drains
+    // bit-identical to its offline run despite the kills.
+    assert_eq!(recovery.unrecovered, 0, "budget 16 covers cadence 4");
+    for (id, offline) in offline_outcomes.iter().enumerate() {
+        let outcome = report
+            .outcome(id as u64)
+            .expect("every session reported")
+            .as_ref()
+            .expect("resurrected sessions finish cleanly");
+        assert_eq!(outcome, offline, "session {id} diverged after recovery");
+    }
+    println!("post-recovery outcomes are bit-identical: OK");
     Ok(())
 }

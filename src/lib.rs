@@ -129,8 +129,9 @@
 //! [`LatencyHistogram`][common::stats::LatencyHistogram]), per-worker
 //! occupancy, ingress park/wake counters, and the realized batch
 //! amortization ratio. The recorded serving trajectory lives in
-//! `BENCH_serve.json` (schema 3: 1- and 4-worker rows, batched and
-//! unbatched, plus nominal-vs-degraded overload rows);
+//! `BENCH_serve.json` (schema 4: 1- and 4-worker rows, batched and
+//! unbatched, nominal-vs-degraded overload rows, plus a crash-recovery
+//! grid sweeping kill cadence × checkpoint cadence);
 //! `examples/session_server.rs` is the runnable tour.
 //!
 //! Under overload the server degrades gracefully instead of queueing
@@ -148,7 +149,29 @@
 //! [`feed_sequence`][serve::feed_sequence] producers retry `Busy`
 //! admissions with deterministic jittered backoff, tripping a typed
 //! circuit breaker ([`FailureKind`][serve::FailureKind]) when a
-//! session stays unreachable.
+//! session stays unreachable — with an optional half-open cooldown
+//! ([`FeedPolicy::breaker_cooldown`][serve::FeedPolicy]) that probes
+//! the session again after a quiet period instead of tombstoning it
+//! on the first bad streak.
+//!
+//! The server also survives its own workers dying. Arming a
+//! [`SuperviseConfig`][serve::SuperviseConfig] checkpoints every
+//! session ([`Session::snapshot`][core::api::Session::snapshot] /
+//! [`restore`][core::api::Session::restore], property-tested
+//! bit-identical at any cut in `crates/core/tests/checkpoint.rs`) on a
+//! fixed arrival cadence and keeps a bounded replay log; a heartbeat
+//! watchdog detects dead or wedged workers, respawns them, and
+//! resurrects their sessions from checkpoint + replay — drained
+//! outcomes stay bit-identical to the offline run, and sessions past
+//! the replay budget drain as
+//! [`FailureKind::Unrecovered`][serve::FailureKind] with the exact lag
+//! in the error. The incident timeline (kills, wedges, replay lags,
+//! MTTR in logical ticks) lands in the drain report's
+//! [`RecoveryReport`][serve::RecoveryReport]. For planned restarts,
+//! [`SessionServer::freeze`][serve::SessionServer::freeze] drains the
+//! fleet into a [`ServerImage`][serve::ServerImage] that
+//! [`thaw`][serve::SessionServer::thaw] revives at any worker count —
+//! warm restart, bit-identical outcomes.
 //!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/benches/` for the per-figure reproduction harness.
